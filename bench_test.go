@@ -1,0 +1,677 @@
+package clr
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation benches for the design decisions called out in DESIGN.md
+// and microbenches of the core substrates. Each experiment bench
+// renders its table/figure once (visible with `go test -bench . -v`)
+// and reports the headline quantity via b.ReportMetric, so trends can
+// be compared against EXPERIMENTS.md without re-reading logs.
+
+import (
+	"testing"
+
+	"clrdse/internal/core"
+	"clrdse/internal/dse"
+	"clrdse/internal/experiments"
+	"clrdse/internal/ga"
+	"clrdse/internal/lifetime"
+	"clrdse/internal/mapping"
+	"clrdse/internal/pareto"
+	"clrdse/internal/relmodel"
+	"clrdse/internal/rng"
+	"clrdse/internal/runtime"
+	"clrdse/internal/schedule"
+	"clrdse/internal/taskgraph"
+)
+
+// benchScale is a miniature of the paper's setup so every bench
+// completes in seconds; cmd/experiments regenerates the full-scale
+// numbers.
+func benchScale() experiments.Scale {
+	s := experiments.QuickScale()
+	s.TaskSizes = []int{10, 20}
+	s.SimCycles = 20_000
+	s.PretrainCycles = 20_000
+	s.Reps = 1
+	return s
+}
+
+func benchLab(b *testing.B) *experiments.Lab {
+	b.Helper()
+	return experiments.NewLab(benchScale())
+}
+
+func mean(rows []experiments.TableRow, col int) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range rows {
+		sum += r.Values[col]
+	}
+	return sum / float64(len(rows))
+}
+
+// --- Experiment benches (one per table/figure) -----------------------
+
+func BenchmarkFig1Motivation(b *testing.B) {
+	lab := benchLab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := lab.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.Render())
+			last := r.Systems[len(r.Systems)-1]
+			if last.FixedEnergyMJ > 0 {
+				b.ReportMetric(100*(last.FixedEnergyMJ-last.AvgEnergyMJ)/last.FixedEnergyMJ, "%Javg-saving-CLR2")
+			}
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	lab := benchLab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := lab.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.Render())
+			b.ReportMetric(mean(r.Rows, 0), "%migration-cost-reduction")
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	lab := benchLab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := lab.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.Render())
+			extra := 0
+			for _, p := range r.Points {
+				if p.FromReD {
+					extra++
+				}
+			}
+			b.ReportMetric(float64(extra), "extra-points")
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	lab := benchLab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := lab.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.Render())
+			b.ReportMetric(float64(r.BaseD.Reconfigs), "BaseD-reconfigs")
+			b.ReportMetric(float64(r.ReD.Reconfigs), "ReD-reconfigs")
+		}
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	lab := benchLab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := lab.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.Render())
+			b.ReportMetric(mean(r.Rows, 0), "%dRC-reduction")
+			b.ReportMetric(mean(r.Rows, 1), "%energy-increase")
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	lab := benchLab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := lab.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.Render())
+			s := r.Series[0]
+			b.ReportMetric(s.RelEnergy[len(s.RelEnergy)-1], "rel-energy-at-pRC1")
+			b.ReportMetric(s.RelDRC[0], "rel-dRC-at-pRC0")
+		}
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	lab := benchLab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := lab.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.Render())
+			b.ReportMetric(mean(r.Rows, 0), "%dRC-reduction-pRC0")
+			b.ReportMetric(mean(r.Rows, 1), "%energy-reduction-pRC1")
+		}
+	}
+}
+
+func BenchmarkTable7(b *testing.B) {
+	lab := benchLab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := lab.Table7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.Render())
+			b.ReportMetric(mean(r.Rows, 0), "%dRC-reduction-AuRA")
+			b.ReportMetric(mean(r.Rows, 1), "%energy-reduction-AuRA")
+		}
+	}
+}
+
+// --- Ablation benches -------------------------------------------------
+
+// benchSystem builds one cached 20-task system for the ablations.
+func benchSystem(b *testing.B) (*experiments.Lab, *dse.Problem, *dse.Database, *dse.Database) {
+	b.Helper()
+	lab := benchLab(b)
+	sys, err := lab.System(20, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return lab, sys.Problem, sys.BaseD, sys.ReD
+}
+
+// BenchmarkAblationReDTolerance sweeps the ReD degradation tolerance:
+// a wider tolerance admits more (cheaper) additional points at a
+// larger QoS sacrifice.
+func BenchmarkAblationReDTolerance(b *testing.B) {
+	_, prob, base, _ := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		for _, tol := range []float64{0.05, 0.10, 0.20} {
+			red, err := dse.RunReD(prob, base, dse.ReDParams{
+				Tolerance:       tol,
+				GA:              ga.Params{PopSize: 16, Generations: 6, Seed: 9},
+				MaxExtraPerSeed: 2,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.Logf("tolerance=%.2f -> %d extra points", tol, len(red.ReDPoints()))
+			}
+		}
+	}
+}
+
+// BenchmarkAblationTrigger compares the always vs on-violation
+// adaptation triggers on the same database and event stream.
+func BenchmarkAblationTrigger(b *testing.B) {
+	lab, prob, _, red := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		for _, trig := range []runtime.Trigger{runtime.TriggerAlways, runtime.TriggerOnViolation} {
+			m, err := runtime.Simulate(runtime.Params{
+				DB: red, Space: prob.Space, PRC: 1,
+				Cycles: lab.Scale.SimCycles, Seed: 17, Trigger: trig,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.Logf("trigger=%v reconfigs=%d totalDRC=%.2f avgJ=%.2f",
+					trig, m.Reconfigs, m.TotalDRC, m.AvgEnergyMJ)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationAuRAPrior compares the cold-start agent (uniform
+// zero values) against the stay-put prior and offline pretraining.
+func BenchmarkAblationAuRAPrior(b *testing.B) {
+	lab, prob, _, red := benchSystem(b)
+	run := func(ag *runtime.Agent) *runtime.Metrics {
+		m, err := runtime.Simulate(runtime.Params{
+			DB: red, Space: prob.Space, PRC: 0.5,
+			Cycles: lab.Scale.SimCycles, Seed: 19,
+			Trigger: runtime.TriggerOnViolation, Agent: ag,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	for i := 0; i < b.N; i++ {
+		cold := runtime.NewAgent(red.Len(), 0.9)
+		prior := runtime.NewAgentForDB(red, 0.9, 0)
+		pre := runtime.NewAgentForDB(red, 0.9, 0)
+		if err := pre.Pretrain(runtime.Params{
+			DB: red, Space: prob.Space, PRC: 0.5, Trigger: runtime.TriggerOnViolation,
+		}, lab.Scale.PretrainCycles, 23); err != nil {
+			b.Fatal(err)
+		}
+		mc, mp, mt := run(cold), run(prior), run(pre)
+		if i == 0 {
+			b.Logf("cold:     J=%.2f dRC=%.4f", mc.AvgEnergyMJ, mc.AvgDRC)
+			b.Logf("prior:    J=%.2f dRC=%.4f", mp.AvgEnergyMJ, mp.AvgDRC)
+			b.Logf("pretrain: J=%.2f dRC=%.4f", mt.AvgEnergyMJ, mt.AvgDRC)
+		}
+	}
+}
+
+// BenchmarkAblationConstraintHandling compares constraint-dominated
+// NSGA-II against an unconstrained run followed by post-filtering,
+// demonstrating why infeasible points need the Figure 4a treatment.
+func BenchmarkAblationConstraintHandling(b *testing.B) {
+	lab := benchLab(b)
+	app, err := lab.App(20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := &mapping.Space{Graph: app, Platform: benchPlatform(), Catalogue: relmodel.DefaultCatalogue()}
+	ev := &schedule.Evaluator{Space: space, Env: relmodel.DefaultEnv()}
+	smax, fmin := app.PeriodMs, 0.90
+	constrained := func(m *mapping.Mapping) ([]float64, float64, any) {
+		res, err := ev.Evaluate(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := 0.0
+		if res.MakespanMs > smax {
+			v += (res.MakespanMs - smax) / smax
+		}
+		if res.Reliability < fmin {
+			v += fmin - res.Reliability
+		}
+		return []float64{res.EnergyMJ, res.MakespanMs}, v, res
+	}
+	unconstrained := func(m *mapping.Mapping) ([]float64, float64, any) {
+		objs, _, res := constrained(m)
+		return objs, 0, res
+	}
+	count := func(obj ga.Objective) int {
+		e := &ga.Engine{Space: space, Eval: obj, Params: ga.Params{PopSize: 20, Generations: 8, Seed: 29}}
+		pop, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for _, ind := range pop.ParetoFront() {
+			res := ind.Payload.(*schedule.Result)
+			if res.MakespanMs <= smax && res.Reliability >= fmin {
+				n++
+			}
+		}
+		return n
+	}
+	for i := 0; i < b.N; i++ {
+		nc, nu := count(constrained), count(unconstrained)
+		if i == 0 {
+			b.Logf("feasible front points: constraint-dominated=%d unconstrained+filter=%d", nc, nu)
+			b.ReportMetric(float64(nc), "constrained-feasible")
+			b.ReportMetric(float64(nu), "unconstrained-feasible")
+		}
+	}
+}
+
+func benchPlatform() *Platform { return DefaultPlatform() }
+
+// --- Substrate microbenches -------------------------------------------
+
+func BenchmarkScheduleEvaluate(b *testing.B) {
+	plat := DefaultPlatform()
+	g, err := taskgraph.Generate(taskgraph.GenParams{Seed: 71, NumTasks: 50}, plat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := &mapping.Space{Graph: g, Platform: plat, Catalogue: relmodel.DefaultCatalogue()}
+	ev := &schedule.Evaluator{Space: space, Env: relmodel.DefaultEnv()}
+	m := space.Random(rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Evaluate(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDRC(b *testing.B) {
+	plat := DefaultPlatform()
+	g, err := taskgraph.Generate(taskgraph.GenParams{Seed: 72, NumTasks: 50}, plat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := &mapping.Space{Graph: g, Platform: plat, Catalogue: relmodel.DefaultCatalogue()}
+	r := rng.New(2)
+	x, y := space.Random(r), space.Random(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		space.DRC(x, y)
+	}
+}
+
+func BenchmarkHypervolume3D(b *testing.B) {
+	r := rng.New(3)
+	pts := make([][]float64, 30)
+	for i := range pts {
+		pts[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+	ref := []float64{1, 1, 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pareto.Hypervolume(pts, ref)
+	}
+}
+
+func BenchmarkGAGeneration(b *testing.B) {
+	plat := DefaultPlatform()
+	g, err := taskgraph.Generate(taskgraph.GenParams{Seed: 73, NumTasks: 30}, plat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := &mapping.Space{Graph: g, Platform: plat, Catalogue: relmodel.DefaultCatalogue()}
+	ev := &schedule.Evaluator{Space: space, Env: relmodel.DefaultEnv()}
+	obj := func(m *mapping.Mapping) ([]float64, float64, any) {
+		res, err := ev.Evaluate(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return []float64{res.EnergyMJ, res.MakespanMs}, 0, res
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := &ga.Engine{Space: space, Eval: obj, Params: ga.Params{PopSize: 30, Generations: 1, Seed: int64(i)}}
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRuntimeSimulation(b *testing.B) {
+	lab := benchLab(b)
+	sys, err := lab.System(20, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := sys.Database()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := sys.RuntimeParams(db, 0.5, int64(i))
+		p.Cycles = 100_000
+		if _, err := runtime.Simulate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTaskGraphGeneration(b *testing.B) {
+	plat := DefaultPlatform()
+	for i := 0; i < b.N; i++ {
+		if _, err := taskgraph.Generate(taskgraph.GenParams{Seed: int64(i), NumTasks: 100}, plat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationStorageBudget sweeps the pruning budget of the
+// paper's storage-constraint concern: how much run-time quality a
+// smaller stored database costs.
+func BenchmarkAblationStorageBudget(b *testing.B) {
+	lab, prob, _, red := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		for _, budget := range []int{red.Len(), red.Len() / 2, red.Len() / 4, 4} {
+			db := red
+			if budget < red.Len() {
+				var err error
+				db, err = dse.Prune(red, budget, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			m, err := runtime.Simulate(runtime.Params{
+				DB: db, Space: prob.Space, PRC: 1,
+				Cycles: lab.Scale.SimCycles, Seed: 37,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.Logf("budget=%3d points: avgJ=%.2f avgDRC=%.4f violations=%d",
+					db.Len(), m.AvgEnergyMJ, m.AvgDRC, m.ViolationEvents)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationLifetimeObjective compares the plain DSE against
+// the MTTF-extended objective the paper sketches in Section 4.1.
+func BenchmarkAblationLifetimeObjective(b *testing.B) {
+	lab := benchLab(b)
+	app, err := lab.App(20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, lifetime := range []bool{false, true} {
+			prob := &dse.Problem{
+				Space: &mapping.Space{
+					Graph:     app,
+					Platform:  DefaultPlatform(),
+					Catalogue: relmodel.DefaultCatalogue(),
+				},
+				Env:      relmodel.DefaultEnv(),
+				SMaxMs:   app.PeriodMs,
+				FMin:     0.90,
+				Lifetime: lifetime,
+			}
+			db, err := dse.RunBase(prob, ga.Params{PopSize: 24, Generations: 10, Seed: 41})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bestMTTF, bestJ := 0.0, 0.0
+			for _, p := range db.Points {
+				if p.MTTFMs > bestMTTF {
+					bestMTTF = p.MTTFMs
+				}
+				if bestJ == 0 || p.EnergyMJ < bestJ {
+					bestJ = p.EnergyMJ
+				}
+			}
+			if i == 0 {
+				b.Logf("lifetime=%v: %d points, best MTTF %.3g ms, best J %.2f mJ",
+					lifetime, db.Len(), bestMTTF, bestJ)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationHeuristicSeeding compares random-only GA
+// initialisation against injecting the constructive heuristics.
+func BenchmarkAblationHeuristicSeeding(b *testing.B) {
+	lab := benchLab(b)
+	app, err := lab.App(20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, seeded := range []bool{false, true} {
+			sys, err := core.Build(app, core.Options{
+				Seed:           51,
+				StageOne:       ga.Params{PopSize: 24, Generations: 10},
+				SkipReD:        true,
+				HeuristicSeeds: seeded,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bestJ, bestS := 0.0, 0.0
+			for _, p := range sys.BaseD.Points {
+				if bestJ == 0 || p.EnergyMJ < bestJ {
+					bestJ = p.EnergyMJ
+				}
+				if bestS == 0 || p.MakespanMs < bestS {
+					bestS = p.MakespanMs
+				}
+			}
+			if i == 0 {
+				b.Logf("heuristic-seeds=%v: front=%d bestJ=%.2f bestS=%.2f",
+					seeded, sys.BaseD.Len(), bestJ, bestS)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationLifetimeUsage compares mission lifetime under a
+// frugal dynamic-CLR usage mix against pinning the most protected
+// configuration — the wear argument for lifetime-aware adaptation.
+func BenchmarkAblationLifetimeUsage(b *testing.B) {
+	lab, prob, _, red := benchSystem(b)
+	_ = lab
+	// Usage mixes: uniform over the stored points (dynamic) vs the
+	// single most reliable point (pinned worst case).
+	var pinned *dse.DesignPoint
+	for _, p := range red.Points {
+		if pinned == nil || p.Reliability > pinned.Reliability {
+			pinned = p
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		dyn, err := lifetime.Simulate(lifetime.UsageFromDatabasePoints(red.Mappings()),
+			lifetime.Params{Space: prob.Space, Samples: 1000, Seed: 61})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fix, err := lifetime.Simulate([]lifetime.Usage{{M: pinned.M, Weight: 1}},
+			lifetime.Params{Space: prob.Space, Samples: 1000, Seed: 61})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("dynamic mix: mission loss %.3g ms (%.1f failures survived)",
+				dyn.MeanMissionLossMs, dyn.FailuresSurvived)
+			b.Logf("pinned max-F: mission loss %.3g ms (%.1f failures survived)",
+				fix.MeanMissionLossMs, fix.FailuresSurvived)
+			b.ReportMetric(dyn.MeanMissionLossMs/fix.MeanMissionLossMs, "lifetime-ratio")
+		}
+	}
+}
+
+// BenchmarkAblationCrossover compares the recombination operators on
+// the stage-1 exploration at equal budget.
+func BenchmarkAblationCrossover(b *testing.B) {
+	lab := benchLab(b)
+	app, err := lab.App(20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := &mapping.Space{Graph: app, Platform: DefaultPlatform(), Catalogue: relmodel.DefaultCatalogue()}
+	ev := &schedule.Evaluator{Space: space, Env: relmodel.DefaultEnv()}
+	obj := func(m *mapping.Mapping) ([]float64, float64, any) {
+		res, err := ev.Evaluate(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return []float64{res.EnergyMJ, res.MakespanMs}, 0, res
+	}
+	ref := []float64{1e6, 1e6}
+	for i := 0; i < b.N; i++ {
+		for _, kind := range []ga.CrossoverKind{ga.CrossoverUniform, ga.CrossoverOnePoint, ga.CrossoverTwoPoint} {
+			e := &ga.Engine{Space: space, Eval: obj, Params: ga.Params{
+				PopSize: 24, Generations: 12, Seed: 71, Crossover: kind,
+			}}
+			pop, err := e.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var objs [][]float64
+			for _, ind := range pop.ParetoFront() {
+				objs = append(objs, ind.Objs)
+			}
+			if i == 0 {
+				b.Logf("%-9v front=%2d HV=%.4g", kind, len(objs), pareto.Hypervolume(objs, ref))
+			}
+		}
+	}
+}
+
+// BenchmarkAblationSurvival compares NSGA-II crowding truncation
+// against SMS-EMOA-style hyper-volume-contribution truncation — the
+// literal reading of the paper's Eq. (5).
+func BenchmarkAblationSurvival(b *testing.B) {
+	lab := benchLab(b)
+	app, err := lab.App(20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := &mapping.Space{Graph: app, Platform: DefaultPlatform(), Catalogue: relmodel.DefaultCatalogue()}
+	ev := &schedule.Evaluator{Space: space, Env: relmodel.DefaultEnv()}
+	obj := func(m *mapping.Mapping) ([]float64, float64, any) {
+		res, err := ev.Evaluate(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return []float64{res.EnergyMJ, res.MakespanMs}, 0, res
+	}
+	ref := []float64{1e6, 1e6}
+	for i := 0; i < b.N; i++ {
+		for _, survival := range []ga.SurvivalKind{ga.SurvivalCrowding, ga.SurvivalHypervolume} {
+			e := &ga.Engine{Space: space, Eval: obj, Params: ga.Params{
+				PopSize: 24, Generations: 12, Seed: 73, Survival: survival,
+			}}
+			pop, err := e.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var objs [][]float64
+			for _, ind := range pop.ParetoFront() {
+				objs = append(objs, ind.Objs)
+			}
+			if i == 0 {
+				b.Logf("%-11v front=%2d HV=%.6g", survival, len(objs), pareto.Hypervolume(objs, ref))
+			}
+		}
+	}
+}
+
+// BenchmarkAblationContention quantifies how much the paper's
+// additive communication-latency abstraction underestimates makespans
+// versus a shared-interconnect model, on the same stored points.
+func BenchmarkAblationContention(b *testing.B) {
+	_, prob, base, _ := benchSystem(b)
+	bus := &schedule.Evaluator{Space: prob.Space, Env: prob.Env, ContentionAware: true}
+	plain := &schedule.Evaluator{Space: prob.Space, Env: prob.Env}
+	for i := 0; i < b.N; i++ {
+		worst, sum := 0.0, 0.0
+		for _, pt := range base.Points {
+			rp, err := plain.Evaluate(pt.M)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rb, err := bus.Evaluate(pt.M)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gap := rb.MakespanMs/rp.MakespanMs - 1
+			sum += gap
+			if gap > worst {
+				worst = gap
+			}
+		}
+		if i == 0 {
+			b.Logf("contention vs additive makespan: mean +%.1f%%, worst +%.1f%% over %d points",
+				100*sum/float64(base.Len()), 100*worst, base.Len())
+			b.ReportMetric(100*sum/float64(base.Len()), "%mean-makespan-underestimate")
+		}
+	}
+}

@@ -1,0 +1,348 @@
+// Package clr is the public API of the library: a from-scratch Go
+// implementation of the hybrid agent-based design methodology for
+// dynamic cross-layer reliability (CLR) in heterogeneous MPSoC-based
+// embedded systems from Sahoo, Veeravalli and Kumar, DAC 2019.
+//
+// The methodology has two halves:
+//
+//   - Design time — a genetic-algorithm multi-objective exploration
+//     finds the Pareto set of CLR-integrated task mappings (per task:
+//     PE binding, implementation, per-layer reliability method,
+//     schedule priority) w.r.t. energy, makespan and functional
+//     reliability; a second, reconfiguration-cost-aware stage (ReD)
+//     adds non-dominant points that are cheap to reach from the stored
+//     set.
+//   - Run time — on each discrete QoS-requirement change, a manager
+//     picks the stored point maximising
+//     RET(p) = pRC*norm(R(p)) - (1-pRC)*norm(dRC(p)) over the feasible
+//     points (uRA), optionally replacing the instantaneous scores with
+//     reinforcement-learned state values initialised by offline
+//     Monte-Carlo simulation (AuRA).
+//
+// Quick start:
+//
+//	app := clr.JPEGEncoder(clr.DefaultPlatform())
+//	sys, err := clr.Build(app, clr.Options{Seed: 1})
+//	if err != nil { ... }
+//	params := sys.RuntimeParams(sys.Database(), 0.5, 42)
+//	metrics, err := clr.Simulate(params)
+//
+// All heavy lifting lives in the internal packages; this package
+// re-exports the stable surface. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the paper-reproduction results.
+package clr
+
+import (
+	"io"
+
+	"clrdse/internal/core"
+	"clrdse/internal/dse"
+	"clrdse/internal/experiments"
+	"clrdse/internal/faultsim"
+	"clrdse/internal/ga"
+	"clrdse/internal/lifetime"
+	"clrdse/internal/mapping"
+	"clrdse/internal/platform"
+	"clrdse/internal/relmodel"
+	"clrdse/internal/runtime"
+	"clrdse/internal/schedule"
+	"clrdse/internal/taskgraph"
+)
+
+// Architecture model (paper Section 3.1).
+type (
+	// Platform is the heterogeneous MPSoC model: PEs of several types
+	// plus partially reconfigurable regions.
+	Platform = platform.Platform
+	// PEType describes one class of processing element (speed, power,
+	// soft-error masking factor, aging profile).
+	PEType = platform.PEType
+	// PE is one processing element instance.
+	PE = platform.PE
+	// PRR is a partially reconfigurable region hosting accelerators.
+	PRR = platform.PRR
+)
+
+// Application model (paper Section 3.2).
+type (
+	// Graph is a periodic application task graph.
+	Graph = taskgraph.Graph
+	// Task is one task node with its implementation set.
+	Task = taskgraph.Task
+	// Edge is a data dependency with communication time.
+	Edge = taskgraph.Edge
+	// Impl is one implementation of a task for one PE type.
+	Impl = taskgraph.Impl
+	// GenParams parameterises the TGFF-style synthetic generator.
+	GenParams = taskgraph.GenParams
+	// TGFFOptions configures the TGFF file parser.
+	TGFFOptions = taskgraph.TGFFOptions
+)
+
+// Cross-layer reliability model (paper Section 3.3, Table 2).
+type (
+	// Catalogue is the per-layer set of reliability methods.
+	Catalogue = relmodel.Catalogue
+	// Method is one fault-mitigation technique.
+	Method = relmodel.Method
+	// RelConfig selects one method per layer for a task.
+	RelConfig = relmodel.Config
+	// Env is the fault-rate and aging environment.
+	Env = relmodel.Env
+	// TaskMetrics are the task-level Table 2 metrics.
+	TaskMetrics = relmodel.TaskMetrics
+)
+
+// Configurations and scheduling (paper Sections 3.4-3.5, Table 3).
+type (
+	// Mapping is one CLR-integrated task-mapping configuration X_i.
+	Mapping = mapping.Mapping
+	// Gene is the per-task slice of a Mapping.
+	Gene = mapping.Gene
+	// Space binds a graph, platform and catalogue into one problem.
+	Space = mapping.Space
+	// ReconfigCost decomposes the reconfiguration cost dRC.
+	ReconfigCost = mapping.ReconfigCost
+	// Action is one imperative reconfiguration step of a plan.
+	Action = mapping.Action
+	// ActionKind classifies reconfiguration steps.
+	ActionKind = mapping.ActionKind
+	// ScheduleResult carries the schedule and system-level metrics.
+	ScheduleResult = schedule.Result
+	// ScheduleEvaluator computes schedules for mappings.
+	ScheduleEvaluator = schedule.Evaluator
+)
+
+// Design-time exploration (paper Section 4.2).
+type (
+	// Problem is a design-time DSE instance.
+	Problem = dse.Problem
+	// DesignPoint is one stored configuration with metrics.
+	DesignPoint = dse.DesignPoint
+	// Database is an ordered set of stored design points.
+	Database = dse.Database
+	// ReDParams configures the reconfiguration-cost-aware stage.
+	ReDParams = dse.ReDParams
+	// GAParams configures the evolutionary engine (crossover 0.7,
+	// mutation 0.03, tournament 5 by default, as in the paper).
+	GAParams = ga.Params
+)
+
+// Run-time adaptation (paper Section 4.3).
+type (
+	// QoSSpec is one (S_SPEC, F_SPEC) requirement.
+	QoSSpec = runtime.QoSSpec
+	// QoSModel generates the QoS-variation process.
+	QoSModel = runtime.QoSModel
+	// RuntimeParams configures one run-time simulation.
+	RuntimeParams = runtime.Params
+	// RuntimeMetrics summarises a simulation run.
+	RuntimeMetrics = runtime.Metrics
+	// TraceEntry records one discrete event.
+	TraceEntry = runtime.TraceEntry
+	// Trigger selects when the manager re-optimises.
+	Trigger = runtime.Trigger
+	// Policy selects the candidate-scoring rule.
+	Policy = runtime.Policy
+	// Agent is the AuRA reinforcement-learning agent.
+	Agent = runtime.Agent
+	// Regime is one phase of a scripted operating scenario.
+	Regime = runtime.Regime
+	// Scenario is a timeline of operating regimes (the intro's
+	// satellite mission profile).
+	Scenario = runtime.Scenario
+	// Battery couples energy consumption to run-time policy.
+	Battery = runtime.Battery
+	// ScenarioParams configures a scripted simulation.
+	ScenarioParams = runtime.ScenarioParams
+	// ScenarioMetrics extends RuntimeMetrics with per-regime and
+	// battery accounting.
+	ScenarioMetrics = runtime.ScenarioMetrics
+	// Manager is the embeddable run-time controller.
+	Manager = runtime.Manager
+	// ManagerParams configures a Manager.
+	ManagerParams = runtime.ManagerParams
+	// Decision is a Manager's reaction to one QoS change, including
+	// the imperative reconfiguration plan.
+	Decision = runtime.Decision
+)
+
+// Trigger and selection policies.
+const (
+	// TriggerAlways re-optimises on every QoS event.
+	TriggerAlways = runtime.TriggerAlways
+	// TriggerOnViolation re-optimises only when the current
+	// configuration violates the new specification.
+	TriggerOnViolation = runtime.TriggerOnViolation
+	// PolicyRET is Algorithm 1's weighted uRA/AuRA score.
+	PolicyRET = runtime.PolicyRET
+	// PolicyHypervolume is the purely performance-oriented baseline.
+	PolicyHypervolume = runtime.PolicyHypervolume
+)
+
+// Hybrid methodology (paper Section 4, Figure 3).
+type (
+	// System is a built instance: problem + stored databases.
+	System = core.System
+	// Options configures the design-time stage.
+	Options = core.Options
+)
+
+// DefaultPlatform returns the paper's evaluation platform: 5 PEs of 3
+// types (differing in masking factor) plus 3 PRRs.
+func DefaultPlatform() *Platform { return platform.Default() }
+
+// LargePlatform returns a 10-processor/5-PRR variant of the default
+// platform for headroom studies.
+func LargePlatform() *Platform { return platform.Large() }
+
+// ReadSpecsCSV loads a QoS-specification sequence for
+// RuntimeParams.Replay (accepts WriteTraceCSV output directly).
+func ReadSpecsCSV(r io.Reader) ([]QoSSpec, error) { return runtime.ReadSpecsCSV(r) }
+
+// RemovePE models a permanent PE fault by returning a reduced copy of
+// the platform.
+func RemovePE(p *Platform, peID int) (*Platform, error) { return platform.RemovePE(p, peID) }
+
+// DefaultCatalogue returns the fine-grained CLR method space (CLR2).
+func DefaultCatalogue() *Catalogue { return relmodel.DefaultCatalogue() }
+
+// CoarseCatalogue returns the reduced CLR space (CLR1).
+func CoarseCatalogue() *Catalogue { return relmodel.CoarseCatalogue() }
+
+// HWOnlyCatalogue returns the single-layer hardware-only baseline.
+func HWOnlyCatalogue() *Catalogue { return relmodel.HWOnlyCatalogue() }
+
+// ExtendedCatalogue returns a broader method space than the paper's
+// (180 per-task configurations) for granularity studies.
+func ExtendedCatalogue() *Catalogue { return relmodel.ExtendedCatalogue() }
+
+// DefaultEnv returns the evaluation fault/aging environment.
+func DefaultEnv() Env { return relmodel.DefaultEnv() }
+
+// Generate builds a TGFF-style synthetic application for the platform.
+func Generate(p GenParams, plat *Platform) (*Graph, error) { return taskgraph.Generate(p, plat) }
+
+// JPEGEncoder returns the 11-task/13-edge JPEG encoder of Figure 2b.
+func JPEGEncoder(plat *Platform) *Graph { return taskgraph.JPEGEncoder(plat) }
+
+// Build runs the full design-time flow (stage-1 MOEA + ReD) and
+// returns the deployable System.
+func Build(app *Graph, opts Options) (*System, error) { return core.Build(app, opts) }
+
+// RunBase executes only the stage-1 system-level MOEA.
+func RunBase(p *Problem, params GAParams) (*Database, error) { return dse.RunBase(p, params) }
+
+// RunReD executes the reconfiguration-cost-aware stage on top of an
+// existing database.
+func RunReD(p *Problem, base *Database, rp ReDParams) (*Database, error) {
+	return dse.RunReD(p, base, rp)
+}
+
+// Prune shrinks a database to a storage budget, keeping the QoS
+// envelope and the highest hyper-volume-contribution points — the
+// storage-constraint mitigation the paper's conclusion calls for.
+func Prune(db *Database, maxPoints int, csp bool) (*Database, error) {
+	return dse.Prune(db, maxPoints, csp)
+}
+
+// ReadDatabase loads a deployed design-point database from JSON and
+// validates it against the space. Databases are written with
+// (*Database).WriteFile.
+func ReadDatabase(path string, space *Space) (*Database, error) {
+	return dse.ReadDatabase(path, space)
+}
+
+// Simulate runs the discrete-event run-time adaptation simulation.
+func Simulate(p RuntimeParams) (*RuntimeMetrics, error) { return runtime.Simulate(p) }
+
+// SimulateScenario runs a scripted mission profile (regimes, optional
+// battery coupling) through the run-time manager.
+func SimulateScenario(p ScenarioParams) (*ScenarioMetrics, error) {
+	return runtime.SimulateScenario(p)
+}
+
+// NewManager boots the embeddable run-time controller into the best
+// feasible stored point for the initial specification.
+func NewManager(p ManagerParams, initial QoSSpec) (*Manager, error) {
+	return runtime.NewManager(p, initial)
+}
+
+// ParseTGFF reads an application from a file in the format of the TGFF
+// tool the paper generated its workloads with.
+func ParseTGFF(r io.Reader, plat *Platform, opts TGFFOptions) (*Graph, error) {
+	return taskgraph.ParseTGFF(r, plat, opts)
+}
+
+// NewAgent returns a raw AuRA agent with uniform (zero) value
+// functions for n design points.
+func NewAgent(n int, gamma float64) *Agent { return runtime.NewAgent(n, gamma) }
+
+// NewAgentForDB returns an AuRA agent whose value functions start from
+// the stay-put prior for the database's points.
+func NewAgentForDB(db *Database, gamma float64, eventsPerEpisode int) *Agent {
+	return runtime.NewAgentForDB(db, gamma, eventsPerEpisode)
+}
+
+// ReadAgent loads a persisted agent (see (*Agent).WriteFile) for a
+// database of n design points.
+func ReadAgent(path string, n int) (*Agent, error) { return runtime.ReadAgent(path, n) }
+
+// ModelFromDatabase derives a QoS-variation model spanned by the
+// database's design points.
+func ModelFromDatabase(db *Database) QoSModel { return runtime.ModelFromDatabase(db) }
+
+// Lifetime / aging (the paper's sketched MTTF extension).
+type (
+	// LifetimeUsage is one configuration's share of mission time.
+	LifetimeUsage = lifetime.Usage
+	// LifetimeParams configures a mission-lifetime Monte-Carlo.
+	LifetimeParams = lifetime.Params
+	// LifetimeResult reports first-failure and mission-loss horizons.
+	LifetimeResult = lifetime.Result
+)
+
+// Wear computes the per-PE stress-adjusted Weibull scale under a usage
+// profile.
+func Wear(usage []LifetimeUsage, space *Space, env Env) ([]float64, error) {
+	return lifetime.Wear(usage, space, env)
+}
+
+// SimulateLifetime samples permanent PE failures from stress-adjusted
+// Weibull aging and reports how long the mission survives.
+func SimulateLifetime(usage []LifetimeUsage, p LifetimeParams) (*LifetimeResult, error) {
+	return lifetime.Simulate(usage, p)
+}
+
+// Fault injection (model validation).
+type (
+	// FaultParams configures a fault-injection campaign.
+	FaultParams = faultsim.Params
+	// FaultResult reports empirical vs analytical behaviour.
+	FaultResult = faultsim.Result
+)
+
+// InjectFaults executes a mapped application under sampled upsets and
+// compares the empirical error rates, times and energies against the
+// analytical Table 2/3 models.
+func InjectFaults(m *Mapping, p FaultParams) (*FaultResult, error) {
+	return faultsim.Run(m, p)
+}
+
+// Experiment access: Lab caches design-time builds and regenerates the
+// paper's tables and figures.
+type (
+	// Lab is the experiment harness.
+	Lab = experiments.Lab
+	// Scale selects experiment fidelity.
+	Scale = experiments.Scale
+)
+
+// NewLab returns an experiment harness at the given scale.
+func NewLab(s Scale) *Lab { return experiments.NewLab(s) }
+
+// QuickScale returns the reduced experiment setup (tests/benchmarks).
+func QuickScale() Scale { return experiments.QuickScale() }
+
+// FullScale approximates the paper's experimental setup.
+func FullScale() Scale { return experiments.FullScale() }

@@ -1,0 +1,215 @@
+package clr
+
+import (
+	"strings"
+	"testing"
+)
+
+// The facade test exercises the full public flow end to end: build an
+// application, run the hybrid design-time exploration, then simulate
+// run-time adaptation with and without an agent.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	app := JPEGEncoder(DefaultPlatform())
+	sys, err := Build(app, Options{
+		Seed:     7,
+		StageOne: GAParams{PopSize: 24, Generations: 10},
+		ReD:      ReDParams{GA: GAParams{PopSize: 16, Generations: 6}, MaxExtraPerSeed: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sys.Database()
+	if db.Len() == 0 {
+		t.Fatal("empty database")
+	}
+
+	p := sys.RuntimeParams(db, 0.5, 11)
+	p.Cycles = 20_000
+	m, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Events == 0 || m.AvgEnergyMJ <= 0 {
+		t.Fatalf("degenerate metrics: %+v", m)
+	}
+
+	ag, err := sys.PretrainedAgent(db, 0.8, 0.5, 10_000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Agent = ag
+	if _, err := Simulate(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicGenerators(t *testing.T) {
+	plat := DefaultPlatform()
+	g, err := Generate(GenParams{Seed: 3, NumTasks: 15}, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 15 {
+		t.Errorf("tasks = %d", g.NumTasks())
+	}
+	if JPEGEncoder(plat).NumTasks() != 11 {
+		t.Error("JPEG graph should have 11 tasks")
+	}
+	reduced, err := RemovePE(plat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reduced.NumPEs() != plat.NumPEs()-1 {
+		t.Error("RemovePE wrong size")
+	}
+}
+
+func TestPublicCatalogues(t *testing.T) {
+	if DefaultCatalogue().NumConfigs() <= CoarseCatalogue().NumConfigs() {
+		t.Error("CLR2 should be finer than CLR1")
+	}
+	if HWOnlyCatalogue().NumConfigs() >= CoarseCatalogue().NumConfigs() {
+		t.Error("HW-only should be the smallest space")
+	}
+	if DefaultEnv().LambdaSEUPerMs <= 0 {
+		t.Error("default env has no fault rate")
+	}
+}
+
+func TestPublicLab(t *testing.T) {
+	if QuickScale().Name != "quick" || FullScale().Name != "full" {
+		t.Error("scale names changed")
+	}
+	s := QuickScale()
+	s.TaskSizes = []int{10}
+	lab := NewLab(s)
+	tbl, err := lab.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 {
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestPublicScenarioAndFaultInjection(t *testing.T) {
+	app := JPEGEncoder(DefaultPlatform())
+	sys, err := Build(app, Options{
+		Seed:           21,
+		HeuristicSeeds: true,
+		StageOne:       GAParams{PopSize: 20, Generations: 8},
+		SkipReD:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sys.Database()
+	q := ModelFromDatabase(db)
+	sc := Scenario{
+		Repeat: true,
+		Regimes: []Regime{
+			{Name: "a", DurationCycles: 2000, QoS: q, HarvestMJPerCycle: 1000},
+			{Name: "b", DurationCycles: 2000, QoS: q},
+		},
+	}
+	p := ScenarioParams{Params: sys.RuntimeParams(db, 0.5, 22), Scenario: sc}
+	p.Cycles = 20_000
+	m, err := SimulateScenario(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Events == 0 || len(m.PerRegime) != 2 {
+		t.Fatalf("scenario metrics degenerate: %+v", m.Metrics)
+	}
+
+	fr, err := InjectFaults(db.Points[0].M, FaultParams{
+		Space: sys.Problem.Space, Runs: 2000, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Runs != 2000 || len(fr.Tasks) != app.NumTasks() {
+		t.Fatalf("fault result degenerate: %d runs, %d tasks", fr.Runs, len(fr.Tasks))
+	}
+}
+
+func TestPublicTGFFAndExtendedCatalogue(t *testing.T) {
+	src := "@TASK_GRAPH 0 {\nTASK a TYPE 0\nTASK b TYPE 1\nARC x FROM a TO b TYPE 0\n}\n"
+	g, err := ParseTGFF(strings.NewReader(src), DefaultPlatform(), TGFFOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 2 {
+		t.Errorf("tgff tasks = %d", g.NumTasks())
+	}
+	if ExtendedCatalogue().NumConfigs() <= DefaultCatalogue().NumConfigs() {
+		t.Error("extended catalogue should be larger than default")
+	}
+}
+
+func TestPublicLifetimeAndPlatforms(t *testing.T) {
+	plat := LargePlatform()
+	if plat.NumPEs() <= DefaultPlatform().NumPEs() {
+		t.Error("large platform should have more PEs")
+	}
+	app, err := Generate(GenParams{Seed: 31, NumTasks: 15}, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := &Space{Graph: app, Platform: plat, Catalogue: DefaultCatalogue()}
+	usage := []LifetimeUsage{{M: space.HeuristicMinEnergy(DefaultEnv()), Weight: 1}}
+	etas, err := Wear(usage, space, DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(etas) != plat.NumPEs() {
+		t.Errorf("etas = %d", len(etas))
+	}
+	res, err := SimulateLifetime(usage, LifetimeParams{Space: space, Samples: 200, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanMissionLossMs <= 0 {
+		t.Error("no lifetime estimate")
+	}
+}
+
+func TestPublicDSEStagesAndReplay(t *testing.T) {
+	app, err := Generate(GenParams{Seed: 33, NumTasks: 12}, DefaultPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := &Problem{
+		Space:  &Space{Graph: app, Platform: DefaultPlatform(), Catalogue: DefaultCatalogue()},
+		Env:    DefaultEnv(),
+		SMaxMs: app.PeriodMs,
+		FMin:   0.9,
+	}
+	base, err := RunBase(prob, GAParams{PopSize: 16, Generations: 6, Seed: 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := RunReD(prob, base, ReDParams{GA: GAParams{PopSize: 12, Generations: 4, Seed: 35}, MaxExtraPerSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Len() < base.Len() {
+		t.Error("ReD lost points")
+	}
+	pruned, err := Prune(red, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Len() > 5 {
+		t.Error("prune ignored budget")
+	}
+
+	specs, err := ReadSpecsCSV(strings.NewReader("100,0.9\n120,0.92\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := RuntimeParams{DB: pruned, Space: prob.Space, PRC: 1, Cycles: 5000, Seed: 36, Replay: specs}
+	if _, err := Simulate(p); err != nil {
+		t.Fatal(err)
+	}
+}

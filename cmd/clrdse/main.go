@@ -1,0 +1,208 @@
+// Command clrdse runs the full hybrid methodology on one application:
+// design-time exploration (system-level MOEA + reconfiguration-cost-
+// aware ReD stage), followed by a run-time Monte-Carlo simulation of
+// QoS-driven adaptation with uRA or AuRA.
+//
+// Usage:
+//
+//	clrdse -tasks 40 -prc 0.5 -cycles 1000000
+//	clrdse -jpeg -prc 0 -agent -gamma 0.9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clrdse/internal/core"
+	"clrdse/internal/dse"
+	"clrdse/internal/ga"
+	"clrdse/internal/platform"
+	"clrdse/internal/runtime"
+	"clrdse/internal/schedule"
+	"clrdse/internal/taskgraph"
+)
+
+func main() {
+	var (
+		tasks    = flag.Int("tasks", 40, "synthetic application size")
+		jpeg     = flag.Bool("jpeg", false, "use the JPEG encoder of Figure 2b")
+		tgffPath = flag.String("tgff", "", "load the application from a TGFF file instead of generating one")
+		seed     = flag.Int64("seed", 1, "root seed")
+		pop      = flag.Int("pop", 80, "stage-1 GA population")
+		gens     = flag.Int("gens", 60, "stage-1 GA generations")
+		skipReD  = flag.Bool("no-red", false, "skip the reconfiguration-cost-aware stage")
+		prc      = flag.Float64("prc", 0.5, "user modulation parameter pRC in [0,1]")
+		cycles   = flag.Float64("cycles", 1_000_000, "simulated application execution cycles")
+		trigger  = flag.String("trigger", "always", "adaptation trigger: always | on-violation")
+		agent    = flag.Bool("agent", false, "use the AuRA reinforcement-learning agent")
+		gamma    = flag.Float64("gamma", 0.9, "AuRA discount factor")
+		pretrain = flag.Float64("pretrain", 200_000, "AuRA offline Monte-Carlo cycles (prior knowledge)")
+		saveAg   = flag.String("save-agent", "", "persist the (pre)trained agent's value functions to this JSON path")
+		loadAg   = flag.String("load-agent", "", "load a previously persisted agent instead of pretraining")
+		saveDB   = flag.String("save-db", "", "write the design-point database as JSON to this path")
+		dbCSV    = flag.String("db-csv", "", "write the design-point database as CSV to this path")
+		traceCSV = flag.String("trace-csv", "", "write the run-time event trace as CSV to this path")
+		maxPts   = flag.Int("max-points", 0, "prune the database to this storage budget before deployment (0 = keep all)")
+		gantt    = flag.String("gantt", "", "write the first stored point's schedule as an SVG Gantt chart to this path")
+	)
+	flag.Parse()
+
+	plat := platform.Default()
+	var app *taskgraph.Graph
+	switch {
+	case *tgffPath != "":
+		f, err := os.Open(*tgffPath)
+		if err != nil {
+			fatal(err)
+		}
+		app, err = taskgraph.ParseTGFF(f, plat, taskgraph.TGFFOptions{Seed: *seed})
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	case *jpeg:
+		app = taskgraph.JPEGEncoder(plat)
+	default:
+		var err error
+		app, err = taskgraph.Generate(taskgraph.GenParams{Seed: *seed, NumTasks: *tasks}, plat)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("application %s: %d tasks, %d edges, period %.1f ms\n",
+		app.Name, len(app.Tasks), len(app.Edges), app.PeriodMs)
+
+	fmt.Println("design-time exploration ...")
+	sys, err := core.Build(app, core.Options{
+		Seed:     *seed,
+		StageOne: ga.Params{PopSize: *pop, Generations: *gens},
+		ReD: dse.ReDParams{
+			GA: ga.Params{PopSize: *pop / 2, Generations: *gens / 2},
+		},
+		SkipReD: *skipReD,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("BaseD: %d Pareto design points\n", sys.BaseD.Len())
+	if sys.ReD != nil {
+		fmt.Printf("ReD:   %d points (%d additional non-dominant)\n",
+			sys.ReD.Len(), len(sys.ReD.ReDPoints()))
+	}
+	db := sys.Database()
+	if *maxPts > 0 && db.Len() > *maxPts {
+		pruned, err := dse.Prune(db, *maxPts, false)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pruned database %d -> %d points (storage budget)\n", db.Len(), pruned.Len())
+		db = pruned
+	}
+	if *saveDB != "" {
+		if err := db.WriteFile(*saveDB); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *saveDB)
+	}
+	if *dbCSV != "" {
+		f, err := os.Create(*dbCSV)
+		if err != nil {
+			fatal(err)
+		}
+		if err := db.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Println("wrote", *dbCSV)
+	}
+	fmt.Printf("%-4s %12s %12s %12s %s\n", "id", "makespan/ms", "energy/mJ", "reliability", "origin")
+	for _, p := range db.Points {
+		origin := "pareto"
+		if p.FromReD {
+			origin = "red"
+		}
+		fmt.Printf("%-4d %12.2f %12.2f %12.4f %s\n", p.ID, p.MakespanMs, p.EnergyMJ, p.Reliability, origin)
+	}
+
+	if *gantt != "" {
+		ev := &schedule.Evaluator{Space: sys.Problem.Space, Env: sys.Problem.Env}
+		res, err := ev.Evaluate(db.Points[0].M)
+		if err != nil {
+			fatal(err)
+		}
+		svg := res.Gantt(fmt.Sprintf("%s — design point 0", app.Name), func(task int) string {
+			return app.Tasks[task].Name
+		})
+		if err := os.WriteFile(*gantt, []byte(svg), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *gantt)
+	}
+
+	params := sys.RuntimeParams(db, *prc, *seed+1)
+	params.Cycles = *cycles
+	if *traceCSV != "" {
+		params.TraceLen = 1 << 20
+	}
+	switch *trigger {
+	case "always":
+		params.Trigger = runtime.TriggerAlways
+	case "on-violation":
+		params.Trigger = runtime.TriggerOnViolation
+	default:
+		fatal(fmt.Errorf("unknown trigger %q", *trigger))
+	}
+	if *agent || *loadAg != "" {
+		var ag *runtime.Agent
+		if *loadAg != "" {
+			var err error
+			if ag, err = runtime.ReadAgent(*loadAg, db.Len()); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("loaded agent from %s (%d episodes of prior knowledge)\n", *loadAg, ag.Episodes)
+		} else {
+			fmt.Printf("pretraining AuRA agent (gamma=%.2f, %.0f cycles) ...\n", *gamma, *pretrain)
+			var err error
+			if ag, err = sys.PretrainedAgent(db, *gamma, *prc, *pretrain, *seed+2); err != nil {
+				fatal(err)
+			}
+		}
+		if *saveAg != "" {
+			if err := ag.WriteFile(*saveAg); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", *saveAg)
+		}
+		params.Agent = ag
+	}
+
+	fmt.Printf("run-time simulation: %.0f cycles, pRC=%.2f, trigger=%s, agent=%v ...\n",
+		*cycles, *prc, *trigger, *agent)
+	m, err := runtime.Simulate(params)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("events:            %d\n", m.Events)
+	fmt.Printf("reconfigurations:  %d\n", m.Reconfigs)
+	fmt.Printf("avg reconfig cost: %.4f ms/event (max %.3f ms)\n", m.AvgDRC, m.MaxDRC)
+	fmt.Printf("task migrations:   %d\n", m.TotalMigrations)
+	fmt.Printf("avg energy:        %.2f mJ/cycle\n", m.AvgEnergyMJ)
+	fmt.Printf("unsatisfiable QoS: %d events\n", m.ViolationEvents)
+	if *traceCSV != "" {
+		f, err := os.Create(*traceCSV)
+		if err != nil {
+			fatal(err)
+		}
+		if err := m.WriteTraceCSV(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Println("wrote", *traceCSV)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clrdse:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,166 @@
+// Command experiments regenerates the tables and figures of the
+// paper's evaluation section.
+//
+// Usage:
+//
+//	experiments -run all -scale quick
+//	experiments -run table6 -scale full
+//	experiments -run fig1,fig6 -out results/
+//
+// At -scale full the sweep covers applications of 10-100 tasks with
+// one-million-cycle Monte-Carlo runs (several minutes); -scale quick
+// is a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"clrdse/internal/experiments"
+	"clrdse/internal/report"
+)
+
+type renderer interface{ Render() string }
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "comma-separated list: fig1,table4,fig5,fig6,table5,fig7,table6,table7,validate,scalability,sensitivity,storage,convergence or 'all'")
+		scale = flag.String("scale", "quick", "experiment scale: quick | full")
+		out   = flag.String("out", "", "directory to write one .txt per experiment (default: stdout)")
+		svg   = flag.Bool("svg", false, "additionally write .svg charts for the figures (requires -out)")
+		doRep = flag.Bool("report", false, "additionally write a consolidated REPORT.md (requires -out)")
+		seed  = flag.Int64("seed", 0, "override the scale's root seed (0 = keep default) for replication studies")
+	)
+	flag.Parse()
+	if *svg && *out == "" {
+		fatal(fmt.Errorf("-svg requires -out"))
+	}
+	if *doRep && *out == "" {
+		fatal(fmt.Errorf("-report requires -out"))
+	}
+
+	var s experiments.Scale
+	switch *scale {
+	case "quick":
+		s = experiments.QuickScale()
+	case "full":
+		s = experiments.FullScale()
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scale))
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+	lab := experiments.NewLab(s)
+
+	all := []string{"fig1", "table4", "fig5", "fig6", "table5", "fig7", "table6", "table7", "validate", "scalability", "sensitivity", "storage", "convergence"}
+	want := map[string]bool{}
+	if *run == "all" {
+		for _, id := range all {
+			want[id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	runners := map[string]func() (renderer, error){
+		"fig1":        func() (renderer, error) { return lab.Fig1() },
+		"table4":      func() (renderer, error) { return lab.Table4() },
+		"fig5":        func() (renderer, error) { return lab.Fig5() },
+		"fig6":        func() (renderer, error) { return lab.Fig6() },
+		"table5":      func() (renderer, error) { return lab.Table5() },
+		"fig7":        func() (renderer, error) { return lab.Fig7() },
+		"table6":      func() (renderer, error) { return lab.Table6() },
+		"table7":      func() (renderer, error) { return lab.Table7() },
+		"validate":    func() (renderer, error) { return lab.Validate() },
+		"scalability": func() (renderer, error) { return lab.Scalability() },
+		"sensitivity": func() (renderer, error) { return lab.Sensitivity() },
+		"storage":     func() (renderer, error) { return lab.Storage() },
+		"convergence": func() (renderer, error) { return lab.Convergence() },
+	}
+	for id := range want {
+		if _, ok := runners[id]; !ok {
+			fatal(fmt.Errorf("unknown experiment %q (have %s)", id, strings.Join(all, ", ")))
+		}
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	var sections []report.Section
+	for _, id := range all {
+		if !want[id] {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s (%s scale) ...\n", id, s.Name)
+		r, err := runners[id]()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		text := r.Render()
+		if *out == "" {
+			fmt.Println(text)
+			continue
+		}
+		path := filepath.Join(*out, id+".txt")
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		sec := report.Section{ID: id, Title: report.Titles[id], Body: text}
+		if *svg {
+			for name, chart := range charts(id, r) {
+				p := filepath.Join(*out, name+".svg")
+				if err := os.WriteFile(p, []byte(chart), 0o644); err != nil {
+					fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", p)
+				sec.SVGs = append(sec.SVGs, name+".svg")
+			}
+		}
+		sections = append(sections, sec)
+	}
+	if *doRep && len(sections) > 0 {
+		md := report.Markdown("Dynamic Cross-Layer Reliability — Reproduction Report", s.Name, sections)
+		path := filepath.Join(*out, "REPORT.md")
+		if err := os.WriteFile(path, []byte(md), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+}
+
+// charts returns the SVG renderings a result offers, keyed by file
+// stem. Tables have none.
+func charts(id string, r renderer) map[string]string {
+	out := map[string]string{}
+	switch v := r.(type) {
+	case *experiments.Fig1Result:
+		fronts, bars := v.Charts()
+		out[id] = fronts.SVG()
+		out[id+"-javg"] = bars.SVG()
+	case *experiments.Fig5Result:
+		out[id] = v.Chart().SVG()
+	case *experiments.Fig6Result:
+		out[id] = v.Chart().SVG()
+	case *experiments.Fig7Result:
+		energy, drc := v.Charts()
+		out[id+"-energy"] = energy.SVG()
+		out[id+"-drc"] = drc.SVG()
+	case *experiments.ConvergenceResult:
+		out[id] = v.Chart().SVG()
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Command tgffgen generates TGFF-style synthetic applications for the
+// default HMPSoC platform and writes them as JSON and/or Graphviz DOT.
+//
+// Usage:
+//
+//	tgffgen -n 40 -seed 7 -json app.json -dot app.dot
+//	tgffgen -jpeg -dot jpeg.dot        # the Figure 2b JPEG encoder
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clrdse/internal/platform"
+	"clrdse/internal/taskgraph"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 20, "number of tasks")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		jpeg     = flag.Bool("jpeg", false, "emit the JPEG encoder of Figure 2b instead of a synthetic graph")
+		jsonPath = flag.String("json", "", "write the graph as JSON to this path")
+		dotPath  = flag.String("dot", "", "write the graph as Graphviz DOT to this path")
+		inPath   = flag.String("in", "", "parse a TGFF file instead of generating")
+		stats    = flag.Bool("stats", false, "print structural statistics")
+	)
+	flag.Parse()
+
+	plat := platform.Default()
+	var g *taskgraph.Graph
+	switch {
+	case *inPath != "":
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		g, err = taskgraph.ParseTGFF(f, plat, taskgraph.TGFFOptions{Seed: *seed})
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	case *jpeg:
+		g = taskgraph.JPEGEncoder(plat)
+	default:
+		var err error
+		g, err = taskgraph.Generate(taskgraph.GenParams{Seed: *seed, NumTasks: *n}, plat)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("%s: %d tasks, %d edges, period %.1f ms\n", g.Name, len(g.Tasks), len(g.Edges), g.PeriodMs)
+	if *stats {
+		st := g.Stats()
+		fmt.Printf("depth %d, width %d, avg in-degree %.2f\n", st.Depth, st.Width, st.AvgDegree)
+		fmt.Printf("%d implementations (%d accelerator), serial estimate %.1f ms\n",
+			st.Impls, st.AccelImpls, st.SerialMs)
+	}
+	if *jsonPath != "" {
+		if err := g.WriteFile(*jsonPath); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *jsonPath)
+	}
+	if *dotPath != "" {
+		if err := os.WriteFile(*dotPath, []byte(g.DOT()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *dotPath)
+	}
+	if *jsonPath == "" && *dotPath == "" {
+		fmt.Print(g.DOT())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tgffgen:", err)
+	os.Exit(1)
+}

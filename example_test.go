@@ -1,0 +1,135 @@
+package clr_test
+
+import (
+	"fmt"
+
+	clr "clrdse"
+)
+
+// The canonical flow: design-time exploration followed by run-time
+// adaptation on the JPEG encoder of the paper's Figure 2b.
+func Example() {
+	app := clr.JPEGEncoder(clr.DefaultPlatform())
+	sys, err := clr.Build(app, clr.Options{
+		Seed:     1,
+		StageOne: clr.GAParams{PopSize: 24, Generations: 10},
+		SkipReD:  true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	p := sys.RuntimeParams(sys.Database(), 0.5, 42)
+	p.Cycles = 10_000
+	m, err := clr.Simulate(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("stored points  >", sys.Database().Len() > 0)
+	fmt.Println("events         >", m.Events > 0)
+	fmt.Println("energy positive>", m.AvgEnergyMJ > 0)
+	// Output:
+	// stored points  > true
+	// events         > true
+	// energy positive> true
+}
+
+// Generating a synthetic application the way the paper's evaluation
+// does (TGFF-style, 10-100 tasks).
+func ExampleGenerate() {
+	app, err := clr.Generate(clr.GenParams{Seed: 7, NumTasks: 25}, clr.DefaultPlatform())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(app.NumTasks(), "tasks, DAG valid:", app.Validate() == nil)
+	// Output: 25 tasks, DAG valid: true
+}
+
+// The three reliability spaces of the paper's Figure 1.
+func ExampleDefaultCatalogue() {
+	fmt.Println("HW-Only:", clr.HWOnlyCatalogue().NumConfigs(), "configs per task")
+	fmt.Println("CLR1:   ", clr.CoarseCatalogue().NumConfigs(), "configs per task")
+	fmt.Println("CLR2:   ", clr.DefaultCatalogue().NumConfigs(), "configs per task")
+	// Output:
+	// HW-Only: 3 configs per task
+	// CLR1:    8 configs per task
+	// CLR2:    48 configs per task
+}
+
+// Pricing a reconfiguration between two stored configurations
+// (Section 3.5's dRC): re-ordering and CLR changes are free, moving
+// binaries and bitstreams is not.
+func ExampleSpace_DRC() {
+	plat := clr.DefaultPlatform()
+	app := clr.JPEGEncoder(plat)
+	space := &clr.Space{Graph: app, Platform: plat, Catalogue: clr.DefaultCatalogue()}
+	a := space.HeuristicMinEnergy(clr.DefaultEnv())
+	b := a.Clone()
+	for i := range b.Genes {
+		b.Genes[i].Prio++ // re-ordering only
+	}
+	fmt.Println("reorder-only dRC:", space.DRC(a, b).Total())
+	// Output: reorder-only dRC: 0
+}
+
+// Embedding the run-time manager in a control loop: every QoS change
+// yields a decision with a concrete reconfiguration plan.
+func ExampleNewManager() {
+	app := clr.JPEGEncoder(clr.DefaultPlatform())
+	sys, err := clr.Build(app, clr.Options{
+		Seed:     2,
+		StageOne: clr.GAParams{PopSize: 20, Generations: 8},
+		SkipReD:  true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	db := sys.Database()
+	q := clr.ModelFromDatabase(db)
+	mgr, err := clr.NewManager(clr.ManagerParams{
+		DB:      db,
+		Space:   sys.Problem.Space,
+		PRC:     0.5,
+		Trigger: clr.TriggerOnViolation,
+	}, clr.QoSSpec{SMaxMs: q.HiS, FMin: q.LoF})
+	if err != nil {
+		panic(err)
+	}
+	d := mgr.OnQoSChange(clr.QoSSpec{SMaxMs: q.HiS, FMin: q.LoF})
+	fmt.Println("stayed put on an unchanged loose spec:", !d.Reconfigured)
+	// Output: stayed put on an unchanged loose spec: true
+}
+
+// Scripting a mission profile with regimes and a battery.
+func ExampleSimulateScenario() {
+	app := clr.JPEGEncoder(clr.DefaultPlatform())
+	sys, err := clr.Build(app, clr.Options{
+		Seed:     3,
+		StageOne: clr.GAParams{PopSize: 20, Generations: 8},
+		SkipReD:  true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	db := sys.Database()
+	q := clr.ModelFromDatabase(db)
+	p := clr.ScenarioParams{
+		Params: sys.RuntimeParams(db, 0.5, 4),
+		Scenario: clr.Scenario{
+			Repeat: true,
+			Regimes: []clr.Regime{
+				{Name: "day", DurationCycles: 3000, QoS: q, HarvestMJPerCycle: 500},
+				{Name: "night", DurationCycles: 3000, QoS: q},
+			},
+		},
+	}
+	p.Cycles = 12_000
+	m, err := clr.SimulateScenario(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("regimes tracked:", len(m.PerRegime))
+	fmt.Println("events simulated:", m.Events > 0)
+	// Output:
+	// regimes tracked: 2
+	// events simulated: true
+}

@@ -1,0 +1,101 @@
+// Fault tolerance: the paper's internal-change scenario. A permanent
+// fault takes a processing element out of service, and a harsher
+// radiation environment quadruples the SEU rate; each is handled as a
+// separate instance of the methodology — the design-time exploration
+// re-runs on the reduced platform / new environment and produces a
+// fresh database for the run-time manager.
+//
+// The example shows: (1) the healthy system, (2) the system after
+// losing its fastest core, (3) the system under 4x lambda_SEU, and the
+// graceful degradation of the achievable QoS envelope across them,
+// plus AuRA-based adaptation on the degraded system.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	clr "clrdse"
+)
+
+func describe(name string, sys *clr.System) {
+	db := sys.Database()
+	minJ, maxF, minS := math.Inf(1), 0.0, math.Inf(1)
+	for _, p := range db.Points {
+		minJ = math.Min(minJ, p.EnergyMJ)
+		maxF = math.Max(maxF, p.Reliability)
+		minS = math.Min(minS, p.MakespanMs)
+	}
+	fmt.Printf("%-22s %3d points | best J %8.2f mJ | best F %.4f | best S %7.2f ms\n",
+		name, db.Len(), minJ, maxF, minS)
+}
+
+func main() {
+	plat := clr.DefaultPlatform()
+	app, err := clr.Generate(clr.GenParams{Seed: 5, NumTasks: 25}, plat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := clr.Options{
+		Seed:     3,
+		StageOne: clr.GAParams{PopSize: 40, Generations: 25},
+	}
+
+	healthy, err := clr.Build(app, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	describe("healthy", healthy)
+
+	// Permanent fault: PE 0 is the only fast out-of-order core. If any
+	// task's sole implementation targets that core type, the rebuild
+	// is rejected with a clear infeasibility error instead of
+	// producing a broken database; with this application every task
+	// has an alternative, so the rebuild succeeds at reduced capacity.
+	if lost, err := healthy.RebuildWithoutPE(0); err != nil {
+		fmt.Printf("%-22s rebuild rejected: %v\n", "PE0 failed", err)
+	} else {
+		describe("PE0 failed", lost)
+	}
+
+	// PE 2 is one of two identical mid cores, so its loss degrades
+	// capacity but always keeps every task runnable; the methodology
+	// re-runs as a new instance on the reduced platform.
+	degraded, err := healthy.RebuildWithoutPE(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	describe("PE2 failed", degraded)
+
+	// External change: the SEU rate quadruples (e.g. solar activity).
+	env := clr.DefaultEnv()
+	env.LambdaSEUPerMs *= 4
+	harsh, err := healthy.RebuildWithEnv(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	describe("4x SEU rate", harsh)
+
+	// Run-time adaptation continues on the degraded system, with an
+	// AuRA agent pre-trained offline on the expected QoS variation.
+	db := degraded.Database()
+	ag, err := degraded.PretrainedAgent(db, 0.9, 0.5, 200_000, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := degraded.RuntimeParams(db, 0.5, 13)
+	p.Cycles = 300_000
+	p.Trigger = clr.TriggerOnViolation
+	p.Agent = ag
+	m, err := clr.Simulate(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndegraded-system mission (AuRA, on-violation): %d events, %d reconfigs, avg dRC %.4f ms, avg energy %.2f mJ\n",
+		m.Events, m.Reconfigs, m.AvgDRC, m.AvgEnergyMJ)
+	if m.ViolationEvents > 0 {
+		fmt.Printf("QoS unsatisfiable at %d events — the reduced platform cannot always meet the healthy envelope\n",
+			m.ViolationEvents)
+	}
+}

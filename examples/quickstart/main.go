@@ -1,0 +1,50 @@
+// Quickstart: build a small application, run the hybrid design-time
+// exploration, and simulate run-time adaptation to changing QoS
+// requirements — the whole methodology in ~40 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	clr "clrdse"
+)
+
+func main() {
+	// 1. An application: 20 synthetic tasks on the default 5-PE/3-PRR
+	//    heterogeneous platform.
+	plat := clr.DefaultPlatform()
+	app, err := clr.Generate(clr.GenParams{Seed: 42, NumTasks: 20}, plat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("application: %d tasks, period %.1f ms\n", app.NumTasks(), app.PeriodMs)
+
+	// 2. Design time: stage-1 MOEA finds the Pareto front of
+	//    CLR-integrated mappings; the ReD stage adds cheap-to-reach
+	//    points for efficient run-time adaptation.
+	sys, err := clr.Build(app, clr.Options{
+		Seed:     1,
+		StageOne: clr.GAParams{PopSize: 40, Generations: 25},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := sys.Database()
+	fmt.Printf("stored design points: %d (%d from the ReD stage)\n",
+		db.Len(), len(db.ReDPoints()))
+
+	// 3. Run time: QoS requirements change at random instants; the
+	//    manager switches between stored points, trading energy
+	//    against reconfiguration cost via pRC.
+	for _, prc := range []float64{0, 0.5, 1} {
+		p := sys.RuntimeParams(db, prc, 7)
+		p.Cycles = 200_000
+		m, err := clr.Simulate(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pRC=%.1f: %4d reconfigs, avg dRC %.4f ms, avg energy %.1f mJ\n",
+			prc, m.Reconfigs, m.AvgDRC, m.AvgEnergyMJ)
+	}
+}

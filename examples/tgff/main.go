@@ -1,0 +1,56 @@
+// TGFF interoperability: bring a workload produced by the actual TGFF
+// tool (the generator the paper's evaluation uses) into the full
+// pipeline — parse the file, run the hybrid design-time exploration,
+// and simulate run-time adaptation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	clr "clrdse"
+)
+
+func main() {
+	path := filepath.Join("examples", "tgff", "workload.tgff")
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	plat := clr.DefaultPlatform()
+	app, err := clr.ParseTGFF(f, plat, clr.TGFFOptions{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := app.Stats()
+	fmt.Printf("parsed %s: %d tasks, %d edges, period %.0f ms\n", app.Name, st.Tasks, st.Edges, app.PeriodMs)
+	fmt.Printf("depth %d, width %d, %d implementations (%d accelerator)\n\n",
+		st.Depth, st.Width, st.Impls, st.AccelImpls)
+
+	sys, err := clr.Build(app, clr.Options{
+		Seed:           12,
+		HeuristicSeeds: true,
+		StageOne:       clr.GAParams{PopSize: 40, Generations: 25},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := sys.Database()
+	fmt.Printf("design-time: %d stored points (%d from ReD)\n", db.Len(), len(db.ReDPoints()))
+
+	p := sys.RuntimeParams(db, 0.5, 13)
+	p.Cycles = 200_000
+	m, err := clr.Simulate(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("run-time: %d events, %d reconfigs, avg dRC %.4f ms, avg energy %.2f mJ/cycle\n",
+		m.Events, m.Reconfigs, m.AvgDRC, m.AvgEnergyMJ)
+}

@@ -1,0 +1,3 @@
+module clrdse
+
+go 1.22

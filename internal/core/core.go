@@ -1,0 +1,204 @@
+// Package core assembles the paper's hybrid design methodology
+// (Figure 3): the design/compile-time exploration — system-level MOEA
+// plus reconfiguration-cost-aware MOEA (ReD) — produces a design-point
+// database, which the run-time stage consumes for discrete-event
+// adaptation (uRA) optionally augmented with an RL agent whose value
+// functions are initialised by offline Monte-Carlo simulation (AuRA).
+//
+// A System is the deployable artefact: the problem instance, the
+// stored databases and convenience constructors for run-time
+// simulations and agents. Internal changes of the operating scenario —
+// a permanent PE failure, a shift of the SEU rate — are handled as the
+// paper prescribes: as separate instances of the methodology with a
+// reduced platform or a different environment (see Rebuild helpers).
+package core
+
+import (
+	"fmt"
+
+	"clrdse/internal/dse"
+	"clrdse/internal/ga"
+	"clrdse/internal/mapping"
+	"clrdse/internal/platform"
+	"clrdse/internal/relmodel"
+	"clrdse/internal/runtime"
+	"clrdse/internal/taskgraph"
+)
+
+// Options configures the design-time stage. Zero values select the
+// paper's defaults throughout.
+type Options struct {
+	// Seed drives every stochastic component deterministically.
+	Seed int64
+	// Platform is the target HMPSoC (nil selects platform.Default:
+	// 5 PEs of 3 types + 3 PRRs).
+	Platform *platform.Platform
+	// Catalogue is the CLR method catalogue (nil selects
+	// relmodel.DefaultCatalogue, the fine-grained CLR2 space).
+	Catalogue *relmodel.Catalogue
+	// Env is the fault/aging environment (zero selects
+	// relmodel.DefaultEnv).
+	Env relmodel.Env
+	// SMaxMs is the loosest makespan bound; 0 selects the
+	// application's period.
+	SMaxMs float64
+	// FMin is the tightest reliability lower bound; 0 selects 0.90.
+	FMin float64
+	// CSP selects the constraint-satisfaction variant (R(X_i)=0).
+	CSP bool
+	// StageOne configures the system-level MOEA (zero = ga defaults
+	// with the paper's operator probabilities).
+	StageOne ga.Params
+	// HeuristicSeeds injects the constructive heuristics (EFT,
+	// min-energy, max-reliability) into the initial GA population, on
+	// top of any seeds already present in StageOne.
+	HeuristicSeeds bool
+	// ReD configures the reconfiguration-cost-aware stage.
+	ReD dse.ReDParams
+	// SkipReD, when true, stops after stage 1 (BaseD only).
+	SkipReD bool
+	// Stats, when non-nil, receives the exploration effort figures
+	// (distinct evaluations, front sizes) from both stages.
+	Stats *dse.Stats
+}
+
+// System is a built instance of the methodology.
+type System struct {
+	// App is the application.
+	App *taskgraph.Graph
+	// Problem is the design-time DSE instance.
+	Problem *dse.Problem
+	// BaseD is the stage-1 Pareto database.
+	BaseD *dse.Database
+	// ReD is the reconfiguration-cost-aware database (nil if the
+	// stage was skipped).
+	ReD *dse.Database
+
+	opts Options
+}
+
+// Build runs the full design-time flow for the application.
+func Build(app *taskgraph.Graph, opts Options) (*System, error) {
+	if app == nil {
+		return nil, fmt.Errorf("core: nil application")
+	}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Platform == nil {
+		opts.Platform = platform.Default()
+	}
+	if opts.Catalogue == nil {
+		opts.Catalogue = relmodel.DefaultCatalogue()
+	}
+	if (opts.Env == relmodel.Env{}) {
+		opts.Env = relmodel.DefaultEnv()
+	}
+	if opts.SMaxMs == 0 {
+		opts.SMaxMs = app.PeriodMs
+	}
+	if opts.FMin == 0 {
+		opts.FMin = 0.90
+	}
+	prob := &dse.Problem{
+		Space: &mapping.Space{
+			Graph:     app,
+			Platform:  opts.Platform,
+			Catalogue: opts.Catalogue,
+		},
+		Env:    opts.Env,
+		SMaxMs: opts.SMaxMs,
+		FMin:   opts.FMin,
+		CSP:    opts.CSP,
+		Stats:  opts.Stats,
+	}
+	stage1 := opts.StageOne
+	if stage1.Seed == 0 {
+		stage1.Seed = opts.Seed
+	}
+	if opts.HeuristicSeeds {
+		stage1.Seeds = append(append([]*mapping.Mapping(nil), stage1.Seeds...),
+			prob.Space.HeuristicEFT(opts.Env),
+			prob.Space.HeuristicMinEnergy(opts.Env),
+			prob.Space.HeuristicMaxRel(opts.Env),
+		)
+	}
+	base, err := dse.RunBase(prob, stage1)
+	if err != nil {
+		return nil, fmt.Errorf("core: stage-1 DSE: %w", err)
+	}
+	sys := &System{App: app, Problem: prob, BaseD: base, opts: opts}
+	if !opts.SkipReD {
+		rp := opts.ReD
+		if rp.GA.Seed == 0 {
+			rp.GA.Seed = opts.Seed + 1
+		}
+		red, err := dse.RunReD(prob, base, rp)
+		if err != nil {
+			return nil, fmt.Errorf("core: ReD stage: %w", err)
+		}
+		sys.ReD = red
+	}
+	return sys, nil
+}
+
+// Database returns the richest database built: ReD when available,
+// otherwise BaseD.
+func (s *System) Database() *dse.Database {
+	if s.ReD != nil {
+		return s.ReD
+	}
+	return s.BaseD
+}
+
+// RuntimeParams returns run-time simulation parameters for the given
+// database with the system's space pre-wired. Callers adjust pRC,
+// cycles, trigger and agent as needed.
+func (s *System) RuntimeParams(db *dse.Database, prc float64, seed int64) runtime.Params {
+	return runtime.Params{
+		DB:    db,
+		Space: s.Problem.Space,
+		PRC:   prc,
+		Seed:  seed,
+	}
+}
+
+// NewAgent returns an AuRA agent for the database, value functions
+// initialised with the stay-put prior (see runtime.NewAgentForDB).
+func (s *System) NewAgent(db *dse.Database, gamma float64) *runtime.Agent {
+	return runtime.NewAgentForDB(db, gamma, 0)
+}
+
+// PretrainedAgent builds an agent and injects prior knowledge about
+// the QoS-variation distribution by offline Monte-Carlo simulation
+// over the given cycle horizon.
+func (s *System) PretrainedAgent(db *dse.Database, gamma float64, prc float64, cycles float64, seed int64) (*runtime.Agent, error) {
+	ag := s.NewAgent(db, gamma)
+	if err := ag.Pretrain(s.RuntimeParams(db, prc, seed), cycles, seed); err != nil {
+		return nil, fmt.Errorf("core: pretraining: %w", err)
+	}
+	return ag, nil
+}
+
+// RebuildWithoutPE re-runs the design-time flow on a platform with the
+// given PE removed — the paper's internal-change scenario (a permanent
+// fault reducing resource availability is a separate instance of the
+// methodology with fewer PEs).
+func (s *System) RebuildWithoutPE(peID int) (*System, error) {
+	reduced, err := platform.RemovePE(s.opts.Platform, peID)
+	if err != nil {
+		return nil, err
+	}
+	opts := s.opts
+	opts.Platform = reduced
+	return Build(s.App, opts)
+}
+
+// RebuildWithEnv re-runs the design-time flow under a different
+// fault/aging environment — the paper's external-change scenario (a
+// new SEU rate is a separate instance with a different lambda_SEU).
+func (s *System) RebuildWithEnv(env relmodel.Env) (*System, error) {
+	opts := s.opts
+	opts.Env = env
+	return Build(s.App, opts)
+}

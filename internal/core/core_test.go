@@ -1,0 +1,304 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"clrdse/internal/dse"
+	"clrdse/internal/ga"
+	"clrdse/internal/platform"
+	"clrdse/internal/relmodel"
+	"clrdse/internal/runtime"
+	"clrdse/internal/taskgraph"
+)
+
+func smallOpts(seed int64) Options {
+	return Options{
+		Seed:     seed,
+		StageOne: ga.Params{PopSize: 24, Generations: 10},
+		ReD:      dse.ReDParams{GA: ga.Params{PopSize: 16, Generations: 8}, MaxExtraPerSeed: 2},
+	}
+}
+
+var (
+	sysOnce sync.Once
+	sysFix  *System
+	sysErr  error
+)
+
+func builtSystem(t *testing.T) *System {
+	t.Helper()
+	sysOnce.Do(func() {
+		app, err := taskgraph.Generate(taskgraph.GenParams{Seed: 61, NumTasks: 20}, platform.Default())
+		if err != nil {
+			sysErr = err
+			return
+		}
+		sysFix, sysErr = Build(app, smallOpts(1))
+	})
+	if sysErr != nil {
+		t.Fatal(sysErr)
+	}
+	return sysFix
+}
+
+func TestBuildFullFlow(t *testing.T) {
+	sys := builtSystem(t)
+	if sys.BaseD.Len() == 0 {
+		t.Fatal("empty BaseD")
+	}
+	if sys.ReD == nil {
+		t.Fatal("ReD stage skipped unexpectedly")
+	}
+	if sys.ReD.Len() < sys.BaseD.Len() {
+		t.Error("ReD smaller than BaseD")
+	}
+	if sys.Database() != sys.ReD {
+		t.Error("Database() should prefer ReD")
+	}
+	if sys.Problem.SMaxMs != sys.App.PeriodMs {
+		t.Errorf("default SMax = %v, want period %v", sys.Problem.SMaxMs, sys.App.PeriodMs)
+	}
+	if sys.Problem.FMin != 0.90 {
+		t.Errorf("default FMin = %v, want 0.90", sys.Problem.FMin)
+	}
+}
+
+func TestBuildSkipReD(t *testing.T) {
+	app, err := taskgraph.Generate(taskgraph.GenParams{Seed: 62, NumTasks: 12}, platform.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smallOpts(2)
+	opts.SkipReD = true
+	sys, err := Build(app, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.ReD != nil {
+		t.Error("ReD built despite SkipReD")
+	}
+	if sys.Database() != sys.BaseD {
+		t.Error("Database() should fall back to BaseD")
+	}
+}
+
+func TestBuildRejectsBadApp(t *testing.T) {
+	if _, err := Build(nil, smallOpts(3)); err == nil {
+		t.Error("Build accepted nil app")
+	}
+	bad := &taskgraph.Graph{Name: "bad"}
+	if _, err := Build(bad, smallOpts(3)); err == nil {
+		t.Error("Build accepted invalid app")
+	}
+}
+
+func TestRuntimeParamsWired(t *testing.T) {
+	sys := builtSystem(t)
+	p := sys.RuntimeParams(sys.Database(), 0.5, 9)
+	p.Cycles = 20_000
+	m, err := runtime.Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Events == 0 {
+		t.Error("no events simulated")
+	}
+}
+
+func TestEndToEndAuRA(t *testing.T) {
+	sys := builtSystem(t)
+	db := sys.Database()
+	ag, err := sys.PretrainedAgent(db, 0.8, 0.5, 10_000, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ag.Episodes == 0 {
+		t.Fatal("pretraining produced no episodes")
+	}
+	p := sys.RuntimeParams(db, 0.5, 78)
+	p.Cycles = 20_000
+	p.Agent = ag
+	if _, err := runtime.Simulate(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebuildWithoutPE(t *testing.T) {
+	sys := builtSystem(t)
+	reduced, err := sys.RebuildWithoutPE(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reduced.Problem.Space.Platform.NumPEs(); got != platform.Default().NumPEs()-1 {
+		t.Errorf("reduced platform has %d PEs", got)
+	}
+	if reduced.BaseD.Len() == 0 {
+		t.Error("no design points on reduced platform")
+	}
+	for _, pt := range reduced.BaseD.Points {
+		if err := reduced.Problem.Space.Validate(pt.M); err != nil {
+			t.Errorf("reduced design point invalid: %v", err)
+		}
+	}
+}
+
+func TestRebuildWithEnv(t *testing.T) {
+	sys := builtSystem(t)
+	env := relmodel.DefaultEnv()
+	env.LambdaSEUPerMs *= 4 // harsher radiation environment
+	harsh, err := sys.RebuildWithEnv(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under 4x the SEU rate the best achievable reliability drops.
+	bestOld, bestNew := 0.0, 0.0
+	for _, pt := range sys.BaseD.Points {
+		if pt.Reliability > bestOld {
+			bestOld = pt.Reliability
+		}
+	}
+	for _, pt := range harsh.BaseD.Points {
+		if pt.Reliability > bestNew {
+			bestNew = pt.Reliability
+		}
+	}
+	if bestNew >= bestOld {
+		t.Errorf("best reliability should drop under 4x SEU: %v vs %v", bestNew, bestOld)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	app, err := taskgraph.Generate(taskgraph.GenParams{Seed: 63, NumTasks: 12}, platform.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Build(app, smallOpts(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(app, smallOpts(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Database().Len() != b.Database().Len() {
+		t.Fatal("same seed produced different databases")
+	}
+	for i := range a.Database().Points {
+		if !a.Database().Points[i].M.Equal(b.Database().Points[i].M) {
+			t.Fatal("same seed produced different design points")
+		}
+	}
+}
+
+func TestHeuristicSeedsImproveOrMatchFront(t *testing.T) {
+	app, err := taskgraph.Generate(taskgraph.GenParams{Seed: 64, NumTasks: 25}, platform.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smallOpts(9)
+	opts.SkipReD = true
+	plain, err := Build(app, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.HeuristicSeeds = true
+	seeded, err := Build(app, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := func(s *System) float64 {
+		b := 0.0
+		for _, p := range s.BaseD.Points {
+			if b == 0 || p.EnergyMJ < b {
+				b = p.EnergyMJ
+			}
+		}
+		return b
+	}
+	// Seeding must not hurt the best energy found at equal budget
+	// (allow a sliver of stochastic slack).
+	if best(seeded) > best(plain)*1.02 {
+		t.Errorf("heuristic seeding worsened best energy: %v vs %v", best(seeded), best(plain))
+	}
+}
+
+func TestBuildWithExtendedCatalogue(t *testing.T) {
+	// The larger method space must flow through the whole design-time
+	// pipeline unchanged.
+	app, err := taskgraph.Generate(taskgraph.GenParams{Seed: 65, NumTasks: 12}, platform.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smallOpts(11)
+	opts.Catalogue = relmodel.ExtendedCatalogue()
+	opts.SkipReD = true
+	sys, err := Build(app, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.BaseD.Len() == 0 {
+		t.Fatal("no points with extended catalogue")
+	}
+	for _, p := range sys.BaseD.Points {
+		if err := sys.Problem.Space.Validate(p.M); err != nil {
+			t.Fatalf("invalid point under extended catalogue: %v", err)
+		}
+	}
+}
+
+func TestBuildOnLargePlatform(t *testing.T) {
+	plat := platform.Large()
+	app, err := taskgraph.Generate(taskgraph.GenParams{Seed: 66, NumTasks: 20}, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smallOpts(12)
+	opts.Platform = plat
+	opts.SkipReD = true
+	sys, err := Build(app, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.BaseD.Len() == 0 {
+		t.Fatal("no points on the large platform")
+	}
+	// The larger platform's extra parallelism should allow a faster
+	// best makespan than the default platform at equal budget.
+	base, err := Build(app, func() Options { o := smallOpts(12); o.SkipReD = true; return o }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := func(s *System) float64 {
+		b := 0.0
+		for _, p := range s.BaseD.Points {
+			if b == 0 || p.MakespanMs < b {
+				b = p.MakespanMs
+			}
+		}
+		return b
+	}
+	if best(sys) > best(base)*1.05 {
+		t.Errorf("large platform best makespan %v should not trail default %v", best(sys), best(base))
+	}
+}
+
+func TestBuildReportsStats(t *testing.T) {
+	app, err := taskgraph.Generate(taskgraph.GenParams{Seed: 67, NumTasks: 12}, platform.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smallOpts(13)
+	stats := &dse.Stats{}
+	opts.Stats = stats
+	sys, err := Build(app, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Stage1Evals == 0 || stats.Stage1Front != sys.BaseD.Len() {
+		t.Errorf("stage-1 stats not populated: %+v", stats)
+	}
+	if stats.ReDEvals == 0 || stats.ReDExtras != len(sys.ReD.ReDPoints()) {
+		t.Errorf("ReD stats not populated: %+v", stats)
+	}
+}

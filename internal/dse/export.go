@@ -1,0 +1,36 @@
+package dse
+
+// CSV exporter for stored databases, for external analysis of the
+// design-point clouds (Figure 5-style plots in other tooling).
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// WriteCSV streams the database's points as CSV with a header row:
+// id, makespan_ms, reliability, energy_mj, peak_power_w, mttf_ms, from_red.
+func (db *Database) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "makespan_ms", "reliability", "energy_mj", "peak_power_w", "mttf_ms", "from_red"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, p := range db.Points {
+		rec := []string{
+			strconv.Itoa(p.ID),
+			f(p.MakespanMs),
+			f(p.Reliability),
+			f(p.EnergyMJ),
+			f(p.PeakPowerW),
+			f(p.MTTFMs),
+			strconv.FormatBool(p.FromReD),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

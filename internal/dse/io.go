@@ -1,0 +1,49 @@
+package dse
+
+// Database persistence. The design-time exploration runs at
+// compile time on a workstation; the resulting database ships to the
+// embedded target, so it must round-trip losslessly through a
+// deployable format. Plain JSON keeps the artefact inspectable.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"clrdse/internal/mapping"
+)
+
+// WriteFile stores the database as indented JSON.
+func (db *Database) WriteFile(path string) error {
+	data, err := json.MarshalIndent(db, "", "  ")
+	if err != nil {
+		return fmt.Errorf("dse: marshal database %q: %w", db.Name, err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadDatabase loads a database from JSON and validates every stored
+// configuration against the space (the deployment platform must match
+// the one the database was built for).
+func ReadDatabase(path string, space *mapping.Space) (*Database, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var db Database
+	if err := json.Unmarshal(data, &db); err != nil {
+		return nil, fmt.Errorf("dse: parse %s: %w", path, err)
+	}
+	for i, p := range db.Points {
+		if p == nil || p.M == nil {
+			return nil, fmt.Errorf("dse: %s: point %d has no mapping", path, i)
+		}
+		if p.ID != i {
+			return nil, fmt.Errorf("dse: %s: point at index %d has ID %d (IDs must be dense)", path, i, p.ID)
+		}
+		if err := space.Validate(p.M); err != nil {
+			return nil, fmt.Errorf("dse: %s: point %d: %w", path, i, err)
+		}
+	}
+	return &db, nil
+}

@@ -1,0 +1,354 @@
+package dse
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"clrdse/internal/ga"
+	"clrdse/internal/mapping"
+	"clrdse/internal/pareto"
+	"clrdse/internal/platform"
+	"clrdse/internal/rng"
+)
+
+func TestDatabaseJSONRoundTrip(t *testing.T) {
+	p := testProblem(t, 15, false)
+	db, err := RunBase(p, smallGA(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "db.json")
+	if err := db.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDatabase(path, p.Space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != db.Len() || got.Name != db.Name {
+		t.Fatalf("round trip changed shape: %d/%q vs %d/%q", got.Len(), got.Name, db.Len(), db.Name)
+	}
+	for i := range db.Points {
+		a, b := db.Points[i], got.Points[i]
+		if !a.M.Equal(b.M) || a.EnergyMJ != b.EnergyMJ || a.Reliability != b.Reliability {
+			t.Fatalf("point %d changed in round trip", i)
+		}
+	}
+}
+
+func TestReadDatabaseRejectsWrongPlatform(t *testing.T) {
+	p := testProblem(t, 12, false)
+	db, err := RunBase(p, smallGA(102))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "db.json")
+	if err := db.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// A degraded platform invalidates PE bindings beyond its range.
+	reduced, err := platform.RemovePE(platform.Default(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if reduced.NumPEs() == 2 {
+			break
+		}
+		reduced, err = platform.RemovePE(reduced, reduced.NumPEs()-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	wrongSpace := &mapping.Space{Graph: p.Space.Graph, Platform: reduced, Catalogue: p.Space.Catalogue}
+	if _, err := ReadDatabase(path, wrongSpace); err == nil {
+		t.Error("ReadDatabase accepted a database invalid for the platform")
+	}
+}
+
+func TestReadDatabaseRejectsCorruptFiles(t *testing.T) {
+	p := testProblem(t, 10, false)
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := writeFile(bad, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDatabase(bad, p.Space); err == nil {
+		t.Error("accepted malformed JSON")
+	}
+	sparse := filepath.Join(dir, "sparse.json")
+	if err := writeFile(sparse, `{"Name":"x","Points":[{"ID":5,"M":{"Genes":[]}}]}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDatabase(sparse, p.Space); err == nil {
+		t.Error("accepted sparse IDs")
+	}
+	if _, err := ReadDatabase(filepath.Join(dir, "missing.json"), p.Space); err == nil {
+		t.Error("accepted missing file")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestPruneKeepsEnvelopeAndBudget(t *testing.T) {
+	p := testProblem(t, 20, false)
+	base, err := RunBase(p, smallGA(103))
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := RunReD(p, base, smallReD(104))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Len() < 6 {
+		t.Skip("database too small to exercise pruning")
+	}
+	budget := red.Len() / 2
+	pruned, err := Prune(red, budget, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Len() != budget {
+		t.Fatalf("pruned to %d, want %d", pruned.Len(), budget)
+	}
+	// Envelope preserved: best makespan / reliability / energy values
+	// survive exactly.
+	extreme := func(db *Database, f func(*DesignPoint) float64, min bool) float64 {
+		best := f(db.Points[0])
+		for _, q := range db.Points {
+			v := f(q)
+			if (min && v < best) || (!min && v > best) {
+				best = v
+			}
+		}
+		return best
+	}
+	type ext struct {
+		f   func(*DesignPoint) float64
+		min bool
+	}
+	for name, e := range map[string]ext{
+		"makespan":    {func(d *DesignPoint) float64 { return d.MakespanMs }, true},
+		"reliability": {func(d *DesignPoint) float64 { return d.Reliability }, false},
+		"energy":      {func(d *DesignPoint) float64 { return d.EnergyMJ }, true},
+	} {
+		if extreme(red, e.f, e.min) != extreme(pruned, e.f, e.min) {
+			t.Errorf("pruning lost the %s extreme", name)
+		}
+	}
+	// IDs re-densified.
+	for i, q := range pruned.Points {
+		if q.ID != i {
+			t.Errorf("pruned point at %d has ID %d", i, q.ID)
+		}
+	}
+}
+
+func TestPruneNoopWhenWithinBudget(t *testing.T) {
+	p := testProblem(t, 12, false)
+	base, err := RunBase(p, smallGA(105))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := Prune(base, base.Len()+10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Len() != base.Len() {
+		t.Errorf("no-op prune changed size: %d vs %d", pruned.Len(), base.Len())
+	}
+	// Copies, not shared pointers.
+	pruned.Points[0].EnergyMJ = -1
+	if base.Points[0].EnergyMJ == -1 {
+		t.Error("Prune shares point storage with the input")
+	}
+}
+
+func TestPruneRejectsTinyBudget(t *testing.T) {
+	if _, err := Prune(&Database{}, 2, false); err == nil {
+		t.Error("Prune accepted budget 2 with three pinned extremes")
+	}
+	if _, err := Prune(&Database{}, 1, true); err == nil {
+		t.Error("Prune accepted budget 1 in CSP mode")
+	}
+}
+
+func TestPrunePreservesHypervolumeBetterThanPrefix(t *testing.T) {
+	p := testProblem(t, 20, false)
+	base, err := RunBase(p, ga.Params{PopSize: 40, Generations: 15, Seed: 106})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Len() < 8 {
+		t.Skip("front too small")
+	}
+	budget := base.Len() / 2
+	pruned, err := Prune(base, budget, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := func(db *Database, n int) [][]float64 {
+		var out [][]float64
+		for _, q := range db.Points[:n] {
+			out = append(out, q.QoSObjs(false))
+		}
+		return out
+	}
+	ref := make([]float64, 3)
+	for d := range ref {
+		for _, o := range objs(base, base.Len()) {
+			if o[d] > ref[d] {
+				ref[d] = o[d]
+			}
+		}
+		ref[d] *= 1.01
+	}
+	hvPruned := pareto.Hypervolume(objs(pruned, pruned.Len()), ref)
+	hvPrefix := pareto.Hypervolume(objs(base, budget), ref)
+	if hvPruned < hvPrefix {
+		t.Errorf("contribution-aware pruning HV %v < naive prefix HV %v", hvPruned, hvPrefix)
+	}
+}
+
+func TestLifetimeObjectiveImprovesMTTF(t *testing.T) {
+	plain := testProblem(t, 15, false)
+	life := testProblem(t, 15, false)
+	life.Lifetime = true
+	a, err := RunBase(plain, smallGA(107))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBase(life, smallGA(107))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := func(db *Database) float64 {
+		m := 0.0
+		for _, q := range db.Points {
+			if q.MTTFMs > m {
+				m = q.MTTFMs
+			}
+		}
+		return m
+	}
+	if best(b) < best(a) {
+		t.Errorf("lifetime-aware DSE best MTTF %v < plain %v", best(b), best(a))
+	}
+}
+
+func TestDatabaseCSVExport(t *testing.T) {
+	p := testProblem(t, 12, false)
+	db, err := RunBase(p, smallGA(131))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := db.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != db.Len()+1 {
+		t.Fatalf("csv lines = %d, want header + %d points", len(lines), db.Len())
+	}
+	if !strings.HasPrefix(lines[0], "id,makespan_ms") {
+		t.Errorf("bad header %q", lines[0])
+	}
+}
+
+// Property: pruning random synthetic databases always preserves the
+// per-metric extremes and the budget.
+func TestQuickPrunePreservesEnvelope(t *testing.T) {
+	f := func(seed uint32, nRaw, budgetRaw uint8) bool {
+		n := int(nRaw%30) + 5
+		budget := int(budgetRaw%uint8(n-3)) + 3
+		r := rng.New(int64(seed))
+		db := &Database{Name: "synth"}
+		for i := 0; i < n; i++ {
+			db.Points = append(db.Points, &DesignPoint{
+				ID:          i,
+				M:           &mapping.Mapping{},
+				MakespanMs:  r.Range(10, 1000),
+				Reliability: r.Range(0.8, 0.9999),
+				EnergyMJ:    r.Range(50, 5000),
+				FromReD:     r.Bool(0.5),
+			})
+		}
+		pruned, err := Prune(db, budget, false)
+		if err != nil {
+			return false
+		}
+		if pruned.Len() > db.Len() || (db.Len() > budget && pruned.Len() != budget) {
+			return false
+		}
+		ext := func(ps []*DesignPoint, f func(*DesignPoint) float64, min bool) float64 {
+			best := f(ps[0])
+			for _, p := range ps {
+				v := f(p)
+				if (min && v < best) || (!min && v > best) {
+					best = v
+				}
+			}
+			return best
+		}
+		type sel struct {
+			f   func(*DesignPoint) float64
+			min bool
+		}
+		for _, e := range []sel{
+			{func(d *DesignPoint) float64 { return d.MakespanMs }, true},
+			{func(d *DesignPoint) float64 { return d.Reliability }, false},
+			{func(d *DesignPoint) float64 { return d.EnergyMJ }, true},
+		} {
+			if ext(db.Points, e.f, e.min) != ext(pruned.Points, e.f, e.min) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ReadDatabase(WriteFile(db)) round-trips arbitrary valid
+// databases built from random valid mappings.
+func TestQuickDatabaseRoundTrip(t *testing.T) {
+	p := testProblem(t, 10, false)
+	f := func(seed uint32, nRaw uint8) bool {
+		n := int(nRaw%6) + 1
+		r := rng.New(int64(seed))
+		db := &Database{Name: "rt"}
+		for i := 0; i < n; i++ {
+			db.Points = append(db.Points, &DesignPoint{
+				ID: i, M: p.Space.Random(r),
+				MakespanMs: r.Range(1, 100), Reliability: r.Range(0.9, 1),
+				EnergyMJ: r.Range(10, 500),
+			})
+		}
+		path := filepath.Join(t.TempDir(), "db.json")
+		if err := db.WriteFile(path); err != nil {
+			return false
+		}
+		got, err := ReadDatabase(path, p.Space)
+		if err != nil {
+			return false
+		}
+		if got.Len() != db.Len() {
+			return false
+		}
+		for i := range db.Points {
+			if !got.Points[i].M.Equal(db.Points[i].M) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+package dse
+
+// Storage-constrained database pruning. The paper's conclusion flags
+// that "storing multiple design points for each possible operating
+// scenario can lead to inadequate storage and longer run-time DSE":
+// the stored database lives in the control unit's limited memory and
+// every run-time decision scans it. Prune shrinks a database to a
+// point budget while preserving what the run-time manager needs:
+//
+//   - the QoS envelope — the extreme points in makespan and
+//     reliability stay, so the feasible range of specifications does
+//     not shrink;
+//   - coverage — remaining Pareto points are dropped in ascending
+//     order of exclusive hyper-volume contribution (the least a point
+//     adds to the dominated region, the first it goes);
+//   - reachability — ReD-contributed points are preferentially kept
+//     over the Pareto points they shadow only when the budget allows,
+//     i.e. Pareto points are pruned last among equals.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"clrdse/internal/pareto"
+)
+
+// Prune returns a copy of the database reduced to at most maxPoints
+// stored points (IDs re-densified). The budget must cover the pinned
+// QoS-envelope extremes: at least 3 points (fastest, most reliable,
+// cheapest), or 2 in CSP mode where energy is not an objective.
+func Prune(db *Database, maxPoints int, csp bool) (*Database, error) {
+	minBudget := 3
+	if csp {
+		minBudget = 2
+	}
+	if maxPoints < minBudget {
+		return nil, fmt.Errorf("dse: Prune needs maxPoints >= %d, got %d", minBudget, maxPoints)
+	}
+	out := &Database{Name: db.Name + "-pruned"}
+	if db.Len() <= maxPoints {
+		for _, p := range db.Points {
+			q := *p
+			q.ID = len(out.Points)
+			out.Points = append(out.Points, &q)
+		}
+		return out, nil
+	}
+
+	keep := make([]bool, db.Len())
+	// Pin the QoS envelope: fastest, most reliable, and cheapest
+	// points survive unconditionally.
+	pin := func(better func(a, b *DesignPoint) bool) {
+		best := 0
+		for i, p := range db.Points {
+			if better(p, db.Points[best]) {
+				best = i
+			}
+		}
+		keep[best] = true
+	}
+	pin(func(a, b *DesignPoint) bool { return a.MakespanMs < b.MakespanMs })
+	pin(func(a, b *DesignPoint) bool { return a.Reliability > b.Reliability })
+	if !csp {
+		pin(func(a, b *DesignPoint) bool { return a.EnergyMJ < b.EnergyMJ })
+	}
+
+	// Rank the rest by exclusive hyper-volume contribution in the QoS
+	// objective space, with the reference point just outside the
+	// database's own envelope.
+	objs := make([][]float64, db.Len())
+	for i, p := range db.Points {
+		objs[i] = p.QoSObjs(csp)
+	}
+	ref := make([]float64, len(objs[0]))
+	for d := range ref {
+		worst := math.Inf(-1)
+		for _, o := range objs {
+			worst = math.Max(worst, o[d])
+		}
+		ref[d] = worst * 1.01
+		if ref[d] == 0 {
+			ref[d] = 1e-9
+		}
+	}
+	contrib := pareto.Contribution(objs, ref)
+
+	type cand struct {
+		idx   int
+		score float64
+	}
+	var cands []cand
+	for i := range db.Points {
+		if keep[i] {
+			continue
+		}
+		// Pareto points outrank ReD additions at equal contribution;
+		// ReD points are recoverable by re-running the ReD stage,
+		// while losing Pareto points shrinks the quality frontier.
+		bonus := 0.0
+		if !db.Points[i].FromReD {
+			bonus = 1e-12
+		}
+		cands = append(cands, cand{idx: i, score: contrib[i] + bonus})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].score != cands[b].score {
+			return cands[a].score > cands[b].score
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	pinned := 0
+	for _, k := range keep {
+		if k {
+			pinned++
+		}
+	}
+	for _, c := range cands {
+		if pinned >= maxPoints {
+			break
+		}
+		keep[c.idx] = true
+		pinned++
+	}
+
+	for i, p := range db.Points {
+		if !keep[i] {
+			continue
+		}
+		q := *p
+		q.ID = len(out.Points)
+		out.Points = append(out.Points, &q)
+	}
+	return out, nil
+}

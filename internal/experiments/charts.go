@@ -1,0 +1,110 @@
+package experiments
+
+// Chart constructors: each figure result can render itself as an SVG
+// chart via internal/plot, so cmd/experiments -svg emits graphics
+// alongside the textual rows.
+
+import (
+	"fmt"
+
+	"clrdse/internal/plot"
+)
+
+// Charts renders Figure 1 as the paper presents it: the Pareto fronts
+// in the (error rate %, energy) plane, and the J_avg bar comparison of
+// fixed worst-case versus dynamic adaptation per reliability space.
+func (r *Fig1Result) Charts() (*plot.Chart, *plot.BarChart) {
+	bars := &plot.BarChart{
+		Title:       "Figure 1: average energy, fixed vs dynamic",
+		YLabel:      "J_avg (mJ)",
+		SeriesNames: []string{"fixed worst-case", "dynamic CLR"},
+	}
+	for _, s := range r.Systems {
+		bars.Groups = append(bars.Groups, plot.BarGroup{
+			Label:  s.Name,
+			Values: []float64{s.FixedEnergyMJ, s.AvgEnergyMJ},
+		})
+	}
+	return r.Chart(), bars
+}
+
+// Chart renders the Figure 1 Pareto fronts in the (error rate %,
+// energy) plane, one series per reliability space.
+func (r *Fig1Result) Chart() *plot.Chart {
+	c := &plot.Chart{
+		Title:  "Figure 1: energy vs application error rate",
+		XLabel: "application error rate (%)",
+		YLabel: "energy (mJ)",
+	}
+	for _, s := range r.Systems {
+		series := plot.Series{Name: s.Name, Line: true}
+		for _, p := range s.Front {
+			series.X = append(series.X, 100*p.ErrorRate)
+			series.Y = append(series.Y, p.EnergyMJ)
+		}
+		c.Series = append(c.Series, series)
+	}
+	return c
+}
+
+// Chart renders the Figure 5 design-point scatter: Pareto points as
+// circles, ReD additions as triangles (the paper's '>' markers).
+func (r *Fig5Result) Chart() *plot.Chart {
+	c := &plot.Chart{
+		Title:  fmt.Sprintf("Figure 5: stored design points (n=%d)", r.Tasks),
+		XLabel: "average makespan (ms)",
+		YLabel: "energy (mJ)",
+	}
+	pareto := plot.Series{Name: "Pareto front"}
+	red := plot.Series{Name: "ReD additions", Marker: "triangle"}
+	for _, p := range r.Points {
+		if p.FromReD {
+			red.X = append(red.X, p.MakespanMs)
+			red.Y = append(red.Y, p.EnergyMJ)
+		} else {
+			pareto.X = append(pareto.X, p.MakespanMs)
+			pareto.Y = append(pareto.Y, p.EnergyMJ)
+		}
+	}
+	c.Series = append(c.Series, pareto, red)
+	return c
+}
+
+// Chart renders the Figure 6 reconfiguration-cost traces.
+func (r *Fig6Result) Chart() *plot.Chart {
+	c := &plot.Chart{
+		Title:  fmt.Sprintf("Figure 6: dRC per QoS change (n=%d)", r.Tasks),
+		XLabel: "QoS requirement change",
+		YLabel: "reconfiguration cost (ms)",
+	}
+	for _, tr := range []Fig6Trace{r.BaseD, r.ReD} {
+		s := plot.Series{Name: fmt.Sprintf("%s (%d reconfigs)", tr.Name, tr.Reconfigs), Line: true}
+		for i, cost := range tr.Costs {
+			s.X = append(s.X, float64(i))
+			s.Y = append(s.Y, cost)
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}
+
+// Charts renders the Figure 7 sweep as two charts (relative energy and
+// relative reconfiguration cost vs pRC), one series per application.
+func (r *Fig7Result) Charts() (*plot.Chart, *plot.Chart) {
+	energy := &plot.Chart{
+		Title:  "Figure 7a: relative average energy vs pRC",
+		XLabel: "pRC",
+		YLabel: "energy relative to pRC=0",
+	}
+	drc := &plot.Chart{
+		Title:  "Figure 7b: relative reconfiguration cost vs pRC",
+		XLabel: "pRC",
+		YLabel: "avg dRC relative to pRC=1",
+	}
+	for _, s := range r.Series {
+		name := fmt.Sprintf("n=%d", s.Tasks)
+		energy.Series = append(energy.Series, plot.Series{Name: name, X: s.PRC, Y: s.RelEnergy, Line: true})
+		drc.Series = append(drc.Series, plot.Series{Name: name, X: s.PRC, Y: s.RelDRC, Line: true})
+	}
+	return energy, drc
+}

@@ -1,0 +1,173 @@
+package experiments
+
+// DSE convergence experiment: per-generation hyper-volume and front
+// size of the stage-1 MOEA for a small/medium/large application. The
+// paper's Table 7 caveat ("in some cases the value functions did not
+// converge") has a design-time sibling — knowing where the GA budget
+// saturates is what justifies the paper's pop/generation choices.
+
+import (
+	"fmt"
+	"strings"
+
+	"clrdse/internal/dse"
+	"clrdse/internal/ga"
+	"clrdse/internal/mapping"
+	"clrdse/internal/pareto"
+	"clrdse/internal/platform"
+	"clrdse/internal/plot"
+	"clrdse/internal/relmodel"
+)
+
+// ConvergenceSeries is one application's optimisation trajectory.
+type ConvergenceSeries struct {
+	Tasks int
+	// HV is the feasible-front hyper-volume per generation, normalised
+	// to the final generation's value.
+	HV []float64
+	// FrontSize is the feasible first-front cardinality per generation.
+	FrontSize []int
+	// SaturationGen is the first generation reaching 99% of the final
+	// hyper-volume.
+	SaturationGen int
+}
+
+// ConvergenceResult is the sweep.
+type ConvergenceResult struct {
+	Generations int
+	Series      []ConvergenceSeries
+}
+
+// Convergence tracks stage-1 GA progress on the smallest, middle and
+// largest application of the sweep.
+func (l *Lab) Convergence() (*ConvergenceResult, error) {
+	sizes := []int{
+		l.Scale.TaskSizes[0],
+		l.Scale.TaskSizes[len(l.Scale.TaskSizes)/2],
+		l.Scale.TaskSizes[len(l.Scale.TaskSizes)-1],
+	}
+	res := &ConvergenceResult{Generations: l.Scale.GAGens}
+	for _, n := range sizes {
+		app, err := l.App(n)
+		if err != nil {
+			return nil, err
+		}
+		prob := &dse.Problem{
+			Space: &mapping.Space{
+				Graph:     app,
+				Platform:  platform.Default(),
+				Catalogue: relmodel.DefaultCatalogue(),
+			},
+			Env:    relmodel.DefaultEnv(),
+			SMaxMs: app.PeriodMs,
+			FMin:   0.90,
+		}
+		ev := dse.NewEvaluator(prob)
+		var gens [][][]float64
+		var fronts []int
+		engine := &ga.Engine{
+			Space: prob.Space,
+			Eval: func(m *mapping.Mapping) ([]float64, float64, any) {
+				r, err := ev.Evaluate(m)
+				if err != nil {
+					panic(err)
+				}
+				v := 0.0
+				if r.MakespanMs > prob.SMaxMs {
+					v += (r.MakespanMs - prob.SMaxMs) / prob.SMaxMs
+				}
+				if r.Reliability < prob.FMin {
+					v += prob.FMin - r.Reliability
+				}
+				return []float64{r.EnergyMJ, r.MakespanMs, 1 - r.Reliability}, v, r
+			},
+			Params: ga.Params{
+				PopSize:     l.Scale.GAPop,
+				Generations: l.Scale.GAGens,
+				Seed:        l.Scale.Seed*919 + int64(n),
+			},
+			OnGeneration: func(s ga.GenStats) {
+				cp := make([][]float64, len(s.FrontObjs))
+				for i, o := range s.FrontObjs {
+					cp[i] = append([]float64(nil), o...)
+				}
+				gens = append(gens, cp)
+				fronts = append(fronts, s.FrontSize)
+			},
+		}
+		if _, err := engine.Run(); err != nil {
+			return nil, fmt.Errorf("experiments: convergence n=%d: %w", n, err)
+		}
+		// Reference just outside the union of every generation's front,
+		// so the hyper-volume scale reflects the explored region rather
+		// than an arbitrary loose box.
+		ref := []float64{0, 0, 0}
+		for _, front := range gens {
+			for _, o := range front {
+				for d := range ref {
+					if o[d] > ref[d] {
+						ref[d] = o[d]
+					}
+				}
+			}
+		}
+		for d := range ref {
+			ref[d] *= 1.01
+			if ref[d] == 0 {
+				ref[d] = 1e-9
+			}
+		}
+		hv := make([]float64, len(gens))
+		for g, front := range gens {
+			hv[g] = pareto.Hypervolume(front, ref)
+		}
+		final := hv[len(hv)-1]
+		series := ConvergenceSeries{Tasks: n, FrontSize: fronts, SaturationGen: len(hv) - 1}
+		for g, v := range hv {
+			norm := 0.0
+			if final > 0 {
+				norm = v / final
+			}
+			series.HV = append(series.HV, norm)
+			if series.SaturationGen == len(hv)-1 && norm >= 0.99 {
+				series.SaturationGen = g
+			}
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// Render prints the trajectories.
+func (r *ConvergenceResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Stage-1 MOEA convergence (%d generations)\n", r.Generations)
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "\nn=%d tasks: 99%% of final hyper-volume reached at generation %d/%d\n",
+			s.Tasks, s.SaturationGen, len(s.HV)-1)
+		fmt.Fprintf(&b, "%-6s %14s %10s\n", "gen", "rel HV", "front")
+		step := max(1, len(s.HV)/12)
+		for g := 0; g < len(s.HV); g += step {
+			fmt.Fprintf(&b, "%-6d %14.4f %10d\n", g, s.HV[g], s.FrontSize[g])
+		}
+	}
+	return b.String()
+}
+
+// Chart renders the normalised hyper-volume curves.
+func (r *ConvergenceResult) Chart() *plot.Chart {
+	c := &plot.Chart{
+		Title:  "Stage-1 MOEA convergence",
+		XLabel: "generation",
+		YLabel: "hyper-volume relative to final",
+	}
+	for _, s := range r.Series {
+		series := plot.Series{Name: fmt.Sprintf("n=%d", s.Tasks), Line: true, Marker: "none"}
+		for g, v := range s.HV {
+			series.X = append(series.X, float64(g))
+			series.Y = append(series.Y, v)
+		}
+		c.Series = append(c.Series, series)
+	}
+	return c
+}

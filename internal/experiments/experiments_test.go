@@ -1,0 +1,526 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"clrdse/internal/runtime"
+)
+
+// One quick-scale lab shared across the experiment tests; the builds
+// inside are cached, so order does not matter.
+var (
+	labOnce sync.Once
+	lab     *Lab
+)
+
+func quickLab(t *testing.T) *Lab {
+	t.Helper()
+	labOnce.Do(func() {
+		s := QuickScale()
+		s.TaskSizes = []int{10, 20} // keep the sweep tight for tests
+		lab = NewLab(s)
+	})
+	return lab
+}
+
+func TestScalesSane(t *testing.T) {
+	for _, s := range []Scale{QuickScale(), FullScale()} {
+		if len(s.TaskSizes) == 0 || s.GAPop < 2 || s.SimCycles <= 0 {
+			t.Errorf("scale %q malformed: %+v", s.Name, s)
+		}
+	}
+	full := FullScale()
+	if full.TaskSizes[0] != 10 || full.TaskSizes[len(full.TaskSizes)-1] != 100 {
+		t.Error("full scale should sweep 10..100 tasks like the paper")
+	}
+	if full.SimCycles != 1_000_000 {
+		t.Error("full scale should simulate 1e6 cycles like the paper")
+	}
+}
+
+func TestLabCachesSystems(t *testing.T) {
+	l := quickLab(t)
+	a, err := l.System(10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.System(10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("System(10) not cached")
+	}
+	c, err := l.System(10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("CSP variant should be a distinct build")
+	}
+}
+
+func TestFig1(t *testing.T) {
+	l := quickLab(t)
+	r, err := l.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Systems) != 3 {
+		t.Fatalf("systems = %d, want 3", len(r.Systems))
+	}
+	byName := map[string]Fig1System{}
+	for _, s := range r.Systems {
+		byName[s.Name] = s
+		if len(s.Front) == 0 {
+			t.Errorf("%s: empty front", s.Name)
+		}
+		if s.AvgEnergyMJ <= 0 {
+			t.Errorf("%s: no dynamic J_avg", s.Name)
+		}
+	}
+	// The motivation claim: dynamic CLR beats the fixed worst-case
+	// configuration, and the finer CLR2 space does not lose to CLR1.
+	clr2 := byName["CLR2"]
+	if clr2.FixedEnergyMJ > 0 && clr2.AvgEnergyMJ > clr2.FixedEnergyMJ {
+		t.Errorf("CLR2 dynamic J_avg %v should be <= fixed %v", clr2.AvgEnergyMJ, clr2.FixedEnergyMJ)
+	}
+	// CLR spaces should offer at least as many adaptation points as
+	// HW-only.
+	if len(byName["CLR2"].Front) < len(byName["HW-Only"].Front) {
+		t.Error("CLR2 should store at least as many points as HW-Only")
+	}
+	out := r.Render()
+	for _, want := range []string{"Figure 1", "HW-Only", "CLR1", "CLR2", "J_avg"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestTable4(t *testing.T) {
+	l := quickLab(t)
+	r, err := l.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(l.Scale.TaskSizes) {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), len(l.Scale.TaskSizes))
+	}
+	for _, row := range r.Rows {
+		if len(row.Values) != 1 {
+			t.Fatalf("row %d has %d values", row.Tasks, len(row.Values))
+		}
+		// ReD must not cost more than BaseD: reduction >= 0 (the
+		// paper reports 23..56%).
+		if row.Values[0] < 0 {
+			t.Errorf("n=%d: negative migration-cost reduction %v", row.Tasks, row.Values[0])
+		}
+		if row.Values[0] > 100 {
+			t.Errorf("n=%d: reduction over 100%%: %v", row.Tasks, row.Values[0])
+		}
+	}
+	if !strings.Contains(r.Render(), "Table 4") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable5(t *testing.T) {
+	l := quickLab(t)
+	r, err := l.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		redDRC, incJ := row.Values[0], row.Values[1]
+		// pRC=0 must not reconfigure more expensively than pRC=1.
+		if redDRC < 0 {
+			t.Errorf("n=%d: pRC=0 raised reconfiguration cost (%v%%)", row.Tasks, redDRC)
+		}
+		// And the energy increase is the price paid — never a gain.
+		if incJ < -1e-9 {
+			t.Errorf("n=%d: pRC=0 reduced energy (%v%%), impossible for argmax-RET", row.Tasks, incJ)
+		}
+	}
+}
+
+func TestTable6(t *testing.T) {
+	l := quickLab(t)
+	r, err := l.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if len(row.Values) != 2 {
+			t.Fatalf("row %d has %d values", row.Tasks, len(row.Values))
+		}
+		// ReD adds points, so at pRC=0 it should roughly match or
+		// improve reconfiguration cost (paper: 0.1..26%). The greedy
+		// policy is path-dependent, so allow a small regression.
+		if row.Values[0] < -5 {
+			t.Errorf("n=%d: ReD raised reconfiguration cost at pRC=0 by %v%%", row.Tasks, -row.Values[0])
+		}
+	}
+}
+
+func TestTable7(t *testing.T) {
+	l := quickLab(t)
+	r, err := l.Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if len(row.Values) != 2 {
+			t.Fatalf("row %d has %d values", row.Tasks, len(row.Values))
+		}
+		// AuRA may win or slightly lose (the paper's Table 7 has
+		// negative entries too); just require sane magnitudes.
+		for _, v := range row.Values {
+			if v < -100 || v > 100 {
+				t.Errorf("n=%d: improvement %v%% out of range", row.Tasks, v)
+			}
+		}
+	}
+}
+
+func TestFig5(t *testing.T) {
+	l := quickLab(t)
+	r, err := l.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) == 0 {
+		t.Fatal("no design points")
+	}
+	pareto, extra := 0, 0
+	for _, p := range r.Points {
+		if p.FromReD {
+			extra++
+		} else {
+			pareto++
+		}
+		if p.MakespanMs <= 0 || p.EnergyMJ <= 0 || p.Reliability <= 0 {
+			t.Errorf("degenerate point %+v", p)
+		}
+	}
+	if pareto == 0 {
+		t.Error("no Pareto points in Fig5")
+	}
+	out := r.Render()
+	if extra > 0 && !strings.Contains(out, ">") {
+		t.Error("render should mark ReD points with '>'")
+	}
+}
+
+func TestFig6(t *testing.T) {
+	l := quickLab(t)
+	r, err := l.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.BaseD.Costs) == 0 || len(r.ReD.Costs) == 0 {
+		t.Fatal("empty traces")
+	}
+	// The paper's observation: the Pareto-performance approach adapts
+	// more often than the reconfiguration-cost-aware one (31 vs 24 in
+	// the paper's window).
+	if r.ReD.Reconfigs > r.BaseD.Reconfigs {
+		t.Errorf("ReD reconfigs %d > BaseD %d", r.ReD.Reconfigs, r.BaseD.Reconfigs)
+	}
+	out := r.Render()
+	for _, want := range []string{"Figure 6", "reconfigurations", "max dRC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig7(t *testing.T) {
+	l := quickLab(t)
+	r, err := l.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) == 0 {
+		t.Fatal("no series")
+	}
+	for _, s := range r.Series {
+		if len(s.PRC) != 11 {
+			t.Fatalf("n=%d: %d sweep points, want 11", s.Tasks, len(s.PRC))
+		}
+		// Endpoints: energy normalised to pRC=0 (first = 1), dRC
+		// normalised to pRC=1 (last = 1 if any reconfig happens).
+		if s.RelEnergy[0] != 1 {
+			t.Errorf("n=%d: RelEnergy[0] = %v, want 1", s.Tasks, s.RelEnergy[0])
+		}
+		// Energy at pRC=1 must be <= energy at pRC=0.
+		if last := s.RelEnergy[len(s.RelEnergy)-1]; last > 1+1e-9 {
+			t.Errorf("n=%d: energy should not rise with pRC: rel=%v", s.Tasks, last)
+		}
+		// dRC at pRC=0 must be <= dRC at pRC=1.
+		if s.RelDRC[0] > s.RelDRC[len(s.RelDRC)-1]+1e-9 {
+			t.Errorf("n=%d: dRC at pRC=0 (%v) exceeds pRC=1 (%v)", s.Tasks, s.RelDRC[0], s.RelDRC[len(s.RelDRC)-1])
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &TableResult{
+		Title:   "T",
+		Columns: []string{"a", "b"},
+		Rows: []TableRow{
+			{Tasks: 10, Values: []float64{1.25, -2}},
+			{Tasks: 20, Values: []float64{3, 4}},
+		},
+	}
+	out := tbl.Render()
+	for _, want := range []string{"T", "Number of Tasks", "10", "20", "1.2", "-2.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPctHelpers(t *testing.T) {
+	if pct(100, 60) != 40 {
+		t.Errorf("pct(100,60) = %v", pct(100, 60))
+	}
+	if pct(0, 5) != 0 {
+		t.Error("pct with zero base should be 0")
+	}
+	if pctIncrease(100, 110) != 10 {
+		t.Errorf("pctIncrease(100,110) = %v", pctIncrease(100, 110))
+	}
+	if pctIncrease(0, 5) != 0 {
+		t.Error("pctIncrease with zero base should be 0")
+	}
+}
+
+func TestFigureCharts(t *testing.T) {
+	l := quickLab(t)
+	f1, err := l.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svg := f1.Chart().SVG(); !strings.Contains(svg, "Figure 1") {
+		t.Error("fig1 chart missing title")
+	}
+	f5, err := l.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svg := f5.Chart().SVG(); !strings.Contains(svg, "Pareto front") {
+		t.Error("fig5 chart missing legend")
+	}
+	f6, err := l.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svg := f6.Chart().SVG(); !strings.Contains(svg, "reconfigs") {
+		t.Error("fig6 chart missing reconfig counts")
+	}
+	f7, err := l.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, d := f7.Charts()
+	if !strings.Contains(e.SVG(), "7a") || !strings.Contains(d.SVG(), "7b") {
+		t.Error("fig7 charts missing titles")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	l := quickLab(t)
+	r, err := l.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(l.Scale.TaskSizes) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Points == 0 {
+			t.Fatalf("n=%d: no points injected", row.Tasks)
+		}
+		// The analytic models must track the injected behaviour: the
+		// error-probability gap is bounded by sampling noise and the
+		// time/energy gaps stay within a couple of percent.
+		if row.MaxErrProbGap > 0.02 {
+			t.Errorf("n=%d: ErrProb gap %v too large", row.Tasks, row.MaxErrProbGap)
+		}
+		if row.MaxTimeGapPct > 3 {
+			t.Errorf("n=%d: AvgExT gap %v%% too large", row.Tasks, row.MaxTimeGapPct)
+		}
+		if row.MaxRelGap > 0.01 {
+			t.Errorf("n=%d: F_app gap %v too large", row.Tasks, row.MaxRelGap)
+		}
+		if row.MaxEnergyGapPct > 3 {
+			t.Errorf("n=%d: J_app gap %v%% too large", row.Tasks, row.MaxEnergyGapPct)
+		}
+	}
+	out := r.Render()
+	if !strings.Contains(out, "Model validation") {
+		t.Error("render missing title")
+	}
+}
+
+func TestScalability(t *testing.T) {
+	l := quickLab(t)
+	r, err := l.Scalability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(l.Scale.TaskSizes) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	prevSpace := 0.0
+	for _, row := range r.Rows {
+		if row.Log10Space <= prevSpace {
+			t.Errorf("n=%d: design space log10 %v should grow with size", row.Tasks, row.Log10Space)
+		}
+		prevSpace = row.Log10Space
+		if row.Stage1Evals <= 0 || row.ReDEvals <= 0 {
+			t.Errorf("n=%d: missing eval counts %+v", row.Tasks, row)
+		}
+		if row.FrontSize <= 0 {
+			t.Errorf("n=%d: empty front", row.Tasks)
+		}
+	}
+	if !strings.Contains(r.Render(), "scalability") {
+		t.Error("render missing title")
+	}
+}
+
+func TestSensitivity(t *testing.T) {
+	l := quickLab(t)
+	r, err := l.Sensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 rate levels", len(r.Rows))
+	}
+	for i := 1; i < len(r.Rows); i++ {
+		// Harsher radiation can only shrink the achievable reliability.
+		if r.Rows[i].BestF > r.Rows[i-1].BestF+1e-6 {
+			t.Errorf("best F rose with fault rate: %v -> %v",
+				r.Rows[i-1].BestF, r.Rows[i].BestF)
+		}
+	}
+	// At some rate the fixed target becomes more expensive (or
+	// unreachable) than at the base rate.
+	base, harshest := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if base.JAtTarget > 0 && harshest.JAtTarget > 0 && harshest.JAtTarget < base.JAtTarget*0.98 {
+		t.Errorf("target got cheaper under 8x radiation: %v vs %v", harshest.JAtTarget, base.JAtTarget)
+	}
+	if !strings.Contains(r.Render(), "sensitivity") {
+		t.Error("render missing title")
+	}
+}
+
+func TestStorage(t *testing.T) {
+	l := quickLab(t)
+	r, err := l.Storage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Rows[0].Budget != r.FullSize {
+		t.Errorf("first row should be the full database")
+	}
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Budget > r.Rows[i-1].Budget {
+			t.Errorf("budgets should shrink: %v", r.Rows)
+		}
+		// Decision latency scales with the stored set.
+		if r.Rows[i].ChecksPerEvent > r.Rows[i-1].ChecksPerEvent+1e-9 {
+			t.Errorf("checks/event should not grow as the database shrinks: %v", r.Rows)
+		}
+		// A smaller database can only satisfy fewer specs.
+		if r.Rows[i].ViolationEvents < r.Rows[i-1].ViolationEvents {
+			t.Errorf("violations should not drop with fewer points: %v", r.Rows)
+		}
+	}
+	if !strings.Contains(r.Render(), "Storage budget") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig1BarChart(t *testing.T) {
+	l := quickLab(t)
+	r, err := l.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fronts, bars := r.Charts()
+	if !strings.Contains(fronts.SVG(), "error rate") {
+		t.Error("fronts chart missing axis label")
+	}
+	svg := bars.SVG()
+	for _, want := range []string{"J_avg", "HW-Only", "dynamic CLR"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("bar chart missing %q", want)
+		}
+	}
+}
+
+func TestConvergence(t *testing.T) {
+	l := quickLab(t)
+	r, err := l.Convergence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 3 {
+		t.Fatalf("series = %d, want 3", len(r.Series))
+	}
+	for _, s := range r.Series {
+		if len(s.HV) != l.Scale.GAGens {
+			t.Fatalf("n=%d: %d generations tracked", s.Tasks, len(s.HV))
+		}
+		last := s.HV[len(s.HV)-1]
+		if last < 0.999 || last > 1.001 {
+			t.Errorf("n=%d: final normalised HV = %v, want 1", s.Tasks, last)
+		}
+		// Elitism: normalised HV never exceeds ~1 and ends at max.
+		for g, v := range s.HV {
+			if v > 1.0001 {
+				t.Errorf("n=%d gen %d: HV %v above final", s.Tasks, g, v)
+			}
+		}
+		if s.SaturationGen < 0 || s.SaturationGen >= len(s.HV) {
+			t.Errorf("n=%d: saturation gen %d out of range", s.Tasks, s.SaturationGen)
+		}
+	}
+	if !strings.Contains(r.Render(), "convergence") {
+		t.Error("render missing title")
+	}
+	if !strings.Contains(r.Chart().SVG(), "generation") {
+		t.Error("chart missing axis")
+	}
+}
+
+func TestSimulatePolicyHonoursHypervolume(t *testing.T) {
+	// The Table 4 baseline path must genuinely run the hypervolume
+	// policy: at identical settings it reconfigures more than lazy RET.
+	l := quickLab(t)
+	sys, err := l.System(10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := int64(991)
+	hv, err := l.simulatePolicy(sys, sys.BaseD, 0, runtime.TriggerAlways, runtime.PolicyHypervolume, nil, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, err := l.simulatePolicy(sys, sys.BaseD, 0, runtime.TriggerAlways, runtime.PolicyRET, nil, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv.Reconfigs <= ret.Reconfigs {
+		t.Errorf("hypervolume policy reconfigs %d <= RET %d", hv.Reconfigs, ret.Reconfigs)
+	}
+}

@@ -1,0 +1,238 @@
+package experiments
+
+// Figures 5, 6 and 7 of the paper's evaluation.
+
+import (
+	"fmt"
+	"strings"
+
+	"clrdse/internal/dse"
+	"clrdse/internal/runtime"
+)
+
+// --- Figure 5 -------------------------------------------------------
+
+// Fig5Point is one stored design point in the (makespan, energy)
+// plane; FromReD marks the additional non-dominant points ('>' in the
+// paper's plot).
+type Fig5Point struct {
+	MakespanMs  float64
+	EnergyMJ    float64
+	Reliability float64
+	FromReD     bool
+}
+
+// Fig5Result is the design-point scatter for the largest application.
+type Fig5Result struct {
+	Tasks  int
+	Points []Fig5Point
+}
+
+// Fig5 regenerates the Pareto-front-plus-additional-points plot. As in
+// the paper, the points come from the constraint-satisfaction problem
+// (R(X_i)=0); the paper shows the 80-task application, we use the
+// largest size the scale sweeps.
+func (l *Lab) Fig5() (*Fig5Result, error) {
+	n := l.Scale.TaskSizes[len(l.Scale.TaskSizes)-1]
+	sys, err := l.System(n, true)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{Tasks: n}
+	for _, p := range sys.ReD.Points {
+		res.Points = append(res.Points, Fig5Point{
+			MakespanMs:  p.MakespanMs,
+			EnergyMJ:    p.EnergyMJ,
+			Reliability: p.Reliability,
+			FromReD:     p.FromReD,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the scatter as rows; ReD additions carry the paper's
+// '>' marker.
+func (r *Fig5Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: Pareto front and additional reconfiguration-cost-aware points (n=%d)\n", r.Tasks)
+	fmt.Fprintf(&b, "%-2s %12s %12s %12s\n", "", "makespan/ms", "energy/mJ", "reliability")
+	for _, p := range r.Points {
+		marker := " "
+		if p.FromReD {
+			marker = ">"
+		}
+		fmt.Fprintf(&b, "%-2s %12.2f %12.2f %12.4f\n", marker, p.MakespanMs, p.EnergyMJ, p.Reliability)
+	}
+	return b.String()
+}
+
+// --- Figure 6 -------------------------------------------------------
+
+// Fig6Trace is one manager's reaction to the first events of the
+// shared QoS sequence.
+type Fig6Trace struct {
+	Name      string
+	Costs     []float64 // dRC per event (0 = no adaptation)
+	Reconfigs int
+	MaxDRC    float64
+}
+
+// Fig6Result compares the reconfiguration-cost traces of the two
+// databases over the same sequence of QoS requirement changes.
+type Fig6Result struct {
+	Tasks  int
+	Events int
+	BaseD  Fig6Trace
+	ReD    Fig6Trace
+}
+
+// Fig6 regenerates the 50-event reconfiguration-cost trace comparison
+// on the CSP problem (as in the paper). BaseD hunts the best
+// hyper-volume point at every change (region-A behaviour); ReD adapts
+// only on violation, preferring cheap moves.
+func (l *Lab) Fig6() (*Fig6Result, error) {
+	n := l.Scale.TaskSizes[len(l.Scale.TaskSizes)-1]
+	const events = 50
+	sys, err := l.System(n, true)
+	if err != nil {
+		return nil, err
+	}
+	seed := l.Scale.Seed*47 + int64(n)
+	run := func(name string, db *dse.Database, trig runtime.Trigger, pol runtime.Policy) (Fig6Trace, error) {
+		p := sys.RuntimeParams(db, 0, seed)
+		p.Cycles = l.Scale.SimCycles
+		p.Trigger = trig
+		p.Policy = pol
+		p.TraceLen = events
+		p.QoS = runtime.ModelFromDatabase(sys.BaseD)
+		m, err := runtime.Simulate(p)
+		if err != nil {
+			return Fig6Trace{}, err
+		}
+		tr := Fig6Trace{Name: name}
+		for _, e := range m.Trace {
+			tr.Costs = append(tr.Costs, e.DRC)
+			if e.Reconfigured {
+				tr.Reconfigs++
+			}
+			if e.DRC > tr.MaxDRC {
+				tr.MaxDRC = e.DRC
+			}
+		}
+		return tr, nil
+	}
+	baseTr, err := run("BaseD", sys.BaseD, runtime.TriggerAlways, runtime.PolicyHypervolume)
+	if err != nil {
+		return nil, err
+	}
+	redTr, err := run("ReD", sys.ReD, runtime.TriggerOnViolation, runtime.PolicyRET)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig6Result{Tasks: n, Events: events, BaseD: baseTr, ReD: redTr}, nil
+}
+
+// Render prints both traces side by side plus the summary counts.
+func (r *Fig6Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: reconfiguration cost trace over %d QoS changes (n=%d)\n", r.Events, r.Tasks)
+	fmt.Fprintf(&b, "%-6s %12s %12s\n", "event", "BaseD dRC", "ReD dRC")
+	for i := 0; i < len(r.BaseD.Costs) || i < len(r.ReD.Costs); i++ {
+		bc, rc := 0.0, 0.0
+		if i < len(r.BaseD.Costs) {
+			bc = r.BaseD.Costs[i]
+		}
+		if i < len(r.ReD.Costs) {
+			rc = r.ReD.Costs[i]
+		}
+		fmt.Fprintf(&b, "%-6d %12.3f %12.3f\n", i, bc, rc)
+	}
+	fmt.Fprintf(&b, "reconfigurations: BaseD=%d ReD=%d\n", r.BaseD.Reconfigs, r.ReD.Reconfigs)
+	fmt.Fprintf(&b, "max dRC:          BaseD=%.3f ReD=%.3f\n", r.BaseD.MaxDRC, r.ReD.MaxDRC)
+	return b.String()
+}
+
+// --- Figure 7 -------------------------------------------------------
+
+// Fig7Series is one application's sweep over pRC.
+type Fig7Series struct {
+	Tasks int
+	// PRC holds the sweep grid.
+	PRC []float64
+	// RelEnergy is average energy normalised to the pRC=0 value
+	// (green curves: decreasing towards pRC=1).
+	RelEnergy []float64
+	// RelDRC is average reconfiguration cost normalised to the pRC=1
+	// value (red curves: maximum at pRC=1).
+	RelDRC []float64
+}
+
+// Fig7Result is the pRC-sweep figure over several applications.
+type Fig7Result struct {
+	Series []Fig7Series
+}
+
+// Fig7 sweeps pRC from 0 to 1 in steps of 0.1 for up to five
+// applications and reports the relative variation of average energy
+// and average reconfiguration cost.
+func (l *Lab) Fig7() (*Fig7Result, error) {
+	sizes := l.Scale.TaskSizes
+	if len(sizes) > 5 {
+		// The paper plots five applications; take every other size.
+		var picked []int
+		for i := 1; i < len(sizes); i += 2 {
+			picked = append(picked, sizes[i])
+		}
+		sizes = picked
+	}
+	res := &Fig7Result{}
+	for _, n := range sizes {
+		sys, err := l.System(n, false)
+		if err != nil {
+			return nil, err
+		}
+		db := sys.Database()
+		seed := l.Scale.Seed*53 + int64(n)
+		s := Fig7Series{Tasks: n}
+		var energies, drcs []float64
+		for i := 0; i <= 10; i++ {
+			prc := float64(i) / 10
+			m, err := l.simulate(sys, db, prc, runtime.TriggerAlways, nil, seed)
+			if err != nil {
+				return nil, err
+			}
+			s.PRC = append(s.PRC, prc)
+			energies = append(energies, m.AvgEnergyMJ)
+			drcs = append(drcs, m.AvgDRC)
+		}
+		e0 := energies[0]
+		d1 := drcs[len(drcs)-1]
+		for i := range energies {
+			if e0 > 0 {
+				s.RelEnergy = append(s.RelEnergy, energies[i]/e0)
+			} else {
+				s.RelEnergy = append(s.RelEnergy, 1)
+			}
+			if d1 > 0 {
+				s.RelDRC = append(s.RelDRC, drcs[i]/d1)
+			} else {
+				s.RelDRC = append(s.RelDRC, 0)
+			}
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// Render prints one block per application.
+func (r *Fig7Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 7: relative variation of average energy and reconfiguration cost with pRC\n")
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "\nn=%d tasks\n%-6s %12s %12s\n", s.Tasks, "pRC", "rel energy", "rel dRC")
+		for i := range s.PRC {
+			fmt.Fprintf(&b, "%-6.1f %12.4f %12.4f\n", s.PRC[i], s.RelEnergy[i], s.RelDRC[i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,169 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 5). Each experiment is a function on a
+// Lab — a cache of built design-time systems — returning a structured
+// result with a Render method that prints rows shaped like the
+// paper's.
+//
+// Two scales are provided: QuickScale for tests and benchmarks
+// (small GA budgets, short simulations) and FullScale approximating
+// the paper's setup (applications of 10-100 tasks, one-million-cycle
+// Monte-Carlo runs). Absolute numbers differ from the paper's testbed;
+// EXPERIMENTS.md records the shape comparison.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"clrdse/internal/core"
+	"clrdse/internal/dse"
+	"clrdse/internal/ga"
+	"clrdse/internal/platform"
+	"clrdse/internal/taskgraph"
+)
+
+// Scale bundles every knob that trades fidelity for runtime.
+type Scale struct {
+	// Name labels the scale in reports.
+	Name string
+	// TaskSizes are the synthetic application sizes (the paper sweeps
+	// 10..100).
+	TaskSizes []int
+	// GAPop/GAGens configure the stage-1 MOEA.
+	GAPop, GAGens int
+	// ReDPop/ReDGens configure each per-seed ReD sub-optimisation.
+	ReDPop, ReDGens int
+	// MaxExtraPerSeed bounds ReD database growth.
+	MaxExtraPerSeed int
+	// SimCycles is the Monte-Carlo horizon in application execution
+	// cycles (the paper uses 1e6).
+	SimCycles float64
+	// PretrainCycles is AuRA's offline prior-knowledge horizon.
+	PretrainCycles float64
+	// Reps is the number of independent event streams each table
+	// entry is averaged over (0 selects 1). The paper reports single
+	// runs; averaging denoises the small percentage differences.
+	Reps int
+	// Seed roots all randomness.
+	Seed int64
+}
+
+// QuickScale returns the reduced setup used by unit tests and
+// benchmarks.
+func QuickScale() Scale {
+	return Scale{
+		Name:            "quick",
+		TaskSizes:       []int{10, 20, 30},
+		GAPop:           24,
+		GAGens:          10,
+		ReDPop:          16,
+		ReDGens:         8,
+		MaxExtraPerSeed: 2,
+		SimCycles:       50_000,
+		PretrainCycles:  100_000,
+		Reps:            3,
+		Seed:            1,
+	}
+}
+
+// FullScale approximates the paper's experimental setup.
+func FullScale() Scale {
+	return Scale{
+		Name:            "full",
+		TaskSizes:       []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100},
+		GAPop:           80,
+		GAGens:          60,
+		ReDPop:          40,
+		ReDGens:         25,
+		MaxExtraPerSeed: 3,
+		SimCycles:       1_000_000,
+		PretrainCycles:  500_000,
+		Reps:            5,
+		Seed:            1,
+	}
+}
+
+// sysKey identifies a cached system build.
+type sysKey struct {
+	n   int
+	csp bool
+}
+
+// Lab caches design-time builds so several experiments can share them.
+type Lab struct {
+	Scale Scale
+
+	mu      sync.Mutex
+	systems map[sysKey]*core.System
+}
+
+// NewLab returns a lab at the given scale.
+func NewLab(s Scale) *Lab {
+	return &Lab{Scale: s, systems: make(map[sysKey]*core.System)}
+}
+
+// App generates the synthetic application of the given size,
+// deterministic in the lab seed.
+func (l *Lab) App(n int) (*taskgraph.Graph, error) {
+	return taskgraph.Generate(taskgraph.GenParams{
+		Seed:     l.Scale.Seed*101 + int64(n),
+		NumTasks: n,
+	}, platform.Default())
+}
+
+// System builds (or returns the cached) full design-time result for
+// the given application size.
+func (l *Lab) System(n int, csp bool) (*core.System, error) {
+	key := sysKey{n: n, csp: csp}
+	l.mu.Lock()
+	if sys, ok := l.systems[key]; ok {
+		l.mu.Unlock()
+		return sys, nil
+	}
+	l.mu.Unlock()
+
+	app, err := l.App(n)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.Build(app, core.Options{
+		Seed: l.Scale.Seed*1009 + int64(n),
+		CSP:  csp,
+		StageOne: ga.Params{
+			PopSize:     l.Scale.GAPop,
+			Generations: l.Scale.GAGens,
+		},
+		ReD: dse.ReDParams{
+			GA: ga.Params{
+				PopSize:     l.Scale.ReDPop,
+				Generations: l.Scale.ReDGens,
+			},
+			MaxExtraPerSeed: l.Scale.MaxExtraPerSeed,
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: build n=%d: %w", n, err)
+	}
+	l.mu.Lock()
+	l.systems[key] = sys
+	l.mu.Unlock()
+	return sys, nil
+}
+
+// pct returns the percentage reduction of got versus base:
+// positive = got is lower (better), matching the paper's
+// "% Reduction" rows. A zero base yields 0.
+func pct(base, got float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - got) / base
+}
+
+// pctIncrease returns the percentage increase of got over base.
+func pctIncrease(base, got float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (got - base) / base
+}

@@ -1,0 +1,117 @@
+package experiments
+
+// Scalability experiment (beyond the paper's tables): how the
+// design-time exploration effort and the stored-database footprint
+// grow with application size. The joint optimisation's design-space
+// explosion is the paper's core motivation for the hybrid approach, so
+// the reproduction reports the effort figures its own DSE incurs:
+// genome-space size, distinct schedule evaluations per stage, and the
+// resulting database sizes.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"clrdse/internal/dse"
+	"clrdse/internal/ga"
+	"clrdse/internal/mapping"
+	"clrdse/internal/platform"
+	"clrdse/internal/relmodel"
+)
+
+// ScalabilityRow is one application size's effort figures.
+type ScalabilityRow struct {
+	Tasks int
+	// Log10Space is log10 of the CLR-integrated mapping-space size
+	// |X_app| = prod_t |M_t x C_t| (priorities excluded).
+	Log10Space float64
+	// Stage1Evals / ReDEvals are distinct schedule evaluations.
+	Stage1Evals, ReDEvals int
+	// FrontSize / ReDExtras are the database contributions.
+	FrontSize, ReDExtras int
+}
+
+// ScalabilityResult is the sweep.
+type ScalabilityResult struct {
+	Rows []ScalabilityRow
+}
+
+// Scalability runs instrumented DSE builds across the size sweep.
+func (l *Lab) Scalability() (*ScalabilityResult, error) {
+	res := &ScalabilityResult{}
+	for _, n := range l.Scale.TaskSizes {
+		app, err := l.App(n)
+		if err != nil {
+			return nil, err
+		}
+		stats := &dse.Stats{}
+		prob := &dse.Problem{
+			Space: &mapping.Space{
+				Graph:     app,
+				Platform:  platform.Default(),
+				Catalogue: relmodel.DefaultCatalogue(),
+			},
+			Env:    relmodel.DefaultEnv(),
+			SMaxMs: app.PeriodMs,
+			FMin:   0.90,
+			Stats:  stats,
+		}
+		base, err := dse.RunBase(prob, ga.Params{
+			PopSize:     l.Scale.GAPop,
+			Generations: l.Scale.GAGens,
+			Seed:        l.Scale.Seed*883 + int64(n),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scalability n=%d: %w", n, err)
+		}
+		if _, err := dse.RunReD(prob, base, dse.ReDParams{
+			GA: ga.Params{
+				PopSize:     l.Scale.ReDPop,
+				Generations: l.Scale.ReDGens,
+				Seed:        l.Scale.Seed*887 + int64(n),
+			},
+			MaxExtraPerSeed: l.Scale.MaxExtraPerSeed,
+		}); err != nil {
+			return nil, fmt.Errorf("experiments: scalability ReD n=%d: %w", n, err)
+		}
+		res.Rows = append(res.Rows, ScalabilityRow{
+			Tasks:       n,
+			Log10Space:  log10SpaceSize(prob.Space),
+			Stage1Evals: stats.Stage1Evals,
+			ReDEvals:    stats.ReDEvals,
+			FrontSize:   stats.Stage1Front,
+			ReDExtras:   stats.ReDExtras,
+		})
+	}
+	return res, nil
+}
+
+// log10SpaceSize computes log10 of prod_t (#runnable (impl,PE) pairs x
+// #CLR configs) — the per-task decision space of Eq. (4) without the
+// ordering component.
+func log10SpaceSize(s *mapping.Space) float64 {
+	total := 0.0
+	configs := float64(s.Catalogue.NumConfigs())
+	for t := range s.Graph.Tasks {
+		options := 0
+		for _, impl := range s.RunnableImpls(t) {
+			options += len(s.CompatiblePEs(t, impl))
+		}
+		total += math.Log10(float64(options) * configs)
+	}
+	return total
+}
+
+// Render prints the sweep.
+func (r *ScalabilityResult) Render() string {
+	var b strings.Builder
+	b.WriteString("DSE scalability: exploration effort vs application size\n")
+	fmt.Fprintf(&b, "%-8s %14s %14s %12s %10s %10s\n",
+		"tasks", "log10|X_app|", "stage1 evals", "ReD evals", "front", "extras")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8d %14.1f %14d %12d %10d %10d\n",
+			row.Tasks, row.Log10Space, row.Stage1Evals, row.ReDEvals, row.FrontSize, row.ReDExtras)
+	}
+	return b.String()
+}

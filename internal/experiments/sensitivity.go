@@ -1,0 +1,96 @@
+package experiments
+
+// SEU-rate sensitivity experiment. The paper treats external changes —
+// "a change in QoS requirements or Single Event Upset rate lambda_SEU"
+// — as separate instances of the methodology; this sweep quantifies
+// that: the same application is re-explored under scaled fault rates,
+// and the achievable QoS envelope plus the cost of holding a fixed
+// reliability target are reported.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"clrdse/internal/core"
+	"clrdse/internal/ga"
+	"clrdse/internal/relmodel"
+)
+
+// SensitivityRow is one fault-rate level.
+type SensitivityRow struct {
+	// LambdaFactor scales relmodel.DefaultEnv's SEU rate.
+	LambdaFactor float64
+	// BestF is the highest functional reliability on the front.
+	BestF float64
+	// MinJ is the lowest energy on the front (the floor under no
+	// reliability pressure).
+	MinJ float64
+	// JAtTarget is the cheapest energy meeting F >= FTarget, or 0 if
+	// the target is unreachable at this rate.
+	JAtTarget float64
+	// Points is the database size.
+	Points int
+}
+
+// SensitivityResult is the sweep.
+type SensitivityResult struct {
+	Tasks   int
+	FTarget float64
+	Rows    []SensitivityRow
+}
+
+// Sensitivity explores one mid-sized application under 1x/2x/4x/8x the
+// default SEU rate.
+func (l *Lab) Sensitivity() (*SensitivityResult, error) {
+	n := l.Scale.TaskSizes[len(l.Scale.TaskSizes)/2]
+	app, err := l.App(n)
+	if err != nil {
+		return nil, err
+	}
+	const fTarget = 0.999
+	res := &SensitivityResult{Tasks: n, FTarget: fTarget}
+	for _, factor := range []float64{1, 2, 4, 8} {
+		env := relmodel.DefaultEnv()
+		env.LambdaSEUPerMs *= factor
+		sys, err := core.Build(app, core.Options{
+			Seed: l.Scale.Seed*907 + int64(factor),
+			Env:  env,
+			FMin: 0.80,
+			StageOne: ga.Params{
+				PopSize:     l.Scale.GAPop,
+				Generations: l.Scale.GAGens,
+			},
+			SkipReD: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sensitivity %gx: %w", factor, err)
+		}
+		row := SensitivityRow{LambdaFactor: factor, MinJ: math.Inf(1), Points: sys.BaseD.Len()}
+		for _, p := range sys.BaseD.Points {
+			row.BestF = math.Max(row.BestF, p.Reliability)
+			row.MinJ = math.Min(row.MinJ, p.EnergyMJ)
+			if p.Reliability >= fTarget && (row.JAtTarget == 0 || p.EnergyMJ < row.JAtTarget) {
+				row.JAtTarget = p.EnergyMJ
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the sweep.
+func (r *SensitivityResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SEU-rate sensitivity (n=%d tasks, target F >= %.3f)\n", r.Tasks, r.FTarget)
+	fmt.Fprintf(&b, "%-10s %10s %12s %16s %8s\n", "lambda", "best F", "min J (mJ)", "J @ target (mJ)", "points")
+	for _, row := range r.Rows {
+		target := "unreachable"
+		if row.JAtTarget > 0 {
+			target = fmt.Sprintf("%.2f", row.JAtTarget)
+		}
+		fmt.Fprintf(&b, "%-10s %10.5f %12.2f %16s %8d\n",
+			fmt.Sprintf("%gx", row.LambdaFactor), row.BestF, row.MinJ, target, row.Points)
+	}
+	return b.String()
+}

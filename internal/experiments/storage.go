@@ -1,0 +1,95 @@
+package experiments
+
+// Storage-constraint experiment (the paper's concluding concern:
+// "storing multiple design points ... can lead to inadequate storage
+// and longer run-time DSE"). The stored database is pruned to a sweep
+// of budgets and the run-time consequences are measured: energy,
+// adaptation cost, unsatisfiable events, and the decision-latency
+// proxy (stored-point inspections per event).
+
+import (
+	"fmt"
+	"strings"
+
+	"clrdse/internal/dse"
+	"clrdse/internal/runtime"
+)
+
+// StorageRow is one budget level.
+type StorageRow struct {
+	// Budget is the stored-point cap (the full database on the first
+	// row).
+	Budget int
+	// AvgEnergyMJ, AvgDRC and ViolationEvents are the run-time
+	// outcomes under the pruned database.
+	AvgEnergyMJ     float64
+	AvgDRC          float64
+	ViolationEvents int
+	// ChecksPerEvent is the mean number of stored-point inspections
+	// per QoS event.
+	ChecksPerEvent float64
+}
+
+// StorageResult is the sweep.
+type StorageResult struct {
+	Tasks    int
+	FullSize int
+	Rows     []StorageRow
+}
+
+// Storage prunes the largest application's database to 100%, 50%, 25%
+// and 12.5% of its points and replays the same event stream.
+func (l *Lab) Storage() (*StorageResult, error) {
+	n := l.Scale.TaskSizes[len(l.Scale.TaskSizes)-1]
+	sys, err := l.System(n, false)
+	if err != nil {
+		return nil, err
+	}
+	full := sys.Database()
+	res := &StorageResult{Tasks: n, FullSize: full.Len()}
+	seed := l.Scale.Seed*911 + int64(n)
+
+	budgets := []int{full.Len(), full.Len() / 2, full.Len() / 4, full.Len() / 8}
+	for _, budget := range budgets {
+		if budget < 2 {
+			budget = 2
+		}
+		db := full
+		if budget < full.Len() {
+			db, err = dse.Prune(full, budget, false)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: storage prune to %d: %w", budget, err)
+			}
+		}
+		p := sys.RuntimeParams(db, 0.5, seed)
+		p.Cycles = l.Scale.SimCycles
+		p.QoS = runtime.ModelFromDatabase(full) // identical stream at all budgets
+		m, err := runtime.Simulate(p)
+		if err != nil {
+			return nil, err
+		}
+		row := StorageRow{
+			Budget:          db.Len(),
+			AvgEnergyMJ:     m.AvgEnergyMJ,
+			AvgDRC:          m.AvgDRC,
+			ViolationEvents: m.ViolationEvents,
+		}
+		if m.Events > 0 {
+			row.ChecksPerEvent = float64(m.FeasibilityChecks) / float64(m.Events)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the sweep.
+func (r *StorageResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Storage budget vs run-time quality (n=%d tasks, full database %d points)\n", r.Tasks, r.FullSize)
+	fmt.Fprintf(&b, "%-8s %14s %12s %12s %16s\n", "points", "avg J (mJ)", "avg dRC", "violations", "checks/event")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8d %14.2f %12.4f %12d %16.1f\n",
+			row.Budget, row.AvgEnergyMJ, row.AvgDRC, row.ViolationEvents, row.ChecksPerEvent)
+	}
+	return b.String()
+}

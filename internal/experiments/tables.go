@@ -1,0 +1,279 @@
+package experiments
+
+// Tables 4, 5, 6 and 7 of the paper's evaluation. All four share the
+// same skeleton — sweep the application sizes, run Monte-Carlo
+// simulations of the run-time DSE against stored databases, and report
+// percentage improvements — so they live together here.
+
+import (
+	"fmt"
+	"strings"
+
+	"clrdse/internal/core"
+	"clrdse/internal/dse"
+	"clrdse/internal/runtime"
+)
+
+// TableRow is one column of a paper table (the paper lays sizes out
+// horizontally; we keep one row per application size).
+type TableRow struct {
+	Tasks  int
+	Values []float64
+}
+
+// TableResult is a rendered-comparable table.
+type TableResult struct {
+	Title   string
+	Columns []string
+	Rows    []TableRow
+}
+
+// Render prints the table with the paper's orientation: one line per
+// measure, application sizes across.
+func (t *TableResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%-44s", "Number of Tasks")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%8d", r.Tasks)
+	}
+	b.WriteString("\n")
+	for c, name := range t.Columns {
+		fmt.Fprintf(&b, "%-44s", name)
+		for _, r := range t.Rows {
+			fmt.Fprintf(&b, "%8.1f", r.Values[c])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// simulate runs one run-time Monte-Carlo simulation at the lab scale.
+func (l *Lab) simulate(sys *core.System, db *dse.Database, prc float64, trig runtime.Trigger, ag *runtime.Agent, seed int64) (*runtime.Metrics, error) {
+	return l.simulatePolicy(sys, db, prc, trig, runtime.PolicyRET, ag, seed)
+}
+
+func (l *Lab) simulatePolicy(sys *core.System, db *dse.Database, prc float64, trig runtime.Trigger, pol runtime.Policy, ag *runtime.Agent, seed int64) (*runtime.Metrics, error) {
+	p := sys.RuntimeParams(db, prc, seed)
+	p.Cycles = l.Scale.SimCycles
+	p.Trigger = trig
+	p.Policy = pol
+	p.Agent = ag
+	// Both databases must face the identical QoS event stream for a
+	// fair comparison, so derive the model from BaseD in every run.
+	p.QoS = runtime.ModelFromDatabase(sys.BaseD)
+	return runtime.Simulate(p)
+}
+
+// simSummary holds rep-averaged run-time metrics.
+type simSummary struct {
+	AvgDRC      float64
+	AvgEnergyMJ float64
+	TotalDRC    float64
+}
+
+// simAvg averages the metrics of Scale.Reps independent event streams.
+// agent, when non-nil, builds a fresh (pre-trained) agent per rep so
+// learning state never leaks between streams.
+func (l *Lab) simAvg(sys *core.System, db *dse.Database, prc float64, trig runtime.Trigger, agent func(rep int) (*runtime.Agent, error), baseSeed int64) (simSummary, error) {
+	return l.simAvgPolicy(sys, db, prc, trig, runtime.PolicyRET, agent, baseSeed)
+}
+
+func (l *Lab) simAvgPolicy(sys *core.System, db *dse.Database, prc float64, trig runtime.Trigger, pol runtime.Policy, agent func(rep int) (*runtime.Agent, error), baseSeed int64) (simSummary, error) {
+	reps := l.Scale.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	var sum simSummary
+	for rep := 0; rep < reps; rep++ {
+		var ag *runtime.Agent
+		if agent != nil {
+			var err error
+			if ag, err = agent(rep); err != nil {
+				return simSummary{}, err
+			}
+		}
+		m, err := l.simulatePolicy(sys, db, prc, trig, pol, ag, baseSeed+int64(rep)*7919)
+		if err != nil {
+			return simSummary{}, err
+		}
+		sum.AvgDRC += m.AvgDRC
+		sum.AvgEnergyMJ += m.AvgEnergyMJ
+		sum.TotalDRC += m.TotalDRC
+	}
+	sum.AvgDRC /= float64(reps)
+	sum.AvgEnergyMJ /= float64(reps)
+	sum.TotalDRC /= float64(reps)
+	return sum, nil
+}
+
+// Table4 — percentage reduction in task-migration cost using ReD over
+// BaseD for a constraint-satisfaction problem (R(X_i)=0) w.r.t. the
+// QoS metrics. The BaseD manager is the purely performance-oriented
+// baseline of Section 5.2: it hunts the best hyper-volume design point
+// for every change in QoS requirements. The ReD manager adapts only on
+// violation, preferring cheap moves (pRC=0).
+func (l *Lab) Table4() (*TableResult, error) {
+	res := &TableResult{
+		Title:   "Table 4: % reduction in task-migration cost using ReD over BaseD (CSP)",
+		Columns: []string{"% Reduction over BaseD"},
+	}
+	for _, n := range l.Scale.TaskSizes {
+		sys, err := l.System(n, true)
+		if err != nil {
+			return nil, err
+		}
+		seed := l.Scale.Seed*31 + int64(n)
+		mBase, err := l.simAvgPolicy(sys, sys.BaseD, 0, runtime.TriggerAlways, runtime.PolicyHypervolume, nil, seed)
+		if err != nil {
+			return nil, err
+		}
+		mReD, err := l.simAvg(sys, sys.ReD, 0, runtime.TriggerOnViolation, nil, seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, TableRow{
+			Tasks:  n,
+			Values: []float64{pct(mBase.TotalDRC, mReD.TotalDRC)},
+		})
+	}
+	return res, nil
+}
+
+// Table5 — on a single set of design points (the ReD database), the
+// effect of minimising reconfiguration cost (pRC=0) versus maximising
+// performance (pRC=1): percentage reduction in average reconfiguration
+// cost, and the percentage increase in average energy paid for it.
+func (l *Lab) Table5() (*TableResult, error) {
+	res := &TableResult{
+		Title: "Table 5: reconfiguration-cost minimisation on a single set of design points",
+		Columns: []string{
+			"% Reduction in Average Reconfiguration cost",
+			"% Increase in Average Energy Consumption",
+		},
+	}
+	for _, n := range l.Scale.TaskSizes {
+		sys, err := l.System(n, false)
+		if err != nil {
+			return nil, err
+		}
+		db := sys.Database()
+		seed := l.Scale.Seed*37 + int64(n)
+		perf, err := l.simAvg(sys, db, 1, runtime.TriggerAlways, nil, seed)
+		if err != nil {
+			return nil, err
+		}
+		cheap, err := l.simAvg(sys, db, 0, runtime.TriggerAlways, nil, seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, TableRow{
+			Tasks: n,
+			Values: []float64{
+				pct(perf.AvgDRC, cheap.AvgDRC),
+				pctIncrease(perf.AvgEnergyMJ, cheap.AvgEnergyMJ),
+			},
+		})
+	}
+	return res, nil
+}
+
+// Table6 — percentage improvements using ReD compared to BaseD with
+// the relevant extremes of pRC: reconfiguration cost at pRC=0 and
+// energy at pRC=1.
+func (l *Lab) Table6() (*TableResult, error) {
+	res := &TableResult{
+		Title: "Table 6: % improvements using ReD compared to BaseD",
+		Columns: []string{
+			"% Reduction in Avg Reconfiguration cost (pRC=0)",
+			"% Reduction in Avg Energy Consumption (pRC=1)",
+		},
+	}
+	for _, n := range l.Scale.TaskSizes {
+		sys, err := l.System(n, false)
+		if err != nil {
+			return nil, err
+		}
+		seed := l.Scale.Seed*41 + int64(n)
+		baseD0, err := l.simAvg(sys, sys.BaseD, 0, runtime.TriggerAlways, nil, seed)
+		if err != nil {
+			return nil, err
+		}
+		reD0, err := l.simAvg(sys, sys.ReD, 0, runtime.TriggerAlways, nil, seed)
+		if err != nil {
+			return nil, err
+		}
+		baseD1, err := l.simAvg(sys, sys.BaseD, 1, runtime.TriggerAlways, nil, seed)
+		if err != nil {
+			return nil, err
+		}
+		reD1, err := l.simAvg(sys, sys.ReD, 1, runtime.TriggerAlways, nil, seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, TableRow{
+			Tasks: n,
+			Values: []float64{
+				pct(baseD0.AvgDRC, reD0.AvgDRC),
+				pct(baseD1.AvgEnergyMJ, reD1.AvgEnergyMJ),
+			},
+		})
+	}
+	return res, nil
+}
+
+// Table7 — percentage improvements using AuRA compared to uRA with the
+// relevant extremes of pRC. AuRA uses a discounted agent whose value
+// functions are initialised by offline Monte-Carlo simulation (prior
+// knowledge of the QoS-variation distribution). As in the paper,
+// entries can go slightly negative when the value functions have not
+// converged for large design-point databases.
+func (l *Lab) Table7() (*TableResult, error) {
+	res := &TableResult{
+		Title: "Table 7: % improvements using AuRA compared to uRA",
+		Columns: []string{
+			"% Reduction in Avg Reconfiguration cost (pRC=0)",
+			"% Reduction in Avg Energy Consumption (pRC=1)",
+		},
+	}
+	// Both managers adapt on violation — the deployment regime in
+	// which landing-point choices are path-dependent, so learned value
+	// functions can beat the myopic choice. (Under per-event
+	// re-optimisation, uRA is pointwise optimal for the metric it
+	// scores and AuRA could only lose.)
+	const gamma = 0.9
+	for _, n := range l.Scale.TaskSizes {
+		sys, err := l.System(n, false)
+		if err != nil {
+			return nil, err
+		}
+		db := sys.Database()
+		seed := l.Scale.Seed*43 + int64(n)
+		row := TableRow{Tasks: n}
+		for _, prc := range []float64{0, 1} {
+			u, err := l.simAvg(sys, db, prc, runtime.TriggerOnViolation, nil, seed)
+			if err != nil {
+				return nil, err
+			}
+			agent := func(rep int) (*runtime.Agent, error) {
+				ag := sys.NewAgent(db, gamma)
+				pp := sys.RuntimeParams(db, prc, 0)
+				pp.Trigger = runtime.TriggerOnViolation
+				pp.QoS = runtime.ModelFromDatabase(sys.BaseD)
+				err := ag.Pretrain(pp, l.Scale.PretrainCycles, seed*13+int64(100*prc)+int64(rep)*104729)
+				return ag, err
+			}
+			a, err := l.simAvg(sys, db, prc, runtime.TriggerOnViolation, agent, seed)
+			if err != nil {
+				return nil, err
+			}
+			if prc == 0 {
+				row.Values = append(row.Values, pct(u.AvgDRC, a.AvgDRC))
+			} else {
+				row.Values = append(row.Values, pct(u.AvgEnergyMJ, a.AvgEnergyMJ))
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

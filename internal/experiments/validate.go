@@ -1,0 +1,124 @@
+package experiments
+
+// Model-validation experiment (beyond the paper's own evaluation): the
+// whole methodology rests on the closed-form task metrics of Table 2;
+// this harness fault-injects actual executions (internal/faultsim) for
+// design points drawn from real DSE runs across the application sweep
+// and reports how closely the empirical behaviour tracks the analytic
+// models.
+
+import (
+	"fmt"
+	"strings"
+
+	"clrdse/internal/faultsim"
+	"clrdse/internal/relmodel"
+)
+
+// ValidateRow is one application size's comparison.
+type ValidateRow struct {
+	Tasks int
+	// Points is how many design points were injected.
+	Points int
+	// Runs is the number of injected executions per point.
+	Runs int
+	// MaxErrProbGap is the worst absolute gap between empirical and
+	// analytic per-task error probability across all points/tasks.
+	MaxErrProbGap float64
+	// MaxTimeGapPct is the worst relative gap of per-task average
+	// execution time, in percent.
+	MaxTimeGapPct float64
+	// MaxRelGap is the worst absolute gap of application-level
+	// functional reliability F_app.
+	MaxRelGap float64
+	// MaxEnergyGapPct is the worst relative gap of application-level
+	// energy J_app, in percent.
+	MaxEnergyGapPct float64
+}
+
+// ValidateResult is the full validation table.
+type ValidateResult struct {
+	Rows []ValidateRow
+}
+
+// Validate fault-injects up to three representative stored points
+// (cheapest, most reliable, median energy) per application size.
+func (l *Lab) Validate() (*ValidateResult, error) {
+	const runs = 20000
+	env := relmodel.DefaultEnv()
+	env.LambdaSEUPerMs *= 10 // measurable empirical error rates
+
+	res := &ValidateResult{}
+	for _, n := range l.Scale.TaskSizes {
+		sys, err := l.System(n, false)
+		if err != nil {
+			return nil, err
+		}
+		db := sys.Database()
+		picks := representativePoints(db.Len())
+		row := ValidateRow{Tasks: n, Runs: runs}
+		for _, idx := range picks {
+			out, err := faultsim.Run(db.Points[idx].M, faultsim.Params{
+				Space: sys.Problem.Space,
+				Env:   env,
+				Runs:  runs,
+				Seed:  l.Scale.Seed*89 + int64(n)*31 + int64(idx),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: validate n=%d point %d: %w", n, idx, err)
+			}
+			row.Points++
+			if g := out.MaxTaskErrProbGap(); g > row.MaxErrProbGap {
+				row.MaxErrProbGap = g
+			}
+			if g := 100 * out.MaxTaskTimeGapFraction(); g > row.MaxTimeGapPct {
+				row.MaxTimeGapPct = g
+			}
+			if g := abs(out.EmpiricalReliability - out.AnalyticReliability); g > row.MaxRelGap {
+				row.MaxRelGap = g
+			}
+			if out.AnalyticEnergyMJ > 0 {
+				if g := 100 * abs(out.EmpiricalEnergyMJ-out.AnalyticEnergyMJ) / out.AnalyticEnergyMJ; g > row.MaxEnergyGapPct {
+					row.MaxEnergyGapPct = g
+				}
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// representativePoints picks first, middle and last indices of a
+// database (IDs are arbitrary but the set spans the stored range).
+func representativePoints(n int) []int {
+	switch {
+	case n <= 0:
+		return nil
+	case n == 1:
+		return []int{0}
+	case n == 2:
+		return []int{0, 1}
+	default:
+		return []int{0, n / 2, n - 1}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Render prints the validation table.
+func (r *ValidateResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Model validation: fault-injected executions vs analytical Table 2/3 metrics\n")
+	fmt.Fprintf(&b, "%-8s %8s %8s %16s %14s %12s %14s\n",
+		"tasks", "points", "runs", "max dErrProb", "max dAvgExT%", "max dF_app", "max dJ_app%")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8d %8d %8d %16.5f %14.3f %12.5f %14.3f\n",
+			row.Tasks, row.Points, row.Runs, row.MaxErrProbGap, row.MaxTimeGapPct, row.MaxRelGap, row.MaxEnergyGapPct)
+	}
+	return b.String()
+}

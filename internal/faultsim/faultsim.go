@@ -1,0 +1,237 @@
+// Package faultsim is a Monte-Carlo fault-injection simulator that
+// executes a mapped application under sampled single-event upsets and
+// measures the empirical behaviour of every cross-layer reliability
+// mechanism — raw strikes, hardware masking, information-redundancy
+// correction, temporal detection and re-execution — event by event.
+//
+// Its purpose is validation: the design-time exploration and the
+// run-time manager both trust the closed-form task metrics of
+// internal/relmodel (Table 2). The injector samples the *mechanisms*
+// those formulas summarise and checks that the observed error rates,
+// execution times and energies converge to the analytical values. The
+// `cmd/experiments -run validate` harness and the package tests run
+// this comparison automatically.
+//
+// The per-attempt fault process mirrors the analytical composition
+// exactly, so agreement is a consistency check of the derivation (and
+// of both implementations), not a tautology: the simulator samples
+// Bernoulli outcomes per layer and accounts re-execution time
+// explicitly, while the formulas sum the geometric series.
+package faultsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"clrdse/internal/mapping"
+	"clrdse/internal/relmodel"
+	"clrdse/internal/rng"
+	"clrdse/internal/schedule"
+)
+
+// Params configures a fault-injection campaign.
+type Params struct {
+	// Space is the problem instance the mapping belongs to.
+	Space *mapping.Space
+	// Env is the fault/aging environment (zero selects
+	// relmodel.DefaultEnv).
+	Env relmodel.Env
+	// Runs is the number of complete application executions to
+	// simulate (0 selects 10000).
+	Runs int
+	// Seed drives the fault sampling.
+	Seed int64
+}
+
+// TaskOutcome aggregates the injection statistics of one task.
+type TaskOutcome struct {
+	// Task is the task ID.
+	Task int
+	// Executions counts application runs (= samples).
+	Executions int
+	// Attempts counts execution attempts including re-executions.
+	Attempts int
+	// RawUpsets counts attempts struck by an un-masked upset.
+	RawUpsets int
+	// MaskedHW and CorrectedASW count upsets neutralised by the
+	// hardware and information layers respectively.
+	MaskedHW     int
+	CorrectedASW int
+	// Detected counts erroneous attempts caught by the temporal layer.
+	Detected int
+	// Errors counts runs that ended with an erroneous result.
+	Errors int
+	// TotalTimeMs accumulates execution time including re-execution.
+	TotalTimeMs float64
+
+	// EmpiricalErrProb and EmpiricalAvgExTMs are the measured
+	// counterparts of the analytical Table 2 metrics.
+	EmpiricalErrProb  float64
+	EmpiricalAvgExTMs float64
+	// Analytic holds the closed-form metrics for comparison.
+	Analytic relmodel.TaskMetrics
+}
+
+// Result is the outcome of a campaign.
+type Result struct {
+	// Runs is the number of simulated application executions.
+	Runs int
+	// Tasks holds per-task statistics, indexed by task ID.
+	Tasks []TaskOutcome
+	// EmpiricalReliability is the criticality-weighted mean task
+	// correctness (the measured F_app of Table 3).
+	EmpiricalReliability float64
+	// AnalyticReliability is the scheduler's closed-form F_app.
+	AnalyticReliability float64
+	// EmpiricalEnergyMJ and AnalyticEnergyMJ compare J_app.
+	EmpiricalEnergyMJ float64
+	AnalyticEnergyMJ  float64
+	// EmpiricalMeanMakespanMs and P95MakespanMs describe the measured
+	// makespan distribution: each run's sampled task durations
+	// (including re-executions) are re-scheduled on the platform.
+	// AnalyticMakespanMs is the closed-form S_app computed from
+	// average execution times; by Jensen's inequality the empirical
+	// mean sits at or above it — the gap quantifies how optimistic the
+	// "average makespan" abstraction of Table 3 is.
+	EmpiricalMeanMakespanMs float64
+	P95MakespanMs           float64
+	AnalyticMakespanMs      float64
+}
+
+// MaxTaskErrProbGap returns the largest absolute gap between the
+// empirical and analytical per-task error probabilities.
+func (r *Result) MaxTaskErrProbGap() float64 {
+	worst := 0.0
+	for _, t := range r.Tasks {
+		worst = math.Max(worst, math.Abs(t.EmpiricalErrProb-t.Analytic.ErrProb))
+	}
+	return worst
+}
+
+// MaxTaskTimeGapFraction returns the largest relative gap between the
+// empirical and analytical per-task average execution times.
+func (r *Result) MaxTaskTimeGapFraction() float64 {
+	worst := 0.0
+	for _, t := range r.Tasks {
+		worst = math.Max(worst, math.Abs(t.EmpiricalAvgExTMs-t.Analytic.AvgExTMs)/t.Analytic.AvgExTMs)
+	}
+	return worst
+}
+
+// Run executes the campaign for the given mapping.
+func Run(m *mapping.Mapping, p Params) (*Result, error) {
+	if p.Space == nil {
+		return nil, fmt.Errorf("faultsim: nil Space")
+	}
+	if err := p.Space.Validate(m); err != nil {
+		return nil, err
+	}
+	if (p.Env == relmodel.Env{}) {
+		p.Env = relmodel.DefaultEnv()
+	}
+	if p.Runs == 0 {
+		p.Runs = 10000
+	}
+	if p.Runs < 0 {
+		return nil, fmt.Errorf("faultsim: negative Runs")
+	}
+
+	// Analytical reference: the scheduler already aggregates the
+	// closed-form task metrics.
+	ev := &schedule.Evaluator{Space: p.Space, Env: p.Env}
+	sched, err := ev.Evaluate(m)
+	if err != nil {
+		return nil, err
+	}
+
+	g := p.Space.Graph
+	cat := p.Space.Catalogue
+	res := &Result{
+		Runs:                p.Runs,
+		Tasks:               make([]TaskOutcome, g.NumTasks()),
+		AnalyticReliability: sched.Reliability,
+		AnalyticEnergyMJ:    sched.EnergyMJ,
+		AnalyticMakespanMs:  sched.MakespanMs,
+	}
+	r := rng.New(p.Seed)
+	// Per-run task durations feed the makespan distribution.
+	durations := make([][]float64, p.Runs)
+	for run := range durations {
+		durations[run] = make([]float64, g.NumTasks())
+	}
+
+	for t := range res.Tasks {
+		out := &res.Tasks[t]
+		out.Task = t
+		out.Analytic = sched.Slots[t].Metrics
+
+		gene := m.Genes[t]
+		hw := &cat.HW[gene.CLR.HW]
+		ssw := &cat.SSW[gene.CLR.SSW]
+		asw := &cat.ASW[gene.CLR.ASW]
+		metrics := out.Analytic
+		taskRNG := r.Split(int64(t) + 1)
+
+		for run := 0; run < p.Runs; run++ {
+			out.Executions++
+			timeMs := metrics.MinExTMs
+			erroneous := false
+			for attempt := 0; ; attempt++ {
+				out.Attempts++
+				if attempt > 0 {
+					timeMs += metrics.MinExTMs * ssw.RestartFraction
+				}
+				errNow := false
+				if taskRNG.Bool(metrics.RawErrProb) {
+					out.RawUpsets++
+					switch {
+					case taskRNG.Bool(hw.Coverage):
+						out.MaskedHW++ // spatial redundancy masks it
+					case taskRNG.Bool(asw.Coverage):
+						out.CorrectedASW++ // information redundancy corrects it
+					default:
+						errNow = true
+					}
+				}
+				if !errNow {
+					break // clean attempt: task done
+				}
+				// Temporal layer: detect and re-execute if budget left.
+				if taskRNG.Bool(ssw.DetectCoverage) && attempt < ssw.Retries {
+					out.Detected++
+					continue
+				}
+				erroneous = true
+				break
+			}
+			if erroneous {
+				out.Errors++
+			}
+			out.TotalTimeMs += timeMs
+			durations[run][t] = timeMs
+		}
+
+		out.EmpiricalErrProb = float64(out.Errors) / float64(out.Executions)
+		out.EmpiricalAvgExTMs = out.TotalTimeMs / float64(out.Executions)
+		res.EmpiricalReliability += g.Tasks[t].Criticality * (1 - out.EmpiricalErrProb)
+		res.EmpiricalEnergyMJ += out.EmpiricalAvgExTMs * metrics.PowerW
+	}
+
+	// Makespan distribution: re-schedule every run's sampled durations.
+	if p.Runs > 0 {
+		spans := make([]float64, p.Runs)
+		for run := 0; run < p.Runs; run++ {
+			tl, err := ev.Timeline(m, durations[run])
+			if err != nil {
+				return nil, err
+			}
+			spans[run] = tl.MakespanMs
+			res.EmpiricalMeanMakespanMs += tl.MakespanMs
+		}
+		res.EmpiricalMeanMakespanMs /= float64(p.Runs)
+		sort.Float64s(spans)
+		res.P95MakespanMs = spans[(len(spans)*95)/100]
+	}
+	return res, nil
+}

@@ -1,0 +1,274 @@
+package faultsim
+
+import (
+	"math"
+	"testing"
+
+	"clrdse/internal/mapping"
+	"clrdse/internal/platform"
+	"clrdse/internal/relmodel"
+	"clrdse/internal/rng"
+	"clrdse/internal/schedule"
+	"clrdse/internal/taskgraph"
+)
+
+// harshEnv raises the SEU rate so empirical error probabilities are
+// large enough to compare against the analytics with modest run
+// counts.
+func harshEnv() relmodel.Env {
+	e := relmodel.DefaultEnv()
+	e.LambdaSEUPerMs *= 20
+	return e
+}
+
+func testSpace(t *testing.T, n int) *mapping.Space {
+	t.Helper()
+	plat := platform.Default()
+	g, err := taskgraph.Generate(taskgraph.GenParams{Seed: 91, NumTasks: n}, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &mapping.Space{Graph: g, Platform: plat, Catalogue: relmodel.DefaultCatalogue()}
+}
+
+func TestInjectionMatchesAnalyticalModel(t *testing.T) {
+	space := testSpace(t, 15)
+	m := space.Random(rng.New(1))
+	res, err := Run(m, Params{Space: space, Env: harshEnv(), Runs: 60000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-task error probabilities converge to the closed form.
+	for _, task := range res.Tasks {
+		p := task.Analytic.ErrProb
+		// Binomial standard error; allow 5 sigma plus a small floor.
+		tol := 5*math.Sqrt(p*(1-p)/float64(res.Runs)) + 1e-4
+		if gap := math.Abs(task.EmpiricalErrProb - p); gap > tol {
+			t.Errorf("task %d: empirical ErrProb %.5f vs analytic %.5f (gap %.5f > tol %.5f)",
+				task.Task, task.EmpiricalErrProb, p, gap, tol)
+		}
+	}
+	if res.MaxTaskTimeGapFraction() > 0.01 {
+		t.Errorf("AvgExT mismatch: worst relative gap %.4f", res.MaxTaskTimeGapFraction())
+	}
+	if math.Abs(res.EmpiricalReliability-res.AnalyticReliability) > 0.002 {
+		t.Errorf("F_app: empirical %.5f vs analytic %.5f", res.EmpiricalReliability, res.AnalyticReliability)
+	}
+	if math.Abs(res.EmpiricalEnergyMJ-res.AnalyticEnergyMJ)/res.AnalyticEnergyMJ > 0.01 {
+		t.Errorf("J_app: empirical %.2f vs analytic %.2f", res.EmpiricalEnergyMJ, res.AnalyticEnergyMJ)
+	}
+}
+
+func TestInjectionValidatesEveryLayerCombination(t *testing.T) {
+	// One task, every CLR configuration: the mechanism sampling must
+	// track the closed form across the whole catalogue.
+	plat := platform.Default()
+	cat := relmodel.DefaultCatalogue()
+	g := &taskgraph.Graph{
+		Name: "single",
+		Tasks: []taskgraph.Task{{
+			ID: 0, Name: "t", Criticality: 1,
+			Impls: []taskgraph.Impl{{ID: 0, PEType: 1, BaseExTimeMs: 25, BasePowerW: 1, BinaryKB: 16, BitstreamID: -1}},
+		}},
+		PeriodMs: 1000,
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	space := &mapping.Space{Graph: g, Platform: plat, Catalogue: cat}
+	env := harshEnv()
+	for idx := 0; idx < cat.NumConfigs(); idx++ {
+		cfg := relmodel.ConfigFromIndex(idx, cat)
+		m := &mapping.Mapping{Genes: []mapping.Gene{{PE: 1, Impl: 0, CLR: cfg}}}
+		res, err := Run(m, Params{Space: space, Env: env, Runs: 40000, Seed: int64(idx) + 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		task := res.Tasks[0]
+		p := task.Analytic.ErrProb
+		tol := 5*math.Sqrt(p*(1-p)/float64(res.Runs)) + 2e-4
+		if gap := math.Abs(task.EmpiricalErrProb - p); gap > tol {
+			t.Errorf("config %s: empirical %.5f vs analytic %.5f (gap %.5f)",
+				cfg.Describe(cat), task.EmpiricalErrProb, p, gap)
+		}
+		if rel := math.Abs(task.EmpiricalAvgExTMs-task.Analytic.AvgExTMs) / task.Analytic.AvgExTMs; rel > 0.02 {
+			t.Errorf("config %s: AvgExT empirical %.3f vs analytic %.3f",
+				cfg.Describe(cat), task.EmpiricalAvgExTMs, task.Analytic.AvgExTMs)
+		}
+	}
+}
+
+func TestInjectionMechanismAccounting(t *testing.T) {
+	space := testSpace(t, 10)
+	m := space.Random(rng.New(3))
+	// Put full protection on every task so all counters engage.
+	for i := range m.Genes {
+		m.Genes[i].CLR = relmodel.Config{HW: 2, SSW: 2, ASW: 3}
+	}
+	res, err := Run(m, Params{Space: space, Env: harshEnv(), Runs: 20000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range res.Tasks {
+		if task.Executions != res.Runs {
+			t.Fatalf("task %d executed %d times, want %d", task.Task, task.Executions, res.Runs)
+		}
+		if task.Attempts < task.Executions {
+			t.Errorf("task %d: attempts %d < executions %d", task.Task, task.Attempts, task.Executions)
+		}
+		neutralised := task.MaskedHW + task.CorrectedASW
+		if neutralised > task.RawUpsets {
+			t.Errorf("task %d: neutralised %d > raw upsets %d", task.Task, neutralised, task.RawUpsets)
+		}
+		// Residual errors + re-executions cannot exceed surviving upsets.
+		if task.Detected+task.Errors > task.RawUpsets {
+			t.Errorf("task %d: detected %d + errors %d > raw %d",
+				task.Task, task.Detected, task.Errors, task.RawUpsets)
+		}
+		// Re-execution time accounted: attempts beyond the first cost
+		// RestartFraction each.
+		if task.Attempts > task.Executions && task.EmpiricalAvgExTMs <= task.Analytic.MinExTMs {
+			t.Errorf("task %d: retries happened but AvgExT %.4f <= MinExT %.4f",
+				task.Task, task.EmpiricalAvgExTMs, task.Analytic.MinExTMs)
+		}
+	}
+}
+
+func TestInjectionDeterministic(t *testing.T) {
+	space := testSpace(t, 8)
+	m := space.Random(rng.New(5))
+	p := Params{Space: space, Runs: 2000, Seed: 6}
+	a, err := Run(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EmpiricalReliability != b.EmpiricalReliability || a.EmpiricalEnergyMJ != b.EmpiricalEnergyMJ {
+		t.Error("same seed produced different campaigns")
+	}
+}
+
+func TestInjectionProtectionReducesEmpiricalErrors(t *testing.T) {
+	space := testSpace(t, 10)
+	env := harshEnv()
+	unprot := space.Random(rng.New(7))
+	prot := unprot.Clone()
+	for i := range unprot.Genes {
+		unprot.Genes[i].CLR = relmodel.Config{}
+		prot.Genes[i].CLR = relmodel.Config{HW: 2, SSW: 2, ASW: 3}
+	}
+	a, err := Run(unprot, Params{Space: space, Env: env, Runs: 20000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(prot, Params{Space: space, Env: env, Runs: 20000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.EmpiricalReliability <= a.EmpiricalReliability {
+		t.Errorf("full CLR empirical reliability %.5f <= unprotected %.5f",
+			b.EmpiricalReliability, a.EmpiricalReliability)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	space := testSpace(t, 5)
+	m := space.Random(rng.New(9))
+	if _, err := Run(m, Params{}); err == nil {
+		t.Error("accepted nil space")
+	}
+	if _, err := Run(m, Params{Space: space, Runs: -1}); err == nil {
+		t.Error("accepted negative runs")
+	}
+	bad := m.Clone()
+	bad.Genes[0].PE = 99
+	if _, err := Run(bad, Params{Space: space}); err == nil {
+		t.Error("accepted invalid mapping")
+	}
+}
+
+func TestGapHelpers(t *testing.T) {
+	r := &Result{Tasks: []TaskOutcome{
+		{EmpiricalErrProb: 0.10, EmpiricalAvgExTMs: 11, Analytic: relmodel.TaskMetrics{ErrProb: 0.08, AvgExTMs: 10}},
+		{EmpiricalErrProb: 0.01, EmpiricalAvgExTMs: 20, Analytic: relmodel.TaskMetrics{ErrProb: 0.02, AvgExTMs: 20}},
+	}}
+	if got := r.MaxTaskErrProbGap(); math.Abs(got-0.02) > 1e-12 {
+		t.Errorf("MaxTaskErrProbGap = %v", got)
+	}
+	if got := r.MaxTaskTimeGapFraction(); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("MaxTaskTimeGapFraction = %v", got)
+	}
+}
+
+// The scheduler's system-level metrics must agree with a fully
+// independent accounting path: evaluating each slot by hand.
+func TestScheduleCrossCheck(t *testing.T) {
+	space := testSpace(t, 12)
+	ev := &schedule.Evaluator{Space: space, Env: relmodel.DefaultEnv()}
+	m := space.Random(rng.New(10))
+	res, err := ev.Evaluate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	energy := 0.0
+	for _, s := range res.Slots {
+		energy += s.Metrics.AvgExTMs * s.Metrics.PowerW
+	}
+	if math.Abs(energy-res.EnergyMJ) > 1e-9 {
+		t.Errorf("energy cross-check failed: %v vs %v", energy, res.EnergyMJ)
+	}
+}
+
+func TestMakespanDistribution(t *testing.T) {
+	space := testSpace(t, 15)
+	m := space.Random(rng.New(31))
+	res, err := Run(m, Params{Space: space, Env: harshEnv(), Runs: 10000, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AnalyticMakespanMs <= 0 {
+		t.Fatal("no analytic makespan")
+	}
+	// Jensen: the mean of the sampled makespans sits at or above the
+	// makespan of mean durations (within sampling noise).
+	if res.EmpiricalMeanMakespanMs < res.AnalyticMakespanMs*0.999 {
+		t.Errorf("empirical mean makespan %v below analytic %v",
+			res.EmpiricalMeanMakespanMs, res.AnalyticMakespanMs)
+	}
+	// The abstraction stays tight at these rates: within a few percent.
+	if res.EmpiricalMeanMakespanMs > res.AnalyticMakespanMs*1.10 {
+		t.Errorf("empirical mean makespan %v far above analytic %v",
+			res.EmpiricalMeanMakespanMs, res.AnalyticMakespanMs)
+	}
+	if res.P95MakespanMs < res.EmpiricalMeanMakespanMs {
+		t.Errorf("p95 %v below mean %v", res.P95MakespanMs, res.EmpiricalMeanMakespanMs)
+	}
+}
+
+func TestMakespanDistributionDegenerateWithoutRetries(t *testing.T) {
+	// With no SSW protection there are no re-executions: every run's
+	// durations equal MinExT and the makespan distribution collapses
+	// onto a single value equal to the schedule of MinExT durations.
+	space := testSpace(t, 10)
+	m := space.Random(rng.New(33))
+	for i := range m.Genes {
+		m.Genes[i].CLR.SSW = 0
+	}
+	res, err := Run(m, Params{Space: space, Runs: 500, Seed: 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.P95MakespanMs-res.EmpiricalMeanMakespanMs) > 1e-9 {
+		t.Errorf("no-retry makespan should be deterministic: p95 %v vs mean %v",
+			res.P95MakespanMs, res.EmpiricalMeanMakespanMs)
+	}
+	// And it matches the analytic S_app exactly (durations = AvgExT =
+	// MinExT for every task).
+	if math.Abs(res.EmpiricalMeanMakespanMs-res.AnalyticMakespanMs) > 1e-9 {
+		t.Errorf("deterministic makespan %v != analytic %v",
+			res.EmpiricalMeanMakespanMs, res.AnalyticMakespanMs)
+	}
+}

@@ -1,0 +1,503 @@
+package ga
+
+import (
+	"testing"
+
+	"clrdse/internal/mapping"
+	"clrdse/internal/pareto"
+	"clrdse/internal/platform"
+	"clrdse/internal/relmodel"
+	"clrdse/internal/rng"
+	"clrdse/internal/schedule"
+	"clrdse/internal/taskgraph"
+)
+
+// testProblem returns a small CLR mapping problem with an energy/
+// makespan bi-objective and a loose makespan constraint.
+func testProblem(t *testing.T, n int) (*mapping.Space, Objective) {
+	t.Helper()
+	plat := platform.Default()
+	g, err := taskgraph.Generate(taskgraph.GenParams{Seed: 31, NumTasks: n}, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := &mapping.Space{Graph: g, Platform: plat, Catalogue: relmodel.DefaultCatalogue()}
+	ev := &schedule.Evaluator{Space: space, Env: relmodel.DefaultEnv()}
+	obj := func(m *mapping.Mapping) ([]float64, float64, any) {
+		res, err := ev.Evaluate(m)
+		if err != nil {
+			t.Fatalf("objective: %v", err)
+		}
+		violation := 0.0
+		if res.MakespanMs > g.PeriodMs {
+			violation = res.MakespanMs - g.PeriodMs
+		}
+		return []float64{res.EnergyMJ, res.MakespanMs}, violation, res
+	}
+	return space, obj
+}
+
+func smallParams(seed int64) Params {
+	return Params{PopSize: 24, Generations: 12, Seed: seed}
+}
+
+func TestRunProducesFeasibleFront(t *testing.T) {
+	space, obj := testProblem(t, 20)
+	e := &Engine{Space: space, Eval: obj, Params: smallParams(1)}
+	pop, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := pop.ParetoFront()
+	if len(front) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	for _, ind := range front {
+		if !ind.Feasible() {
+			t.Error("infeasible individual on front")
+		}
+		if err := space.Validate(ind.M); err != nil {
+			t.Errorf("front individual invalid: %v", err)
+		}
+		if ind.Payload == nil {
+			t.Error("payload not propagated")
+		}
+	}
+}
+
+func TestFrontIsMutuallyNonDominated(t *testing.T) {
+	space, obj := testProblem(t, 25)
+	e := &Engine{Space: space, Eval: obj, Params: smallParams(2)}
+	pop, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := pop.ParetoFront()
+	for i := range front {
+		for j := range front {
+			if i != j && pareto.Dominates(front[i].Objs, front[j].Objs) {
+				t.Fatalf("front member %d dominates member %d", i, j)
+			}
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	space, obj := testProblem(t, 15)
+	run := func() []*Individual {
+		e := &Engine{Space: space, Eval: obj, Params: smallParams(7)}
+		pop, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pop.ParetoFront()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("front sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].M.Equal(b[i].M) {
+			t.Fatal("same seed produced different fronts")
+		}
+	}
+}
+
+func TestEvolutionImprovesOverRandom(t *testing.T) {
+	space, obj := testProblem(t, 30)
+	// Best random energy over the same evaluation budget.
+	r := rng.New(3)
+	budget := 24 * 13
+	bestRandom := 0.0
+	for i := 0; i < budget; i++ {
+		objs, v, _ := obj(space.Random(r))
+		if v > 0 {
+			continue
+		}
+		if bestRandom == 0 || objs[0] < bestRandom {
+			bestRandom = objs[0]
+		}
+	}
+	e := &Engine{Space: space, Eval: obj, Params: smallParams(3)}
+	pop, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestGA := 0.0
+	for _, ind := range pop.ParetoFront() {
+		if bestGA == 0 || ind.Objs[0] < bestGA {
+			bestGA = ind.Objs[0]
+		}
+	}
+	if bestGA >= bestRandom {
+		t.Errorf("GA best energy %v should beat random search %v", bestGA, bestRandom)
+	}
+}
+
+func TestSeedsEnterPopulation(t *testing.T) {
+	space, obj := testProblem(t, 12)
+	seed := space.Random(rng.New(9))
+	captured := false
+	wrapped := func(m *mapping.Mapping) ([]float64, float64, any) {
+		if m.Equal(seed) {
+			captured = true
+		}
+		return obj(m)
+	}
+	e := &Engine{Space: space, Eval: wrapped, Params: Params{
+		PopSize: 10, Generations: 1, Seed: 4, Seeds: []*mapping.Mapping{seed},
+	}}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !captured {
+		t.Error("seed genome never evaluated")
+	}
+}
+
+func TestConstraintDominationPrefersFeasible(t *testing.T) {
+	// With a tight makespan constraint, the final population should
+	// still contain feasible individuals if any exist, and the front
+	// should satisfy the constraint.
+	plat := platform.Default()
+	g, err := taskgraph.Generate(taskgraph.GenParams{Seed: 32, NumTasks: 15, PeriodSlack: 0.6}, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := &mapping.Space{Graph: g, Platform: plat, Catalogue: relmodel.DefaultCatalogue()}
+	ev := &schedule.Evaluator{Space: space, Env: relmodel.DefaultEnv()}
+	obj := func(m *mapping.Mapping) ([]float64, float64, any) {
+		res, err := ev.Evaluate(m)
+		if err != nil {
+			t.Fatalf("objective: %v", err)
+		}
+		v := 0.0
+		if res.MakespanMs > g.PeriodMs {
+			v = res.MakespanMs - g.PeriodMs
+		}
+		return []float64{res.EnergyMJ}, v, res
+	}
+	e := &Engine{Space: space, Eval: obj, Params: Params{PopSize: 30, Generations: 25, Seed: 5}}
+	pop, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ind := range pop.ParetoFront() {
+		res := ind.Payload.(*schedule.Result)
+		if res.MakespanMs > g.PeriodMs {
+			t.Errorf("front member violates makespan: %v > %v", res.MakespanMs, g.PeriodMs)
+		}
+	}
+}
+
+func TestOnGenerationCallback(t *testing.T) {
+	space, obj := testProblem(t, 10)
+	var gens []int
+	e := &Engine{Space: space, Eval: obj, Params: smallParams(6), OnGeneration: func(s GenStats) {
+		gens = append(gens, s.Generation)
+		if s.FeasibleCount > 0 && len(s.BestObjs) != 2 {
+			t.Errorf("BestObjs = %v, want 2 objectives", s.BestObjs)
+		}
+	}}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 12 {
+		t.Errorf("callback fired %d times, want 12", len(gens))
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	space, obj := testProblem(t, 5)
+	bad := []Params{
+		{PopSize: 1, Generations: 1},
+		{PopSize: 4, Generations: -1},
+		{PopSize: 4, Generations: 1, CrossoverProb: 1.5},
+		{PopSize: 4, Generations: 1, MutationProb: -0.2},
+		{PopSize: 4, Generations: 1, TournamentSize: -2},
+	}
+	for i, p := range bad {
+		e := &Engine{Space: space, Eval: obj, Params: p}
+		if _, err := e.Run(); err == nil {
+			t.Errorf("case %d: Run accepted bad params %+v", i, p)
+		}
+	}
+	e := &Engine{Space: space, Params: smallParams(1)}
+	if _, err := e.Run(); err == nil {
+		t.Error("Run accepted nil objective")
+	}
+}
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p.CrossoverProb != 0.7 {
+		t.Errorf("default crossover = %v, want 0.7", p.CrossoverProb)
+	}
+	if p.MutationProb != 0.03 {
+		t.Errorf("default mutation = %v, want 0.03", p.MutationProb)
+	}
+	if p.TournamentSize != 5 {
+		t.Errorf("default tournament = %d, want 5", p.TournamentSize)
+	}
+}
+
+func TestBetterOrdering(t *testing.T) {
+	feasGood := &Individual{Violation: 0, rank: 0, crowd: 2}
+	feasBad := &Individual{Violation: 0, rank: 1, crowd: 5}
+	infeasLow := &Individual{Violation: 1}
+	infeasHigh := &Individual{Violation: 9}
+	if !better(feasGood, feasBad) {
+		t.Error("lower rank should win")
+	}
+	if !better(feasBad, infeasLow) {
+		t.Error("feasible should beat infeasible")
+	}
+	if !better(infeasLow, infeasHigh) {
+		t.Error("lower violation should win among infeasible")
+	}
+	crowded := &Individual{Violation: 0, rank: 0, crowd: 1}
+	if !better(feasGood, crowded) {
+		t.Error("higher crowding should win at equal rank")
+	}
+}
+
+func TestAllGenomesRemainValidThroughEvolution(t *testing.T) {
+	space, obj := testProblem(t, 18)
+	checked := 0
+	wrapped := func(m *mapping.Mapping) ([]float64, float64, any) {
+		if err := space.Validate(m); err != nil {
+			t.Fatalf("engine produced invalid genome: %v", err)
+		}
+		checked++
+		return obj(m)
+	}
+	e := &Engine{Space: space, Eval: wrapped, Params: smallParams(8)}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if checked < 24*13 {
+		t.Errorf("only %d evaluations observed", checked)
+	}
+}
+
+func TestConvergenceTracking(t *testing.T) {
+	space, obj := testProblem(t, 20)
+	ref := []float64{1e6, 1e6} // loose reference above any (J, S)
+	var hvs []float64
+	e := &Engine{Space: space, Eval: obj, Params: Params{PopSize: 30, Generations: 20, Seed: 11},
+		OnGeneration: func(s GenStats) {
+			if s.FrontSize != len(s.FrontObjs) {
+				t.Fatalf("gen %d: FrontSize %d != len(FrontObjs) %d", s.Generation, s.FrontSize, len(s.FrontObjs))
+			}
+			hvs = append(hvs, pareto.Hypervolume(s.FrontObjs, ref))
+		}}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(hvs) != 20 {
+		t.Fatalf("tracked %d generations", len(hvs))
+	}
+	// Elitist NSGA-II: the final front's hyper-volume should not fall
+	// below the first generation's.
+	if hvs[len(hvs)-1] < hvs[0] {
+		t.Errorf("hyper-volume regressed: %v -> %v", hvs[0], hvs[len(hvs)-1])
+	}
+	// And should strictly improve at some point.
+	improved := false
+	for i := 1; i < len(hvs); i++ {
+		if hvs[i] > hvs[0] {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Error("hyper-volume never improved over 20 generations")
+	}
+}
+
+func TestParallelEvaluationBitIdentical(t *testing.T) {
+	space, obj := testProblem(t, 20)
+	run := func(workers int) []*Individual {
+		p := smallParams(13)
+		p.Workers = workers
+		e := &Engine{Space: space, Eval: obj, Params: p}
+		pop, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pop.ParetoFront()
+	}
+	serial := run(0)
+	parallel := run(4)
+	if len(serial) != len(parallel) {
+		t.Fatalf("front sizes differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !serial[i].M.Equal(parallel[i].M) {
+			t.Fatal("parallel evaluation changed the result")
+		}
+		for k := range serial[i].Objs {
+			if serial[i].Objs[k] != parallel[i].Objs[k] {
+				t.Fatal("parallel evaluation changed objective values")
+			}
+		}
+	}
+}
+
+func TestCrossoverKinds(t *testing.T) {
+	space, _ := testProblem(t, 20)
+	r := rng.New(41)
+	for _, kind := range []CrossoverKind{CrossoverUniform, CrossoverOnePoint, CrossoverTwoPoint} {
+		a, b := space.Random(r), space.Random(r)
+		ac, bc := a.Clone(), b.Clone()
+		crossover(ac, bc, r, kind)
+		// Gene multiset preserved per position: each position holds the
+		// genes of a and b in some order.
+		for i := range ac.Genes {
+			ok := (ac.Genes[i] == a.Genes[i] && bc.Genes[i] == b.Genes[i]) ||
+				(ac.Genes[i] == b.Genes[i] && bc.Genes[i] == a.Genes[i])
+			if !ok {
+				t.Fatalf("%v: position %d lost genes", kind, i)
+			}
+		}
+	}
+	if CrossoverOnePoint.String() != "one-point" || CrossoverKind(9).String() == "" {
+		t.Error("CrossoverKind.String mismatch")
+	}
+}
+
+func TestOnePointCrossoverIsContiguousSuffix(t *testing.T) {
+	space, _ := testProblem(t, 25)
+	r := rng.New(42)
+	a, b := space.Random(r), space.Random(r)
+	ac, bc := a.Clone(), b.Clone()
+	crossover(ac, bc, r, CrossoverOnePoint)
+	_ = bc
+	// After the first swapped position, everything must be swapped.
+	swapping := false
+	for i := range ac.Genes {
+		swapped := ac.Genes[i] == b.Genes[i] && a.Genes[i] != b.Genes[i]
+		same := ac.Genes[i] == a.Genes[i]
+		if swapping && !swapped && !same {
+			t.Fatalf("position %d in unexpected state", i)
+		}
+		if swapped {
+			swapping = true
+		} else if swapping && same && a.Genes[i] != b.Genes[i] {
+			t.Fatalf("gap in suffix swap at %d", i)
+		}
+	}
+}
+
+func TestEngineRunsWithEachCrossover(t *testing.T) {
+	space, obj := testProblem(t, 15)
+	for _, kind := range []CrossoverKind{CrossoverUniform, CrossoverOnePoint, CrossoverTwoPoint} {
+		p := Params{PopSize: 16, Generations: 5, Seed: 43, Crossover: kind}
+		e := &Engine{Space: space, Eval: obj, Params: p}
+		pop, err := e.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if len(pop.ParetoFront()) == 0 {
+			t.Errorf("%v: empty front", kind)
+		}
+	}
+}
+
+func TestHypervolumeSurvivalRuns(t *testing.T) {
+	space, obj := testProblem(t, 20)
+	p := Params{PopSize: 20, Generations: 10, Seed: 51, Survival: SurvivalHypervolume}
+	e := &Engine{Space: space, Eval: obj, Params: p}
+	pop, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := pop.ParetoFront()
+	if len(front) == 0 {
+		t.Fatal("empty front under hypervolume survival")
+	}
+	for i := range front {
+		for j := range front {
+			if i != j && pareto.Dominates(front[i].Objs, front[j].Objs) {
+				t.Fatal("front not mutually non-dominated")
+			}
+		}
+	}
+	if SurvivalHypervolume.String() != "hypervolume" || SurvivalKind(9).String() == "" {
+		t.Error("SurvivalKind.String mismatch")
+	}
+}
+
+func TestSurvivalKindsProduceComparableQuality(t *testing.T) {
+	// The two survival rules should land in the same quality ballpark
+	// at equal budget (neither catastrophically worse).
+	space, obj := testProblem(t, 20)
+	ref := []float64{1e6, 1e6}
+	hv := func(survival SurvivalKind) float64 {
+		p := Params{PopSize: 24, Generations: 12, Seed: 52, Survival: survival}
+		e := &Engine{Space: space, Eval: obj, Params: p}
+		pop, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var objs [][]float64
+		for _, ind := range pop.ParetoFront() {
+			objs = append(objs, ind.Objs)
+		}
+		return pareto.Hypervolume(objs, ref)
+	}
+	a, b := hv(SurvivalCrowding), hv(SurvivalHypervolume)
+	if a <= 0 || b <= 0 {
+		t.Fatalf("degenerate hyper-volumes %v/%v", a, b)
+	}
+	if ratio := a / b; ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("survival rules diverge: crowding HV %v vs hypervolume HV %v", a, b)
+	}
+}
+
+func TestIGDConvergesTowardFinalFront(t *testing.T) {
+	// The per-generation fronts should approach the final front in
+	// (normalised) IGD terms: the last quarter of the run must sit
+	// closer than the first quarter on average.
+	space, obj := testProblem(t, 20)
+	var history [][][]float64
+	e := &Engine{Space: space, Eval: obj, Params: Params{PopSize: 30, Generations: 24, Seed: 61},
+		OnGeneration: func(s GenStats) {
+			cp := make([][]float64, len(s.FrontObjs))
+			for i, o := range s.FrontObjs {
+				cp[i] = append([]float64(nil), o...)
+			}
+			history = append(history, cp)
+		}}
+	pop, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var final [][]float64
+	for _, ind := range pop.ParetoFront() {
+		final = append(final, ind.Objs)
+	}
+	// Normalise everything with the union extent so IGD mixes ms and
+	// mJ sensibly.
+	var union [][]float64
+	union = append(union, final...)
+	for _, f := range history {
+		union = append(union, f...)
+	}
+	norm := pareto.Normalize(union)
+	normFinal := norm[:len(final)]
+	idx := len(final)
+	igd := make([]float64, len(history))
+	for g, f := range history {
+		igd[g] = pareto.IGD(norm[idx:idx+len(f)], normFinal)
+		idx += len(f)
+	}
+	quarter := len(igd) / 4
+	early, late := 0.0, 0.0
+	for i := 0; i < quarter; i++ {
+		early += igd[i]
+		late += igd[len(igd)-1-i]
+	}
+	if late >= early {
+		t.Errorf("IGD did not improve: early avg %v, late avg %v", early/float64(quarter), late/float64(quarter))
+	}
+}

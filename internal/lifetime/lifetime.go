@@ -1,0 +1,235 @@
+// Package lifetime turns the CLR model's aging parameters — the
+// Weibull scale eta as a thermal-stress indicator and the per-PE-type
+// shape beta (Section 3.1/Table 2) — into a mission-lifetime
+// Monte-Carlo: sample permanent PE failures from stress-adjusted
+// Weibull distributions, replay them against the platform, and measure
+// how long the system survives.
+//
+// Two horizons are reported:
+//
+//   - first failure — when the first PE wears out (a classic MTTF
+//     view), and
+//   - mission loss — when so many PEs have failed that the application
+//     can no longer be mapped at all (some task loses its last
+//     runnable implementation). Until that point, every failure is an
+//     internal change the methodology handles by re-running the DSE on
+//     the reduced platform (core.RebuildWithoutPE).
+//
+// Wear depends on how the system is *used*: a usage profile weights
+// the stored configurations by their share of mission time (e.g. from
+// a run-time simulation), and each PE ages under the power it actually
+// dissipates — so a dynamic-CLR system that spends most cycles in
+// frugal configurations outlives one pinned to its worst-case point.
+// This realises the paper's Section 4.1 remark that MTTF can join the
+// optimisation and its future-work theme of lifetime-aware adaptation.
+package lifetime
+
+import (
+	"fmt"
+	"sort"
+
+	"clrdse/internal/mapping"
+	"clrdse/internal/relmodel"
+	"clrdse/internal/rng"
+)
+
+// Usage is one configuration's share of mission time.
+type Usage struct {
+	// M is the configuration.
+	M *mapping.Mapping
+	// Weight is the fraction of mission time spent in M; weights are
+	// normalised internally.
+	Weight float64
+}
+
+// Params configures a lifetime campaign.
+type Params struct {
+	// Space is the problem instance.
+	Space *mapping.Space
+	// Env supplies Eta0 and the stress coefficient (zero selects
+	// relmodel.DefaultEnv).
+	Env relmodel.Env
+	// Samples is the number of sampled failure sequences (0 selects
+	// 2000).
+	Samples int
+	// Seed drives the sampling.
+	Seed int64
+}
+
+// Result summarises a campaign.
+type Result struct {
+	// Samples is the number of sampled mission runs.
+	Samples int
+	// PEEtaMs is the stress-adjusted Weibull scale per PE under the
+	// usage profile.
+	PEEtaMs []float64
+	// MeanFirstFailureMs and MeanMissionLossMs are the Monte-Carlo
+	// means of the two horizons.
+	MeanFirstFailureMs float64
+	MeanMissionLossMs  float64
+	// MedianMissionLossMs is the 50th percentile of mission loss.
+	MedianMissionLossMs float64
+	// FailuresSurvived is the mean number of PE failures absorbed
+	// before mission loss.
+	FailuresSurvived float64
+}
+
+// Wear computes the per-PE stress-adjusted Weibull scale eta under the
+// usage profile: each PE's thermal stress is its time-averaged
+// dissipated power (execution-weighted, including the reliability
+// methods' replication overheads), scaled by the environment's stress
+// coefficient — the PE-level aggregate of the task-level eta model in
+// relmodel.
+func Wear(usage []Usage, space *mapping.Space, env relmodel.Env) ([]float64, error) {
+	if len(usage) == 0 {
+		return nil, fmt.Errorf("lifetime: empty usage profile")
+	}
+	total := 0.0
+	for _, u := range usage {
+		if u.Weight < 0 {
+			return nil, fmt.Errorf("lifetime: negative usage weight")
+		}
+		total += u.Weight
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("lifetime: zero total usage weight")
+	}
+	if (env == relmodel.Env{}) {
+		env = relmodel.DefaultEnv()
+	}
+
+	g := space.Graph
+	avgPower := make([]float64, space.Platform.NumPEs())
+	for _, u := range usage {
+		if err := space.Validate(u.M); err != nil {
+			return nil, err
+		}
+		w := u.Weight / total
+		for t, gene := range u.M.Genes {
+			im := &g.Tasks[t].Impls[gene.Impl]
+			pt := space.Platform.TypeOf(gene.PE)
+			met := relmodel.Evaluate(im, pt, gene.CLR, space.Catalogue, env)
+			hw := &space.Catalogue.HW[gene.CLR.HW]
+			ssw := &space.Catalogue.SSW[gene.CLR.SSW]
+			asw := &space.Catalogue.ASW[gene.CLR.ASW]
+			stressMult := 1 + hw.StressFactor + ssw.StressFactor + asw.StressFactor
+			// Duty-cycled power: the task dissipates met.PowerW for
+			// met.AvgExTMs out of every period.
+			avgPower[gene.PE] += w * met.PowerW * stressMult * met.AvgExTMs / g.PeriodMs
+		}
+	}
+	etas := make([]float64, len(avgPower))
+	for pe, pw := range avgPower {
+		idle := space.Platform.TypeOf(pe).IdlePowerW
+		etas[pe] = env.Eta0Ms / (1 + env.StressCoeff*(pw+idle))
+	}
+	return etas, nil
+}
+
+// Simulate runs the mission-lifetime Monte-Carlo under the usage
+// profile.
+func Simulate(usage []Usage, p Params) (*Result, error) {
+	if p.Space == nil {
+		return nil, fmt.Errorf("lifetime: nil Space")
+	}
+	if p.Samples == 0 {
+		p.Samples = 2000
+	}
+	if p.Samples < 0 {
+		return nil, fmt.Errorf("lifetime: negative Samples")
+	}
+	if (p.Env == relmodel.Env{}) {
+		p.Env = relmodel.DefaultEnv()
+	}
+	etas, err := Wear(usage, p.Space, p.Env)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Samples: p.Samples, PEEtaMs: etas}
+
+	// Pre-compute survivable failure prefixes cheaply: feasibility
+	// after a set of failures only depends on which PEs are gone.
+	// Sampling order varies, so memoise by failed-set bitmask.
+	feasible := map[uint64]bool{}
+	canRun := func(mask uint64) bool {
+		if ok, hit := feasible[mask]; hit {
+			return ok
+		}
+		ok := runnableUnder(p.Space, mask)
+		feasible[mask] = ok
+		return ok
+	}
+
+	r := rng.New(p.Seed)
+	var missLosses []float64
+	for s := 0; s < p.Samples; s++ {
+		type failure struct {
+			at float64
+			pe int
+		}
+		fails := make([]failure, len(etas))
+		for pe := range etas {
+			beta := p.Space.Platform.TypeOf(pe).AgingBeta
+			fails[pe] = failure{at: r.Weibull(etas[pe], beta), pe: pe}
+		}
+		sort.Slice(fails, func(a, b int) bool { return fails[a].at < fails[b].at })
+		res.MeanFirstFailureMs += fails[0].at
+
+		mask := uint64(0)
+		loss := fails[len(fails)-1].at
+		survived := len(fails) - 1
+		for k, f := range fails {
+			mask |= 1 << uint(f.pe)
+			if !canRun(mask) {
+				loss = f.at
+				survived = k
+				break
+			}
+		}
+		res.MeanMissionLossMs += loss
+		res.FailuresSurvived += float64(survived)
+		missLosses = append(missLosses, loss)
+	}
+	res.MeanFirstFailureMs /= float64(p.Samples)
+	res.MeanMissionLossMs /= float64(p.Samples)
+	res.FailuresSurvived /= float64(p.Samples)
+	sort.Float64s(missLosses)
+	res.MedianMissionLossMs = missLosses[len(missLosses)/2]
+	return res, nil
+}
+
+// runnableUnder reports whether every task still has a runnable
+// implementation when the masked PEs have failed.
+func runnableUnder(s *mapping.Space, failedMask uint64) bool {
+	alive := func(peType int) bool {
+		for _, pe := range s.Platform.PEs {
+			if pe.Type == peType && failedMask&(1<<uint(pe.ID)) == 0 {
+				return true
+			}
+		}
+		return false
+	}
+	for t := range s.Graph.Tasks {
+		ok := false
+		for _, im := range s.Graph.Tasks[t].Impls {
+			if alive(im.PEType) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// UsageFromDatabasePoints builds a uniform usage profile over stored
+// design points (helper for quick comparisons).
+func UsageFromDatabasePoints(ms []*mapping.Mapping) []Usage {
+	out := make([]Usage, len(ms))
+	for i, m := range ms {
+		out[i] = Usage{M: m, Weight: 1}
+	}
+	return out
+}

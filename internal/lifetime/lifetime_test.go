@@ -1,0 +1,244 @@
+package lifetime
+
+import (
+	"math"
+	"testing"
+
+	"clrdse/internal/mapping"
+	"clrdse/internal/platform"
+	"clrdse/internal/relmodel"
+	"clrdse/internal/rng"
+	"clrdse/internal/taskgraph"
+)
+
+func testSpace(t *testing.T, n int) *mapping.Space {
+	t.Helper()
+	plat := platform.Default()
+	g, err := taskgraph.Generate(taskgraph.GenParams{Seed: 101, NumTasks: n}, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &mapping.Space{Graph: g, Platform: plat, Catalogue: relmodel.DefaultCatalogue()}
+}
+
+func TestWearBasics(t *testing.T) {
+	s := testSpace(t, 20)
+	m := s.Random(rng.New(1))
+	etas, err := Wear([]Usage{{M: m, Weight: 1}}, s, relmodel.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(etas) != s.Platform.NumPEs() {
+		t.Fatalf("etas = %d, want one per PE", len(etas))
+	}
+	env := relmodel.DefaultEnv()
+	for pe, eta := range etas {
+		if eta <= 0 || eta > env.Eta0Ms {
+			t.Errorf("PE %d eta = %v, want in (0, Eta0]", pe, eta)
+		}
+	}
+}
+
+func TestWearLoadedPEAgesFaster(t *testing.T) {
+	s := testSpace(t, 25)
+	m := s.Random(rng.New(2))
+	etas, err := Wear([]Usage{{M: m, Weight: 1}}, s, relmodel.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A PE carrying no tasks must have the highest eta among PEs of
+	// its own type (only idle stress).
+	busy := map[int]bool{}
+	for _, g := range m.Genes {
+		busy[g.PE] = true
+	}
+	for pe := range etas {
+		if busy[pe] {
+			continue
+		}
+		for other := range etas {
+			if other != pe && busy[other] &&
+				s.Platform.PEs[other].Type == s.Platform.PEs[pe].Type &&
+				etas[other] > etas[pe]+1e-9 {
+				t.Errorf("idle PE %d eta %v < busy same-type PE %d eta %v",
+					pe, etas[pe], other, etas[other])
+			}
+		}
+	}
+}
+
+func TestWearProtectionAcceleratesAging(t *testing.T) {
+	s := testSpace(t, 15)
+	plain := s.Random(rng.New(3))
+	for i := range plain.Genes {
+		plain.Genes[i].CLR = relmodel.Config{}
+	}
+	tmr := plain.Clone()
+	for i := range tmr.Genes {
+		tmr.Genes[i].CLR = relmodel.Config{HW: 2} // partial TMR everywhere
+	}
+	a, err := Wear([]Usage{{M: plain, Weight: 1}}, s, relmodel.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Wear([]Usage{{M: tmr, Weight: 1}}, s, relmodel.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worse := 0
+	for pe := range a {
+		if b[pe] < a[pe]-1e-9 {
+			worse++
+		}
+	}
+	if worse == 0 {
+		t.Error("TMR everywhere should shorten at least one PE's eta")
+	}
+}
+
+func TestWearMixesUsageWeights(t *testing.T) {
+	s := testSpace(t, 15)
+	cheap := s.HeuristicMinEnergy(relmodel.DefaultEnv())
+	hot := s.HeuristicMaxRel(relmodel.DefaultEnv())
+	allCheap, err := Wear([]Usage{{M: cheap, Weight: 1}}, s, relmodel.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allHot, err := Wear([]Usage{{M: hot, Weight: 1}}, s, relmodel.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := Wear([]Usage{{M: cheap, Weight: 1}, {M: hot, Weight: 1}}, s, relmodel.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe := range mixed {
+		lo := math.Min(allCheap[pe], allHot[pe])
+		hi := math.Max(allCheap[pe], allHot[pe])
+		if mixed[pe] < lo-1e-9 || mixed[pe] > hi+1e-9 {
+			t.Errorf("PE %d mixed eta %v outside [%v,%v]", pe, mixed[pe], lo, hi)
+		}
+	}
+}
+
+func TestWearValidation(t *testing.T) {
+	s := testSpace(t, 10)
+	if _, err := Wear(nil, s, relmodel.Env{}); err == nil {
+		t.Error("accepted empty usage")
+	}
+	m := s.Random(rng.New(4))
+	if _, err := Wear([]Usage{{M: m, Weight: -1}}, s, relmodel.Env{}); err == nil {
+		t.Error("accepted negative weight")
+	}
+	if _, err := Wear([]Usage{{M: m, Weight: 0}}, s, relmodel.Env{}); err == nil {
+		t.Error("accepted zero total weight")
+	}
+	bad := m.Clone()
+	bad.Genes[0].PE = 99
+	if _, err := Wear([]Usage{{M: bad, Weight: 1}}, s, relmodel.Env{}); err == nil {
+		t.Error("accepted invalid mapping")
+	}
+}
+
+func TestSimulateLifetimeBasics(t *testing.T) {
+	s := testSpace(t, 20)
+	m := s.Random(rng.New(5))
+	res, err := Simulate([]Usage{{M: m, Weight: 1}}, Params{Space: s, Samples: 500, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanFirstFailureMs <= 0 {
+		t.Error("no first-failure time")
+	}
+	if res.MeanMissionLossMs < res.MeanFirstFailureMs {
+		t.Errorf("mission loss %v before first failure %v",
+			res.MeanMissionLossMs, res.MeanFirstFailureMs)
+	}
+	if res.FailuresSurvived < 0 || res.FailuresSurvived > float64(s.Platform.NumPEs()) {
+		t.Errorf("failures survived = %v out of range", res.FailuresSurvived)
+	}
+	if res.MedianMissionLossMs <= 0 {
+		t.Error("no median mission loss")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	s := testSpace(t, 15)
+	m := s.Random(rng.New(7))
+	p := Params{Space: s, Samples: 300, Seed: 8}
+	a, err := Simulate([]Usage{{M: m, Weight: 1}}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate([]Usage{{M: m, Weight: 1}}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanMissionLossMs != b.MeanMissionLossMs {
+		t.Error("same seed produced different lifetimes")
+	}
+}
+
+func TestFrugalUsageOutlivesHotUsage(t *testing.T) {
+	// The motivation for lifetime-aware dynamic CLR: spending mission
+	// time in low-power configurations extends system life.
+	s := testSpace(t, 25)
+	env := relmodel.DefaultEnv()
+	cheap := s.HeuristicMinEnergy(env)
+	hot := s.HeuristicMaxRel(env)
+	a, err := Simulate([]Usage{{M: cheap, Weight: 1}}, Params{Space: s, Samples: 1500, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate([]Usage{{M: hot, Weight: 1}}, Params{Space: s, Samples: 1500, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanMissionLossMs <= b.MeanMissionLossMs {
+		t.Errorf("frugal usage lifetime %v should exceed hot usage %v",
+			a.MeanMissionLossMs, b.MeanMissionLossMs)
+	}
+}
+
+func TestRunnableUnderMaskMatchesRemovePE(t *testing.T) {
+	s := testSpace(t, 30)
+	// Removing PE 2 (one of two mid cores): runnableUnder must agree
+	// with the platform-level Check on the reduced platform.
+	reduced, err := platform.RemovePE(platform.Default(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := &mapping.Space{Graph: s.Graph, Platform: reduced, Catalogue: s.Catalogue}
+	want := rs.Check() == nil
+	if got := runnableUnder(s, 1<<2); got != want {
+		t.Errorf("runnableUnder(PE2 failed) = %v, platform check says %v", got, want)
+	}
+	// All PEs failed: never runnable.
+	all := uint64(0)
+	for pe := 0; pe < s.Platform.NumPEs(); pe++ {
+		all |= 1 << uint(pe)
+	}
+	if runnableUnder(s, all) {
+		t.Error("runnable with every PE failed")
+	}
+}
+
+func TestUsageFromDatabasePoints(t *testing.T) {
+	s := testSpace(t, 10)
+	ms := []*mapping.Mapping{s.Random(rng.New(10)), s.Random(rng.New(11))}
+	u := UsageFromDatabasePoints(ms)
+	if len(u) != 2 || u[0].Weight != 1 || u[1].M != ms[1] {
+		t.Errorf("bad usage profile %+v", u)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	s := testSpace(t, 10)
+	m := s.Random(rng.New(12))
+	if _, err := Simulate([]Usage{{M: m, Weight: 1}}, Params{}); err == nil {
+		t.Error("accepted nil space")
+	}
+	if _, err := Simulate([]Usage{{M: m, Weight: 1}}, Params{Space: s, Samples: -1}); err == nil {
+		t.Error("accepted negative samples")
+	}
+}

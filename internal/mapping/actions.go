@@ -1,0 +1,158 @@
+package mapping
+
+// Concrete reconfiguration plans. The simulator only needs the scalar
+// dRC of a transition, but a deployed run-time manager must hand the
+// platform an imperative action list: which binaries to copy where,
+// which bitstreams to stream into which PRRs, which tasks merely
+// change their reliability configuration or schedule position. Diff
+// derives that list from two configurations, consistent with the cost
+// model of DRC (Section 3.5).
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ActionKind classifies one reconfiguration step.
+type ActionKind int
+
+const (
+	// ActionCopyBinary copies a task's software binary into a PE's
+	// local memory (Section 3.5 modes 3/4).
+	ActionCopyBinary ActionKind = iota
+	// ActionLoadBitstream streams an accelerator circuit into a PRR.
+	ActionLoadBitstream
+	// ActionSetCLR re-parameterises a task's per-layer reliability
+	// methods (free: no data movement).
+	ActionSetCLR
+	// ActionReorder changes a task's schedule priority (free).
+	ActionReorder
+)
+
+func (k ActionKind) String() string {
+	switch k {
+	case ActionCopyBinary:
+		return "copy-binary"
+	case ActionLoadBitstream:
+		return "load-bitstream"
+	case ActionSetCLR:
+		return "set-clr"
+	case ActionReorder:
+		return "reorder"
+	default:
+		return fmt.Sprintf("ActionKind(%d)", int(k))
+	}
+}
+
+// Action is one imperative reconfiguration step.
+type Action struct {
+	// Kind selects the step type.
+	Kind ActionKind
+	// Task is the affected task (-1 for pure bitstream loads).
+	Task int
+	// PE is the destination PE for binary copies and the PRR-backed
+	// PE for bitstream loads; -1 otherwise.
+	PE int
+	// PRR is the reconfigured region for bitstream loads; -1 otherwise.
+	PRR int
+	// Bitstream is the circuit ID for bitstream loads; -1 otherwise.
+	Bitstream int
+	// CostMs is the step's contribution to dRC (0 for free steps).
+	CostMs float64
+}
+
+// String renders the action for logs.
+func (a Action) String() string {
+	switch a.Kind {
+	case ActionCopyBinary:
+		return fmt.Sprintf("copy-binary task=%d -> PE%d (%.3f ms)", a.Task, a.PE, a.CostMs)
+	case ActionLoadBitstream:
+		return fmt.Sprintf("load-bitstream %d -> PRR%d (%.3f ms)", a.Bitstream, a.PRR, a.CostMs)
+	case ActionSetCLR:
+		return fmt.Sprintf("set-clr task=%d", a.Task)
+	case ActionReorder:
+		return fmt.Sprintf("reorder task=%d", a.Task)
+	default:
+		return a.Kind.String()
+	}
+}
+
+// Diff returns the imperative plan that takes the system from
+// configuration `from` to configuration `to`, ordered bitstream loads
+// first (longest latency, so they overlap with binary copies on real
+// hardware), then binary copies, then the free steps. The sum of the
+// actions' CostMs equals DRC(from, to).Total().
+func (s *Space) Diff(from, to *Mapping) []Action {
+	var actions []Action
+
+	// Bitstream loads: newly demanded circuits per PRR.
+	fromRes := s.residentBitstreams(from)
+	toRes := s.residentBitstreams(to)
+	for prr := range s.Platform.PRRs {
+		var newBits []int
+		for bs := range toRes[prr] {
+			if !fromRes[prr][bs] {
+				newBits = append(newBits, bs)
+			}
+		}
+		sort.Ints(newBits)
+		for _, bs := range newBits {
+			actions = append(actions, Action{
+				Kind:      ActionLoadBitstream,
+				Task:      -1,
+				PE:        prrPE(s, prr),
+				PRR:       prr,
+				Bitstream: bs,
+				CostMs:    s.Platform.BitstreamLoadMs(s.Platform.PRRs[prr].BitstreamKB),
+			})
+		}
+	}
+
+	// Binary copies and free per-task steps.
+	var copies, frees []Action
+	for t := range to.Genes {
+		gf, gt := from.Genes[t], to.Genes[t]
+		moved := gf.PE != gt.PE || gf.Impl != gt.Impl
+		if moved {
+			im := &s.Graph.Tasks[t].Impls[gt.Impl]
+			if im.BitstreamID < 0 {
+				copies = append(copies, Action{
+					Kind:      ActionCopyBinary,
+					Task:      t,
+					PE:        gt.PE,
+					PRR:       -1,
+					Bitstream: -1,
+					CostMs:    s.Platform.BinaryMigrationMs(im.BinaryKB),
+				})
+			}
+		}
+		if gf.CLR != gt.CLR {
+			frees = append(frees, Action{Kind: ActionSetCLR, Task: t, PE: -1, PRR: -1, Bitstream: -1})
+		}
+		if gf.Prio != gt.Prio {
+			frees = append(frees, Action{Kind: ActionReorder, Task: t, PE: -1, PRR: -1, Bitstream: -1})
+		}
+	}
+	actions = append(actions, copies...)
+	actions = append(actions, frees...)
+	return actions
+}
+
+// prrPE returns the PE backed by the given PRR, or -1.
+func prrPE(s *Space, prr int) int {
+	for _, pe := range s.Platform.PEs {
+		if pe.PRR == prr {
+			return pe.ID
+		}
+	}
+	return -1
+}
+
+// PlanCost sums the actions' costs.
+func PlanCost(actions []Action) float64 {
+	total := 0.0
+	for _, a := range actions {
+		total += a.CostMs
+	}
+	return total
+}

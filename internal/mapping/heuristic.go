@@ -1,0 +1,119 @@
+package mapping
+
+// Constructive heuristics: deterministic initial mappings in the
+// classic task-mapping tradition, used to seed the GA population so
+// the evolutionary search starts from sensible corners of the space
+// instead of purely random genomes.
+//
+//   - HeuristicEFT        — earliest-finish-time list mapping (greedy
+//     makespan), no CLR protection.
+//   - HeuristicMinEnergy  — every task on its cheapest (impl, PE) by
+//     energy, no CLR protection.
+//   - HeuristicMaxRel     — every task on its best-masking PE with the
+//     strongest CLR configuration.
+//
+// All three return valid mappings; priorities encode the topological
+// order so the list scheduler reproduces the construction order.
+
+import (
+	"math"
+
+	"clrdse/internal/relmodel"
+)
+
+// HeuristicEFT builds an earliest-finish-time mapping: tasks in
+// topological order greedily pick the (implementation, PE) pair that
+// finishes soonest given current PE availability and cross-PE
+// communication delays. CLR layers stay at "none".
+func (s *Space) HeuristicEFT(env relmodel.Env) *Mapping {
+	g := s.Graph
+	n := g.NumTasks()
+	m := &Mapping{Genes: make([]Gene, n)}
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic("mapping: HeuristicEFT on cyclic graph: " + err.Error())
+	}
+	peAvail := make([]float64, s.Platform.NumPEs())
+	finish := make([]float64, n)
+	preds := g.Preds()
+
+	for rank, t := range order {
+		bestPE, bestImpl := -1, -1
+		bestFinish := math.Inf(1)
+		for _, impl := range s.RunnableImpls(t) {
+			im := &g.Tasks[t].Impls[impl]
+			for _, pe := range s.CompatiblePEs(t, impl) {
+				ready := 0.0
+				for _, eid := range preds[t] {
+					e := g.Edges[eid]
+					arrive := finish[e.Src]
+					if m.Genes[e.Src].PE != pe {
+						arrive += e.CommTimeMs
+					}
+					ready = math.Max(ready, arrive)
+				}
+				start := math.Max(ready, peAvail[pe])
+				pt := s.Platform.TypeOf(pe)
+				met := relmodel.Evaluate(im, pt, relmodel.Config{}, s.Catalogue, env)
+				if f := start + met.AvgExTMs; f < bestFinish {
+					bestFinish, bestPE, bestImpl = f, pe, impl
+				}
+			}
+		}
+		m.Genes[t] = Gene{PE: bestPE, Impl: bestImpl, Prio: n - rank}
+		finish[t] = bestFinish
+		peAvail[bestPE] = bestFinish
+	}
+	return m
+}
+
+// HeuristicMinEnergy maps every task to its lowest-energy
+// (implementation, PE-type) option with no CLR protection; among PEs
+// of the chosen type, load is balanced round-robin by task ID.
+func (s *Space) HeuristicMinEnergy(env relmodel.Env) *Mapping {
+	return s.greedyPerTask(env, func(met relmodel.TaskMetrics) float64 {
+		return met.AvgExTMs * met.PowerW
+	}, relmodel.Config{})
+}
+
+// HeuristicMaxRel maps every task to its lowest-error option under the
+// catalogue's strongest CLR configuration (last method of each layer).
+func (s *Space) HeuristicMaxRel(env relmodel.Env) *Mapping {
+	strongest := relmodel.Config{
+		HW:  len(s.Catalogue.HW) - 1,
+		SSW: len(s.Catalogue.SSW) - 1,
+		ASW: len(s.Catalogue.ASW) - 1,
+	}
+	return s.greedyPerTask(env, func(met relmodel.TaskMetrics) float64 {
+		return met.ErrProb
+	}, strongest)
+}
+
+// greedyPerTask scores every (impl, PE) option of every task with the
+// given cost function under the given CLR configuration and picks the
+// minimum, distributing ties and same-type PEs by task index.
+func (s *Space) greedyPerTask(env relmodel.Env, cost func(relmodel.TaskMetrics) float64, cfg relmodel.Config) *Mapping {
+	g := s.Graph
+	n := g.NumTasks()
+	m := &Mapping{Genes: make([]Gene, n)}
+	for t := 0; t < n; t++ {
+		bestImpl, bestType := -1, -1
+		bestCost := math.Inf(1)
+		for _, impl := range s.RunnableImpls(t) {
+			im := &g.Tasks[t].Impls[impl]
+			pt := &s.Platform.Types[im.PEType]
+			met := relmodel.Evaluate(im, pt, cfg, s.Catalogue, env)
+			if c := cost(met); c < bestCost {
+				bestCost, bestImpl, bestType = c, impl, im.PEType
+			}
+		}
+		pes := s.Platform.PEsOfType(bestType)
+		m.Genes[t] = Gene{
+			PE:   pes[t%len(pes)],
+			Impl: bestImpl,
+			CLR:  cfg,
+			Prio: n - t,
+		}
+	}
+	return m
+}

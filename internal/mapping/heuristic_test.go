@@ -1,0 +1,177 @@
+package mapping
+
+import (
+	"testing"
+
+	"clrdse/internal/relmodel"
+	"clrdse/internal/rng"
+)
+
+func TestHeuristicsProduceValidMappings(t *testing.T) {
+	s := testSpace(t, 35)
+	env := relmodel.DefaultEnv()
+	for name, m := range map[string]*Mapping{
+		"eft":       s.HeuristicEFT(env),
+		"minenergy": s.HeuristicMinEnergy(env),
+		"maxrel":    s.HeuristicMaxRel(env),
+	} {
+		if err := s.Validate(m); err != nil {
+			t.Errorf("%s heuristic invalid: %v", name, err)
+		}
+	}
+}
+
+func TestHeuristicsDeterministic(t *testing.T) {
+	s := testSpace(t, 20)
+	env := relmodel.DefaultEnv()
+	if !s.HeuristicEFT(env).Equal(s.HeuristicEFT(env)) {
+		t.Error("EFT heuristic not deterministic")
+	}
+	if !s.HeuristicMinEnergy(env).Equal(s.HeuristicMinEnergy(env)) {
+		t.Error("min-energy heuristic not deterministic")
+	}
+}
+
+func TestHeuristicMinEnergyUnprotected(t *testing.T) {
+	s := testSpace(t, 15)
+	m := s.HeuristicMinEnergy(relmodel.DefaultEnv())
+	for tk, g := range m.Genes {
+		if g.CLR != (relmodel.Config{}) {
+			t.Errorf("task %d carries protection %+v in min-energy heuristic", tk, g.CLR)
+		}
+	}
+}
+
+func TestHeuristicMaxRelFullyProtected(t *testing.T) {
+	s := testSpace(t, 15)
+	m := s.HeuristicMaxRel(relmodel.DefaultEnv())
+	want := relmodel.Config{
+		HW:  len(s.Catalogue.HW) - 1,
+		SSW: len(s.Catalogue.SSW) - 1,
+		ASW: len(s.Catalogue.ASW) - 1,
+	}
+	for tk, g := range m.Genes {
+		if g.CLR != want {
+			t.Errorf("task %d CLR = %+v, want strongest %+v", tk, g.CLR, want)
+		}
+	}
+}
+
+func TestHeuristicMinEnergyBeatsRandomOnEnergy(t *testing.T) {
+	s := testSpace(t, 30)
+	env := relmodel.DefaultEnv()
+	taskEnergy := func(m *Mapping) float64 {
+		sum := 0.0
+		for tk, g := range m.Genes {
+			im := &s.Graph.Tasks[tk].Impls[g.Impl]
+			pt := s.Platform.TypeOf(g.PE)
+			met := relmodel.Evaluate(im, pt, g.CLR, s.Catalogue, env)
+			sum += met.AvgExTMs * met.PowerW
+		}
+		return sum
+	}
+	h := taskEnergy(s.HeuristicMinEnergy(env))
+	r := rng.New(3)
+	for i := 0; i < 30; i++ {
+		if got := taskEnergy(s.Random(r)); got < h {
+			t.Fatalf("random mapping %d beat min-energy heuristic: %v < %v", i, got, h)
+		}
+	}
+}
+
+func TestHeuristicMaxRelBeatsRandomOnError(t *testing.T) {
+	s := testSpace(t, 25)
+	env := relmodel.DefaultEnv()
+	worstErr := func(m *Mapping) float64 {
+		worst := 0.0
+		for tk, g := range m.Genes {
+			im := &s.Graph.Tasks[tk].Impls[g.Impl]
+			pt := s.Platform.TypeOf(g.PE)
+			met := relmodel.Evaluate(im, pt, g.CLR, s.Catalogue, env)
+			if met.ErrProb > worst {
+				worst = met.ErrProb
+			}
+		}
+		return worst
+	}
+	h := worstErr(s.HeuristicMaxRel(env))
+	r := rng.New(4)
+	for i := 0; i < 30; i++ {
+		if got := worstErr(s.Random(r)); got < h {
+			t.Fatalf("random mapping %d beat max-rel heuristic: %v < %v", i, got, h)
+		}
+	}
+}
+
+func TestHeuristicEFTRespectsAvailability(t *testing.T) {
+	// EFT must never pick an unrunnable implementation.
+	s := testSpace(t, 40)
+	m := s.HeuristicEFT(relmodel.DefaultEnv())
+	for tk, g := range m.Genes {
+		ok := false
+		for _, impl := range s.RunnableImpls(tk) {
+			if impl == g.Impl {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("task %d uses unrunnable impl %d", tk, g.Impl)
+		}
+	}
+}
+
+func TestHeuristicEFTBeatsRandomOnMakespan(t *testing.T) {
+	// EFT greedily minimises finish times, so its serial-estimate-free
+	// schedule should beat random mappings' makespans. Compare via the
+	// same greedy finish computation it optimises (avoid importing the
+	// scheduler here): total finish of the last task in topo order.
+	s := testSpace(t, 30)
+	env := relmodel.DefaultEnv()
+	eft := s.HeuristicEFT(env)
+	finish := func(m *Mapping) float64 {
+		order, err := s.Graph.TopoOrder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		peAvail := make([]float64, s.Platform.NumPEs())
+		done := make([]float64, s.Graph.NumTasks())
+		preds := s.Graph.Preds()
+		worst := 0.0
+		for _, tk := range order {
+			g := m.Genes[tk]
+			ready := 0.0
+			for _, eid := range preds[tk] {
+				e := s.Graph.Edges[eid]
+				arr := done[e.Src]
+				if m.Genes[e.Src].PE != g.PE {
+					arr += e.CommTimeMs
+				}
+				if arr > ready {
+					ready = arr
+				}
+			}
+			if peAvail[g.PE] > ready {
+				ready = peAvail[g.PE]
+			}
+			im := &s.Graph.Tasks[tk].Impls[g.Impl]
+			met := relmodel.Evaluate(im, s.Platform.TypeOf(g.PE), g.CLR, s.Catalogue, env)
+			done[tk] = ready + met.AvgExTMs
+			peAvail[g.PE] = done[tk]
+			if done[tk] > worst {
+				worst = done[tk]
+			}
+		}
+		return worst
+	}
+	h := finish(eft)
+	r := rng.New(8)
+	beaten := 0
+	for i := 0; i < 20; i++ {
+		if finish(s.Random(r)) > h {
+			beaten++
+		}
+	}
+	if beaten < 18 {
+		t.Errorf("EFT beat only %d/20 random mappings on makespan", beaten)
+	}
+}

@@ -1,0 +1,205 @@
+// Package mapping defines the CLR-integrated task-mapping
+// configuration X_i of the paper's Section 4.1 — the decision vector
+// the design-time GA evolves and the run-time manager switches between
+// — together with the reconfiguration model of Section 3.5 that prices
+// the transition between two configurations (dRC).
+//
+// For every task the configuration fixes Psi_t = M_t x C_t:
+//
+//	M_t = (PE binding, implementation choice, schedule position)
+//	C_t = (HW method, SSW method, ASW method)
+//
+// Reconfiguration cost follows the paper's locality argument: each PE
+// has enough local memory for the binaries of the tasks mapped on it,
+// so re-ordering tasks on a PE or changing a CLR configuration is
+// free; re-binding a task to a new PE copies its implementation binary
+// across the interconnect, and changing the accelerator hosted by a
+// partially reconfigurable region streams a new bitstream through the
+// configuration port.
+package mapping
+
+import (
+	"fmt"
+	"strings"
+
+	"clrdse/internal/platform"
+	"clrdse/internal/relmodel"
+	"clrdse/internal/rng"
+	"clrdse/internal/taskgraph"
+)
+
+// Gene is the per-task slice of a configuration.
+type Gene struct {
+	// PE is the ID of the processing element the task is bound to.
+	PE int
+	// Impl indexes the task's implementation set; the implementation's
+	// PE type must match the bound PE's type.
+	Impl int
+	// CLR selects the per-layer reliability methods for the task.
+	CLR relmodel.Config
+	// Prio is the task's list-scheduling priority (higher runs
+	// earlier among ready tasks); it encodes the ordering part Q_t of
+	// the mapping space.
+	Prio int
+}
+
+// Mapping is one complete CLR-integrated task-mapping configuration
+// X_i: one gene per task, indexed by task ID.
+type Mapping struct {
+	Genes []Gene
+}
+
+// Clone returns a deep copy.
+func (m *Mapping) Clone() *Mapping {
+	return &Mapping{Genes: append([]Gene(nil), m.Genes...)}
+}
+
+// Key returns a canonical string identifying the mapping, used to
+// de-duplicate design points. Priorities are included because they
+// change the schedule and therefore the metrics.
+func (m *Mapping) Key() string {
+	var b strings.Builder
+	for _, g := range m.Genes {
+		fmt.Fprintf(&b, "%d.%d.%d.%d.%d.%d|", g.PE, g.Impl, g.CLR.HW, g.CLR.SSW, g.CLR.ASW, g.Prio)
+	}
+	return b.String()
+}
+
+// Equal reports whether two mappings are identical gene-for-gene.
+func (m *Mapping) Equal(o *Mapping) bool {
+	if len(m.Genes) != len(o.Genes) {
+		return false
+	}
+	for i := range m.Genes {
+		if m.Genes[i] != o.Genes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Space bundles the problem instance a mapping belongs to; it is
+// shared by validation, random generation, repair and costing.
+type Space struct {
+	Graph     *taskgraph.Graph
+	Platform  *platform.Platform
+	Catalogue *relmodel.Catalogue
+}
+
+// Validate checks that the mapping is executable: one gene per task,
+// PE and implementation indices in range, implementation targets the
+// bound PE's type, and the CLR configuration is within the catalogue.
+func (s *Space) Validate(m *Mapping) error {
+	if len(m.Genes) != s.Graph.NumTasks() {
+		return fmt.Errorf("mapping: %d genes for %d tasks", len(m.Genes), s.Graph.NumTasks())
+	}
+	for t, g := range m.Genes {
+		if g.PE < 0 || g.PE >= s.Platform.NumPEs() {
+			return fmt.Errorf("mapping: task %d bound to unknown PE %d", t, g.PE)
+		}
+		impls := s.Graph.Tasks[t].Impls
+		if g.Impl < 0 || g.Impl >= len(impls) {
+			return fmt.Errorf("mapping: task %d uses unknown impl %d", t, g.Impl)
+		}
+		if impls[g.Impl].PEType != s.Platform.PEs[g.PE].Type {
+			return fmt.Errorf("mapping: task %d impl %d targets PE type %d but PE %d is type %d",
+				t, g.Impl, impls[g.Impl].PEType, g.PE, s.Platform.PEs[g.PE].Type)
+		}
+		if !g.CLR.Valid(s.Catalogue) {
+			return fmt.Errorf("mapping: task %d has CLR config %+v outside the catalogue", t, g.CLR)
+		}
+	}
+	return nil
+}
+
+// CompatiblePEs returns the PE IDs on which the given implementation
+// of the given task can run.
+func (s *Space) CompatiblePEs(task, impl int) []int {
+	return s.Platform.PEsOfType(s.Graph.Tasks[task].Impls[impl].PEType)
+}
+
+// RunnableImpls returns the indices of the task's implementations that
+// have at least one compatible PE on the platform. On a degraded
+// platform (a failed PE removing the last instance of a type) some
+// implementations become unrunnable and must be skipped.
+func (s *Space) RunnableImpls(task int) []int {
+	var out []int
+	for i := range s.Graph.Tasks[task].Impls {
+		if len(s.CompatiblePEs(task, i)) > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Check reports whether every task has at least one runnable
+// implementation, i.e. whether any valid mapping exists at all.
+func (s *Space) Check() error {
+	for t := range s.Graph.Tasks {
+		if len(s.RunnableImpls(t)) == 0 {
+			return fmt.Errorf("mapping: task %d has no implementation runnable on platform %q", t, s.Platform.Name)
+		}
+	}
+	return nil
+}
+
+// Random generates a uniformly random valid mapping: for each task it
+// picks an implementation, then a PE of the matching type, a CLR
+// configuration and a priority.
+func (s *Space) Random(r *rng.Source) *Mapping {
+	n := s.Graph.NumTasks()
+	m := &Mapping{Genes: make([]Gene, n)}
+	for t := 0; t < n; t++ {
+		s.randomizeGene(m, t, r)
+		m.Genes[t].Prio = r.Intn(4 * n)
+	}
+	return m
+}
+
+// randomizeGene assigns a random valid (impl, PE, CLR) triple to task
+// t, leaving Prio untouched. It panics if the task has no runnable
+// implementation; callers gate on Check.
+func (s *Space) randomizeGene(m *Mapping, t int, r *rng.Source) {
+	runnable := s.RunnableImpls(t)
+	if len(runnable) == 0 {
+		panic(fmt.Sprintf("mapping: task %d has no runnable implementation (call Space.Check first)", t))
+	}
+	impl := runnable[r.Intn(len(runnable))]
+	pes := s.CompatiblePEs(t, impl)
+	m.Genes[t].Impl = impl
+	m.Genes[t].PE = pes[r.Intn(len(pes))]
+	m.Genes[t].CLR = relmodel.ConfigFromIndex(r.Intn(s.Catalogue.NumConfigs()), s.Catalogue)
+}
+
+// Repair makes a possibly-invalid mapping valid in place with minimal
+// disturbance: out-of-range indices are clamped, and an impl/PE type
+// mismatch is resolved by re-binding the task to a random compatible
+// PE (keeping the implementation choice, which crossover meant to
+// preserve).
+func (s *Space) Repair(m *Mapping, r *rng.Source) {
+	for t := range m.Genes {
+		g := &m.Genes[t]
+		impls := s.Graph.Tasks[t].Impls
+		if g.Impl < 0 || g.Impl >= len(impls) || len(s.CompatiblePEs(t, g.Impl)) == 0 {
+			runnable := s.RunnableImpls(t)
+			g.Impl = runnable[r.Intn(len(runnable))]
+		}
+		if g.CLR.HW < 0 || g.CLR.HW >= len(s.Catalogue.HW) {
+			g.CLR.HW = r.Intn(len(s.Catalogue.HW))
+		}
+		if g.CLR.SSW < 0 || g.CLR.SSW >= len(s.Catalogue.SSW) {
+			g.CLR.SSW = r.Intn(len(s.Catalogue.SSW))
+		}
+		if g.CLR.ASW < 0 || g.CLR.ASW >= len(s.Catalogue.ASW) {
+			g.CLR.ASW = r.Intn(len(s.Catalogue.ASW))
+		}
+		if g.PE < 0 || g.PE >= s.Platform.NumPEs() ||
+			impls[g.Impl].PEType != s.Platform.PEs[g.PE].Type {
+			pes := s.CompatiblePEs(t, g.Impl)
+			g.PE = pes[r.Intn(len(pes))]
+		}
+		if g.Prio < 0 {
+			g.Prio = -g.Prio
+		}
+	}
+}

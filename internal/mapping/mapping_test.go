@@ -1,0 +1,452 @@
+package mapping
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"clrdse/internal/platform"
+	"clrdse/internal/relmodel"
+	"clrdse/internal/rng"
+	"clrdse/internal/taskgraph"
+)
+
+func testSpace(t *testing.T, n int) *Space {
+	t.Helper()
+	plat := platform.Default()
+	g, err := taskgraph.Generate(taskgraph.GenParams{Seed: 11, NumTasks: n}, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Space{Graph: g, Platform: plat, Catalogue: relmodel.DefaultCatalogue()}
+}
+
+func TestRandomMappingsAreValid(t *testing.T) {
+	s := testSpace(t, 40)
+	r := rng.New(1)
+	for i := 0; i < 200; i++ {
+		if err := s.Validate(s.Random(r)); err != nil {
+			t.Fatalf("random mapping %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	s := testSpace(t, 20)
+	a := s.Random(rng.New(5))
+	b := s.Random(rng.New(5))
+	if !a.Equal(b) {
+		t.Error("same seed produced different mappings")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := testSpace(t, 10)
+	m := s.Random(rng.New(2))
+	c := m.Clone()
+	c.Genes[0].PE = -99
+	if m.Genes[0].PE == -99 {
+		t.Error("Clone shares gene storage")
+	}
+	if !m.Equal(m.Clone()) {
+		t.Error("Clone not equal to original")
+	}
+}
+
+func TestKeyDistinguishesMappings(t *testing.T) {
+	s := testSpace(t, 10)
+	r := rng.New(3)
+	m := s.Random(r)
+	o := m.Clone()
+	if m.Key() != o.Key() {
+		t.Error("equal mappings have different keys")
+	}
+	o.Genes[4].Prio++
+	if m.Key() == o.Key() {
+		t.Error("priority change did not change key")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	s := testSpace(t, 10)
+	r := rng.New(4)
+	cases := []struct {
+		name    string
+		mutate  func(*Mapping)
+		wantSub string
+	}{
+		{"gene count", func(m *Mapping) { m.Genes = m.Genes[:5] }, "genes"},
+		{"bad pe", func(m *Mapping) { m.Genes[0].PE = 99 }, "unknown PE"},
+		{"bad impl", func(m *Mapping) { m.Genes[0].Impl = 42 }, "unknown impl"},
+		{"bad clr", func(m *Mapping) { m.Genes[0].CLR.HW = 17 }, "catalogue"},
+		{"type mismatch", func(m *Mapping) {
+			// Bind task 0 to a PE whose type does not match its impl.
+			im := s.Graph.Tasks[0].Impls[m.Genes[0].Impl]
+			for pe := 0; pe < s.Platform.NumPEs(); pe++ {
+				if s.Platform.PEs[pe].Type != im.PEType {
+					m.Genes[0].PE = pe
+					return
+				}
+			}
+			t.Skip("no incompatible PE available")
+		}, "type"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := s.Random(r)
+			tc.mutate(m)
+			err := s.Validate(m)
+			if err == nil {
+				t.Fatal("Validate accepted broken mapping")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestRepairFixesArbitraryDamage(t *testing.T) {
+	s := testSpace(t, 30)
+	r := rng.New(6)
+	for i := 0; i < 100; i++ {
+		m := s.Random(r)
+		// Inflict random damage.
+		for k := 0; k < 5; k++ {
+			g := &m.Genes[r.Intn(len(m.Genes))]
+			switch r.Intn(5) {
+			case 0:
+				g.PE = r.Intn(20) - 5
+			case 1:
+				g.Impl = r.Intn(10) - 3
+			case 2:
+				g.CLR.HW = r.Intn(12) - 3
+			case 3:
+				g.CLR.ASW = -1
+			case 4:
+				g.Prio = -5
+			}
+		}
+		s.Repair(m, r)
+		if err := s.Validate(m); err != nil {
+			t.Fatalf("repair left mapping invalid: %v", err)
+		}
+	}
+}
+
+func TestRepairPreservesValidGenes(t *testing.T) {
+	s := testSpace(t, 15)
+	r := rng.New(7)
+	m := s.Random(r)
+	before := m.Clone()
+	s.Repair(m, r)
+	if !m.Equal(before) {
+		t.Error("Repair modified an already-valid mapping")
+	}
+}
+
+func TestCompatiblePEsMatchTypes(t *testing.T) {
+	s := testSpace(t, 25)
+	for tsk := range s.Graph.Tasks {
+		for i, im := range s.Graph.Tasks[tsk].Impls {
+			pes := s.CompatiblePEs(tsk, i)
+			if len(pes) == 0 {
+				t.Fatalf("task %d impl %d has no compatible PEs", tsk, i)
+			}
+			for _, pe := range pes {
+				if s.Platform.PEs[pe].Type != im.PEType {
+					t.Fatalf("CompatiblePEs returned PE %d of wrong type", pe)
+				}
+			}
+		}
+	}
+}
+
+func TestDRCZeroForIdentical(t *testing.T) {
+	s := testSpace(t, 30)
+	m := s.Random(rng.New(8))
+	c := s.DRC(m, m)
+	if c.Total() != 0 || c.MigratedTasks != 0 || c.ReloadedPRRs != 0 {
+		t.Errorf("DRC(m,m) = %+v, want zero", c)
+	}
+}
+
+func TestDRCFreeModes(t *testing.T) {
+	s := testSpace(t, 30)
+	m := s.Random(rng.New(9))
+	// Mode 1: re-ordering execution (priority changes) is free.
+	o := m.Clone()
+	for t := range o.Genes {
+		o.Genes[t].Prio += 7
+	}
+	if c := s.DRC(m, o); c.Total() != 0 {
+		t.Errorf("priority-only change cost %+v, want 0", c)
+	}
+	// Mode 2: changing CLR configuration is free.
+	o = m.Clone()
+	for t := range o.Genes {
+		o.Genes[t].CLR = relmodel.Config{HW: 1, SSW: 1, ASW: 1}
+	}
+	if c := s.DRC(m, o); c.Total() != 0 {
+		t.Errorf("CLR-only change cost %+v, want 0", c)
+	}
+}
+
+func TestDRCCountsBinaryMigration(t *testing.T) {
+	s := testSpace(t, 30)
+	r := rng.New(10)
+	m := s.Random(r)
+	// Find a software task with at least two compatible PEs and move it.
+	for tsk := range m.Genes {
+		g := m.Genes[tsk]
+		im := &s.Graph.Tasks[tsk].Impls[g.Impl]
+		if im.BitstreamID >= 0 {
+			continue
+		}
+		pes := s.CompatiblePEs(tsk, g.Impl)
+		if len(pes) < 2 {
+			continue
+		}
+		o := m.Clone()
+		for _, pe := range pes {
+			if pe != g.PE {
+				o.Genes[tsk].PE = pe
+				break
+			}
+		}
+		c := s.DRC(m, o)
+		want := s.Platform.BinaryMigrationMs(im.BinaryKB)
+		if c.BinaryMigrationMs != want || c.MigratedTasks != 1 {
+			t.Fatalf("DRC = %+v, want binary migration %v for 1 task", c, want)
+		}
+		if c.BitstreamMs != 0 {
+			t.Fatalf("software move should not reload bitstreams: %+v", c)
+		}
+		return
+	}
+	t.Skip("no movable software task in fixture")
+}
+
+func TestDRCCountsBitstreamReload(t *testing.T) {
+	plat := platform.Default()
+	cat := relmodel.DefaultCatalogue()
+	// Two tasks, each with one software impl and one accel impl with
+	// different bitstreams.
+	accelType := 3
+	g := &taskgraph.Graph{
+		Name: "accel-pair",
+		Tasks: []taskgraph.Task{
+			{ID: 0, Name: "a", Criticality: 0.5, Impls: []taskgraph.Impl{
+				{ID: 0, PEType: 1, BaseExTimeMs: 10, BasePowerW: 1, BinaryKB: 40, BitstreamID: -1},
+				{ID: 1, PEType: accelType, BaseExTimeMs: 5, BasePowerW: 1.5, BitstreamID: 7},
+			}},
+			{ID: 1, Name: "b", Criticality: 0.5, Impls: []taskgraph.Impl{
+				{ID: 0, PEType: 1, BaseExTimeMs: 10, BasePowerW: 1, BinaryKB: 40, BitstreamID: -1},
+				{ID: 1, PEType: accelType, BaseExTimeMs: 5, BasePowerW: 1.5, BitstreamID: 8},
+			}},
+		},
+		Edges:    []taskgraph.Edge{{ID: 0, Src: 0, Dst: 1, CommTimeMs: 1}},
+		PeriodMs: 100,
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := &Space{Graph: g, Platform: plat, Catalogue: cat}
+
+	sw := &Mapping{Genes: []Gene{{PE: 1, Impl: 0}, {PE: 2, Impl: 0}}}
+	accel := &Mapping{Genes: []Gene{{PE: 5, Impl: 1}, {PE: 6, Impl: 1}}}
+	if err := s.Validate(sw); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(accel); err != nil {
+		t.Fatal(err)
+	}
+
+	c := s.DRC(sw, accel)
+	wantBits := 2 * plat.BitstreamLoadMs(plat.PRRs[0].BitstreamKB)
+	if c.BitstreamMs != wantBits || c.ReloadedPRRs != 2 {
+		t.Errorf("sw->accel DRC = %+v, want 2 bitstream loads (%v ms)", c, wantBits)
+	}
+	if c.BinaryMigrationMs != 0 {
+		t.Errorf("accelerator impls should not add binary migration: %+v", c)
+	}
+
+	// Going back costs the two software binary copies instead.
+	back := s.DRC(accel, sw)
+	if back.BitstreamMs != 0 {
+		t.Errorf("accel->sw should not load bitstreams: %+v", back)
+	}
+	wantBin := 2 * plat.BinaryMigrationMs(40)
+	if back.BinaryMigrationMs != wantBin {
+		t.Errorf("accel->sw binary cost = %v, want %v", back.BinaryMigrationMs, wantBin)
+	}
+
+	// Swapping which PRR hosts which circuit reloads both PRRs.
+	swapped := &Mapping{Genes: []Gene{{PE: 6, Impl: 1}, {PE: 5, Impl: 1}}}
+	if err := s.Validate(swapped); err != nil {
+		t.Fatal(err)
+	}
+	c = s.DRC(accel, swapped)
+	if c.ReloadedPRRs != 2 {
+		t.Errorf("PRR swap reloads = %d, want 2", c.ReloadedPRRs)
+	}
+}
+
+func TestAvgDRCTo(t *testing.T) {
+	s := testSpace(t, 20)
+	r := rng.New(12)
+	m := s.Random(r)
+	if got := s.AvgDRCTo(m, nil); got != 0 {
+		t.Errorf("AvgDRCTo empty set = %v, want 0", got)
+	}
+	if got := s.AvgDRCTo(m, []*Mapping{m.Clone()}); got != 0 {
+		t.Errorf("AvgDRCTo self = %v, want 0", got)
+	}
+	set := []*Mapping{s.Random(r), s.Random(r), s.Random(r)}
+	avg := s.AvgDRCTo(m, set)
+	if avg <= 0 {
+		t.Errorf("AvgDRCTo random set = %v, want positive", avg)
+	}
+	sum := 0.0
+	for _, o := range set {
+		sum += (s.DRC(m, o).Total() + s.DRC(o, m).Total()) / 2
+	}
+	if want := sum / 3; want != avg {
+		t.Errorf("AvgDRCTo = %v, want %v", avg, want)
+	}
+}
+
+// Property: DRC is non-negative, zero on identity, and the free modes
+// (priority / CLR changes) never add cost, for arbitrary random pairs.
+func TestQuickDRCInvariants(t *testing.T) {
+	s := testSpace(t, 25)
+	r := rng.New(13)
+	f := func(seed uint32) bool {
+		rr := rng.New(int64(seed))
+		a, b := s.Random(rr), s.Random(rr)
+		c := s.DRC(a, b)
+		if c.Total() < 0 || c.BinaryMigrationMs < 0 || c.BitstreamMs < 0 {
+			return false
+		}
+		if s.DRC(a, a).Total() != 0 {
+			return false
+		}
+		// Adding CLR/prio noise on top of b changes nothing.
+		b2 := b.Clone()
+		for t := range b2.Genes {
+			b2.Genes[t].Prio = rr.Intn(100)
+		}
+		return s.DRC(a, b2).Total() == c.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+	_ = r
+}
+
+// Property: repaired random damage always validates.
+func TestQuickRepairAlwaysValid(t *testing.T) {
+	s := testSpace(t, 15)
+	f := func(seed uint32, damage []uint16) bool {
+		r := rng.New(int64(seed))
+		m := s.Random(r)
+		for _, d := range damage {
+			if len(m.Genes) == 0 {
+				break
+			}
+			g := &m.Genes[int(d)%len(m.Genes)]
+			g.PE = int(d%23) - 4
+			g.Impl = int(d%7) - 2
+			g.CLR.SSW = int(d % 11)
+		}
+		s.Repair(m, r)
+		return s.Validate(m) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunnableImplsAndCheck(t *testing.T) {
+	s := testSpace(t, 20)
+	if err := s.Check(); err != nil {
+		t.Fatalf("full platform should be feasible: %v", err)
+	}
+	for tsk := range s.Graph.Tasks {
+		runnable := s.RunnableImpls(tsk)
+		if len(runnable) == 0 {
+			t.Fatalf("task %d unrunnable on full platform", tsk)
+		}
+		for _, i := range runnable {
+			if len(s.CompatiblePEs(tsk, i)) == 0 {
+				t.Fatalf("RunnableImpls returned impl without PEs")
+			}
+		}
+	}
+}
+
+func TestCheckDetectsUnrunnableTask(t *testing.T) {
+	plat := platform.Default()
+	g := &taskgraph.Graph{
+		Name: "orphan",
+		Tasks: []taskgraph.Task{{
+			ID: 0, Name: "a", Criticality: 1,
+			// PEType 9 does not exist on the platform.
+			Impls: []taskgraph.Impl{{ID: 0, PEType: 9, BaseExTimeMs: 1, BasePowerW: 1, BitstreamID: -1}},
+		}},
+		PeriodMs: 10,
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := &Space{Graph: g, Platform: plat, Catalogue: relmodel.DefaultCatalogue()}
+	if err := s.Check(); err == nil {
+		t.Error("Check accepted an unrunnable task")
+	}
+}
+
+func TestRandomOnDegradedPlatform(t *testing.T) {
+	// Remove one of the duplicated mid cores: every task must remain
+	// runnable and random mappings must stay valid.
+	plat, err := platform.RemovePE(platform.Default(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := taskgraph.Generate(taskgraph.GenParams{Seed: 77, NumTasks: 30}, platform.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Space{Graph: g, Platform: plat, Catalogue: relmodel.DefaultCatalogue()}
+	if err := s.Check(); err != nil {
+		t.Skipf("degraded platform infeasible for this app: %v", err)
+	}
+	r := rng.New(4)
+	for i := 0; i < 50; i++ {
+		if err := s.Validate(s.Random(r)); err != nil {
+			t.Fatalf("random mapping invalid on degraded platform: %v", err)
+		}
+	}
+}
+
+func TestRepairRebindsUnrunnableImpl(t *testing.T) {
+	// Craft a mapping pointing at an impl whose PE type vanished.
+	full := platform.Default()
+	g, err := taskgraph.Generate(taskgraph.GenParams{Seed: 78, NumTasks: 15}, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := platform.RemovePE(full, 0) // only perf core gone
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Space{Graph: g, Platform: reduced, Catalogue: relmodel.DefaultCatalogue()}
+	if err := s.Check(); err != nil {
+		t.Skipf("app needs the perf core: %v", err)
+	}
+	r := rng.New(5)
+	m := s.Random(r)
+	s.Repair(m, r)
+	if err := s.Validate(m); err != nil {
+		t.Fatalf("repair failed on degraded platform: %v", err)
+	}
+}

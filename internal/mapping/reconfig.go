@@ -1,0 +1,109 @@
+package mapping
+
+// This file implements the reconfiguration model of the paper's
+// Section 3.5. Of the four dynamic-adaptation modes, (1) re-ordering
+// tasks on a PE and (2) changing per-layer CLR configurations are free
+// (binaries stay resident in local memory); (3) changing a task's
+// implementation and (4) changing its task-to-PE binding copy binaries
+// to the destination PE, and moving accelerator work between circuits
+// additionally re-loads PRR bitstreams through the configuration port.
+
+// ReconfigCost is the decomposition of dRC between two configurations,
+// in milliseconds of reconfiguration activity. The scalar dRC used by
+// the optimisers and the run-time manager is Total().
+type ReconfigCost struct {
+	// BinaryMigrationMs is time spent copying task binaries to PEs
+	// that did not previously hold them.
+	BinaryMigrationMs float64
+	// BitstreamMs is time spent streaming accelerator bitstreams into
+	// PRRs whose resident circuit changes.
+	BitstreamMs float64
+	// MigratedTasks counts tasks whose (PE, implementation) binding
+	// changed.
+	MigratedTasks int
+	// ReloadedPRRs counts PRRs that receive a new bitstream.
+	ReloadedPRRs int
+}
+
+// Total returns the scalar reconfiguration cost dRC.
+func (c ReconfigCost) Total() float64 { return c.BinaryMigrationMs + c.BitstreamMs }
+
+// DRC computes the reconfiguration cost of switching the system from
+// configuration `from` to configuration `to`. Both must be valid in
+// the space. DRC is not symmetric in general (different binaries move
+// in each direction) but is zero iff the bindings and resident
+// bitstream sets are unchanged.
+func (s *Space) DRC(from, to *Mapping) ReconfigCost {
+	var cost ReconfigCost
+
+	// Task binary migration: a task whose PE binding or implementation
+	// changed needs its (new) binary present at the (new) PE. Software
+	// binaries travel over the interconnect; accelerator "binaries"
+	// are the bitstream, accounted for separately below.
+	for t := range to.Genes {
+		gf, gt := from.Genes[t], to.Genes[t]
+		if gf.PE == gt.PE && gf.Impl == gt.Impl {
+			continue
+		}
+		im := &s.Graph.Tasks[t].Impls[gt.Impl]
+		if im.BitstreamID < 0 {
+			cost.BinaryMigrationMs += s.Platform.BinaryMigrationMs(im.BinaryKB)
+			cost.MigratedTasks++
+		} else if gf.PE != gt.PE || gf.Impl != gt.Impl {
+			cost.MigratedTasks++
+		}
+	}
+
+	// PRR bitstream reloads: compare the resident circuit of each PRR
+	// before and after. A PRR's resident set is the set of bitstream
+	// IDs demanded by accelerator tasks bound to the PE it backs; if
+	// the configuration time-multiplexes several circuits on one PRR,
+	// each *newly demanded* circuit costs one load (the steady-state
+	// swapping cost during execution is part of the schedule model,
+	// not of dRC).
+	fromRes := s.residentBitstreams(from)
+	toRes := s.residentBitstreams(to)
+	for prr := range s.Platform.PRRs {
+		for bs := range toRes[prr] {
+			if !fromRes[prr][bs] {
+				cost.BitstreamMs += s.Platform.BitstreamLoadMs(s.Platform.PRRs[prr].BitstreamKB)
+				cost.ReloadedPRRs++
+			}
+		}
+	}
+	return cost
+}
+
+// residentBitstreams returns, per PRR index, the set of bitstream IDs
+// demanded by the mapping.
+func (s *Space) residentBitstreams(m *Mapping) []map[int]bool {
+	res := make([]map[int]bool, len(s.Platform.PRRs))
+	for i := range res {
+		res[i] = map[int]bool{}
+	}
+	for t, g := range m.Genes {
+		im := &s.Graph.Tasks[t].Impls[g.Impl]
+		if im.BitstreamID < 0 {
+			continue
+		}
+		prr := s.Platform.PEs[g.PE].PRR
+		if prr >= 0 {
+			res[prr][im.BitstreamID] = true
+		}
+	}
+	return res
+}
+
+// AvgDRCTo returns the mean dRC from m to each mapping in the set.
+// The ReD optimisation stage uses this as the "average reconfiguration
+// distance from the stored design points" objective.
+func (s *Space) AvgDRCTo(m *Mapping, set []*Mapping) float64 {
+	if len(set) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, o := range set {
+		sum += s.DRC(m, o).Total() + s.DRC(o, m).Total()
+	}
+	return sum / float64(2*len(set))
+}

@@ -1,0 +1,77 @@
+package platform
+
+// Default returns the evaluation platform of the paper's Section 5.1:
+// an HMPSoC with 5 PEs of 3 different types that vary in masking
+// factor, plus 3 partially reconfigurable regions (PRRs) hosting
+// accelerators for the tasks. The three processor types model a
+// high-performance core, a mid-range core and a hardened low-power
+// core; the PRR-backed PEs are fast but have the lowest architectural
+// masking (dense combinational logic exposes more state to upsets).
+//
+// All absolute numbers are representative embedded-class values; the
+// experiments only depend on the relative ordering of speed, power and
+// masking between types, which follows the paper's setup.
+func Default() *Platform {
+	p := &Platform{
+		Name: "hmpsoc-5pe-3prr",
+		Types: []PEType{
+			{
+				Name:          "perf", // out-of-order application core
+				Kind:          KindProcessor,
+				SpeedFactor:   1.6,
+				MaskingFactor: 0.30,
+				AgingBeta:     2.0,
+				IdlePowerW:    0.20,
+				PowerFactor:   1.8,
+			},
+			{
+				Name:          "mid", // in-order efficiency core
+				Kind:          KindProcessor,
+				SpeedFactor:   1.0,
+				MaskingFactor: 0.50,
+				AgingBeta:     2.4,
+				IdlePowerW:    0.08,
+				PowerFactor:   1.0,
+			},
+			{
+				Name:          "safe", // hardened low-power core
+				Kind:          KindProcessor,
+				SpeedFactor:   0.6,
+				MaskingFactor: 0.75,
+				AgingBeta:     2.8,
+				IdlePowerW:    0.04,
+				PowerFactor:   0.55,
+			},
+			{
+				Name:          "accel", // PRR-backed accelerator slot
+				Kind:          KindReconfigurable,
+				SpeedFactor:   2.5,
+				MaskingFactor: 0.15,
+				AgingBeta:     1.8,
+				IdlePowerW:    0.10,
+				PowerFactor:   1.3,
+			},
+		},
+		PEs: []PE{
+			{ID: 0, Type: 0, LocalMemKB: 512, PRR: -1},
+			{ID: 1, Type: 1, LocalMemKB: 512, PRR: -1},
+			{ID: 2, Type: 1, LocalMemKB: 512, PRR: -1},
+			{ID: 3, Type: 2, LocalMemKB: 512, PRR: -1},
+			{ID: 4, Type: 2, LocalMemKB: 512, PRR: -1},
+			{ID: 5, Type: 3, LocalMemKB: 256, PRR: 0},
+			{ID: 6, Type: 3, LocalMemKB: 256, PRR: 1},
+			{ID: 7, Type: 3, LocalMemKB: 256, PRR: 2},
+		},
+		PRRs: []PRR{
+			{ID: 0, BitstreamKB: 384},
+			{ID: 1, BitstreamKB: 384},
+			{ID: 2, BitstreamKB: 384},
+		},
+		InterconnectKBps: 800, // KB per ms over the on-chip NoC
+		ICAPKBps:         400, // KB per ms through the ICAP
+	}
+	if err := p.Validate(); err != nil {
+		panic("platform: Default() is invalid: " + err.Error())
+	}
+	return p
+}

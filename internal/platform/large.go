@@ -1,0 +1,36 @@
+package platform
+
+// Large returns a bigger HMPSoC than the paper's evaluation platform,
+// for headroom studies: 10 processor PEs across the same three
+// processor classes plus 5 PRR-backed accelerator slots. Type
+// characteristics match Default so results isolate the effect of
+// platform size from per-PE behaviour.
+func Large() *Platform {
+	base := Default()
+	p := &Platform{
+		Name:             "hmpsoc-10pe-5prr",
+		Types:            append([]PEType(nil), base.Types...),
+		InterconnectKBps: base.InterconnectKBps,
+		ICAPKBps:         base.ICAPKBps,
+	}
+	add := func(typ, mem, prr int) {
+		p.PEs = append(p.PEs, PE{ID: len(p.PEs), Type: typ, LocalMemKB: mem, PRR: prr})
+	}
+	// 2x perf, 4x mid, 4x safe.
+	add(0, 512, -1)
+	add(0, 512, -1)
+	for i := 0; i < 4; i++ {
+		add(1, 512, -1)
+	}
+	for i := 0; i < 4; i++ {
+		add(2, 512, -1)
+	}
+	for i := 0; i < 5; i++ {
+		p.PRRs = append(p.PRRs, PRR{ID: i, BitstreamKB: 384})
+		add(3, 256, i)
+	}
+	if err := p.Validate(); err != nil {
+		panic("platform: Large() is invalid: " + err.Error())
+	}
+	return p
+}

@@ -1,0 +1,39 @@
+package platform
+
+import "fmt"
+
+// RemovePE returns a copy of the platform with the given PE removed
+// and the remaining PE IDs re-densified. It models a permanent fault
+// taking a processing element out of service — the paper's example of
+// an internal change handled by re-running the methodology as a
+// separate instance with reduced resource availability.
+//
+// Removing a PRR-backed PE leaves its PRR in place but unreferenced;
+// removing the last PE of a type leaves the type in the catalogue
+// (harmless: no task can be mapped to it).
+func RemovePE(p *Platform, peID int) (*Platform, error) {
+	if peID < 0 || peID >= len(p.PEs) {
+		return nil, fmt.Errorf("platform: RemovePE(%d) out of range [0,%d)", peID, len(p.PEs))
+	}
+	if len(p.PEs) == 1 {
+		return nil, fmt.Errorf("platform: cannot remove the last PE")
+	}
+	q := &Platform{
+		Name:             p.Name + fmt.Sprintf("-minus-pe%d", peID),
+		Types:            append([]PEType(nil), p.Types...),
+		PRRs:             append([]PRR(nil), p.PRRs...),
+		InterconnectKBps: p.InterconnectKBps,
+		ICAPKBps:         p.ICAPKBps,
+	}
+	for _, pe := range p.PEs {
+		if pe.ID == peID {
+			continue
+		}
+		pe.ID = len(q.PEs)
+		q.PEs = append(q.PEs, pe)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("platform: RemovePE produced invalid platform: %w", err)
+	}
+	return q, nil
+}

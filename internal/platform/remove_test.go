@@ -1,0 +1,65 @@
+package platform
+
+import "testing"
+
+func TestRemovePE(t *testing.T) {
+	p := Default()
+	q, err := RemovePE(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumPEs() != p.NumPEs()-1 {
+		t.Errorf("PEs = %d, want %d", q.NumPEs(), p.NumPEs()-1)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("reduced platform invalid: %v", err)
+	}
+	// Original untouched.
+	if p.NumPEs() != 8 {
+		t.Error("RemovePE mutated the original")
+	}
+	// IDs re-densified.
+	for i, pe := range q.PEs {
+		if pe.ID != i {
+			t.Errorf("PE at index %d has ID %d", i, pe.ID)
+		}
+	}
+}
+
+func TestRemovePEBounds(t *testing.T) {
+	p := Default()
+	if _, err := RemovePE(p, -1); err == nil {
+		t.Error("accepted negative index")
+	}
+	if _, err := RemovePE(p, 99); err == nil {
+		t.Error("accepted out-of-range index")
+	}
+}
+
+func TestRemoveLastPE(t *testing.T) {
+	p := Default()
+	var err error
+	for p.NumPEs() > 1 {
+		p, err = RemovePE(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := RemovePE(p, 0); err == nil {
+		t.Error("removed the last PE")
+	}
+}
+
+func TestRemoveReconfigurablePE(t *testing.T) {
+	p := Default()
+	q, err := RemovePE(p, 5) // PRR-backed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.PRRs) != 3 {
+		t.Errorf("PRR count changed: %d", len(q.PRRs))
+	}
+	if len(q.ReconfigurablePEs()) != 2 {
+		t.Errorf("reconfigurable PEs = %d, want 2", len(q.ReconfigurablePEs()))
+	}
+}

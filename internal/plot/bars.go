@@ -1,0 +1,102 @@
+package plot
+
+// Grouped bar charts, for the Figure 1 J_avg comparison and similar
+// categorical summaries.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarGroup is one category on the x-axis with one value per series.
+type BarGroup struct {
+	// Label names the category ("HW-Only", ...).
+	Label string
+	// Values holds one bar height per series, in series order.
+	Values []float64
+}
+
+// BarChart is a grouped vertical bar figure.
+type BarChart struct {
+	// Title and YLabel annotate the figure.
+	Title, YLabel string
+	// SeriesNames label the bars within each group (legend order).
+	SeriesNames []string
+	// Groups are the categories.
+	Groups []BarGroup
+	// Width and Height are SVG pixel dimensions (0 selects 560x360).
+	Width, Height int
+}
+
+// SVG renders the chart. Missing values (NaN) leave a gap.
+func (c *BarChart) SVG() string {
+	w, h := c.Width, c.Height
+	if w == 0 {
+		w = 560
+	}
+	if h == 0 {
+		h = 360
+	}
+	const (
+		marginL = 70
+		marginR = 20
+		marginT = 40
+		marginB = 50
+	)
+	plotW := float64(w - marginL - marginR)
+	plotH := float64(h - marginT - marginB)
+
+	yMax := 0.0
+	for _, g := range c.Groups {
+		for _, v := range g.Values {
+			if !math.IsNaN(v) {
+				yMax = math.Max(yMax, v)
+			}
+		}
+	}
+	if yMax == 0 {
+		yMax = 1
+	}
+	yMax *= 1.08
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n", marginL, escape(c.Title))
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#444"/>`+"\n", marginL, marginT, plotW, plotH)
+	fmt.Fprintf(&b, `<text x="16" y="%.1f" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, escape(c.YLabel))
+	for _, t := range ticks(0, yMax, 6) {
+		y := marginT + plotH - t/yMax*plotH
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#444"/>`+"\n", marginL-5, y, marginL, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%g</text>`+"\n", marginL-8, y+4, round3(t))
+	}
+
+	nGroups := len(c.Groups)
+	nSeries := max(1, len(c.SeriesNames))
+	groupW := plotW / float64(max(1, nGroups))
+	barW := groupW * 0.8 / float64(nSeries)
+	for gi, g := range c.Groups {
+		gx := marginL + float64(gi)*groupW
+		for si, v := range g.Values {
+			if si >= nSeries || math.IsNaN(v) {
+				continue
+			}
+			x := gx + groupW*0.1 + float64(si)*barW
+			barH := v / yMax * plotH
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, marginT+plotH-barH, barW*0.92, barH, palette[si%len(palette)])
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			gx+groupW/2, marginT+plotH+16, escape(g.Label))
+	}
+	for si, name := range c.SeriesNames {
+		lx := float64(w - marginR - 140)
+		ly := float64(marginT + 14 + 18*si)
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n", lx, ly-9, palette[si%len(palette)])
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="12">%s</text>`+"\n", lx+15, ly, escape(name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package plot
+
+// Gantt renders an execution schedule: one horizontal lane per
+// resource, one labelled bar per task. Used by the documentation and
+// debugging flows to inspect what the CLR-integrated list scheduler
+// produced for a mapping.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Bar is one scheduled task occurrence.
+type Bar struct {
+	// Lane identifies the resource (PE ID).
+	Lane int
+	// Label is drawn inside the bar when it fits.
+	Label string
+	// StartMs and EndMs bound the bar.
+	StartMs, EndMs float64
+}
+
+// GanttChart is a lane/bar schedule figure.
+type GanttChart struct {
+	// Title heads the figure.
+	Title string
+	// LaneNames maps lane IDs to labels ("PE0", ...); missing lanes
+	// get a numeric default.
+	LaneNames map[int]string
+	// Bars are the scheduled occurrences.
+	Bars []Bar
+	// Width and Height are SVG pixel dimensions (0 selects 720 x
+	// 60+28*lanes).
+	Width, Height int
+}
+
+// SVG renders the chart.
+func (c *GanttChart) SVG() string {
+	lanes := map[int]bool{}
+	tMax := 0.0
+	for _, bar := range c.Bars {
+		lanes[bar.Lane] = true
+		tMax = math.Max(tMax, bar.EndMs)
+	}
+	var laneIDs []int
+	for l := range lanes {
+		laneIDs = append(laneIDs, l)
+	}
+	sort.Ints(laneIDs)
+	row := map[int]int{}
+	for i, l := range laneIDs {
+		row[l] = i
+	}
+
+	w := c.Width
+	if w == 0 {
+		w = 720
+	}
+	h := c.Height
+	if h == 0 {
+		h = 60 + 28*max(1, len(laneIDs))
+	}
+	const (
+		marginL = 60
+		marginR = 16
+		marginT = 36
+		rowH    = 28.0
+	)
+	plotW := float64(w - marginL - marginR)
+	if tMax == 0 {
+		tMax = 1
+	}
+	sx := func(t float64) float64 { return marginL + t/tMax*plotW }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n", marginL, escape(c.Title))
+
+	for i, l := range laneIDs {
+		y := marginT + float64(i)*rowH
+		name := c.LaneNames[l]
+		if name == "" {
+			name = fmt.Sprintf("lane %d", l)
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-6, y+rowH/2+4, escape(name))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, y+rowH, marginL+plotW, y+rowH)
+	}
+	for _, t := range ticks(0, tMax, 8) {
+		x := sx(t)
+		yBottom := marginT + float64(len(laneIDs))*rowH
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%.1f" stroke="#eee"/>`+"\n", x, marginT, x, yBottom)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="middle">%g</text>`+"\n",
+			x, yBottom+14, round3(t))
+	}
+	for i, bar := range c.Bars {
+		y := marginT + float64(row[bar.Lane])*rowH + 4
+		x0, x1 := sx(bar.StartMs), sx(bar.EndMs)
+		color := palette[i%len(palette)]
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.75" stroke="#333" stroke-width="0.5"/>`+"\n",
+			x0, y, math.Max(1, x1-x0), rowH-8, color)
+		if x1-x0 > float64(8*len(bar.Label)) {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+				(x0+x1)/2, y+(rowH-8)/2+3, escape(bar.Label))
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

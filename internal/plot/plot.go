@@ -1,0 +1,198 @@
+// Package plot renders the experiment figures as standalone SVG files
+// using only the standard library, so `cmd/experiments -svg` can emit
+// graphics alongside the textual tables: scatter plots for the
+// design-point clouds (Figures 1 and 5), step/impulse traces for the
+// reconfiguration-cost sequences (Figure 6) and line charts for the
+// pRC sweeps (Figure 7).
+//
+// The renderer is deliberately small: linear axes with padded ranges,
+// tick labels in %g, a flat colour cycle, and legends stacked in the
+// top-right corner. It is not a general plotting library, just enough
+// to make the reproduced figures inspectable at a glance.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named set of XY points.
+type Series struct {
+	// Name appears in the legend.
+	Name string
+	// X and Y are parallel coordinate slices.
+	X, Y []float64
+	// Marker selects the point glyph: "circle" (default), "triangle"
+	// or "none" (lines only).
+	Marker string
+	// Line joins consecutive points when true.
+	Line bool
+}
+
+// Chart is a 2-D figure.
+type Chart struct {
+	// Title, XLabel and YLabel annotate the axes.
+	Title, XLabel, YLabel string
+	// Series are drawn in order, cycling through the palette.
+	Series []Series
+	// Width and Height are the SVG pixel dimensions (0 selects
+	// 640x420).
+	Width, Height int
+}
+
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// SVG renders the chart. It never fails: empty charts render as an
+// axes-only frame.
+func (c *Chart) SVG() string {
+	w, h := c.Width, c.Height
+	if w == 0 {
+		w = 640
+	}
+	if h == 0 {
+		h = 420
+	}
+	const (
+		marginL = 70
+		marginR = 20
+		marginT = 40
+		marginB = 50
+	)
+	plotW := float64(w - marginL - marginR)
+	plotH := float64(h - marginT - marginB)
+
+	xmin, xmax, ymin, ymax := c.bounds()
+	sx := func(x float64) float64 { return marginL + (x-xmin)/(xmax-xmin)*plotW }
+	sy := func(y float64) float64 { return marginT + plotH - (y-ymin)/(ymax-ymin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n", marginL, escape(c.Title))
+
+	// Axes frame and ticks.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#444"/>`+"\n",
+		marginL, marginT, plotW, plotH)
+	for _, t := range ticks(xmin, xmax, 6) {
+		x := sx(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#444"/>`+"\n",
+			x, marginT+plotH, x, marginT+plotH+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle">%g</text>`+"\n",
+			x, marginT+plotH+18, round3(t))
+	}
+	for _, t := range ticks(ymin, ymax, 6) {
+		y := sy(t)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#444"/>`+"\n",
+			marginL-5, y, marginL, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%g</text>`+"\n",
+			marginL-8, y+4, round3(t))
+	}
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, h-10, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%.1f" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, escape(c.YLabel))
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		if s.Line && len(s.X) > 1 {
+			var pts []string
+			for i := range s.X {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(s.X[i]), sy(s.Y[i])))
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		if s.Marker != "none" {
+			for i := range s.X {
+				x, y := sx(s.X[i]), sy(s.Y[i])
+				switch s.Marker {
+				case "triangle":
+					fmt.Fprintf(&b, `<path d="M %.1f %.1f L %.1f %.1f L %.1f %.1f Z" fill="%s"/>`+"\n",
+						x, y-4.5, x-4, y+3.5, x+4, y+3.5, color)
+				default:
+					fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3.2" fill="%s"/>`+"\n", x, y, color)
+				}
+			}
+		}
+		// Legend entry.
+		lx := float64(w - marginR - 150)
+		ly := float64(marginT + 14 + 18*si)
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n", lx, ly-9, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			lx+15, ly, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// bounds computes padded data ranges, defaulting to the unit square
+// for empty charts and padding degenerate (constant) dimensions.
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return 0, 1, 0, 1
+	}
+	pad := func(lo, hi float64) (float64, float64) {
+		if hi == lo {
+			d := math.Abs(lo) * 0.1
+			if d == 0 {
+				d = 1
+			}
+			return lo - d, hi + d
+		}
+		d := (hi - lo) * 0.06
+		return lo - d, hi + d
+	}
+	xmin, xmax = pad(xmin, xmax)
+	ymin, ymax = pad(ymin, ymax)
+	return
+}
+
+// ticks returns ~n round tick positions covering [lo,hi].
+func ticks(lo, hi float64, n int) []float64 {
+	if hi <= lo || n < 2 {
+		return []float64{lo}
+	}
+	raw := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag < 1.5:
+		step = mag
+	case raw/mag < 3.5:
+		step = 2 * mag
+	case raw/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var ts []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+step/1e6; t += step {
+		ts = append(ts, t)
+	}
+	return ts
+}
+
+func round3(v float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	mag := math.Pow(10, 3-math.Ceil(math.Log10(math.Abs(v))))
+	return math.Round(v*mag) / mag
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

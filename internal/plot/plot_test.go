@@ -1,0 +1,200 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "Test & Chart",
+		XLabel: "x axis",
+		YLabel: "y axis",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2, 3}, Y: []float64{4, 5, 6}, Line: true},
+			{Name: "b", X: []float64{1, 2, 3}, Y: []float64{6, 5, 4}, Marker: "triangle"},
+		},
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	svg := sampleChart().SVG()
+	for _, want := range []string{
+		"<svg", "</svg>", "Test &amp; Chart", "x axis", "y axis",
+		"<polyline", "<circle", "<path", // line, circle markers, triangle markers
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<svg") != 1 || strings.Count(svg, "</svg>") != 1 {
+		t.Error("unbalanced svg tags")
+	}
+}
+
+func TestSVGLegendEntries(t *testing.T) {
+	svg := sampleChart().SVG()
+	if !strings.Contains(svg, ">a</text>") || !strings.Contains(svg, ">b</text>") {
+		t.Error("legend entries missing")
+	}
+}
+
+func TestEmptyChartRenders(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	svg := c.SVG()
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Error("empty chart failed to render")
+	}
+}
+
+func TestDegenerateSeriesRenders(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "const", X: []float64{5, 5, 5}, Y: []float64{2, 2, 2}}}}
+	svg := c.SVG()
+	if !strings.Contains(svg, "<circle") {
+		t.Error("constant series lost its markers")
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Error("degenerate bounds leaked NaN/Inf into coordinates")
+	}
+}
+
+func TestMarkerNone(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "l", X: []float64{0, 1}, Y: []float64{0, 1}, Marker: "none", Line: true}}}
+	svg := c.SVG()
+	if strings.Contains(svg, "<circle") {
+		t.Error("marker none should suppress circles")
+	}
+	if !strings.Contains(svg, "<polyline") {
+		t.Error("line missing")
+	}
+}
+
+func TestCustomSize(t *testing.T) {
+	c := sampleChart()
+	c.Width, c.Height = 300, 200
+	if !strings.Contains(c.SVG(), `width="300" height="200"`) {
+		t.Error("custom dimensions ignored")
+	}
+}
+
+func TestTicksCoverRange(t *testing.T) {
+	ts := ticks(0, 10, 6)
+	if len(ts) < 3 {
+		t.Fatalf("too few ticks: %v", ts)
+	}
+	for _, v := range ts {
+		if v < 0 || v > 10 {
+			t.Errorf("tick %v outside range", v)
+		}
+	}
+	// Ticks are strictly increasing.
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Errorf("ticks not increasing: %v", ts)
+		}
+	}
+}
+
+func TestTicksDegenerate(t *testing.T) {
+	if got := ticks(5, 5, 6); len(got) != 1 || got[0] != 5 {
+		t.Errorf("degenerate ticks = %v", got)
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape(`<a & "b">`); got != "&lt;a &amp; &quot;b&quot;&gt;" {
+		t.Errorf("escape = %q", got)
+	}
+}
+
+// Property: SVG output always contains finite coordinates for
+// arbitrary finite inputs.
+func TestQuickNoNonFiniteCoordinates(t *testing.T) {
+	f := func(xs, ys []int16) bool {
+		n := min(len(xs), len(ys))
+		if n == 0 {
+			return true
+		}
+		s := Series{Name: "q", Line: true}
+		for i := 0; i < n; i++ {
+			s.X = append(s.X, float64(xs[i]))
+			s.Y = append(s.Y, float64(ys[i]))
+		}
+		svg := (&Chart{Series: []Series{s}}).SVG()
+		return !strings.Contains(svg, "NaN") && !strings.Contains(svg, "Inf")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGanttSVG(t *testing.T) {
+	c := &GanttChart{
+		Title:     "Schedule",
+		LaneNames: map[int]string{0: "PE0", 1: "PE1"},
+		Bars: []Bar{
+			{Lane: 0, Label: "t0", StartMs: 0, EndMs: 10},
+			{Lane: 1, Label: "t1", StartMs: 10, EndMs: 25},
+			{Lane: 0, Label: "t2", StartMs: 10, EndMs: 14},
+		},
+	}
+	svg := c.SVG()
+	for _, want := range []string{"<svg", "</svg>", "Schedule", "PE0", "PE1", "<rect"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("gantt missing %q", want)
+		}
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Error("gantt produced NaN coordinates")
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	svg := (&GanttChart{Title: "empty"}).SVG()
+	if !strings.Contains(svg, "</svg>") {
+		t.Error("empty gantt failed to render")
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	c := &BarChart{
+		Title:       "J_avg",
+		YLabel:      "mJ",
+		SeriesNames: []string{"fixed", "dynamic"},
+		Groups: []BarGroup{
+			{Label: "HW-Only", Values: []float64{176, 128}},
+			{Label: "CLR1", Values: []float64{133, 121}},
+			{Label: "CLR2", Values: []float64{122, 116}},
+		},
+	}
+	svg := c.SVG()
+	for _, want := range []string{"<svg", "J_avg", "HW-Only", "CLR2", "fixed", "dynamic"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("bar chart missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, `fill="`+palette[0]+`"`); got != 4 { // 3 bars + legend swatch
+		t.Errorf("series-0 rects = %d, want 4", got)
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Error("bar chart emitted NaN")
+	}
+}
+
+func TestBarChartNaNGap(t *testing.T) {
+	c := &BarChart{
+		SeriesNames: []string{"a"},
+		Groups:      []BarGroup{{Label: "x", Values: []float64{math.NaN()}}},
+	}
+	if svg := c.SVG(); strings.Contains(svg, "NaN") {
+		t.Error("NaN leaked into SVG")
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	if svg := (&BarChart{Title: "none"}).SVG(); !strings.Contains(svg, "</svg>") {
+		t.Error("empty bar chart failed")
+	}
+}

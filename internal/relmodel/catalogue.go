@@ -1,0 +1,160 @@
+package relmodel
+
+// none returns the identity method for a layer.
+func none(l Layer) Method {
+	return Method{Name: "none", Layer: l, TimeFactor: 1, PowerFactor: 1}
+}
+
+// DefaultCatalogue returns the full CLR method catalogue used for the
+// fine-grained configuration space the paper calls CLR2. Per layer it
+// contains the sample methods of Table 2:
+//
+//	HW:  circuit hardening, partial TMR
+//	SSW: retry (1 and 2 attempts), checkpoint/rollback
+//	ASW: checksum-with-recompute, Hamming correction, code tripling
+//
+// Overhead and coverage numbers are representative first-order values
+// chosen so the layers present genuinely different trade-offs: spatial
+// redundancy is time-cheap but power-hungry, temporal redundancy is
+// average-time-expensive but power-cheap, and information redundancy
+// sits between, with the strongest methods costing the most.
+func DefaultCatalogue() *Catalogue {
+	c := &Catalogue{
+		HW: []Method{
+			none(LayerHW),
+			{
+				Name: "harden", Layer: LayerHW,
+				TimeFactor: 1.05, PowerFactor: 1.30,
+				Coverage: 0.60, StressFactor: 0.20,
+			},
+			{
+				Name: "partial-TMR", Layer: LayerHW,
+				TimeFactor: 1.08, PowerFactor: 1.95,
+				Coverage: 0.88, StressFactor: 0.50,
+			},
+		},
+		SSW: []Method{
+			none(LayerSSW),
+			{
+				Name: "retry-1", Layer: LayerSSW,
+				TimeFactor: 1.03, PowerFactor: 1.02,
+				DetectCoverage: 0.92, Retries: 1, RestartFraction: 1.0,
+			},
+			{
+				Name: "retry-2", Layer: LayerSSW,
+				TimeFactor: 1.03, PowerFactor: 1.02,
+				DetectCoverage: 0.92, Retries: 2, RestartFraction: 1.0,
+			},
+			{
+				Name: "checkpoint", Layer: LayerSSW,
+				TimeFactor: 1.12, PowerFactor: 1.05,
+				DetectCoverage: 0.97, Retries: 2, RestartFraction: 0.45,
+				StressFactor: 0.05,
+			},
+		},
+		ASW: []Method{
+			none(LayerASW),
+			{
+				Name: "checksum", Layer: LayerASW,
+				TimeFactor: 1.08, PowerFactor: 1.06,
+				Coverage: 0.45,
+			},
+			{
+				Name: "hamming", Layer: LayerASW,
+				TimeFactor: 1.20, PowerFactor: 1.12,
+				Coverage: 0.72, StressFactor: 0.05,
+			},
+			{
+				Name: "code-tripling", Layer: LayerASW,
+				TimeFactor: 1.48, PowerFactor: 1.32,
+				Coverage: 0.94, StressFactor: 0.10,
+			},
+		},
+	}
+	mustValidate(c)
+	return c
+}
+
+// CoarseCatalogue returns the reduced configuration space the paper
+// calls CLR1: one representative method per layer besides "none", so
+// the design-time DSE has fewer, coarser adaptation points (6-ish
+// Pareto points vs CLR2's 9 in Figure 1).
+func CoarseCatalogue() *Catalogue {
+	full := DefaultCatalogue()
+	c := &Catalogue{
+		HW:  []Method{full.HW[0], full.HW[2]},   // none, partial-TMR
+		SSW: []Method{full.SSW[0], full.SSW[2]}, // none, retry-2
+		ASW: []Method{full.ASW[0], full.ASW[3]}, // none, code-tripling
+	}
+	mustValidate(c)
+	return c
+}
+
+// HWOnlyCatalogue returns the traditional single-layer baseline: all
+// mitigation happens at the hardware layer (the "HW-Only" system of
+// Figure 1). The software layers offer only the identity method.
+func HWOnlyCatalogue() *Catalogue {
+	full := DefaultCatalogue()
+	c := &Catalogue{
+		HW:  full.HW, // none, harden, partial-TMR
+		SSW: []Method{none(LayerSSW)},
+		ASW: []Method{none(LayerASW)},
+	}
+	mustValidate(c)
+	return c
+}
+
+// ExtendedCatalogue returns a broader method space than the paper's
+// sample set, for studies of configuration-space granularity beyond
+// CLR2 (180 per-task configurations): full TMR and memory scrubbing at
+// the hardware layer, a third retry and a light checkpoint variant at
+// the system-software layer, and ABFT plus Reed-Solomon-style coding
+// at the application layer. As with the default catalogue, numbers are
+// representative first-order values exposing distinct trade-offs.
+func ExtendedCatalogue() *Catalogue {
+	c := DefaultCatalogue()
+	c.HW = append(c.HW,
+		Method{
+			Name: "full-TMR", Layer: LayerHW,
+			TimeFactor: 1.12, PowerFactor: 2.90,
+			Coverage: 0.97, StressFactor: 0.90,
+		},
+		Method{
+			Name: "scrubbing", Layer: LayerHW,
+			TimeFactor: 1.02, PowerFactor: 1.08,
+			Coverage: 0.35, StressFactor: 0.05,
+		},
+	)
+	c.SSW = append(c.SSW,
+		Method{
+			Name: "retry-3", Layer: LayerSSW,
+			TimeFactor: 1.03, PowerFactor: 1.02,
+			DetectCoverage: 0.92, Retries: 3, RestartFraction: 1.0,
+		},
+		Method{
+			Name: "checkpoint-light", Layer: LayerSSW,
+			TimeFactor: 1.06, PowerFactor: 1.03,
+			DetectCoverage: 0.90, Retries: 1, RestartFraction: 0.45,
+		},
+	)
+	c.ASW = append(c.ASW,
+		Method{
+			Name: "abft", Layer: LayerASW,
+			TimeFactor: 1.25, PowerFactor: 1.15,
+			Coverage: 0.80, StressFactor: 0.05,
+		},
+		Method{
+			Name: "rs-code", Layer: LayerASW,
+			TimeFactor: 1.35, PowerFactor: 1.25,
+			Coverage: 0.90, StressFactor: 0.08,
+		},
+	)
+	mustValidate(c)
+	return c
+}
+
+func mustValidate(c *Catalogue) {
+	if err := c.Validate(); err != nil {
+		panic("relmodel: built-in catalogue invalid: " + err.Error())
+	}
+}

@@ -1,0 +1,315 @@
+// Package relmodel implements the cross-layer reliability (CLR) model
+// of the paper's Section 3.3 and Table 2. Fault-mitigation methods are
+// organised into three abstraction layers:
+//
+//   - Hardware (HWRel) — spatial redundancy: partial TMR, circuit
+//     hardening.
+//   - System software (SSWRel) — temporal redundancy: retry,
+//     checkpointing.
+//   - Application software (ASWRel) — information redundancy: checksum,
+//     Hamming correction, code tripling.
+//
+// A Config selects one method per layer; varying the selection varies
+// the task-level performance metrics of Table 2 — minimum execution
+// time MinExT, average execution time AvgExT, probability of error
+// during execution ErrProb, mean time to failure MTTF (via the Weibull
+// scale parameter eta, a thermal-stress indicator), and average power
+// W — which the scheduler aggregates into the system-level QoS metrics
+// of Table 3.
+//
+// The quantitative models follow the first-order composition used by
+// the CLRFrame framework the paper builds on: raw single-event-upset
+// arrivals are Poisson with rate lambda_SEU, a PE's architectural
+// masking factor removes a fraction of strikes, spatial and information
+// redundancy each mask/correct a further fraction of the surviving
+// errors (multiplicative residual), and temporal redundancy re-executes
+// on detection, trading average execution time for residual error
+// probability.
+package relmodel
+
+import (
+	"fmt"
+	"math"
+
+	"clrdse/internal/platform"
+	"clrdse/internal/taskgraph"
+)
+
+// Layer identifies an abstraction layer of the system stack.
+type Layer int
+
+const (
+	// LayerHW is the hardware layer (spatial redundancy).
+	LayerHW Layer = iota
+	// LayerSSW is the system-software layer (temporal redundancy).
+	LayerSSW
+	// LayerASW is the application-software layer (information
+	// redundancy).
+	LayerASW
+)
+
+func (l Layer) String() string {
+	switch l {
+	case LayerHW:
+		return "HW"
+	case LayerSSW:
+		return "SSW"
+	case LayerASW:
+		return "ASW"
+	default:
+		return fmt.Sprintf("Layer(%d)", int(l))
+	}
+}
+
+// Method is one fault-mitigation technique at one layer.
+type Method struct {
+	// Name labels the method ("partial-TMR", "retry-2", ...).
+	Name string
+	// Layer is the abstraction layer the method belongs to.
+	Layer Layer
+	// TimeFactor multiplies the error-free execution time (spatial
+	// voters, encode/decode passes, checkpoint writes).
+	TimeFactor float64
+	// PowerFactor multiplies dynamic power (replicated logic, extra
+	// computation).
+	PowerFactor float64
+	// Coverage, for HW and ASW methods, is the fraction of surviving
+	// errors the method masks or corrects outright.
+	Coverage float64
+	// DetectCoverage, for SSW methods, is the fraction of erroneous
+	// executions the method detects (and therefore re-executes).
+	DetectCoverage float64
+	// Retries, for SSW methods, is the maximum number of
+	// re-executions after a detected error.
+	Retries int
+	// RestartFraction, for SSW methods, is the cost of one
+	// re-execution relative to MinExT: 1.0 for a full retry, less for
+	// checkpoint/rollback schemes that resume mid-task.
+	RestartFraction float64
+	// StressFactor adds to the thermal-stress term that shrinks the
+	// Weibull scale parameter eta (spatial redundancy concentrates
+	// power and raises local temperature).
+	StressFactor float64
+}
+
+// Validate checks the method's parameters.
+func (m *Method) Validate() error {
+	switch {
+	case m.Name == "":
+		return fmt.Errorf("relmodel: method with empty name")
+	case m.TimeFactor < 1:
+		return fmt.Errorf("relmodel: method %q: TimeFactor must be >= 1, got %v", m.Name, m.TimeFactor)
+	case m.PowerFactor < 1 && m.Layer != LayerHW:
+		return fmt.Errorf("relmodel: method %q: PowerFactor must be >= 1, got %v", m.Name, m.PowerFactor)
+	case m.PowerFactor <= 0:
+		return fmt.Errorf("relmodel: method %q: PowerFactor must be positive, got %v", m.Name, m.PowerFactor)
+	case m.Coverage < 0 || m.Coverage >= 1:
+		return fmt.Errorf("relmodel: method %q: Coverage must be in [0,1), got %v", m.Name, m.Coverage)
+	case m.DetectCoverage < 0 || m.DetectCoverage > 1:
+		return fmt.Errorf("relmodel: method %q: DetectCoverage must be in [0,1], got %v", m.Name, m.DetectCoverage)
+	case m.Retries < 0:
+		return fmt.Errorf("relmodel: method %q: negative Retries", m.Name)
+	case m.Retries > 0 && m.RestartFraction <= 0:
+		return fmt.Errorf("relmodel: method %q: Retries without RestartFraction", m.Name)
+	case m.StressFactor < 0:
+		return fmt.Errorf("relmodel: method %q: negative StressFactor", m.Name)
+	}
+	return nil
+}
+
+// Catalogue is the per-layer set of available methods. Index 0 of each
+// layer must be the "none" method (no redundancy).
+type Catalogue struct {
+	HW, SSW, ASW []Method
+}
+
+// Validate checks the catalogue's structure.
+func (c *Catalogue) Validate() error {
+	for _, layer := range []struct {
+		name    string
+		ms      []Method
+		layerID Layer
+	}{{"HW", c.HW, LayerHW}, {"SSW", c.SSW, LayerSSW}, {"ASW", c.ASW, LayerASW}} {
+		if len(layer.ms) == 0 {
+			return fmt.Errorf("relmodel: catalogue has no %s methods", layer.name)
+		}
+		for i := range layer.ms {
+			m := &layer.ms[i]
+			if m.Layer != layer.layerID {
+				return fmt.Errorf("relmodel: %s method %q has layer %v", layer.name, m.Name, m.Layer)
+			}
+			if err := m.Validate(); err != nil {
+				return err
+			}
+		}
+		none := &layer.ms[0]
+		if none.Coverage != 0 || none.DetectCoverage != 0 || none.Retries != 0 || none.TimeFactor != 1 || none.PowerFactor != 1 {
+			return fmt.Errorf("relmodel: %s method 0 (%q) must be the identity method", layer.name, none.Name)
+		}
+	}
+	return nil
+}
+
+// NumConfigs is the size of the per-task CLR configuration space
+// C_t = HWRel x SSWRel x ASWRel.
+func (c *Catalogue) NumConfigs() int {
+	return len(c.HW) * len(c.SSW) * len(c.ASW)
+}
+
+// Config selects one method per layer by catalogue index.
+type Config struct {
+	HW, SSW, ASW int
+}
+
+// Valid reports whether the config's indices are within the catalogue.
+func (cfg Config) Valid(c *Catalogue) bool {
+	return cfg.HW >= 0 && cfg.HW < len(c.HW) &&
+		cfg.SSW >= 0 && cfg.SSW < len(c.SSW) &&
+		cfg.ASW >= 0 && cfg.ASW < len(c.ASW)
+}
+
+// Index flattens the config into [0, NumConfigs()).
+func (cfg Config) Index(c *Catalogue) int {
+	return (cfg.HW*len(c.SSW)+cfg.SSW)*len(c.ASW) + cfg.ASW
+}
+
+// ConfigFromIndex is the inverse of Config.Index.
+func ConfigFromIndex(idx int, c *Catalogue) Config {
+	asw := idx % len(c.ASW)
+	idx /= len(c.ASW)
+	ssw := idx % len(c.SSW)
+	hw := idx / len(c.SSW)
+	return Config{HW: hw, SSW: ssw, ASW: asw}
+}
+
+// String renders the config using the catalogue's method names.
+func (cfg Config) Describe(c *Catalogue) string {
+	return fmt.Sprintf("%s+%s+%s", c.HW[cfg.HW].Name, c.SSW[cfg.SSW].Name, c.ASW[cfg.ASW].Name)
+}
+
+// Env bundles the environment parameters that the task-level metrics
+// depend on but that are not properties of a single task.
+type Env struct {
+	// LambdaSEUPerMs is the raw single-event-upset arrival rate seen
+	// by a PE, in upsets per millisecond of execution.
+	LambdaSEUPerMs float64
+	// Eta0Ms is the unstressed Weibull scale parameter (lifetime
+	// scale) of a PE, in milliseconds of operation.
+	Eta0Ms float64
+	// StressCoeff converts watts of task power into relative thermal
+	// stress on eta: eta = Eta0 / (1 + StressCoeff * W * (1+sum(StressFactor))).
+	StressCoeff float64
+}
+
+// DefaultEnv returns the environment used throughout the evaluation:
+// an SEU rate high enough that unprotected applications see a few
+// percent error rate (the regime of the paper's Figure 1, which spans
+// 0-10% application error rate).
+func DefaultEnv() Env {
+	return Env{
+		LambdaSEUPerMs: 2.5e-3,
+		Eta0Ms:         5e9, // ~2 months of continuous operation
+		StressCoeff:    0.15,
+	}
+}
+
+// TaskMetrics are the task-level performance metrics of Table 2 for
+// one (implementation, PE type, CLR configuration) triple.
+type TaskMetrics struct {
+	// MinExTMs is the minimum (error-free) execution time.
+	MinExTMs float64
+	// RawErrProb is the probability that at least one un-masked upset
+	// strikes during one execution attempt, before any CLR layer acts
+	// (the fault-injection simulator samples against this).
+	RawErrProb float64
+	// AvgExTMs is the expected execution time including re-executions
+	// triggered by the SSW layer.
+	AvgExTMs float64
+	// ErrProb is the probability that the task's result is erroneous
+	// after all three layers have acted.
+	ErrProb float64
+	// PowerW is the average power drawn while executing.
+	PowerW float64
+	// EtaMs is the stress-adjusted Weibull scale parameter.
+	EtaMs float64
+	// MTTFMs is the mean time to failure, eta * Gamma(1 + 1/beta).
+	MTTFMs float64
+}
+
+// Evaluate computes the Table 2 metrics for executing implementation
+// im on a PE of type pt under CLR configuration cfg. It panics if cfg
+// is out of range for the catalogue; callers validate configurations
+// when decoding genomes.
+func Evaluate(im *taskgraph.Impl, pt *platform.PEType, cfg Config, cat *Catalogue, env Env) TaskMetrics {
+	if !cfg.Valid(cat) {
+		panic(fmt.Sprintf("relmodel: config %+v out of range", cfg))
+	}
+	hw := &cat.HW[cfg.HW]
+	ssw := &cat.SSW[cfg.SSW]
+	asw := &cat.ASW[cfg.ASW]
+
+	// Error-free execution time: base time scaled by the PE type's
+	// speed, then by each layer's time overhead.
+	minExT := im.BaseExTimeMs / pt.SpeedFactor * hw.TimeFactor * ssw.TimeFactor * asw.TimeFactor
+
+	// Average power: base dynamic power scaled by the PE type and each
+	// layer's replication/extra-work overhead.
+	power := im.BasePowerW * pt.PowerFactor * hw.PowerFactor * ssw.PowerFactor * asw.PowerFactor
+
+	// Raw error probability of one execution attempt: Poisson upsets
+	// during MinExT, thinned by the PE's architectural masking.
+	exposure := env.LambdaSEUPerMs * minExT * (1 - pt.MaskingFactor)
+	pRaw := 1 - math.Exp(-exposure)
+
+	// Spatial (HW) and information (ASW) redundancy each mask/correct
+	// a fraction of the surviving errors.
+	q := pRaw * (1 - hw.Coverage) * (1 - asw.Coverage)
+
+	// Temporal (SSW) redundancy: an erroneous attempt is detected with
+	// probability d and re-executed, up to Retries times. A detected
+	// error after the final retry is still an error (fail-stop would
+	// be a different QoS metric; the paper counts result correctness).
+	d := ssw.DetectCoverage
+	k := ssw.Retries
+	errProb := q
+	avgExT := minExT
+	if k > 0 && d > 0 {
+		// Probability a given attempt errs and is detected: q*d.
+		// Expected number of re-executions: sum_{i=1..k} (q*d)^i.
+		qd := q * d
+		reexec := 0.0
+		pow := 1.0
+		for i := 1; i <= k; i++ {
+			pow *= qd
+			reexec += pow
+		}
+		avgExT = minExT + minExT*ssw.RestartFraction*reexec
+		// Residual error: undetected error on any attempt that ends
+		// the sequence, or detected error persisting after the last
+		// retry.
+		// P(err) = sum_{i=0..k} (qd)^i * q*(1-d) + (qd)^{k+1}
+		undetected := 0.0
+		pow = 1.0
+		for i := 0; i <= k; i++ {
+			undetected += pow * q * (1 - d)
+			pow *= qd
+		}
+		errProb = undetected + pow // pow is now (qd)^{k+1}
+	}
+
+	// Lifetime: thermal stress from task power (amplified by spatial
+	// redundancy's power density) shrinks the Weibull scale parameter.
+	stress := 1 + env.StressCoeff*power*(1+hw.StressFactor+ssw.StressFactor+asw.StressFactor)
+	eta := env.Eta0Ms / stress
+	mttf := eta * math.Gamma(1+1/pt.AgingBeta)
+
+	return TaskMetrics{
+		MinExTMs:   minExT,
+		RawErrProb: pRaw,
+		AvgExTMs:   avgExT,
+		ErrProb:    errProb,
+		PowerW:     power,
+		EtaMs:      eta,
+		MTTFMs:     mttf,
+	}
+}

@@ -1,0 +1,340 @@
+package relmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"clrdse/internal/platform"
+	"clrdse/internal/taskgraph"
+)
+
+var testImpl = taskgraph.Impl{ID: 0, PEType: 1, BaseExTimeMs: 20, BasePowerW: 0.8, BinaryKB: 64, BitstreamID: -1}
+
+func midType() *platform.PEType { return &platform.Default().Types[1] }
+
+func TestCataloguesValid(t *testing.T) {
+	for _, c := range []*Catalogue{DefaultCatalogue(), CoarseCatalogue(), HWOnlyCatalogue()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("catalogue invalid: %v", err)
+		}
+	}
+}
+
+func TestCatalogueSizes(t *testing.T) {
+	if got := DefaultCatalogue().NumConfigs(); got != 3*4*4 {
+		t.Errorf("default configs = %d, want 48", got)
+	}
+	if got := CoarseCatalogue().NumConfigs(); got != 8 {
+		t.Errorf("coarse configs = %d, want 8", got)
+	}
+	if got := HWOnlyCatalogue().NumConfigs(); got != 3 {
+		t.Errorf("hw-only configs = %d, want 3", got)
+	}
+	// CLR2 must be strictly finer than CLR1 (Figure 1's premise).
+	if CoarseCatalogue().NumConfigs() >= DefaultCatalogue().NumConfigs() {
+		t.Error("CLR1 space should be smaller than CLR2 space")
+	}
+}
+
+func TestConfigIndexRoundTrip(t *testing.T) {
+	cat := DefaultCatalogue()
+	for i := 0; i < cat.NumConfigs(); i++ {
+		cfg := ConfigFromIndex(i, cat)
+		if !cfg.Valid(cat) {
+			t.Fatalf("index %d decoded to invalid config %+v", i, cfg)
+		}
+		if got := cfg.Index(cat); got != i {
+			t.Fatalf("round trip %d -> %+v -> %d", i, cfg, got)
+		}
+	}
+}
+
+func TestConfigDescribe(t *testing.T) {
+	cat := DefaultCatalogue()
+	s := Config{HW: 2, SSW: 1, ASW: 3}.Describe(cat)
+	for _, want := range []string{"partial-TMR", "retry-1", "code-tripling"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Describe = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestNoneConfigIsIdentity(t *testing.T) {
+	cat := DefaultCatalogue()
+	env := DefaultEnv()
+	pt := midType()
+	m := Evaluate(&testImpl, pt, Config{}, cat, env)
+	wantT := testImpl.BaseExTimeMs / pt.SpeedFactor
+	if math.Abs(m.MinExTMs-wantT) > 1e-12 {
+		t.Errorf("MinExT = %v, want %v", m.MinExTMs, wantT)
+	}
+	if m.AvgExTMs != m.MinExTMs {
+		t.Errorf("no SSW method: AvgExT %v should equal MinExT %v", m.AvgExTMs, m.MinExTMs)
+	}
+	wantP := testImpl.BasePowerW * pt.PowerFactor
+	if math.Abs(m.PowerW-wantP) > 1e-12 {
+		t.Errorf("Power = %v, want %v", m.PowerW, wantP)
+	}
+	wantErr := 1 - math.Exp(-env.LambdaSEUPerMs*wantT*(1-pt.MaskingFactor))
+	if math.Abs(m.ErrProb-wantErr) > 1e-12 {
+		t.Errorf("ErrProb = %v, want %v", m.ErrProb, wantErr)
+	}
+}
+
+func TestEveryProtectionReducesError(t *testing.T) {
+	cat := DefaultCatalogue()
+	env := DefaultEnv()
+	pt := midType()
+	base := Evaluate(&testImpl, pt, Config{}, cat, env).ErrProb
+	for hw := range cat.HW {
+		for ssw := range cat.SSW {
+			for asw := range cat.ASW {
+				cfg := Config{HW: hw, SSW: ssw, ASW: asw}
+				if cfg == (Config{}) {
+					continue
+				}
+				m := Evaluate(&testImpl, pt, cfg, cat, env)
+				if m.ErrProb >= base {
+					t.Errorf("config %s: ErrProb %v >= unprotected %v", cfg.Describe(cat), m.ErrProb, base)
+				}
+			}
+		}
+	}
+}
+
+func TestEveryProtectionCostsSomething(t *testing.T) {
+	cat := DefaultCatalogue()
+	env := DefaultEnv()
+	pt := midType()
+	base := Evaluate(&testImpl, pt, Config{}, cat, env)
+	baseEnergy := base.AvgExTMs * base.PowerW
+	for i := 1; i < cat.NumConfigs(); i++ {
+		cfg := ConfigFromIndex(i, cat)
+		m := Evaluate(&testImpl, pt, cfg, cat, env)
+		energy := m.AvgExTMs * m.PowerW
+		if energy <= baseEnergy {
+			t.Errorf("config %s: energy %v <= unprotected %v (no free lunch)", cfg.Describe(cat), energy, baseEnergy)
+		}
+	}
+}
+
+func TestRetryImprovesWithAttempts(t *testing.T) {
+	cat := DefaultCatalogue()
+	env := DefaultEnv()
+	pt := midType()
+	r1 := Evaluate(&testImpl, pt, Config{SSW: 1}, cat, env)
+	r2 := Evaluate(&testImpl, pt, Config{SSW: 2}, cat, env)
+	if r2.ErrProb >= r1.ErrProb {
+		t.Errorf("retry-2 ErrProb %v >= retry-1 %v", r2.ErrProb, r1.ErrProb)
+	}
+	if r2.AvgExTMs < r1.AvgExTMs {
+		t.Errorf("retry-2 AvgExT %v < retry-1 %v", r2.AvgExTMs, r1.AvgExTMs)
+	}
+	if r1.MinExTMs != r2.MinExTMs {
+		t.Errorf("retry count should not change MinExT: %v vs %v", r1.MinExTMs, r2.MinExTMs)
+	}
+}
+
+func TestCheckpointCheaperRestartThanRetry(t *testing.T) {
+	cat := DefaultCatalogue()
+	env := Env{LambdaSEUPerMs: 0.05, Eta0Ms: 1e9, StressCoeff: 0.1} // high rate to expose re-execution cost
+	pt := midType()
+	retry := Evaluate(&testImpl, pt, Config{SSW: 2}, cat, env) // retry-2, full restart
+	ckpt := Evaluate(&testImpl, pt, Config{SSW: 3}, cat, env)  // checkpoint, partial restart
+	retryOver := retry.AvgExTMs/retry.MinExTMs - 1
+	ckptOver := ckpt.AvgExTMs/ckpt.MinExTMs - 1
+	if ckptOver >= retryOver {
+		t.Errorf("checkpoint relative re-exec overhead %v should be < retry %v", ckptOver, retryOver)
+	}
+}
+
+func TestMaskingFactorMatters(t *testing.T) {
+	cat := DefaultCatalogue()
+	env := DefaultEnv()
+	plat := platform.Default()
+	perf := &plat.Types[0] // masking 0.30
+	safe := &plat.Types[2] // masking 0.75
+	mPerf := Evaluate(&testImpl, perf, Config{}, cat, env)
+	mSafe := Evaluate(&testImpl, safe, Config{}, cat, env)
+	// The safe core is slower, so exposure time is longer; normalise by
+	// comparing per-ms hazard instead of raw ErrProb.
+	hazPerf := -math.Log(1-mPerf.ErrProb) / mPerf.MinExTMs
+	hazSafe := -math.Log(1-mSafe.ErrProb) / mSafe.MinExTMs
+	if hazSafe >= hazPerf {
+		t.Errorf("hardened core hazard %v >= perf core hazard %v", hazSafe, hazPerf)
+	}
+}
+
+func TestStressShrinksEta(t *testing.T) {
+	cat := DefaultCatalogue()
+	env := DefaultEnv()
+	pt := midType()
+	plain := Evaluate(&testImpl, pt, Config{}, cat, env)
+	tmr := Evaluate(&testImpl, pt, Config{HW: 2}, cat, env)
+	if tmr.EtaMs >= plain.EtaMs {
+		t.Errorf("TMR eta %v should be < unprotected eta %v", tmr.EtaMs, plain.EtaMs)
+	}
+	if tmr.MTTFMs >= plain.MTTFMs {
+		t.Errorf("TMR MTTF %v should be < unprotected MTTF %v", tmr.MTTFMs, plain.MTTFMs)
+	}
+}
+
+func TestMTTFUsesBeta(t *testing.T) {
+	cat := DefaultCatalogue()
+	env := DefaultEnv()
+	pt := *midType()
+	m := Evaluate(&testImpl, &pt, Config{}, cat, env)
+	want := m.EtaMs * math.Gamma(1+1/pt.AgingBeta)
+	if math.Abs(m.MTTFMs-want) > 1e-6*want {
+		t.Errorf("MTTF = %v, want %v", m.MTTFMs, want)
+	}
+}
+
+func TestEvaluatePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Evaluate(&testImpl, midType(), Config{HW: 99}, DefaultCatalogue(), DefaultEnv())
+}
+
+func TestValidateRejectsBadMethods(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Catalogue)
+	}{
+		{"empty layer", func(c *Catalogue) { c.SSW = nil }},
+		{"wrong layer tag", func(c *Catalogue) { c.HW[1].Layer = LayerASW }},
+		{"none not identity", func(c *Catalogue) { c.HW[0].Coverage = 0.5 }},
+		{"time factor", func(c *Catalogue) { c.ASW[1].TimeFactor = 0.9 }},
+		{"coverage 1", func(c *Catalogue) { c.ASW[1].Coverage = 1.0 }},
+		{"neg retries", func(c *Catalogue) { c.SSW[1].Retries = -1 }},
+		{"retries no restart", func(c *Catalogue) { c.SSW[1].RestartFraction = 0 }},
+		{"empty name", func(c *Catalogue) { c.HW[1].Name = "" }},
+		{"neg stress", func(c *Catalogue) { c.HW[1].StressFactor = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := DefaultCatalogue()
+			tc.mutate(c)
+			if err := c.Validate(); err == nil {
+				t.Error("Validate accepted broken catalogue")
+			}
+		})
+	}
+}
+
+// Property: ErrProb is always a valid probability, AvgExT >= MinExT > 0
+// and Power > 0, for every config in the catalogue and arbitrary
+// plausible impl parameters.
+func TestQuickMetricInvariants(t *testing.T) {
+	cat := DefaultCatalogue()
+	env := DefaultEnv()
+	plat := platform.Default()
+	f := func(timeQ, powQ uint16, cfgIdx uint8, typeIdx uint8) bool {
+		im := taskgraph.Impl{
+			BaseExTimeMs: 0.1 + float64(timeQ%5000)/10,
+			BasePowerW:   0.05 + float64(powQ%200)/100,
+			BitstreamID:  -1,
+		}
+		cfg := ConfigFromIndex(int(cfgIdx)%cat.NumConfigs(), cat)
+		pt := &plat.Types[int(typeIdx)%len(plat.Types)]
+		m := Evaluate(&im, pt, cfg, cat, env)
+		return m.ErrProb >= 0 && m.ErrProb < 1 &&
+			m.MinExTMs > 0 && m.AvgExTMs >= m.MinExTMs &&
+			m.PowerW > 0 && m.EtaMs > 0 && m.MTTFMs > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding protection at any single layer never increases
+// ErrProb relative to the unprotected config, for arbitrary impls.
+func TestQuickMonotoneProtection(t *testing.T) {
+	cat := DefaultCatalogue()
+	env := DefaultEnv()
+	pt := midType()
+	f := func(timeQ uint16) bool {
+		im := taskgraph.Impl{
+			BaseExTimeMs: 0.5 + float64(timeQ%2000)/20,
+			BasePowerW:   0.5,
+			BitstreamID:  -1,
+		}
+		base := Evaluate(&im, pt, Config{}, cat, env).ErrProb
+		for hw := range cat.HW {
+			if Evaluate(&im, pt, Config{HW: hw}, cat, env).ErrProb > base+1e-15 {
+				return false
+			}
+		}
+		for asw := range cat.ASW {
+			if Evaluate(&im, pt, Config{ASW: asw}, cat, env).ErrProb > base+1e-15 {
+				return false
+			}
+		}
+		for ssw := range cat.SSW {
+			if Evaluate(&im, pt, Config{SSW: ssw}, cat, env).ErrProb > base+1e-15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayerString(t *testing.T) {
+	if LayerHW.String() != "HW" || LayerSSW.String() != "SSW" || LayerASW.String() != "ASW" {
+		t.Error("Layer.String mismatch")
+	}
+	if !strings.Contains(Layer(9).String(), "9") {
+		t.Error("unknown layer string")
+	}
+}
+
+func TestExtendedCatalogue(t *testing.T) {
+	c := ExtendedCatalogue()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.NumConfigs(); got != 5*6*6 {
+		t.Errorf("extended configs = %d, want 180", got)
+	}
+	// Strictly a superset of the default space.
+	d := DefaultCatalogue()
+	if len(c.HW) <= len(d.HW) || len(c.SSW) <= len(d.SSW) || len(c.ASW) <= len(d.ASW) {
+		t.Error("extended catalogue should extend every layer")
+	}
+	for i, m := range d.HW {
+		if c.HW[i].Name != m.Name {
+			t.Error("extended catalogue reordered default HW methods")
+		}
+	}
+	// The extended invariants hold for every new config too.
+	env := DefaultEnv()
+	pt := midType()
+	base := Evaluate(&testImpl, pt, Config{}, c, env)
+	for i := 1; i < c.NumConfigs(); i++ {
+		cfg := ConfigFromIndex(i, c)
+		m := Evaluate(&testImpl, pt, cfg, c, env)
+		if m.ErrProb >= base.ErrProb {
+			t.Errorf("extended config %s does not reduce error", cfg.Describe(c))
+		}
+		if m.AvgExTMs*m.PowerW <= base.AvgExTMs*base.PowerW {
+			t.Errorf("extended config %s is a free lunch", cfg.Describe(c))
+		}
+	}
+	// Full TMR out-protects partial TMR; RS-code out-protects hamming.
+	pTMR := Evaluate(&testImpl, pt, Config{HW: 2}, c, env)
+	fTMR := Evaluate(&testImpl, pt, Config{HW: 3}, c, env)
+	if fTMR.ErrProb >= pTMR.ErrProb {
+		t.Error("full TMR should beat partial TMR on error")
+	}
+	if fTMR.PowerW <= pTMR.PowerW {
+		t.Error("full TMR should cost more power than partial TMR")
+	}
+}

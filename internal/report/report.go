@@ -1,0 +1,77 @@
+// Package report assembles experiment outputs into a single Markdown
+// document, so one `cmd/experiments -report` invocation leaves a
+// reviewable artefact (REPORT.md + SVGs) instead of a directory of
+// loose text files.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Section is one experiment's contribution to the report.
+type Section struct {
+	// ID is the experiment identifier ("table4", "fig6", ...).
+	ID string
+	// Title is the human heading.
+	Title string
+	// Body is the experiment's rendered text (verbatim, fenced).
+	Body string
+	// SVGs are chart file names (relative to the report) to embed.
+	SVGs []string
+}
+
+// Markdown renders the full report.
+func Markdown(title, scaleName string, sections []Section) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n\n", title)
+	fmt.Fprintf(&b, "Scale: `%s`. Regenerate with `go run ./cmd/experiments -run all -scale %s -out <dir> -svg -report`.\n\n", scaleName, scaleName)
+
+	b.WriteString("## Contents\n\n")
+	for _, s := range sections {
+		fmt.Fprintf(&b, "- [%s](#%s)\n", s.Title, anchor(s.Title))
+	}
+	b.WriteString("\n")
+
+	for _, s := range sections {
+		fmt.Fprintf(&b, "## %s\n\n", s.Title)
+		for _, svg := range s.SVGs {
+			fmt.Fprintf(&b, "![%s](%s)\n\n", s.ID, svg)
+		}
+		b.WriteString("```text\n")
+		b.WriteString(strings.TrimRight(s.Body, "\n"))
+		b.WriteString("\n```\n\n")
+	}
+	return b.String()
+}
+
+// anchor converts a heading into a GitHub-style anchor.
+func anchor(title string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// Titles maps experiment IDs to report headings.
+var Titles = map[string]string{
+	"fig1":        "Figure 1 — Motivation for dynamic CLR",
+	"table4":      "Table 4 — Task-migration cost, ReD vs BaseD (CSP)",
+	"fig5":        "Figure 5 — Pareto front and ReD additions",
+	"fig6":        "Figure 6 — Reconfiguration-cost trace",
+	"table5":      "Table 5 — Cost of reconfiguration minimisation",
+	"fig7":        "Figure 7 — pRC trade-off sweep",
+	"table6":      "Table 6 — ReD vs BaseD at matched pRC",
+	"table7":      "Table 7 — AuRA vs uRA",
+	"validate":    "Model validation — fault injection vs analytics",
+	"scalability": "DSE scalability",
+	"sensitivity": "SEU-rate sensitivity",
+	"storage":     "Storage budget",
+	"convergence": "Stage-1 MOEA convergence",
+}

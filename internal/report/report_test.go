@@ -1,0 +1,47 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMarkdownStructure(t *testing.T) {
+	out := Markdown("Repro Report", "full", []Section{
+		{ID: "table4", Title: "Table 4 — Stuff", Body: "row1\nrow2\n"},
+		{ID: "fig6", Title: "Figure 6", Body: "trace", SVGs: []string{"fig6.svg"}},
+	})
+	for _, want := range []string{
+		"# Repro Report",
+		"Scale: `full`",
+		"## Contents",
+		"- [Table 4 — Stuff](#table-4--stuff)",
+		"## Table 4 — Stuff",
+		"```text\nrow1\nrow2\n```",
+		"![fig6](fig6.svg)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestAnchor(t *testing.T) {
+	cases := map[string]string{
+		"Table 4 — Stuff":  "table-4--stuff",
+		"Figure 6":         "figure-6",
+		"ALL CAPS & More!": "all-caps--more",
+	}
+	for in, want := range cases {
+		if got := anchor(in); got != want {
+			t.Errorf("anchor(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTitlesCoverAllExperiments(t *testing.T) {
+	for _, id := range []string{"fig1", "table4", "fig5", "fig6", "table5", "fig7", "table6", "table7", "validate", "scalability", "sensitivity", "storage", "convergence"} {
+		if Titles[id] == "" {
+			t.Errorf("no title for experiment %q", id)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package runtime
+
+// This file implements the reinforcement-learning agent of the
+// paper's Section 4.3.2 (AuRA — Agent-based uRA):
+//
+//   - State space: each stored design point is one state.
+//   - Policy: fixed, uRA-shaped — but the next-state evaluation
+//     (Algorithm 1, lines 5-9) augments the instantaneous R(p) and
+//     dRC(p) with the states' learned value functions. Setting the
+//     discount factor gamma to 0 recovers uRA exactly.
+//   - Value optimisation: with the fixed policy, the returns from
+//     each episode (1000 application execution cycles by default)
+//     update the per-state value functions by every-visit Monte-Carlo.
+//   - Prior knowledge: Pretrain runs an offline Monte-Carlo
+//     simulation of the fixed policy against the expected QoS-variation
+//     distribution to initialise the value functions before deployment.
+//
+// Two value functions are learned per state: VR estimates the
+// discounted future performance (R = -J_app) of residing in a state,
+// and VD the discounted future reconfiguration cost it leads to. The
+// run-time selection maximises
+//
+//	pRC * norm(R(p) + gamma*VR(p)) - (1-pRC) * norm(dRC(p) + gamma*VD(p))
+//
+// over the feasible states p.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"clrdse/internal/dse"
+)
+
+// Agent carries AuRA's learned state.
+type Agent struct {
+	// Gamma is the discount factor; 0 disables the lookahead and
+	// reduces AuRA to uRA.
+	Gamma float64
+	// Alpha is the learning rate; 0 selects the incremental sample
+	// mean (1/N(s)), the textbook Monte-Carlo policy-evaluation rule.
+	Alpha float64
+	// EpisodeCycles is the episode length in application execution
+	// cycles (0 selects the paper's "typically a thousand").
+	EpisodeCycles float64
+
+	// VR and VD are the per-state value functions (performance and
+	// reconfiguration cost), indexed by design-point ID.
+	VR, VD []float64
+
+	visits []int
+	// Episode buffer: one entry per discrete event.
+	states   []int
+	rR, rD   []float64
+	boundary float64
+	// Episodes counts completed episodes (for diagnostics and tests).
+	Episodes int
+}
+
+// NewAgent returns an agent for a database of n design points. Value
+// functions start uniform (all zero), the purely-online cold start the
+// paper describes.
+func NewAgent(n int, gamma float64) *Agent {
+	if n <= 0 {
+		panic(fmt.Sprintf("runtime: NewAgent with %d states", n))
+	}
+	if gamma < 0 || gamma >= 1 {
+		panic(fmt.Sprintf("runtime: NewAgent with gamma %v outside [0,1)", gamma))
+	}
+	return &Agent{
+		Gamma:         gamma,
+		EpisodeCycles: 1000,
+		VR:            make([]float64, n),
+		VD:            make([]float64, n),
+		visits:        make([]int, n),
+	}
+}
+
+// NewAgentForDB returns an agent whose value functions start from a
+// stay-put prior instead of zero: residing in state s yields per-event
+// reward R(s) = -J(s) and no reconfiguration cost (VD = 0). Without a
+// prior, states never visited during (pre)training keep the optimistic
+// value 0 — far above any visited state's negative VR — and the agent
+// chases unexplored high-energy points.
+//
+// Because Monte-Carlo returns are truncated at episode boundaries, the
+// prior must use the same effective horizon as the learned estimates,
+// not the infinite-horizon 1/(1-gamma): a state visited at a uniformly
+// random position in an episode of H events sees the expected discount
+// sum (1/H) * sum_{j=1..H} (1-gamma^j)/(1-gamma). eventsPerEpisode
+// supplies H (0 selects 10, the paper's 1000-cycle episode at the
+// 100-cycle mean inter-arrival).
+func NewAgentForDB(db *dse.Database, gamma float64, eventsPerEpisode int) *Agent {
+	a := NewAgent(db.Len(), gamma)
+	if gamma > 0 {
+		if eventsPerEpisode <= 0 {
+			eventsPerEpisode = 10
+		}
+		// Expected truncated discount multiplier.
+		mult := 0.0
+		pow := 1.0
+		for j := 1; j <= eventsPerEpisode; j++ {
+			pow *= gamma
+			mult += (1 - pow) / (1 - gamma)
+		}
+		mult /= float64(eventsPerEpisode)
+		for i, p := range db.Points {
+			a.VR[i] = -p.EnergyMJ * mult
+		}
+	}
+	return a
+}
+
+// step records one discrete event: the state in force after the event,
+// its immediate performance reward rR = R(state), the reconfiguration
+// cost paid entering it, and the simulation time. Episodes close on
+// the configured cycle boundaries.
+func (a *Agent) step(state int, rR, rD, cycleTime float64) {
+	ep := a.EpisodeCycles
+	if ep <= 0 {
+		ep = 1000
+	}
+	if a.boundary == 0 {
+		a.boundary = ep
+	}
+	for cycleTime >= a.boundary {
+		a.endEpisode()
+		a.boundary += ep
+	}
+	a.states = append(a.states, state)
+	a.rR = append(a.rR, rR)
+	a.rD = append(a.rD, rD)
+}
+
+// flush closes the trailing partial episode at the end of a run.
+func (a *Agent) flush() {
+	a.endEpisode()
+}
+
+// resetClock starts a fresh episode clock for a new simulation run
+// (whose cycle time restarts at zero), flushing any stale buffer.
+// Learned value functions and visit counts are untouched.
+func (a *Agent) resetClock() {
+	a.endEpisode()
+	a.boundary = 0
+}
+
+// endEpisode computes backward discounted returns over the buffered
+// steps and applies every-visit Monte-Carlo updates to VR and VD.
+func (a *Agent) endEpisode() {
+	n := len(a.states)
+	if n == 0 {
+		return
+	}
+	gR, gD := 0.0, 0.0
+	for t := n - 1; t >= 0; t-- {
+		gR = a.rR[t] + a.Gamma*gR
+		gD = a.rD[t] + a.Gamma*gD
+		s := a.states[t]
+		a.visits[s]++
+		alpha := a.Alpha
+		if alpha == 0 {
+			alpha = 1 / float64(a.visits[s])
+		}
+		a.VR[s] += alpha * (gR - a.VR[s])
+		a.VD[s] += alpha * (gD - a.VD[s])
+	}
+	a.states = a.states[:0]
+	a.rR = a.rR[:0]
+	a.rD = a.rD[:0]
+	a.Episodes++
+}
+
+// Visits returns how many value updates state s has received.
+func (a *Agent) Visits(s int) int { return a.visits[s] }
+
+// Pretrain injects prior knowledge about the operating environment:
+// it runs an offline Monte-Carlo simulation of the fixed policy over
+// the given cycle horizon (with its own seed, so the online run sees a
+// different event realisation) and leaves the learned value functions
+// in the agent. The params' Agent field is overridden with a; all
+// other fields are used as-is.
+func (a *Agent) Pretrain(p Params, cycles float64, seed int64) error {
+	p.Agent = a
+	p.Cycles = cycles
+	p.Seed = seed
+	p.TraceLen = 0
+	_, err := Simulate(p)
+	return err
+}
+
+// agentState is the serialised form of an agent's learned knowledge.
+type agentState struct {
+	Gamma         float64
+	Alpha         float64
+	EpisodeCycles float64
+	VR, VD        []float64
+	Visits        []int
+	Episodes      int
+}
+
+// WriteFile persists the agent's value functions and visit counts as
+// JSON, so offline pretraining on a workstation can ship its prior
+// knowledge to the deployed target. Unflushed episode buffers are not
+// persisted; call flush-inducing Simulate/Pretrain first.
+func (a *Agent) WriteFile(path string) error {
+	data, err := json.MarshalIndent(agentState{
+		Gamma:         a.Gamma,
+		Alpha:         a.Alpha,
+		EpisodeCycles: a.EpisodeCycles,
+		VR:            a.VR,
+		VD:            a.VD,
+		Visits:        a.visits,
+		Episodes:      a.Episodes,
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runtime: marshal agent: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadAgent loads a persisted agent for a database of n design points.
+func ReadAgent(path string, n int) (*Agent, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var st agentState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("runtime: parse agent %s: %w", path, err)
+	}
+	if len(st.VR) != n || len(st.VD) != n || len(st.Visits) != n {
+		return nil, fmt.Errorf("runtime: agent %s sized for %d states, database has %d", path, len(st.VR), n)
+	}
+	if st.Gamma < 0 || st.Gamma >= 1 {
+		return nil, fmt.Errorf("runtime: agent %s has gamma %v outside [0,1)", path, st.Gamma)
+	}
+	a := NewAgent(n, st.Gamma)
+	a.Alpha = st.Alpha
+	a.EpisodeCycles = st.EpisodeCycles
+	copy(a.VR, st.VR)
+	copy(a.VD, st.VD)
+	copy(a.visits, st.Visits)
+	a.Episodes = st.Episodes
+	return a, nil
+}

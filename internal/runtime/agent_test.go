@@ -1,0 +1,294 @@
+package runtime
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func agentParams(t *testing.T, prc float64, seed int64, ag *Agent) Params {
+	p := baseParams(t, prc, seed)
+	p.Agent = ag
+	return p
+}
+
+func TestGammaZeroAgentSubsumesURA(t *testing.T) {
+	// The paper: "the uRA method is subsumed into AuRA by setting the
+	// discount factor gamma = 0". With gamma=0 the agent learns but
+	// never influences decisions, so metrics must match plain uRA.
+	plain, err := Simulate(baseParams(t, 0.6, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag := NewAgent(getFixture(t).base.Len(), 0)
+	withAgent, err := Simulate(agentParams(t, 0.6, 21, ag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TotalDRC != withAgent.TotalDRC || plain.AvgEnergyMJ != withAgent.AvgEnergyMJ ||
+		plain.Reconfigs != withAgent.Reconfigs {
+		t.Errorf("gamma=0 AuRA differs from uRA: %+v vs %+v", withAgent, plain)
+	}
+}
+
+func TestAgentLearnsValues(t *testing.T) {
+	f := getFixture(t)
+	ag := NewAgent(f.base.Len(), 0.8)
+	if _, err := Simulate(agentParams(t, 0.5, 22, ag)); err != nil {
+		t.Fatal(err)
+	}
+	if ag.Episodes == 0 {
+		t.Fatal("no episodes completed over 50k cycles with 1000-cycle episodes")
+	}
+	visited, nonzero := 0, 0
+	for s := range ag.VR {
+		if ag.Visits(s) > 0 {
+			visited++
+			if ag.VR[s] != 0 || ag.VD[s] != 0 {
+				nonzero++
+			}
+		}
+	}
+	if visited == 0 {
+		t.Fatal("agent never visited any state")
+	}
+	if nonzero == 0 {
+		t.Error("visited states have all-zero value functions")
+	}
+	// VR estimates discounted future -J: must be negative for any
+	// visited state (energy is positive).
+	for s := range ag.VR {
+		if ag.Visits(s) > 0 && ag.VR[s] >= 0 {
+			t.Errorf("state %d: VR = %v, want negative", s, ag.VR[s])
+		}
+		if ag.VD[s] < 0 {
+			t.Errorf("state %d: VD = %v, want non-negative", s, ag.VD[s])
+		}
+	}
+}
+
+func TestAgentEpisodeAccounting(t *testing.T) {
+	ag := NewAgent(4, 0.5)
+	ag.EpisodeCycles = 100
+	// Three events inside episode 1, one in episode 2.
+	ag.step(0, -1, 0, 10)
+	ag.step(1, -2, 5, 50)
+	ag.step(0, -1, 0, 90)
+	if ag.Episodes != 0 {
+		t.Fatalf("episode closed early: %d", ag.Episodes)
+	}
+	ag.step(2, -3, 1, 150)
+	if ag.Episodes != 1 {
+		t.Fatalf("episodes = %d, want 1 after crossing boundary", ag.Episodes)
+	}
+	ag.flush()
+	if ag.Episodes != 2 {
+		t.Fatalf("episodes = %d, want 2 after flush", ag.Episodes)
+	}
+	// First episode returns with gamma=0.5, rewards (state, rR, rD):
+	// t2: G_R = -1, G_D = 0
+	// t1: G_R = -2 + 0.5*(-1) = -2.5 ; G_D = 5 + 0.5*0 = 5
+	// t0: G_R = -1 + 0.5*(-2.5) = -2.25 ; G_D = 0 + 0.5*5 = 2.5
+	// State 0 visited at t0 and t2 (backward order t2 first):
+	// after t2: V = -1 (visit 1); after t0: V = -1 + 1/2*(-2.25+1) = -1.625
+	if math.Abs(ag.VR[0]-(-1.625)) > 1e-12 {
+		t.Errorf("VR[0] = %v, want -1.625", ag.VR[0])
+	}
+	if math.Abs(ag.VD[0]-1.25) > 1e-12 {
+		t.Errorf("VD[0] = %v, want 1.25", ag.VD[0])
+	}
+	if math.Abs(ag.VR[1]-(-2.5)) > 1e-12 || math.Abs(ag.VD[1]-5) > 1e-12 {
+		t.Errorf("VR[1],VD[1] = %v,%v want -2.5,5", ag.VR[1], ag.VD[1])
+	}
+	// Second episode: single step, state 2.
+	if math.Abs(ag.VR[2]-(-3)) > 1e-12 || math.Abs(ag.VD[2]-1) > 1e-12 {
+		t.Errorf("VR[2],VD[2] = %v,%v want -3,1", ag.VR[2], ag.VD[2])
+	}
+}
+
+func TestAgentFixedAlpha(t *testing.T) {
+	ag := NewAgent(2, 0)
+	ag.Alpha = 0.5
+	ag.EpisodeCycles = 10
+	ag.step(0, -4, 0, 1)
+	ag.flush()
+	if ag.VR[0] != -2 {
+		t.Errorf("VR[0] = %v, want -2 with alpha=0.5", ag.VR[0])
+	}
+	ag.step(0, -4, 0, 11)
+	ag.flush()
+	if ag.VR[0] != -3 {
+		t.Errorf("VR[0] = %v, want -3 after second update", ag.VR[0])
+	}
+}
+
+func TestPretrainInjectsPriorKnowledge(t *testing.T) {
+	f := getFixture(t)
+	ag := NewAgent(f.base.Len(), 0.8)
+	p := baseParams(t, 0.5, 23)
+	if err := ag.Pretrain(p, 20_000, 999); err != nil {
+		t.Fatal(err)
+	}
+	if ag.Episodes == 0 {
+		t.Fatal("pretraining ran no episodes")
+	}
+	trained := 0
+	for s := range ag.VR {
+		if ag.Visits(s) > 0 {
+			trained++
+		}
+	}
+	if trained == 0 {
+		t.Error("pretraining visited no states")
+	}
+}
+
+func TestPretrainedAgentChangesDecisions(t *testing.T) {
+	// With gamma > 0 and learned values, AuRA's choices should diverge
+	// from myopic uRA on at least one seed.
+	f := getFixture(t)
+	diverged := false
+	for seed := int64(31); seed < 36; seed++ {
+		plain, err := Simulate(baseParams(t, 0.5, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ag := NewAgent(f.base.Len(), 0.9)
+		if err := ag.Pretrain(baseParams(t, 0.5, seed), 20_000, seed*7+1); err != nil {
+			t.Fatal(err)
+		}
+		aura, err := Simulate(agentParams(t, 0.5, seed, ag))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.TotalDRC != aura.TotalDRC || plain.Reconfigs != aura.Reconfigs {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("AuRA with gamma=0.9 never diverged from uRA across 5 seeds")
+	}
+}
+
+func TestNewAgentPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewAgent(0, 0.5) },
+		func() { NewAgent(5, -0.1) },
+		func() { NewAgent(5, 1.0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAgentEmptyFlushIsNoop(t *testing.T) {
+	ag := NewAgent(3, 0.5)
+	ag.flush()
+	if ag.Episodes != 0 {
+		t.Error("flush on empty buffer should not count an episode")
+	}
+}
+
+func TestStayPutPriorHorizonMultiplier(t *testing.T) {
+	// The prior must use the truncated-episode expected discount sum
+	// (1/H) * sum_{j=1..H} (1-g^j)/(1-g), not the infinite-horizon
+	// 1/(1-g).
+	f := getFixture(t)
+	gamma := 0.9
+	H := 10
+	// Expected multiplier for g=0.9, H=10.
+	want := 0.0
+	pow := 1.0
+	for j := 1; j <= H; j++ {
+		pow *= gamma
+		want += (1 - pow) / (1 - gamma)
+	}
+	want /= float64(H)
+	ag := NewAgentForDB(f.base, gamma, H)
+	for i, p := range f.base.Points {
+		if got := ag.VR[i]; math.Abs(got-(-p.EnergyMJ*want)) > 1e-9 {
+			t.Fatalf("state %d prior = %v, want %v", i, got, -p.EnergyMJ*want)
+		}
+		if ag.VD[i] != 0 {
+			t.Fatalf("state %d VD prior = %v, want 0", i, ag.VD[i])
+		}
+	}
+	// Multiplier sits strictly between single-step (1) and infinite
+	// horizon (10).
+	if want <= 1 || want >= 1/(1-gamma) {
+		t.Fatalf("multiplier %v outside (1, %v)", want, 1/(1-gamma))
+	}
+	// Gamma 0: prior disabled entirely.
+	zero := NewAgentForDB(f.base, 0, H)
+	for i := range zero.VR {
+		if zero.VR[i] != 0 {
+			t.Fatal("gamma=0 should leave uniform zero priors")
+		}
+	}
+}
+
+func TestAgentPersistence(t *testing.T) {
+	f := getFixture(t)
+	ag := NewAgentForDB(f.base, 0.8, 0)
+	if err := ag.Pretrain(baseParams(t, 0.5, 41), 20_000, 42); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "agent.json")
+	if err := ag.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAgent(path, f.base.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Gamma != ag.Gamma || got.Episodes != ag.Episodes {
+		t.Error("round trip lost scalar fields")
+	}
+	for i := range ag.VR {
+		if got.VR[i] != ag.VR[i] || got.VD[i] != ag.VD[i] || got.Visits(i) != ag.Visits(i) {
+			t.Fatalf("state %d changed in round trip", i)
+		}
+	}
+	// A restored agent drives identical decisions.
+	p := baseParams(t, 0.5, 43)
+	p.Agent = ag
+	a, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag2, err := ReadAgent(path, f.base.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := baseParams(t, 0.5, 43)
+	p2.Agent = ag2
+	b, err := Simulate(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalDRC != b.TotalDRC || a.AvgEnergyMJ != b.AvgEnergyMJ {
+		t.Error("restored agent made different decisions")
+	}
+}
+
+func TestReadAgentRejectsMismatch(t *testing.T) {
+	f := getFixture(t)
+	ag := NewAgentForDB(f.base, 0.5, 0)
+	path := filepath.Join(t.TempDir(), "agent.json")
+	if err := ag.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAgent(path, f.base.Len()+1); err == nil {
+		t.Error("accepted size mismatch")
+	}
+	if _, err := ReadAgent(filepath.Join(t.TempDir(), "missing.json"), 3); err == nil {
+		t.Error("accepted missing file")
+	}
+}

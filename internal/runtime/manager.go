@@ -1,0 +1,132 @@
+package runtime
+
+// Manager is the deployable form of the run-time stage: where Simulate
+// drives a Monte-Carlo model of the environment, a Manager is embedded
+// in the actual system and *reacts* — the control software calls
+// OnQoSChange whenever the operating requirements move, and receives
+// the decision together with the imperative reconfiguration plan
+// (which binaries to copy, which bitstreams to load). The decision
+// logic is byte-for-byte the simulator's: trigger policy, uRA/AuRA
+// scoring (with the same pRC semantics), hyper-volume baseline,
+// least-violation fallback.
+
+import (
+	"fmt"
+
+	"clrdse/internal/dse"
+	"clrdse/internal/mapping"
+)
+
+// Decision is the manager's reaction to one QoS change.
+type Decision struct {
+	// From and To are stored design-point IDs; equal when the system
+	// stays put.
+	From, To int
+	// Reconfigured reports whether a transition happens.
+	Reconfigured bool
+	// Cost is the transition's dRC decomposition (zero when staying).
+	Cost mapping.ReconfigCost
+	// Plan is the imperative action list realising the transition
+	// (empty when staying put).
+	Plan []mapping.Action
+	// Violated reports that no stored point satisfies the new
+	// specification and To is the least-violating fallback.
+	Violated bool
+}
+
+// Manager tracks the current configuration and decides transitions.
+// It is not safe for concurrent use; embed it in the system's single
+// control loop.
+type Manager struct {
+	sim *simState
+	cur int
+	// events counts OnQoSChange calls (feeds the agent's episode
+	// clock when no cycle timestamps are supplied).
+	events int
+}
+
+// ManagerParams configures a Manager. The QoS model and Cycles fields
+// of Params are unused (the environment is real, not simulated).
+type ManagerParams struct {
+	// DB is the stored design-point database.
+	DB *dse.Database
+	// Space prices reconfigurations.
+	Space *mapping.Space
+	// PRC is the user modulation parameter pRC in [0,1].
+	PRC float64
+	// Trigger selects when to re-optimise.
+	Trigger Trigger
+	// Policy selects the scoring rule.
+	Policy Policy
+	// Agent optionally upgrades uRA to AuRA; it keeps learning online
+	// from the decisions the manager takes.
+	Agent *Agent
+	// MeanInterArrivalCycles calibrates the agent's episode clock when
+	// the caller does not track cycle time (0 selects 100).
+	MeanInterArrivalCycles float64
+}
+
+// NewManager boots a manager into the best feasible point for the
+// initial specification (or the least-violating point).
+func NewManager(p ManagerParams, initial QoSSpec) (*Manager, error) {
+	inner := Params{
+		DB:                     p.DB,
+		Space:                  p.Space,
+		PRC:                    p.PRC,
+		Trigger:                p.Trigger,
+		Policy:                 p.Policy,
+		Agent:                  p.Agent,
+		MeanInterArrivalCycles: p.MeanInterArrivalCycles,
+	}
+	if err := inner.validate(); err != nil {
+		return nil, err
+	}
+	pp := inner.withDefaults()
+	// withDefaults derives a QoS model from the database; unused for
+	// decisions but keeps the embedded state consistent.
+	m := &Manager{sim: newSimState(&pp)}
+	m.cur = m.sim.bestBoot(initial)
+	return m, nil
+}
+
+// Current returns the stored design-point ID in force.
+func (m *Manager) Current() int { return m.cur }
+
+// CurrentPoint returns the stored design point in force.
+func (m *Manager) CurrentPoint() *dse.DesignPoint { return m.sim.p.DB.Points[m.cur] }
+
+// OnQoSChange reacts to a new specification and returns the decision
+// with its reconfiguration plan. The manager's state advances to the
+// chosen point.
+func (m *Manager) OnQoSChange(spec QoSSpec) Decision {
+	next, cost, violated := m.sim.decide(m.cur, spec)
+	d := Decision{From: m.cur, To: next, Violated: violated}
+	if next != m.cur {
+		d.Reconfigured = true
+		d.Cost = cost
+		d.Plan = m.sim.p.Space.Diff(m.sim.maps[m.cur], m.sim.maps[next])
+	}
+	m.events++
+	if ag := m.sim.p.Agent; ag != nil {
+		// Approximate the episode clock by the expected inter-arrival
+		// time; callers with real timestamps can manage the agent
+		// themselves via Agent.Pretrain / step sequences.
+		t := float64(m.events) * m.sim.p.MeanInterArrivalCycles
+		ag.step(next, -m.sim.p.DB.Points[next].EnergyMJ, cost.Total(), t)
+	}
+	m.cur = next
+	return d
+}
+
+// Describe renders a decision for logs.
+func (d Decision) Describe() string {
+	if !d.Reconfigured {
+		status := "stay"
+		if d.Violated {
+			status = "stay (spec unsatisfiable)"
+		}
+		return fmt.Sprintf("%s at point %d", status, d.To)
+	}
+	return fmt.Sprintf("reconfigure %d -> %d: dRC=%.3f ms, %d actions",
+		d.From, d.To, d.Cost.Total(), len(d.Plan))
+}

@@ -1,0 +1,655 @@
+package runtime
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"clrdse/internal/dse"
+	"clrdse/internal/ga"
+	"clrdse/internal/mapping"
+	"clrdse/internal/platform"
+	"clrdse/internal/relmodel"
+	"clrdse/internal/rng"
+	"clrdse/internal/taskgraph"
+)
+
+// fixture builds one real design-time result shared by the run-time
+// tests (building it per test would dominate the suite's runtime).
+type fixture struct {
+	problem *dse.Problem
+	base    *dse.Database
+	red     *dse.Database
+}
+
+var (
+	fixOnce sync.Once
+	fix     fixture
+	fixErr  error
+)
+
+func getFixture(t *testing.T) fixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		plat := platform.Default()
+		g, err := taskgraph.Generate(taskgraph.GenParams{Seed: 51, NumTasks: 25}, plat)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		prob := &dse.Problem{
+			Space:  &mapping.Space{Graph: g, Platform: plat, Catalogue: relmodel.DefaultCatalogue()},
+			Env:    relmodel.DefaultEnv(),
+			SMaxMs: g.PeriodMs,
+			FMin:   0.90,
+		}
+		base, err := dse.RunBase(prob, ga.Params{PopSize: 32, Generations: 15, Seed: 1})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		red, err := dse.RunReD(prob, base, dse.ReDParams{
+			GA: ga.Params{PopSize: 20, Generations: 10, Seed: 2}, MaxExtraPerSeed: 2,
+		})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fix = fixture{problem: prob, base: base, red: red}
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fix
+}
+
+func baseParams(t *testing.T, prc float64, seed int64) Params {
+	f := getFixture(t)
+	return Params{
+		DB:      f.base,
+		Space:   f.problem.Space,
+		PRC:     prc,
+		Cycles:  50_000,
+		Seed:    seed,
+		Trigger: TriggerAlways,
+	}
+}
+
+func TestSimulateBasics(t *testing.T) {
+	m, err := Simulate(baseParams(t, 0.5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Events < 300 || m.Events > 800 {
+		t.Errorf("events = %d, want ~500 for 50k cycles at mean 100", m.Events)
+	}
+	if m.AvgEnergyMJ <= 0 {
+		t.Error("average energy should be positive")
+	}
+	if m.TotalDRC < 0 || m.MaxDRC < 0 {
+		t.Error("negative reconfiguration cost")
+	}
+	if m.Reconfigs > m.Events {
+		t.Error("more reconfigurations than events")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a, err := Simulate(baseParams(t, 0.5, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(baseParams(t, 0.5, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != b.Events || a.TotalDRC != b.TotalDRC || a.AvgEnergyMJ != b.AvgEnergyMJ {
+		t.Error("same seed produced different metrics")
+	}
+	c, err := Simulate(baseParams(t, 0.5, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events == c.Events && a.TotalDRC == c.TotalDRC && a.AvgEnergyMJ == c.AvgEnergyMJ {
+		t.Error("different seeds produced identical metrics (suspicious)")
+	}
+}
+
+func TestPRCTradeoffEndpoints(t *testing.T) {
+	// The Figure 7 endpoints: pRC=0 minimises reconfiguration cost,
+	// pRC=1 minimises energy.
+	perf, err := Simulate(baseParams(t, 1.0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheap, err := Simulate(baseParams(t, 0.0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cheap.AvgDRC >= perf.AvgDRC {
+		t.Errorf("pRC=0 avg dRC %v should be < pRC=1 %v", cheap.AvgDRC, perf.AvgDRC)
+	}
+	if perf.AvgEnergyMJ > cheap.AvgEnergyMJ {
+		t.Errorf("pRC=1 energy %v should be <= pRC=0 %v", perf.AvgEnergyMJ, cheap.AvgEnergyMJ)
+	}
+}
+
+func TestPRCZeroStaysPutWhenFeasible(t *testing.T) {
+	// At pRC=0 the manager moves only when forced: every
+	// reconfiguration must coincide with the previous point violating
+	// the new spec. Equivalently, reconfigs should be rare.
+	m0, err := Simulate(baseParams(t, 0.0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := Simulate(baseParams(t, 1.0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m0.Reconfigs >= m1.Reconfigs {
+		t.Errorf("pRC=0 reconfigs %d should be < pRC=1 %d", m0.Reconfigs, m1.Reconfigs)
+	}
+}
+
+func TestTriggerOnViolationReducesAdaptations(t *testing.T) {
+	always := baseParams(t, 1.0, 5)
+	onviol := baseParams(t, 1.0, 5)
+	onviol.Trigger = TriggerOnViolation
+	ma, err := Simulate(always)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, err := Simulate(onviol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv.Reconfigs >= ma.Reconfigs {
+		t.Errorf("on-violation reconfigs %d should be < always %d", mv.Reconfigs, ma.Reconfigs)
+	}
+	if mv.TotalDRC >= ma.TotalDRC {
+		t.Errorf("on-violation total dRC %v should be < always %v", mv.TotalDRC, ma.TotalDRC)
+	}
+}
+
+func TestReDDatabaseCutsReconfigCost(t *testing.T) {
+	// The paper's central claim (Tables 4-6): the ReD database lowers
+	// average reconfiguration cost versus BaseD under the same event
+	// stream, at pRC favouring reconfiguration cost.
+	f := getFixture(t)
+	if len(f.red.ReDPoints()) == 0 {
+		t.Skip("ReD stage added no points at this scale")
+	}
+	run := func(db *dse.Database) *Metrics {
+		p := baseParams(t, 0.0, 6)
+		p.DB = db
+		p.QoS = ModelFromDatabase(f.base) // identical spec stream for both
+		m, err := Simulate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	mBase := run(f.base)
+	mReD := run(f.red)
+	if mReD.TotalDRC > mBase.TotalDRC {
+		t.Errorf("ReD total dRC %v should be <= BaseD %v", mReD.TotalDRC, mBase.TotalDRC)
+	}
+}
+
+func TestTraceRecording(t *testing.T) {
+	p := baseParams(t, 0.5, 9)
+	p.TraceLen = 50
+	m, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Trace) != 50 {
+		t.Fatalf("trace length = %d, want 50", len(m.Trace))
+	}
+	var sum float64
+	prev := -1.0
+	for i, e := range m.Trace {
+		if e.Event != i {
+			t.Errorf("trace %d has event %d", i, e.Event)
+		}
+		if e.CycleTime <= prev {
+			t.Error("trace times not increasing")
+		}
+		prev = e.CycleTime
+		if e.DRC > 0 && !e.Reconfigured {
+			t.Error("positive dRC without reconfiguration")
+		}
+		if e.Point < 0 || e.Point >= p.DB.Len() {
+			t.Errorf("trace point %d out of range", e.Point)
+		}
+		sum += e.DRC
+	}
+	if sum > m.TotalDRC {
+		t.Error("trace dRC exceeds total")
+	}
+}
+
+func TestTraceCoversAllEventsWhenLong(t *testing.T) {
+	p := baseParams(t, 0.7, 10)
+	p.Cycles = 5000
+	p.TraceLen = 1 << 20
+	m, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Trace) != m.Events {
+		t.Fatalf("trace %d entries, events %d", len(m.Trace), m.Events)
+	}
+	sum, reconfigs := 0.0, 0
+	for _, e := range m.Trace {
+		sum += e.DRC
+		if e.Reconfigured {
+			reconfigs++
+		}
+	}
+	if math.Abs(sum-m.TotalDRC) > 1e-9 {
+		t.Errorf("trace dRC sum %v != total %v", sum, m.TotalDRC)
+	}
+	if reconfigs != m.Reconfigs {
+		t.Errorf("trace reconfigs %d != metric %d", reconfigs, m.Reconfigs)
+	}
+}
+
+func TestUnsatisfiableSpecsDegradeGracefully(t *testing.T) {
+	p := baseParams(t, 0.5, 11)
+	// Demand makespans below anything in the database.
+	p.QoS = QoSModel{
+		MeanS: 0.001, StdS: 0.0001, LoS: 0.0005, HiS: 0.002,
+		MeanF: 0.9, StdF: 0.01, LoF: 0.85, HiF: 0.95,
+	}
+	m, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ViolationEvents != m.Events {
+		t.Errorf("violations = %d, want all %d events", m.ViolationEvents, m.Events)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	good := baseParams(t, 0.5, 12)
+	cases := []func(*Params){
+		func(p *Params) { p.DB = nil },
+		func(p *Params) { p.DB = &dse.Database{} },
+		func(p *Params) { p.Space = nil },
+		func(p *Params) { p.PRC = 1.5 },
+		func(p *Params) { p.PRC = -0.1 },
+		func(p *Params) { p.MeanInterArrivalCycles = -1 },
+		func(p *Params) { p.Cycles = -5 },
+	}
+	for i, mut := range cases {
+		p := good
+		mut(&p)
+		if _, err := Simulate(p); err == nil {
+			t.Errorf("case %d: Simulate accepted bad params", i)
+		}
+	}
+}
+
+func TestModelFromDatabaseEnvelope(t *testing.T) {
+	f := getFixture(t)
+	q := ModelFromDatabase(f.base)
+	r := rng.New(13)
+	minS, maxS := math.Inf(1), math.Inf(-1)
+	for _, pt := range f.base.Points {
+		minS = math.Min(minS, pt.MakespanMs)
+		maxS = math.Max(maxS, pt.MakespanMs)
+	}
+	for i := 0; i < 2000; i++ {
+		spec := q.Sample(r)
+		if spec.SMaxMs < minS || spec.SMaxMs > maxS*1.05 {
+			t.Fatalf("sampled SMax %v outside envelope [%v,%v]", spec.SMaxMs, minS, maxS*1.05)
+		}
+		if spec.FMin < 0 || spec.FMin > 1 {
+			t.Fatalf("sampled FMin %v outside [0,1]", spec.FMin)
+		}
+	}
+}
+
+func TestModelFromSinglePointDatabase(t *testing.T) {
+	f := getFixture(t)
+	db := &dse.Database{Name: "one", Points: f.base.Points[:1]}
+	q := ModelFromDatabase(db)
+	if q.StdS <= 0 || q.StdF <= 0 {
+		t.Errorf("degenerate database model has non-positive spread: %+v", q)
+	}
+}
+
+func TestTriggerString(t *testing.T) {
+	if TriggerAlways.String() != "always" || TriggerOnViolation.String() != "on-violation" {
+		t.Error("Trigger.String mismatch")
+	}
+	if Trigger(9).String() == "" {
+		t.Error("unknown trigger string empty")
+	}
+}
+
+func TestSpecStreamAutocorrelation(t *testing.T) {
+	q := QoSModel{
+		MeanS: 100, StdS: 10, MeanF: 0.95, StdF: 0.01,
+		Rho: -0.3, Persist: 0.8,
+		LoS: 0, HiS: 1000, LoF: 0, HiF: 1,
+	}
+	r := rng.New(41)
+	st := q.Stream()
+	const n = 50000
+	prev := st.Next(r).SMaxMs
+	var sx, sxx, sxy float64
+	xs := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		cur := st.Next(r).SMaxMs
+		xs = append(xs, cur)
+		sxy += prev * cur
+		prev = cur
+	}
+	for _, x := range xs {
+		sx += x
+		sxx += x * x
+	}
+	mean := sx / n
+	variance := sxx/n - mean*mean
+	lag1 := sxy/n - mean*mean
+	rho1 := lag1 / variance
+	if math.Abs(rho1-0.8) > 0.03 {
+		t.Errorf("lag-1 autocorrelation = %v, want ~0.8", rho1)
+	}
+	// Stationary marginal preserved despite persistence.
+	if math.Abs(mean-100) > 0.5 {
+		t.Errorf("stationary mean = %v, want ~100", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-10) > 0.5 {
+		t.Errorf("stationary stddev = %v, want ~10", math.Sqrt(variance))
+	}
+}
+
+func TestSpecStreamIIDWhenNoPersistence(t *testing.T) {
+	q := QoSModel{
+		MeanS: 100, StdS: 10, MeanF: 0.95, StdF: 0.01,
+		LoS: 0, HiS: 1000, LoF: 0, HiF: 1,
+	}
+	r := rng.New(42)
+	st := q.Stream()
+	const n = 50000
+	prev := st.Next(r).SMaxMs
+	var sx, sxx, sxy float64
+	xs := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		cur := st.Next(r).SMaxMs
+		xs = append(xs, cur)
+		sxy += prev * cur
+		prev = cur
+	}
+	for _, x := range xs {
+		sx += x
+		sxx += x * x
+	}
+	mean := sx / n
+	variance := sxx/n - mean*mean
+	rho1 := (sxy/n - mean*mean) / variance
+	if math.Abs(rho1) > 0.03 {
+		t.Errorf("iid stream lag-1 autocorrelation = %v, want ~0", rho1)
+	}
+}
+
+func TestSpecStreamClampsToEnvelope(t *testing.T) {
+	q := QoSModel{
+		MeanS: 100, StdS: 50, MeanF: 0.95, StdF: 0.2,
+		Persist: 0.9,
+		LoS:     80, HiS: 120, LoF: 0.9, HiF: 0.99,
+	}
+	r := rng.New(43)
+	st := q.Stream()
+	for i := 0; i < 10000; i++ {
+		spec := st.Next(r)
+		if spec.SMaxMs < 80 || spec.SMaxMs > 120 {
+			t.Fatalf("SMax %v escaped envelope", spec.SMaxMs)
+		}
+		if spec.FMin < 0.9 || spec.FMin > 0.99 {
+			t.Fatalf("FMin %v escaped envelope", spec.FMin)
+		}
+	}
+}
+
+func TestPrunedDatabaseStillAdapts(t *testing.T) {
+	// The storage-constrained database (paper conclusion) must keep
+	// the run-time manager functional: same QoS envelope, bounded
+	// energy regression.
+	f := getFixture(t)
+	if f.red.Len() < 8 {
+		t.Skip("database too small to prune")
+	}
+	pruned, err := dse.Prune(f.red, f.red.Len()/2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(db *dse.Database) *Metrics {
+		p := baseParams(t, 1.0, 31)
+		p.DB = db
+		p.QoS = ModelFromDatabase(f.base)
+		m, err := Simulate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	full := run(f.red)
+	half := run(pruned)
+	if half.ViolationEvents > full.ViolationEvents {
+		t.Errorf("pruning increased unsatisfiable events: %d > %d", half.ViolationEvents, full.ViolationEvents)
+	}
+	if half.AvgEnergyMJ > full.AvgEnergyMJ*1.25 {
+		t.Errorf("pruned database costs %.1f%% more energy", 100*(half.AvgEnergyMJ/full.AvgEnergyMJ-1))
+	}
+}
+
+func TestHypervolumePolicyReconfiguresMoreThanLazyRET(t *testing.T) {
+	// The purely performance-oriented baseline hunts the best
+	// hyper-volume point for every change, so it reconfigures far more
+	// often than the cost-aware RET policy at pRC=0.
+	hv := baseParams(t, 0, 51)
+	hv.Policy = PolicyHypervolume
+	mh, err := Simulate(hv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := baseParams(t, 0, 51)
+	mr, err := Simulate(ret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mh.Reconfigs <= mr.Reconfigs {
+		t.Errorf("hypervolume policy reconfigs %d should exceed lazy RET %d", mh.Reconfigs, mr.Reconfigs)
+	}
+	if mh.TotalDRC <= mr.TotalDRC {
+		t.Errorf("hypervolume policy dRC %v should exceed lazy RET %v", mh.TotalDRC, mr.TotalDRC)
+	}
+}
+
+func TestHypervolumePolicyPicksLargestArea(t *testing.T) {
+	f := getFixture(t)
+	sim := newSimState(&Params{DB: f.base, Space: f.problem.Space, Policy: PolicyHypervolume})
+	var feas []int
+	for i := range f.base.Points {
+		feas = append(feas, i)
+	}
+	// Loose spec: every point feasible; the winner must maximise
+	// (SSpec-S)*(F-FSpec).
+	spec := QoSSpec{SMaxMs: 1e9, FMin: 0}
+	got := sim.selectHypervolume(feas, spec)
+	bestV := -1.0
+	want := -1
+	for _, i := range feas {
+		pt := f.base.Points[i]
+		v := (spec.SMaxMs - pt.MakespanMs) * (pt.Reliability - spec.FMin)
+		if v > bestV {
+			bestV, want = v, i
+		}
+	}
+	if got != want {
+		t.Errorf("selectHypervolume = %d, want %d", got, want)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyRET.String() != "ret" || PolicyHypervolume.String() != "hypervolume" {
+		t.Error("Policy.String mismatch")
+	}
+	if Policy(9).String() == "" {
+		t.Error("unknown policy string empty")
+	}
+}
+
+func TestFeasibilityChecksScaleWithDatabase(t *testing.T) {
+	f := getFixture(t)
+	run := func(db *dse.Database) *Metrics {
+		p := baseParams(t, 0.5, 61)
+		p.DB = db
+		p.QoS = ModelFromDatabase(f.base)
+		m, err := Simulate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	small, err := dse.Prune(f.red, max(2, f.red.Len()/3), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := run(f.red)
+	little := run(small)
+	if big.FeasibilityChecks <= little.FeasibilityChecks {
+		t.Errorf("larger database should cost more checks: %d vs %d",
+			big.FeasibilityChecks, little.FeasibilityChecks)
+	}
+	// Roughly one database scan per event (plus boot and fallbacks).
+	if big.FeasibilityChecks < big.Events*f.red.Len() {
+		t.Errorf("checks %d below one scan per event (%d x %d)",
+			big.FeasibilityChecks, big.Events, f.red.Len())
+	}
+}
+
+func TestTraceCSVExport(t *testing.T) {
+	p := baseParams(t, 0.5, 81)
+	p.Cycles = 5000
+	p.TraceLen = 1 << 20
+	m, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := m.WriteTraceCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != m.Events+1 {
+		t.Fatalf("csv lines = %d, want header + %d events", len(lines), m.Events)
+	}
+	if !strings.HasPrefix(lines[0], "event,cycle,smax_ms") {
+		t.Errorf("bad header %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if got := strings.Count(l, ","); got != 7 {
+			t.Fatalf("row %q has %d commas, want 7", l, got)
+		}
+	}
+	if s := m.Summary(); !strings.Contains(s, "events=") || !strings.Contains(s, "checks=") {
+		t.Errorf("summary = %q", s)
+	}
+}
+
+func TestReplayDrivesSpecs(t *testing.T) {
+	p := baseParams(t, 1.0, 82)
+	p.Cycles = 5000
+	p.TraceLen = 1 << 20
+	q := ModelFromDatabase(p.DB)
+	p.Replay = []QoSSpec{
+		{SMaxMs: q.HiS, FMin: q.LoF},
+		{SMaxMs: q.LoS, FMin: q.LoF},
+	}
+	m, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Event k's spec is Replay[(k+1) mod 2] (entry 0 boots the system).
+	for i, e := range m.Trace {
+		want := p.Replay[(i+1)%2]
+		if e.Spec != want {
+			t.Fatalf("event %d spec %+v, want %+v", i, e.Spec, want)
+		}
+	}
+}
+
+func TestReplayRoundTripThroughCSV(t *testing.T) {
+	// Record a run's trace, replay the recorded specs, and observe the
+	// identical decision sequence.
+	p := baseParams(t, 0.5, 83)
+	p.Cycles = 10_000
+	p.TraceLen = 1 << 20
+	orig, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := orig.WriteTraceCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	specs, err := ReadSpecsCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != orig.Events {
+		t.Fatalf("parsed %d specs, want %d", len(specs), orig.Events)
+	}
+	// Replay: boot consumes one spec, so prepend the boot-era spec by
+	// replaying with the first recorded spec duplicated.
+	p2 := p
+	p2.Replay = append([]QoSSpec{specs[0]}, specs...)
+	rep, err := Simulate(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(rep.Trace) && i < len(orig.Trace); i++ {
+		if rep.Trace[i].Spec != orig.Trace[i].Spec {
+			t.Fatalf("event %d: replayed spec %+v != recorded %+v",
+				i, rep.Trace[i].Spec, orig.Trace[i].Spec)
+		}
+	}
+}
+
+func TestReadSpecsCSVVariants(t *testing.T) {
+	// Headerless pairs.
+	specs, err := ReadSpecsCSV(strings.NewReader("100,0.9\n200,0.95\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[1].SMaxMs != 200 || specs[1].FMin != 0.95 {
+		t.Fatalf("parsed %+v", specs)
+	}
+	// With header and extra columns.
+	specs, err = ReadSpecsCSV(strings.NewReader("event,smax_ms,fmin,extra\n0,50,0.8,zz\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].SMaxMs != 50 {
+		t.Fatalf("parsed %+v", specs)
+	}
+	// Errors.
+	for _, bad := range []string{
+		"",
+		"a,b\n",
+		"smax_ms\n1\n",
+		"smax_ms,fmin\nxx,0.9\n",
+		"smax_ms,fmin\n1,yy\n",
+		"smax_ms,fmin\n",
+	} {
+		if _, err := ReadSpecsCSV(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted bad CSV %q", bad)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package runtime
+
+import (
+	"math"
+	"testing"
+)
+
+// tightQoS returns a near-deterministic spec model around the given
+// bounds.
+func tightQoS(sMax, fMin float64) QoSModel {
+	return QoSModel{
+		MeanS: sMax, StdS: sMax / 100, MeanF: fMin, StdF: 0.0005,
+		LoS: sMax * 0.9, HiS: sMax * 1.1, LoF: fMin - 0.002, HiF: fMin + 0.002,
+	}
+}
+
+// orbitScenario builds a two-regime loop whose demands are derived
+// from the fixture's database envelope.
+func orbitScenario(t *testing.T) (Scenario, Params) {
+	f := getFixture(t)
+	minF, maxF := 1.0, 0.0
+	maxS := 0.0
+	for _, p := range f.base.Points {
+		minF = math.Min(minF, p.Reliability)
+		maxF = math.Max(maxF, p.Reliability)
+		maxS = math.Max(maxS, p.MakespanMs)
+	}
+	sc := Scenario{
+		Repeat: true,
+		Regimes: []Regime{
+			{Name: "relaxed", DurationCycles: 5000, QoS: tightQoS(maxS, minF), HarvestMJPerCycle: 2000},
+			{Name: "strict", DurationCycles: 5000, QoS: tightQoS(maxS, maxF*0.9995), HarvestMJPerCycle: 0},
+		},
+	}
+	p := Params{
+		DB:     f.base,
+		Space:  f.problem.Space,
+		PRC:    0.5,
+		Cycles: 60_000,
+		Seed:   1,
+	}
+	return sc, p
+}
+
+func TestScenarioBasics(t *testing.T) {
+	sc, p := orbitScenario(t)
+	m, err := SimulateScenario(ScenarioParams{Params: p, Scenario: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Events == 0 || m.AvgEnergyMJ <= 0 {
+		t.Fatalf("degenerate metrics: %+v", m.Metrics)
+	}
+	if len(m.PerRegime) != 2 {
+		t.Fatalf("per-regime entries = %d, want 2", len(m.PerRegime))
+	}
+	totalCycles, totalEvents := 0.0, 0
+	for _, rm := range m.PerRegime {
+		totalCycles += rm.Cycles
+		totalEvents += rm.Events
+	}
+	if math.Abs(totalCycles-p.Cycles) > 1e-6 {
+		t.Errorf("regime cycles sum %v != total %v", totalCycles, p.Cycles)
+	}
+	if totalEvents != m.Events {
+		t.Errorf("regime events sum %d != total %d", totalEvents, m.Events)
+	}
+	// Both regimes should see roughly equal time in a 50/50 loop.
+	if r := m.PerRegime[0].Cycles / m.PerRegime[1].Cycles; r < 0.9 || r > 1.1 {
+		t.Errorf("regime time split %v, want ~1.0", r)
+	}
+	// No battery: SoC fields stay at their neutral values.
+	if m.MinSoC != 1 || m.FinalSoC != 1 || m.LowPowerEvents != 0 {
+		t.Errorf("battery fields active without battery: %+v", m)
+	}
+}
+
+func TestScenarioRegimesDriveSelection(t *testing.T) {
+	sc, p := orbitScenario(t)
+	m, err := SimulateScenario(ScenarioParams{Params: p, Scenario: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxed, strict := m.PerRegime[0], m.PerRegime[1]
+	// The strict regime demands near-maximum reliability, which costs
+	// more energy per cycle than the relaxed regime allows saving.
+	if strict.EnergyMJ/strict.Cycles <= relaxed.EnergyMJ/relaxed.Cycles {
+		t.Errorf("strict regime energy rate %.3f should exceed relaxed %.3f",
+			strict.EnergyMJ/strict.Cycles, relaxed.EnergyMJ/relaxed.Cycles)
+	}
+}
+
+func TestScenarioDeterministic(t *testing.T) {
+	sc, p := orbitScenario(t)
+	a, err := SimulateScenario(ScenarioParams{Params: p, Scenario: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateScenario(ScenarioParams{Params: p, Scenario: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != b.Events || a.TotalDRC != b.TotalDRC || a.AvgEnergyMJ != b.AvgEnergyMJ {
+		t.Error("same seed produced different scenario runs")
+	}
+}
+
+func TestScenarioNonRepeatingTailRegime(t *testing.T) {
+	sc, p := orbitScenario(t)
+	sc.Repeat = false
+	sc.Regimes[0].DurationCycles = 1000
+	sc.Regimes[1].DurationCycles = 1000
+	// Total 60k cycles: the final regime persists for the tail 58k.
+	m, err := SimulateScenario(ScenarioParams{Params: p, Scenario: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PerRegime[1].Cycles < 50_000 {
+		t.Errorf("tail regime cycles = %v, want ~59000", m.PerRegime[1].Cycles)
+	}
+}
+
+func TestScenarioBatteryLowPowerMode(t *testing.T) {
+	sc, p := orbitScenario(t)
+	// Find the database's energy band to size a battery that must sag.
+	minJ, maxJ := math.Inf(1), 0.0
+	for _, pt := range p.DB.Points {
+		minJ = math.Min(minJ, pt.EnergyMJ)
+		maxJ = math.Max(maxJ, pt.EnergyMJ)
+	}
+	// Harvest covers the cheapest point only; the strict regime's
+	// expensive points drain the battery.
+	sc.Regimes[0].HarvestMJPerCycle = minJ * 1.2
+	sc.Regimes[1].HarvestMJPerCycle = minJ * 0.8
+	bat := &Battery{CapacityMJ: maxJ * 2000, RelaxF: 0.05}
+	m, err := SimulateScenario(ScenarioParams{Params: p, Scenario: sc, Battery: bat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MinSoC >= 1 {
+		t.Error("battery never discharged")
+	}
+	if m.LowPowerEvents == 0 {
+		t.Error("low-power mode never engaged despite under-provisioned harvest")
+	}
+	// Low-power mode conserves energy: with battery coupling the
+	// average energy must not exceed the uncoupled run's.
+	un, err := SimulateScenario(ScenarioParams{Params: p, Scenario: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AvgEnergyMJ > un.AvgEnergyMJ {
+		t.Errorf("battery-coupled energy %.2f > uncoupled %.2f", m.AvgEnergyMJ, un.AvgEnergyMJ)
+	}
+	if m.FinalSoC < 0 || m.FinalSoC > 1 || m.MinSoC < 0 {
+		t.Errorf("SoC out of range: min=%v final=%v", m.MinSoC, m.FinalSoC)
+	}
+}
+
+func TestScenarioBatteryAmpleHarvestNeverLowPower(t *testing.T) {
+	sc, p := orbitScenario(t)
+	maxJ := 0.0
+	for _, pt := range p.DB.Points {
+		maxJ = math.Max(maxJ, pt.EnergyMJ)
+	}
+	for i := range sc.Regimes {
+		sc.Regimes[i].HarvestMJPerCycle = maxJ * 2
+	}
+	bat := &Battery{CapacityMJ: maxJ * 1000}
+	m, err := SimulateScenario(ScenarioParams{Params: p, Scenario: sc, Battery: bat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LowPowerEvents != 0 {
+		t.Errorf("low-power engaged %d times despite surplus harvest", m.LowPowerEvents)
+	}
+	if m.FinalSoC < 0.99 {
+		t.Errorf("final SoC = %v, want ~1 with surplus harvest", m.FinalSoC)
+	}
+	if m.DepletedCycles != 0 {
+		t.Errorf("depleted cycles = %v with surplus harvest", m.DepletedCycles)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	sc, p := orbitScenario(t)
+	if _, err := SimulateScenario(ScenarioParams{Params: p}); err == nil {
+		t.Error("accepted empty scenario")
+	}
+	bad := sc
+	bad.Regimes = append([]Regime(nil), sc.Regimes...)
+	bad.Regimes[0].DurationCycles = 0
+	if _, err := SimulateScenario(ScenarioParams{Params: p, Scenario: bad}); err == nil {
+		t.Error("accepted zero-duration regime")
+	}
+	bad = sc
+	bad.Regimes = append([]Regime(nil), sc.Regimes...)
+	bad.Regimes[1].HarvestMJPerCycle = -1
+	if _, err := SimulateScenario(ScenarioParams{Params: p, Scenario: bad}); err == nil {
+		t.Error("accepted negative harvest")
+	}
+	for _, b := range []*Battery{
+		{CapacityMJ: 0},
+		{CapacityMJ: 10, InitialMJ: 20},
+		{CapacityMJ: 10, LowWatermark: 0.8, HighWatermark: 0.5},
+		{CapacityMJ: 10, RelaxF: 1.5},
+	} {
+		if _, err := SimulateScenario(ScenarioParams{Params: p, Scenario: sc, Battery: b}); err == nil {
+			t.Errorf("accepted bad battery %+v", b)
+		}
+	}
+}
+
+func TestRegimeAtMapping(t *testing.T) {
+	sc := Scenario{
+		Repeat: true,
+		Regimes: []Regime{
+			{Name: "a", DurationCycles: 100},
+			{Name: "b", DurationCycles: 50},
+		},
+	}
+	cases := []struct {
+		t    float64
+		want string
+	}{
+		{0, "a"}, {99, "a"}, {100, "b"}, {149, "b"}, {150, "a"}, {250, "b"}, {325, "a"},
+	}
+	for _, tc := range cases {
+		if got := sc.regimeAt(tc.t, 1000).Name; got != tc.want {
+			t.Errorf("regimeAt(%v) = %s, want %s", tc.t, got, tc.want)
+		}
+	}
+	sc.Repeat = false
+	if got := sc.regimeAt(500, 1000).Name; got != "b" {
+		t.Errorf("non-repeat tail regime = %s, want b", got)
+	}
+}

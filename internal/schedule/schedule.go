@@ -1,0 +1,296 @@
+// Package schedule implements CLR-integrated task scheduling
+// (Section 3.4) and the system-level QoS and performance estimation of
+// Table 3. Given a complete mapping — per task: PE binding,
+// implementation, CLR configuration and priority — a static
+// priority-driven list scheduler produces average start/end times
+// (SST_t, SET_t) for every task, from which the application metrics
+// are derived:
+//
+//	S_app — average makespan:            max_t SET_t            (Eq. 1)
+//	F_app — functional reliability:      sum_t zeta_t (1-ErrProb_t) (Eq. 2)
+//	W_app — peak power:                  max_x sum of active W_t (Eq. 3)
+//	J_app — energy:                      sum_t AvgExT_t * W_t    (Eq. 3)
+//
+// Cross-PE data dependencies pay the edge's communication time;
+// same-PE dependencies are free. Consecutive accelerator tasks on a
+// PRR-backed PE that require different circuits pay the bitstream
+// reconfiguration time between them (time-multiplexed PRR use).
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"clrdse/internal/mapping"
+	"clrdse/internal/plot"
+	"clrdse/internal/relmodel"
+)
+
+// Slot is one task's placement in the computed schedule.
+type Slot struct {
+	// Task is the task ID.
+	Task int
+	// PE is the processing element the task executes on.
+	PE int
+	// StartMs and EndMs are the average start and end times (SST_t and
+	// SET_t); durations use the implementation's AvgExT under its CLR
+	// configuration.
+	StartMs, EndMs float64
+	// Metrics are the task-level Table 2 metrics for the chosen
+	// (implementation, PE, CLR configuration).
+	Metrics relmodel.TaskMetrics
+}
+
+// Result aggregates the schedule and the Table 3 system metrics.
+type Result struct {
+	// Slots is indexed by task ID.
+	Slots []Slot
+	// MakespanMs is S_app.
+	MakespanMs float64
+	// Reliability is F_app in [0,1].
+	Reliability float64
+	// PeakPowerW is W_app.
+	PeakPowerW float64
+	// EnergyMJ is J_app in millijoules (watts x milliseconds).
+	EnergyMJ float64
+	// MTTFMs is the lifetime estimate of the configuration: the
+	// minimum task-level MTTF across the mapping (the first PE wear-out
+	// limits the system).
+	MTTFMs float64
+	// MeetsPeriod reports whether the makespan fits within the
+	// application period (one execution cycle).
+	MeetsPeriod bool
+}
+
+// ErrorRate returns 1 - F_app, the application error rate used as the
+// x-axis of the paper's Figure 1.
+func (r *Result) ErrorRate() float64 { return 1 - r.Reliability }
+
+// Evaluator computes schedules and system metrics for mappings within
+// one problem instance. It is stateless apart from the instance
+// definition and safe for concurrent use.
+type Evaluator struct {
+	// Space is the problem instance (graph, platform, catalogue).
+	Space *mapping.Space
+	// Env holds the fault-rate and aging environment.
+	Env relmodel.Env
+	// ContentionAware, when set, models the on-chip interconnect as a
+	// shared medium: cross-PE transfers serialise on it instead of
+	// only adding latency. The default (off) is the paper's additive
+	// communication-delay model of Table 3.
+	ContentionAware bool
+}
+
+// Evaluate schedules the mapping and returns the system metrics. The
+// mapping must be valid for the space. Task durations are the
+// analytical average execution times (Table 3's average start/end
+// semantics).
+func (e *Evaluator) Evaluate(m *mapping.Mapping) (*Result, error) {
+	return e.run(m, nil)
+}
+
+// Timeline schedules the mapping with caller-supplied per-task
+// durations (one entry per task ID, in ms) instead of the analytical
+// averages — used by the fault-injection simulator to measure the
+// makespan distribution under sampled re-execution times. All other
+// metrics still derive from the analytical task models.
+func (e *Evaluator) Timeline(m *mapping.Mapping, durationsMs []float64) (*Result, error) {
+	if len(durationsMs) != e.Space.Graph.NumTasks() {
+		return nil, fmt.Errorf("schedule: %d durations for %d tasks", len(durationsMs), e.Space.Graph.NumTasks())
+	}
+	for t, d := range durationsMs {
+		if d <= 0 {
+			return nil, fmt.Errorf("schedule: non-positive duration %v for task %d", d, t)
+		}
+	}
+	return e.run(m, durationsMs)
+}
+
+func (e *Evaluator) run(m *mapping.Mapping, durOverride []float64) (*Result, error) {
+	if err := e.Space.Validate(m); err != nil {
+		return nil, err
+	}
+	g := e.Space.Graph
+	plat := e.Space.Platform
+	n := g.NumTasks()
+
+	// Task-level metrics for the chosen implementation and CLR config.
+	res := &Result{Slots: make([]Slot, n)}
+	for t := 0; t < n; t++ {
+		gene := m.Genes[t]
+		im := &g.Tasks[t].Impls[gene.Impl]
+		pt := plat.TypeOf(gene.PE)
+		res.Slots[t] = Slot{
+			Task:    t,
+			PE:      gene.PE,
+			Metrics: relmodel.Evaluate(im, pt, gene.CLR, e.Space.Catalogue, e.Env),
+		}
+	}
+
+	// Priority-driven list scheduling.
+	preds := g.Preds()
+	succs := g.Succs()
+	remaining := make([]int, n) // unscheduled predecessor count
+	dataReady := make([]float64, n)
+	for t := 0; t < n; t++ {
+		remaining[t] = len(preds[t])
+	}
+	peAvail := make([]float64, plat.NumPEs())
+	peLastBitstream := make([]int, plat.NumPEs())
+	for i := range peLastBitstream {
+		peLastBitstream[i] = -1
+	}
+	// Ready list ordered by (priority desc, task ID asc) for
+	// determinism.
+	var ready []int
+	push := func(t int) { ready = append(ready, t) }
+	for t := 0; t < n; t++ {
+		if remaining[t] == 0 {
+			push(t)
+		}
+	}
+	scheduled := 0
+	busAvail := 0.0
+	for len(ready) > 0 {
+		sort.Slice(ready, func(a, b int) bool {
+			pa, pb := m.Genes[ready[a]].Prio, m.Genes[ready[b]].Prio
+			if pa != pb {
+				return pa > pb
+			}
+			return ready[a] < ready[b]
+		})
+		t := ready[0]
+		ready = ready[1:]
+
+		gene := m.Genes[t]
+		slot := &res.Slots[t]
+		if e.ContentionAware {
+			// Cross-PE transfers serialise on the shared interconnect
+			// in scheduling order; every predecessor is already placed
+			// when the list scheduler reaches t.
+			for _, eid := range preds[t] {
+				edge := g.Edges[eid]
+				arrive := res.Slots[edge.Src].EndMs
+				if m.Genes[edge.Src].PE != gene.PE {
+					ts := math.Max(busAvail, arrive)
+					arrive = ts + edge.CommTimeMs
+					busAvail = arrive
+				}
+				if arrive > dataReady[t] {
+					dataReady[t] = arrive
+				}
+			}
+		}
+		start := math.Max(peAvail[gene.PE], dataReady[t])
+
+		// Time-multiplexed PRR use: swapping circuits costs a
+		// bitstream load before the task can start.
+		im := &g.Tasks[t].Impls[gene.Impl]
+		if im.BitstreamID >= 0 {
+			prr := plat.PEs[gene.PE].PRR
+			if last := peLastBitstream[gene.PE]; last >= 0 && last != im.BitstreamID {
+				start += plat.BitstreamLoadMs(plat.PRRs[prr].BitstreamKB)
+			}
+			peLastBitstream[gene.PE] = im.BitstreamID
+		}
+
+		dur := slot.Metrics.AvgExTMs
+		if durOverride != nil {
+			dur = durOverride[t]
+		}
+		slot.StartMs = start
+		slot.EndMs = start + dur
+		peAvail[gene.PE] = slot.EndMs
+		scheduled++
+
+		for _, eid := range succs[t] {
+			edge := g.Edges[eid]
+			if !e.ContentionAware {
+				arrive := slot.EndMs
+				if m.Genes[edge.Dst].PE != gene.PE {
+					arrive += edge.CommTimeMs
+				}
+				if arrive > dataReady[edge.Dst] {
+					dataReady[edge.Dst] = arrive
+				}
+			}
+			remaining[edge.Dst]--
+			if remaining[edge.Dst] == 0 {
+				push(edge.Dst)
+			}
+		}
+	}
+	if scheduled != n {
+		return nil, fmt.Errorf("schedule: only %d of %d tasks schedulable (cyclic graph?)", scheduled, n)
+	}
+
+	// System-level metrics (Table 3).
+	res.MTTFMs = math.Inf(1)
+	for t := 0; t < n; t++ {
+		s := &res.Slots[t]
+		if s.EndMs > res.MakespanMs {
+			res.MakespanMs = s.EndMs
+		}
+		res.Reliability += g.Tasks[t].Criticality * (1 - s.Metrics.ErrProb)
+		res.EnergyMJ += s.Metrics.AvgExTMs * s.Metrics.PowerW
+		if s.Metrics.MTTFMs < res.MTTFMs {
+			res.MTTFMs = s.Metrics.MTTFMs
+		}
+	}
+	res.PeakPowerW = peakPower(res.Slots)
+	res.MeetsPeriod = res.MakespanMs <= g.PeriodMs
+	return res, nil
+}
+
+// peakPower sweeps the schedule's start/end events and returns the
+// maximum instantaneous sum of active task powers (Eq. 3's W_app).
+func peakPower(slots []Slot) float64 {
+	type event struct {
+		at    float64
+		delta float64
+	}
+	evs := make([]event, 0, 2*len(slots))
+	for i := range slots {
+		evs = append(evs,
+			event{slots[i].StartMs, slots[i].Metrics.PowerW},
+			event{slots[i].EndMs, -slots[i].Metrics.PowerW},
+		)
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].at != evs[b].at {
+			return evs[a].at < evs[b].at
+		}
+		// Process departures before arrivals at equal timestamps so
+		// back-to-back tasks on one PE do not double-count.
+		return evs[a].delta < evs[b].delta
+	})
+	cur, peak := 0.0, 0.0
+	for _, ev := range evs {
+		cur += ev.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// Gantt renders the schedule as an SVG lane chart, one lane per PE,
+// with each task bar labelled by its name.
+func (r *Result) Gantt(title string, names func(task int) string) string {
+	c := &plot.GanttChart{Title: title, LaneNames: map[int]string{}}
+	for _, s := range r.Slots {
+		label := fmt.Sprintf("t%d", s.Task)
+		if names != nil {
+			label = names(s.Task)
+		}
+		c.Bars = append(c.Bars, plot.Bar{
+			Lane:    s.PE,
+			Label:   label,
+			StartMs: s.StartMs,
+			EndMs:   s.EndMs,
+		})
+		c.LaneNames[s.PE] = fmt.Sprintf("PE%d", s.PE)
+	}
+	return c.SVG()
+}

@@ -1,0 +1,261 @@
+package taskgraph
+
+import (
+	"fmt"
+
+	"clrdse/internal/platform"
+	"clrdse/internal/rng"
+)
+
+// GenParams parameterises the TGFF-style synthetic application
+// generator. The defaults reproduce the flavour of graphs used in the
+// paper's evaluation: series-parallel-ish DAGs of 10-100 tasks with
+// bounded fan-in/fan-out, several task functionality types, multiple
+// implementations per task (software on one or more processor types
+// and, for some task types, a hardware accelerator for the PRRs).
+type GenParams struct {
+	// Seed drives every random decision; equal seeds and params give
+	// identical graphs.
+	Seed int64
+	// NumTasks is the number of task nodes (>= 1).
+	NumTasks int
+	// NumTaskTypes is the number of distinct functionality classes;
+	// 0 selects max(3, NumTasks/4).
+	NumTaskTypes int
+	// MaxInDegree bounds the number of predecessors of a non-source
+	// task (>= 1; 0 selects 3).
+	MaxInDegree int
+	// ParentWindow bounds how far back (in task IDs) a task may pick
+	// its parents, which controls graph depth vs. width (0 selects 6).
+	ParentWindow int
+	// ExTimeLoMs/ExTimeHiMs bound the base execution time of software
+	// implementations (0 selects [5,40] ms).
+	ExTimeLoMs, ExTimeHiMs float64
+	// CommTimeLoMs/CommTimeHiMs bound edge data-transfer times
+	// (0 selects [0.5,4] ms).
+	CommTimeLoMs, CommTimeHiMs float64
+	// PowerLoW/PowerHiW bound base dynamic power (0 selects [0.3,1.2] W).
+	PowerLoW, PowerHiW float64
+	// AccelProb is the probability that a task type also has an
+	// accelerator implementation targeting the reconfigurable slots
+	// (negative selects 0.5; the paper's platform has 3 PRRs that
+	// "were used to execute accelerators for the tasks").
+	AccelProb float64
+	// ExtraImplProb is the probability that a task type carries a
+	// software implementation for an additional processor type beyond
+	// its first (negative selects 0.7).
+	ExtraImplProb float64
+	// PeriodSlack scales the application period relative to a serial
+	// execution estimate (0 selects 1.25).
+	PeriodSlack float64
+}
+
+func (p *GenParams) withDefaults() GenParams {
+	q := *p
+	if q.NumTaskTypes == 0 {
+		q.NumTaskTypes = max(3, q.NumTasks/4)
+	}
+	if q.MaxInDegree == 0 {
+		q.MaxInDegree = 3
+	}
+	if q.ParentWindow == 0 {
+		q.ParentWindow = 6
+	}
+	if q.ExTimeLoMs == 0 && q.ExTimeHiMs == 0 {
+		q.ExTimeLoMs, q.ExTimeHiMs = 5, 40
+	}
+	if q.CommTimeLoMs == 0 && q.CommTimeHiMs == 0 {
+		q.CommTimeLoMs, q.CommTimeHiMs = 0.5, 4
+	}
+	if q.PowerLoW == 0 && q.PowerHiW == 0 {
+		q.PowerLoW, q.PowerHiW = 0.3, 1.2
+	}
+	if q.AccelProb < 0 {
+		q.AccelProb = 0.5
+	} else if q.AccelProb == 0 {
+		q.AccelProb = 0.5
+	}
+	if q.ExtraImplProb <= 0 {
+		q.ExtraImplProb = 0.7
+	}
+	if q.PeriodSlack == 0 {
+		q.PeriodSlack = 1.25
+	}
+	return q
+}
+
+func (p *GenParams) validate() error {
+	switch {
+	case p.NumTasks < 1:
+		return fmt.Errorf("taskgraph: NumTasks must be >= 1, got %d", p.NumTasks)
+	case p.ExTimeHiMs < p.ExTimeLoMs || p.ExTimeLoMs <= 0:
+		return fmt.Errorf("taskgraph: bad ExTime range [%v,%v]", p.ExTimeLoMs, p.ExTimeHiMs)
+	case p.CommTimeHiMs < p.CommTimeLoMs || p.CommTimeLoMs < 0:
+		return fmt.Errorf("taskgraph: bad CommTime range [%v,%v]", p.CommTimeLoMs, p.CommTimeHiMs)
+	case p.PowerHiW < p.PowerLoW || p.PowerLoW <= 0:
+		return fmt.Errorf("taskgraph: bad Power range [%v,%v]", p.PowerLoW, p.PowerHiW)
+	case p.AccelProb < 0 || p.AccelProb > 1:
+		return fmt.Errorf("taskgraph: AccelProb must be in [0,1], got %v", p.AccelProb)
+	}
+	return nil
+}
+
+// implTemplate is the per-task-type implementation blueprint shared by
+// all tasks of that type, mirroring TGFF's type-attribute tables.
+type implTemplate struct {
+	peType      int
+	exTimeMs    float64
+	powerW      float64
+	binaryKB    int
+	bitstreamID int
+}
+
+// Generate builds a synthetic application for the given platform.
+// Every task is guaranteed at least one software implementation, so
+// any task-to-PE mapping problem on the platform's processor PEs is
+// satisfiable.
+func Generate(p GenParams, plat *platform.Platform) (*Graph, error) {
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	src := rng.New(p.Seed)
+	structRNG := src.Split(1)
+	attrRNG := src.Split(2)
+
+	procTypes := processorTypeIndices(plat)
+	if len(procTypes) == 0 {
+		return nil, fmt.Errorf("taskgraph: platform %q has no processor PE types", plat.Name)
+	}
+	accelTypes := reconfigurableTypeIndices(plat)
+
+	// Per-type implementation blueprints.
+	templates := make([][]implTemplate, p.NumTaskTypes)
+	for ty := range templates {
+		templates[ty] = genTemplates(ty, p, attrRNG, procTypes, accelTypes)
+	}
+
+	g := &Graph{Name: fmt.Sprintf("synthetic-n%d-s%d", p.NumTasks, p.Seed)}
+	for id := 0; id < p.NumTasks; id++ {
+		ty := structRNG.Intn(p.NumTaskTypes)
+		task := Task{
+			ID:          id,
+			Name:        fmt.Sprintf("t%d", id),
+			Type:        ty,
+			Criticality: attrRNG.Range(0.5, 1.5),
+		}
+		for i, tpl := range templates[ty] {
+			task.Impls = append(task.Impls, Impl{
+				ID:           i,
+				PEType:       tpl.peType,
+				BaseExTimeMs: tpl.exTimeMs,
+				BasePowerW:   tpl.powerW,
+				BinaryKB:     tpl.binaryKB,
+				BitstreamID:  tpl.bitstreamID,
+			})
+		}
+		g.Tasks = append(g.Tasks, task)
+	}
+	g.NormalizeCriticalities()
+
+	// DAG structure: every non-source task picks 1..MaxInDegree
+	// distinct parents from a sliding window of earlier tasks, which
+	// yields the layered fan-in/fan-out shape TGFF produces.
+	edgeID := 0
+	for id := 1; id < p.NumTasks; id++ {
+		lo := max(0, id-p.ParentWindow)
+		nParents := 1
+		if id-lo > 1 {
+			nParents = structRNG.IntRange(1, min(p.MaxInDegree, id-lo))
+		}
+		perm := structRNG.Perm(id - lo)
+		for k := 0; k < nParents; k++ {
+			src := lo + perm[k]
+			g.Edges = append(g.Edges, Edge{
+				ID:         edgeID,
+				Src:        src,
+				Dst:        id,
+				CommTimeMs: attrRNG.Range(p.CommTimeLoMs, p.CommTimeHiMs),
+			})
+			edgeID++
+		}
+	}
+
+	// Period: serial execution estimate with slack, so the platform's
+	// parallelism gives genuine schedule headroom.
+	serial := 0.0
+	for i := range g.Tasks {
+		serial += g.Tasks[i].Impls[0].BaseExTimeMs
+	}
+	g.PeriodMs = p.PeriodSlack * serial
+
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("taskgraph: generated graph invalid: %w", err)
+	}
+	return g, nil
+}
+
+func genTemplates(taskType int, p GenParams, r *rng.Source, procTypes, accelTypes []int) []implTemplate {
+	var tpls []implTemplate
+	base := r.Range(p.ExTimeLoMs, p.ExTimeHiMs)
+	power := r.Range(p.PowerLoW, p.PowerHiW)
+
+	// First software implementation on a random processor type.
+	first := procTypes[r.Intn(len(procTypes))]
+	tpls = append(tpls, implTemplate{
+		peType:      first,
+		exTimeMs:    base,
+		powerW:      power,
+		binaryKB:    r.IntRange(16, 128),
+		bitstreamID: -1,
+	})
+	// Additional software implementations on other processor types;
+	// alternative algorithm variants perturb time and power.
+	for _, pt := range procTypes {
+		if pt == first {
+			continue
+		}
+		if r.Bool(p.ExtraImplProb) {
+			tpls = append(tpls, implTemplate{
+				peType:      pt,
+				exTimeMs:    base * r.Range(0.85, 1.25),
+				powerW:      power * r.Range(0.85, 1.25),
+				binaryKB:    r.IntRange(16, 128),
+				bitstreamID: -1,
+			})
+		}
+	}
+	// Accelerator implementation: markedly faster per unit work but
+	// power-hungrier; identified by a per-task-type bitstream.
+	if len(accelTypes) > 0 && r.Bool(p.AccelProb) {
+		at := accelTypes[r.Intn(len(accelTypes))]
+		tpls = append(tpls, implTemplate{
+			peType:      at,
+			exTimeMs:    base * r.Range(0.7, 1.0), // further divided by the slot's SpeedFactor
+			powerW:      power * r.Range(1.1, 1.5),
+			binaryKB:    0,
+			bitstreamID: taskType,
+		})
+	}
+	return tpls
+}
+
+func processorTypeIndices(plat *platform.Platform) []int {
+	var idx []int
+	for i := range plat.Types {
+		if plat.Types[i].Kind == platform.KindProcessor {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+func reconfigurableTypeIndices(plat *platform.Platform) []int {
+	var idx []int
+	for i := range plat.Types {
+		if plat.Types[i].Kind == platform.KindReconfigurable {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}

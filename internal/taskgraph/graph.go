@@ -1,0 +1,354 @@
+// Package taskgraph implements the application model of the paper's
+// Section 3.2: an application is a periodic task graph G_app =
+// (T_app, E_app, P_app) whose nodes are tasks and whose directed edges
+// carry the data-transfer time between dependent tasks. Each task has a
+// type (functionality) and a set of implementations; each
+// implementation targets one PE type (general-purpose processor code or
+// an accelerator for a reconfigurable-logic slot) and carries the base
+// execution time, power, and binary/bitstream footprint from which the
+// CLR model derives the task-level metrics of Table 2.
+//
+// The package also contains a TGFF-style synthetic graph generator
+// (gen.go) used for the paper's evaluation (applications of 10 to 100
+// tasks), and the concrete JPEG-encoder graph of Figure 2b (jpeg.go).
+package taskgraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Impl is one implementation of a task: a particular algorithm and
+// binary compiled for one PE type (Impl_{t,i} in the paper). For
+// accelerator implementations, BitstreamID identifies the accelerator
+// circuit so the reconfiguration model can tell whether a PRR already
+// holds the right bitstream.
+type Impl struct {
+	// ID is the implementation's index within its task, dense from 0.
+	ID int
+	// PEType indexes the platform's PE-type catalogue; the
+	// implementation can only run on PEs of this type.
+	PEType int
+	// BaseExTimeMs is the nominal error-free execution time on a
+	// SpeedFactor-1.0 PE of the target type, before CLR overheads.
+	BaseExTimeMs float64
+	// BasePowerW is the nominal dynamic power drawn while executing,
+	// before CLR overheads and the PE type's PowerFactor.
+	BasePowerW float64
+	// BinaryKB is the size of the binary copied into a PE's local
+	// memory when the task is (re-)bound to a PE (0 for accelerator
+	// implementations, which live in the bitstream).
+	BinaryKB int
+	// BitstreamID identifies the accelerator circuit for
+	// reconfigurable implementations; -1 for software implementations.
+	BitstreamID int
+}
+
+// Validate checks the implementation's physical plausibility.
+func (im *Impl) Validate() error {
+	switch {
+	case im.BaseExTimeMs <= 0:
+		return fmt.Errorf("taskgraph: impl %d: BaseExTimeMs must be positive, got %v", im.ID, im.BaseExTimeMs)
+	case im.BasePowerW <= 0:
+		return fmt.Errorf("taskgraph: impl %d: BasePowerW must be positive, got %v", im.ID, im.BasePowerW)
+	case im.PEType < 0:
+		return fmt.Errorf("taskgraph: impl %d: negative PEType", im.ID)
+	case im.BinaryKB < 0:
+		return fmt.Errorf("taskgraph: impl %d: negative BinaryKB", im.ID)
+	}
+	return nil
+}
+
+// Task is one node of the task graph: the tuple (ID_t, Type_t, Impl_t)
+// of the paper, extended with the normalized criticality zeta_t used in
+// the functional-reliability estimate of Table 3.
+type Task struct {
+	// ID is the task's index, dense from 0.
+	ID int
+	// Name is a human-readable label for reports and DOT output.
+	Name string
+	// Type is the task's functionality class; tasks of equal Type share
+	// implementation characteristics.
+	Type int
+	// Criticality is the normalized weight zeta_t of the task in the
+	// application-level functional-reliability sum; criticalities over
+	// a graph sum to 1.
+	Criticality float64
+	// Impls is the non-empty set of implementations for the task.
+	Impls []Impl
+}
+
+// Edge is one directed dependency: the tuple (ID_e, Src_e, Dst_e,
+// CommT_e) of the paper.
+type Edge struct {
+	// ID is the edge's index, dense from 0.
+	ID int
+	// Src and Dst are task IDs; data flows Src -> Dst.
+	Src, Dst int
+	// CommTimeMs is the data-transfer time incurred when Src and Dst
+	// execute on different PEs; intra-PE communication is free.
+	CommTimeMs float64
+}
+
+// Graph is the application model G_app.
+type Graph struct {
+	// Name labels the application.
+	Name string
+	// Tasks are the nodes, indexed by Task.ID.
+	Tasks []Task
+	// Edges are the dependencies, indexed by Edge.ID.
+	Edges []Edge
+	// PeriodMs is the application period P_app: one application
+	// execution cycle spans this long.
+	PeriodMs float64
+}
+
+// NumTasks returns the number of tasks.
+func (g *Graph) NumTasks() int { return len(g.Tasks) }
+
+// Validate checks that the graph is a well-formed DAG with dense IDs,
+// valid edge endpoints, normalized criticalities and non-empty
+// implementation sets.
+func (g *Graph) Validate() error {
+	if len(g.Tasks) == 0 {
+		return fmt.Errorf("taskgraph %q: no tasks", g.Name)
+	}
+	if g.PeriodMs <= 0 {
+		return fmt.Errorf("taskgraph %q: PeriodMs must be positive, got %v", g.Name, g.PeriodMs)
+	}
+	critSum := 0.0
+	for i := range g.Tasks {
+		tk := &g.Tasks[i]
+		if tk.ID != i {
+			return fmt.Errorf("taskgraph %q: task at index %d has ID %d (IDs must be dense)", g.Name, i, tk.ID)
+		}
+		if len(tk.Impls) == 0 {
+			return fmt.Errorf("taskgraph %q: task %d has no implementations", g.Name, tk.ID)
+		}
+		if tk.Criticality < 0 {
+			return fmt.Errorf("taskgraph %q: task %d has negative criticality", g.Name, tk.ID)
+		}
+		critSum += tk.Criticality
+		for j := range tk.Impls {
+			if tk.Impls[j].ID != j {
+				return fmt.Errorf("taskgraph %q: task %d impl at index %d has ID %d", g.Name, tk.ID, j, tk.Impls[j].ID)
+			}
+			if err := tk.Impls[j].Validate(); err != nil {
+				return fmt.Errorf("taskgraph %q task %d: %w", g.Name, tk.ID, err)
+			}
+		}
+	}
+	if critSum < 0.999 || critSum > 1.001 {
+		return fmt.Errorf("taskgraph %q: criticalities sum to %v, want 1", g.Name, critSum)
+	}
+	seen := map[[2]int]bool{}
+	for i, e := range g.Edges {
+		if e.ID != i {
+			return fmt.Errorf("taskgraph %q: edge at index %d has ID %d (IDs must be dense)", g.Name, i, e.ID)
+		}
+		if e.Src < 0 || e.Src >= len(g.Tasks) || e.Dst < 0 || e.Dst >= len(g.Tasks) {
+			return fmt.Errorf("taskgraph %q: edge %d endpoints (%d,%d) out of range", g.Name, e.ID, e.Src, e.Dst)
+		}
+		if e.Src == e.Dst {
+			return fmt.Errorf("taskgraph %q: edge %d is a self-loop on task %d", g.Name, e.ID, e.Src)
+		}
+		if e.CommTimeMs < 0 {
+			return fmt.Errorf("taskgraph %q: edge %d has negative comm time", g.Name, e.ID)
+		}
+		key := [2]int{e.Src, e.Dst}
+		if seen[key] {
+			return fmt.Errorf("taskgraph %q: duplicate edge %d->%d", g.Name, e.Src, e.Dst)
+		}
+		seen[key] = true
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Preds returns, per task ID, the IDs of the incoming edges.
+func (g *Graph) Preds() [][]int {
+	in := make([][]int, len(g.Tasks))
+	for _, e := range g.Edges {
+		in[e.Dst] = append(in[e.Dst], e.ID)
+	}
+	return in
+}
+
+// Succs returns, per task ID, the IDs of the outgoing edges.
+func (g *Graph) Succs() [][]int {
+	out := make([][]int, len(g.Tasks))
+	for _, e := range g.Edges {
+		out[e.Src] = append(out[e.Src], e.ID)
+	}
+	return out
+}
+
+// TopoOrder returns a topological order of the task IDs, or an error
+// if the graph contains a cycle. The order is deterministic (Kahn's
+// algorithm with a FIFO frontier seeded in ID order).
+func (g *Graph) TopoOrder() ([]int, error) {
+	indeg := make([]int, len(g.Tasks))
+	succ := make([][]int, len(g.Tasks))
+	for _, e := range g.Edges {
+		indeg[e.Dst]++
+		succ[e.Src] = append(succ[e.Src], e.Dst)
+	}
+	var frontier []int
+	for id := range g.Tasks {
+		if indeg[id] == 0 {
+			frontier = append(frontier, id)
+		}
+	}
+	order := make([]int, 0, len(g.Tasks))
+	for len(frontier) > 0 {
+		id := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, id)
+		for _, d := range succ[id] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				frontier = append(frontier, d)
+			}
+		}
+	}
+	if len(order) != len(g.Tasks) {
+		return nil, fmt.Errorf("taskgraph %q: dependency cycle detected", g.Name)
+	}
+	return order, nil
+}
+
+// Depths returns, per task, the length (in edges) of the longest path
+// from any source task. Sources have depth 0.
+func (g *Graph) Depths() []int {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(err) // callers validate first
+	}
+	depth := make([]int, len(g.Tasks))
+	preds := g.Preds()
+	for _, id := range order {
+		for _, eid := range preds[id] {
+			e := g.Edges[eid]
+			if depth[e.Src]+1 > depth[id] {
+				depth[id] = depth[e.Src] + 1
+			}
+		}
+	}
+	return depth
+}
+
+// NormalizeCriticalities rescales task criticalities to sum to 1.
+// It panics if the current sum is non-positive.
+func (g *Graph) NormalizeCriticalities() {
+	sum := 0.0
+	for i := range g.Tasks {
+		sum += g.Tasks[i].Criticality
+	}
+	if sum <= 0 {
+		panic("taskgraph: cannot normalize non-positive criticality sum")
+	}
+	for i := range g.Tasks {
+		g.Tasks[i].Criticality /= sum
+	}
+}
+
+// DOT renders the graph in Graphviz format, one node per task labelled
+// with its name and criticality, edges labelled with comm time.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", g.Name)
+	for i := range g.Tasks {
+		tk := &g.Tasks[i]
+		fmt.Fprintf(&b, "  t%d [label=\"%s\\nzeta=%.3f impls=%d\"];\n", tk.ID, tk.Name, tk.Criticality, len(tk.Impls))
+	}
+	for _, e := range g.Edges {
+		fmt.Fprintf(&b, "  t%d -> t%d [label=\"%.1f\"];\n", e.Src, e.Dst, e.CommTimeMs)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// WriteFile stores the graph as indented JSON.
+func (g *Graph) WriteFile(path string) error {
+	data, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return fmt.Errorf("taskgraph: marshal %q: %w", g.Name, err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadFile loads a graph from JSON and validates it.
+func ReadFile(path string) (*Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var g Graph
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("taskgraph: parse %s: %w", path, err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// Stats summarises a graph's structure for reports.
+type Stats struct {
+	// Tasks and Edges are the node/edge counts.
+	Tasks, Edges int
+	// Depth is the longest path length in edges.
+	Depth int
+	// Width is the largest antichain approximation: the maximum number
+	// of tasks sharing the same depth level.
+	Width int
+	// AvgDegree is the mean in-degree of non-source tasks.
+	AvgDegree float64
+	// Impls is the total number of implementations across tasks.
+	Impls int
+	// AccelImpls counts accelerator implementations.
+	AccelImpls int
+	// SerialMs is the sum of first-implementation base times: a serial
+	// execution estimate.
+	SerialMs float64
+}
+
+// Stats computes the summary. The graph must be a valid DAG.
+func (g *Graph) Stats() Stats {
+	s := Stats{Tasks: len(g.Tasks), Edges: len(g.Edges)}
+	depths := g.Depths()
+	levelCount := map[int]int{}
+	for _, d := range depths {
+		if d > s.Depth {
+			s.Depth = d
+		}
+		levelCount[d]++
+		if levelCount[d] > s.Width {
+			s.Width = levelCount[d]
+		}
+	}
+	nonSource := 0
+	for _, eids := range g.Preds() {
+		if len(eids) > 0 {
+			nonSource++
+			s.AvgDegree += float64(len(eids))
+		}
+	}
+	if nonSource > 0 {
+		s.AvgDegree /= float64(nonSource)
+	}
+	for i := range g.Tasks {
+		s.Impls += len(g.Tasks[i].Impls)
+		for _, im := range g.Tasks[i].Impls {
+			if im.BitstreamID >= 0 {
+				s.AccelImpls++
+			}
+		}
+		s.SerialMs += g.Tasks[i].Impls[0].BaseExTimeMs
+	}
+	return s
+}

@@ -1,0 +1,330 @@
+package taskgraph
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clrdse/internal/platform"
+)
+
+func twoTaskGraph() *Graph {
+	return &Graph{
+		Name: "two",
+		Tasks: []Task{
+			{ID: 0, Name: "a", Criticality: 0.5, Impls: []Impl{{ID: 0, PEType: 0, BaseExTimeMs: 1, BasePowerW: 1, BinaryKB: 8, BitstreamID: -1}}},
+			{ID: 1, Name: "b", Criticality: 0.5, Impls: []Impl{{ID: 0, PEType: 0, BaseExTimeMs: 1, BasePowerW: 1, BinaryKB: 8, BitstreamID: -1}}},
+		},
+		Edges:    []Edge{{ID: 0, Src: 0, Dst: 1, CommTimeMs: 1}},
+		PeriodMs: 10,
+	}
+}
+
+func TestValidateAcceptsMinimalGraph(t *testing.T) {
+	if err := twoTaskGraph().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Graph)
+		wantSub string
+	}{
+		{"no tasks", func(g *Graph) { g.Tasks = nil }, "no tasks"},
+		{"bad period", func(g *Graph) { g.PeriodMs = 0 }, "PeriodMs"},
+		{"sparse ids", func(g *Graph) { g.Tasks[1].ID = 5 }, "dense"},
+		{"no impls", func(g *Graph) { g.Tasks[0].Impls = nil }, "no implementations"},
+		{"neg crit", func(g *Graph) { g.Tasks[0].Criticality = -1 }, "negative criticality"},
+		{"crit sum", func(g *Graph) { g.Tasks[0].Criticality = 0.9 }, "sum"},
+		{"impl id", func(g *Graph) { g.Tasks[0].Impls[0].ID = 3 }, "impl"},
+		{"impl time", func(g *Graph) { g.Tasks[0].Impls[0].BaseExTimeMs = 0 }, "BaseExTimeMs"},
+		{"impl power", func(g *Graph) { g.Tasks[0].Impls[0].BasePowerW = -1 }, "BasePowerW"},
+		{"impl binary", func(g *Graph) { g.Tasks[0].Impls[0].BinaryKB = -1 }, "BinaryKB"},
+		{"edge id", func(g *Graph) { g.Edges[0].ID = 2 }, "dense"},
+		{"edge range", func(g *Graph) { g.Edges[0].Dst = 9 }, "out of range"},
+		{"self loop", func(g *Graph) { g.Edges[0].Dst = 0 }, "self-loop"},
+		{"neg comm", func(g *Graph) { g.Edges[0].CommTimeMs = -1 }, "negative comm"},
+		{"dup edge", func(g *Graph) {
+			g.Edges = append(g.Edges, Edge{ID: 1, Src: 0, Dst: 1, CommTimeMs: 1})
+		}, "duplicate"},
+		{"cycle", func(g *Graph) {
+			g.Edges = append(g.Edges, Edge{ID: 1, Src: 1, Dst: 0, CommTimeMs: 1})
+		}, "cycle"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := twoTaskGraph()
+			tc.mutate(g)
+			err := g.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted broken graph")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	g, err := Generate(GenParams{Seed: 1, NumTasks: 40}, platform.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, len(g.Tasks))
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, e := range g.Edges {
+		if pos[e.Src] >= pos[e.Dst] {
+			t.Fatalf("edge %d->%d violated by topo order", e.Src, e.Dst)
+		}
+	}
+}
+
+func TestDepths(t *testing.T) {
+	g := JPEGEncoder(platform.Default())
+	d := g.Depths()
+	if d[0] != 0 {
+		t.Errorf("source depth = %d, want 0", d[0])
+	}
+	// QZ is the last task and sits behind S -> D -> H -> H5 -> QZ.
+	if got := d[len(d)-1]; got != 4 {
+		t.Errorf("QZ depth = %d, want 4", got)
+	}
+}
+
+func TestPredsSuccs(t *testing.T) {
+	g := JPEGEncoder(platform.Default())
+	preds, succs := g.Preds(), g.Succs()
+	if len(preds[0]) != 0 {
+		t.Errorf("source has %d preds, want 0", len(preds[0]))
+	}
+	if len(succs[0]) != 4 {
+		t.Errorf("S fan-out = %d, want 4", len(succs[0]))
+	}
+	// H5 merges four streams.
+	h5 := 9
+	if len(preds[h5]) != 4 {
+		t.Errorf("H5 fan-in = %d, want 4", len(preds[h5]))
+	}
+}
+
+func TestJPEGShapeMatchesFigure2b(t *testing.T) {
+	g := JPEGEncoder(platform.Default())
+	if got := len(g.Tasks); got != 11 {
+		t.Errorf("JPEG tasks = %d, want 11 (Figure 2b)", got)
+	}
+	if got := len(g.Edges); got != 13 {
+		t.Errorf("JPEG edges = %d, want 13 (Figure 2b)", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("JPEG graph invalid: %v", err)
+	}
+}
+
+func TestJPEGHasAcceleratorImpls(t *testing.T) {
+	g := JPEGEncoder(platform.Default())
+	accel := 0
+	for i := range g.Tasks {
+		for _, im := range g.Tasks[i].Impls {
+			if im.BitstreamID >= 0 {
+				accel++
+			}
+		}
+	}
+	if accel == 0 {
+		t.Error("JPEG graph has no accelerator implementations")
+	}
+	// Entropy coders are software-only.
+	for i := 5; i <= 9; i++ {
+		for _, im := range g.Tasks[i].Impls {
+			if im.BitstreamID >= 0 {
+				t.Errorf("task %s should be software-only", g.Tasks[i].Name)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	plat := platform.Default()
+	a, err := Generate(GenParams{Seed: 9, NumTasks: 30}, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(GenParams{Seed: 9, NumTasks: 30}, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DOT() != b.DOT() {
+		t.Error("same seed produced different graphs")
+	}
+	c, err := Generate(GenParams{Seed: 10, NumTasks: 30}, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DOT() == c.DOT() {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestGenerateSizes(t *testing.T) {
+	plat := platform.Default()
+	for _, n := range []int{1, 10, 50, 100} {
+		g, err := Generate(GenParams{Seed: 3, NumTasks: n}, plat)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if g.NumTasks() != n {
+			t.Errorf("n=%d: got %d tasks", n, g.NumTasks())
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("n=%d: invalid: %v", n, err)
+		}
+	}
+}
+
+func TestGenerateConnectivity(t *testing.T) {
+	g, err := Generate(GenParams{Seed: 5, NumTasks: 60}, platform.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := g.Preds()
+	for id := 1; id < g.NumTasks(); id++ {
+		if len(preds[id]) == 0 {
+			t.Errorf("task %d has no predecessors; generator should connect all non-roots", id)
+		}
+	}
+}
+
+func TestGenerateEverySWTaskRunsOnProcessor(t *testing.T) {
+	plat := platform.Default()
+	g, err := Generate(GenParams{Seed: 6, NumTasks: 80}, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Tasks {
+		ok := false
+		for _, im := range g.Tasks[i].Impls {
+			if plat.Types[im.PEType].Kind == platform.KindProcessor {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("task %d has no software implementation", i)
+		}
+	}
+}
+
+func TestGenerateRejectsBadParams(t *testing.T) {
+	plat := platform.Default()
+	cases := []GenParams{
+		{Seed: 1, NumTasks: 0},
+		{Seed: 1, NumTasks: 5, ExTimeLoMs: 10, ExTimeHiMs: 5},
+		{Seed: 1, NumTasks: 5, CommTimeLoMs: -1, CommTimeHiMs: 2},
+		{Seed: 1, NumTasks: 5, PowerLoW: 2, PowerHiW: 1},
+		{Seed: 1, NumTasks: 5, AccelProb: 1.5},
+	}
+	for i, p := range cases {
+		if _, err := Generate(p, plat); err == nil {
+			t.Errorf("case %d: Generate accepted bad params %+v", i, p)
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := JPEGEncoder(platform.Default())
+	dot := g.DOT()
+	for _, want := range []string{"digraph", "t0 ->", "QZ"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.json")
+	g, err := Generate(GenParams{Seed: 2, NumTasks: 25}, platform.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.DOT() != g.DOT() {
+		t.Error("JSON round-trip changed the graph")
+	}
+}
+
+func TestNormalizeCriticalities(t *testing.T) {
+	g := twoTaskGraph()
+	g.Tasks[0].Criticality = 3
+	g.Tasks[1].Criticality = 1
+	g.NormalizeCriticalities()
+	if g.Tasks[0].Criticality != 0.75 || g.Tasks[1].Criticality != 0.25 {
+		t.Errorf("normalize: got %v, %v", g.Tasks[0].Criticality, g.Tasks[1].Criticality)
+	}
+}
+
+func TestNormalizeCriticalitiesPanicsOnZeroSum(t *testing.T) {
+	g := twoTaskGraph()
+	g.Tasks[0].Criticality = 0
+	g.Tasks[1].Criticality = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	g.NormalizeCriticalities()
+}
+
+func TestGenerateDegreeBound(t *testing.T) {
+	g, err := Generate(GenParams{Seed: 7, NumTasks: 100, MaxInDegree: 2}, platform.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, eids := range g.Preds() {
+		if len(eids) > 2 {
+			t.Errorf("task %d in-degree %d exceeds bound 2", id, len(eids))
+		}
+	}
+}
+
+func TestGraphStats(t *testing.T) {
+	g := JPEGEncoder(platform.Default())
+	s := g.Stats()
+	if s.Tasks != 11 || s.Edges != 13 {
+		t.Errorf("stats counts = %d/%d", s.Tasks, s.Edges)
+	}
+	if s.Depth != 4 {
+		t.Errorf("depth = %d, want 4 (S->D->H->H5->QZ)", s.Depth)
+	}
+	if s.Width != 4 {
+		t.Errorf("width = %d, want 4 (the D and H levels hold four tasks)", s.Width)
+	}
+	if s.AccelImpls == 0 {
+		t.Error("JPEG should have accelerator impls")
+	}
+	if s.SerialMs <= 0 || s.AvgDegree <= 0 {
+		t.Errorf("degenerate stats %+v", s)
+	}
+}
+
+func TestGraphStatsChain(t *testing.T) {
+	g := twoTaskGraph()
+	s := g.Stats()
+	if s.Depth != 1 || s.Width != 1 || s.AvgDegree != 1 {
+		t.Errorf("chain stats %+v", s)
+	}
+}

@@ -1,0 +1,104 @@
+package taskgraph
+
+import "clrdse/internal/platform"
+
+// JPEGEncoder returns the application of the paper's Figure 2b: a JPEG
+// encoder modelled as a task graph with 11 tasks and 13 edges — a
+// source/split task S, four parallel block-transform tasks D, five
+// entropy-coding tasks H1..H5 (H5 merges the four streams), and a
+// final quantize/zigzag/output task QZ.
+//
+// Implementation sets follow the usual hardware/software split for the
+// codec: the data-parallel transform tasks have accelerator
+// implementations for the PRR slots (per-task-type bitstreams), while
+// the control-heavy entropy coder is software-only. Task-type indices
+// are 0=S, 1=D, 2=H, 3=QZ; criticalities weight the merge and output
+// stages highest, since an error there corrupts the whole frame.
+//
+// The plat argument selects PE-type indices for the implementations;
+// it must contain at least one processor type (software fallback) and
+// may contain reconfigurable types (accelerators).
+func JPEGEncoder(plat *platform.Platform) *Graph {
+	procTypes := processorTypeIndices(plat)
+	if len(procTypes) == 0 {
+		panic("taskgraph: JPEGEncoder requires a processor PE type")
+	}
+	accelTypes := reconfigurableTypeIndices(plat)
+
+	// Software implementation on every processor type; the perf cores
+	// trade power for speed via the platform's type factors, while the
+	// per-type base times below encode algorithmic variants.
+	swImpls := func(baseMs, powerW float64, binKB int) []Impl {
+		var impls []Impl
+		for i, pt := range procTypes {
+			impls = append(impls, Impl{
+				ID:           i,
+				PEType:       pt,
+				BaseExTimeMs: baseMs * (1 + 0.1*float64(i)),
+				BasePowerW:   powerW * (1 - 0.05*float64(i)),
+				BinaryKB:     binKB,
+				BitstreamID:  -1,
+			})
+		}
+		return impls
+	}
+	withAccel := func(impls []Impl, baseMs, powerW float64, bitstreamID int) []Impl {
+		if len(accelTypes) == 0 {
+			return impls
+		}
+		impls = append(impls, Impl{
+			ID:           len(impls),
+			PEType:       accelTypes[0],
+			BaseExTimeMs: baseMs,
+			BasePowerW:   powerW,
+			BinaryKB:     0,
+			BitstreamID:  bitstreamID,
+		})
+		return impls
+	}
+
+	g := &Graph{Name: "jpeg-encoder"}
+	add := func(name string, typ int, crit float64, impls []Impl) int {
+		id := len(g.Tasks)
+		g.Tasks = append(g.Tasks, Task{ID: id, Name: name, Type: typ, Criticality: crit, Impls: impls})
+		return id
+	}
+
+	s := add("S", 0, 1.2, withAccel(swImpls(8, 0.6, 96), 5, 0.9, 0))
+	var d [4]int
+	for i := range d {
+		d[i] = add("D"+string(rune('1'+i)), 1, 1.0, withAccel(swImpls(20, 0.9, 64), 12, 1.3, 1))
+	}
+	var h [5]int
+	for i := range h {
+		h[i] = add("H"+string(rune('1'+i)), 2, 0.8, swImpls(14, 0.7, 112))
+	}
+	qz := add("QZ", 3, 1.5, withAccel(swImpls(10, 0.8, 80), 6, 1.1, 2))
+	g.NormalizeCriticalities()
+
+	addEdge := func(src, dst int, comm float64) {
+		g.Edges = append(g.Edges, Edge{ID: len(g.Edges), Src: src, Dst: dst, CommTimeMs: comm})
+	}
+	for i := range d {
+		addEdge(s, d[i], 2.0) // split frame into block streams
+	}
+	for i := range d {
+		addEdge(d[i], h[i], 1.5) // per-stream entropy coding
+	}
+	for i := 0; i < 4; i++ {
+		addEdge(h[i], h[4], 1.0) // H5 merges the four streams
+	}
+	addEdge(h[4], qz, 2.5) // final quantize/zigzag/output
+
+	// Period sized for ~2x slack over the serial software estimate.
+	serial := 0.0
+	for i := range g.Tasks {
+		serial += g.Tasks[i].Impls[0].BaseExTimeMs
+	}
+	g.PeriodMs = 1.5 * serial
+
+	if err := g.Validate(); err != nil {
+		panic("taskgraph: JPEGEncoder graph invalid: " + err.Error())
+	}
+	return g
+}

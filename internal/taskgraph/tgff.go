@@ -1,0 +1,368 @@
+package taskgraph
+
+// Parser for the file format emitted by TGFF, "Task Graphs For Free"
+// (Dick, Rhodes, Wolf — the generator the paper uses for its synthetic
+// applications). A .tgff file contains @TASK_GRAPH blocks with TASK
+// and ARC statements and @table blocks giving per-task-type attribute
+// values:
+//
+//	@TASK_GRAPH 0 {
+//	  PERIOD 300
+//	  TASK t0_0 TYPE 2
+//	  TASK t0_1 TYPE 7
+//	  ARC a0_0 FROM t0_0 TO t0_1 TYPE 1
+//	}
+//	@COMM 0 {
+//	  # type  exec_time
+//	  0       48.5
+//	  ...
+//	}
+//
+// ParseTGFF understands the structural subset relevant here: the first
+// @TASK_GRAPH block (or a selected index), its PERIOD, TASK and ARC
+// statements, and up to two attribute tables — one keyed by task type
+// (execution time), one by arc type (communication time). Attribute
+// tables are matched by name; see TGFFOptions. Implementations for the
+// parsed tasks are synthesised per task type with the table's
+// execution time as the software base time, exactly as the built-in
+// generator does, so parsed graphs drop into the same DSE pipeline.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"clrdse/internal/platform"
+	"clrdse/internal/rng"
+)
+
+// TGFFOptions selects which pieces of a .tgff file to use and how to
+// synthesise implementations for the parsed tasks.
+type TGFFOptions struct {
+	// GraphIndex selects the @TASK_GRAPH block (0 = first).
+	GraphIndex int
+	// TaskTimeTable is the name of the @table holding per-task-type
+	// execution times ("" matches the first table whose name is not
+	// the arc table's).
+	TaskTimeTable string
+	// ArcTimeTable is the name of the @table holding per-arc-type
+	// communication times ("" matches a table named COMM if present,
+	// otherwise arcs get DefaultCommMs).
+	ArcTimeTable string
+	// DefaultCommMs is used when no arc table applies (0 selects 1.0).
+	DefaultCommMs float64
+	// Seed drives the synthesised implementation attributes (power,
+	// binary size, accelerator availability).
+	Seed int64
+	// AccelProb is the probability a task type gets an accelerator
+	// implementation (negative disables, 0 selects 0.5).
+	AccelProb float64
+}
+
+// ParseTGFF reads a TGFF file and builds an application graph for the
+// platform.
+func ParseTGFF(r io.Reader, plat *platform.Platform, opts TGFFOptions) (*Graph, error) {
+	if opts.DefaultCommMs == 0 {
+		opts.DefaultCommMs = 1.0
+	}
+	if opts.AccelProb == 0 {
+		opts.AccelProb = 0.5
+	}
+
+	f, err := scanTGFF(r)
+	if err != nil {
+		return nil, err
+	}
+	if opts.GraphIndex < 0 || opts.GraphIndex >= len(f.graphs) {
+		return nil, fmt.Errorf("taskgraph: tgff graph index %d out of range (%d graphs)", opts.GraphIndex, len(f.graphs))
+	}
+	tg := f.graphs[opts.GraphIndex]
+
+	taskTimes := f.pickTable(opts.TaskTimeTable, opts.ArcTimeTable)
+	arcTimes := f.table(opts.ArcTimeTable)
+	if arcTimes == nil && opts.ArcTimeTable == "" {
+		arcTimes = f.table("COMM")
+	}
+
+	procTypes := processorTypeIndices(plat)
+	if len(procTypes) == 0 {
+		return nil, fmt.Errorf("taskgraph: platform %q has no processor PE types", plat.Name)
+	}
+	accelTypes := reconfigurableTypeIndices(plat)
+	attrRNG := rng.New(opts.Seed)
+
+	if len(tg.tasks) == 0 {
+		return nil, fmt.Errorf("taskgraph: tgff graph %q has no TASK statements", tg.name)
+	}
+	g := &Graph{Name: "tgff-" + tg.name}
+	nameToID := make(map[string]int, len(tg.tasks))
+	// Synthesise one implementation template set per distinct type.
+	tpls := map[int][]implTemplate{}
+	for _, tk := range tg.tasks {
+		if _, ok := nameToID[tk.name]; ok {
+			return nil, fmt.Errorf("taskgraph: tgff duplicate task %q", tk.name)
+		}
+		baseMs := 10.0
+		if taskTimes != nil {
+			if v, ok := taskTimes[tk.typ]; ok {
+				baseMs = v
+			}
+		}
+		if _, ok := tpls[tk.typ]; !ok {
+			gp := GenParams{}
+			p := gp.withDefaults()
+			p.AccelProb = opts.AccelProb
+			base := implTemplate{
+				peType:      procTypes[attrRNG.Intn(len(procTypes))],
+				exTimeMs:    baseMs,
+				powerW:      attrRNG.Range(0.3, 1.2),
+				binaryKB:    attrRNG.IntRange(16, 128),
+				bitstreamID: -1,
+			}
+			set := []implTemplate{base}
+			for _, pt := range procTypes {
+				if pt != base.peType && attrRNG.Bool(p.ExtraImplProb) {
+					set = append(set, implTemplate{
+						peType:      pt,
+						exTimeMs:    baseMs * attrRNG.Range(0.85, 1.25),
+						powerW:      base.powerW * attrRNG.Range(0.85, 1.25),
+						binaryKB:    attrRNG.IntRange(16, 128),
+						bitstreamID: -1,
+					})
+				}
+			}
+			if len(accelTypes) > 0 && opts.AccelProb > 0 && attrRNG.Bool(opts.AccelProb) {
+				set = append(set, implTemplate{
+					peType:      accelTypes[attrRNG.Intn(len(accelTypes))],
+					exTimeMs:    baseMs * attrRNG.Range(0.7, 1.0),
+					powerW:      base.powerW * attrRNG.Range(1.1, 1.5),
+					bitstreamID: tk.typ,
+				})
+			}
+			tpls[tk.typ] = set
+		}
+		id := len(g.Tasks)
+		nameToID[tk.name] = id
+		task := Task{ID: id, Name: tk.name, Type: tk.typ, Criticality: 1}
+		for i, tpl := range tpls[tk.typ] {
+			task.Impls = append(task.Impls, Impl{
+				ID:           i,
+				PEType:       tpl.peType,
+				BaseExTimeMs: tpl.exTimeMs,
+				BasePowerW:   tpl.powerW,
+				BinaryKB:     tpl.binaryKB,
+				BitstreamID:  tpl.bitstreamID,
+			})
+		}
+		g.Tasks = append(g.Tasks, task)
+	}
+	g.NormalizeCriticalities()
+
+	for _, arc := range tg.arcs {
+		src, ok := nameToID[arc.from]
+		if !ok {
+			return nil, fmt.Errorf("taskgraph: tgff arc %q references unknown task %q", arc.name, arc.from)
+		}
+		dst, ok := nameToID[arc.to]
+		if !ok {
+			return nil, fmt.Errorf("taskgraph: tgff arc %q references unknown task %q", arc.name, arc.to)
+		}
+		comm := opts.DefaultCommMs
+		if arcTimes != nil {
+			if v, ok := arcTimes[arc.typ]; ok {
+				comm = v
+			}
+		}
+		g.Edges = append(g.Edges, Edge{ID: len(g.Edges), Src: src, Dst: dst, CommTimeMs: comm})
+	}
+
+	if tg.period > 0 {
+		g.PeriodMs = tg.period
+	} else {
+		serial := 0.0
+		for i := range g.Tasks {
+			serial += g.Tasks[i].Impls[0].BaseExTimeMs
+		}
+		g.PeriodMs = 1.25 * serial
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("taskgraph: tgff graph invalid: %w", err)
+	}
+	return g, nil
+}
+
+// --- low-level file scanning -----------------------------------------
+
+type tgffTask struct {
+	name string
+	typ  int
+}
+
+type tgffArc struct {
+	name, from, to string
+	typ            int
+}
+
+type tgffGraph struct {
+	name   string
+	period float64
+	tasks  []tgffTask
+	arcs   []tgffArc
+}
+
+type tgffFile struct {
+	graphs []*tgffGraph
+	tables map[string]map[int]float64
+	order  []string // table names in appearance order
+}
+
+func (f *tgffFile) table(name string) map[int]float64 {
+	if name == "" {
+		return nil
+	}
+	return f.tables[name]
+}
+
+// pickTable returns the named task-time table, or the first table that
+// is not the arc table when unnamed.
+func (f *tgffFile) pickTable(name, arcName string) map[int]float64 {
+	if name != "" {
+		return f.tables[name]
+	}
+	for _, n := range f.order {
+		if n != arcName && !(arcName == "" && n == "COMM") {
+			return f.tables[n]
+		}
+	}
+	return nil
+}
+
+func scanTGFF(r io.Reader) (*tgffFile, error) {
+	f := &tgffFile{tables: map[string]map[int]float64{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	var curGraph *tgffGraph
+	var curTable map[int]float64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(text, "@"):
+			curGraph, curTable = nil, nil
+			fields := strings.Fields(strings.TrimPrefix(text, "@"))
+			if len(fields) == 0 {
+				return nil, fmt.Errorf("taskgraph: tgff line %d: empty block header", line)
+			}
+			name := fields[0]
+			if strings.EqualFold(name, "TASK_GRAPH") {
+				idx := ""
+				if len(fields) > 1 {
+					idx = fields[1]
+				}
+				curGraph = &tgffGraph{name: idx}
+				f.graphs = append(f.graphs, curGraph)
+			} else if name != "HYPERPERIOD" { // attribute table
+				curTable = map[int]float64{}
+				f.tables[name] = curTable
+				f.order = append(f.order, name)
+			}
+		case curGraph != nil && strings.HasPrefix(text, "}"):
+			curGraph = nil
+		case curTable != nil && strings.HasPrefix(text, "}"):
+			curTable = nil
+		case curGraph != nil:
+			if err := parseGraphLine(curGraph, text); err != nil {
+				return nil, fmt.Errorf("taskgraph: tgff line %d: %w", line, err)
+			}
+		case curTable != nil:
+			if err := parseTableLine(curTable, text); err != nil {
+				return nil, fmt.Errorf("taskgraph: tgff line %d: %w", line, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(f.graphs) == 0 {
+		return nil, fmt.Errorf("taskgraph: tgff file contains no @TASK_GRAPH block")
+	}
+	return f, nil
+}
+
+func parseGraphLine(g *tgffGraph, text string) error {
+	fields := strings.Fields(text)
+	switch strings.ToUpper(fields[0]) {
+	case "{":
+		return nil
+	case "PERIOD":
+		if len(fields) < 2 {
+			return fmt.Errorf("PERIOD without value")
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return fmt.Errorf("bad PERIOD %q", fields[1])
+		}
+		g.period = v
+	case "TASK":
+		// TASK name TYPE k
+		if len(fields) < 4 || !strings.EqualFold(fields[2], "TYPE") {
+			return fmt.Errorf("malformed TASK statement %q", text)
+		}
+		typ, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return fmt.Errorf("bad TASK type %q", fields[3])
+		}
+		g.tasks = append(g.tasks, tgffTask{name: fields[1], typ: typ})
+	case "ARC":
+		// ARC name FROM a TO b TYPE k
+		kv := map[string]string{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			kv[strings.ToUpper(fields[i])] = fields[i+1]
+		}
+		if len(fields) < 8 || kv["FROM"] == "" || kv["TO"] == "" {
+			return fmt.Errorf("malformed ARC statement %q", text)
+		}
+		typ, err := strconv.Atoi(kv["TYPE"])
+		if err != nil {
+			return fmt.Errorf("bad ARC type %q", kv["TYPE"])
+		}
+		g.arcs = append(g.arcs, tgffArc{name: fields[1], from: kv["FROM"], to: kv["TO"], typ: typ})
+	case "SOFT_DEADLINE", "HARD_DEADLINE":
+		// Recognised but unused: deadlines attach to sink tasks.
+	default:
+		// Unknown statements are skipped for forward compatibility.
+	}
+	return nil
+}
+
+func parseTableLine(t map[int]float64, text string) error {
+	fields := strings.Fields(text)
+	if fields[0] == "{" {
+		return nil
+	}
+	// Attribute tables list "type value [value...]"; the first value
+	// column is used. Header lines (non-numeric) are skipped.
+	typ, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return nil // header or unit row
+	}
+	if len(fields) < 2 {
+		return fmt.Errorf("table row %q has no value", text)
+	}
+	v, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return fmt.Errorf("bad table value %q", fields[1])
+	}
+	t[typ] = v
+	return nil
+}

@@ -1,0 +1,31 @@
+package taskgraph
+
+import (
+	"strings"
+	"testing"
+
+	"clrdse/internal/platform"
+)
+
+// FuzzParseTGFF asserts the parser never panics and that any
+// successfully parsed graph validates.
+func FuzzParseTGFF(f *testing.F) {
+	f.Add(sampleTGFF)
+	f.Add("@TASK_GRAPH 0 {\nTASK a TYPE 0\n}\n")
+	f.Add("@TASK_GRAPH 0 {\nTASK a TYPE 0\nTASK b TYPE 1\nARC x FROM a TO b TYPE 0\n}\n@COMM 0 {\n0 2.5\n}\n")
+	f.Add("@HYPERPERIOD 100\n@TASK_GRAPH 0 {\nPERIOD bad\n}\n")
+	f.Add("")
+	f.Add("@")
+	f.Add("# only a comment\n")
+	f.Add("@TASK_GRAPH 0 {\nARC x FROM ghost TO ghost2 TYPE 0\n}\n")
+	plat := platform.Default()
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ParseTGFF(strings.NewReader(src), plat, TGFFOptions{Seed: 1})
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parser returned invalid graph: %v", err)
+		}
+	})
+}
