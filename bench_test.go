@@ -8,6 +8,14 @@ package clr
 // be compared against EXPERIMENTS.md without re-reading logs.
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 
 	"clrdse/internal/core"
@@ -422,6 +430,83 @@ func BenchmarkTaskGraphGeneration(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFleetDecisionThroughput measures the decision service
+// end-to-end: an in-process HTTP server over a real loopback socket,
+// parallel clients each owning one registered device and firing QoS
+// events as fast as the service answers them. The reported ns/op is
+// the full network round-trip per decision.
+func BenchmarkFleetDecisionThroughput(b *testing.B) {
+	_, prob, _, red := benchSystem(b)
+	srv, err := NewFleetServer(FleetServerConfig{
+		Databases: []NamedDatabase{{Name: "red", DB: red, Space: prob.Space}},
+		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = 256
+
+	minS, maxS, minF, maxF := NamedDatabase{Name: "red", DB: red, Space: prob.Space}.Envelope()
+	boot := QoSSpec{SMaxMs: maxS, FMin: minF}
+	model := runtime.QoSModel{
+		MeanS: (minS + maxS) / 2, StdS: (maxS - minS) / 4,
+		MeanF: (minF + maxF) / 2, StdF: (maxF - minF) / 4,
+		Rho: -0.3, Persist: 0.6,
+		LoS: minS, HiS: maxS * 1.05, LoF: minF * 0.98, HiF: maxF,
+	}
+
+	var worker atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := worker.Add(1)
+		src := rng.New(100 + id)
+		stream := model.Stream()
+		reg := map[string]any{
+			"id": fmt.Sprintf("bench-%d", id), "database": "red", "prc": 0.5,
+			"trigger": "on-violation",
+			"initial": map[string]float64{"s_max_ms": boot.SMaxMs, "f_min": boot.FMin},
+		}
+		if err := postBenchJSON(client, ts.URL+"/v1/devices", reg); err != nil {
+			b.Error(err)
+			return
+		}
+		url := fmt.Sprintf("%s/v1/devices/bench-%d/qos", ts.URL, id)
+		for pb.Next() {
+			spec := stream.Next(src)
+			body := map[string]float64{"s_max_ms": spec.SMaxMs, "f_min": spec.FMin}
+			if err := postBenchJSON(client, url, body); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(srv.Registry().DecisionCount()), "decisions")
+}
+
+// postBenchJSON posts and drains one request for the fleet benchmark.
+func postBenchJSON(client *http.Client, url string, body any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("%s: status %s", url, resp.Status)
+	}
+	return nil
 }
 
 // BenchmarkAblationStorageBudget sweeps the pruning budget of the

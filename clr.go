@@ -39,6 +39,7 @@ import (
 	"clrdse/internal/dse"
 	"clrdse/internal/experiments"
 	"clrdse/internal/faultsim"
+	"clrdse/internal/fleet"
 	"clrdse/internal/ga"
 	"clrdse/internal/lifetime"
 	"clrdse/internal/mapping"
@@ -291,6 +292,41 @@ func ReadAgent(path string, n int) (*Agent, error) { return runtime.ReadAgent(pa
 // ModelFromDatabase derives a QoS-variation model spanned by the
 // database's design points.
 func ModelFromDatabase(db *Database) QoSModel { return runtime.ModelFromDatabase(db) }
+
+// Fleet decision service: one network-facing process hosting the
+// run-time layer for many devices (POST a QoS change, get back the
+// decision and reconfiguration plan).
+type (
+	// FleetServer is the HTTP/JSON decision service.
+	FleetServer = fleet.Server
+	// FleetServerConfig configures a FleetServer.
+	FleetServerConfig = fleet.ServerConfig
+	// FleetRegistry is the sharded, concurrency-safe device registry
+	// behind the server (also usable in-process without HTTP).
+	FleetRegistry = fleet.Registry
+	// NamedDatabase is one decision basis devices register against.
+	NamedDatabase = fleet.NamedDatabase
+	// FleetDeviceParams configures one registered device.
+	FleetDeviceParams = fleet.DeviceParams
+	// FleetLoadParams configures the load generator.
+	FleetLoadParams = fleet.LoadParams
+	// FleetLoadReport summarises a load-generation run.
+	FleetLoadReport = fleet.LoadReport
+)
+
+// NewFleetServer validates the databases and builds the decision
+// service; start it with Run (signal-aware) or Serve.
+func NewFleetServer(cfg FleetServerConfig) (*FleetServer, error) { return fleet.NewServer(cfg) }
+
+// NewFleetRegistry builds the sharded device registry without the
+// HTTP front, for embedding the fleet manager in another server.
+func NewFleetRegistry(dbs []NamedDatabase, shards int) (*FleetRegistry, error) {
+	return fleet.NewRegistry(dbs, shards)
+}
+
+// RunFleetLoad drives a running fleet server with synthetic QoS
+// traffic and reports throughput and latency quantiles.
+func RunFleetLoad(p FleetLoadParams) (*FleetLoadReport, error) { return fleet.RunLoad(p) }
 
 // Lifetime / aging (the paper's sketched MTTF extension).
 type (

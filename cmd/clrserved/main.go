@@ -1,0 +1,165 @@
+// Command clrserved is the fleet decision service: it runs the
+// design-time flow once, then serves the resulting (pruned) database
+// to many devices over HTTP/JSON. Each registered device gets its own
+// runtime manager; QoS events arrive as POST requests and return the
+// decision together with the imperative reconfiguration plan.
+//
+// Usage:
+//
+//	clrserved -addr :8080 -tasks 30 -max-points 8
+//	clrserved -jpeg -addr 127.0.0.1:9000
+//	clrserved -loadgen -devices 64 -events 100
+//
+// With -loadgen the command boots the server on a loopback port,
+// drives it with the built-in load generator and prints the latency
+// report instead of serving forever.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"clrdse/internal/core"
+	"clrdse/internal/dse"
+	"clrdse/internal/fleet"
+	"clrdse/internal/ga"
+	"clrdse/internal/platform"
+	"clrdse/internal/taskgraph"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8080", "listen address")
+		shards = flag.Int("shards", fleet.DefaultShards, "device registry shard count")
+		grace  = flag.Duration("grace", 10*time.Second, "shutdown drain grace period")
+		body   = flag.Int64("max-body", 1<<20, "request body cap in bytes")
+
+		tasks   = flag.Int("tasks", 30, "synthetic application size")
+		jpeg    = flag.Bool("jpeg", false, "use the JPEG encoder of Figure 2b")
+		seed    = flag.Int64("seed", 1, "root seed for the design-time flow")
+		pop     = flag.Int("pop", 60, "stage-1 GA population")
+		gens    = flag.Int("gens", 40, "stage-1 GA generations")
+		maxPts  = flag.Int("max-points", 0, "prune the served database to this storage budget (0 = keep all)")
+		serveBD = flag.Bool("serve-based", true, "additionally serve the stage-1 Pareto database as \"based\"")
+
+		loadgen = flag.Bool("loadgen", false, "boot on loopback, run the load generator, print the report and exit")
+		devices = flag.Int("devices", 32, "loadgen: simulated device count")
+		events  = flag.Int("events", 50, "loadgen: QoS events per device")
+		meanMs  = flag.Float64("mean-ms", 0, "loadgen: mean Exp inter-arrival sleep in ms (0 = closed loop)")
+		prc     = flag.Float64("prc", 0.5, "loadgen: per-device pRC")
+		gamma   = flag.Float64("gamma", 0, "loadgen: per-device AuRA discount (0 = uRA)")
+		lgSeed  = flag.Int64("loadgen-seed", 7, "loadgen: event stream seed")
+	)
+	flag.Parse()
+
+	plat := platform.Default()
+	var app *taskgraph.Graph
+	var err error
+	if *jpeg {
+		app = taskgraph.JPEGEncoder(plat)
+	} else {
+		app, err = taskgraph.Generate(taskgraph.GenParams{Seed: *seed, NumTasks: *tasks}, plat)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("application %s: %d tasks, %d edges\n", app.Name, len(app.Tasks), len(app.Edges))
+
+	fmt.Println("design-time exploration ...")
+	sys, err := core.Build(app, core.Options{
+		Seed:     *seed,
+		StageOne: ga.Params{PopSize: *pop, Generations: *gens},
+		ReD: dse.ReDParams{
+			GA: ga.Params{PopSize: *pop / 2, Generations: *gens / 2},
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	db := sys.Database()
+	if *maxPts > 0 && db.Len() > *maxPts {
+		pruned, err := dse.Prune(db, *maxPts, false)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pruned database %d -> %d points (storage budget)\n", db.Len(), pruned.Len())
+		db = pruned
+	}
+	dbs := []fleet.NamedDatabase{{Name: "red", DB: db, Space: sys.Problem.Space}}
+	if *serveBD {
+		dbs = append(dbs, fleet.NamedDatabase{Name: "based", DB: sys.BaseD, Space: sys.Problem.Space})
+	}
+	for _, n := range dbs {
+		minS, maxS, minF, maxF := n.Envelope()
+		fmt.Printf("database %-6s %3d points, makespan [%.2f, %.2f] ms, reliability [%.4f, %.4f]\n",
+			n.Name, n.DB.Len(), minS, maxS, minF, maxF)
+	}
+
+	cfg := fleet.ServerConfig{
+		Databases:     dbs,
+		Shards:        *shards,
+		MaxBodyBytes:  *body,
+		ShutdownGrace: *grace,
+	}
+	if *loadgen {
+		// Per-request log lines would swamp the latency report.
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	srv, err := fleet.NewServer(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *loadgen {
+		runLoadgen(srv, fleet.LoadParams{
+			Devices:            *devices,
+			EventsPerDevice:    *events,
+			PRC:                *prc,
+			Gamma:              *gamma,
+			MeanInterArrivalMs: *meanMs,
+			Seed:               *lgSeed,
+		})
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Run(ctx, *addr); err != nil {
+		fatal(err)
+	}
+}
+
+// runLoadgen boots the server on an ephemeral loopback port, fires
+// the load at it and prints the report.
+func runLoadgen(srv *fleet.Server, p fleet.LoadParams) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	p.BaseURL = "http://" + l.Addr().String()
+	fmt.Printf("loadgen: %d devices x %d events against %s\n", p.Devices, p.EventsPerDevice, p.BaseURL)
+	report, err := fleet.RunLoad(p)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(report)
+	if err := srv.Shutdown(); err != nil {
+		fatal(err)
+	}
+	<-done
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clrserved:", err)
+	os.Exit(1)
+}

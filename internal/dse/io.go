@@ -8,6 +8,7 @@ package dse
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 
 	"clrdse/internal/mapping"
@@ -22,9 +23,61 @@ func (db *Database) WriteFile(path string) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
+// Validate checks that the database is a deployable decision basis:
+// non-empty, ID-dense, every point carrying a mapping valid for the
+// space and finite, plausible metric values. A corrupt or truncated
+// shipped database fails here with a descriptive error instead of
+// panicking (or silently misdeciding) at decision time.
+func (db *Database) Validate(space *mapping.Space) error {
+	if space == nil {
+		return fmt.Errorf("dse: database %q: nil space", db.Name)
+	}
+	if len(db.Points) == 0 {
+		return fmt.Errorf("dse: database %q has no stored design points", db.Name)
+	}
+	for i, p := range db.Points {
+		if p == nil {
+			return fmt.Errorf("dse: database %q: point at index %d is null", db.Name, i)
+		}
+		if p.M == nil {
+			return fmt.Errorf("dse: database %q: point %d has no mapping", db.Name, i)
+		}
+		if p.ID != i {
+			return fmt.Errorf("dse: database %q: point at index %d has ID %d (IDs must be dense)", db.Name, i, p.ID)
+		}
+		if err := space.Validate(p.M); err != nil {
+			return fmt.Errorf("dse: database %q: point %d: %w", db.Name, i, err)
+		}
+		for _, m := range []struct {
+			name string
+			v    float64
+		}{
+			{"makespan", p.MakespanMs},
+			{"reliability", p.Reliability},
+			{"energy", p.EnergyMJ},
+			{"peak power", p.PeakPowerW},
+			{"MTTF", p.MTTFMs},
+		} {
+			if math.IsNaN(m.v) || math.IsInf(m.v, 0) {
+				return fmt.Errorf("dse: database %q: point %d: non-finite %s metric %v", db.Name, i, m.name, m.v)
+			}
+		}
+		if p.MakespanMs <= 0 {
+			return fmt.Errorf("dse: database %q: point %d: makespan must be positive, got %v", db.Name, i, p.MakespanMs)
+		}
+		if p.Reliability < 0 || p.Reliability > 1 {
+			return fmt.Errorf("dse: database %q: point %d: reliability must be in [0,1], got %v", db.Name, i, p.Reliability)
+		}
+		if p.EnergyMJ < 0 {
+			return fmt.Errorf("dse: database %q: point %d: energy must be non-negative, got %v", db.Name, i, p.EnergyMJ)
+		}
+	}
+	return nil
+}
+
 // ReadDatabase loads a database from JSON and validates every stored
 // configuration against the space (the deployment platform must match
-// the one the database was built for).
+// the one the database was built for). See Validate for the checks.
 func ReadDatabase(path string, space *mapping.Space) (*Database, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -34,16 +87,8 @@ func ReadDatabase(path string, space *mapping.Space) (*Database, error) {
 	if err := json.Unmarshal(data, &db); err != nil {
 		return nil, fmt.Errorf("dse: parse %s: %w", path, err)
 	}
-	for i, p := range db.Points {
-		if p == nil || p.M == nil {
-			return nil, fmt.Errorf("dse: %s: point %d has no mapping", path, i)
-		}
-		if p.ID != i {
-			return nil, fmt.Errorf("dse: %s: point at index %d has ID %d (IDs must be dense)", path, i, p.ID)
-		}
-		if err := space.Validate(p.M); err != nil {
-			return nil, fmt.Errorf("dse: %s: point %d: %w", path, i, err)
-		}
+	if err := db.Validate(space); err != nil {
+		return nil, fmt.Errorf("dse: %s: %w", path, err)
 	}
 	return &db, nil
 }

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -93,6 +94,75 @@ func TestReadDatabaseRejectsCorruptFiles(t *testing.T) {
 
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// TestReadDatabaseValidatesOnLoad mutates a valid shipped database in
+// every way a corrupt artefact could manifest and checks each is
+// rejected at load time with a descriptive error, instead of panicking
+// (or silently misdeciding) on the embedded target at decision time.
+func TestReadDatabaseValidatesOnLoad(t *testing.T) {
+	p := testProblem(t, 10, false)
+	valid := func() *Database {
+		r := rng.New(7)
+		db := &Database{Name: "ship"}
+		for i := 0; i < 4; i++ {
+			db.Points = append(db.Points, &DesignPoint{
+				ID: i, M: p.Space.Random(r),
+				MakespanMs: 10 + float64(i), Reliability: 0.95,
+				EnergyMJ: 100, PeakPowerW: 2, MTTFMs: 1e9,
+			})
+		}
+		return db
+	}
+	nan := math.NaN()
+	cases := []struct {
+		name    string
+		mutate  func(db *Database)
+		wantErr string
+	}{
+		{"empty point set", func(db *Database) { db.Points = nil }, "no stored design points"},
+		{"null point", func(db *Database) { db.Points[2] = nil }, "null"},
+		{"missing mapping", func(db *Database) { db.Points[1].M = nil }, "no mapping"},
+		{"sparse IDs", func(db *Database) { db.Points[3].ID = 9 }, "dense"},
+		{"duplicate IDs", func(db *Database) { db.Points[1].ID = 0 }, "dense"},
+		{"NaN makespan", func(db *Database) { db.Points[0].MakespanMs = nan }, "non-finite makespan"},
+		{"infinite energy", func(db *Database) { db.Points[0].EnergyMJ = math.Inf(1) }, "non-finite energy"},
+		{"NaN reliability", func(db *Database) { db.Points[2].Reliability = nan }, "non-finite reliability"},
+		{"non-finite MTTF", func(db *Database) { db.Points[1].MTTFMs = math.Inf(1) }, "non-finite MTTF"},
+		{"negative makespan", func(db *Database) { db.Points[0].MakespanMs = -1 }, "makespan must be positive"},
+		{"reliability above one", func(db *Database) { db.Points[0].Reliability = 1.5 }, "reliability must be in [0,1]"},
+		{"negative energy", func(db *Database) { db.Points[0].EnergyMJ = -3 }, "energy must be non-negative"},
+		{"mapping outside space", func(db *Database) { db.Points[0].M.Genes[0].PE = 99 }, "point 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db := valid()
+			tc.mutate(db)
+			// Non-finite values cannot round-trip through JSON (the
+			// encoder rejects them), so exercise Validate directly —
+			// it is the same check ReadDatabase applies after parsing.
+			err := db.Validate(p.Space)
+			if err == nil {
+				t.Fatalf("Validate accepted a database with %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+	// The unmutated database passes validation and survives the full
+	// write/read cycle.
+	db := valid()
+	if err := db.Validate(p.Space); err != nil {
+		t.Errorf("valid database rejected: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "db.json")
+	if err := db.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDatabase(path, p.Space); err != nil {
+		t.Errorf("valid database failed the read path: %v", err)
+	}
 }
 
 func TestPruneKeepsEnvelopeAndBudget(t *testing.T) {

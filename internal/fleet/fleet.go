@@ -1,0 +1,390 @@
+// Package fleet is the network-facing run-time layer at scale: where
+// runtime.Manager embeds the paper's uRA/AuRA decision logic in one
+// device's control loop, fleet hosts many such managers concurrently
+// behind an HTTP/JSON API, in the spirit of the design-time/run-time
+// split where a central entity serves precomputed operating points to
+// a whole fleet of deployed systems.
+//
+// The core is a sharded, concurrency-safe device registry: device IDs
+// hash onto a fixed set of shards, each guarded by its own RWMutex, so
+// registrations and decisions for unrelated devices never contend on a
+// single lock. Decisions for one device serialise on that device's own
+// mutex, preserving the Manager's sequential semantics — the decision
+// sequence for a device is byte-identical to feeding the same QoS
+// events to a single in-process Manager.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"time"
+
+	"clrdse/internal/dse"
+	"clrdse/internal/fleet/metrics"
+	"clrdse/internal/mapping"
+	"clrdse/internal/runtime"
+)
+
+// Registry errors, distinguished so the HTTP layer can map them to
+// status codes.
+var (
+	// ErrDeviceExists reports a duplicate registration.
+	ErrDeviceExists = errors.New("fleet: device already registered")
+	// ErrNoDevice reports an unknown device ID.
+	ErrNoDevice = errors.New("fleet: no such device")
+	// ErrNoDatabase reports an unknown database name.
+	ErrNoDatabase = errors.New("fleet: no such database")
+)
+
+// NamedDatabase couples a pruned design-point database with the
+// mapping space it was built for, under the name devices register
+// against.
+type NamedDatabase struct {
+	// Name is the registration key ("red", "based", ...).
+	Name string
+	// DB is the stored design-point database.
+	DB *dse.Database
+	// Space prices reconfigurations between the stored points.
+	Space *mapping.Space
+}
+
+// Envelope returns the database's QoS metric ranges — the satisfiable
+// region load generators and registrants should draw specs from.
+func (n NamedDatabase) Envelope() (minS, maxS, minF, maxF float64) {
+	minS, maxS = math.Inf(1), math.Inf(-1)
+	minF, maxF = math.Inf(1), math.Inf(-1)
+	for _, p := range n.DB.Points {
+		minS = math.Min(minS, p.MakespanMs)
+		maxS = math.Max(maxS, p.MakespanMs)
+		minF = math.Min(minF, p.Reliability)
+		maxF = math.Max(maxF, p.Reliability)
+	}
+	return minS, maxS, minF, maxF
+}
+
+// DefaultShards is the registry's default shard count. 32 keeps lock
+// contention negligible up to a few hundred concurrent requesters
+// while wasting no measurable memory for small fleets.
+const DefaultShards = 32
+
+// DeviceParams registers one device.
+type DeviceParams struct {
+	// ID names the device; it must be non-empty and URL-path-safe.
+	ID string
+	// Database selects the NamedDatabase to decide against.
+	Database string
+	// PRC is the device's pRC knob in [0,1].
+	PRC float64
+	// Trigger selects when the device's manager re-optimises.
+	Trigger runtime.Trigger
+	// Policy selects the scoring rule.
+	Policy runtime.Policy
+	// Gamma, when positive, upgrades the device's uRA to AuRA with
+	// this discount factor (stay-put prior value functions).
+	Gamma float64
+	// MeanInterArrivalCycles calibrates the agent's episode clock
+	// (0 selects the paper's 100).
+	MeanInterArrivalCycles float64
+	// Initial is the device's boot QoS specification.
+	Initial runtime.QoSSpec
+}
+
+func (p *DeviceParams) validate() error {
+	if p.ID == "" {
+		return fmt.Errorf("fleet: empty device ID")
+	}
+	for _, c := range p.ID {
+		if c == '/' || c == '%' || c == ' ' {
+			return fmt.Errorf("fleet: device ID %q contains %q; IDs must be URL-path-safe", p.ID, c)
+		}
+	}
+	if p.PRC < 0 || p.PRC > 1 {
+		return fmt.Errorf("fleet: pRC must be in [0,1], got %v", p.PRC)
+	}
+	if p.Gamma < 0 || p.Gamma >= 1 {
+		return fmt.Errorf("fleet: gamma must be in [0,1), got %v", p.Gamma)
+	}
+	return nil
+}
+
+// DeviceStats accumulates one device's decision history.
+type DeviceStats struct {
+	// Decisions counts QoS events processed.
+	Decisions int64
+	// Reconfigs counts decisions that moved the configuration.
+	Reconfigs int64
+	// Violations counts events whose spec no stored point satisfied.
+	Violations int64
+	// TotalDRCMs is the accumulated reconfiguration cost.
+	TotalDRCMs float64
+	// Migrations counts migrated task binaries.
+	Migrations int64
+}
+
+// DeviceInfo is a point-in-time snapshot of one registered device.
+type DeviceInfo struct {
+	// ID and Database identify the device and its decision basis.
+	ID, Database string
+	// Point is the stored design-point ID in force.
+	Point int
+	// MakespanMs, Reliability, EnergyMJ are the point's metrics.
+	MakespanMs, Reliability, EnergyMJ float64
+	// Stats is the cumulative decision history.
+	Stats DeviceStats
+	// RegisteredAt is the registration instant.
+	RegisteredAt time.Time
+}
+
+// device is one registered device; mu serialises decisions so the
+// manager's sequential semantics and the stats stay consistent.
+type device struct {
+	mu     sync.Mutex
+	id     string
+	dbName string
+	db     *NamedDatabase
+	mgr    *runtime.Manager
+	stats  DeviceStats
+	regAt  time.Time
+}
+
+// shard is one lock domain of the registry.
+type shard struct {
+	mu      sync.RWMutex
+	devices map[string]*device
+}
+
+// Registry is the sharded, concurrency-safe set of per-device
+// managers. All methods are safe for concurrent use.
+type Registry struct {
+	dbs    map[string]*NamedDatabase
+	names  []string // registration order, for stable listings
+	shards []*shard
+
+	met *metrics.Registry
+	// Fleet-wide instruments (per-endpoint HTTP counters live in the
+	// server, which shares met).
+	decisions   *metrics.Counter
+	reconfigs   *metrics.Counter
+	violations  *metrics.Counter
+	regTotal    *metrics.Counter
+	devices     *metrics.Gauge
+	decisionLat *metrics.Histogram
+}
+
+// NewRegistry validates every database (see dse.Database.Validate)
+// and builds an empty registry with the given shard count (0 selects
+// DefaultShards).
+func NewRegistry(dbs []NamedDatabase, shards int) (*Registry, error) {
+	if len(dbs) == 0 {
+		return nil, fmt.Errorf("fleet: at least one database is required")
+	}
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	r := &Registry{
+		dbs:    make(map[string]*NamedDatabase, len(dbs)),
+		shards: make([]*shard, shards),
+		met:    metrics.NewRegistry(),
+	}
+	for i := range dbs {
+		db := dbs[i]
+		if db.Name == "" {
+			return nil, fmt.Errorf("fleet: database %d has no name", i)
+		}
+		if _, dup := r.dbs[db.Name]; dup {
+			return nil, fmt.Errorf("fleet: duplicate database name %q", db.Name)
+		}
+		if db.DB == nil || db.Space == nil {
+			return nil, fmt.Errorf("fleet: database %q: nil database or space", db.Name)
+		}
+		if err := db.DB.Validate(db.Space); err != nil {
+			return nil, fmt.Errorf("fleet: database %q: %w", db.Name, err)
+		}
+		r.dbs[db.Name] = &db
+		r.names = append(r.names, db.Name)
+	}
+	for i := range r.shards {
+		r.shards[i] = &shard{devices: make(map[string]*device)}
+	}
+	r.decisions = r.met.Counter("fleet_decisions_total",
+		"QoS-change decisions served.")
+	r.reconfigs = r.met.Counter("fleet_reconfigurations_total",
+		"Decisions that moved a device to a different stored point.")
+	r.violations = r.met.Counter("fleet_violations_total",
+		"Decisions whose specification no stored point satisfied.")
+	r.regTotal = r.met.Counter("fleet_registrations_total",
+		"Device registrations accepted.")
+	r.devices = r.met.Gauge("fleet_devices",
+		"Devices currently registered.")
+	r.decisionLat = r.met.Histogram("fleet_decision_latency_seconds",
+		"Wall-clock latency of the decision hot path.", nil)
+	return r, nil
+}
+
+// Metrics returns the registry's metrics set (shared with the server).
+func (r *Registry) Metrics() *metrics.Registry { return r.met }
+
+// DecisionCount returns the number of decisions served so far.
+func (r *Registry) DecisionCount() uint64 { return r.decisions.Value() }
+
+// shardFor hashes a device ID onto its shard.
+func (r *Registry) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return r.shards[h.Sum32()%uint32(len(r.shards))]
+}
+
+// Databases lists the registered databases in registration order.
+func (r *Registry) Databases() []NamedDatabase {
+	out := make([]NamedDatabase, 0, len(r.names))
+	for _, name := range r.names {
+		out = append(out, *r.dbs[name])
+	}
+	return out
+}
+
+// Register boots a manager for the device into the best feasible
+// stored point for its initial specification and adds it to the
+// fleet. It fails with ErrDeviceExists on duplicate IDs and
+// ErrNoDatabase on unknown database names.
+func (r *Registry) Register(p DeviceParams) (*DeviceInfo, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	db, ok := r.dbs[p.Database]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoDatabase, p.Database)
+	}
+	mp := runtime.ManagerParams{
+		DB:                     db.DB,
+		Space:                  db.Space,
+		PRC:                    p.PRC,
+		Trigger:                p.Trigger,
+		Policy:                 p.Policy,
+		MeanInterArrivalCycles: p.MeanInterArrivalCycles,
+	}
+	if p.Gamma > 0 {
+		mp.Agent = runtime.NewAgentForDB(db.DB, p.Gamma, 0)
+	}
+	// Build the manager outside the shard lock: boot scans the whole
+	// database, and nothing below can fail.
+	mgr, err := runtime.NewManager(mp, p.Initial)
+	if err != nil {
+		return nil, err
+	}
+	d := &device{id: p.ID, dbName: p.Database, db: db, mgr: mgr, regAt: time.Now()}
+
+	sh := r.shardFor(p.ID)
+	sh.mu.Lock()
+	if _, dup := sh.devices[p.ID]; dup {
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrDeviceExists, p.ID)
+	}
+	sh.devices[p.ID] = d
+	sh.mu.Unlock()
+
+	r.regTotal.Inc()
+	r.devices.Add(1)
+	return d.snapshot(), nil
+}
+
+// lookup fetches a device under the shard read lock.
+func (r *Registry) lookup(id string) (*device, error) {
+	sh := r.shardFor(id)
+	sh.mu.RLock()
+	d, ok := sh.devices[id]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoDevice, id)
+	}
+	return d, nil
+}
+
+// Decide reacts to one QoS change for the device and returns the
+// decision with its imperative reconfiguration plan. Decisions for
+// one device execute one at a time; decisions for distinct devices
+// run fully in parallel.
+func (r *Registry) Decide(id string, spec runtime.QoSSpec) (runtime.Decision, error) {
+	d, err := r.lookup(id)
+	if err != nil {
+		return runtime.Decision{}, err
+	}
+	start := time.Now()
+	d.mu.Lock()
+	dec := d.mgr.OnQoSChange(spec)
+	d.stats.Decisions++
+	if dec.Reconfigured {
+		d.stats.Reconfigs++
+		d.stats.TotalDRCMs += dec.Cost.Total()
+		d.stats.Migrations += int64(dec.Cost.MigratedTasks)
+	}
+	if dec.Violated {
+		d.stats.Violations++
+	}
+	d.mu.Unlock()
+	r.decisionLat.Observe(time.Since(start).Seconds())
+	r.decisions.Inc()
+	if dec.Reconfigured {
+		r.reconfigs.Inc()
+	}
+	if dec.Violated {
+		r.violations.Inc()
+	}
+	return dec, nil
+}
+
+// Get returns a snapshot of the device's current point and cumulative
+// stats.
+func (r *Registry) Get(id string) (*DeviceInfo, error) {
+	d, err := r.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return d.snapshot(), nil
+}
+
+// Remove deregisters the device.
+func (r *Registry) Remove(id string) error {
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	_, ok := sh.devices[id]
+	if ok {
+		delete(sh.devices, id)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoDevice, id)
+	}
+	r.devices.Add(-1)
+	return nil
+}
+
+// Len returns the number of registered devices.
+func (r *Registry) Len() int {
+	n := 0
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		n += len(sh.devices)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+func (d *device) snapshot() *DeviceInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pt := d.mgr.CurrentPoint()
+	return &DeviceInfo{
+		ID:           d.id,
+		Database:     d.dbName,
+		Point:        pt.ID,
+		MakespanMs:   pt.MakespanMs,
+		Reliability:  pt.Reliability,
+		EnergyMJ:     pt.EnergyMJ,
+		Stats:        d.stats,
+		RegisteredAt: d.regAt,
+	}
+}

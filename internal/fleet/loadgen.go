@@ -1,0 +1,264 @@
+package fleet
+
+// Load generator for the decision service: K simulated devices, each
+// firing QoS-change events with exponentially distributed inter-
+// arrival times (the paper's event process, internal/rng.Exponential)
+// at a running server, measuring end-to-end decision latency. This is
+// the service's scaling claim made measurable: throughput and
+// p50/p95/p99 come from real HTTP round-trips, not estimates.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"clrdse/internal/rng"
+	"clrdse/internal/runtime"
+)
+
+// LoadParams configures one load-generation run.
+type LoadParams struct {
+	// BaseURL locates the server, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Devices is the number of simulated devices (K).
+	Devices int
+	// EventsPerDevice is how many QoS events each device fires.
+	EventsPerDevice int
+	// Database names the decision basis to register against ("" =
+	// the server's first listed database).
+	Database string
+	// PRC, Trigger, Gamma are the per-device knobs (Trigger "" =
+	// "on-violation", the deployment-typical setting).
+	PRC     float64
+	Trigger string
+	Gamma   float64
+	// MeanInterArrivalMs, when positive, paces each device's events
+	// with Exp(mean) sleeps; 0 fires events back to back (closed
+	// loop, the throughput-measuring mode).
+	MeanInterArrivalMs float64
+	// Seed drives every device's specification stream; equal seeds
+	// produce identical event sequences.
+	Seed int64
+	// DevicePrefix namespaces the registered device IDs (default
+	// "loadgen").
+	DevicePrefix string
+	// Client optionally overrides the HTTP client.
+	Client *http.Client
+}
+
+// LoadReport summarises one run.
+type LoadReport struct {
+	// Devices and Events are the realised counts; Errors counts
+	// non-2xx responses and transport failures.
+	Devices, Events, Errors int
+	// Reconfigs and Violations aggregate the decision outcomes.
+	Reconfigs, Violations int
+	// Duration is the wall-clock span of the event phase.
+	Duration time.Duration
+	// Throughput is decisions per second over Duration.
+	Throughput float64
+	// P50/P95/P99/Max are end-to-end decision latencies.
+	P50, P95, P99, Max time.Duration
+}
+
+// String renders the report for terminals.
+func (r *LoadReport) String() string {
+	return fmt.Sprintf(
+		"devices:     %d\nevents:      %d (%d errors)\nreconfigs:   %d\nviolations:  %d\nduration:    %v\nthroughput:  %.0f decisions/s\nlatency p50: %v\nlatency p95: %v\nlatency p99: %v\nlatency max: %v",
+		r.Devices, r.Events, r.Errors, r.Reconfigs, r.Violations,
+		r.Duration.Round(time.Millisecond), r.Throughput,
+		r.P50, r.P95, r.P99, r.Max)
+}
+
+// RunLoad executes the load generation against a running server.
+func RunLoad(p LoadParams) (*LoadReport, error) {
+	if p.Devices <= 0 || p.EventsPerDevice <= 0 {
+		return nil, fmt.Errorf("fleet: loadgen needs positive device and event counts")
+	}
+	if p.DevicePrefix == "" {
+		p.DevicePrefix = "loadgen"
+	}
+	if p.Trigger == "" {
+		p.Trigger = "on-violation"
+	}
+	client := p.Client
+	if client == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = p.Devices
+		client = &http.Client{Timeout: 30 * time.Second, Transport: tr}
+	}
+
+	db, err := pickDatabase(client, p.BaseURL, p.Database)
+	if err != nil {
+		return nil, err
+	}
+	// Sample specifications from the database's satisfiable envelope,
+	// with the run-time simulator's drift characteristics.
+	model := runtime.QoSModel{
+		MeanS:   (db.MinMakespanMs + db.MaxMakespanMs) / 2,
+		StdS:    (db.MaxMakespanMs - db.MinMakespanMs) / 4,
+		MeanF:   (db.MinReliability + db.MaxReliability) / 2,
+		StdF:    (db.MaxReliability - db.MinReliability) / 4,
+		Rho:     -0.3,
+		Persist: 0.6,
+		LoS:     db.MinMakespanMs, HiS: db.MaxMakespanMs * 1.05,
+		LoF: db.MinReliability * 0.98, HiF: db.MaxReliability,
+	}
+
+	// Derive per-device RNGs before spawning workers so the streams
+	// are a pure function of the seed, not of goroutine scheduling.
+	root := rng.New(p.Seed)
+	sources := make([]*rng.Source, p.Devices)
+	for d := range sources {
+		sources[d] = root.Split(int64(d))
+	}
+
+	// Register all devices first: the measured phase is pure decision
+	// traffic.
+	for d := 0; d < p.Devices; d++ {
+		req := RegisterRequest{
+			ID:       fmt.Sprintf("%s-%d", p.DevicePrefix, d),
+			Database: db.Name,
+			PRC:      p.PRC,
+			Trigger:  p.Trigger,
+			Gamma:    p.Gamma,
+			Initial:  QoSSpecJSON{SMaxMs: db.MaxMakespanMs, FMin: db.MinReliability},
+		}
+		if err := postJSON(client, p.BaseURL+"/v1/devices", req, http.StatusCreated, nil); err != nil {
+			return nil, fmt.Errorf("fleet: loadgen register %s: %w", req.ID, err)
+		}
+	}
+
+	type workerResult struct {
+		latencies             []time.Duration
+		errors                int
+		reconfigs, violations int
+	}
+	results := make([]workerResult, p.Devices)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for d := 0; d < p.Devices; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			src := sources[d]
+			stream := model.Stream()
+			res := &results[d]
+			res.latencies = make([]time.Duration, 0, p.EventsPerDevice)
+			url := fmt.Sprintf("%s/v1/devices/%s-%d/qos", p.BaseURL, p.DevicePrefix, d)
+			for i := 0; i < p.EventsPerDevice; i++ {
+				if p.MeanInterArrivalMs > 0 {
+					time.Sleep(time.Duration(src.Exponential(p.MeanInterArrivalMs) * float64(time.Millisecond)))
+				}
+				spec := stream.Next(src)
+				var dec DecisionJSON
+				t0 := time.Now()
+				err := postJSON(client, url,
+					QoSSpecJSON{SMaxMs: spec.SMaxMs, FMin: spec.FMin}, http.StatusOK, &dec)
+				res.latencies = append(res.latencies, time.Since(t0))
+				if err != nil {
+					res.errors++
+					continue
+				}
+				if dec.Reconfigured {
+					res.reconfigs++
+				}
+				if dec.Violated {
+					res.violations++
+				}
+			}
+		}(d)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report := &LoadReport{Devices: p.Devices, Duration: elapsed}
+	var all []time.Duration
+	for _, res := range results {
+		all = append(all, res.latencies...)
+		report.Errors += res.errors
+		report.Reconfigs += res.reconfigs
+		report.Violations += res.violations
+	}
+	report.Events = len(all)
+	if elapsed > 0 {
+		report.Throughput = float64(report.Events) / elapsed.Seconds()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) > 0 {
+		report.P50 = quantileDur(all, 0.50)
+		report.P95 = quantileDur(all, 0.95)
+		report.P99 = quantileDur(all, 0.99)
+		report.Max = all[len(all)-1]
+	}
+	return report, nil
+}
+
+// quantileDur returns the q-quantile of a sorted sample by the
+// nearest-rank method.
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// pickDatabase fetches the server's database listing and selects the
+// named one (or the first).
+func pickDatabase(client *http.Client, baseURL, name string) (*DatabaseJSON, error) {
+	resp, err := client.Get(baseURL + "/v1/databases")
+	if err != nil {
+		return nil, fmt.Errorf("fleet: loadgen list databases: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: loadgen list databases: status %s", resp.Status)
+	}
+	var dbs []DatabaseJSON
+	if err := json.NewDecoder(resp.Body).Decode(&dbs); err != nil {
+		return nil, fmt.Errorf("fleet: loadgen list databases: %w", err)
+	}
+	if len(dbs) == 0 {
+		return nil, fmt.Errorf("fleet: server lists no databases")
+	}
+	if name == "" {
+		return &dbs[0], nil
+	}
+	for i := range dbs {
+		if dbs[i].Name == name {
+			return &dbs[i], nil
+		}
+	}
+	return nil, fmt.Errorf("fleet: server does not serve database %q", name)
+}
+
+// postJSON posts a body and decodes the response when out is non-nil,
+// enforcing the expected status.
+func postJSON(client *http.Client, url string, body any, wantStatus int, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var apiErr ErrorJSON
+		_ = json.NewDecoder(resp.Body).Decode(&apiErr)
+		return fmt.Errorf("status %s: %s", resp.Status, apiErr.Error)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("fleet_decisions_total", "Total decisions.")
+	ce := r.Counter("http_requests_total", "Requests.", "endpoint", "qos")
+	g := r.Gauge("fleet_devices", "Registered devices.")
+	c.Inc()
+	c.Add(4)
+	ce.Inc()
+	g.Add(3)
+	g.Add(-1)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if g.Value() != 2 {
+		t.Errorf("gauge = %d, want 2", g.Value())
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP fleet_decisions_total Total decisions.",
+		"# TYPE fleet_decisions_total counter",
+		"fleet_decisions_total 5",
+		`http_requests_total{endpoint="qos"} 1`,
+		"# TYPE fleet_devices gauge",
+		"fleet_devices 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "Latency.", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.001, 0.005, 0.05, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-5.0565) > 1e-12 {
+		t.Errorf("sum = %v, want 5.0565", h.Sum())
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`lat_bucket{le="0.001"} 2`,
+		`lat_bucket{le="0.01"} 3`,
+		`lat_bucket{le="0.1"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		"lat_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "Quantiles.", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i%10) + 0.5)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 3 || p50 > 7 {
+		t.Errorf("p50 = %v, want near the middle of a uniform 0.5..9.5 stream", p50)
+	}
+	if got := h.Quantile(0); got < 0 || got > 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	empty := r.Histogram("e", "Empty.", nil)
+	if empty.Quantile(0.99) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+}
+
+func TestDefaultLatencyBucketsSorted(t *testing.T) {
+	b := DefaultLatencyBuckets()
+	if !sort.Float64sAreSorted(b) {
+		t.Fatalf("default buckets not sorted: %v", b)
+	}
+	if b[0] != 1e-6 || b[len(b)-1] != 5 {
+		t.Errorf("unexpected bucket envelope: %v .. %v", b[0], b[len(b)-1])
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "c")
+	h := r.Histogram("h", "h", nil)
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(float64(i) * 1e-6)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+}

@@ -1,0 +1,297 @@
+package fleet
+
+// The HTTP/JSON front of the decision service. One Server hosts one
+// Registry; handlers are thin translations between the wire types of
+// api.go and the registry, with the operational wrapping a
+// long-running service needs: per-endpoint request accounting, a
+// request body cap, structured request logging, server-side timeouts
+// and graceful drain on shutdown.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"time"
+
+	"clrdse/internal/fleet/metrics"
+)
+
+// ServerConfig configures a fleet decision server.
+type ServerConfig struct {
+	// Databases are the decision bases devices can register against.
+	Databases []NamedDatabase
+	// Shards is the registry shard count (0 selects DefaultShards).
+	Shards int
+	// MaxBodyBytes caps request bodies (0 selects 1 MiB).
+	MaxBodyBytes int64
+	// ShutdownGrace bounds how long Shutdown waits for in-flight
+	// decisions to drain (0 selects 10s).
+	ShutdownGrace time.Duration
+	// Logger receives structured request logs (nil selects
+	// slog.Default()).
+	Logger *slog.Logger
+}
+
+// Server is the fleet decision service.
+type Server struct {
+	reg      *Registry
+	log      *slog.Logger
+	maxBody  int64
+	grace    time.Duration
+	handler  http.Handler
+	httpSrv  *http.Server
+	reqCount map[string]*metrics.Counter
+}
+
+// NewServer validates the configuration (including every database)
+// and builds the service.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	reg, err := NewRegistry(cfg.Databases, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		reg:      reg,
+		log:      cfg.Logger,
+		maxBody:  cfg.MaxBodyBytes,
+		grace:    cfg.ShutdownGrace,
+		reqCount: make(map[string]*metrics.Counter),
+	}
+	if s.log == nil {
+		s.log = slog.Default()
+	}
+	if s.maxBody <= 0 {
+		s.maxBody = 1 << 20
+	}
+	if s.grace <= 0 {
+		s.grace = 10 * time.Second
+	}
+	s.handler = s.buildMux()
+	s.httpSrv = s.newHTTPServer()
+	return s, nil
+}
+
+// Registry exposes the underlying device registry, so embedders can
+// pre-register devices or inspect the fleet without going through
+// HTTP.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the service's HTTP handler (for tests and embedders
+// that bring their own http.Server).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// buildMux wires the v1 routes, each wrapped with request accounting
+// and logging.
+func (s *Server) buildMux() http.Handler {
+	mux := http.NewServeMux()
+	route := func(pattern, name string, h http.HandlerFunc) {
+		c := s.reg.met.Counter("http_requests_total",
+			"Requests per endpoint.", "endpoint", name)
+		s.reqCount[name] = c
+		mux.Handle(pattern, s.wrap(name, c, h))
+	}
+	route("POST /v1/devices", "register", s.handleRegister)
+	route("POST /v1/devices/{id}/qos", "qos", s.handleQoS)
+	route("GET /v1/devices/{id}", "get_device", s.handleGetDevice)
+	route("DELETE /v1/devices/{id}", "delete_device", s.handleDeleteDevice)
+	route("GET /v1/databases", "databases", s.handleDatabases)
+	route("GET /healthz", "healthz", s.handleHealthz)
+	route("GET /metrics", "metrics", s.handleMetrics)
+	return mux
+}
+
+// statusWriter captures the response code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// wrap applies the per-endpoint middleware: body cap, request
+// counter, structured log line.
+func (s *Server) wrap(name string, c *metrics.Counter, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c.Inc()
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		s.log.Info("request",
+			"endpoint", name,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration_us", time.Since(start).Microseconds(),
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// writeJSON renders a response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps registry and validation errors onto status codes.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	var maxBytes *http.MaxBytesError
+	switch {
+	case errors.Is(err, ErrNoDevice), errors.Is(err, ErrNoDatabase):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrDeviceExists):
+		status = http.StatusConflict
+	case errors.As(err, &maxBytes):
+		status = http.StatusRequestEntityTooLarge
+	}
+	writeJSON(w, status, ErrorJSON{Error: err.Error()})
+}
+
+// decodeJSON strictly parses a request body into v.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	params, err := req.Params()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	info, err := s.reg.Register(params)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, deviceJSON(info))
+}
+
+func (s *Server) handleQoS(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var spec QoSSpecJSON
+	if err := decodeJSON(r, &spec); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := spec.validate(); err != nil {
+		writeError(w, err)
+		return
+	}
+	dec, err := s.reg.Decide(id, spec.Spec())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, decisionJSON(id, dec))
+}
+
+func (s *Server) handleGetDevice(w http.ResponseWriter, r *http.Request) {
+	info, err := s.reg.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, deviceJSON(info))
+}
+
+func (s *Server) handleDeleteDevice(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Remove(r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleDatabases(w http.ResponseWriter, _ *http.Request) {
+	dbs := s.reg.Databases()
+	out := make([]DatabaseJSON, 0, len(dbs))
+	for _, db := range dbs {
+		out = append(out, databaseJSON(db))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"devices": s.reg.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.met.WritePrometheus(w)
+}
+
+// newHTTPServer applies the service's server-side timeouts.
+func (s *Server) newHTTPServer() *http.Server {
+	return &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+}
+
+// Serve accepts connections on l until Shutdown (or a listener
+// error). It always returns a non-nil error; after Shutdown the error
+// is http.ErrServerClosed.
+func (s *Server) Serve(l net.Listener) error {
+	return s.httpSrv.Serve(l)
+}
+
+// Shutdown gracefully stops the server, draining in-flight decisions
+// for up to the configured grace period.
+func (s *Server) Shutdown() error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.grace)
+	defer cancel()
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// Run listens on addr and serves until ctx is cancelled (typically by
+// signal.NotifyContext on SIGINT/SIGTERM), then drains in-flight
+// requests and returns. A nil return means a clean shutdown.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.log.Info("fleet server listening", "addr", l.Addr().String(),
+		"databases", len(s.reg.dbs), "shards", len(s.reg.shards))
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		s.log.Info("fleet server draining", "grace", s.grace.String())
+		if err := s.Shutdown(); err != nil {
+			return err
+		}
+		<-errc // always http.ErrServerClosed after a clean Shutdown
+		return nil
+	}
+}

@@ -12,6 +12,7 @@ package runtime
 
 import (
 	"fmt"
+	"sync"
 
 	"clrdse/internal/dse"
 	"clrdse/internal/mapping"
@@ -35,9 +36,18 @@ type Decision struct {
 }
 
 // Manager tracks the current configuration and decides transitions.
-// It is not safe for concurrent use; embed it in the system's single
-// control loop.
+//
+// A Manager is safe for concurrent use: OnQoSChange, Current and
+// CurrentPoint may be called from multiple goroutines. Decisions are
+// serialised internally, so concurrent OnQoSChange calls execute one
+// at a time in some order; each decision observes the state left by
+// the previous one, exactly as if the same interleaving had been
+// replayed through a single control loop. Callers that need a fixed
+// decision order (e.g. replaying a recorded trace) must still provide
+// events from one goroutine. The optional Agent is stepped under the
+// same lock and must not be shared between managers.
 type Manager struct {
+	mu  sync.Mutex
 	sim *simState
 	cur int
 	// events counts OnQoSChange calls (feeds the agent's episode
@@ -90,15 +100,25 @@ func NewManager(p ManagerParams, initial QoSSpec) (*Manager, error) {
 }
 
 // Current returns the stored design-point ID in force.
-func (m *Manager) Current() int { return m.cur }
+func (m *Manager) Current() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cur
+}
 
 // CurrentPoint returns the stored design point in force.
-func (m *Manager) CurrentPoint() *dse.DesignPoint { return m.sim.p.DB.Points[m.cur] }
+func (m *Manager) CurrentPoint() *dse.DesignPoint {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sim.p.DB.Points[m.cur]
+}
 
 // OnQoSChange reacts to a new specification and returns the decision
 // with its reconfiguration plan. The manager's state advances to the
 // chosen point.
 func (m *Manager) OnQoSChange(spec QoSSpec) Decision {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	next, cost, violated := m.sim.decide(m.cur, spec)
 	d := Decision{From: m.cur, To: next, Violated: violated}
 	if next != m.cur {

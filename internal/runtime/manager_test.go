@@ -3,6 +3,7 @@ package runtime
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 
 	"clrdse/internal/mapping"
@@ -132,6 +133,44 @@ func TestManagerWithAgentLearns(t *testing.T) {
 	}
 	if p.Agent.Episodes == 0 {
 		t.Error("agent completed no episodes over 300 events")
+	}
+}
+
+func TestManagerConcurrentUse(t *testing.T) {
+	// Hammer one manager from many goroutines; under -race this proves
+	// the documented concurrency guarantee, and the event counter must
+	// account for every call regardless of interleaving.
+	f := getFixture(t)
+	p, spec := managerParams(t)
+	p.Agent = NewAgentForDB(f.base, 0.8, 0)
+	p.Trigger = TriggerOnViolation
+	mgr, err := NewManager(p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ModelFromDatabase(f.base)
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := newSpecStreamRNG(int64(1000 + w))
+			stream := q.Stream()
+			for i := 0; i < perWorker; i++ {
+				d := mgr.OnQoSChange(stream.Next(r))
+				if d.To < 0 || d.To >= f.base.Len() {
+					t.Errorf("decision to out-of-range point %d", d.To)
+					return
+				}
+				mgr.Current()
+				mgr.CurrentPoint()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := mgr.events; got != workers*perWorker {
+		t.Errorf("event counter = %d, want %d", got, workers*perWorker)
 	}
 }
 
