@@ -432,6 +432,76 @@ func BenchmarkTaskGraphGeneration(b *testing.B) {
 	}
 }
 
+// benchBigDB builds a synthetic n-point database over a 40-task
+// application: random valid mappings carrying their real schedule
+// metrics, so decisions see the same feasibility spread a DSE product
+// would, at a database size a bench-scale exploration cannot reach.
+func benchBigDB(b *testing.B, n int) (*dse.Database, *mapping.Space) {
+	b.Helper()
+	plat := DefaultPlatform()
+	g, err := taskgraph.Generate(taskgraph.GenParams{Seed: 81, NumTasks: 40}, plat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := &mapping.Space{Graph: g, Platform: plat, Catalogue: relmodel.DefaultCatalogue()}
+	ev := &schedule.Evaluator{Space: space, Env: relmodel.DefaultEnv()}
+	r := rng.New(5)
+	db := &dse.Database{Name: "bench"}
+	for db.Len() < n {
+		m := space.Random(r)
+		res, err := ev.Evaluate(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		db.Points = append(db.Points, &dse.DesignPoint{
+			ID:          db.Len(),
+			M:           m,
+			MakespanMs:  res.MakespanMs,
+			Reliability: res.Reliability,
+			EnergyMJ:    res.EnergyMJ,
+			PeakPowerW:  res.PeakPowerW,
+			MTTFMs:      res.MTTFMs,
+		})
+	}
+	return db, space
+}
+
+// BenchmarkDecide measures the uRA decision hot path in isolation on
+// an N=80 database: one Manager, TriggerAlways, so every event runs
+// the full feasibility filter + RET scoring loop of Algorithm 1.
+func BenchmarkDecide(b *testing.B) {
+	db, space := benchBigDB(b, 80)
+	model := runtime.ModelFromDatabase(db)
+	src := rng.New(9)
+	boot := model.Sample(src)
+	mgr, err := runtime.NewManager(runtime.ManagerParams{
+		DB: db, Space: space, PRC: 0.5, Trigger: runtime.TriggerAlways,
+	}, boot)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := model.Stream()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mgr.OnQoSChange(stream.Next(src))
+	}
+}
+
+// BenchmarkReD measures the reconfiguration-cost-aware stage end to
+// end: every fitness evaluation computes an average reconfiguration
+// distance against the stored set.
+func BenchmarkReD(b *testing.B) {
+	_, prob, base, _ := benchSystem(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := dse.RunReD(prob, base, dse.ReDParams{
+			GA:              ga.Params{PopSize: 16, Generations: 8, Seed: 5},
+			MaxExtraPerSeed: 2,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFleetDecisionThroughput measures the decision service
 // end-to-end: an in-process HTTP server over a real loopback socket,
 // parallel clients each owning one registered device and firing QoS
@@ -439,8 +509,21 @@ func BenchmarkTaskGraphGeneration(b *testing.B) {
 // the full network round-trip per decision.
 func BenchmarkFleetDecisionThroughput(b *testing.B) {
 	_, prob, _, red := benchSystem(b)
+	benchFleetThroughput(b, red, prob.Space)
+}
+
+// BenchmarkFleetDecisionThroughputLargeDB is the same service bench on
+// an N=80 database — the regime where per-decision work is dominated
+// by the feasibility filter and dRC scoring rather than HTTP overhead.
+func BenchmarkFleetDecisionThroughputLargeDB(b *testing.B) {
+	db, space := benchBigDB(b, 80)
+	benchFleetThroughput(b, db, space)
+}
+
+func benchFleetThroughput(b *testing.B, db *dse.Database, space *mapping.Space) {
+	b.Helper()
 	srv, err := NewFleetServer(FleetServerConfig{
-		Databases: []NamedDatabase{{Name: "red", DB: red, Space: prob.Space}},
+		Databases: []NamedDatabase{{Name: "red", DB: db, Space: space}},
 		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
 	})
 	if err != nil {
@@ -451,7 +534,7 @@ func BenchmarkFleetDecisionThroughput(b *testing.B) {
 	client := ts.Client()
 	client.Transport.(*http.Transport).MaxIdleConnsPerHost = 256
 
-	minS, maxS, minF, maxF := NamedDatabase{Name: "red", DB: red, Space: prob.Space}.Envelope()
+	minS, maxS, minF, maxF := NamedDatabase{Name: "red", DB: db, Space: space}.Envelope()
 	boot := QoSSpec{SMaxMs: maxS, FMin: minF}
 	model := runtime.QoSModel{
 		MeanS: (minS + maxS) / 2, StdS: (maxS - minS) / 4,

@@ -22,6 +22,8 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // handlers land on DefaultServeMux, served only with -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,6 +43,7 @@ func main() {
 		shards = flag.Int("shards", fleet.DefaultShards, "device registry shard count")
 		grace  = flag.Duration("grace", 10*time.Second, "shutdown drain grace period")
 		body   = flag.Int64("max-body", 1<<20, "request body cap in bytes")
+		pprofA = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 
 		tasks   = flag.Int("tasks", 30, "synthetic application size")
 		jpeg    = flag.Bool("jpeg", false, "use the JPEG encoder of Figure 2b")
@@ -116,6 +119,18 @@ func main() {
 	srv, err := fleet.NewServer(cfg)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *pprofA != "" {
+		// The fleet API runs on its own mux, so the pprof handlers on
+		// DefaultServeMux are reachable only through this side listener
+		// — keep it on loopback in production.
+		go func() {
+			fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofA)
+			if err := http.ListenAndServe(*pprofA, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "clrserved: pprof:", err)
+			}
+		}()
 	}
 
 	if *loadgen {

@@ -205,8 +205,13 @@ func (e *Evaluator) Evaluate(m *mapping.Mapping) (*schedule.Result, error) {
 		return nil, err
 	}
 	e.mu.Lock()
-	e.cache[key] = r
-	e.Evals++
+	// Concurrent callers may race to evaluate the same fresh genome;
+	// count the key once so Evals equals the number of distinct
+	// genomes regardless of worker interleaving.
+	if _, ok := e.cache[key]; !ok {
+		e.cache[key] = r
+		e.Evals++
+	}
 	e.mu.Unlock()
 	return r, nil
 }

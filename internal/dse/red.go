@@ -16,6 +16,7 @@ package dse
 import (
 	"fmt"
 	gort "runtime"
+	"sync"
 
 	"clrdse/internal/ga"
 	"clrdse/internal/mapping"
@@ -36,6 +37,12 @@ type ReDParams struct {
 	// contribute (0 selects 3) so the database stays within the
 	// paper's storage constraints.
 	MaxExtraPerSeed int
+	// Workers is the number of per-seed sub-optimisations run
+	// concurrently (0 selects GOMAXPROCS, 1 runs serially). Every
+	// sub-GA draws from its own seed-indexed random stream and the
+	// fronts are merged in seed order, so the resulting database is
+	// byte-identical for any worker count.
+	Workers int
 }
 
 func (p ReDParams) withDefaults() ReDParams {
@@ -86,13 +93,53 @@ func RunReD(p *Problem, base *Database, rp ReDParams) (*Database, error) {
 		seen[bp.M.Key()] = true
 	}
 
+	// The per-seed sub-optimisations are independent: each draws from
+	// its own seed-indexed random stream and only shares the memoising
+	// evaluator (whose results do not depend on scheduling order). Run
+	// them across a worker pool and merge the fronts serially in seed
+	// order, so the output database is byte-identical to a serial run.
+	workers := rp.Workers
+	if workers <= 0 {
+		workers = gort.GOMAXPROCS(0)
+	}
+	if workers > len(base.Points) {
+		workers = len(base.Points)
+	}
+	type seedResult struct {
+		front []redCandidate
+		err   error
+	}
+	results := make([]seedResult, len(base.Points))
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				front, err := redForSeed(p, ev, base.Points[i], baseMaps, rp, int64(i))
+				results[i] = seedResult{front: front, err: err}
+			}
+		}()
+	}
+	for i := range base.Points {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
 	for seedIdx, seed := range base.Points {
-		front, err := redForSeed(p, ev, seed, baseMaps, rp, int64(seedIdx))
-		if err != nil {
-			return nil, err
+		if results[seedIdx].err != nil {
+			return nil, results[seedIdx].err
 		}
+		// Only keep candidates that are strictly cheaper to reach than
+		// the seed itself; a point as expensive as the seed adds
+		// storage without adaptation benefit. The threshold depends on
+		// the seed alone, so compute it once per seed, not per
+		// candidate.
+		seedDist := p.Space.AvgDRCTo(seed.M, baseMaps)
 		added := 0
-		for _, cand := range front {
+		for _, cand := range results[seedIdx].front {
 			if added >= rp.MaxExtraPerSeed {
 				break
 			}
@@ -100,10 +147,6 @@ func RunReD(p *Problem, base *Database, rp ReDParams) (*Database, error) {
 			if seen[key] {
 				continue
 			}
-			// Only keep candidates that are strictly cheaper to reach
-			// than the seed itself; a point as expensive as the seed
-			// adds storage without adaptation benefit.
-			seedDist := p.Space.AvgDRCTo(seed.M, baseMaps)
 			if cand.avgDRC >= seedDist {
 				continue
 			}
@@ -149,6 +192,10 @@ func redForSeed(p *Problem, ev *Evaluator, seed *DesignPoint, baseMaps []*mappin
 		fBound = p.FMin
 	}
 
+	// GAs re-evaluate cloned genomes every generation; memoise the
+	// average reconfiguration distance per distinct genome for the
+	// lifetime of this sub-optimisation.
+	drc := mapping.NewDRCCache(p.Space, baseMaps)
 	obj := func(m *mapping.Mapping) ([]float64, float64, any) {
 		res, err := ev.Evaluate(m)
 		if err != nil {
@@ -164,7 +211,7 @@ func redForSeed(p *Problem, ev *Evaluator, seed *DesignPoint, baseMaps []*mappin
 		if res.Reliability < fBound {
 			violation += fBound - res.Reliability
 		}
-		avg := p.Space.AvgDRCTo(m, baseMaps)
+		avg := drc.AvgDRC(m)
 		perf := res.EnergyMJ
 		if p.CSP {
 			perf = res.MakespanMs

@@ -49,6 +49,12 @@ type NamedDatabase struct {
 	DB *dse.Database
 	// Space prices reconfigurations between the stored points.
 	Space *mapping.Space
+
+	// matrix is the precomputed pairwise dRC table over DB, built once
+	// at registry construction and shared read-only by every device on
+	// this database — registering a device costs O(|DB|) instead of the
+	// O(|DB|^2) dRC computations a private table would need.
+	matrix *mapping.DRCMatrix
 }
 
 // Envelope returns the database's QoS metric ranges — the satisfiable
@@ -203,6 +209,7 @@ func NewRegistry(dbs []NamedDatabase, shards int) (*Registry, error) {
 		if err := db.DB.Validate(db.Space); err != nil {
 			return nil, fmt.Errorf("fleet: database %q: %w", db.Name, err)
 		}
+		db.matrix = mapping.NewDRCMatrix(db.Space, db.DB.Mappings())
 		r.dbs[db.Name] = &db
 		r.names = append(r.names, db.Name)
 	}
@@ -261,6 +268,7 @@ func (r *Registry) Register(p DeviceParams) (*DeviceInfo, error) {
 	mp := runtime.ManagerParams{
 		DB:                     db.DB,
 		Space:                  db.Space,
+		Matrix:                 db.matrix,
 		PRC:                    p.PRC,
 		Trigger:                p.Trigger,
 		Policy:                 p.Policy,

@@ -81,22 +81,54 @@ func (a Action) String() string {
 // configuration `from` to configuration `to`, ordered bitstream loads
 // first (longest latency, so they overlap with binary copies on real
 // hardware), then binary copies, then the free steps. The sum of the
-// actions' CostMs equals DRC(from, to).Total().
+// actions' CostMs equals DRC(from, to).Total(). Plans sit on the
+// decision hot path of deployed managers, so the resident-set scan
+// reuses pooled scratch and the returned slice is sized exactly.
 func (s *Space) Diff(from, to *Mapping) []Action {
-	var actions []Action
+	nPRR := len(s.Platform.PRRs)
+	sc := drcScratchPool.Get().(*drcScratch)
+	sc.reset(nPRR)
+	s.residentInto(from, sc.from)
+	s.residentInto(to, sc.to)
 
-	// Bitstream loads: newly demanded circuits per PRR.
-	fromRes := s.residentBitstreams(from)
-	toRes := s.residentBitstreams(to)
-	for prr := range s.Platform.PRRs {
-		var newBits []int
-		for bs := range toRes[prr] {
-			if !fromRes[prr][bs] {
-				newBits = append(newBits, bs)
+	// Size the plan before building it.
+	nBits, nCopies, nFrees := 0, 0, 0
+	for prr := 0; prr < nPRR; prr++ {
+		for _, bs := range sc.to[prr] {
+			if !containsInt(sc.from[prr], bs) {
+				nBits++
 			}
 		}
-		sort.Ints(newBits)
-		for _, bs := range newBits {
+	}
+	for t := range to.Genes {
+		gf, gt := from.Genes[t], to.Genes[t]
+		if (gf.PE != gt.PE || gf.Impl != gt.Impl) && s.Graph.Tasks[t].Impls[gt.Impl].BitstreamID < 0 {
+			nCopies++
+		}
+		if gf.CLR != gt.CLR {
+			nFrees++
+		}
+		if gf.Prio != gt.Prio {
+			nFrees++
+		}
+	}
+	if nBits+nCopies+nFrees == 0 {
+		drcScratchPool.Put(sc)
+		return nil
+	}
+	actions := make([]Action, 0, nBits+nCopies+nFrees)
+
+	// Bitstream loads: newly demanded circuits per PRR, in circuit-ID
+	// order within each region.
+	for prr := 0; prr < nPRR; prr++ {
+		sc.bits = sc.bits[:0]
+		for _, bs := range sc.to[prr] {
+			if !containsInt(sc.from[prr], bs) {
+				sc.bits = append(sc.bits, bs)
+			}
+		}
+		sort.Ints(sc.bits)
+		for _, bs := range sc.bits {
 			actions = append(actions, Action{
 				Kind:      ActionLoadBitstream,
 				Task:      -1,
@@ -107,34 +139,35 @@ func (s *Space) Diff(from, to *Mapping) []Action {
 			})
 		}
 	}
+	drcScratchPool.Put(sc)
 
-	// Binary copies and free per-task steps.
-	var copies, frees []Action
+	// Binary copies, then the free per-task steps.
 	for t := range to.Genes {
 		gf, gt := from.Genes[t], to.Genes[t]
-		moved := gf.PE != gt.PE || gf.Impl != gt.Impl
-		if moved {
-			im := &s.Graph.Tasks[t].Impls[gt.Impl]
-			if im.BitstreamID < 0 {
-				copies = append(copies, Action{
-					Kind:      ActionCopyBinary,
-					Task:      t,
-					PE:        gt.PE,
-					PRR:       -1,
-					Bitstream: -1,
-					CostMs:    s.Platform.BinaryMigrationMs(im.BinaryKB),
-				})
-			}
+		if gf.PE == gt.PE && gf.Impl == gt.Impl {
+			continue
 		}
-		if gf.CLR != gt.CLR {
-			frees = append(frees, Action{Kind: ActionSetCLR, Task: t, PE: -1, PRR: -1, Bitstream: -1})
-		}
-		if gf.Prio != gt.Prio {
-			frees = append(frees, Action{Kind: ActionReorder, Task: t, PE: -1, PRR: -1, Bitstream: -1})
+		im := &s.Graph.Tasks[t].Impls[gt.Impl]
+		if im.BitstreamID < 0 {
+			actions = append(actions, Action{
+				Kind:      ActionCopyBinary,
+				Task:      t,
+				PE:        gt.PE,
+				PRR:       -1,
+				Bitstream: -1,
+				CostMs:    s.Platform.BinaryMigrationMs(im.BinaryKB),
+			})
 		}
 	}
-	actions = append(actions, copies...)
-	actions = append(actions, frees...)
+	for t := range to.Genes {
+		gf, gt := from.Genes[t], to.Genes[t]
+		if gf.CLR != gt.CLR {
+			actions = append(actions, Action{Kind: ActionSetCLR, Task: t, PE: -1, PRR: -1, Bitstream: -1})
+		}
+		if gf.Prio != gt.Prio {
+			actions = append(actions, Action{Kind: ActionReorder, Task: t, PE: -1, PRR: -1, Bitstream: -1})
+		}
+	}
 	return actions
 }
 

@@ -20,7 +20,7 @@ package mapping
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 
 	"clrdse/internal/platform"
 	"clrdse/internal/relmodel"
@@ -56,13 +56,26 @@ func (m *Mapping) Clone() *Mapping {
 
 // Key returns a canonical string identifying the mapping, used to
 // de-duplicate design points. Priorities are included because they
-// change the schedule and therefore the metrics.
+// change the schedule and therefore the metrics. Keys sit on the
+// evaluation-memoisation hot path, so the rendering avoids fmt.
 func (m *Mapping) Key() string {
-	var b strings.Builder
-	for _, g := range m.Genes {
-		fmt.Fprintf(&b, "%d.%d.%d.%d.%d.%d|", g.PE, g.Impl, g.CLR.HW, g.CLR.SSW, g.CLR.ASW, g.Prio)
+	b := make([]byte, 0, 16*len(m.Genes))
+	for i := range m.Genes {
+		g := &m.Genes[i]
+		b = strconv.AppendInt(b, int64(g.PE), 10)
+		b = append(b, '.')
+		b = strconv.AppendInt(b, int64(g.Impl), 10)
+		b = append(b, '.')
+		b = strconv.AppendInt(b, int64(g.CLR.HW), 10)
+		b = append(b, '.')
+		b = strconv.AppendInt(b, int64(g.CLR.SSW), 10)
+		b = append(b, '.')
+		b = strconv.AppendInt(b, int64(g.CLR.ASW), 10)
+		b = append(b, '.')
+		b = strconv.AppendInt(b, int64(g.Prio), 10)
+		b = append(b, '|')
 	}
-	return b.String()
+	return string(b)
 }
 
 // Equal reports whether two mappings are identical gene-for-gene.

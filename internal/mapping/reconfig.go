@@ -103,7 +103,7 @@ func (s *Space) AvgDRCTo(m *Mapping, set []*Mapping) float64 {
 	}
 	sum := 0.0
 	for _, o := range set {
-		sum += s.DRC(m, o).Total() + s.DRC(o, m).Total()
+		sum += s.DRCTotal(m, o) + s.DRCTotal(o, m)
 	}
 	return sum / float64(2*len(set))
 }

@@ -62,6 +62,11 @@ type ManagerParams struct {
 	DB *dse.Database
 	// Space prices reconfigurations.
 	Space *mapping.Space
+	// Matrix, when non-nil, is the precomputed pairwise dRC table for
+	// DB. A fleet of managers on the same database should share one
+	// matrix (see mapping.NewDRCMatrix); nil builds a private one,
+	// which costs |DB|^2 dRC computations per manager.
+	Matrix *mapping.DRCMatrix
 	// PRC is the user modulation parameter pRC in [0,1].
 	PRC float64
 	// Trigger selects when to re-optimise.
@@ -82,6 +87,7 @@ func NewManager(p ManagerParams, initial QoSSpec) (*Manager, error) {
 	inner := Params{
 		DB:                     p.DB,
 		Space:                  p.Space,
+		Matrix:                 p.Matrix,
 		PRC:                    p.PRC,
 		Trigger:                p.Trigger,
 		Policy:                 p.Policy,

@@ -1,0 +1,89 @@
+package runtime
+
+import (
+	"reflect"
+	"testing"
+
+	"clrdse/internal/mapping"
+	"clrdse/internal/rng"
+)
+
+// TestSimulateMatrixEquivalence proves the precomputed-dRC fast path
+// is observationally identical to the from-scratch one: a simulation
+// handed a shared matrix must reproduce every metric and every trace
+// entry byte for byte.
+func TestSimulateMatrixEquivalence(t *testing.T) {
+	f := getFixture(t)
+	run := func(mat *mapping.DRCMatrix, policy Policy, trigger Trigger) *Metrics {
+		m, err := Simulate(Params{
+			DB:       f.red,
+			Space:    f.problem.Space,
+			Matrix:   mat,
+			PRC:      0.5,
+			Cycles:   50_000,
+			Seed:     13,
+			Trigger:  trigger,
+			Policy:   policy,
+			TraceLen: 1 << 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	shared := mapping.NewDRCMatrix(f.problem.Space, f.red.Mappings())
+	for _, c := range []struct {
+		name    string
+		policy  Policy
+		trigger Trigger
+	}{
+		{"ret-always", PolicyRET, TriggerAlways},
+		{"ret-on-violation", PolicyRET, TriggerOnViolation},
+		{"hypervolume-always", PolicyHypervolume, TriggerAlways},
+	} {
+		without := run(nil, c.policy, c.trigger)
+		with := run(shared, c.policy, c.trigger)
+		if !reflect.DeepEqual(without, with) {
+			t.Errorf("%s: metrics/trace differ with a shared matrix:\nwithout: %+v\nwith:    %+v", c.name, without, with)
+		}
+	}
+}
+
+// TestManagerMatrixEquivalence drives two managers through the same
+// spec sequence, one with a shared precomputed matrix, and requires
+// identical decisions and plans at every step.
+func TestManagerMatrixEquivalence(t *testing.T) {
+	f := getFixture(t)
+	model := ModelFromDatabase(f.red)
+	stream := model.Stream()
+	r := rng.New(3)
+	specs := make([]QoSSpec, 200)
+	for i := range specs {
+		specs[i] = stream.Next(r)
+	}
+	mk := func(mat *mapping.DRCMatrix) *Manager {
+		m, err := NewManager(ManagerParams{
+			DB:      f.red,
+			Space:   f.problem.Space,
+			Matrix:  mat,
+			PRC:     0.4,
+			Trigger: TriggerAlways,
+		}, specs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a := mk(nil)
+	b := mk(mapping.NewDRCMatrix(f.problem.Space, f.red.Mappings()))
+	if a.Current() != b.Current() {
+		t.Fatalf("boot points differ: %d vs %d", a.Current(), b.Current())
+	}
+	for i, spec := range specs[1:] {
+		da := a.OnQoSChange(spec)
+		db := b.OnQoSChange(spec)
+		if !reflect.DeepEqual(da, db) {
+			t.Fatalf("decision %d differs:\nwithout matrix: %+v\nwith matrix:    %+v", i, da, db)
+		}
+	}
+}

@@ -29,6 +29,7 @@ package runtime
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"clrdse/internal/dse"
 	"clrdse/internal/mapping"
@@ -202,6 +203,12 @@ type Params struct {
 	DB *dse.Database
 	// Space prices reconfigurations between stored points.
 	Space *mapping.Space
+	// Matrix, when non-nil, supplies the precomputed pairwise dRC
+	// table for DB (mapping.NewDRCMatrix over DB.Mappings()). It must
+	// cover exactly DB's points. Nil computes the table at simulation
+	// start; sharing one matrix across runs (or across a fleet of
+	// managers on the same database) amortises that precomputation.
+	Matrix *mapping.DRCMatrix
 	// QoS generates specifications; zero value selects
 	// ModelFromDatabase(DB).
 	QoS QoSModel
@@ -258,6 +265,8 @@ func (p *Params) validate() error {
 		return fmt.Errorf("runtime: MeanInterArrivalCycles must be positive")
 	case p.Cycles < 0:
 		return fmt.Errorf("runtime: Cycles must be positive")
+	case p.Matrix != nil && p.Matrix.Len() != p.DB.Len():
+		return fmt.Errorf("runtime: dRC matrix covers %d points, database has %d", p.Matrix.Len(), p.DB.Len())
 	}
 	return nil
 }
@@ -398,31 +407,88 @@ func Simulate(p Params) (*Metrics, error) {
 	return met, nil
 }
 
-// simState holds the per-run lookup structures.
+// simState holds the per-run lookup structures: the precomputed dRC
+// matrix driving every score, the full-decomposition cache for the
+// (rare) realised transitions, the makespan-sorted feasibility index
+// and the scratch slices the per-event decision loop reuses instead
+// of allocating.
 type simState struct {
-	p      *Params
-	maps   []*mapping.Mapping
-	drc    func(from, to int) mapping.ReconfigCost
-	cache  map[[2]int]mapping.ReconfigCost
-	checks int // stored-point inspections (decision-latency proxy)
+	p     *Params
+	maps  []*mapping.Mapping
+	mat   *mapping.DRCMatrix
+	costs map[[2]int]mapping.ReconfigCost // full decompositions, realised moves only
+	// byMakespan orders point IDs by ascending makespan (ties by ID)
+	// so the feasibility filter can stop at the first stored point
+	// whose makespan exceeds the specification.
+	byMakespan []int
+	checks     int // stored-point inspections (decision-latency proxy)
+	// Per-event scratch, reused across the whole run.
+	feas         []int
+	perf, cost   []float64
+	normP, normC []float64
 }
 
 func newSimState(p *Params) *simState {
 	s := &simState{
 		p:     p,
 		maps:  p.DB.Mappings(),
-		cache: make(map[[2]int]mapping.ReconfigCost),
+		mat:   p.Matrix,
+		costs: make(map[[2]int]mapping.ReconfigCost),
 	}
-	s.drc = func(from, to int) mapping.ReconfigCost {
-		key := [2]int{from, to}
-		if c, ok := s.cache[key]; ok {
-			return c
+	if s.mat == nil {
+		s.mat = mapping.NewDRCMatrix(p.Space, s.maps)
+	}
+	s.byMakespan = make([]int, len(s.maps))
+	for i := range s.byMakespan {
+		s.byMakespan[i] = i
+	}
+	sort.Slice(s.byMakespan, func(a, b int) bool {
+		pa, pb := s.byMakespan[a], s.byMakespan[b]
+		ma, mb := s.p.DB.Points[pa].MakespanMs, s.p.DB.Points[pb].MakespanMs
+		if ma != mb {
+			return ma < mb
 		}
-		c := p.Space.DRC(s.maps[from], s.maps[to])
-		s.cache[key] = c
+		return pa < pb
+	})
+	return s
+}
+
+// fullDRC returns the complete cost decomposition of a transition,
+// memoised per pair. Only realised reconfigurations need it; the
+// scoring loops read scalar totals straight from the matrix.
+func (s *simState) fullDRC(from, to int) mapping.ReconfigCost {
+	key := [2]int{from, to}
+	if c, ok := s.costs[key]; ok {
 		return c
 	}
-	return s
+	c := s.p.Space.DRC(s.maps[from], s.maps[to])
+	s.costs[key] = c
+	return c
+}
+
+// feasible fills the scratch feasibility list with the IDs of every
+// stored point satisfying the spec. Points are inspected in
+// ascending-makespan order so the scan stops at the first one over
+// the makespan bound; the list therefore comes back makespan-ordered,
+// not ID-ordered, and every consumer's tie-breaking rule is written
+// to be order-independent (lowest ID, or the current point for RET).
+// The checks counter still accounts one inspection per stored point,
+// keeping the decision-latency proxy comparable across
+// implementations.
+func (s *simState) feasible(spec QoSSpec) []int {
+	s.checks += len(s.p.DB.Points)
+	feas := s.feas[:0]
+	for _, i := range s.byMakespan {
+		pt := s.p.DB.Points[i]
+		if pt.MakespanMs > spec.SMaxMs {
+			break
+		}
+		if pt.Reliability >= spec.FMin {
+			feas = append(feas, i)
+		}
+	}
+	s.feas = feas
+	return feas
 }
 
 // bestBoot picks the initial configuration: the feasible point with
@@ -430,9 +496,9 @@ func newSimState(p *Params) *simState {
 // if the first spec is unsatisfiable.
 func (s *simState) bestBoot(spec QoSSpec) int {
 	best, bestJ := -1, math.Inf(1)
-	s.checks += len(s.p.DB.Points)
-	for i, pt := range s.p.DB.Points {
-		if pt.Feasible(spec.SMaxMs, spec.FMin) && pt.EnergyMJ < bestJ {
+	for _, i := range s.feasible(spec) {
+		pt := s.p.DB.Points[i]
+		if pt.EnergyMJ < bestJ || (pt.EnergyMJ == bestJ && i < best) {
 			best, bestJ = i, pt.EnergyMJ
 		}
 	}
@@ -451,13 +517,7 @@ func (s *simState) decide(cur int, spec QoSSpec) (int, mapping.ReconfigCost, boo
 	if s.p.Trigger == TriggerOnViolation && curOK {
 		return cur, mapping.ReconfigCost{}, false
 	}
-	var feas []int
-	s.checks += len(s.p.DB.Points)
-	for i, pt := range s.p.DB.Points {
-		if pt.Feasible(spec.SMaxMs, spec.FMin) {
-			feas = append(feas, i)
-		}
-	}
+	feas := s.feasible(spec)
 	if len(feas) == 0 {
 		// No stored point satisfies the spec: degrade gracefully to
 		// the least-violating point (and pay its dRC if we move).
@@ -465,7 +525,7 @@ func (s *simState) decide(cur int, spec QoSSpec) (int, mapping.ReconfigCost, boo
 		if next == cur {
 			return cur, mapping.ReconfigCost{}, true
 		}
-		return next, s.drc(cur, next), true
+		return next, s.fullDRC(cur, next), true
 	}
 	var next int
 	if s.p.Policy == PolicyHypervolume {
@@ -476,19 +536,20 @@ func (s *simState) decide(cur int, spec QoSSpec) (int, mapping.ReconfigCost, boo
 	if next == cur {
 		return cur, mapping.ReconfigCost{}, false
 	}
-	return next, s.drc(cur, next), false
+	return next, s.fullDRC(cur, next), false
 }
 
 // selectHypervolume returns the feasible point sweeping the largest
 // QoS-plane area against the specification's reference point
 // (S_SPEC, F_SPEC): (S_SPEC - S) * (F - F_SPEC). Ties break towards
-// the lowest point ID for determinism.
+// the lowest point ID for determinism, independent of the candidate
+// list's order.
 func (s *simState) selectHypervolume(feas []int, spec QoSSpec) int {
-	best, bestV := feas[0], math.Inf(-1)
+	best, bestV := -1, math.Inf(-1)
 	for _, i := range feas {
 		pt := s.p.DB.Points[i]
 		v := (spec.SMaxMs - pt.MakespanMs) * (pt.Reliability - spec.FMin)
-		if v > bestV {
+		if v > bestV || (v == bestV && i < best) {
 			best, bestV = i, v
 		}
 	}
@@ -499,11 +560,13 @@ func (s *simState) selectHypervolume(feas []int, spec QoSSpec) int {
 // score each feasible point by the weighted, normalised combination of
 // performance and reconfiguration cost and return the argmax.
 func (s *simState) selectRET(cur int, feas []int) int {
-	perf := make([]float64, len(feas)) // R(p) = -J_app(p), higher better
-	cost := make([]float64, len(feas)) // dRC from current config
+	n := len(feas)
+	s.perf = growFloats(s.perf, n) // R(p) = -J_app(p), higher better
+	s.cost = growFloats(s.cost, n) // dRC from current config
+	perf, cost := s.perf, s.cost
 	for k, i := range feas {
 		perf[k] = -s.p.DB.Points[i].EnergyMJ
-		cost[k] = s.drc(cur, i).Total()
+		cost[k] = s.mat.Total(cur, i)
 		if ag := s.p.Agent; ag != nil && ag.Gamma > 0 {
 			// One-step lookahead with learned continuation values:
 			// gamma = 0 reduces to the instantaneous uRA scores.
@@ -511,13 +574,23 @@ func (s *simState) selectRET(cur int, feas []int) int {
 			cost[k] += ag.Gamma * ag.VD[i]
 		}
 	}
-	normP := normalize(perf)
-	normC := normalize(cost)
-	best, bestRET := feas[0], math.Inf(-1)
+	s.normP = growFloats(s.normP, n)
+	s.normC = growFloats(s.normC, n)
+	normalizeInto(s.normP, perf)
+	normalizeInto(s.normC, cost)
+	// Argmax with order-independent tie-breaking: among equal-score
+	// maxima, prefer staying at the current point (a free transition),
+	// otherwise the lowest point ID — exactly the winner an
+	// ascending-ID scan with the classic "strictly greater, or equal
+	// and current" update would pick.
+	best, bestRET := -1, math.Inf(-1)
 	for k, i := range feas {
-		ret := s.p.PRC*normP[k] - (1-s.p.PRC)*normC[k]
-		if ret > bestRET || (ret == bestRET && i == cur) {
+		ret := s.p.PRC*s.normP[k] - (1-s.p.PRC)*s.normC[k]
+		switch {
+		case ret > bestRET:
 			best, bestRET = i, ret
+		case ret == bestRET && best != cur && (i == cur || i < best):
+			best = i
 		}
 	}
 	return best
@@ -543,20 +616,30 @@ func (s *simState) leastViolating(spec QoSSpec) int {
 	return best
 }
 
-// normalize maps xs to [0,1] by min-max scaling; a constant vector
-// maps to all zeros.
-func normalize(xs []float64) []float64 {
+// growFloats returns a slice of length n backed by s's storage when it
+// fits, so per-event scoring reuses one allocation across a whole run.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// normalizeInto maps xs to [0,1] by min-max scaling into dst (same
+// length); a constant vector maps to all zeros.
+func normalizeInto(dst, xs []float64) {
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, x := range xs {
 		lo = math.Min(lo, x)
 		hi = math.Max(hi, x)
 	}
-	out := make([]float64, len(xs))
 	if hi == lo {
-		return out
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
 	}
 	for i, x := range xs {
-		out[i] = (x - lo) / (hi - lo)
+		dst[i] = (x - lo) / (hi - lo)
 	}
-	return out
 }

@@ -296,7 +296,7 @@ func SimulateScenario(p ScenarioParams) (*ScenarioMetrics, error) {
 			next, _, violated = sim.decide(cur, effSpec)
 		}
 		if next != cur {
-			cost := sim.drc(cur, next)
+			cost := sim.fullDRC(cur, next)
 			met.Reconfigs++
 			met.TotalDRC += cost.Total()
 			met.TotalMigrations += cost.MigratedTasks
@@ -365,9 +365,9 @@ func regimeLeft(s *Scenario, t float64) float64 {
 // spec, or the least-violating point (flagged) when none does.
 func (s *simState) cheapestFeasible(spec QoSSpec) (int, bool) {
 	best, bestJ := -1, math.Inf(1)
-	s.checks += len(s.p.DB.Points)
-	for i, pt := range s.p.DB.Points {
-		if pt.Feasible(spec.SMaxMs, spec.FMin) && pt.EnergyMJ < bestJ {
+	for _, i := range s.feasible(spec) {
+		pt := s.p.DB.Points[i]
+		if pt.EnergyMJ < bestJ || (pt.EnergyMJ == bestJ && i < best) {
 			best, bestJ = i, pt.EnergyMJ
 		}
 	}

@@ -1,0 +1,54 @@
+#!/usr/bin/env sh
+# bench.sh — run the repo benchmarks and record machine-readable
+# results for regression tracking.
+#
+# Usage:
+#   scripts/bench.sh                 # hot-path set, label "run"
+#   scripts/bench.sh 'BenchmarkReD$' optimized
+#
+# Runs `go test -run=NONE -bench=<regex> -benchmem -count=5 .` and
+# writes BENCH_<n>.json (first unused n) in the repo root: one run
+# object with the given label and, per benchmark, the median ns/op,
+# B/op and allocs/op across the five samples. The schema matches the
+# committed BENCH_1.json, which pairs the pre-optimisation baseline
+# with the first optimised run.
+set -eu
+cd "$(dirname "$0")/.."
+
+pat="${1:-BenchmarkDRC\$|BenchmarkDecide\$|BenchmarkReD\$|BenchmarkFleetDecisionThroughput\$|BenchmarkFleetDecisionThroughputLargeDB\$}"
+label="${2:-run}"
+
+out=$(go test -run=NONE -bench="$pat" -benchmem -count=5 .)
+printf '%s\n' "$out"
+
+n=1
+while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+file="BENCH_${n}.json"
+
+printf '%s\n' "$out" | awk -v label="$label" '
+function median(s,    a, n, i, j, t) {
+	n = split(s, a, " ")
+	for (i = 1; i < n; i++)
+		for (j = i + 1; j <= n; j++)
+			if (a[j] + 0 < a[i] + 0) { t = a[i]; a[i] = a[j]; a[j] = t }
+	return a[int((n + 1) / 2)]
+}
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+	if (!(name in seen)) { order[++k] = name; seen[name] = 1 }
+	ns[name] = ns[name] " " $3
+	bo[name] = bo[name] " " $5
+	ao[name] = ao[name] " " $7
+}
+END {
+	printf "{\n  \"runs\": [\n    {\n      \"label\": \"%s\",\n      \"benchmarks\": [\n", label
+	for (i = 1; i <= k; i++) {
+		nm = order[i]
+		printf "        {\"name\": \"%s\", \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+			nm, median(ns[nm]), median(bo[nm]), median(ao[nm]), (i < k ? "," : "")
+	}
+	printf "      ]\n    }\n  ]\n}\n"
+}' >"$file"
+
+echo "wrote $file"
