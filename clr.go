@@ -40,6 +40,7 @@ import (
 	"clrdse/internal/experiments"
 	"clrdse/internal/faultsim"
 	"clrdse/internal/fleet"
+	fleetclient "clrdse/internal/fleet/client"
 	"clrdse/internal/ga"
 	"clrdse/internal/lifetime"
 	"clrdse/internal/mapping"
@@ -309,9 +310,15 @@ type (
 	// FleetDeviceParams configures one registered device.
 	FleetDeviceParams = fleet.DeviceParams
 	// FleetLoadParams configures the load generator.
-	FleetLoadParams = fleet.LoadParams
+	FleetLoadParams = fleetclient.LoadParams
 	// FleetLoadReport summarises a load-generation run.
-	FleetLoadReport = fleet.LoadReport
+	FleetLoadReport = fleetclient.LoadReport
+	// FleetClient is the resilient fleet API client: retries with
+	// capped backoff and jitter, per-attempt deadlines, per-endpoint
+	// circuit breakers, exactly-once QoS events.
+	FleetClient = fleetclient.Client
+	// FleetClientConfig configures a FleetClient.
+	FleetClientConfig = fleetclient.Config
 )
 
 // NewFleetServer validates the databases and builds the decision
@@ -326,7 +333,10 @@ func NewFleetRegistry(dbs []NamedDatabase, shards int) (*FleetRegistry, error) {
 
 // RunFleetLoad drives a running fleet server with synthetic QoS
 // traffic and reports throughput and latency quantiles.
-func RunFleetLoad(p FleetLoadParams) (*FleetLoadReport, error) { return fleet.RunLoad(p) }
+func RunFleetLoad(p FleetLoadParams) (*FleetLoadReport, error) { return fleetclient.RunLoad(p) }
+
+// NewFleetClient builds the resilient fleet API client.
+func NewFleetClient(cfg FleetClientConfig) *FleetClient { return fleetclient.New(cfg) }
 
 // Lifetime / aging (the paper's sketched MTTF extension).
 type (

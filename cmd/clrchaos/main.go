@@ -1,0 +1,344 @@
+// Command clrchaos soak-tests the fleet decision service under
+// deterministic fault injection. It runs the design-time flow once,
+// then drives the same fleet of simulated devices through the same
+// QoS event scripts twice: a fault-free reference pass, and a chaos
+// pass with the full fault schedule (dropped requests, latency
+// spikes, truncated and mangled response bodies, server-side
+// rejections, stalled and corrupted decision paths). The resilient
+// client masks the faults with retries; the command then asserts the
+// service's resilience invariants:
+//
+//  1. no device state is lost — every device is still registered and
+//     has decided exactly its events,
+//  2. every QoS event was eventually answered with a real (non-
+//     degraded) decision,
+//  3. the accepted decision sequence is byte-identical to the
+//     fault-free reference pass.
+//
+// Fault injection is seeded (-chaos-seed); the same seed reproduces
+// the identical fault schedule. The command exits non-zero if any
+// invariant is violated, which is how CI consumes it.
+//
+// Usage:
+//
+//	clrchaos -devices 8 -events 40
+//	clrchaos -intensity 2 -chaos-seed 99 -decide-timeout 100ms
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"clrdse/internal/chaos"
+	"clrdse/internal/core"
+	"clrdse/internal/dse"
+	"clrdse/internal/fleet"
+	"clrdse/internal/fleet/client"
+	"clrdse/internal/ga"
+	"clrdse/internal/platform"
+	"clrdse/internal/rng"
+	"clrdse/internal/runtime"
+	"clrdse/internal/taskgraph"
+)
+
+func main() {
+	var (
+		tasks = flag.Int("tasks", 20, "synthetic application size")
+		seed  = flag.Int64("seed", 51, "design-time root seed")
+		pop   = flag.Int("pop", 28, "stage-1 GA population")
+		gens  = flag.Int("gens", 12, "stage-1 GA generations")
+
+		devices   = flag.Int("devices", 8, "simulated device count")
+		events    = flag.Int("events", 40, "QoS events per device")
+		specSeed  = flag.Int64("spec-seed", 7, "QoS event script seed")
+		chaosSeed = flag.Int64("chaos-seed", 99, "fault schedule seed")
+		intensity = flag.Float64("intensity", 1, "scales every fault probability")
+
+		attempts = flag.Int("attempts", 6, "client attempts per call")
+		attemptT = flag.Duration("attempt-timeout", 2*time.Second, "client per-attempt deadline")
+		decideTO = flag.Duration("decide-timeout", 250*time.Millisecond, "server per-decision deadline")
+		rounds   = flag.Int("max-rounds", 64, "driver re-submissions per event before giving up")
+	)
+	flag.Parse()
+
+	plat := platform.Default()
+	app, err := taskgraph.Generate(taskgraph.GenParams{Seed: *seed, NumTasks: *tasks}, plat)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("design-time exploration (%d tasks) ...\n", len(app.Tasks))
+	sys, err := core.Build(app, core.Options{
+		Seed:     *seed,
+		StageOne: ga.Params{PopSize: *pop, Generations: *gens},
+		ReD: dse.ReDParams{
+			GA: ga.Params{PopSize: *pop / 2, Generations: *gens / 2},
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	dbs := []fleet.NamedDatabase{{Name: "red", DB: sys.Database(), Space: sys.Problem.Space}}
+
+	p := soakParams{
+		dbs:      dbs,
+		devices:  *devices,
+		events:   *events,
+		specSeed: *specSeed,
+		attempts: *attempts,
+		attemptT: *attemptT,
+		decideTO: *decideTO,
+		rounds:   *rounds,
+	}
+
+	fmt.Printf("reference pass: %d devices x %d events, no faults ...\n", *devices, *events)
+	ref, err := runPass(p, nil)
+	if err != nil {
+		fatal(err)
+	}
+
+	inj := chaos.New(chaos.Config{
+		Seed:              *chaosSeed,
+		PDropRequest:      0.04 * *intensity,
+		PLatency:          0.04 * *intensity,
+		PDropResponse:     0.04 * *intensity,
+		PTruncateResponse: 0.03 * *intensity,
+		PMangleResponse:   0.03 * *intensity,
+		LatencyMin:        time.Millisecond,
+		LatencyMax:        10 * time.Millisecond,
+		PReject:           0.05 * *intensity,
+		PServerLatency:    0.04 * *intensity,
+		PStall:            0.04 * *intensity,
+		PCorrupt:          0.04 * *intensity,
+		StallMin:          *decideTO * 2,
+		StallMax:          *decideTO * 4,
+	})
+	fmt.Printf("chaos pass: same fleet, fault schedule seed %d ...\n", *chaosSeed)
+	cha, err := runPass(p, inj)
+	if err != nil {
+		fatal(err)
+	}
+
+	violations := 0
+	report := func(format string, args ...any) {
+		violations++
+		fmt.Printf("INVARIANT VIOLATED: "+format+"\n", args...)
+	}
+	for d := 0; d < p.devices; d++ {
+		if cha.decided[d] != int64(p.events) {
+			report("device %d decided %d of %d events", d, cha.decided[d], p.events)
+		}
+		for i := 0; i < p.events; i++ {
+			r, c := ref.decisions[d][i], cha.decisions[d][i]
+			if c == "" {
+				report("device %d event %d never answered", d, i+1)
+				continue
+			}
+			if r != c {
+				report("device %d event %d diverged:\n  ref:   %s\n  chaos: %s", d, i+1, r, c)
+			}
+		}
+	}
+
+	fmt.Println()
+	fmt.Printf("faults injected:   %d\n", inj.Injected())
+	for _, k := range []chaos.Kind{
+		chaos.DropRequest, chaos.Latency, chaos.DropResponse,
+		chaos.TruncateResponse, chaos.MangleResponse,
+		chaos.Reject, chaos.ServerLatency, chaos.Stall, chaos.Corrupt,
+	} {
+		if n := inj.Count(k); n > 0 {
+			fmt.Printf("  %-18s %d\n", k.String()+":", n)
+		}
+	}
+	fmt.Printf("client retries:    %d\n", cha.stats.Retries)
+	fmt.Printf("breaker rejects:   %d\n", cha.stats.BreakerRejects)
+	fmt.Printf("degraded retried:  %d\n", cha.stats.DegradedRetries)
+	fmt.Printf("server replays:    %d\n", cha.replays)
+	fmt.Printf("server degraded:   %d\n", cha.degraded)
+	if violations > 0 {
+		fmt.Printf("\nFAIL: %d invariant violations\n", violations)
+		os.Exit(1)
+	}
+	fmt.Printf("\nOK: %d decisions byte-identical to the fault-free reference\n",
+		p.devices*p.events)
+}
+
+type soakParams struct {
+	dbs      []fleet.NamedDatabase
+	devices  int
+	events   int
+	specSeed int64
+	attempts int
+	attemptT time.Duration
+	decideTO time.Duration
+	rounds   int
+}
+
+// passResult is one pass's accepted decisions and server-side stats.
+type passResult struct {
+	// decisions[d][i] is the canonical JSON of device d's decision for
+	// event i+1 ("" when the event was never answered).
+	decisions [][]string
+	// decided[d] is the server's per-device processed-event count.
+	decided []int64
+
+	replays, degraded int64
+	stats             client.Stats
+}
+
+// runPass boots a server (chaos-wrapped when inj is non-nil), drives
+// every device through its deterministic event script and collects the
+// accepted decisions. Each event is re-submitted — with its sequence
+// number, so the server decides it at most once — until a real
+// decision arrives.
+func runPass(p soakParams, inj *chaos.Injector) (*passResult, error) {
+	cfg := fleet.ServerConfig{
+		Databases:     p.dbs,
+		DecideTimeout: p.decideTO,
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
+	if inj != nil {
+		cfg.DecideHook = inj.DecideHook()
+	}
+	srv, err := fleet.NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	handler := srv.Handler()
+	if inj != nil {
+		handler = inj.Middleware(handler)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: handler}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(l) }()
+	defer func() {
+		hs.Close()
+		<-done
+	}()
+
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = p.devices
+	var rt http.RoundTripper = tr
+	if inj != nil {
+		rt = &chaos.Transport{Injector: inj, Base: tr}
+	}
+	c := client.New(client.Config{
+		BaseURL:        "http://" + l.Addr().String(),
+		Transport:      rt,
+		MaxAttempts:    p.attempts,
+		AttemptTimeout: p.attemptT,
+		JitterSeed:     p.specSeed,
+		RetryDegraded:  true,
+		// Under deliberately injected 503s a breaker that opens easily
+		// only adds rejection noise; the soak wants the retry path hot.
+		BreakerThreshold: 1 << 20,
+	})
+	ctx := context.Background()
+
+	db := p.dbs[0]
+	_, maxS, minF, _ := db.Envelope()
+	model := runtime.ModelFromDatabase(db.DB)
+	root := rng.New(p.specSeed)
+	scripts := make([][]runtime.QoSSpec, p.devices)
+	for d := range scripts {
+		src := root.Split(int64(d))
+		stream := model.Stream()
+		scripts[d] = make([]runtime.QoSSpec, p.events)
+		for i := range scripts[d] {
+			scripts[d][i] = stream.Next(src)
+		}
+	}
+
+	for d := 0; d < p.devices; d++ {
+		_, err := c.Register(ctx, fleet.RegisterRequest{
+			ID:       fmt.Sprintf("soak-%d", d),
+			Database: db.Name,
+			PRC:      0.5,
+			Trigger:  "on-violation",
+			Initial:  fleet.QoSSpecJSON{SMaxMs: maxS, FMin: minF},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("register soak-%d: %w", d, err)
+		}
+	}
+
+	res := &passResult{
+		decisions: make([][]string, p.devices),
+		decided:   make([]int64, p.devices),
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, p.devices)
+	for d := 0; d < p.devices; d++ {
+		res.decisions[d] = make([]string, p.events)
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			id := fmt.Sprintf("soak-%d", d)
+			for i, spec := range scripts[d] {
+				wire := fleet.QoSSpecJSON{SMaxMs: spec.SMaxMs, FMin: spec.FMin}
+				var dec *fleet.DecisionJSON
+				var err error
+				for round := 0; round < p.rounds; round++ {
+					dec, err = c.QoS(ctx, id, uint64(i+1), wire)
+					if err == nil {
+						break
+					}
+				}
+				if err != nil {
+					errs[d] = fmt.Errorf("%s event %d: %w", id, i+1, err)
+					return
+				}
+				res.decisions[d][i] = canonical(dec)
+			}
+		}(d)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for d := 0; d < p.devices; d++ {
+		info, err := srv.Registry().Get(fmt.Sprintf("soak-%d", d))
+		if err != nil {
+			return nil, fmt.Errorf("device soak-%d lost: %w", d, err)
+		}
+		res.decided[d] = info.Stats.Decisions
+		res.replays += info.Stats.Replays
+		res.degraded += info.Stats.Degraded
+	}
+	res.stats = c.Stats()
+	return res, nil
+}
+
+// canonical renders a decision for byte-level comparison across runs.
+func canonical(d *fleet.DecisionJSON) string {
+	b, err := json.Marshal(d)
+	if err != nil {
+		return "marshal: " + err.Error()
+	}
+	return string(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clrchaos:", err)
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "clrchaos: consider raising -attempt-timeout or -max-rounds")
+	}
+	os.Exit(1)
+}

@@ -2,37 +2,45 @@
 // QoS traffic: K devices registered against one of the server's
 // databases, each firing events with exponentially distributed
 // inter-arrival times, reporting throughput and latency quantiles.
+// Devices ride the resilient fleet client — sequence-numbered events,
+// retries with capped exponential backoff and jitter, per-attempt
+// deadlines, per-endpoint circuit breakers — so transient server or
+// network failures are absorbed rather than reported as errors.
 //
 // Usage:
 //
 //	clrload -addr http://127.0.0.1:8080 -devices 64 -events 200
 //	clrload -addr http://fleet:8080 -db red -prc 0.8 -mean-ms 5
+//	clrload -attempts 6 -attempt-timeout 2s
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
-	"clrdse/internal/fleet"
+	"clrdse/internal/fleet/client"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "http://127.0.0.1:8080", "server base URL")
-		devices = flag.Int("devices", 32, "simulated device count")
-		events  = flag.Int("events", 100, "QoS events per device")
-		db      = flag.String("db", "", "database to register against (default: the server's first)")
-		prc     = flag.Float64("prc", 0.5, "per-device pRC")
-		trigger = flag.String("trigger", "on-violation", "adaptation trigger: always | on-violation")
-		gamma   = flag.Float64("gamma", 0, "per-device AuRA discount (0 = uRA)")
-		meanMs  = flag.Float64("mean-ms", 0, "mean Exp inter-arrival sleep in ms (0 = closed loop)")
-		seed    = flag.Int64("seed", 7, "event stream seed")
-		prefix  = flag.String("prefix", "clrload", "registered device ID prefix")
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "server base URL")
+		devices  = flag.Int("devices", 32, "simulated device count")
+		events   = flag.Int("events", 100, "QoS events per device")
+		db       = flag.String("db", "", "database to register against (default: the server's first)")
+		prc      = flag.Float64("prc", 0.5, "per-device pRC")
+		trigger  = flag.String("trigger", "on-violation", "adaptation trigger: always | on-violation")
+		gamma    = flag.Float64("gamma", 0, "per-device AuRA discount (0 = uRA)")
+		meanMs   = flag.Float64("mean-ms", 0, "mean Exp inter-arrival sleep in ms (0 = closed loop)")
+		seed     = flag.Int64("seed", 7, "event stream seed")
+		prefix   = flag.String("prefix", "clrload", "registered device ID prefix")
+		attempts = flag.Int("attempts", 4, "max attempts per call (retries with capped backoff)")
+		attemptT = flag.Duration("attempt-timeout", 5*time.Second, "per-attempt deadline")
 	)
 	flag.Parse()
 
-	report, err := fleet.RunLoad(fleet.LoadParams{
+	report, err := client.RunLoad(client.LoadParams{
 		BaseURL:            *addr,
 		Devices:            *devices,
 		EventsPerDevice:    *events,
@@ -43,6 +51,8 @@ func main() {
 		MeanInterArrivalMs: *meanMs,
 		Seed:               *seed,
 		DevicePrefix:       *prefix,
+		MaxAttempts:        *attempts,
+		AttemptTimeout:     *attemptT,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "clrload:", err)

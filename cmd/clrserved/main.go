@@ -32,6 +32,7 @@ import (
 	"clrdse/internal/core"
 	"clrdse/internal/dse"
 	"clrdse/internal/fleet"
+	"clrdse/internal/fleet/client"
 	"clrdse/internal/ga"
 	"clrdse/internal/platform"
 	"clrdse/internal/taskgraph"
@@ -39,11 +40,12 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		shards = flag.Int("shards", fleet.DefaultShards, "device registry shard count")
-		grace  = flag.Duration("grace", 10*time.Second, "shutdown drain grace period")
-		body   = flag.Int64("max-body", 1<<20, "request body cap in bytes")
-		pprofA = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		shards   = flag.Int("shards", fleet.DefaultShards, "device registry shard count")
+		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain grace period")
+		body     = flag.Int64("max-body", 1<<20, "request body cap in bytes")
+		decideTO = flag.Duration("decide-timeout", 0, "per-decision deadline before degraded fallback (0 = default)")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 
 		tasks   = flag.Int("tasks", 30, "synthetic application size")
 		jpeg    = flag.Bool("jpeg", false, "use the JPEG encoder of Figure 2b")
@@ -111,6 +113,7 @@ func main() {
 		Shards:        *shards,
 		MaxBodyBytes:  *body,
 		ShutdownGrace: *grace,
+		DecideTimeout: *decideTO,
 	}
 	if *loadgen {
 		// Per-request log lines would swamp the latency report.
@@ -134,7 +137,7 @@ func main() {
 	}
 
 	if *loadgen {
-		runLoadgen(srv, fleet.LoadParams{
+		runLoadgen(srv, client.LoadParams{
 			Devices:            *devices,
 			EventsPerDevice:    *events,
 			PRC:                *prc,
@@ -154,7 +157,7 @@ func main() {
 
 // runLoadgen boots the server on an ephemeral loopback port, fires
 // the load at it and prints the report.
-func runLoadgen(srv *fleet.Server, p fleet.LoadParams) {
+func runLoadgen(srv *fleet.Server, p client.LoadParams) {
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fatal(err)
@@ -163,7 +166,7 @@ func runLoadgen(srv *fleet.Server, p fleet.LoadParams) {
 	go func() { done <- srv.Serve(l) }()
 	p.BaseURL = "http://" + l.Addr().String()
 	fmt.Printf("loadgen: %d devices x %d events against %s\n", p.Devices, p.EventsPerDevice, p.BaseURL)
-	report, err := fleet.RunLoad(p)
+	report, err := client.RunLoad(p)
 	if err != nil {
 		fatal(err)
 	}

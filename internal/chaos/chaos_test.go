@@ -1,0 +1,206 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestInjectorDeterministic: equal seeds must reproduce the identical
+// fault schedule — the property the soak test's byte-identical
+// assertion rests on.
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed:         42,
+		PDropRequest: 0.2, PLatency: 0.2, PDropResponse: 0.1,
+		PTruncateResponse: 0.1, PMangleResponse: 0.1,
+		LatencyMin: time.Millisecond, LatencyMax: 5 * time.Millisecond,
+		PReject: 0.3, PServerLatency: 0.2,
+		PStall: 0.3, PCorrupt: 0.3,
+		StallMin: time.Millisecond, StallMax: 2 * time.Millisecond,
+	}
+	a, b := New(cfg), New(cfg)
+	for _, scope := range []Scope{ScopeTransport, ScopeServer, ScopeDecide} {
+		for _, key := range []string{"dev-0", "dev-1", "POST /v1/devices/x/qos"} {
+			for n := 0; n < 200; n++ {
+				fa, fb := a.Sample(scope, key), b.Sample(scope, key)
+				if fa != fb {
+					t.Fatalf("%v/%s/#%d: %v != %v", scope, key, n, fa, fb)
+				}
+			}
+		}
+	}
+	if a.Injected() != b.Injected() {
+		t.Fatalf("injected counts diverge: %d != %d", a.Injected(), b.Injected())
+	}
+	if a.Injected() == 0 {
+		t.Fatal("no faults injected at these probabilities")
+	}
+}
+
+// TestInjectorFaultAtPure: FaultAt must not advance state, and must
+// agree with what Sample returned for the same ordinal.
+func TestInjectorFaultAtPure(t *testing.T) {
+	in := New(Config{Seed: 7, PStall: 0.5, PCorrupt: 0.3,
+		StallMin: time.Millisecond, StallMax: time.Millisecond})
+	var sampled []Fault
+	for n := 0; n < 50; n++ {
+		sampled = append(sampled, in.Sample(ScopeDecide, "dev"))
+	}
+	for n, want := range sampled {
+		for rep := 0; rep < 3; rep++ { // idempotent
+			if got := in.FaultAt(ScopeDecide, "dev", uint64(n)); got != want {
+				t.Fatalf("FaultAt(#%d) = %v, Sample gave %v", n, got, want)
+			}
+		}
+	}
+}
+
+// TestInjectorKeyIsolation: distinct keys draw from independent
+// streams; one key's schedule is unchanged by traffic on another.
+func TestInjectorKeyIsolation(t *testing.T) {
+	cfg := Config{Seed: 3, PCorrupt: 0.5}
+	solo := New(cfg)
+	var want []Fault
+	for n := 0; n < 100; n++ {
+		want = append(want, solo.Sample(ScopeDecide, "dev-a"))
+	}
+	mixed := New(cfg)
+	for n := 0; n < 100; n++ {
+		mixed.Sample(ScopeDecide, "dev-b") // interleaved foreign traffic
+		if got := mixed.Sample(ScopeDecide, "dev-a"); got != want[n] {
+			t.Fatalf("dev-a #%d perturbed by dev-b traffic: %v != %v", n, got, want[n])
+		}
+	}
+}
+
+// TestInjectorProbabilityBounds: p=0 never fires, p=1 always fires.
+func TestInjectorProbabilityBounds(t *testing.T) {
+	never := New(Config{Seed: 1})
+	for n := 0; n < 500; n++ {
+		if f := never.Sample(ScopeTransport, "k"); f.Kind != None {
+			t.Fatalf("zero config injected %v", f.Kind)
+		}
+	}
+	always := New(Config{Seed: 1, PReject: 1})
+	for n := 0; n < 500; n++ {
+		if f := always.Sample(ScopeServer, "k"); f.Kind != Reject {
+			t.Fatalf("p=1 sampled %v", f.Kind)
+		}
+	}
+	if got := always.Count(Reject); got != 500 {
+		t.Fatalf("Count(Reject) = %d, want 500", got)
+	}
+}
+
+// fakeRT answers every request with a fixed JSON body.
+type fakeRT struct {
+	calls int
+	body  string
+}
+
+func (f *fakeRT) RoundTrip(*http.Request) (*http.Response, error) {
+	f.calls++
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Body:       io.NopCloser(strings.NewReader(f.body)),
+		Header:     make(http.Header),
+	}, nil
+}
+
+func transportFault(t *testing.T, kind Kind) (*fakeRT, *http.Response, error) {
+	t.Helper()
+	cfg := Config{Seed: 1}
+	switch kind {
+	case DropRequest:
+		cfg.PDropRequest = 1
+	case DropResponse:
+		cfg.PDropResponse = 1
+	case TruncateResponse:
+		cfg.PTruncateResponse = 1
+	case MangleResponse:
+		cfg.PMangleResponse = 1
+	}
+	base := &fakeRT{body: `{"from":1,"to":2}`}
+	tr := &Transport{Injector: New(cfg), Base: base}
+	req, _ := http.NewRequest(http.MethodPost, "http://x/v1/devices/d/qos", nil)
+	resp, err := tr.RoundTrip(req)
+	return base, resp, err
+}
+
+func TestTransportDropRequest(t *testing.T) {
+	base, _, err := transportFault(t, DropRequest)
+	if err == nil {
+		t.Fatal("dropped request returned no error")
+	}
+	if base.calls != 0 {
+		t.Fatalf("dropped request reached the server (%d calls)", base.calls)
+	}
+}
+
+func TestTransportDropResponse(t *testing.T) {
+	base, _, err := transportFault(t, DropResponse)
+	if err == nil {
+		t.Fatal("dropped response returned no error")
+	}
+	if base.calls != 1 {
+		t.Fatalf("server saw %d calls, want 1 (the server did process it)", base.calls)
+	}
+}
+
+func TestTransportCorruptsBody(t *testing.T) {
+	for _, kind := range []Kind{TruncateResponse, MangleResponse} {
+		_, resp, err := transportFault(t, kind)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var v struct{ From, To int }
+		if jerr := json.Unmarshal(body, &v); jerr == nil {
+			t.Fatalf("%v: body still decodes: %q", kind, body)
+		}
+	}
+}
+
+func TestMiddlewareReject(t *testing.T) {
+	in := New(Config{Seed: 1, PReject: 1})
+	inner := 0
+	h := in.Middleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) { inner++ }))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/databases", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rec.Code)
+	}
+	if inner != 0 {
+		t.Fatal("rejected request reached the handler")
+	}
+}
+
+func TestDecideHookCorrupt(t *testing.T) {
+	hook := New(Config{Seed: 1, PCorrupt: 1}).DecideHook()
+	if err := hook(context.Background(), "dev", 1); !errors.Is(err, ErrCorruptEntry) {
+		t.Fatalf("err = %v, want ErrCorruptEntry", err)
+	}
+}
+
+func TestDecideHookStallRespectsDeadline(t *testing.T) {
+	hook := New(Config{Seed: 1, PStall: 1,
+		StallMin: time.Minute, StallMax: time.Minute}).DecideHook()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := hook(ctx, "dev", 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stall ignored the deadline (%v)", elapsed)
+	}
+}

@@ -1,0 +1,59 @@
+package chaos
+
+// Server-side fault injection: an HTTP middleware that rejects or
+// delays requests before the handler runs, and a decision-path hook
+// that stalls or corrupts a device's decision inside the registry.
+// Both fault points sit *before* any device state changes, so a
+// faulted operation never half-applies: the server either processed an
+// event exactly once or not at all.
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Middleware wraps an HTTP handler with server-scope fault injection
+// keyed by the request's method and path.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f := in.Sample(ScopeServer, r.Method+" "+r.URL.Path)
+		switch f.Kind {
+		case Reject:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"chaos: rejected"}`))
+			return
+		case ServerLatency:
+			select {
+			case <-time.After(f.Delay):
+			case <-r.Context().Done():
+				return // client gone; nothing to answer
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// DecideHook returns a fault hook for the fleet registry's decision
+// path (fleet.DecideHook-shaped). Stalls sleep while respecting the
+// decision deadline — a stall that outlives ctx surfaces as ctx.Err(),
+// which the registry answers with its last known-good configuration.
+// Corruptions surface as ErrCorruptEntry. Faults are keyed per device,
+// so one wedged device never perturbs another device's schedule.
+func (in *Injector) DecideHook() func(ctx context.Context, device string, seq uint64) error {
+	return func(ctx context.Context, device string, _ uint64) error {
+		f := in.Sample(ScopeDecide, device)
+		switch f.Kind {
+		case Stall:
+			select {
+			case <-time.After(f.Delay):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		case Corrupt:
+			return ErrCorruptEntry
+		}
+		return nil
+	}
+}

@@ -1,0 +1,253 @@
+package chaos_test
+
+// The chaos soak: the same fleet of devices replays the same QoS event
+// scripts twice — once fault-free, once under the full fault schedule
+// (transport drops, corrupted bodies, server rejections, stalled and
+// corrupted decision paths) — and the resilience invariants must hold:
+//
+//  1. no device state is lost: every device is still registered and
+//     its manager processed exactly its events,
+//  2. every QoS event is eventually answered with a real decision,
+//  3. the accepted decisions are byte-identical to the fault-free run
+//     (retries mask faults; they never change outcomes).
+//
+// Everything is seeded: the event scripts, the client's retry jitter
+// and the fault schedule, so a failure reproduces exactly.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"clrdse/internal/chaos"
+	"clrdse/internal/fleet"
+	"clrdse/internal/fleet/client"
+	"clrdse/internal/fleet/fleettest"
+	"clrdse/internal/rng"
+	"clrdse/internal/runtime"
+)
+
+type soakSize struct {
+	devices, events int
+}
+
+func soakDims(t *testing.T) soakSize {
+	if testing.Short() {
+		return soakSize{devices: 4, events: 12}
+	}
+	return soakSize{devices: 8, events: 30}
+}
+
+const (
+	soakSpecSeed  = 7
+	soakChaosSeed = 99
+	soakDecideTO  = 200 * time.Millisecond
+	soakRounds    = 64
+)
+
+// soakPass drives every device through its script against a fresh
+// server, injecting faults when inj is non-nil, and returns the
+// accepted decisions plus the per-device server-side stats.
+func soakPass(t *testing.T, dims soakSize, inj *chaos.Injector) ([][]string, []*fleet.DeviceInfo) {
+	t.Helper()
+	cfg := fleet.ServerConfig{
+		Databases:     fleettest.Databases(t),
+		DecideTimeout: soakDecideTO,
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
+	if inj != nil {
+		cfg.DecideHook = inj.DecideHook()
+	}
+	srv, err := fleet.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler := srv.Handler()
+	if inj != nil {
+		handler = inj.Middleware(handler)
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	var rt http.RoundTripper = ts.Client().Transport
+	if inj != nil {
+		rt = &chaos.Transport{Injector: inj, Base: rt}
+	}
+	c := client.New(client.Config{
+		BaseURL:        ts.URL,
+		Transport:      rt,
+		MaxAttempts:    6,
+		AttemptTimeout: 2 * time.Second,
+		JitterSeed:     soakSpecSeed,
+		RetryDegraded:  true,
+		// The soak injects 503s on purpose; an eager breaker would only
+		// add rejection noise between retries.
+		BreakerThreshold: 1 << 20,
+	})
+	ctx := context.Background()
+
+	dbs := cfg.Databases
+	db := dbs[0]
+	boot := fleettest.LooseSpec(db.DB)
+	for d := 0; d < dims.devices; d++ {
+		_, err := c.Register(ctx, fleet.RegisterRequest{
+			ID:       fmt.Sprintf("soak-%d", d),
+			Database: db.Name,
+			PRC:      0.5,
+			Trigger:  "on-violation",
+			Initial:  fleet.QoSSpecJSON{SMaxMs: boot.SMaxMs, FMin: boot.FMin},
+		})
+		if err != nil {
+			t.Fatalf("register soak-%d: %v", d, err)
+		}
+	}
+
+	// Per-device deterministic scripts, derived before the workers
+	// start so they are a pure function of the seed.
+	root := rng.New(soakSpecSeed)
+	scripts := make([][]runtime.QoSSpec, dims.devices)
+	for d := range scripts {
+		src := root.Split(int64(d))
+		model := runtime.ModelFromDatabase(db.DB)
+		stream := model.Stream()
+		scripts[d] = make([]runtime.QoSSpec, dims.events)
+		for i := range scripts[d] {
+			scripts[d][i] = stream.Next(src)
+		}
+	}
+
+	decisions := make([][]string, dims.devices)
+	errs := make([]error, dims.devices)
+	var wg sync.WaitGroup
+	for d := 0; d < dims.devices; d++ {
+		decisions[d] = make([]string, dims.events)
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			id := fmt.Sprintf("soak-%d", d)
+			for i, spec := range scripts[d] {
+				wire := fleet.QoSSpecJSON{SMaxMs: spec.SMaxMs, FMin: spec.FMin}
+				var dec *fleet.DecisionJSON
+				var err error
+				// Re-submit with the same sequence number until a real
+				// decision lands; the server decides each seq at most
+				// once, so this is at-least-once delivery with
+				// exactly-once decisions.
+				for round := 0; round < soakRounds; round++ {
+					dec, err = c.QoS(ctx, id, uint64(i+1), wire)
+					if err == nil {
+						break
+					}
+				}
+				if err != nil {
+					errs[d] = fmt.Errorf("%s event %d: %w", id, i+1, err)
+					return
+				}
+				b, merr := json.Marshal(dec)
+				if merr != nil {
+					errs[d] = merr
+					return
+				}
+				decisions[d][i] = string(b)
+			}
+		}(d)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	infos := make([]*fleet.DeviceInfo, dims.devices)
+	for d := range infos {
+		info, err := srv.Registry().Get(fmt.Sprintf("soak-%d", d))
+		if err != nil {
+			t.Fatalf("device soak-%d lost: %v", d, err)
+		}
+		infos[d] = info
+	}
+	return decisions, infos
+}
+
+func TestChaosSoak(t *testing.T) {
+	dims := soakDims(t)
+
+	ref, _ := soakPass(t, dims, nil)
+
+	inj := chaos.New(chaos.Config{
+		Seed:              soakChaosSeed,
+		PDropRequest:      0.05,
+		PLatency:          0.05,
+		PDropResponse:     0.05,
+		PTruncateResponse: 0.04,
+		PMangleResponse:   0.04,
+		LatencyMin:        time.Millisecond,
+		LatencyMax:        5 * time.Millisecond,
+		PReject:           0.06,
+		PServerLatency:    0.05,
+		PStall:            0.05,
+		PCorrupt:          0.05,
+		StallMin:          2 * soakDecideTO,
+		StallMax:          3 * soakDecideTO,
+	})
+	cha, infos := soakPass(t, dims, inj)
+
+	if inj.Injected() == 0 {
+		t.Fatal("chaos pass injected no faults; the soak tested nothing")
+	}
+
+	// Invariant 1: no lost device state — each device's manager
+	// processed exactly its events, every sequence number once.
+	var replays, degraded int64
+	for d, info := range infos {
+		if info.Stats.Decisions != int64(dims.events) {
+			t.Errorf("device %d decided %d events, want %d",
+				d, info.Stats.Decisions, dims.events)
+		}
+		replays += info.Stats.Replays
+		degraded += info.Stats.Degraded
+	}
+
+	// Invariants 2 and 3: every event answered, byte-identical to the
+	// fault-free reference.
+	for d := 0; d < dims.devices; d++ {
+		for i := 0; i < dims.events; i++ {
+			if cha[d][i] == "" {
+				t.Errorf("device %d event %d never answered", d, i+1)
+				continue
+			}
+			if ref[d][i] != cha[d][i] {
+				t.Errorf("device %d event %d diverged under chaos:\nref:   %s\nchaos: %s",
+					d, i+1, ref[d][i], cha[d][i])
+			}
+		}
+	}
+
+	t.Logf("faults=%d replays=%d degraded=%d", inj.Injected(), replays, degraded)
+}
+
+// TestChaosSoakReproducible: the fault schedule itself is seeded — two
+// injectors with the soak's configuration must report identical
+// per-kind counts after identical traffic. (The full soak is too
+// timing-dependent for exact count equality across passes, but the
+// verdict function must be pure; see TestInjectorDeterministic for the
+// stream-level property.)
+func TestChaosSoakReproducible(t *testing.T) {
+	cfg := chaos.Config{Seed: soakChaosSeed, PReject: 0.3, PServerLatency: 0.1}
+	a, b := chaos.New(cfg), chaos.New(cfg)
+	for n := 0; n < 1000; n++ {
+		fa := a.Sample(chaos.ScopeServer, "POST /v1/devices/soak-0/qos")
+		fb := b.Sample(chaos.ScopeServer, "POST /v1/devices/soak-0/qos")
+		if fa != fb {
+			t.Fatalf("fault schedule not reproducible at #%d: %v != %v", n, fa, fb)
+		}
+	}
+}

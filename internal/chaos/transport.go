@@ -1,0 +1,71 @@
+package chaos
+
+// Client-side fault injection: an http.RoundTripper that wraps a real
+// transport and, per request, may drop the request before it is sent,
+// delay it, discard the response after the server has processed it, or
+// corrupt the response body (truncation, malformed JSON). Requests on
+// the same path draw from the same deterministic fault stream, so a
+// client that issues its requests for one path sequentially sees a
+// reproducible schedule.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Transport injects transport-scope faults around base. A nil base
+// selects http.DefaultTransport.
+type Transport struct {
+	Injector *Injector
+	Base     http.RoundTripper
+}
+
+// RoundTrip implements http.RoundTripper with fault injection keyed by
+// the request's method and path.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	f := t.Injector.Sample(ScopeTransport, req.Method+" "+req.URL.Path)
+	switch f.Kind {
+	case DropRequest:
+		return nil, fmt.Errorf("chaos: request dropped (%s %s)", req.Method, req.URL.Path)
+	case Latency:
+		select {
+		case <-time.After(f.Delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || f.Kind == None || f.Kind == DropRequest || f.Kind == Latency {
+		return resp, err
+	}
+	switch f.Kind {
+	case DropResponse:
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("chaos: response dropped (%s %s)", req.Method, req.URL.Path)
+	case TruncateResponse, MangleResponse:
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if f.Kind == TruncateResponse {
+			// A JSON document cut anywhere before its closing brace is
+			// undecodable, so the client's decode-and-retry path fires.
+			body = body[:len(body)/2]
+		} else if len(body) > 0 {
+			body[0] = 'X' // guaranteed-invalid JSON start
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		resp.ContentLength = int64(len(body))
+		resp.Header.Del("Content-Length")
+	}
+	return resp, nil
+}

@@ -34,6 +34,18 @@ func (q QoSSpecJSON) validate() error {
 	return nil
 }
 
+// QoSRequest is the body of POST /v1/devices/{id}/qos. Seq, when
+// positive, is the device's monotonically increasing event sequence
+// number: retries of a failed event reuse its Seq, and the server
+// answers already-decided sequences from its per-device decision
+// cache instead of re-deciding — at-least-once delivery, exactly-once
+// decisions. Seq 0 (or absent) preserves the v1 fire-and-forget
+// semantics.
+type QoSRequest struct {
+	QoSSpecJSON
+	Seq uint64 `json:"seq,omitempty"`
+}
+
 // RegisterRequest is the body of POST /v1/devices.
 type RegisterRequest struct {
 	ID       string `json:"id"`
@@ -128,11 +140,18 @@ func actionJSON(a mapping.Action) ActionJSON {
 // decision together with the imperative reconfiguration plan, exactly
 // what runtime.Manager.OnQoSChange returns.
 type DecisionJSON struct {
-	Device       string `json:"device"`
+	Device string `json:"device"`
+	// Seq echoes the request's sequence number; replayed decisions
+	// are byte-identical to the original answer.
+	Seq          uint64 `json:"seq,omitempty"`
 	From         int    `json:"from"`
 	To           int    `json:"to"`
 	Reconfigured bool   `json:"reconfigured"`
 	Violated     bool   `json:"violated"`
+	// Degraded reports the decision path faulted or missed its
+	// deadline and the device stayed at its last known-good
+	// configuration (From == To, zero cost, no plan).
+	Degraded bool `json:"degraded,omitempty"`
 	// CostMs is the scalar dRC of the transition.
 	CostMs float64 `json:"cost_ms"`
 	// BinaryMigrationMs/BitstreamMs decompose CostMs; MigratedTasks

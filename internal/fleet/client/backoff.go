@@ -1,0 +1,56 @@
+// Package client is the resilient HTTP client for the fleet decision
+// service: retries with capped exponential backoff and deterministic
+// jitter, a per-attempt deadline, a circuit breaker per endpoint, and
+// sequence-numbered QoS events so retries are answered exactly once by
+// the server's replay cache. It is what device firmware should look
+// like from the fleet's point of view — the run-time substrate of the
+// paper's cross-layer argument, made fault-tolerant itself.
+package client
+
+import (
+	"time"
+
+	"clrdse/internal/rng"
+)
+
+// Backoff is a capped exponential backoff with multiplicative jitter.
+type Backoff struct {
+	// Base is the attempt-0 delay; attempt k waits min(Max, Base<<k).
+	Base time.Duration
+	// Max caps the un-jittered delay.
+	Max time.Duration
+	// Jitter in [0,1] scales each delay by a factor drawn uniformly
+	// from [1-Jitter, 1]; 0 disables jitter. Jitter decorrelates a
+	// fleet of devices retrying against the same failed endpoint.
+	Jitter float64
+}
+
+// DefaultBackoff is the client's default policy: 50 ms doubling to a
+// 2 s cap with 50% jitter.
+func DefaultBackoff() Backoff {
+	return Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second, Jitter: 0.5}
+}
+
+// Delay returns the wait before retry attempt k (0-based), drawing
+// jitter from src. A nil src disables jitter. The result is always in
+// [(1-Jitter)*d, d] where d = min(Max, Base<<k).
+func (b Backoff) Delay(attempt int, src *rng.Source) time.Duration {
+	if b.Base <= 0 {
+		return 0
+	}
+	d := b.Base
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if b.Max > 0 && d >= b.Max {
+			d = b.Max
+			break
+		}
+	}
+	if b.Max > 0 && d > b.Max {
+		d = b.Max
+	}
+	if b.Jitter > 0 && src != nil {
+		d = time.Duration(float64(d) * (1 - b.Jitter*src.Float64()))
+	}
+	return d
+}

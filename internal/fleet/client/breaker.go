@@ -1,0 +1,144 @@
+package client
+
+// A per-endpoint circuit breaker. When an endpoint fails repeatedly,
+// hammering it with retries only deepens the outage; the breaker
+// opens after a threshold of consecutive failures, fails calls fast
+// for a cooldown, then lets exactly one probe through (half-open) to
+// test recovery before closing again.
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's state.
+type BreakerState int
+
+const (
+	// Closed passes all calls through (the healthy state).
+	Closed BreakerState = iota
+	// Open fails all calls fast until the cooldown elapses.
+	Open
+	// HalfOpen admits a single probe; its outcome decides the state.
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a consecutive-failure circuit breaker. It is safe for
+// concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+	opens    uint64
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive
+// failures and probes again after cooldown. now overrides the clock
+// for tests (nil selects time.Now).
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if threshold <= 0 {
+		threshold = 8
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether a call may proceed now. In the open state it
+// transitions to half-open once the cooldown has elapsed, admitting
+// exactly one probe; concurrent callers are rejected until the probe
+// reports back.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = HalfOpen
+			b.probing = true
+			return true
+		}
+		return false
+	case HalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Success reports a completed call; it closes a half-open breaker and
+// resets the failure run.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = Closed
+	b.failures = 0
+	b.probing = false
+}
+
+// Failure reports a failed call; it re-opens a half-open breaker
+// immediately and opens a closed one at the threshold.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		b.open()
+	case Closed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.open()
+		}
+	}
+}
+
+// open transitions to Open; callers hold b.mu.
+func (b *Breaker) open() {
+	b.state = Open
+	b.openedAt = b.now()
+	b.probing = false
+	b.failures = 0
+	b.opens++
+}
+
+// State returns the current state (resolving an elapsed cooldown is
+// left to Allow; State is a passive observer).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens counts closed/half-open → open transitions.
+func (b *Breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

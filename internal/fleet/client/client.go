@@ -1,0 +1,347 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clrdse/internal/fleet"
+	"clrdse/internal/rng"
+)
+
+// ErrBreakerOpen reports a call rejected fast because the endpoint's
+// circuit breaker is open.
+var ErrBreakerOpen = errors.New("client: circuit breaker open")
+
+// ErrDegraded reports a decision the server answered with its
+// degraded last-known-good fallback after retries were exhausted (only
+// surfaced when Config.RetryDegraded is set).
+var ErrDegraded = errors.New("client: decision degraded")
+
+// APIError is a non-2xx response from the service.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Message is the service's error body.
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: status %d: %s", e.Status, e.Message)
+}
+
+// Config configures a resilient fleet client.
+type Config struct {
+	// BaseURL locates the server, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Transport is the base HTTP transport (nil selects a clone of
+	// http.DefaultTransport); the chaos layer wraps here.
+	Transport http.RoundTripper
+	// MaxAttempts bounds tries per call, first attempt included
+	// (0 selects 4).
+	MaxAttempts int
+	// AttemptTimeout is the per-attempt deadline (0 selects 5s); the
+	// caller's ctx bounds the whole call including backoff sleeps.
+	AttemptTimeout time.Duration
+	// Backoff paces retries (zero value selects DefaultBackoff).
+	Backoff Backoff
+	// JitterSeed makes the jitter stream deterministic for tests and
+	// reproducible load runs.
+	JitterSeed int64
+	// BreakerThreshold is the consecutive-failure count that opens an
+	// endpoint's breaker (0 selects 8).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects calls
+	// before probing (0 selects 2s).
+	BreakerCooldown time.Duration
+	// RetryDegraded treats degraded decisions as retryable failures:
+	// the client re-sends the same sequence number, betting the fault
+	// is transient. Off, a degraded decision is a valid answer.
+	RetryDegraded bool
+}
+
+// Stats counts the client's resilience activity.
+type Stats struct {
+	// Retries counts re-attempts (attempts beyond each call's first).
+	Retries int64
+	// BreakerRejects counts calls rejected fast by an open breaker.
+	BreakerRejects int64
+	// DegradedRetries counts degraded answers that were retried.
+	DegradedRetries int64
+	// BreakerOpens counts breaker open transitions across endpoints.
+	BreakerOpens uint64
+}
+
+// Client is a resilient fleet API client. It is safe for concurrent
+// use; one client should be shared per target server so the breakers
+// see all traffic.
+type Client struct {
+	base        string
+	http        *http.Client
+	maxAttempts int
+	attemptTO   time.Duration
+	backoff     Backoff
+	retryDeg    bool
+
+	jmu sync.Mutex
+	src *rng.Source
+
+	breakers map[string]*Breaker
+
+	retries    atomic.Int64
+	rejects    atomic.Int64
+	degRetries atomic.Int64
+}
+
+// endpoints are the breaker domains: one wedged endpoint must not trip
+// the others.
+var endpoints = []string{"register", "qos", "device", "databases", "deregister"}
+
+// New builds a client for the configuration.
+func New(cfg Config) *Client {
+	tr := cfg.Transport
+	if tr == nil {
+		tr = http.DefaultTransport.(*http.Transport).Clone()
+	}
+	c := &Client{
+		base:        cfg.BaseURL,
+		http:        &http.Client{Transport: tr},
+		maxAttempts: cfg.MaxAttempts,
+		attemptTO:   cfg.AttemptTimeout,
+		backoff:     cfg.Backoff,
+		retryDeg:    cfg.RetryDegraded,
+		src:         rng.New(cfg.JitterSeed),
+		breakers:    make(map[string]*Breaker, len(endpoints)),
+	}
+	if c.maxAttempts <= 0 {
+		c.maxAttempts = 4
+	}
+	if c.attemptTO <= 0 {
+		c.attemptTO = 5 * time.Second
+	}
+	if c.backoff == (Backoff{}) {
+		c.backoff = DefaultBackoff()
+	}
+	for _, ep := range endpoints {
+		c.breakers[ep] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, nil)
+	}
+	return c
+}
+
+// Stats snapshots the client's resilience counters.
+func (c *Client) Stats() Stats {
+	s := Stats{
+		Retries:         c.retries.Load(),
+		BreakerRejects:  c.rejects.Load(),
+		DegradedRetries: c.degRetries.Load(),
+	}
+	for _, b := range c.breakers {
+		s.BreakerOpens += b.Opens()
+	}
+	return s
+}
+
+// Breaker exposes an endpoint's breaker ("register", "qos", "device",
+// "databases", "deregister") for inspection.
+func (c *Client) Breaker(endpoint string) *Breaker { return c.breakers[endpoint] }
+
+// retryable classifies a failure: transport errors, 5xx and timeout-ish
+// statuses are worth retrying; other 4xx are the caller's bug and
+// permanent.
+func retryable(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status >= 500 ||
+			apiErr.Status == http.StatusRequestTimeout ||
+			apiErr.Status == http.StatusTooManyRequests
+	}
+	return true // transport, decode, breaker, degraded
+}
+
+// do runs one API call with retries, backoff, per-attempt deadlines
+// and the endpoint's breaker. accept, when non-nil, validates the
+// decoded response; its error counts as a retryable failure.
+func (c *Client) do(ctx context.Context, endpoint, method, url string, body, out any, wantStatus int, accept func() error) error {
+	br := c.breakers[endpoint]
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return err
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			delay := c.nextDelay(attempt - 1)
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return fmt.Errorf("client: %s: %w (last error: %v)", endpoint, ctx.Err(), lastErr)
+			}
+		}
+		err := c.attempt(ctx, br, method, url, payload, out, wantStatus, accept)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("client: %s: %d attempts exhausted: %w", endpoint, c.maxAttempts, lastErr)
+}
+
+// attempt is one try of a call.
+func (c *Client) attempt(ctx context.Context, br *Breaker, method, url string, payload []byte, out any, wantStatus int, accept func() error) error {
+	if !br.Allow() {
+		c.rejects.Add(1)
+		return ErrBreakerOpen
+	}
+	actx, cancel := context.WithTimeout(ctx, c.attemptTO)
+	defer cancel()
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(actx, method, url, rd)
+	if err != nil {
+		br.Failure()
+		return err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		br.Failure()
+		return err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		br.Failure()
+		return fmt.Errorf("client: reading response: %w", err)
+	}
+	if resp.StatusCode != wantStatus {
+		var apiErr fleet.ErrorJSON
+		_ = json.Unmarshal(data, &apiErr)
+		err := &APIError{Status: resp.StatusCode, Message: apiErr.Error}
+		if retryable(err) {
+			br.Failure()
+		} else {
+			// A 4xx means the endpoint answered coherently: the call is
+			// wrong, the service is healthy.
+			br.Success()
+		}
+		return err
+	}
+	if out != nil {
+		// out is shared across attempts; zero it first so a field an
+		// earlier attempt decoded (e.g. degraded=true) cannot leak into
+		// this attempt's answer through an omitted JSON key.
+		reflect.ValueOf(out).Elem().SetZero()
+		if err := json.Unmarshal(data, out); err != nil {
+			// Truncated or mangled body: the decision may have been
+			// made server-side; the retry is answered from the replay
+			// cache, so re-sending is safe.
+			br.Failure()
+			return fmt.Errorf("client: decoding response: %w", err)
+		}
+	}
+	if accept != nil {
+		if err := accept(); err != nil {
+			br.Failure()
+			return err
+		}
+	}
+	br.Success()
+	return nil
+}
+
+// nextDelay computes the backoff for retry k, drawing jitter from the
+// shared source under a lock (rng.Source is not concurrency-safe).
+func (c *Client) nextDelay(k int) time.Duration {
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	return c.backoff.Delay(k, c.src)
+}
+
+// Register registers a device. A Conflict response is treated as
+// "already registered" — the typical aftermath of a retried
+// registration whose first response was lost — and resolved by
+// fetching the device's current state.
+func (c *Client) Register(ctx context.Context, req fleet.RegisterRequest) (*fleet.DeviceJSON, error) {
+	var dev fleet.DeviceJSON
+	err := c.do(ctx, "register", http.MethodPost, c.base+"/v1/devices", req, &dev, http.StatusCreated, nil)
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.Status == http.StatusConflict {
+		return c.Device(ctx, req.ID)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &dev, nil
+}
+
+// QoS submits one QoS event. seq, when positive, identifies the event
+// for exactly-once processing: retries reuse it and the server answers
+// replays from its decision cache. With RetryDegraded set, degraded
+// answers are retried and the last one is returned with ErrDegraded if
+// the fault never cleared.
+func (c *Client) QoS(ctx context.Context, id string, seq uint64, spec fleet.QoSSpecJSON) (*fleet.DecisionJSON, error) {
+	var dec fleet.DecisionJSON
+	req := fleet.QoSRequest{QoSSpecJSON: spec, Seq: seq}
+	accept := func() error { return nil }
+	if c.retryDeg {
+		accept = func() error {
+			if dec.Degraded {
+				c.degRetries.Add(1)
+				return ErrDegraded
+			}
+			return nil
+		}
+	}
+	err := c.do(ctx, "qos", http.MethodPost, c.base+"/v1/devices/"+id+"/qos", req, &dec, http.StatusOK, accept)
+	if err != nil && c.retryDeg && errors.Is(err, ErrDegraded) && dec.Degraded {
+		// Retries exhausted on a persistent fault: the degraded answer
+		// is still the service's contract-honouring fallback.
+		return &dec, fmt.Errorf("%w (seq %d)", ErrDegraded, seq)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &dec, nil
+}
+
+// Device fetches a device snapshot.
+func (c *Client) Device(ctx context.Context, id string) (*fleet.DeviceJSON, error) {
+	var dev fleet.DeviceJSON
+	if err := c.do(ctx, "device", http.MethodGet, c.base+"/v1/devices/"+id, nil, &dev, http.StatusOK, nil); err != nil {
+		return nil, err
+	}
+	return &dev, nil
+}
+
+// Databases lists the server's decision bases.
+func (c *Client) Databases(ctx context.Context) ([]fleet.DatabaseJSON, error) {
+	var dbs []fleet.DatabaseJSON
+	if err := c.do(ctx, "databases", http.MethodGet, c.base+"/v1/databases", nil, &dbs, http.StatusOK, nil); err != nil {
+		return nil, err
+	}
+	return dbs, nil
+}
+
+// Deregister removes a device.
+func (c *Client) Deregister(ctx context.Context, id string) error {
+	return c.do(ctx, "deregister", http.MethodDelete, c.base+"/v1/devices/"+id, nil, nil, http.StatusNoContent, nil)
+}

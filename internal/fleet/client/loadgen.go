@@ -1,21 +1,22 @@
-package fleet
+package client
 
 // Load generator for the decision service: K simulated devices, each
 // firing QoS-change events with exponentially distributed inter-
 // arrival times (the paper's event process, internal/rng.Exponential)
-// at a running server, measuring end-to-end decision latency. This is
-// the service's scaling claim made measurable: throughput and
-// p50/p95/p99 come from real HTTP round-trips, not estimates.
+// at a running server, measuring end-to-end decision latency. Every
+// device drives the resilient client — sequence-numbered events,
+// retries with capped backoff, circuit breakers — so the measured
+// throughput is the robust path, not a best-case fast path.
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
 
+	"clrdse/internal/fleet"
 	"clrdse/internal/rng"
 	"clrdse/internal/runtime"
 )
@@ -46,17 +47,25 @@ type LoadParams struct {
 	// DevicePrefix namespaces the registered device IDs (default
 	// "loadgen").
 	DevicePrefix string
-	// Client optionally overrides the HTTP client.
-	Client *http.Client
+	// Client optionally overrides the resilient client configuration
+	// (BaseURL is filled from this struct when empty).
+	Client *Client
+	// MaxAttempts and AttemptTimeout configure the built client when
+	// Client is nil (0 selects the client defaults).
+	MaxAttempts    int
+	AttemptTimeout time.Duration
 }
 
 // LoadReport summarises one run.
 type LoadReport struct {
 	// Devices and Events are the realised counts; Errors counts
-	// non-2xx responses and transport failures.
+	// events that failed after all retries.
 	Devices, Events, Errors int
-	// Reconfigs and Violations aggregate the decision outcomes.
-	Reconfigs, Violations int
+	// Reconfigs and Violations aggregate the decision outcomes;
+	// Degraded counts last-known-good fallback answers.
+	Reconfigs, Violations, Degraded int
+	// Retries counts re-attempts the resilient client absorbed.
+	Retries int64
 	// Duration is the wall-clock span of the event phase.
 	Duration time.Duration
 	// Throughput is decisions per second over Duration.
@@ -68,8 +77,9 @@ type LoadReport struct {
 // String renders the report for terminals.
 func (r *LoadReport) String() string {
 	return fmt.Sprintf(
-		"devices:     %d\nevents:      %d (%d errors)\nreconfigs:   %d\nviolations:  %d\nduration:    %v\nthroughput:  %.0f decisions/s\nlatency p50: %v\nlatency p95: %v\nlatency p99: %v\nlatency max: %v",
-		r.Devices, r.Events, r.Errors, r.Reconfigs, r.Violations,
+		"devices:     %d\nevents:      %d (%d errors, %d retries, %d degraded)\nreconfigs:   %d\nviolations:  %d\nduration:    %v\nthroughput:  %.0f decisions/s\nlatency p50: %v\nlatency p95: %v\nlatency p99: %v\nlatency max: %v",
+		r.Devices, r.Events, r.Errors, r.Retries, r.Degraded,
+		r.Reconfigs, r.Violations,
 		r.Duration.Round(time.Millisecond), r.Throughput,
 		r.P50, r.P95, r.P99, r.Max)
 }
@@ -77,7 +87,7 @@ func (r *LoadReport) String() string {
 // RunLoad executes the load generation against a running server.
 func RunLoad(p LoadParams) (*LoadReport, error) {
 	if p.Devices <= 0 || p.EventsPerDevice <= 0 {
-		return nil, fmt.Errorf("fleet: loadgen needs positive device and event counts")
+		return nil, fmt.Errorf("client: loadgen needs positive device and event counts")
 	}
 	if p.DevicePrefix == "" {
 		p.DevicePrefix = "loadgen"
@@ -85,14 +95,21 @@ func RunLoad(p LoadParams) (*LoadReport, error) {
 	if p.Trigger == "" {
 		p.Trigger = "on-violation"
 	}
-	client := p.Client
-	if client == nil {
+	c := p.Client
+	if c == nil {
 		tr := http.DefaultTransport.(*http.Transport).Clone()
 		tr.MaxIdleConnsPerHost = p.Devices
-		client = &http.Client{Timeout: 30 * time.Second, Transport: tr}
+		c = New(Config{
+			BaseURL:        p.BaseURL,
+			Transport:      tr,
+			MaxAttempts:    p.MaxAttempts,
+			AttemptTimeout: p.AttemptTimeout,
+			JitterSeed:     p.Seed,
+		})
 	}
+	ctx := context.Background()
 
-	db, err := pickDatabase(client, p.BaseURL, p.Database)
+	db, err := pickDatabase(ctx, c, p.Database)
 	if err != nil {
 		return nil, err
 	}
@@ -120,23 +137,23 @@ func RunLoad(p LoadParams) (*LoadReport, error) {
 	// Register all devices first: the measured phase is pure decision
 	// traffic.
 	for d := 0; d < p.Devices; d++ {
-		req := RegisterRequest{
+		req := fleet.RegisterRequest{
 			ID:       fmt.Sprintf("%s-%d", p.DevicePrefix, d),
 			Database: db.Name,
 			PRC:      p.PRC,
 			Trigger:  p.Trigger,
 			Gamma:    p.Gamma,
-			Initial:  QoSSpecJSON{SMaxMs: db.MaxMakespanMs, FMin: db.MinReliability},
+			Initial:  fleet.QoSSpecJSON{SMaxMs: db.MaxMakespanMs, FMin: db.MinReliability},
 		}
-		if err := postJSON(client, p.BaseURL+"/v1/devices", req, http.StatusCreated, nil); err != nil {
-			return nil, fmt.Errorf("fleet: loadgen register %s: %w", req.ID, err)
+		if _, err := c.Register(ctx, req); err != nil {
+			return nil, fmt.Errorf("client: loadgen register %s: %w", req.ID, err)
 		}
 	}
 
 	type workerResult struct {
-		latencies             []time.Duration
-		errors                int
-		reconfigs, violations int
+		latencies                       []time.Duration
+		errors                          int
+		reconfigs, violations, degraded int
 	}
 	results := make([]workerResult, p.Devices)
 	var wg sync.WaitGroup
@@ -149,20 +166,22 @@ func RunLoad(p LoadParams) (*LoadReport, error) {
 			stream := model.Stream()
 			res := &results[d]
 			res.latencies = make([]time.Duration, 0, p.EventsPerDevice)
-			url := fmt.Sprintf("%s/v1/devices/%s-%d/qos", p.BaseURL, p.DevicePrefix, d)
+			id := fmt.Sprintf("%s-%d", p.DevicePrefix, d)
 			for i := 0; i < p.EventsPerDevice; i++ {
 				if p.MeanInterArrivalMs > 0 {
 					time.Sleep(time.Duration(src.Exponential(p.MeanInterArrivalMs) * float64(time.Millisecond)))
 				}
 				spec := stream.Next(src)
-				var dec DecisionJSON
 				t0 := time.Now()
-				err := postJSON(client, url,
-					QoSSpecJSON{SMaxMs: spec.SMaxMs, FMin: spec.FMin}, http.StatusOK, &dec)
+				dec, err := c.QoS(ctx, id, uint64(i+1),
+					fleet.QoSSpecJSON{SMaxMs: spec.SMaxMs, FMin: spec.FMin})
 				res.latencies = append(res.latencies, time.Since(t0))
 				if err != nil {
 					res.errors++
 					continue
+				}
+				if dec.Degraded {
+					res.degraded++
 				}
 				if dec.Reconfigured {
 					res.reconfigs++
@@ -176,13 +195,14 @@ func RunLoad(p LoadParams) (*LoadReport, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	report := &LoadReport{Devices: p.Devices, Duration: elapsed}
+	report := &LoadReport{Devices: p.Devices, Duration: elapsed, Retries: c.Stats().Retries}
 	var all []time.Duration
 	for _, res := range results {
 		all = append(all, res.latencies...)
 		report.Errors += res.errors
 		report.Reconfigs += res.reconfigs
 		report.Violations += res.violations
+		report.Degraded += res.degraded
 	}
 	report.Events = len(all)
 	if elapsed > 0 {
@@ -213,21 +233,13 @@ func quantileDur(sorted []time.Duration, q float64) time.Duration {
 
 // pickDatabase fetches the server's database listing and selects the
 // named one (or the first).
-func pickDatabase(client *http.Client, baseURL, name string) (*DatabaseJSON, error) {
-	resp, err := client.Get(baseURL + "/v1/databases")
+func pickDatabase(ctx context.Context, c *Client, name string) (*fleet.DatabaseJSON, error) {
+	dbs, err := c.Databases(ctx)
 	if err != nil {
-		return nil, fmt.Errorf("fleet: loadgen list databases: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("fleet: loadgen list databases: status %s", resp.Status)
-	}
-	var dbs []DatabaseJSON
-	if err := json.NewDecoder(resp.Body).Decode(&dbs); err != nil {
-		return nil, fmt.Errorf("fleet: loadgen list databases: %w", err)
+		return nil, fmt.Errorf("client: loadgen list databases: %w", err)
 	}
 	if len(dbs) == 0 {
-		return nil, fmt.Errorf("fleet: server lists no databases")
+		return nil, fmt.Errorf("client: server lists no databases")
 	}
 	if name == "" {
 		return &dbs[0], nil
@@ -237,28 +249,5 @@ func pickDatabase(client *http.Client, baseURL, name string) (*DatabaseJSON, err
 			return &dbs[i], nil
 		}
 	}
-	return nil, fmt.Errorf("fleet: server does not serve database %q", name)
-}
-
-// postJSON posts a body and decodes the response when out is non-nil,
-// enforcing the expected status.
-func postJSON(client *http.Client, url string, body any, wantStatus int, out any) error {
-	data, err := json.Marshal(body)
-	if err != nil {
-		return err
-	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != wantStatus {
-		var apiErr ErrorJSON
-		_ = json.NewDecoder(resp.Body).Decode(&apiErr)
-		return fmt.Errorf("status %s: %s", resp.Status, apiErr.Error)
-	}
-	if out != nil {
-		return json.NewDecoder(resp.Body).Decode(out)
-	}
-	return nil
+	return nil, fmt.Errorf("client: server does not serve database %q", name)
 }

@@ -1,0 +1,99 @@
+package client_test
+
+import (
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"clrdse/internal/fleet"
+	"clrdse/internal/fleet/client"
+	"clrdse/internal/fleet/fleettest"
+)
+
+// TestLoadgenDrivesMetrics runs the load generator end to end against
+// a real server and cross-checks the report against the server's
+// Prometheus metrics: every event must land as exactly one decision.
+func TestLoadgenDrivesMetrics(t *testing.T) {
+	srv, err := fleet.NewServer(fleet.ServerConfig{
+		Databases: fleettest.Databases(t),
+		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const devices, events = 6, 15
+	report, err := client.RunLoad(client.LoadParams{
+		BaseURL:         ts.URL,
+		Devices:         devices,
+		EventsPerDevice: events,
+		Database:        "red",
+		PRC:             0.5,
+		Seed:            11,
+		DevicePrefix:    "lg",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Events != devices*events {
+		t.Fatalf("report.Events = %d, want %d", report.Events, devices*events)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("report.Errors = %d, want 0", report.Errors)
+	}
+	if report.Throughput <= 0 || report.P50 <= 0 || report.Max < report.P99 {
+		t.Fatalf("implausible latency report: %+v", report)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(body)
+	for _, want := range []string{
+		"fleet_decisions_total 90",
+		"fleet_devices 6",
+		"fleet_registrations_total 6",
+		"fleet_degraded_decisions_total 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestLoadgenUnknownDatabase: a bad database name must fail cleanly,
+// not after registering half the fleet.
+func TestLoadgenUnknownDatabase(t *testing.T) {
+	srv, err := fleet.NewServer(fleet.ServerConfig{
+		Databases: fleettest.Databases(t),
+		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, err = client.RunLoad(client.LoadParams{
+		BaseURL:         ts.URL,
+		Devices:         2,
+		EventsPerDevice: 2,
+		Database:        "no-such-db",
+	})
+	if err == nil {
+		t.Fatal("want error for unknown database")
+	}
+	if srv.Registry().Len() != 0 {
+		t.Fatalf("%d devices registered despite the failure", srv.Registry().Len())
+	}
+}

@@ -1,0 +1,345 @@
+package fleet
+
+// Tests for the registry's delivery semantics (sequence numbers,
+// replay cache) and degraded-mode contract: a faulted or overrun
+// decision path answers with the last known-good configuration and
+// leaves the manager state untouched, so a retry re-decides for real.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// seqFixture registers one device on the shared test fixture.
+func seqFixture(t *testing.T, hook DecideHook) (*Registry, string) {
+	t.Helper()
+	reg, err := NewRegistry(fleetDatabases(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.SetDecideHook(hook)
+	const id = "seq-dev"
+	if _, err := reg.Register(DeviceParams{
+		ID: id, Database: "red", PRC: 0.5, Initial: looseSpec(getFixture(t).red),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return reg, id
+}
+
+func TestSeqReplayReturnsCachedDecision(t *testing.T) {
+	reg, id := seqFixture(t, nil)
+	spec := looseSpec(getFixture(t).red)
+	ctx := context.Background()
+
+	first, err := reg.DecideCtx(ctx, id, 1, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Replayed {
+		t.Fatal("first decision flagged as replay")
+	}
+	// The retry carries a different spec on purpose: the cache must
+	// answer from the recorded decision, not re-decide.
+	tighter := spec
+	tighter.SMaxMs *= 0.9
+	replay, err := reg.DecideCtx(ctx, id, 1, tighter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replay.Replayed {
+		t.Fatal("retry of a decided seq not flagged Replayed")
+	}
+	if !reflect.DeepEqual(first.Decision, replay.Decision) {
+		t.Fatalf("replayed decision differs:\nfirst:  %+v\nreplay: %+v", first.Decision, replay.Decision)
+	}
+
+	info, err := reg.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Stats.Decisions != 1 || info.Stats.Replays != 1 {
+		t.Fatalf("stats = %+v, want 1 decision + 1 replay", info.Stats)
+	}
+}
+
+func TestSeqStaleRejected(t *testing.T) {
+	reg, id := seqFixture(t, nil)
+	spec := looseSpec(getFixture(t).red)
+	ctx := context.Background()
+	for seq := uint64(1); seq <= 3; seq++ {
+		if _, err := reg.DecideCtx(ctx, id, seq, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := reg.DecideCtx(ctx, id, 2, spec)
+	if !errors.Is(err, ErrStaleSeq) {
+		t.Fatalf("err = %v, want ErrStaleSeq", err)
+	}
+	info, _ := reg.Get(id)
+	if info.Stats.Decisions != 3 {
+		t.Fatalf("stale event changed state: %d decisions", info.Stats.Decisions)
+	}
+}
+
+func TestSeqZeroBypassesCache(t *testing.T) {
+	reg, id := seqFixture(t, nil)
+	spec := looseSpec(getFixture(t).red)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		out, err := reg.DecideCtx(ctx, id, 0, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Replayed {
+			t.Fatal("seq 0 answered from the replay cache")
+		}
+	}
+	info, _ := reg.Get(id)
+	if info.Stats.Decisions != 3 {
+		t.Fatalf("decisions = %d, want 3", info.Stats.Decisions)
+	}
+}
+
+// TestHookFaultDegrades: a decision-path fault answers degraded at the
+// current configuration without advancing the manager, and the next
+// clean decision clears the device's degraded flag.
+func TestHookFaultDegrades(t *testing.T) {
+	fail := true
+	reg, id := seqFixture(t, func(context.Context, string, uint64) error {
+		if fail {
+			return errors.New("injected: corrupted entry")
+		}
+		return nil
+	})
+	spec := looseSpec(getFixture(t).red)
+	ctx := context.Background()
+
+	before, _ := reg.Get(id)
+	out, err := reg.DecideCtx(ctx, id, 1, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Degraded {
+		t.Fatal("faulted decision not flagged Degraded")
+	}
+	if out.Decision.From != out.Decision.To || out.Decision.From != before.Point {
+		t.Fatalf("degraded outcome moved the device: %+v (point was %d)", out.Decision, before.Point)
+	}
+	if reg.DegradedDevices() != 1 {
+		t.Fatalf("DegradedDevices = %d, want 1", reg.DegradedDevices())
+	}
+	info, _ := reg.Get(id)
+	if info.Stats.Decisions != 0 {
+		t.Fatal("degraded answer advanced the manager")
+	}
+	if info.Stats.Degraded != 1 {
+		t.Fatalf("Stats.Degraded = %d, want 1", info.Stats.Degraded)
+	}
+
+	// The retry of the same seq now decides for real and recovers.
+	fail = false
+	out, err = reg.DecideCtx(ctx, id, 1, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Degraded || out.Replayed {
+		t.Fatalf("retry outcome = %+v, want a fresh real decision", out)
+	}
+	if reg.DegradedDevices() != 0 {
+		t.Fatalf("DegradedDevices = %d after recovery, want 0", reg.DegradedDevices())
+	}
+}
+
+// TestDeadlineOverrunDegrades: a hook that outlives the decision
+// deadline degrades the decision and counts a timeout.
+func TestDeadlineOverrunDegrades(t *testing.T) {
+	reg, id := seqFixture(t, func(ctx context.Context, _ string, _ uint64) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	out, err := reg.DecideCtx(ctx, id, 1, looseSpec(getFixture(t).red))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Degraded {
+		t.Fatal("deadline overrun not degraded")
+	}
+	var buf strings.Builder
+	reg.Metrics().WritePrometheus(&buf)
+	for _, want := range []string{
+		"fleet_decision_timeouts_total 1",
+		"fleet_degraded_decisions_total 1",
+		"fleet_degraded_devices 1",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestWedgedDeviceDegradesConcurrentRequest: while one decision holds
+// the device, a second request whose deadline expires waiting for the
+// lock degrades instead of hanging — and the wedged device never
+// blocks other devices.
+func TestWedgedDeviceDegradesConcurrentRequest(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	reg, id := seqFixture(t, func(ctx context.Context, _ string, seq uint64) error {
+		if seq == 1 {
+			close(entered)
+			<-release
+		}
+		return nil
+	})
+	defer close(release)
+
+	go reg.DecideCtx(context.Background(), id, 1, looseSpec(getFixture(t).red)) //nolint:errcheck
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	out, err := reg.DecideCtx(ctx, id, 2, looseSpec(getFixture(t).red))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Degraded {
+		t.Fatal("lock-starved request not degraded")
+	}
+}
+
+// TestHealthzReadyzDistinction: a degraded fleet stays live (healthz
+// 200) but loses readiness once the degraded fraction crosses the
+// ceiling; draining flips readiness regardless.
+func TestHealthzReadyzDistinction(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Databases:        fleetDatabases(t),
+		DecideTimeout:    50 * time.Millisecond,
+		ReadyMaxDegraded: 0.4,
+		DecideHook: func(context.Context, string, uint64) error {
+			return errors.New("injected fault")
+		},
+		Logger: quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, map[string]any) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz before traffic: %d %v", code, body)
+	}
+	if code, body := get("/readyz"); code != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("readyz before traffic: %d %v", code, body)
+	}
+
+	// Degrade both devices through the HTTP decision path.
+	for d := 0; d < 2; d++ {
+		id := fmt.Sprintf("hz-%d", d)
+		if _, err := srv.Registry().Register(DeviceParams{
+			ID: id, Database: "red", PRC: 0.5, Initial: looseSpec(getFixture(t).red),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		spec := looseSpec(getFixture(t).red)
+		payload := fmt.Sprintf(`{"s_max_ms":%g,"f_min":%g,"seq":1}`, spec.SMaxMs, spec.FMin)
+		resp, err := ts.Client().Post(ts.URL+"/v1/devices/"+id+"/qos",
+			"application/json", strings.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dec DecisionJSON
+		if err := json.NewDecoder(resp.Body).Decode(&dec); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !dec.Degraded {
+			t.Fatalf("qos %s: status %d degraded %v, want 200 + degraded", id, resp.StatusCode, dec.Degraded)
+		}
+	}
+
+	// 2/2 degraded > 0.4: live but not ready.
+	if code, body := get("/healthz"); code != http.StatusOK || body["status"] != "degraded" {
+		t.Fatalf("healthz degraded: %d %v, want 200 degraded", code, body)
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || body["status"] != "degraded" {
+		t.Fatalf("readyz degraded: %d %v, want 503 degraded", code, body)
+	}
+}
+
+// TestQoSRequestSeqOnWire: the HTTP layer threads the sequence number
+// through to the replay cache and echoes it in the answer.
+func TestQoSRequestSeqOnWire(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Databases: fleetDatabases(t), Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if _, err := srv.Registry().Register(DeviceParams{
+		ID: "wire", Database: "red", PRC: 0.5, Initial: looseSpec(getFixture(t).red),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := looseSpec(getFixture(t).red)
+	payload := fmt.Sprintf(`{"s_max_ms":%g,"f_min":%g,"seq":7}`, spec.SMaxMs, spec.FMin)
+	var answers []string
+	for i := 0; i < 2; i++ {
+		resp, err := ts.Client().Post(ts.URL+"/v1/devices/wire/qos",
+			"application/json", strings.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dec DecisionJSON
+		if err := json.NewDecoder(resp.Body).Decode(&dec); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if dec.Seq != 7 {
+			t.Fatalf("answer seq = %d, want 7", dec.Seq)
+		}
+		b, _ := json.Marshal(dec)
+		answers = append(answers, string(b))
+	}
+	if answers[0] != answers[1] {
+		t.Fatalf("replayed answer not byte-identical:\n%s\n%s", answers[0], answers[1])
+	}
+
+	// A stale seq maps to 409 on the wire.
+	stale := fmt.Sprintf(`{"s_max_ms":%g,"f_min":%g,"seq":6}`, spec.SMaxMs, spec.FMin)
+	resp, err := ts.Client().Post(ts.URL+"/v1/devices/wire/qos",
+		"application/json", strings.NewReader(stale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale seq status = %d, want 409", resp.StatusCode)
+	}
+}

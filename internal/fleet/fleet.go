@@ -15,11 +15,13 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clrdse/internal/dse"
@@ -37,7 +39,19 @@ var (
 	ErrNoDevice = errors.New("fleet: no such device")
 	// ErrNoDatabase reports an unknown database name.
 	ErrNoDatabase = errors.New("fleet: no such database")
+	// ErrStaleSeq reports a QoS event whose sequence number is behind
+	// the device's already-decided sequence — a late duplicate of an
+	// event the device has moved past.
+	ErrStaleSeq = errors.New("fleet: stale sequence number")
 )
+
+// DecideHook, when installed, runs inside the decision path before the
+// manager decides, holding the device lock. A non-nil error (a fault:
+// an injected stall that outlived the deadline, a corrupted database
+// entry) makes the registry degrade to the device's last known-good
+// configuration instead of deciding. Production deployments leave it
+// nil; the chaos layer injects faults through it.
+type DecideHook func(ctx context.Context, device string, seq uint64) error
 
 // NamedDatabase couples a pruned design-point database with the
 // mapping space it was built for, under the name devices register
@@ -118,7 +132,8 @@ func (p *DeviceParams) validate() error {
 
 // DeviceStats accumulates one device's decision history.
 type DeviceStats struct {
-	// Decisions counts QoS events processed.
+	// Decisions counts QoS events processed (each sequence number
+	// exactly once; replays are counted separately).
 	Decisions int64
 	// Reconfigs counts decisions that moved the configuration.
 	Reconfigs int64
@@ -128,6 +143,11 @@ type DeviceStats struct {
 	TotalDRCMs float64
 	// Migrations counts migrated task binaries.
 	Migrations int64
+	// Replays counts retried events answered from the decision cache.
+	Replays int64
+	// Degraded counts events answered with the last known-good
+	// fallback because the decision path faulted or timed out.
+	Degraded int64
 }
 
 // DeviceInfo is a point-in-time snapshot of one registered device.
@@ -144,17 +164,49 @@ type DeviceInfo struct {
 	RegisteredAt time.Time
 }
 
-// device is one registered device; mu serialises decisions so the
-// manager's sequential semantics and the stats stay consistent.
+// device is one registered device. sem is a capacity-1 semaphore
+// serialising decisions (preserving the manager's sequential
+// semantics) while still letting a caller give up waiting when its
+// deadline expires — a wedged decision on this device then degrades
+// concurrent requests instead of hanging them. The degraded bits are
+// atomics because the degraded path may run without the semaphore.
 type device struct {
-	mu     sync.Mutex
+	sem    chan struct{}
 	id     string
 	dbName string
 	db     *NamedDatabase
 	mgr    *runtime.Manager
 	stats  DeviceStats
 	regAt  time.Time
+
+	// Replay cache: the last decided sequence number and its decision.
+	// Retries of an event reuse its sequence number and are answered
+	// from here, so at-least-once delivery yields exactly-once
+	// decisions.
+	lastSeq  uint64
+	lastDec  runtime.Decision
+	haveLast bool
+
+	degraded  atomic.Bool  // currently degraded (clears on next success)
+	degradedN atomic.Int64 // lifetime degraded answers
 }
+
+// acquire takes the device semaphore, giving up when ctx expires.
+func (d *device) acquire(ctx context.Context) error {
+	select {
+	case d.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case d.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (d *device) release() { <-d.sem }
 
 // shard is one lock domain of the registry.
 type shard struct {
@@ -169,6 +221,10 @@ type Registry struct {
 	names  []string // registration order, for stable listings
 	shards []*shard
 
+	// hook, when non-nil, fault-checks the decision path (see
+	// DecideHook). Set via SetDecideHook before serving traffic.
+	hook DecideHook
+
 	met *metrics.Registry
 	// Fleet-wide instruments (per-endpoint HTTP counters live in the
 	// server, which shares met).
@@ -176,7 +232,11 @@ type Registry struct {
 	reconfigs   *metrics.Counter
 	violations  *metrics.Counter
 	regTotal    *metrics.Counter
+	replays     *metrics.Counter
+	degradedTot *metrics.Counter
+	timeouts    *metrics.Counter
 	devices     *metrics.Gauge
+	degradedDev *metrics.Gauge
 	decisionLat *metrics.Histogram
 }
 
@@ -224,12 +284,27 @@ func NewRegistry(dbs []NamedDatabase, shards int) (*Registry, error) {
 		"Decisions whose specification no stored point satisfied.")
 	r.regTotal = r.met.Counter("fleet_registrations_total",
 		"Device registrations accepted.")
+	r.replays = r.met.Counter("fleet_replays_total",
+		"Retried QoS events answered from the per-device decision cache.")
+	r.degradedTot = r.met.Counter("fleet_degraded_decisions_total",
+		"QoS events answered with the last known-good fallback.")
+	r.timeouts = r.met.Counter("fleet_decision_timeouts_total",
+		"Decisions abandoned because the deadline expired.")
 	r.devices = r.met.Gauge("fleet_devices",
 		"Devices currently registered.")
+	r.degradedDev = r.met.Gauge("fleet_degraded_devices",
+		"Devices currently in degraded mode.")
 	r.decisionLat = r.met.Histogram("fleet_decision_latency_seconds",
 		"Wall-clock latency of the decision hot path.", nil)
 	return r, nil
 }
+
+// SetDecideHook installs the decision-path fault hook. It must be set
+// before the registry serves traffic (it is read without a lock).
+func (r *Registry) SetDecideHook(h DecideHook) { r.hook = h }
+
+// DegradedDevices returns how many devices are currently degraded.
+func (r *Registry) DegradedDevices() int64 { return r.degradedDev.Value() }
 
 // Metrics returns the registry's metrics set (shared with the server).
 func (r *Registry) Metrics() *metrics.Registry { return r.met }
@@ -283,7 +358,10 @@ func (r *Registry) Register(p DeviceParams) (*DeviceInfo, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &device{id: p.ID, dbName: p.Database, db: db, mgr: mgr, regAt: time.Now()}
+	d := &device{
+		sem: make(chan struct{}, 1),
+		id:  p.ID, dbName: p.Database, db: db, mgr: mgr, regAt: time.Now(),
+	}
 
 	sh := r.shardFor(p.ID)
 	sh.mu.Lock()
@@ -311,17 +389,73 @@ func (r *Registry) lookup(id string) (*device, error) {
 	return d, nil
 }
 
+// DecideOutcome is a decision plus how it was produced.
+type DecideOutcome struct {
+	// Decision is the answer (for Degraded outcomes: stay at the last
+	// known-good configuration).
+	Decision runtime.Decision
+	// Replayed reports that the event's sequence number was already
+	// decided and the cached decision was returned unchanged.
+	Replayed bool
+	// Degraded reports that the decision path faulted or missed its
+	// deadline and the device fell back to last known-good.
+	Degraded bool
+}
+
 // Decide reacts to one QoS change for the device and returns the
 // decision with its imperative reconfiguration plan. Decisions for
 // one device execute one at a time; decisions for distinct devices
 // run fully in parallel.
 func (r *Registry) Decide(id string, spec runtime.QoSSpec) (runtime.Decision, error) {
+	out, err := r.DecideCtx(context.Background(), id, 0, spec)
+	return out.Decision, err
+}
+
+// DecideCtx is Decide with delivery semantics and fault tolerance.
+//
+// seq, when positive, is the device's monotonically increasing event
+// sequence number: an event equal to the last decided sequence is a
+// retry and is answered from the replay cache without re-deciding
+// (so at-least-once delivery yields exactly-once decisions), while an
+// event behind it fails with ErrStaleSeq. seq 0 bypasses the cache.
+//
+// If the decision path faults (see SetDecideHook) or ctx expires
+// before the device's lock is available, the device degrades: the
+// outcome is a stay-put decision at the last known-good configuration,
+// flagged Degraded, and the manager state is untouched — a later retry
+// of the same sequence number re-decides for real.
+func (r *Registry) DecideCtx(ctx context.Context, id string, seq uint64, spec runtime.QoSSpec) (DecideOutcome, error) {
 	d, err := r.lookup(id)
 	if err != nil {
-		return runtime.Decision{}, err
+		return DecideOutcome{}, err
 	}
 	start := time.Now()
-	d.mu.Lock()
+	if err := d.acquire(ctx); err != nil {
+		// The device's decision path is wedged past our deadline:
+		// answer degraded without touching any state.
+		return r.degrade(d, err), nil
+	}
+	if seq > 0 && d.haveLast {
+		if seq == d.lastSeq {
+			dec := d.lastDec
+			d.stats.Replays++
+			d.release()
+			r.replays.Inc()
+			return DecideOutcome{Decision: dec, Replayed: true}, nil
+		}
+		if seq < d.lastSeq {
+			last := d.lastSeq
+			d.release()
+			return DecideOutcome{}, fmt.Errorf("%w: seq %d behind %d", ErrStaleSeq, seq, last)
+		}
+	}
+	if r.hook != nil {
+		if err := r.hook(ctx, id, seq); err != nil {
+			out := r.degrade(d, err)
+			d.release()
+			return out, nil
+		}
+	}
 	dec := d.mgr.OnQoSChange(spec)
 	d.stats.Decisions++
 	if dec.Reconfigured {
@@ -332,7 +466,13 @@ func (r *Registry) Decide(id string, spec runtime.QoSSpec) (runtime.Decision, er
 	if dec.Violated {
 		d.stats.Violations++
 	}
-	d.mu.Unlock()
+	if seq > 0 {
+		d.lastSeq, d.lastDec, d.haveLast = seq, dec, true
+	}
+	d.release()
+	if d.degraded.CompareAndSwap(true, false) {
+		r.degradedDev.Add(-1)
+	}
 	r.decisionLat.Observe(time.Since(start).Seconds())
 	r.decisions.Inc()
 	if dec.Reconfigured {
@@ -341,7 +481,26 @@ func (r *Registry) Decide(id string, spec runtime.QoSSpec) (runtime.Decision, er
 	if dec.Violated {
 		r.violations.Inc()
 	}
-	return dec, nil
+	return DecideOutcome{Decision: dec}, nil
+}
+
+// degrade builds the last-known-good fallback outcome for a decision
+// path that faulted with err, and accounts for it. It must not assume
+// the device semaphore is held.
+func (r *Registry) degrade(d *device, err error) DecideOutcome {
+	cur := d.mgr.Current()
+	d.degradedN.Add(1)
+	if d.degraded.CompareAndSwap(false, true) {
+		r.degradedDev.Add(1)
+	}
+	r.degradedTot.Inc()
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		r.timeouts.Inc()
+	}
+	return DecideOutcome{
+		Decision: runtime.Decision{From: cur, To: cur},
+		Degraded: true,
+	}
 }
 
 // Get returns a snapshot of the device's current point and cumulative
@@ -358,7 +517,7 @@ func (r *Registry) Get(id string) (*DeviceInfo, error) {
 func (r *Registry) Remove(id string) error {
 	sh := r.shardFor(id)
 	sh.mu.Lock()
-	_, ok := sh.devices[id]
+	d, ok := sh.devices[id]
 	if ok {
 		delete(sh.devices, id)
 	}
@@ -367,6 +526,9 @@ func (r *Registry) Remove(id string) error {
 		return fmt.Errorf("%w: %q", ErrNoDevice, id)
 	}
 	r.devices.Add(-1)
+	if d.degraded.Load() {
+		r.degradedDev.Add(-1)
+	}
 	return nil
 }
 
@@ -382,8 +544,10 @@ func (r *Registry) Len() int {
 }
 
 func (d *device) snapshot() *DeviceInfo {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.sem <- struct{}{}
+	stats := d.stats
+	d.release()
+	stats.Degraded = d.degradedN.Load()
 	pt := d.mgr.CurrentPoint()
 	return &DeviceInfo{
 		ID:           d.id,
@@ -392,7 +556,7 @@ func (d *device) snapshot() *DeviceInfo {
 		MakespanMs:   pt.MakespanMs,
 		Reliability:  pt.Reliability,
 		EnergyMJ:     pt.EnergyMJ,
-		Stats:        d.stats,
+		Stats:        stats,
 		RegisteredAt: d.regAt,
 	}
 }

@@ -1,0 +1,100 @@
+// Package fleettest provides shared fixtures for tests that exercise
+// the fleet decision service from outside the fleet package (the
+// resilient client, the chaos soak). It runs the design-time flow once
+// per process on a small synthetic application and hands out the
+// resulting databases, plus deterministic QoS event scripts.
+package fleettest
+
+import (
+	"sync"
+	"testing"
+
+	"clrdse/internal/dse"
+	"clrdse/internal/fleet"
+	"clrdse/internal/ga"
+	"clrdse/internal/mapping"
+	"clrdse/internal/platform"
+	"clrdse/internal/relmodel"
+	"clrdse/internal/rng"
+	"clrdse/internal/runtime"
+	"clrdse/internal/taskgraph"
+)
+
+type fixture struct {
+	problem *dse.Problem
+	base    *dse.Database
+	red     *dse.Database
+}
+
+var (
+	once   sync.Once
+	fix    fixture
+	fixErr error
+)
+
+func get(tb testing.TB) fixture {
+	tb.Helper()
+	once.Do(func() {
+		plat := platform.Default()
+		g, err := taskgraph.Generate(taskgraph.GenParams{Seed: 51, NumTasks: 20}, plat)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		prob := &dse.Problem{
+			Space:  &mapping.Space{Graph: g, Platform: plat, Catalogue: relmodel.DefaultCatalogue()},
+			Env:    relmodel.DefaultEnv(),
+			SMaxMs: g.PeriodMs,
+			FMin:   0.90,
+		}
+		base, err := dse.RunBase(prob, ga.Params{PopSize: 28, Generations: 12, Seed: 1})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		red, err := dse.RunReD(prob, base, dse.ReDParams{
+			GA: ga.Params{PopSize: 16, Generations: 8, Seed: 2}, MaxExtraPerSeed: 2,
+		})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fix = fixture{problem: prob, base: base, red: red}
+	})
+	if fixErr != nil {
+		tb.Fatal(fixErr)
+	}
+	return fix
+}
+
+// Databases returns the fixture's decision bases, named "red" (the
+// run-time-enriched database) and "based" (the stage-1 Pareto front).
+func Databases(tb testing.TB) []fleet.NamedDatabase {
+	f := get(tb)
+	return []fleet.NamedDatabase{
+		{Name: "red", DB: f.red, Space: f.problem.Space},
+		{Name: "based", DB: f.base, Space: f.problem.Space},
+	}
+}
+
+// Script precomputes a device's deterministic QoS event sequence from
+// the database's satisfiable envelope: equal seeds yield identical
+// scripts, independent of scheduling.
+func Script(db *dse.Database, seed int64, events int) []runtime.QoSSpec {
+	q := runtime.ModelFromDatabase(db)
+	src := rng.New(seed)
+	stream := q.Stream()
+	specs := make([]runtime.QoSSpec, events)
+	for i := range specs {
+		specs[i] = stream.Next(src)
+	}
+	return specs
+}
+
+// LooseSpec returns a specification every point of the database
+// satisfies — a safe boot specification.
+func LooseSpec(db *dse.Database) runtime.QoSSpec {
+	n := fleet.NamedDatabase{DB: db}
+	_, maxS, minF, _ := n.Envelope()
+	return runtime.QoSSpec{SMaxMs: maxS, FMin: minF}
+}

@@ -15,6 +15,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"clrdse/internal/fleet/metrics"
@@ -31,6 +32,16 @@ type ServerConfig struct {
 	// ShutdownGrace bounds how long Shutdown waits for in-flight
 	// decisions to drain (0 selects 10s).
 	ShutdownGrace time.Duration
+	// DecideTimeout bounds one QoS decision, including waiting for
+	// the device's lock; past it the device answers degraded with its
+	// last known-good configuration (0 selects 2s).
+	DecideTimeout time.Duration
+	// DecideHook optionally fault-checks the decision path (chaos
+	// testing); see DecideHook.
+	DecideHook DecideHook
+	// ReadyMaxDegraded is the fraction of degraded devices above
+	// which /readyz reports 503 (0 selects 0.5).
+	ReadyMaxDegraded float64
 	// Logger receives structured request logs (nil selects
 	// slog.Default()).
 	Logger *slog.Logger
@@ -38,13 +49,16 @@ type ServerConfig struct {
 
 // Server is the fleet decision service.
 type Server struct {
-	reg      *Registry
-	log      *slog.Logger
-	maxBody  int64
-	grace    time.Duration
-	handler  http.Handler
-	httpSrv  *http.Server
-	reqCount map[string]*metrics.Counter
+	reg       *Registry
+	log       *slog.Logger
+	maxBody   int64
+	grace     time.Duration
+	decideTO  time.Duration
+	readyFrac float64
+	draining  atomic.Bool
+	handler   http.Handler
+	httpSrv   *http.Server
+	reqCount  map[string]*metrics.Counter
 }
 
 // NewServer validates the configuration (including every database)
@@ -54,12 +68,15 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg.SetDecideHook(cfg.DecideHook)
 	s := &Server{
-		reg:      reg,
-		log:      cfg.Logger,
-		maxBody:  cfg.MaxBodyBytes,
-		grace:    cfg.ShutdownGrace,
-		reqCount: make(map[string]*metrics.Counter),
+		reg:       reg,
+		log:       cfg.Logger,
+		maxBody:   cfg.MaxBodyBytes,
+		grace:     cfg.ShutdownGrace,
+		decideTO:  cfg.DecideTimeout,
+		readyFrac: cfg.ReadyMaxDegraded,
+		reqCount:  make(map[string]*metrics.Counter),
 	}
 	if s.log == nil {
 		s.log = slog.Default()
@@ -69,6 +86,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	if s.grace <= 0 {
 		s.grace = 10 * time.Second
+	}
+	if s.decideTO <= 0 {
+		s.decideTO = 2 * time.Second
+	}
+	if s.readyFrac <= 0 {
+		s.readyFrac = 0.5
 	}
 	s.handler = s.buildMux()
 	s.httpSrv = s.newHTTPServer()
@@ -100,6 +123,7 @@ func (s *Server) buildMux() http.Handler {
 	route("DELETE /v1/devices/{id}", "delete_device", s.handleDeleteDevice)
 	route("GET /v1/databases", "databases", s.handleDatabases)
 	route("GET /healthz", "healthz", s.handleHealthz)
+	route("GET /readyz", "readyz", s.handleReadyz)
 	route("GET /metrics", "metrics", s.handleMetrics)
 	return mux
 }
@@ -151,7 +175,7 @@ func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrNoDevice), errors.Is(err, ErrNoDatabase):
 		status = http.StatusNotFound
-	case errors.Is(err, ErrDeviceExists):
+	case errors.Is(err, ErrDeviceExists), errors.Is(err, ErrStaleSeq):
 		status = http.StatusConflict
 	case errors.As(err, &maxBytes):
 		status = http.StatusRequestEntityTooLarge
@@ -190,21 +214,26 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleQoS(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	var spec QoSSpecJSON
-	if err := decodeJSON(r, &spec); err != nil {
+	var req QoSRequest
+	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
-	if err := spec.validate(); err != nil {
+	if err := req.validate(); err != nil {
 		writeError(w, err)
 		return
 	}
-	dec, err := s.reg.Decide(id, spec.Spec())
+	ctx, cancel := context.WithTimeout(r.Context(), s.decideTO)
+	defer cancel()
+	out, err := s.reg.DecideCtx(ctx, id, req.Seq, req.Spec())
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, decisionJSON(id, dec))
+	dj := decisionJSON(id, out.Decision)
+	dj.Seq = req.Seq
+	dj.Degraded = out.Degraded
+	writeJSON(w, http.StatusOK, dj)
 }
 
 func (s *Server) handleGetDevice(w http.ResponseWriter, r *http.Request) {
@@ -233,11 +262,40 @@ func (s *Server) handleDatabases(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleHealthz is liveness: the process is up and serving. It stays
+// 200 even when devices are degraded — a degraded fleet still answers
+// (with last known-good configurations), so killing the process would
+// only make things worse.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if s.reg.DegradedDevices() > 0 {
+		status = "degraded"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"devices": s.reg.Len(),
+		"status":           status,
+		"devices":          s.reg.Len(),
+		"degraded_devices": s.reg.DegradedDevices(),
 	})
+}
+
+// handleReadyz is readiness: whether this instance should receive new
+// traffic. Unlike /healthz it turns 503 while draining and when the
+// degraded-device fraction exceeds the configured ceiling, steering
+// load balancers away while the instance recovers.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	n := s.reg.Len()
+	deg := s.reg.DegradedDevices()
+	body := map[string]any{"status": "ready", "devices": n, "degraded_devices": deg}
+	switch {
+	case s.draining.Load():
+		body["status"] = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	case n > 0 && float64(deg) > s.readyFrac*float64(n):
+		body["status"] = "degraded"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	default:
+		writeJSON(w, http.StatusOK, body)
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -264,8 +322,11 @@ func (s *Server) Serve(l net.Listener) error {
 }
 
 // Shutdown gracefully stops the server, draining in-flight decisions
-// for up to the configured grace period.
+// for up to the configured grace period. /readyz flips to 503
+// ("draining") for the duration, so load balancers stop routing here
+// while in-flight decisions finish.
 func (s *Server) Shutdown() error {
+	s.draining.Store(true)
 	ctx, cancel := context.WithTimeout(context.Background(), s.grace)
 	defer cancel()
 	return s.httpSrv.Shutdown(ctx)

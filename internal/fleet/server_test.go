@@ -23,6 +23,29 @@ func quietLogger() *slog.Logger {
 	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }
 
+// postJSON posts a body and decodes the response when out is non-nil,
+// enforcing the expected status.
+func postJSON(client *http.Client, url string, body any, wantStatus int, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var apiErr ErrorJSON
+		_ = json.NewDecoder(resp.Body).Decode(&apiErr)
+		return fmt.Errorf("status %s: %s", resp.Status, apiErr.Error)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
 // bootServer starts the service on a real loopback listener and
 // returns its base URL; cleanup drains and stops it.
 func bootServer(t *testing.T) (*Server, string) {
@@ -143,57 +166,6 @@ func TestServerEndToEndMatchesManager(t *testing.T) {
 	resp.Body.Close()
 	if info.Decisions != events {
 		t.Errorf("device decisions = %d, want %d", info.Decisions, events)
-	}
-}
-
-// TestServerLoadgenDrivesMetrics boots the server, runs the load
-// generator against it, and checks the acceptance criterion that
-// /metrics reports non-zero decision-latency histogram counts.
-func TestServerLoadgenDrivesMetrics(t *testing.T) {
-	_, base := bootServer(t)
-	report, err := RunLoad(LoadParams{
-		BaseURL: base, Devices: 6, EventsPerDevice: 15, PRC: 0.5, Seed: 9,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if report.Errors != 0 {
-		t.Fatalf("loadgen saw %d errors", report.Errors)
-	}
-	if report.Events != 6*15 {
-		t.Errorf("events = %d, want %d", report.Events, 6*15)
-	}
-	if report.Throughput <= 0 || report.P50 <= 0 || report.P99 < report.P50 {
-		t.Errorf("implausible latency report: %+v", report)
-	}
-	if !strings.Contains(report.String(), "decisions/s") {
-		t.Errorf("report rendering: %q", report.String())
-	}
-
-	resp, err := http.Get(base + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	body, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil {
-		t.Fatal(err)
-	}
-	text := string(body)
-	for _, want := range []string{
-		"fleet_decision_latency_seconds_count 90",
-		"fleet_decisions_total 90",
-		"fleet_devices 6",
-		`http_requests_total{endpoint="qos"} 90`,
-		`http_requests_total{endpoint="register"} 6`,
-	} {
-		if !strings.Contains(text, want) {
-			t.Errorf("/metrics missing %q", want)
-		}
-	}
-	// Histogram buckets must hold real observations.
-	if !strings.Contains(text, "fleet_decision_latency_seconds_bucket") {
-		t.Error("/metrics has no latency buckets")
 	}
 }
 

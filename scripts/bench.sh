@@ -12,6 +12,12 @@
 # B/op and allocs/op across the five samples. The schema matches the
 # committed BENCH_1.json, which pairs the pre-optimisation baseline
 # with the first optimised run.
+#
+# After writing, the new medians are diffed against the latest
+# previously committed BENCH_<n>.json (the last run object in it):
+# any benchmark whose median ns/op regressed by more than 20% prints a
+# WARNING. Warnings do not fail the script — benchmarks on shared CI
+# runners are noisy — but they make regressions visible in the log.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -52,3 +58,32 @@ END {
 }' >"$file"
 
 echo "wrote $file"
+
+# Diff the new medians against the latest previous results file: the
+# last run object of BENCH_<n-1>.json (later runs supersede earlier
+# ones in the same file).
+prev=$((n - 1))
+if [ "$prev" -ge 1 ] && [ -e "BENCH_${prev}.json" ]; then
+	echo "comparing against BENCH_${prev}.json ..."
+	# Extract "name ns_per_op" pairs; for duplicates (one per run
+	# object) the last occurrence wins.
+	pairs() {
+		tr ',' '\n' <"$1" | tr -d ' "{}[]' | awk -F: '
+			$1 == "name" { nm = $2 }
+			$1 == "ns_per_op" && nm != "" { v[nm] = $2 }
+			END { for (nm in v) print nm, v[nm] }'
+	}
+	pairs "BENCH_${prev}.json" >/tmp/bench_prev.$$
+	pairs "$file" >/tmp/bench_new.$$
+	awk -v prevfile="BENCH_${prev}.json" '
+		NR == FNR { prev[$1] = $2; next }
+		($1 in prev) && prev[$1] > 0 {
+			ratio = $2 / prev[$1]
+			printf "  %-45s %12.0f -> %12.0f ns/op (%+.1f%%)\n", $1, prev[$1], $2, (ratio - 1) * 100
+			if (ratio > 1.2) {
+				printf "WARNING: %s regressed %.1f%% vs %s (%.0f -> %.0f ns/op)\n", \
+					$1, (ratio - 1) * 100, prevfile, prev[$1], $2
+			}
+		}' /tmp/bench_prev.$$ /tmp/bench_new.$$
+	rm -f /tmp/bench_prev.$$ /tmp/bench_new.$$
+fi

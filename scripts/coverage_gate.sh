@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# coverage_gate.sh — run the test suite with coverage and ratchet the
+# total against the committed baseline.
+#
+# Usage:
+#   scripts/coverage_gate.sh            # compare against the baseline
+#   scripts/coverage_gate.sh --update   # rewrite the baseline instead
+#
+# The baseline lives in scripts/coverage_base.txt (a single number,
+# percent). The gate fails if the measured total statement coverage
+# drops more than 1 point below it — enough slack that incidental
+# refactors pass, tight enough that a PR cannot silently land a large
+# untested subsystem. PRs that raise coverage should re-run with
+# --update and commit the new baseline.
+set -eu
+cd "$(dirname "$0")/.."
+
+base_file="scripts/coverage_base.txt"
+profile="${COVER_PROFILE:-/tmp/clrdse-cover.out}"
+
+go test -short -count=1 -coverprofile="$profile" ./... >/dev/null
+total=$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+echo "total coverage: ${total}%"
+
+if [ "${1:-}" = "--update" ]; then
+	printf '%s\n' "$total" >"$base_file"
+	echo "baseline updated: $base_file = ${total}%"
+	exit 0
+fi
+
+if [ ! -e "$base_file" ]; then
+	echo "no baseline at $base_file; run scripts/coverage_gate.sh --update" >&2
+	exit 1
+fi
+base=$(cat "$base_file")
+echo "baseline:       ${base}%"
+
+awk -v total="$total" -v base="$base" 'BEGIN {
+	if (total + 1.0 < base) {
+		printf "FAIL: coverage %.1f%% is more than 1 point below the %.1f%% baseline\n", total, base
+		exit 1
+	}
+	if (total > base) {
+		printf "coverage improved (%.1f%% > %.1f%%); consider scripts/coverage_gate.sh --update\n", total, base
+	} else {
+		printf "OK: coverage within 1 point of the baseline\n"
+	}
+}'
