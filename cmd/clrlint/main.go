@@ -1,0 +1,228 @@
+// Command clrlint runs the repository's determinism and concurrency
+// analyzers (see internal/analysis/...) over Go packages.
+//
+// Standalone usage (the CI lint step):
+//
+//	go run ./cmd/clrlint ./...
+//	go run ./cmd/clrlint -checks detrand,maporder ./internal/dse
+//
+// It prints findings as file:line:col: message (analyzer) and exits 1
+// when any unsuppressed diagnostic remains, 2 on load/internal
+// errors. Suppress a finding with a justified comment on or above the
+// offending line:
+//
+//	//lint:allow maporder keys are sorted two statements below
+//
+// The binary also speaks the `go vet -vettool` config protocol
+// (best-effort): when invoked with a single *.cfg argument it
+// type-checks from the supplied export data and reports findings the
+// way a vet tool does.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"clrdse/internal/analysis"
+	"clrdse/internal/analysis/load"
+	"clrdse/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("clrlint", flag.ExitOnError)
+	var (
+		list    = fs.Bool("list", false, "list analyzers and exit")
+		tests   = fs.Bool("tests", false, "also analyze in-package _test.go files")
+		checks  = fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
+		version = fs.Bool("V", false, "print version and exit (vettool protocol)")
+	)
+	// The go vet driver probes tools with -V=full and -flags.
+	if len(args) == 1 && (args[0] == "-V=full" || args[0] == "--V=full") {
+		fmt.Println("clrlint version devel")
+		return 0
+	}
+	if len(args) == 1 && (args[0] == "-flags" || args[0] == "--flags") {
+		fmt.Println("[]")
+		return 0
+	}
+	fs.Parse(args)
+	if *version {
+		fmt.Println("clrlint version devel")
+		return 0
+	}
+
+	analyzers := suite.All()
+	if *checks != "" {
+		names := strings.Split(*checks, ",")
+		var ok bool
+		analyzers, ok = suite.ByName(names)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "clrlint: unknown analyzer in -checks=%s (have %s)\n", *checks, strings.Join(analyzerNames(), ", "))
+			return 2
+		}
+	}
+	if *list {
+		for _, a := range suite.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 1 && strings.HasSuffix(patterns[0], ".cfg") {
+		return vettool(analyzers, patterns[0])
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clrlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := load.Load(wd, *tests, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clrlint: %v\n", err)
+		return 2
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "clrlint: %s: type error: %v\n", pkg.ImportPath, terr)
+			exit = 2
+		}
+		diags, err := analysis.Run(analyzers, analysis.Target{
+			Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clrlint: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			printDiag(os.Stdout, wd, pkg.Fset, d)
+			if exit == 0 {
+				exit = 1
+			}
+		}
+	}
+	return exit
+}
+
+func printDiag(w io.Writer, wd string, fset *token.FileSet, d analysis.Diagnostic) {
+	pos := fset.Position(d.Pos)
+	name := pos.Filename
+	if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = rel
+	}
+	fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", name, pos.Line, pos.Column, d.Message, d.Analyzer)
+}
+
+func analyzerNames() []string {
+	var names []string
+	for _, a := range suite.All() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// --- go vet -vettool protocol (best-effort) ---------------------------
+
+// vetConfig mirrors the JSON configuration the go vet driver hands to
+// unitchecker-style tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func vettool(analyzers []*analysis.Analyzer, cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clrlint: %v\n", err)
+		return 3
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "clrlint: parsing %s: %v\n", cfgPath, err)
+		return 3
+	}
+	// The driver expects a facts file even though this suite exports
+	// no cross-package facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("clrlint-no-facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "clrlint: %v\n", err)
+			return 3
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clrlint: %v\n", err)
+			return 3
+		}
+		files = append(files, f)
+	}
+	info := load.NewInfo()
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, cfg.Compiler, lookup),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, _ := conf.Check(cfg.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 && !cfg.SucceedOnTypecheckFailure {
+		for _, terr := range typeErrs {
+			fmt.Fprintf(os.Stderr, "clrlint: %v\n", terr)
+		}
+		return 3
+	}
+	diags, err := analysis.Run(analyzers, analysis.Target{Fset: fset, Files: files, Pkg: pkg, Info: info})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clrlint: %v\n", err)
+		return 3
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clrdse/internal/analysis"
+)
+
+func TestVetDriverProbes(t *testing.T) {
+	if got := run([]string{"-V=full"}); got != 0 {
+		t.Errorf("-V=full exit = %d, want 0", got)
+	}
+	if got := run([]string{"-flags"}); got != 0 {
+		t.Errorf("-flags exit = %d, want 0", got)
+	}
+}
+
+func TestList(t *testing.T) {
+	if got := run([]string{"-list"}); got != 0 {
+		t.Errorf("-list exit = %d, want 0", got)
+	}
+}
+
+func TestUnknownCheck(t *testing.T) {
+	if got := run([]string{"-checks", "nosuchanalyzer", "./..."}); got != 2 {
+		t.Errorf("unknown -checks exit = %d, want 2", got)
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	// rng is in the deterministic core and must stay clean; running the
+	// real loader over it exercises the standalone path end to end.
+	if got := run([]string{"clrdse/internal/rng"}); got != 0 {
+		t.Errorf("clean package exit = %d, want 0", got)
+	}
+}
+
+func TestSelectedChecksOnCleanPackage(t *testing.T) {
+	if got := run([]string{"-checks", "detrand,maporder", "clrdse/internal/pareto"}); got != 0 {
+		t.Errorf("exit = %d, want 0", got)
+	}
+}
+
+func TestViolationExitsOne(t *testing.T) {
+	// A scratch module whose package base ("dse") is in the
+	// deterministic set, importing math/rand: detrand must fire and the
+	// standalone driver must exit 1.
+	dir := t.TempDir()
+	pkgDir := filepath.Join(dir, "dse")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		filepath.Join(dir, "go.mod"): "module scratch\n\ngo 1.22\n",
+		filepath.Join(pkgDir, "dse.go"): `package dse
+
+import "math/rand"
+
+func Pick() int { return rand.Int() }
+`,
+	}
+	for name, src := range files {
+		if err := os.WriteFile(name, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+	if got := run([]string{"./..."}); got != 1 {
+		t.Errorf("violating package exit = %d, want 1", got)
+	}
+}
+
+func TestPrintDiagRelativizesPath(t *testing.T) {
+	fset := token.NewFileSet()
+	f := fset.AddFile("/repo/pkg/file.go", -1, 100)
+	f.SetLines([]int{0, 50})
+	var sb strings.Builder
+	printDiag(&sb, "/repo", fset, analysis.Diagnostic{
+		Pos: f.Pos(55), Analyzer: "detrand", Message: "boom",
+	})
+	got := sb.String()
+	if !strings.HasPrefix(got, "pkg/file.go:2:") || !strings.Contains(got, "boom (detrand)") {
+		t.Errorf("printDiag = %q", got)
+	}
+}
+
+func TestVettoolErrorPaths(t *testing.T) {
+	if got := vettool(nil, filepath.Join(t.TempDir(), "missing.cfg")); got != 3 {
+		t.Errorf("missing cfg exit = %d, want 3", got)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.cfg")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := vettool(nil, bad); got != 3 {
+		t.Errorf("malformed cfg exit = %d, want 3", got)
+	}
+}
+
+func TestVettoolVetxOnly(t *testing.T) {
+	dir := t.TempDir()
+	vetx := filepath.Join(dir, "out.vetx")
+	cfg := vetConfig{ID: "p", Compiler: "gc", ImportPath: "p", VetxOnly: true, VetxOutput: vetx}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "p.cfg")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := vettool(nil, path); got != 0 {
+		t.Errorf("VetxOnly exit = %d, want 0", got)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("facts placeholder not written: %v", err)
+	}
+}

@@ -116,13 +116,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		sec := report.Section{ID: id, Title: report.Titles[id], Body: text}
 		if *svg {
-			for name, chart := range charts(id, r) {
-				p := filepath.Join(*out, name+".svg")
-				if err := os.WriteFile(p, []byte(chart), 0o644); err != nil {
+			for _, c := range charts(id, r) {
+				p := filepath.Join(*out, c.Name+".svg")
+				if err := os.WriteFile(p, []byte(c.SVG), 0o644); err != nil {
 					fatal(err)
 				}
 				fmt.Fprintf(os.Stderr, "wrote %s\n", p)
-				sec.SVGs = append(sec.SVGs, name+".svg")
+				sec.SVGs = append(sec.SVGs, c.Name+".svg")
 			}
 		}
 		sections = append(sections, sec)
@@ -137,25 +137,33 @@ func main() {
 	}
 }
 
-// charts returns the SVG renderings a result offers, keyed by file
-// stem. Tables have none.
-func charts(id string, r renderer) map[string]string {
-	out := map[string]string{}
+// namedChart pairs a chart's file stem with its rendered SVG markup.
+type namedChart struct {
+	Name string
+	SVG  string
+}
+
+// charts returns the SVG renderings a result offers, in the fixed
+// order they are written and listed in the report. Tables have none.
+func charts(id string, r renderer) []namedChart {
+	var out []namedChart
 	switch v := r.(type) {
 	case *experiments.Fig1Result:
 		fronts, bars := v.Charts()
-		out[id] = fronts.SVG()
-		out[id+"-javg"] = bars.SVG()
+		out = append(out,
+			namedChart{id, fronts.SVG()},
+			namedChart{id + "-javg", bars.SVG()})
 	case *experiments.Fig5Result:
-		out[id] = v.Chart().SVG()
+		out = append(out, namedChart{id, v.Chart().SVG()})
 	case *experiments.Fig6Result:
-		out[id] = v.Chart().SVG()
+		out = append(out, namedChart{id, v.Chart().SVG()})
 	case *experiments.Fig7Result:
 		energy, drc := v.Charts()
-		out[id+"-energy"] = energy.SVG()
-		out[id+"-drc"] = drc.SVG()
+		out = append(out,
+			namedChart{id + "-energy", energy.SVG()},
+			namedChart{id + "-drc", drc.SVG()})
 	case *experiments.ConvergenceResult:
-		out[id] = v.Chart().SVG()
+		out = append(out, namedChart{id, v.Chart().SVG()})
 	}
 	return out
 }

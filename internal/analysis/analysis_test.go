@@ -1,0 +1,223 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"clrdse/internal/analysis"
+)
+
+// parseAndCheck type-checks one in-memory file so Run has a real
+// Target to work with.
+func parseAndCheck(t *testing.T, src string) analysis.Target {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return analysis.Target{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}
+}
+
+// flagCalls reports every call expression, so tests can place findings
+// on arbitrary lines.
+var flagCalls = &analysis.Analyzer{
+	Name: "flagcalls",
+	Doc:  "test analyzer: reports every function call",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					pass.Reportf(call.Pos(), "call found")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func lines(t *testing.T, target analysis.Target, diags []analysis.Diagnostic) []int {
+	t.Helper()
+	out := make([]int, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, target.Fset.Position(d.Pos).Line)
+	}
+	return out
+}
+
+func TestSuppressionSameLineAndLineAbove(t *testing.T) {
+	src := `package p
+
+func g() {}
+
+func f() {
+	g() //lint:allow flagcalls same-line waiver
+	//lint:allow flagcalls line-above waiver
+	g()
+	g()
+}
+`
+	target := parseAndCheck(t, src)
+	diags, err := analysis.Run([]*analysis.Analyzer{flagCalls}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := lines(t, target, diags)
+	// Lines 6 and 8 are waived; only the bare call on line 9 survives.
+	if len(got) != 1 || got[0] != 9 {
+		t.Fatalf("suppression kept lines %v, want [9]", got)
+	}
+}
+
+func TestSuppressionIsPerAnalyzer(t *testing.T) {
+	src := `package p
+
+func g() {}
+
+func f() {
+	g() //lint:allow otherchecker not this analyzer
+}
+`
+	target := parseAndCheck(t, src)
+	diags, err := analysis.Run([]*analysis.Analyzer{flagCalls}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("allow for a different analyzer must not suppress; got %d diags", len(diags))
+	}
+}
+
+func TestMalformedAllowIsReported(t *testing.T) {
+	src := `package p
+
+func g() {}
+
+func f() {
+	//lint:allow flagcalls
+	g()
+}
+`
+	target := parseAndCheck(t, src)
+	diags, err := analysis.Run([]*analysis.Analyzer{flagCalls}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawLintallow, sawCall bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "lintallow":
+			sawLintallow = true
+			if !strings.Contains(d.Message, "reason is mandatory") {
+				t.Errorf("lintallow message %q should explain the mandatory reason", d.Message)
+			}
+		case "flagcalls":
+			sawCall = true
+		}
+	}
+	if !sawLintallow {
+		t.Error("reason-less //lint:allow must produce a lintallow diagnostic")
+	}
+	if !sawCall {
+		t.Error("reason-less //lint:allow must not suppress the finding it precedes")
+	}
+}
+
+func TestDiagnosticsSortedByPosition(t *testing.T) {
+	src := `package p
+
+func g() {}
+
+func f() {
+	g()
+	g()
+	g()
+}
+`
+	target := parseAndCheck(t, src)
+	diags, err := analysis.Run([]*analysis.Analyzer{flagCalls}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := lines(t, target, diags)
+	if len(got) != 3 {
+		t.Fatalf("want 3 diagnostics, got %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("diagnostics out of order: %v", got)
+		}
+	}
+}
+
+func TestFuncOfAndIsPkgFunc(t *testing.T) {
+	src := `package p
+
+import "fmt"
+
+type s struct{ hook func() }
+
+func (s) m() {}
+
+func f(v s) {
+	fmt.Println()
+	v.m()
+	v.hook()
+}
+`
+	target := parseAndCheck(t, src)
+	var calls []*ast.CallExpr
+	ast.Inspect(target.Files[0], func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			calls = append(calls, c)
+		}
+		return true
+	})
+	if len(calls) != 3 {
+		t.Fatalf("found %d calls, want 3", len(calls))
+	}
+	if !analysis.IsPkgFunc(target.Info, calls[0], "fmt", "Println") {
+		t.Error("fmt.Println not recognised by IsPkgFunc")
+	}
+	if f := analysis.FuncOf(target.Info, calls[1]); f == nil || f.Name() != "m" {
+		t.Errorf("FuncOf(method call) = %v, want m", f)
+	}
+	if analysis.IsPkgFunc(target.Info, calls[1], "p", "m") {
+		t.Error("IsPkgFunc must reject methods")
+	}
+	if f := analysis.FuncOf(target.Info, calls[2]); f != nil {
+		t.Errorf("FuncOf(dynamic call) = %v, want nil", f)
+	}
+}
+
+func TestPkgBase(t *testing.T) {
+	cases := map[string]string{
+		"clrdse/internal/dse": "dse",
+		"dse":                 "dse",
+		"net/http":            "http",
+	}
+	for in, want := range cases {
+		if got := analysis.PkgBase(in); got != want {
+			t.Errorf("PkgBase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

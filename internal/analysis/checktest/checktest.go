@@ -1,0 +1,266 @@
+// Package checktest is the golden-test harness for the repository's
+// analyzers, modelled on x/tools' go/analysis/analysistest: each
+// analyzer keeps a testdata/src/<pkg> tree of small packages whose
+// lines carry `// want "regexp"` expectations, the harness
+// type-checks them and asserts that the analyzer reports exactly the
+// expected diagnostics — no more, no fewer. Because the framework
+// applies //lint:allow suppression before diagnostics reach the
+// matcher, a testdata line holding a violation plus a well-formed
+// allow comment and no want expectation proves suppression works.
+//
+// Testdata packages may import each other by the path of their
+// directory under testdata/src (GOPATH-style), and may import
+// standard-library packages, which are resolved through compiler
+// export data via `go list -export`.
+package checktest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"clrdse/internal/analysis"
+	"clrdse/internal/analysis/load"
+)
+
+// Run checks the analyzer against the named packages under
+// testdata/src, failing t on any mismatch between reported and
+// expected diagnostics.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatalf("checktest: %v", err)
+	}
+	ld := &loader{
+		fset:    token.NewFileSet(),
+		root:    root,
+		module:  moduleDir(t, root),
+		pkgs:    make(map[string]*srcPackage),
+		exports: make(map[string]string),
+	}
+	for _, pkg := range pkgs {
+		sp, err := ld.load(pkg)
+		if err != nil {
+			t.Fatalf("checktest: loading %s: %v", pkg, err)
+		}
+		for _, terr := range sp.typeErrors {
+			t.Errorf("checktest: %s: type error: %v", pkg, terr)
+		}
+		diags, err := analysis.Run([]*analysis.Analyzer{a}, analysis.Target{
+			Fset:  ld.fset,
+			Files: sp.files,
+			Pkg:   sp.pkg,
+			Info:  sp.info,
+		})
+		if err != nil {
+			t.Fatalf("checktest: running %s on %s: %v", a.Name, pkg, err)
+		}
+		match(t, ld.fset, sp.files, diags)
+	}
+}
+
+// match compares diagnostics against the // want expectations of the
+// package's files.
+func match(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, perr := parseWant(c.Text)
+				if perr != nil {
+					pos := fset.Position(c.Pos())
+					t.Errorf("%s:%d: %v", pos.Filename, pos.Line, perr)
+					continue
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						pos := fset.Position(c.Pos())
+						t.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+						continue
+					}
+					k := key{fset.Position(c.Pos()).Filename, fset.Position(c.Pos()).Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re != nil && re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s:%d: unexpected diagnostic: %s: %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+			continue
+		}
+		wants[k][matched] = nil // consume
+	}
+	var leftover []string
+	for k, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				leftover = append(leftover, fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re))
+			}
+		}
+	}
+	sort.Strings(leftover)
+	for _, l := range leftover {
+		t.Error(l)
+	}
+}
+
+// parseWant extracts the quoted regexps from a `// want "..." `...“
+// comment, returning nil when the comment is not a want comment.
+func parseWant(comment string) ([]string, error) {
+	text := strings.TrimPrefix(comment, "//")
+	trimmed := strings.TrimSpace(text)
+	if !strings.HasPrefix(trimmed, "want ") && trimmed != "want" {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(trimmed, "want"))
+	var patterns []string
+	for rest != "" {
+		quote := rest[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("malformed want comment near %q: patterns must be quoted", rest)
+		}
+		end := strings.IndexByte(rest[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("malformed want comment: unterminated %q quote", string(quote))
+		}
+		patterns = append(patterns, rest[1:1+end])
+		rest = strings.TrimSpace(rest[2+end:])
+	}
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("malformed want comment: no patterns")
+	}
+	return patterns, nil
+}
+
+// srcPackage is one testdata package loaded from source.
+type srcPackage struct {
+	pkg        *types.Package
+	files      []*ast.File
+	info       *types.Info
+	typeErrors []error
+}
+
+// loader type-checks testdata packages from source, resolving local
+// imports recursively and everything else through export data.
+type loader struct {
+	fset    *token.FileSet
+	root    string // testdata/src
+	module  string // directory to run `go list` in
+	pkgs    map[string]*srcPackage
+	exports map[string]string
+	gc      types.Importer
+}
+
+func (l *loader) load(path string) (*srcPackage, error) {
+	if sp, ok := l.pkgs[path]; ok {
+		return sp, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	sp := &srcPackage{info: load.NewInfo()}
+	l.pkgs[path] = sp // pre-register: import cycles fail in go/types, not here
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		sp.files = append(sp.files, f)
+	}
+	if len(sp.files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { sp.typeErrors = append(sp.typeErrors, err) },
+	}
+	pkg, err := conf.Check(path, l.fset, sp.files, sp.info)
+	if err != nil && len(sp.typeErrors) == 0 {
+		sp.typeErrors = append(sp.typeErrors, err)
+	}
+	sp.pkg = pkg
+	return sp, nil
+}
+
+// Import resolves an import from a testdata package: sibling testdata
+// packages load from source, anything else comes from export data.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		sp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return sp.pkg, nil
+	}
+	if l.gc == nil {
+		l.gc = importer.ForCompiler(l.fset, "gc", l.lookup)
+	}
+	return l.gc.Import(path)
+}
+
+func (l *loader) lookup(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok {
+		cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+		cmd.Dir = l.module
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("no export data for %q: %v", path, err)
+		}
+		file = strings.TrimSpace(string(out))
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		l.exports[path] = file
+	}
+	return os.Open(file)
+}
+
+// moduleDir walks up from dir to the enclosing go.mod, where `go
+// list` invocations for export data must run.
+func moduleDir(t *testing.T, dir string) string {
+	t.Helper()
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			t.Fatalf("checktest: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,58 @@
+package checktest
+
+import (
+	"go/ast"
+	"testing"
+
+	"clrdse/internal/analysis"
+)
+
+// flagme reports every call to a function literally named "Flagme".
+var flagme = &analysis.Analyzer{
+	Name: "flagme",
+	Doc:  "test analyzer: reports calls to Flagme",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn := analysis.FuncOf(pass.TypesInfo, call); fn != nil && fn.Name() == "Flagme" {
+					pass.Reportf(call.Pos(), "call to Flagme")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestHarnessRoundTrip(t *testing.T) {
+	Run(t, "testdata", flagme, "x", "y")
+}
+
+func TestParseWant(t *testing.T) {
+	cases := []struct {
+		comment string
+		want    int
+		wantErr bool
+	}{
+		{`// want "one"`, 1, false},
+		{"// want `one` \"two\"", 2, false},
+		{`// a plain comment`, 0, false},
+		{`// want`, 0, true},
+		{`// want unquoted`, 0, true},
+		{`// want "unterminated`, 0, true},
+	}
+	for _, c := range cases {
+		pats, err := parseWant(c.comment)
+		if c.wantErr != (err != nil) {
+			t.Errorf("parseWant(%q) err = %v, wantErr = %v", c.comment, err, c.wantErr)
+			continue
+		}
+		if len(pats) != c.want {
+			t.Errorf("parseWant(%q) = %d patterns, want %d", c.comment, len(pats), c.want)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+// Package x exercises the harness itself: a local sibling import, a
+// stdlib import resolved through export data, and want expectations
+// consumed by the trivial test analyzer.
+package x
+
+import (
+	"fmt"
+
+	"y"
+)
+
+// Flagme is the call the test analyzer reports.
+func Flagme() {}
+
+// Use triggers the analyzer and the imports.
+func Use() {
+	Flagme() // want `call to Flagme`
+	fmt.Println(y.Answer())
+}
+
+// Quiet has no expectations.
+func Quiet() int { return y.Answer() }

@@ -1,0 +1,6 @@
+// Package y is imported by x, proving sibling testdata packages load
+// from source.
+package y
+
+// Answer is a constant answer.
+func Answer() int { return 42 }

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"clrdse/internal/analysis/checktest"
+	"clrdse/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	checktest.Run(t, "testdata", ctxflow.Analyzer, "a")
+}

@@ -1,0 +1,71 @@
+// Package a seeds ctxflow violations: functions that already carry a
+// context (parameter or *http.Request) must thread it instead of
+// minting a fresh root, and nil must never be passed as a Context.
+package a
+
+import (
+	"context"
+	"net/http"
+)
+
+// DecideCtx is a context-threading callee.
+func DecideCtx(ctx context.Context, id string) int {
+	_ = ctx
+	_ = id
+	return 0
+}
+
+// BadHandler has the request context in hand and discards it.
+func BadHandler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `context\.Background\(\) inside a function that already has a context`
+	_ = DecideCtx(ctx, r.URL.Path)
+}
+
+// GoodHandler threads r.Context().
+func GoodHandler(w http.ResponseWriter, r *http.Request) {
+	_ = DecideCtx(r.Context(), r.URL.Path)
+}
+
+// BadTODOWithParam has a context parameter and mints a TODO anyway.
+func BadTODOWithParam(ctx context.Context) {
+	_ = DecideCtx(context.TODO(), "dev0") // want `context\.TODO\(\) inside a function that already has a context`
+}
+
+// GoodRoot is a true root: no inbound context, Background is legal.
+func GoodRoot() {
+	_ = DecideCtx(context.Background(), "dev0")
+}
+
+// BadClosure inherits the handler's context availability.
+func BadClosure(w http.ResponseWriter, r *http.Request) {
+	go func() {
+		_ = DecideCtx(context.Background(), "dev0") // want `context\.Background\(\) inside a function that already has a context`
+	}()
+}
+
+// GoodClosureCapture captures and threads the inbound context.
+func GoodClosureCapture(ctx context.Context) {
+	go func() {
+		_ = DecideCtx(ctx, "dev0")
+	}()
+}
+
+// BadNilCtx passes nil where a Context is expected; flagged even at a
+// root.
+func BadNilCtx() {
+	_ = DecideCtx(nil, "dev0") // want `nil passed as context\.Context to DecideCtx`
+}
+
+// GoodNilElsewhere: nil into a non-context parameter is fine.
+func GoodNilElsewhere() {
+	takesSlice(nil)
+}
+
+func takesSlice(xs []int) { _ = xs }
+
+// AllowedDetachedDrain shows suppression with a reason.
+func AllowedDetachedDrain(ctx context.Context) {
+	//lint:allow ctxflow shutdown drain must outlive the inbound request
+	drain := context.Background()
+	_ = DecideCtx(drain, "dev0")
+}

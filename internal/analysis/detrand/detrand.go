@@ -1,0 +1,88 @@
+// Package detrand forbids ambient nondeterminism in the packages
+// whose outputs must be byte-identical across runs and worker counts:
+// the design-space exploration and run-time decision layers. Within
+// those packages every random draw must flow through
+// clrdse/internal/rng (seeded, splittable streams) and every
+// timestamp must come from an injected clock, so importing math/rand
+// (or math/rand/v2) and reading the wall clock via time.Now or
+// time.Since are violations. time.After and friends stay legal: the
+// chaos layer sleeps injected latencies without feeding the clock
+// back into any decision.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"clrdse/internal/analysis"
+)
+
+// DeterministicPackages names the packages (by final import-path
+// element) whose behaviour the soak tests pin byte-for-byte.
+var DeterministicPackages = map[string]bool{
+	"dse":      true,
+	"ga":       true,
+	"mapping":  true,
+	"runtime":  true,
+	"pareto":   true,
+	"schedule": true,
+	"chaos":    true,
+}
+
+// forbiddenImports are randomness sources that bypass internal/rng.
+var forbiddenImports = map[string]string{
+	"math/rand":    "use clrdse/internal/rng (seeded, splittable streams)",
+	"math/rand/v2": "use clrdse/internal/rng (seeded, splittable streams)",
+}
+
+// forbiddenTimeFuncs read the wall clock.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+}
+
+// Analyzer is the detrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid math/rand imports and time.Now/time.Since in the deterministic packages " +
+		"(dse, ga, mapping, runtime, pareto, schedule, chaos); randomness must come from " +
+		"internal/rng and time from an injected clock",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !DeterministicPackages[analysis.PkgBase(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := importPath(imp)
+			if why, bad := forbiddenImports[path]; bad {
+				pass.Reportf(imp.Pos(), "import of %s is forbidden in deterministic package %s: %s", path, pass.Pkg.Path(), why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if forbiddenTimeFuncs[obj.Name()] {
+				pass.Reportf(sel.Pos(), "time.%s is forbidden in deterministic package %s: inject a clock instead of reading wall time", obj.Name(), pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func importPath(imp *ast.ImportSpec) string {
+	p := imp.Path.Value
+	if len(p) >= 2 {
+		return p[1 : len(p)-1]
+	}
+	return p
+}

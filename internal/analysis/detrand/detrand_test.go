@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"clrdse/internal/analysis/checktest"
+	"clrdse/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	checktest.Run(t, "testdata", detrand.Analyzer, "dse", "other")
+}

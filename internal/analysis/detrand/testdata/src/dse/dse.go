@@ -1,0 +1,45 @@
+// Package dse seeds detrand violations: its import-path base ("dse")
+// is in the deterministic set, so ambient randomness and wall-clock
+// reads must be flagged.
+package dse
+
+import (
+	"math/rand" // want `import of math/rand is forbidden in deterministic package dse`
+	"time"
+)
+
+// Draw uses the global math/rand stream: nondeterministic across runs.
+func Draw() int {
+	return rand.Int()
+}
+
+// Stamp reads the wall clock twice.
+func Stamp() time.Duration {
+	start := time.Now() // want `time\.Now is forbidden in deterministic package dse`
+	_ = start
+	return time.Since(start) // want `time\.Since is forbidden in deterministic package dse`
+}
+
+// Wait is legal: time.After sleeps but feeds no clock value back into
+// the decision state.
+func Wait() {
+	select {
+	case <-time.After(time.Millisecond):
+	default:
+	}
+}
+
+// Budget is legal: durations are plain values, not clock reads.
+const Budget = 5 * time.Second
+
+// Allowed shows suppression: a justified //lint:allow comment on the
+// line above the violation keeps it out of the report.
+func Allowed() time.Time {
+	//lint:allow detrand boot banner timestamp never feeds a decision
+	return time.Now()
+}
+
+// AllowedInline shows same-line suppression.
+func AllowedInline() time.Time {
+	return time.Now() //lint:allow detrand boot banner timestamp never feeds a decision
+}

@@ -1,0 +1,14 @@
+// Package other is outside the deterministic set: the same constructs
+// that are violations in dse are legal here.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Sample may use ambient randomness: this package makes no
+// reproducibility promise.
+func Sample() (int, time.Time) {
+	return rand.Int(), time.Now()
+}

@@ -1,0 +1,223 @@
+// Package load turns `go list` package patterns into type-checked
+// syntax ready for the analysis framework, using only the standard
+// library: `go list -export -deps -json` enumerates the packages and
+// materialises compiler export data for every dependency in the build
+// cache, and go/importer's gc importer consumes that export data to
+// type-check the target packages from source. This is the same
+// division of labour as x/tools' go/packages LoadAllSyntax mode,
+// reduced to what a single-module lint run needs.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked target package.
+type Package struct {
+	// ImportPath is the package's full import path.
+	ImportPath string
+	// Dir is the directory holding its sources.
+	Dir string
+	// Fset positions every file in the load.
+	Fset *token.FileSet
+	// Files are the parsed sources (tests included when requested).
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the type-checker's facts for Files.
+	Info *types.Info
+	// TypeErrors collects type-check problems. The load keeps going
+	// on type errors so a lint run over a slightly-broken tree still
+	// reports what it can; callers decide whether to fail on them.
+	TypeErrors []error
+}
+
+type listedPackage struct {
+	ImportPath  string
+	Dir         string
+	Name        string
+	Export      string
+	GoFiles     []string
+	TestGoFiles []string
+	DepOnly     bool
+	Standard    bool
+	Error       *struct{ Err string }
+}
+
+// Load lists patterns in dir and type-checks every matched package.
+// With tests set, in-package _test.go files are parsed and checked as
+// part of their package (external _test packages are out of scope for
+// this loader). The returned packages are in `go list` order.
+func Load(dir string, tests bool, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := []string{"list", "-e", "-export", "-deps"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, "-json=ImportPath,Dir,Name,Export,GoFiles,TestGoFiles,DepOnly,Standard,Error")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		// Test-variant entries ("p [p.test]", "p.test") exist only to
+		// pull test-only dependencies into the export closure.
+		variant := strings.Contains(p.ImportPath, " [") || strings.HasSuffix(p.ImportPath, ".test")
+		if p.Export != "" && !variant {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !variant && p.Name != "" {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := newCachedImporter(fset, dir, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		files := append([]string(nil), t.GoFiles...)
+		if tests {
+			files = append(files, t.TestGoFiles...)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		pkg, err := check(fset, imp, t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one package's files.
+func check(fset *token.FileSet, imp types.Importer, importPath, dir string, files []string) (*Package, error) {
+	p := &Package{ImportPath: importPath, Dir: dir, Fset: fset}
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", name, err)
+		}
+		p.Files = append(p.Files, f)
+	}
+	p.Info = NewInfo()
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(importPath, fset, p.Files, p.Info)
+	if err != nil && len(p.TypeErrors) == 0 {
+		p.TypeErrors = append(p.TypeErrors, err)
+	}
+	p.Types = tpkg
+	return p, nil
+}
+
+// NewInfo allocates the full set of type-checker fact maps the
+// analyzers rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// cachedImporter resolves imports through compiler export data. Known
+// paths come from the initial `go list -deps -export` closure; a miss
+// (possible for test-only imports when the closure was listed without
+// -test) falls back to one targeted `go list -export` invocation.
+type cachedImporter struct {
+	gc      types.ImporterFrom
+	dir     string
+	mu      sync.Mutex
+	exports map[string]string
+}
+
+func newCachedImporter(fset *token.FileSet, dir string, exports map[string]string) *cachedImporter {
+	ci := &cachedImporter{dir: dir, exports: exports}
+	ci.gc = importer.ForCompiler(fset, "gc", ci.lookup).(types.ImporterFrom)
+	return ci
+}
+
+func (ci *cachedImporter) Import(path string) (*types.Package, error) {
+	return ci.gc.ImportFrom(path, ci.dir, 0)
+}
+
+func (ci *cachedImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	return ci.gc.ImportFrom(path, srcDir, mode)
+}
+
+func (ci *cachedImporter) lookup(path string) (io.ReadCloser, error) {
+	ci.mu.Lock()
+	file, ok := ci.exports[path]
+	ci.mu.Unlock()
+	if !ok {
+		f, err := ci.resolve(path)
+		if err != nil {
+			return nil, err
+		}
+		file = f
+	}
+	return os.Open(file)
+}
+
+// resolve fills a cache miss with one targeted go list call.
+func (ci *cachedImporter) resolve(path string) (string, error) {
+	cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+	cmd.Dir = ci.dir
+	out, err := cmd.Output()
+	if err != nil {
+		var ee *exec.ExitError
+		if errors.As(err, &ee) {
+			return "", fmt.Errorf("no export data for %q: %s", path, bytes.TrimSpace(ee.Stderr))
+		}
+		return "", fmt.Errorf("no export data for %q: %v", path, err)
+	}
+	file := string(bytes.TrimSpace(out))
+	if file == "" {
+		return "", fmt.Errorf("no export data for %q", path)
+	}
+	ci.mu.Lock()
+	ci.exports[path] = file
+	ci.mu.Unlock()
+	return file, nil
+}

@@ -1,0 +1,80 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadSinglePackage(t *testing.T) {
+	pkgs, err := Load(".", false, "clrdse/internal/analysis/suite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "clrdse/internal/analysis/suite" {
+		t.Errorf("ImportPath = %q", p.ImportPath)
+	}
+	if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+		t.Fatal("package not type-checked")
+	}
+	if len(p.TypeErrors) != 0 {
+		t.Fatalf("type errors: %v", p.TypeErrors)
+	}
+	if p.Types.Name() != "suite" {
+		t.Errorf("package name = %q", p.Types.Name())
+	}
+	// The loader must resolve module-internal imports through export
+	// data: suite imports the analysis package.
+	var sawAnalysis bool
+	for _, imp := range p.Types.Imports() {
+		if imp.Path() == "clrdse/internal/analysis" {
+			sawAnalysis = true
+		}
+	}
+	if !sawAnalysis {
+		t.Error("module-internal import not resolved")
+	}
+}
+
+func TestLoadWithTests(t *testing.T) {
+	pkgs, err := Load(".", true, "clrdse/internal/rng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if len(p.TypeErrors) != 0 {
+		t.Fatalf("type errors: %v", p.TypeErrors)
+	}
+	var sawTest bool
+	for _, f := range p.Files {
+		if strings.HasSuffix(p.Fset.File(f.Pos()).Name(), "_test.go") {
+			sawTest = true
+		}
+	}
+	if !sawTest {
+		t.Error("tests=true did not parse the in-package test files")
+	}
+}
+
+func TestLoadDefaultsToAllPackages(t *testing.T) {
+	pkgs, err := Load("..", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "./..." from internal/analysis covers the whole analysis subtree.
+	if len(pkgs) < 5 {
+		t.Errorf("got %d packages for ./..., want the analysis subtree", len(pkgs))
+	}
+}
+
+func TestLoadBadPattern(t *testing.T) {
+	if _, err := Load(".", false, "clrdse/internal/does-not-exist"); err == nil {
+		t.Error("want error for a nonexistent package pattern")
+	}
+}

@@ -1,0 +1,323 @@
+// Package lockheld machine-checks the fleet layer's locking
+// contract, which the sharded registry's throughput depends on:
+//
+//   - a shard or registry mutex must never be held across a decision
+//     (Decide/DecideCtx), an HTTP boundary (ServeHTTP, net/http
+//     calls) or a callback (a call through a function-typed value,
+//     such as the DecideHook) — these run for unbounded time and
+//     would serialise the whole shard;
+//   - types that carry a lock (sync.Mutex and friends, sync/atomic
+//     values, or any struct transitively containing one, such as
+//     Manager-bearing structs) must move by pointer, never by value.
+//
+// The held-lock analysis is a per-function, block-structured
+// approximation: Lock/RLock on a sync mutex opens a held region that
+// the matching Unlock/RUnlock closes; `defer mu.Unlock()` holds to
+// the end of the function. Branch bodies are analysed with a copy of
+// the held set, and function-literal bodies are skipped (a closure
+// may run long after the critical section). That is deliberately
+// simpler than a full CFG and errs towards silence, not noise.
+package lockheld
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"clrdse/internal/analysis"
+)
+
+// Analyzer is the lockheld check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc: "flag fleet shard/registry mutexes held across Decide/HTTP/callback boundaries, " +
+		"and lock-bearing structs passed or copied by value",
+	Run: run,
+}
+
+// boundaryMethods are calls that must not run under a shard or
+// registry mutex.
+var boundaryMethods = map[string]bool{
+	"Decide":    true,
+	"DecideCtx": true,
+	"ServeHTTP": true,
+}
+
+func inScope(pkgPath string) bool {
+	return strings.Contains(pkgPath, "fleet")
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkCopies(pass, fd)
+			if fd.Body != nil {
+				analyzeStmts(pass, fd.Body.List, map[string]bool{})
+			}
+		}
+	}
+	return nil
+}
+
+// --- held-across-boundary analysis -----------------------------------
+
+// analyzeStmts walks one statement list carrying the set of held lock
+// expressions (keyed by their printed receiver, e.g. "sh.mu").
+func analyzeStmts(pass *analysis.Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if key, acquired, isLock := lockCall(pass, s.X); isLock {
+				if acquired {
+					held[key] = true
+				} else {
+					delete(held, key)
+				}
+				continue
+			}
+			checkBoundary(pass, s, held)
+		case *ast.DeferStmt:
+			if _, acquired, isLock := lockCall(pass, s.Call); isLock && !acquired {
+				continue // deferred unlock: held to function end
+			}
+			// Other deferred calls run at return, where the held set
+			// is unknowable without a CFG; stay silent.
+		case *ast.IfStmt:
+			checkBoundary(pass, s.Cond, held)
+			if s.Init != nil {
+				checkBoundary(pass, s.Init, held)
+			}
+			analyzeStmts(pass, s.Body.List, copyHeld(held))
+			if s.Else != nil {
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					analyzeStmts(pass, e.List, copyHeld(held))
+				case *ast.IfStmt:
+					analyzeStmts(pass, []ast.Stmt{e}, copyHeld(held))
+				}
+			}
+		case *ast.ForStmt:
+			checkBoundary(pass, s.Cond, held)
+			analyzeStmts(pass, s.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			checkBoundary(pass, s.X, held)
+			analyzeStmts(pass, s.Body.List, copyHeld(held))
+		case *ast.BlockStmt:
+			analyzeStmts(pass, s.List, copyHeld(held))
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			ast.Inspect(s, func(n ast.Node) bool {
+				if cc, ok := n.(*ast.CaseClause); ok {
+					analyzeStmts(pass, cc.Body, copyHeld(held))
+					return false
+				}
+				if cc, ok := n.(*ast.CommClause); ok {
+					analyzeStmts(pass, cc.Body, copyHeld(held))
+					return false
+				}
+				return true
+			})
+		default:
+			checkBoundary(pass, stmt, held)
+		}
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	cp := make(map[string]bool, len(held))
+	for k, v := range held {
+		cp[k] = v
+	}
+	return cp
+}
+
+// lockCall classifies a sync mutex Lock/RLock/Unlock/RUnlock call,
+// returning the lock's receiver expression as key.
+func lockCall(pass *analysis.Pass, e ast.Expr) (key string, acquired, isLock bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	name := sel.Sel.Name
+	if name != "Lock" && name != "RLock" && name != "Unlock" && name != "RUnlock" {
+		return "", false, false
+	}
+	f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), name == "Lock" || name == "RLock", true
+}
+
+// checkBoundary reports boundary calls inside node while locks are
+// held. Function-literal bodies are skipped.
+func checkBoundary(pass *analysis.Pass, node ast.Node, held map[string]bool) {
+	if node == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion, not a call
+		}
+		locks := heldNames(held)
+		if f := analysis.FuncOf(pass.TypesInfo, call); f != nil {
+			switch {
+			case boundaryMethods[f.Name()]:
+				pass.Reportf(call.Pos(), "%s called while %s is held; release the lock before crossing a decide boundary", f.Name(), locks)
+			case f.Pkg() != nil && f.Pkg().Path() == "net/http":
+				pass.Reportf(call.Pos(), "net/http.%s called while %s is held; release the lock before crossing an HTTP boundary", f.Name(), locks)
+			}
+			return true
+		}
+		if isDynamicCall(pass, call) {
+			pass.Reportf(call.Pos(), "function value %s called while %s is held; callbacks must not run under a shard/registry lock", types.ExprString(call.Fun), locks)
+		}
+		return true
+	})
+}
+
+// isDynamicCall reports calls through function-typed values (hooks,
+// callbacks) as opposed to static functions, methods and builtins.
+func isDynamicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+			return false
+		}
+	case *ast.SelectorExpr:
+		// Method expressions and qualified functions resolve via
+		// FuncOf; what is left here is a field or variable selector.
+		_ = fun
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isSig := tv.Type.Underlying().(*types.Signature)
+	return isSig && tv.Value == nil
+}
+
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	// Deterministic message for the common single-lock case; multiple
+	// held locks sort lexicographically.
+	if len(names) > 1 {
+		for i := 1; i < len(names); i++ {
+			for j := i; j > 0 && names[j] < names[j-1]; j-- {
+				names[j], names[j-1] = names[j-1], names[j]
+			}
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
+// --- lock-copy analysis ----------------------------------------------
+
+// checkCopies flags by-value movement of lock-bearing types through a
+// function's signature and through pointer-dereference assignments.
+func checkCopies(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			reportIfLockByValue(pass, field.Type, "receiver")
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			reportIfLockByValue(pass, field.Type, "parameter")
+		}
+	}
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			reportIfLockByValue(pass, field.Type, "result")
+		}
+	}
+	if fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, rhs := range as.Rhs {
+			star, ok := ast.Unparen(rhs).(*ast.StarExpr)
+			if !ok {
+				continue
+			}
+			t := pass.TypesInfo.TypeOf(star)
+			if t != nil && containsLock(t, nil) {
+				pass.Reportf(rhs.Pos(), "dereference copies %s, which contains a lock; keep it behind a pointer", typeName(t))
+			}
+		}
+		return true
+	})
+}
+
+func reportIfLockByValue(pass *analysis.Pass, typ ast.Expr, what string) {
+	t := pass.TypesInfo.TypeOf(typ)
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.(*types.Pointer); isPtr {
+		return
+	}
+	if containsLock(t, nil) {
+		pass.Reportf(typ.Pos(), "%s passes %s by value, which copies its lock; use a pointer", what, typeName(t))
+	}
+}
+
+// containsLock walks a type for sync / sync/atomic state that must
+// not be copied.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Named:
+		if obj := u.Obj(); obj != nil && obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync", "sync/atomic":
+				_, isIface := u.Underlying().(*types.Interface)
+				return !isIface
+			}
+		}
+		return containsLock(u.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+func typeName(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"clrdse/internal/analysis/checktest"
+	"clrdse/internal/analysis/lockheld"
+)
+
+func TestLockheld(t *testing.T) {
+	checktest.Run(t, "testdata", lockheld.Analyzer, "fleet", "other")
+}

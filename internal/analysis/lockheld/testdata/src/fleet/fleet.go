@@ -1,0 +1,120 @@
+// Package fleet seeds lockheld violations: its path contains "fleet",
+// so holding a sync mutex across decide/HTTP/callback boundaries and
+// moving lock-bearing structs by value must be flagged.
+package fleet
+
+import (
+	"net/http"
+	"sync"
+)
+
+// Device is a decide target.
+type Device struct{}
+
+// Decide is a decision boundary: unbounded work.
+func (d *Device) Decide() int { return 0 }
+
+// Shard guards a device set; Hook is a callback field.
+type Shard struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	Hook func()
+	n    int
+}
+
+// BadDecideUnderLock holds the shard mutex across a decide call.
+func (s *Shard) BadDecideUnderLock(d *Device) {
+	s.mu.Lock()
+	_ = d.Decide() // want `Decide called while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// GoodDecideAfterUnlock releases before deciding.
+func (s *Shard) GoodDecideAfterUnlock(d *Device) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	_ = d.Decide()
+}
+
+// BadDeferHeld holds to function end via defer, so the callback runs
+// under the lock.
+func (s *Shard) BadDeferHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	s.Hook() // want `function value s\.Hook called while s\.mu is held`
+}
+
+// BadHTTPUnderRLock crosses an HTTP boundary under the read lock.
+func (s *Shard) BadHTTPUnderRLock() {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	_, _ = http.Get("http://localhost/healthz") // want `net/http\.Get called while s\.rw is held`
+}
+
+// GoodEarlyUnlockBranch releases inside the branch before deciding.
+func (s *Shard) GoodEarlyUnlockBranch(d *Device, dup bool) {
+	s.mu.Lock()
+	if dup {
+		s.mu.Unlock()
+		_ = d.Decide()
+		return
+	}
+	s.n++
+	s.mu.Unlock()
+}
+
+// GoodStaticCallsUnderLock: static non-boundary calls are fine under
+// a lock.
+func (s *Shard) GoodStaticCallsUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return supporting(s.n)
+}
+
+func supporting(n int) int { return n + 1 }
+
+// AllowedUnderLock shows suppression with a mandatory reason.
+func (s *Shard) AllowedUnderLock(d *Device) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:allow lockheld Decide here is a stub that cannot block
+	_ = d.Decide()
+}
+
+// LockBox carries a mutex; Manager-bearing structs embed it.
+type LockBox struct {
+	MU sync.Mutex
+	V  int
+}
+
+// Holder embeds a lock-bearing struct one level down.
+type Holder struct {
+	Box LockBox
+}
+
+// BadByValueParam copies the lock on every call.
+func BadByValueParam(b LockBox) int { // want `parameter passes fleet\.LockBox by value`
+	return b.V
+}
+
+// BadValueReceiver copies the lock on every method call.
+func (h Holder) BadValueReceiver() int { // want `receiver passes fleet\.Holder by value`
+	return h.Box.V
+}
+
+// BadDerefCopy copies the lock out of the pointer.
+func BadDerefCopy(p *LockBox) int {
+	cp := *p // want `dereference copies fleet\.LockBox, which contains a lock`
+	return cp.V
+}
+
+// GoodPointerParam moves the lock behind a pointer.
+func GoodPointerParam(b *LockBox) int { return b.V }
+
+// GoodPlainStruct has no lock to copy.
+type GoodPlainStruct struct{ N int }
+
+// GoodByValue copies no lock.
+func GoodByValue(g GoodPlainStruct) int { return g.N }

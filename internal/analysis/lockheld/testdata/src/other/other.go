@@ -1,0 +1,15 @@
+// Package other is outside the fleet scope: the same constructs are
+// legal here (vet's own copylocks still applies in CI, this analyzer
+// focuses on the fleet contract).
+package other
+
+import "sync"
+
+// Box carries a mutex.
+type Box struct {
+	MU sync.Mutex
+	N  int
+}
+
+// ByValue is out of scope for lockheld.
+func ByValue(b Box) int { return b.N }

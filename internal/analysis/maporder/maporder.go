@@ -1,0 +1,306 @@
+// Package maporder flags `range` over maps in order-sensitive
+// contexts within the packages whose outputs must be byte-stable:
+// the deterministic decision layers plus the reporting layers
+// (report, plot, experiments) whose CSV/Markdown/SVG artefacts are
+// diffed across runs. Go randomises map iteration order on purpose,
+// so a map range whose body appends to an outer slice, accumulates
+// into an outer float/string, or writes serialized output produces
+// run-dependent bytes.
+//
+// The canonical fix — collect the keys, sort them, iterate the sorted
+// slice — is recognised and permitted: a map range whose only effect
+// is appending to a slice that is subsequently passed to a sort call
+// (sort.Strings, sort.Ints, sort.Slice, slices.Sort*, sort.Sort, ...)
+// in the same block is not a violation.
+//
+// Order-independent bodies are permitted: writes into another map,
+// integer counters (x++ or integer +=), min/max tracking, and
+// accumulation into an element selected by the loop key (out[k] +=
+// v), which commutes across keys.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"clrdse/internal/analysis"
+	"clrdse/internal/analysis/detrand"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag range over maps feeding appends, floating-point/string accumulation or serialized " +
+		"output in determinism-critical and reporting packages; iterate sorted keys instead",
+	Run: run,
+}
+
+// reportingPackages extends the deterministic set with the layers
+// whose rendered artefacts must be byte-stable.
+var reportingPackages = map[string]bool{
+	"report":      true,
+	"plot":        true,
+	"experiments": true,
+}
+
+func inScope(pkgPath string) bool {
+	base := analysis.PkgBase(pkgPath)
+	return detrand.DeterministicPackages[base] || reportingPackages[base]
+}
+
+// outputMethods are io-flavoured method names whose invocation inside
+// a map range serialises in iteration order.
+var outputMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"WriteTo":     true,
+	"Encode":      true,
+}
+
+// sortFuncs recognise the sorted-keys escape.
+var sortFuncs = map[string]bool{
+	"sort.Strings":          true,
+	"sort.Ints":             true,
+	"sort.Float64s":         true,
+	"sort.Slice":            true,
+	"sort.SliceStable":      true,
+	"sort.Sort":             true,
+	"sort.Stable":           true,
+	"slices.Sort":           true,
+	"slices.SortFunc":       true,
+	"slices.SortStableFunc": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block.List {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok || !isMapRange(pass, rs) {
+					continue
+				}
+				checkRange(pass, rs, block.List[i+1:])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isMapRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkRange inspects one map-range body; rest is the remainder of
+// the enclosing block, scanned for the sorted-keys escape.
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	keyObj := rangeVarObj(pass, rs.Key)
+	var appendDests []types.Object
+	appendsOnly := true
+	var verdicts []string
+	report := func(pos token.Pos, what string) {
+		verdicts = append(verdicts, what)
+		_ = pos
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ASSIGN, token.DEFINE:
+				for _, rhs := range s.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok || !isBuiltinAppend(pass, call) {
+						continue
+					}
+					dest := rootObj(pass, s.Lhs[0])
+					if dest == nil || declaredWithin(dest, rs) || indexedByKey(pass, s.Lhs[0], keyObj) {
+						continue
+					}
+					appendDests = append(appendDests, dest)
+				}
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				lhs := s.Lhs[0]
+				dest := rootObj(pass, lhs)
+				if dest == nil || declaredWithin(dest, rs) || indexedByKey(pass, lhs, keyObj) {
+					return true
+				}
+				if orderSensitiveType(pass.TypesInfo.TypeOf(lhs)) {
+					appendsOnly = false
+					report(s.Pos(), "accumulates into "+types.ExprString(lhs)+" (non-associative across orders)")
+				}
+			}
+		case *ast.CallExpr:
+			if name, bad := outputCall(pass, s); bad {
+				appendsOnly = false
+				report(s.Pos(), "writes serialized output via "+name)
+			}
+		}
+		return true
+	})
+
+	if len(appendDests) > 0 {
+		if !appendsOnly || !allSortedLater(pass, appendDests, rest) {
+			report(rs.Pos(), "feeds appends whose final order depends on map iteration")
+		}
+	}
+	if len(verdicts) > 0 {
+		pass.Reportf(rs.Pos(), "range over map %s in order-sensitive context (%s); iterate sorted keys instead",
+			types.ExprString(rs.X), strings.Join(verdicts, "; "))
+	}
+}
+
+// rangeVarObj resolves the range key/value variable to its object.
+func rangeVarObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// rootObj finds the base identifier's object for expressions like
+// x, x.f, x[i], *x.
+func rootObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[v]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// indexedByKey reports whether the destination is an element selected
+// by the loop key (out[k] = ... commutes across keys).
+func indexedByKey(pass *analysis.Pass, lhs ast.Expr, keyObj types.Object) bool {
+	if keyObj == nil {
+		return false
+	}
+	idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(idx.Index, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if pass.TypesInfo.Uses[id] == keyObj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// declaredWithin reports whether obj's declaration lies inside the
+// range statement (loop-local state is order-invisible outside).
+func declaredWithin(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()
+}
+
+// orderSensitiveType reports whether += accumulation over the type
+// depends on iteration order: floats and complex (non-associative
+// rounding) and strings (concatenation order).
+func orderSensitiveType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex|types.IsString) != 0
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// outputCall reports calls that serialise in iteration order: the fmt
+// print family and io-flavoured methods.
+func outputCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	if f := analysis.FuncOf(pass.TypesInfo, call); f != nil {
+		if f.Pkg() != nil && f.Pkg().Path() == "fmt" && strings.HasPrefix(f.Name(), "Print") {
+			return "fmt." + f.Name(), true
+		}
+		if f.Pkg() != nil && f.Pkg().Path() == "fmt" && strings.HasPrefix(f.Name(), "Fprint") {
+			return "fmt." + f.Name(), true
+		}
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil && outputMethods[f.Name()] {
+			return f.Name(), true
+		}
+	}
+	return "", false
+}
+
+// allSortedLater reports whether every append destination is passed
+// to a recognised sort call somewhere in the remainder of the block.
+func allSortedLater(pass *analysis.Pass, dests []types.Object, rest []ast.Stmt) bool {
+	for _, dest := range dests {
+		if !sortedLater(pass, dest, rest) {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedLater(pass *analysis.Pass, dest types.Object, rest []ast.Stmt) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			f := analysis.FuncOf(pass.TypesInfo, call)
+			if f == nil || f.Pkg() == nil || !sortFuncs[f.Pkg().Name()+"."+f.Name()] {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == dest {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

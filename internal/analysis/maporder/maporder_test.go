@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"clrdse/internal/analysis/checktest"
+	"clrdse/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	checktest.Run(t, "testdata", maporder.Analyzer, "report", "util")
+}

@@ -1,0 +1,120 @@
+// Package report seeds maporder violations: its import-path base is
+// in the reporting set, so order-sensitive map iteration must be
+// flagged while the sorted-keys idiom and order-independent bodies
+// stay legal.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// BadAppend feeds an outer slice straight from map order.
+func BadAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map m in order-sensitive context \(feeds appends`
+		out = append(out, k)
+	}
+	return out
+}
+
+// GoodSortedKeys is the canonical fix: collect, sort, iterate.
+func GoodSortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%s=%d", k, m[k]))
+	}
+	return out
+}
+
+// GoodSortSlice also sorts the collected keys, via sort.Slice.
+func GoodSortSlice(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// BadFloatAccum accumulates floating point in map order: the rounding
+// differs between orders.
+func BadFloatAccum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `range over map m in order-sensitive context \(accumulates into total`
+		total += v
+	}
+	return total
+}
+
+// GoodIntAccum is order-independent: integer addition commutes
+// exactly.
+func GoodIntAccum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// GoodKeyedAccum commutes across keys: each element accumulates its
+// own cell.
+func GoodKeyedAccum(m map[string]float64, totals map[string]float64) {
+	for k, v := range m {
+		totals[k] += v
+	}
+}
+
+// BadOutput serialises in map order.
+func BadOutput(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `range over map m in order-sensitive context \(writes serialized output via fmt\.Fprintf`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// BadBuilder writes through a strings.Builder in map order.
+func BadBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `range over map m in order-sensitive context \(writes serialized output via WriteString`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// GoodMapToMap writes into another map: no observable order.
+func GoodMapToMap(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// GoodLocalAppend appends to a loop-local slice: its order dies with
+// the iteration.
+func GoodLocalAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// Allowed shows suppression with a mandatory reason.
+func Allowed(m map[string]int) []string {
+	var out []string
+	//lint:allow maporder single-key map built two lines up, order cannot vary
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+// Package util is outside both the deterministic and reporting sets:
+// map-order-dependent output is legal here.
+package util
+
+import "fmt"
+
+// Dump prints in whatever order the runtime picks.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,146 @@
+// Package metricname enforces the repository's metric naming
+// contract at every registration call on the fleet metrics registry
+// (internal/fleet/metrics.Registry):
+//
+//   - names are clr_-prefixed snake_case: ^clr_[a-z0-9]+(_[a-z0-9]+)*$,
+//     so every series this system exports is recognisable in a shared
+//     Prometheus under one namespace;
+//   - counters declare monotonicity with a _total suffix;
+//   - histograms declare their unit with a base-unit suffix
+//     (_seconds, _bytes or _ratio), matching Prometheus conventions;
+//   - gauges must not claim _total (they can go down); unit suffixes
+//     are recommended but a bare countable-noun gauge (clr_fleet_devices)
+//     is legal;
+//   - the name and help text must be compile-time string constants,
+//     and help must be non-empty.
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"clrdse/internal/analysis"
+)
+
+// Analyzer is the metricname check.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc: "metrics registered on the fleet metrics Registry must use clr_* snake_case names, " +
+		"counters must end in _total, histograms must declare a unit suffix, and help text is mandatory",
+	Run: run,
+}
+
+var namePattern = regexp.MustCompile(`^clr_[a-z0-9]+(_[a-z0-9]+)*$`)
+
+// histogramUnits are the accepted base-unit suffixes.
+var histogramUnits = []string{"_seconds", "_bytes", "_ratio"}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := registryCall(pass, call)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			checkName(pass, call.Args[0], kind)
+			checkHelp(pass, call.Args[1], kind)
+			return true
+		})
+	}
+	return nil
+}
+
+// registryCall classifies a call as Counter/Gauge/Histogram on the
+// metrics Registry type.
+func registryCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if name != "Counter" && name != "Gauge" && name != "Histogram" {
+		return "", false
+	}
+	f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Name() != "Registry" || obj.Pkg() == nil || analysis.PkgBase(obj.Pkg().Path()) != "metrics" {
+		return "", false
+	}
+	return name, true
+}
+
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func checkName(pass *analysis.Pass, arg ast.Expr, kind string) {
+	name, ok := constString(pass, arg)
+	if !ok {
+		pass.Reportf(arg.Pos(), "%s name must be a compile-time constant string so the exported series set is statically known", kind)
+		return
+	}
+	if !namePattern.MatchString(name) {
+		pass.Reportf(arg.Pos(), "%s name %q must match clr_* snake_case (%s)", kind, name, namePattern.String())
+		return
+	}
+	switch kind {
+	case "Counter":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(arg.Pos(), "Counter name %q must end in _total to declare monotonicity", name)
+		}
+	case "Histogram":
+		if !hasUnitSuffix(name) {
+			pass.Reportf(arg.Pos(), "Histogram name %q must declare its unit with a %s suffix", name, strings.Join(histogramUnits, "/"))
+		}
+	case "Gauge":
+		if strings.HasSuffix(name, "_total") {
+			pass.Reportf(arg.Pos(), "Gauge name %q must not end in _total (gauges are not monotonic); name the level, not the count of events", name)
+		}
+	}
+}
+
+func hasUnitSuffix(name string) bool {
+	for _, u := range histogramUnits {
+		if strings.HasSuffix(name, u) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHelp(pass *analysis.Pass, arg ast.Expr, kind string) {
+	help, ok := constString(pass, arg)
+	if !ok {
+		pass.Reportf(arg.Pos(), "%s help text must be a compile-time constant string", kind)
+		return
+	}
+	if strings.TrimSpace(help) == "" {
+		pass.Reportf(arg.Pos(), "%s help text must not be empty; say what the series measures and in what unit", kind)
+	}
+}

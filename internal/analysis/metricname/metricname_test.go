@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"clrdse/internal/analysis/checktest"
+	"clrdse/internal/analysis/metricname"
+)
+
+func TestMetricname(t *testing.T) {
+	checktest.Run(t, "testdata", metricname.Analyzer, "b")
+}

@@ -1,0 +1,48 @@
+// Package b registers metrics on the stub Registry; every naming
+// violation here must be flagged.
+package b
+
+import "metrics"
+
+func name() string { return "clr_dynamic_total" }
+
+// Register exercises the naming contract.
+func Register(r *metrics.Registry) {
+	// Good registrations.
+	r.Counter("clr_fleet_decisions_total", "Decisions made by the fleet manager.")
+	r.Gauge("clr_fleet_devices", "Devices currently registered.")
+	r.Histogram("clr_decide_latency_seconds", "Decide latency.", []float64{0.001, 0.01})
+
+	// Bad prefix / casing.
+	r.Counter("fleet_decisions_total", "Decisions.") // want `Counter name "fleet_decisions_total" must match clr_\* snake_case`
+	r.Gauge("clr_Fleet_devices", "Devices.")         // want `Gauge name "clr_Fleet_devices" must match clr_\* snake_case`
+
+	// Counter without _total.
+	r.Counter("clr_fleet_decisions", "Decisions.") // want `Counter name "clr_fleet_decisions" must end in _total`
+
+	// Gauge claiming _total.
+	r.Gauge("clr_fleet_devices_total", "Devices.") // want `Gauge name "clr_fleet_devices_total" must not end in _total`
+
+	// Histogram without a unit suffix.
+	r.Histogram("clr_decide_latency", "Latency.", nil) // want `Histogram name "clr_decide_latency" must declare its unit`
+
+	// Non-constant name.
+	r.Counter(name(), "Dynamic.") // want `Counter name must be a compile-time constant string`
+
+	// Empty help.
+	r.Gauge("clr_fleet_backlog", "") // want `Gauge help text must not be empty`
+
+	// Suppressed: scratch series in an experiment harness.
+	//lint:allow metricname scratch series used only in a local experiment
+	r.Gauge("scratch_backlog", "Scratch.")
+}
+
+// Other types named like registrations are ignored.
+type fake struct{}
+
+func (fake) Counter(name, help string) {}
+
+// NotARegistry proves the receiver-type gate.
+func NotARegistry(f fake) {
+	f.Counter("whatever", "fine")
+}

@@ -1,0 +1,27 @@
+// Package metrics mirrors the internal/fleet/metrics Registry
+// surface so the analyzer's receiver-type matching (named Registry in
+// a package whose base is "metrics") can be exercised in testdata.
+package metrics
+
+// Counter counts monotonically.
+type Counter struct{}
+
+// Gauge is a settable level.
+type Gauge struct{}
+
+// Histogram buckets observations.
+type Histogram struct{}
+
+// Registry registers metric families.
+type Registry struct{}
+
+// Counter registers a counter family.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter { return &Counter{} }
+
+// Gauge registers a gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge { return &Gauge{} }
+
+// Histogram registers a histogram family.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	return &Histogram{}
+}

@@ -1,0 +1,41 @@
+// Package suite enumerates the repository's analyzers in one place,
+// shared by cmd/clrlint and by tests that want to run the whole set.
+package suite
+
+import (
+	"clrdse/internal/analysis"
+	"clrdse/internal/analysis/ctxflow"
+	"clrdse/internal/analysis/detrand"
+	"clrdse/internal/analysis/lockheld"
+	"clrdse/internal/analysis/maporder"
+	"clrdse/internal/analysis/metricname"
+)
+
+// All returns the full analyzer suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
+		detrand.Analyzer,
+		lockheld.Analyzer,
+		maporder.Analyzer,
+		metricname.Analyzer,
+	}
+}
+
+// ByName returns the named analyzers, or nil with false if any name
+// is unknown.
+func ByName(names []string) ([]*analysis.Analyzer, bool) {
+	byName := make(map[string]*analysis.Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, false
+		}
+		out = append(out, a)
+	}
+	return out, true
+}

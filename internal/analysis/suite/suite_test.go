@@ -1,0 +1,35 @@
+package suite
+
+import "testing"
+
+func TestAllIsCompleteAndNamed(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("All() = %d analyzers, want 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, name := range []string{"ctxflow", "detrand", "lockheld", "maporder", "metricname"} {
+		if !seen[name] {
+			t.Errorf("analyzer %q missing from All()", name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	got, ok := ByName([]string{"detrand", "maporder"})
+	if !ok || len(got) != 2 {
+		t.Fatalf("ByName(detrand,maporder) = %d analyzers, ok=%v", len(got), ok)
+	}
+	if _, ok := ByName([]string{"nope"}); ok {
+		t.Error("ByName(nope) must report failure")
+	}
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+// TestFig1ByteStability is the golden byte-stability check behind the
+// maporder contract: two independent labs at the same scale must
+// produce byte-identical rendered tables and SVG charts. Any map-order
+// leak into the serialized output (or any unseeded randomness in the
+// DSE underneath) shows up here as a flaky diff.
+func TestFig1ByteStability(t *testing.T) {
+	s := QuickScale()
+	s.TaskSizes = []int{10} // the sweep is irrelevant to Fig1; keep setup tight
+
+	run := func() (string, string, string) {
+		t.Helper()
+		r, err := NewLab(s).Fig1()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fronts, bars := r.Charts()
+		return r.Render(), fronts.SVG(), bars.SVG()
+	}
+
+	text1, fronts1, bars1 := run()
+	text2, fronts2, bars2 := run()
+	if text1 != text2 {
+		t.Error("Fig1 Render() differs between identically-seeded runs")
+	}
+	if fronts1 != fronts2 {
+		t.Error("Fig1 fronts chart SVG differs between identically-seeded runs")
+	}
+	if bars1 != bars2 {
+		t.Error("Fig1 bars chart SVG differs between identically-seeded runs")
+	}
+	if len(fronts1) == 0 || len(bars1) == 0 {
+		t.Error("Fig1 charts rendered empty SVG")
+	}
+}

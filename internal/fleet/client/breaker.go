@@ -77,6 +77,7 @@ func (b *Breaker) Allow() bool {
 	case Closed:
 		return true
 	case Open:
+		//lint:allow lockheld b.now is an injected clock: a fast pure read, set once at construction
 		if b.now().Sub(b.openedAt) >= b.cooldown {
 			b.state = HalfOpen
 			b.probing = true

@@ -60,10 +60,10 @@ func TestLoadgenDrivesMetrics(t *testing.T) {
 	}
 	metrics := string(body)
 	for _, want := range []string{
-		"fleet_decisions_total 90",
-		"fleet_devices 6",
-		"fleet_registrations_total 6",
-		"fleet_degraded_decisions_total 0",
+		"clr_fleet_decisions_total 90",
+		"clr_fleet_devices 6",
+		"clr_fleet_registrations_total 6",
+		"clr_fleet_degraded_decisions_total 0",
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics missing %q", want)

@@ -178,9 +178,9 @@ func TestDeadlineOverrunDegrades(t *testing.T) {
 	var buf strings.Builder
 	reg.Metrics().WritePrometheus(&buf)
 	for _, want := range []string{
-		"fleet_decision_timeouts_total 1",
-		"fleet_degraded_decisions_total 1",
-		"fleet_degraded_devices 1",
+		"clr_fleet_decision_timeouts_total 1",
+		"clr_fleet_degraded_decisions_total 1",
+		"clr_fleet_degraded_devices 1",
 	} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("metrics missing %q", want)

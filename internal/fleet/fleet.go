@@ -276,25 +276,25 @@ func NewRegistry(dbs []NamedDatabase, shards int) (*Registry, error) {
 	for i := range r.shards {
 		r.shards[i] = &shard{devices: make(map[string]*device)}
 	}
-	r.decisions = r.met.Counter("fleet_decisions_total",
+	r.decisions = r.met.Counter("clr_fleet_decisions_total",
 		"QoS-change decisions served.")
-	r.reconfigs = r.met.Counter("fleet_reconfigurations_total",
+	r.reconfigs = r.met.Counter("clr_fleet_reconfigurations_total",
 		"Decisions that moved a device to a different stored point.")
-	r.violations = r.met.Counter("fleet_violations_total",
+	r.violations = r.met.Counter("clr_fleet_violations_total",
 		"Decisions whose specification no stored point satisfied.")
-	r.regTotal = r.met.Counter("fleet_registrations_total",
+	r.regTotal = r.met.Counter("clr_fleet_registrations_total",
 		"Device registrations accepted.")
-	r.replays = r.met.Counter("fleet_replays_total",
+	r.replays = r.met.Counter("clr_fleet_replays_total",
 		"Retried QoS events answered from the per-device decision cache.")
-	r.degradedTot = r.met.Counter("fleet_degraded_decisions_total",
+	r.degradedTot = r.met.Counter("clr_fleet_degraded_decisions_total",
 		"QoS events answered with the last known-good fallback.")
-	r.timeouts = r.met.Counter("fleet_decision_timeouts_total",
+	r.timeouts = r.met.Counter("clr_fleet_decision_timeouts_total",
 		"Decisions abandoned because the deadline expired.")
-	r.devices = r.met.Gauge("fleet_devices",
+	r.devices = r.met.Gauge("clr_fleet_devices",
 		"Devices currently registered.")
-	r.degradedDev = r.met.Gauge("fleet_degraded_devices",
+	r.degradedDev = r.met.Gauge("clr_fleet_degraded_devices",
 		"Devices currently in degraded mode.")
-	r.decisionLat = r.met.Histogram("fleet_decision_latency_seconds",
+	r.decisionLat = r.met.Histogram("clr_fleet_decision_latency_seconds",
 		"Wall-clock latency of the decision hot path.", nil)
 	return r, nil
 }

@@ -10,9 +10,9 @@ import (
 
 func TestCounterAndGaugeRender(t *testing.T) {
 	r := NewRegistry()
-	c := r.Counter("fleet_decisions_total", "Total decisions.")
-	ce := r.Counter("http_requests_total", "Requests.", "endpoint", "qos")
-	g := r.Gauge("fleet_devices", "Registered devices.")
+	c := r.Counter("clr_fleet_decisions_total", "Total decisions.")
+	ce := r.Counter("clr_http_requests_total", "Requests.", "endpoint", "qos")
+	g := r.Gauge("clr_fleet_devices", "Registered devices.")
 	c.Inc()
 	c.Add(4)
 	ce.Inc()
@@ -28,12 +28,12 @@ func TestCounterAndGaugeRender(t *testing.T) {
 	r.WritePrometheus(&b)
 	out := b.String()
 	for _, want := range []string{
-		"# HELP fleet_decisions_total Total decisions.",
-		"# TYPE fleet_decisions_total counter",
-		"fleet_decisions_total 5",
-		`http_requests_total{endpoint="qos"} 1`,
-		"# TYPE fleet_devices gauge",
-		"fleet_devices 2",
+		"# HELP clr_fleet_decisions_total Total decisions.",
+		"# TYPE clr_fleet_decisions_total counter",
+		"clr_fleet_decisions_total 5",
+		`clr_http_requests_total{endpoint="qos"} 1`,
+		"# TYPE clr_fleet_devices gauge",
+		"clr_fleet_devices 2",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("rendered output missing %q:\n%s", want, out)

@@ -112,7 +112,7 @@ func (s *Server) Handler() http.Handler { return s.handler }
 func (s *Server) buildMux() http.Handler {
 	mux := http.NewServeMux()
 	route := func(pattern, name string, h http.HandlerFunc) {
-		c := s.reg.met.Counter("http_requests_total",
+		c := s.reg.met.Counter("clr_http_requests_total",
 			"Requests per endpoint.", "endpoint", name)
 		s.reqCount[name] = c
 		mux.Handle(pattern, s.wrap(name, c, h))

@@ -64,12 +64,17 @@ func (s *Space) DRC(from, to *Mapping) ReconfigCost {
 	fromRes := s.residentBitstreams(from)
 	toRes := s.residentBitstreams(to)
 	for prr := range s.Platform.PRRs {
+		// Every load on one PRR costs the same, so count the newly
+		// demanded circuits first and multiply: the float sum is then
+		// independent of map iteration order.
+		newLoads := 0
 		for bs := range toRes[prr] {
 			if !fromRes[prr][bs] {
-				cost.BitstreamMs += s.Platform.BitstreamLoadMs(s.Platform.PRRs[prr].BitstreamKB)
-				cost.ReloadedPRRs++
+				newLoads++
 			}
 		}
+		cost.BitstreamMs += float64(newLoads) * s.Platform.BitstreamLoadMs(s.Platform.PRRs[prr].BitstreamKB)
+		cost.ReloadedPRRs += newLoads
 	}
 	return cost
 }

@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# lint.sh — run the full static-analysis gate locally, in the same
+# order CI's lint job does:
+#
+#   1. go vet               (stock correctness checks)
+#   2. staticcheck          (if installed; CI installs it pinned)
+#   3. govulncheck          (if installed; CI installs it pinned)
+#   4. clrlint              (the repo's own determinism/concurrency
+#                            contracts: detrand, maporder, lockheld,
+#                            ctxflow, metricname — see DESIGN.md §7)
+#
+# staticcheck and govulncheck are skipped with a notice when the
+# binary is absent, so the script is useful in offline containers;
+# clrlint builds from ./cmd/clrlint and always runs. Any failing step
+# fails the script.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go vet"
+go vet ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+	echo "==> staticcheck"
+	staticcheck ./...
+else
+	echo "==> staticcheck not installed; skipping (CI runs it pinned)"
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+	echo "==> govulncheck"
+	govulncheck ./...
+else
+	echo "==> govulncheck not installed; skipping (CI runs it pinned)"
+fi
+
+echo "==> clrlint"
+go run ./cmd/clrlint ./...
+
+echo "lint: all gates passed"
