@@ -14,6 +14,9 @@
 //     degraded) decision,
 //  3. the accepted decision sequence is byte-identical to the
 //     fault-free reference pass.
+//  4. the decision journal is complete — every (device, seq) has
+//     exactly one non-degraded entry carrying a valid trace ID, so
+//     every answer the fleet gave can be explained after the fact.
 //
 // Fault injection is seeded (-chaos-seed); the same seed reproduces
 // the identical fault schedule. The command exits non-zero if any
@@ -23,6 +26,7 @@
 //
 //	clrchaos -devices 8 -events 40
 //	clrchaos -intensity 2 -chaos-seed 99 -decide-timeout 100ms
+//	clrchaos -journal-out /tmp/journal.json   # dump the chaos-pass journal
 package main
 
 import (
@@ -45,6 +49,7 @@ import (
 	"clrdse/internal/fleet"
 	"clrdse/internal/fleet/client"
 	"clrdse/internal/ga"
+	"clrdse/internal/obs"
 	"clrdse/internal/platform"
 	"clrdse/internal/rng"
 	"clrdse/internal/runtime"
@@ -68,15 +73,18 @@ func main() {
 		attemptT = flag.Duration("attempt-timeout", 2*time.Second, "client per-attempt deadline")
 		decideTO = flag.Duration("decide-timeout", 250*time.Millisecond, "server per-decision deadline")
 		rounds   = flag.Int("max-rounds", 64, "driver re-submissions per event before giving up")
+		jout     = flag.String("journal-out", "", "write the chaos-pass decision journal JSON here (always when set, plus on any violation)")
 	)
 	flag.Parse()
+
+	log := obs.NewLogger(os.Stderr)
 
 	plat := platform.Default()
 	app, err := taskgraph.Generate(taskgraph.GenParams{Seed: *seed, NumTasks: *tasks}, plat)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("design-time exploration (%d tasks) ...\n", len(app.Tasks))
+	log.Info("design-time exploration starting", "tasks", len(app.Tasks))
 	sys, err := core.Build(app, core.Options{
 		Seed:     *seed,
 		StageOne: ga.Params{PopSize: *pop, Generations: *gens},
@@ -100,7 +108,7 @@ func main() {
 		rounds:   *rounds,
 	}
 
-	fmt.Printf("reference pass: %d devices x %d events, no faults ...\n", *devices, *events)
+	log.Info("reference pass starting", "devices", *devices, "events", *events)
 	ref, err := runPass(p, nil)
 	if err != nil {
 		fatal(err)
@@ -122,7 +130,7 @@ func main() {
 		StallMin:          *decideTO * 2,
 		StallMax:          *decideTO * 4,
 	})
-	fmt.Printf("chaos pass: same fleet, fault schedule seed %d ...\n", *chaosSeed)
+	log.Info("chaos pass starting", "devices", *devices, "events", *events, "chaos_seed", *chaosSeed)
 	cha, err := runPass(p, inj)
 	if err != nil {
 		fatal(err)
@@ -149,6 +157,32 @@ func main() {
 		}
 	}
 
+	// Invariant 4: the journal explains every decision exactly once.
+	// Replays are served from the cache without re-deciding, so even
+	// under chaos each (device, seq) gets one non-degraded entry;
+	// degraded fallbacks appear as extra flagged entries.
+	seen := make(map[string]int)
+	for _, e := range cha.journal {
+		if _, err := obs.ParseTraceID(string(e.TraceID)); err != nil {
+			report("journal entry %s seq %d has invalid trace ID %q", e.Device, e.Seq, e.TraceID)
+		}
+		if !e.Degraded {
+			seen[fmt.Sprintf("%s/%d", e.Device, e.Seq)]++
+		}
+	}
+	for d := 0; d < p.devices; d++ {
+		for i := 1; i <= p.events; i++ {
+			key := fmt.Sprintf("soak-%d/%d", d, i)
+			if n := seen[key]; n != 1 {
+				report("journal has %d non-degraded entries for %s, want exactly 1", n, key)
+			}
+			delete(seen, key)
+		}
+	}
+	for key, n := range seen {
+		report("journal has %d entries for unexpected decision %s", n, key)
+	}
+
 	fmt.Println()
 	fmt.Printf("faults injected:   %d\n", inj.Injected())
 	for _, k := range []chaos.Kind{
@@ -165,12 +199,37 @@ func main() {
 	fmt.Printf("degraded retried:  %d\n", cha.stats.DegradedRetries)
 	fmt.Printf("server replays:    %d\n", cha.replays)
 	fmt.Printf("server degraded:   %d\n", cha.degraded)
+	fmt.Printf("journal entries:   %d\n", len(cha.journal))
+
+	if *jout != "" || violations > 0 {
+		if err := dumpJournal(*jout, cha.journal); err != nil {
+			log.Error("journal dump failed", "err", err)
+		}
+	}
 	if violations > 0 {
 		fmt.Printf("\nFAIL: %d invariant violations\n", violations)
 		os.Exit(1)
 	}
-	fmt.Printf("\nOK: %d decisions byte-identical to the fault-free reference\n",
+	fmt.Printf("\nOK: %d decisions byte-identical to the fault-free reference, all explained in the journal\n",
 		p.devices*p.events)
+}
+
+// dumpJournal writes the journal as indented JSON for offline triage.
+// With no explicit path it falls back to a file in the working
+// directory so a failing CI run still leaves an artifact behind.
+func dumpJournal(path string, entries []obs.Entry) error {
+	if path == "" {
+		path = "clrchaos-journal.json"
+	}
+	b, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("decision journal written to %s\n", path)
+	return nil
 }
 
 type soakParams struct {
@@ -194,6 +253,10 @@ type passResult struct {
 
 	replays, degraded int64
 	stats             client.Stats
+
+	// journal is the fleet-wide decision journal, snapshotted before
+	// the pass’s server shuts down.
+	journal []obs.Entry
 }
 
 // runPass boots a server (chaos-wrapped when inj is non-nil), drives
@@ -323,6 +386,9 @@ func runPass(p soakParams, inj *chaos.Injector) (*passResult, error) {
 		res.degraded += info.Stats.Degraded
 	}
 	res.stats = c.Stats()
+	// Snapshot before the deferred server teardown: the journal lives
+	// in the registry shards, which die with the server.
+	res.journal = srv.Registry().Decisions("", 0)
 	return res, nil
 }
 

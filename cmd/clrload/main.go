@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"clrdse/internal/fleet/client"
+	"clrdse/internal/obs"
 )
 
 func main() {
@@ -40,6 +41,12 @@ func main() {
 	)
 	flag.Parse()
 
+	// Diagnostics go through the shared trace-stamping handler so a
+	// clrload line next to a clrserved line reads the same way; the
+	// latency report itself stays on stdout for piping.
+	log := obs.NewLogger(os.Stderr)
+	log.Info("load run starting", "addr", *addr, "devices", *devices, "events", *events, "db", *db)
+
 	report, err := client.RunLoad(client.LoadParams{
 		BaseURL:            *addr,
 		Devices:            *devices,
@@ -55,7 +62,7 @@ func main() {
 		AttemptTimeout:     *attemptT,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "clrload:", err)
+		log.Error("load run failed", "err", err)
 		os.Exit(1)
 	}
 	fmt.Println(report)

@@ -34,6 +34,7 @@ import (
 	"clrdse/internal/fleet"
 	"clrdse/internal/fleet/client"
 	"clrdse/internal/ga"
+	"clrdse/internal/obs"
 	"clrdse/internal/platform"
 	"clrdse/internal/taskgraph"
 )
@@ -46,6 +47,8 @@ func main() {
 		body     = flag.Int64("max-body", 1<<20, "request body cap in bytes")
 		decideTO = flag.Duration("decide-timeout", 0, "per-decision deadline before degraded fallback (0 = default)")
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
+		jcap     = flag.Int("journal-cap", 0, "per-shard decision journal capacity (0 = default 4096)")
+		traceSd  = flag.Int64("trace-seed", 0, "trace-ID minter seed for requests without X-Clr-Trace-Id")
 
 		tasks   = flag.Int("tasks", 30, "synthetic application size")
 		jpeg    = flag.Bool("jpeg", false, "use the JPEG encoder of Figure 2b")
@@ -65,6 +68,11 @@ func main() {
 	)
 	flag.Parse()
 
+	// One trace-stamping logger for the whole process: the server
+	// shares its handler shape, so request lines, decision journals
+	// and command diagnostics correlate on trace_id.
+	log := obs.NewLogger(os.Stderr)
+
 	plat := platform.Default()
 	var app *taskgraph.Graph
 	var err error
@@ -76,9 +84,9 @@ func main() {
 			fatal(err)
 		}
 	}
-	fmt.Printf("application %s: %d tasks, %d edges\n", app.Name, len(app.Tasks), len(app.Edges))
+	log.Info("application loaded", "name", app.Name, "tasks", len(app.Tasks), "edges", len(app.Edges))
 
-	fmt.Println("design-time exploration ...")
+	log.Info("design-time exploration starting")
 	sys, err := core.Build(app, core.Options{
 		Seed:     *seed,
 		StageOne: ga.Params{PopSize: *pop, Generations: *gens},
@@ -95,7 +103,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("pruned database %d -> %d points (storage budget)\n", db.Len(), pruned.Len())
+		log.Info("database pruned to storage budget", "from", db.Len(), "to", pruned.Len())
 		db = pruned
 	}
 	dbs := []fleet.NamedDatabase{{Name: "red", DB: db, Space: sys.Problem.Space}}
@@ -104,8 +112,9 @@ func main() {
 	}
 	for _, n := range dbs {
 		minS, maxS, minF, maxF := n.Envelope()
-		fmt.Printf("database %-6s %3d points, makespan [%.2f, %.2f] ms, reliability [%.4f, %.4f]\n",
-			n.Name, n.DB.Len(), minS, maxS, minF, maxF)
+		log.Info("database ready", "name", n.Name, "points", n.DB.Len(),
+			"makespan_min_ms", minS, "makespan_max_ms", maxS,
+			"reliability_min", minF, "reliability_max", maxF)
 	}
 
 	cfg := fleet.ServerConfig{
@@ -114,6 +123,9 @@ func main() {
 		MaxBodyBytes:  *body,
 		ShutdownGrace: *grace,
 		DecideTimeout: *decideTO,
+		JournalCap:    *jcap,
+		TraceSeed:     *traceSd,
+		Logger:        log,
 	}
 	if *loadgen {
 		// Per-request log lines would swamp the latency report.
@@ -129,9 +141,9 @@ func main() {
 		// DefaultServeMux are reachable only through this side listener
 		// — keep it on loopback in production.
 		go func() {
-			fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofA)
+			log.Info("pprof listening", "url", "http://"+*pprofA+"/debug/pprof/")
 			if err := http.ListenAndServe(*pprofA, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "clrserved: pprof:", err)
+				log.Error("pprof server failed", "err", err)
 			}
 		}()
 	}

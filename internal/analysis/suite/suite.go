@@ -9,6 +9,7 @@ import (
 	"clrdse/internal/analysis/lockheld"
 	"clrdse/internal/analysis/maporder"
 	"clrdse/internal/analysis/metricname"
+	"clrdse/internal/analysis/tracectx"
 )
 
 // All returns the full analyzer suite in stable order.
@@ -19,6 +20,7 @@ func All() []*analysis.Analyzer {
 		lockheld.Analyzer,
 		maporder.Analyzer,
 		metricname.Analyzer,
+		tracectx.Analyzer,
 	}
 }
 

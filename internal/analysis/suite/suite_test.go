@@ -4,8 +4,8 @@ import "testing"
 
 func TestAllIsCompleteAndNamed(t *testing.T) {
 	all := All()
-	if len(all) != 5 {
-		t.Fatalf("All() = %d analyzers, want 5", len(all))
+	if len(all) != 6 {
+		t.Fatalf("All() = %d analyzers, want 6", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {

@@ -1,0 +1,126 @@
+// Package a seeds tracectx violations: trace IDs must be adopted
+// from the inbound context or header — minted only as an edge
+// fallback or at a true root — and every span-start's end closure
+// must be called, deferred or handed onward.
+package a
+
+import (
+	"context"
+	"net/http"
+
+	"obs"
+)
+
+// --- Rule 1: no mid-stack minting ---
+
+// BadMidStackMint has the caller's context in hand and forks the
+// correlation chain anyway.
+func BadMidStackMint(ctx context.Context, m *obs.Minter) obs.TraceID {
+	return m.Mint() // want `trace ID minted mid-stack`
+}
+
+// BadHandlerMint does the same with the request context.
+func BadHandlerMint(w http.ResponseWriter, r *http.Request, m *obs.Minter) {
+	id := m.Mint() // want `trace ID minted mid-stack`
+	_ = id
+}
+
+// GoodHeaderEdge adopts the wire header first; minting is the edge
+// fallback for requests that arrive without an ID.
+func GoodHeaderEdge(w http.ResponseWriter, r *http.Request, m *obs.Minter) {
+	id, err := obs.ParseTraceID(r.Header.Get("X-Clr-Trace-Id"))
+	if err != nil {
+		id = m.Mint()
+	}
+	_ = id
+}
+
+// GoodContextEdge adopts from the context first (the client-side
+// idiom: the call becomes the trace edge when the caller supplied no
+// ID).
+func GoodContextEdge(ctx context.Context, m *obs.Minter) obs.TraceID {
+	id := obs.TraceIDFrom(ctx)
+	if id == "" {
+		id = m.Mint()
+	}
+	return id
+}
+
+// GoodRoot has no inbound context at all: minting is the root.
+func GoodRoot(m *obs.Minter) obs.TraceID {
+	return m.Mint()
+}
+
+// BadClosureMint inherits the handler's context availability.
+func BadClosureMint(ctx context.Context, m *obs.Minter) {
+	go func() {
+		_ = m.Mint() // want `trace ID minted mid-stack`
+	}()
+}
+
+// AllowedReMint shows suppression with a reason.
+func AllowedReMint(ctx context.Context, m *obs.Minter) obs.TraceID {
+	//lint:allow tracectx chaos injector deliberately forks the trace per fault
+	return m.Mint()
+}
+
+// --- Rule 2: spans pair ---
+
+// BadDiscardedSpan drops the end closure on the floor.
+func BadDiscardedSpan(t *obs.Trace) {
+	t.Stage("filter") // want `result of Stage discarded; the span never ends`
+}
+
+// BadBlankSpan assigns the end closure to blank.
+func BadBlankSpan(t *obs.Trace) {
+	_ = t.Stage("score") // want `end closure of Stage assigned to _`
+}
+
+// BadDeferredStart defers the start instead of the end.
+func BadDeferredStart(t *obs.Trace) {
+	defer t.Stage("switch") // want `defer Stage\(\.\.\.\) starts the span at function exit`
+}
+
+// BadNeverEnded binds the closure and never invokes it.
+func BadNeverEnded(t *obs.Trace) {
+	end := t.Stage("agent_update") // want `end closure end of Stage is never called or deferred`
+	_ = end
+	end = nil
+}
+
+// GoodDeferredEnd is the canonical whole-function span.
+func GoodDeferredEnd(t *obs.Trace) {
+	defer t.Stage("filter")()
+}
+
+// GoodRegionEnd is the canonical region span.
+func GoodRegionEnd(t *obs.Trace) {
+	end := t.Stage("score")
+	end()
+}
+
+// GoodDeferredVar defers the bound closure.
+func GoodDeferredVar(t *obs.Trace) {
+	end := t.Stage("switch")
+	defer end()
+}
+
+// GoodImmediate starts and ends in one expression (a zero-length
+// span; odd, but paired).
+func GoodImmediate(t *obs.Trace) {
+	t.Stage("filter")()
+}
+
+// GoodHandedOnward passes the closure to the code that ends it.
+func GoodHandedOnward(t *obs.Trace) {
+	end := t.Stage("score")
+	finishLater(end)
+}
+
+// GoodReturned returns the closure to the caller, who ends it.
+func GoodReturned(t *obs.Trace) func() {
+	end := t.Stage("switch")
+	return end
+}
+
+func finishLater(end func()) { end() }

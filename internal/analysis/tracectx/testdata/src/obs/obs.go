@@ -1,0 +1,34 @@
+// Package obs is a stub of the repository's observability package
+// for the tracectx goldens: the analyzer scopes itself by package
+// base name, so this short-path testdata package matches the same
+// contract as the real clrdse/internal/obs.
+package obs
+
+import "context"
+
+// TraceID is a stub trace identifier.
+type TraceID string
+
+// Minter is a stub deterministic trace-ID minter.
+type Minter struct{ n uint64 }
+
+// NewMinter is the stub constructor.
+func NewMinter(seed int64) *Minter { return &Minter{} }
+
+// Mint issues the next ID.
+func (m *Minter) Mint() TraceID { m.n++; return "0000000000000000" }
+
+// TraceIDFrom adopts the trace riding ctx ("" when absent).
+func TraceIDFrom(ctx context.Context) TraceID { return "" }
+
+// ParseTraceID adopts a wire-format trace ID.
+func ParseTraceID(s string) (TraceID, error) { return TraceID(s), nil }
+
+// Trace is a stub span recorder.
+type Trace struct{}
+
+// NewTrace is the stub constructor.
+func NewTrace(id TraceID) *Trace { return &Trace{} }
+
+// Stage opens a span and returns its end closure.
+func (t *Trace) Stage(name string) func() { return func() {} }

@@ -1,0 +1,12 @@
+package tracectx_test
+
+import (
+	"testing"
+
+	"clrdse/internal/analysis/checktest"
+	"clrdse/internal/analysis/tracectx"
+)
+
+func TestTracectx(t *testing.T) {
+	checktest.Run(t, "testdata", tracectx.Analyzer, "a")
+}

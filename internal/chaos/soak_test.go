@@ -9,7 +9,13 @@ package chaos_test
 //     its manager processed exactly its events,
 //  2. every QoS event is eventually answered with a real decision,
 //  3. the accepted decisions are byte-identical to the fault-free run
-//     (retries mask faults; they never change outcomes).
+//     (retries mask faults; they never change outcomes),
+//  4. the decision journal is complete: every (device, seq) decided
+//     appears exactly once as a non-degraded entry, under a valid
+//     trace ID — at-least-once delivery, exactly-once explanation.
+//
+// On failure the journal is dumped as JSON to the path named by the
+// OBS_JOURNAL_ARTIFACT environment variable (CI uploads it).
 //
 // Everything is seeded: the event scripts, the client's retry jitter
 // and the fault schedule, so a failure reproduces exactly.
@@ -22,6 +28,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -30,6 +37,7 @@ import (
 	"clrdse/internal/fleet"
 	"clrdse/internal/fleet/client"
 	"clrdse/internal/fleet/fleettest"
+	"clrdse/internal/obs"
 	"clrdse/internal/rng"
 	"clrdse/internal/runtime"
 )
@@ -54,8 +62,9 @@ const (
 
 // soakPass drives every device through its script against a fresh
 // server, injecting faults when inj is non-nil, and returns the
-// accepted decisions plus the per-device server-side stats.
-func soakPass(t *testing.T, dims soakSize, inj *chaos.Injector) ([][]string, []*fleet.DeviceInfo) {
+// accepted decisions, the per-device server-side stats and the
+// server's decision-journal snapshot.
+func soakPass(t *testing.T, dims soakSize, inj *chaos.Injector) ([][]string, []*fleet.DeviceInfo, []obs.Entry) {
 	t.Helper()
 	cfg := fleet.ServerConfig{
 		Databases:     fleettest.Databases(t),
@@ -174,13 +183,70 @@ func soakPass(t *testing.T, dims soakSize, inj *chaos.Injector) ([][]string, []*
 		}
 		infos[d] = info
 	}
-	return decisions, infos
+	return decisions, infos, srv.Registry().Decisions("", 0)
+}
+
+// checkJournal asserts soak invariant 4 over one pass's journal.
+// wantDegraded bounds the degraded entries: the fault-free pass must
+// have none.
+func checkJournal(t *testing.T, name string, dims soakSize, entries []obs.Entry, wantDegraded bool) {
+	t.Helper()
+	type key struct {
+		dev string
+		seq uint64
+	}
+	decided := make(map[key]int)
+	degraded := 0
+	for _, e := range entries {
+		if !e.TraceID.IsValid() {
+			t.Errorf("%s: journal entry %s/%d carries invalid trace ID %q",
+				name, e.Device, e.Seq, e.TraceID)
+		}
+		if e.Degraded {
+			degraded++
+			continue
+		}
+		decided[key{e.Device, e.Seq}]++
+	}
+	for d := 0; d < dims.devices; d++ {
+		id := fmt.Sprintf("soak-%d", d)
+		for i := 1; i <= dims.events; i++ {
+			if n := decided[key{id, uint64(i)}]; n != 1 {
+				t.Errorf("%s: decision %s seq %d journaled %d times, want exactly once", name, id, i, n)
+			}
+		}
+	}
+	if extra := len(decided) - dims.devices*dims.events; extra > 0 {
+		t.Errorf("%s: journal holds %d decisions beyond the script", name, extra)
+	}
+	if !wantDegraded && degraded > 0 {
+		t.Errorf("%s: fault-free journal holds %d degraded entries", name, degraded)
+	}
+}
+
+// dumpJournal writes the journal to OBS_JOURNAL_ARTIFACT (when set)
+// so CI can attach it to a failing run.
+func dumpJournal(t *testing.T, entries []obs.Entry) {
+	path := os.Getenv("OBS_JOURNAL_ARTIFACT")
+	if path == "" {
+		return
+	}
+	b, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Errorf("marshalling journal artifact: %v", err)
+		return
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Errorf("writing journal artifact: %v", err)
+		return
+	}
+	t.Logf("decision journal (%d entries) written to %s", len(entries), path)
 }
 
 func TestChaosSoak(t *testing.T) {
 	dims := soakDims(t)
 
-	ref, _ := soakPass(t, dims, nil)
+	ref, _, refJournal := soakPass(t, dims, nil)
 
 	inj := chaos.New(chaos.Config{
 		Seed:              soakChaosSeed,
@@ -198,7 +264,7 @@ func TestChaosSoak(t *testing.T) {
 		StallMin:          2 * soakDecideTO,
 		StallMax:          3 * soakDecideTO,
 	})
-	cha, infos := soakPass(t, dims, inj)
+	cha, infos, chaJournal := soakPass(t, dims, inj)
 
 	if inj.Injected() == 0 {
 		t.Fatal("chaos pass injected no faults; the soak tested nothing")
@@ -231,7 +297,17 @@ func TestChaosSoak(t *testing.T) {
 		}
 	}
 
-	t.Logf("faults=%d replays=%d degraded=%d", inj.Injected(), replays, degraded)
+	// Invariant 4: both journals are complete — and under chaos, the
+	// journal explains every decision exactly once even though the
+	// wire saw retries, replays and degraded answers.
+	checkJournal(t, "fault-free", dims, refJournal, false)
+	checkJournal(t, "chaos", dims, chaJournal, true)
+	if t.Failed() {
+		dumpJournal(t, chaJournal)
+	}
+
+	t.Logf("faults=%d replays=%d degraded=%d journal=%d",
+		inj.Injected(), replays, degraded, len(chaJournal))
 }
 
 // TestChaosSoakReproducible: the fault schedule itself is seeded — two

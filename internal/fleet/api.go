@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"clrdse/internal/mapping"
+	"clrdse/internal/obs"
 	"clrdse/internal/runtime"
 )
 
@@ -246,4 +247,15 @@ func databaseJSON(n NamedDatabase) DatabaseJSON {
 // ErrorJSON is the body of every non-2xx response.
 type ErrorJSON struct {
 	Error string `json:"error"`
+}
+
+// DecisionsJSON is the body of GET /debug/decisions: the decision
+// journal's retained entries, oldest first.
+type DecisionsJSON struct {
+	// Count is len(Decisions).
+	Count int `json:"count"`
+	// Device echoes the ?device= filter ("" = whole fleet).
+	Device string `json:"device,omitempty"`
+	// Decisions are the journal entries.
+	Decisions []obs.Entry `json:"decisions"`
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"clrdse/internal/fleet"
+	"clrdse/internal/obs"
 	"clrdse/internal/rng"
 )
 
@@ -94,6 +95,10 @@ type Client struct {
 	jmu sync.Mutex
 	src *rng.Source
 
+	// minter issues trace IDs for calls whose context carries none —
+	// the client is then the trace edge for the call.
+	minter *obs.Minter
+
 	breakers map[string]*Breaker
 
 	retries    atomic.Int64
@@ -119,6 +124,7 @@ func New(cfg Config) *Client {
 		backoff:     cfg.Backoff,
 		retryDeg:    cfg.RetryDegraded,
 		src:         rng.New(cfg.JitterSeed),
+		minter:      obs.NewMinter(cfg.JitterSeed),
 		breakers:    make(map[string]*Breaker, len(endpoints)),
 	}
 	if c.maxAttempts <= 0 {
@@ -169,8 +175,20 @@ func retryable(err error) bool {
 // do runs one API call with retries, backoff, per-attempt deadlines
 // and the endpoint's breaker. accept, when non-nil, validates the
 // decoded response; its error counts as a retryable failure.
+//
+// The call's trace ID is resolved exactly once, before the first
+// attempt, and every attempt carries it in X-Clr-Trace-Id: a retry is
+// the same logical call, so the server's request log and decision
+// journal correlate all attempts (and the eventual replay-cache
+// answer) under one ID. A context without a trace makes this call the
+// trace edge, so minting here is the root, not a mid-stack re-mint
+// (tracectx's adopt-first rule: TraceIDFrom before Mint).
 func (c *Client) do(ctx context.Context, endpoint, method, url string, body, out any, wantStatus int, accept func() error) error {
 	br := c.breakers[endpoint]
+	trace := obs.TraceIDFrom(ctx)
+	if trace == "" {
+		trace = c.minter.Mint()
+	}
 	var payload []byte
 	if body != nil {
 		var err error
@@ -189,7 +207,7 @@ func (c *Client) do(ctx context.Context, endpoint, method, url string, body, out
 				return fmt.Errorf("client: %s: %w (last error: %v)", endpoint, ctx.Err(), lastErr)
 			}
 		}
-		err := c.attempt(ctx, br, method, url, payload, out, wantStatus, accept)
+		err := c.attempt(ctx, br, trace, method, url, payload, out, wantStatus, accept)
 		if err == nil {
 			return nil
 		}
@@ -201,8 +219,8 @@ func (c *Client) do(ctx context.Context, endpoint, method, url string, body, out
 	return fmt.Errorf("client: %s: %d attempts exhausted: %w", endpoint, c.maxAttempts, lastErr)
 }
 
-// attempt is one try of a call.
-func (c *Client) attempt(ctx context.Context, br *Breaker, method, url string, payload []byte, out any, wantStatus int, accept func() error) error {
+// attempt is one try of a call, stamped with the call's trace ID.
+func (c *Client) attempt(ctx context.Context, br *Breaker, trace obs.TraceID, method, url string, payload []byte, out any, wantStatus int, accept func() error) error {
 	if !br.Allow() {
 		c.rejects.Add(1)
 		return ErrBreakerOpen
@@ -221,6 +239,7 @@ func (c *Client) attempt(ctx context.Context, br *Breaker, method, url string, p
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	req.Header.Set(obs.TraceHeader, string(trace))
 	resp, err := c.http.Do(req)
 	if err != nil {
 		br.Failure()

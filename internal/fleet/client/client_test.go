@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"clrdse/internal/fleet"
+	"clrdse/internal/obs"
 	"clrdse/internal/rng"
 )
 
@@ -372,4 +374,98 @@ func TestCallerContextBoundsRetries(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("retry loop ignored the caller's deadline (%v)", elapsed)
 	}
+}
+
+// TestRetriesCarryOneTraceID: retries are the same logical call, so
+// every attempt — including the one that finally succeeds — must
+// carry the same X-Clr-Trace-Id header. A context-supplied trace ID
+// is propagated verbatim; without one the client mints a valid ID at
+// the call root and reuses it across the backoff.
+func TestRetriesCarryOneTraceID(t *testing.T) {
+	var mu sync.Mutex
+	var headers []string
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		headers = append(headers, r.Header.Get(obs.TraceHeader))
+		mu.Unlock()
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `[{"name":"red","points":4}]`)
+	}))
+	defer ts.Close()
+
+	newClient := func() *Client {
+		calls.Store(0)
+		mu.Lock()
+		headers = nil
+		mu.Unlock()
+		return New(Config{
+			BaseURL:     ts.URL,
+			MaxAttempts: 4,
+			Backoff:     Backoff{Base: time.Millisecond, Max: time.Millisecond},
+			JitterSeed:  42,
+		})
+	}
+
+	t.Run("context trace propagated across attempts", func(t *testing.T) {
+		c := newClient()
+		const want = "feedfacefeedface"
+		ctx := obs.WithTrace(context.Background(), obs.TraceID(want))
+		if _, err := c.Databases(ctx); err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if len(headers) != 3 {
+			t.Fatalf("server saw %d attempts, want 3", len(headers))
+		}
+		for i, h := range headers {
+			if h != want {
+				t.Fatalf("attempt %d carried trace %q, want the context's %q", i, h, want)
+			}
+		}
+	})
+
+	t.Run("minted trace stable across attempts", func(t *testing.T) {
+		c := newClient()
+		if _, err := c.Databases(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if len(headers) != 3 {
+			t.Fatalf("server saw %d attempts, want 3", len(headers))
+		}
+		if !obs.TraceID(headers[0]).IsValid() {
+			t.Fatalf("minted trace %q is not a valid trace ID", headers[0])
+		}
+		for i, h := range headers {
+			if h != headers[0] {
+				t.Fatalf("attempt %d carried trace %q, want the call's %q", i, h, headers[0])
+			}
+		}
+	})
+
+	t.Run("distinct calls get distinct minted traces", func(t *testing.T) {
+		c := newClient()
+		if _, err := c.Databases(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		first := headers[len(headers)-1]
+		mu.Unlock()
+		if _, err := c.Databases(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		second := headers[len(headers)-1]
+		mu.Unlock()
+		if first == second {
+			t.Fatalf("two calls shared minted trace %q", first)
+		}
+	})
 }

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"runtime/pprof"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +29,7 @@ import (
 	"clrdse/internal/dse"
 	"clrdse/internal/fleet/metrics"
 	"clrdse/internal/mapping"
+	"clrdse/internal/obs"
 	"clrdse/internal/runtime"
 )
 
@@ -208,10 +211,13 @@ func (d *device) acquire(ctx context.Context) error {
 
 func (d *device) release() { <-d.sem }
 
-// shard is one lock domain of the registry.
+// shard is one lock domain of the registry. Its journal is the
+// decision flight recorder for the shard's devices; appends and reads
+// are lock-free, so journaling never contends with the shard mutex.
 type shard struct {
 	mu      sync.RWMutex
 	devices map[string]*device
+	journal *obs.Journal
 }
 
 // Registry is the sharded, concurrency-safe set of per-device
@@ -225,6 +231,10 @@ type Registry struct {
 	// DecideHook). Set via SetDecideHook before serving traffic.
 	hook DecideHook
 
+	// clock times decisions and journal entries; injected so tests can
+	// pin timestamps (nil in NewRegistry selects obs.NowClock).
+	clock obs.Clock
+
 	met *metrics.Registry
 	// Fleet-wide instruments (per-endpoint HTTP counters live in the
 	// server, which shares met).
@@ -235,9 +245,11 @@ type Registry struct {
 	replays     *metrics.Counter
 	degradedTot *metrics.Counter
 	timeouts    *metrics.Counter
+	explained   *metrics.Counter
 	devices     *metrics.Gauge
 	degradedDev *metrics.Gauge
 	decisionLat *metrics.Histogram
+	stageLat    map[string]*metrics.Histogram
 }
 
 // NewRegistry validates every database (see dse.Database.Validate)
@@ -273,8 +285,12 @@ func NewRegistry(dbs []NamedDatabase, shards int) (*Registry, error) {
 		r.dbs[db.Name] = &db
 		r.names = append(r.names, db.Name)
 	}
+	r.clock = obs.NowClock
 	for i := range r.shards {
-		r.shards[i] = &shard{devices: make(map[string]*device)}
+		r.shards[i] = &shard{
+			devices: make(map[string]*device),
+			journal: obs.NewJournal(obs.DefaultJournalCap),
+		}
 	}
 	r.decisions = r.met.Counter("clr_fleet_decisions_total",
 		"QoS-change decisions served.")
@@ -296,7 +312,25 @@ func NewRegistry(dbs []NamedDatabase, shards int) (*Registry, error) {
 		"Devices currently in degraded mode.")
 	r.decisionLat = r.met.Histogram("clr_fleet_decision_latency_seconds",
 		"Wall-clock latency of the decision hot path.", nil)
+	r.explained = r.met.Counter("clr_decisions_explained_total",
+		"Decisions recorded in the per-shard decision journal (degraded answers included, replays excluded).")
+	r.stageLat = make(map[string]*metrics.Histogram, 4)
+	for _, st := range obs.Stages() {
+		r.stageLat[st] = r.met.Histogram("clr_decision_stage_seconds",
+			"Wall-clock latency of one decide-path stage (filter, score, switch, agent_update).",
+			metrics.StageLatencyBuckets(), "stage", st)
+	}
 	return r, nil
+}
+
+// SetJournalCap resizes every shard's decision journal to hold cap
+// entries (<= 0 selects obs.DefaultJournalCap). Like SetDecideHook it
+// must be called before the registry serves traffic: resizing
+// discards the journals' contents.
+func (r *Registry) SetJournalCap(cap int) {
+	for _, sh := range r.shards {
+		sh.journal = obs.NewJournal(cap)
+	}
 }
 
 // SetDecideHook installs the decision-path fault hook. It must be set
@@ -429,11 +463,14 @@ func (r *Registry) DecideCtx(ctx context.Context, id string, seq uint64, spec ru
 	if err != nil {
 		return DecideOutcome{}, err
 	}
+	// The trace ID rides the context from the edge (HTTP middleware or
+	// client call root); the registry never mints one mid-stack.
+	tr := obs.NewTrace(obs.TraceIDFrom(ctx), r.clock)
 	start := time.Now()
 	if err := d.acquire(ctx); err != nil {
 		// The device's decision path is wedged past our deadline:
 		// answer degraded without touching any state.
-		return r.degrade(d, err), nil
+		return r.degrade(d, seq, tr, err), nil
 	}
 	if seq > 0 && d.haveLast {
 		if seq == d.lastSeq {
@@ -451,12 +488,18 @@ func (r *Registry) DecideCtx(ctx context.Context, id string, seq uint64, spec ru
 	}
 	if r.hook != nil {
 		if err := r.hook(ctx, id, seq); err != nil {
-			out := r.degrade(d, err)
+			out := r.degrade(d, seq, tr, err)
 			d.release()
 			return out, nil
 		}
 	}
-	dec := d.mgr.OnQoSChange(spec)
+	var dec runtime.Decision
+	var detail runtime.DecisionDetail
+	// pprof labels attribute CPU samples under the decide path to the
+	// device and stage, so a fleet-wide profile decomposes per device.
+	pprof.Do(ctx, pprof.Labels("device", id, "stage", "decide"), func(context.Context) {
+		dec, detail = d.mgr.OnQoSChangeObserved(spec, tr)
+	})
 	d.stats.Decisions++
 	if dec.Reconfigured {
 		d.stats.Reconfigs++
@@ -473,6 +516,7 @@ func (r *Registry) DecideCtx(ctx context.Context, id string, seq uint64, spec ru
 	if d.degraded.CompareAndSwap(true, false) {
 		r.degradedDev.Add(-1)
 	}
+	r.journal(d, seq, tr, dec, detail, false)
 	r.decisionLat.Observe(time.Since(start).Seconds())
 	r.decisions.Inc()
 	if dec.Reconfigured {
@@ -487,7 +531,7 @@ func (r *Registry) DecideCtx(ctx context.Context, id string, seq uint64, spec ru
 // degrade builds the last-known-good fallback outcome for a decision
 // path that faulted with err, and accounts for it. It must not assume
 // the device semaphore is held.
-func (r *Registry) degrade(d *device, err error) DecideOutcome {
+func (r *Registry) degrade(d *device, seq uint64, tr *obs.Trace, err error) DecideOutcome {
 	cur := d.mgr.Current()
 	d.degradedN.Add(1)
 	if d.degraded.CompareAndSwap(false, true) {
@@ -497,10 +541,78 @@ func (r *Registry) degrade(d *device, err error) DecideOutcome {
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		r.timeouts.Inc()
 	}
+	dec := runtime.Decision{From: cur, To: cur}
+	r.journal(d, seq, tr, dec, runtime.DecisionDetail{}, true)
 	return DecideOutcome{
-		Decision: runtime.Decision{From: cur, To: cur},
+		Decision: dec,
 		Degraded: true,
 	}
+}
+
+// journal explains one decision into the device's shard journal and
+// feeds the stage histograms. Replays are not journaled — the journal
+// explains decisions, and a replay repeats one — so for any (device,
+// seq) exactly one non-degraded entry exists, plus one degraded entry
+// per faulted attempt.
+func (r *Registry) journal(d *device, seq uint64, tr *obs.Trace, dec runtime.Decision, detail runtime.DecisionDetail, degraded bool) {
+	e := &obs.Entry{
+		TraceID:      tr.ID(),
+		Device:       d.id,
+		Seq:          seq,
+		UnixNanos:    r.clock().UnixNano(),
+		From:         dec.From,
+		To:           dec.To,
+		Reconfigured: dec.Reconfigured,
+		Violated:     dec.Violated,
+		Degraded:     degraded,
+		Candidates:   detail.Candidates,
+		Infeasible:   detail.Infeasible,
+		Score:        detail.Score,
+		DRCMs:        dec.Cost.Total(),
+		Stages:       append([]obs.Span(nil), tr.Spans()...),
+	}
+	r.shardFor(d.id).journal.Append(e)
+	for _, s := range e.Stages {
+		if h, ok := r.stageLat[s.Name]; ok {
+			h.Observe(s.Seconds)
+		}
+	}
+	r.explained.Inc()
+}
+
+// Decisions snapshots the journaled decisions across every shard,
+// oldest first, optionally filtered to one device. limit > 0 keeps
+// only the newest limit entries after filtering. The snapshot is
+// lock-free and safe under live traffic.
+func (r *Registry) Decisions(device string, limit int) []obs.Entry {
+	var out []obs.Entry
+	if device != "" {
+		out = r.shardFor(device).journal.Snapshot()
+		kept := out[:0]
+		for _, e := range out {
+			if e.Device == device {
+				kept = append(kept, e)
+			}
+		}
+		out = kept
+	} else {
+		for _, sh := range r.shards {
+			out = append(out, sh.journal.Snapshot()...)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].UnixNanos != out[j].UnixNanos {
+			return out[i].UnixNanos < out[j].UnixNanos
+		}
+		if out[i].Device != out[j].Device {
+			return out[i].Device < out[j].Device
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
 }
 
 // Get returns a snapshot of the device's current point and cumulative

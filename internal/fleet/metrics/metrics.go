@@ -103,6 +103,19 @@ func DefaultLatencyBuckets() []float64 {
 	return b
 }
 
+// StageLatencyBuckets spans 100 ns to 50 ms in the same 1-2.5-5
+// progression, for the decide path's per-stage spans: individual
+// stages (filter, score, switch, agent update) run in hundreds of
+// nanoseconds to microseconds, below DefaultLatencyBuckets'
+// resolution floor.
+func StageLatencyBuckets() []float64 {
+	var b []float64
+	for _, e := range []float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2} {
+		b = append(b, e, 2.5*e, 5*e)
+	}
+	return b
+}
+
 // WritePrometheus renders every registered instrument in the
 // Prometheus text exposition format (version 0.0.4).
 func (r *Registry) WritePrometheus(w io.Writer) {

@@ -98,6 +98,21 @@ func TestDefaultLatencyBucketsSorted(t *testing.T) {
 	}
 }
 
+func TestStageLatencyBucketsSorted(t *testing.T) {
+	b := StageLatencyBuckets()
+	if !sort.Float64sAreSorted(b) {
+		t.Fatalf("stage buckets not sorted: %v", b)
+	}
+	if b[0] != 1e-7 || b[len(b)-1] != 5e-2 {
+		t.Errorf("unexpected bucket envelope: %v .. %v", b[0], b[len(b)-1])
+	}
+	// Stage buckets must resolve sub-microsecond spans, which the
+	// default buckets lump into their first bucket.
+	if b[0] >= DefaultLatencyBuckets()[0] {
+		t.Errorf("stage buckets do not extend below the default floor")
+	}
+}
+
 func TestConcurrentObservations(t *testing.T) {
 	r := NewRegistry()
 	c := r.Counter("c", "c")

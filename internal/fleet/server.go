@@ -15,10 +15,12 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"clrdse/internal/fleet/metrics"
+	"clrdse/internal/obs"
 )
 
 // ServerConfig configures a fleet decision server.
@@ -43,14 +45,23 @@ type ServerConfig struct {
 	// which /readyz reports 503 (0 selects 0.5).
 	ReadyMaxDegraded float64
 	// Logger receives structured request logs (nil selects
-	// slog.Default()).
+	// slog.Default()). The server wraps the logger's handler with
+	// obs.NewHandler, so every line carries the request's trace_id.
 	Logger *slog.Logger
+	// JournalCap sizes each registry shard's decision journal
+	// (<= 0 selects obs.DefaultJournalCap).
+	JournalCap int
+	// TraceSeed seeds the trace-ID minter used for requests that
+	// arrive without an X-Clr-Trace-Id header; the same seed mints the
+	// same ID sequence, keeping traced soak runs reproducible.
+	TraceSeed int64
 }
 
 // Server is the fleet decision service.
 type Server struct {
 	reg       *Registry
 	log       *slog.Logger
+	minter    *obs.Minter
 	maxBody   int64
 	grace     time.Duration
 	decideTO  time.Duration
@@ -69,9 +80,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	reg.SetDecideHook(cfg.DecideHook)
+	reg.SetJournalCap(cfg.JournalCap)
 	s := &Server{
 		reg:       reg,
 		log:       cfg.Logger,
+		minter:    obs.NewMinter(cfg.TraceSeed),
 		maxBody:   cfg.MaxBodyBytes,
 		grace:     cfg.ShutdownGrace,
 		decideTO:  cfg.DecideTimeout,
@@ -81,6 +94,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if s.log == nil {
 		s.log = slog.Default()
 	}
+	// Stamp every request log line with its trace ID.
+	s.log = slog.New(obs.NewHandler(s.log.Handler()))
 	if s.maxBody <= 0 {
 		s.maxBody = 1 << 20
 	}
@@ -125,6 +140,7 @@ func (s *Server) buildMux() http.Handler {
 	route("GET /healthz", "healthz", s.handleHealthz)
 	route("GET /readyz", "readyz", s.handleReadyz)
 	route("GET /metrics", "metrics", s.handleMetrics)
+	route("GET /debug/decisions", "debug_decisions", s.handleDecisions)
 	return mux
 }
 
@@ -139,18 +155,28 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// wrap applies the per-endpoint middleware: body cap, request
-// counter, structured log line.
+// wrap applies the per-endpoint middleware: trace propagation, body
+// cap, request counter, structured log line. This is the service's
+// trace edge: a valid X-Clr-Trace-Id header is adopted (so client
+// retries and multi-hop calls correlate), anything else is replaced
+// by a minted ID; the ID rides the request context from here and is
+// echoed back in the response header.
 func (s *Server) wrap(name string, c *metrics.Counter, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		c.Inc()
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 		}
+		trace, err := obs.ParseTraceID(r.Header.Get(obs.TraceHeader))
+		if err != nil {
+			trace = s.minter.Mint()
+		}
+		r = r.WithContext(obs.WithTrace(r.Context(), trace))
+		w.Header().Set(obs.TraceHeader, string(trace))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h(sw, r)
-		s.log.Info("request",
+		s.log.InfoContext(r.Context(), "request",
 			"endpoint", name,
 			"method", r.Method,
 			"path", r.URL.Path,
@@ -301,6 +327,32 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.reg.met.WritePrometheus(w)
+}
+
+// handleDecisions serves the decision journal: every recent decision
+// with its explanation (chosen point, candidate counts, score, stage
+// latencies, trace ID). Query parameters: device filters to one
+// device; limit caps the answer to the newest N entries (default
+// 1000, 0 keeps the default).
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	device := r.URL.Query().Get("device")
+	limit := 1000
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 0 {
+			writeError(w, fmt.Errorf("invalid limit %q", ls))
+			return
+		}
+		if n > 0 {
+			limit = n
+		}
+	}
+	entries := s.reg.Decisions(device, limit)
+	writeJSON(w, http.StatusOK, DecisionsJSON{
+		Count:     len(entries),
+		Device:    device,
+		Decisions: entries,
+	})
 }
 
 // newHTTPServer applies the service's server-side timeouts.

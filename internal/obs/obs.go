@@ -1,0 +1,112 @@
+// Package obs is the fleet's observability substrate: request trace
+// IDs, per-stage decision spans, a structured decision journal, and a
+// log/slog handler that stamps every log line with the trace it
+// belongs to. It is deliberately standard-library-only, like the rest
+// of the serving stack, and deliberately deterministic-friendly: time
+// comes from an injected clock and trace IDs from a seeded minter, so
+// the chaos soak can run with tracing on and still assert
+// byte-identical decisions against a fault-free reference.
+//
+// The lifecycle is: the edge (HTTP handler, client call root, or a
+// command's main) obtains a TraceID — accepted from the X-Clr-Trace-Id
+// header or minted — and attaches it to the context with WithTrace.
+// Everything downstream reads it with TraceIDFrom; nothing mid-stack
+// mints a fresh ID (the tracectx analyzer enforces this). The decide
+// path opens a Trace, times its stages through the StageRecorder
+// contract, and lands one journal Entry per decision in the shard's
+// ring buffer, where /debug/decisions can read it back.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader is the HTTP header carrying a request's trace ID.
+const TraceHeader = "X-Clr-Trace-Id"
+
+// TraceID identifies one request end to end: 16 lowercase hex digits
+// (64 bits). The zero value means "no trace".
+type TraceID string
+
+// IsValid reports whether the ID is 16 lowercase hex digits.
+func (id TraceID) IsValid() bool {
+	if len(id) != 16 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseTraceID validates a wire-format trace ID.
+func ParseTraceID(s string) (TraceID, error) {
+	id := TraceID(s)
+	if !id.IsValid() {
+		return "", fmt.Errorf("obs: invalid trace ID %q (want 16 lowercase hex digits)", s)
+	}
+	return id, nil
+}
+
+// ctxKey keys the trace ID in a context.
+type ctxKey struct{}
+
+// WithTrace returns a context carrying the trace ID. Call it at the
+// edge only — the HTTP middleware, a client call root, or main — and
+// thread the context everywhere else.
+func WithTrace(ctx context.Context, id TraceID) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// TraceIDFrom returns the context's trace ID, or "" when the context
+// carries none.
+func TraceIDFrom(ctx context.Context) TraceID {
+	id, _ := ctx.Value(ctxKey{}).(TraceID)
+	return id
+}
+
+// Minter produces trace IDs deterministically from a seed: the n-th
+// ID minted from a given seed is always the same, which keeps traced
+// soak runs reproducible. It is safe for concurrent use (one atomic
+// add per ID).
+type Minter struct {
+	seed uint64
+	n    atomic.Uint64
+}
+
+// NewMinter builds a minter. Seed 0 is as good as any other; two
+// minters with the same seed emit the same ID sequence.
+func NewMinter(seed int64) *Minter {
+	return &Minter{seed: splitmix(uint64(seed) ^ 0x9e3779b97f4a7c15)}
+}
+
+// Mint returns the next trace ID in the seeded sequence.
+func (m *Minter) Mint() TraceID {
+	n := m.n.Add(1)
+	return TraceID(fmt.Sprintf("%016x", splitmix(m.seed+n*0xbf58476d1ce4e5b9)))
+}
+
+// splitmix is the splitmix64 finaliser: a cheap, well-distributed
+// mixing of a counter into 64 bits.
+func splitmix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Clock supplies the current time; injected so traces built inside
+// deterministic tests can use a fake clock. NowClock is the
+// production default.
+type Clock func() time.Time
+
+// NowClock reads the wall clock.
+func NowClock() time.Time { return time.Now() }

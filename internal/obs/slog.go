@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// Handler wraps a slog.Handler and stamps every record whose context
+// carries a trace ID with a trace_id attribute, so one grep over the
+// service log reconstructs a request's whole story. Share one wrapped
+// handler across the process — server, registry, commands — and every
+// layer's lines correlate for free.
+type Handler struct {
+	inner slog.Handler
+}
+
+// NewHandler wraps inner with trace stamping. Idempotent: an inner
+// that already stamps is returned unchanged, so a command logger
+// passed into the server is not double-wrapped (which would emit
+// trace_id twice per line).
+func NewHandler(inner slog.Handler) *Handler {
+	if h, ok := inner.(*Handler); ok {
+		return h
+	}
+	return &Handler{inner: inner}
+}
+
+// Enabled defers to the wrapped handler.
+func (h *Handler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle appends trace_id from ctx (when present) and delegates.
+func (h *Handler) Handle(ctx context.Context, r slog.Record) error {
+	if id := TraceIDFrom(ctx); id != "" {
+		r.AddAttrs(slog.String("trace_id", string(id)))
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+// WithAttrs wraps the delegate's WithAttrs result.
+func (h *Handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &Handler{inner: h.inner.WithAttrs(attrs)}
+}
+
+// WithGroup wraps the delegate's WithGroup result.
+func (h *Handler) WithGroup(name string) slog.Handler {
+	return &Handler{inner: h.inner.WithGroup(name)}
+}
+
+// NewLogger builds the stack's shared logger shape: a text handler on
+// w, wrapped with trace stamping. Commands use it so their lines
+// carry the same trace_id attribute the server's do.
+func NewLogger(w io.Writer) *slog.Logger {
+	return slog.New(NewHandler(slog.NewTextHandler(w, nil)))
+}

@@ -1,0 +1,89 @@
+package obs
+
+// Stage names of the decide path, in execution order. The runtime
+// layer reports spans under these names; the fleet layer feeds them
+// into the clr_decision_stage_seconds histograms.
+const (
+	// StageFilter is the feasibility filter over the stored database.
+	StageFilter = "filter"
+	// StageScore is the uRA/AuRA (or hypervolume) scoring pass.
+	StageScore = "score"
+	// StageSwitch is building the imperative reconfiguration plan.
+	StageSwitch = "switch"
+	// StageAgent is the AuRA agent's online value update.
+	StageAgent = "agent_update"
+)
+
+// Stages lists the decide-path stage names in execution order.
+func Stages() []string {
+	return []string{StageFilter, StageScore, StageSwitch, StageAgent}
+}
+
+// Span is one timed stage of a trace.
+type Span struct {
+	// Name is the stage name (StageFilter, ...).
+	Name string `json:"name"`
+	// Seconds is the stage's wall-clock duration.
+	Seconds float64 `json:"seconds"`
+}
+
+// Trace accumulates the spans of one decision under one trace ID. It
+// is not safe for concurrent use: one trace belongs to one request,
+// which runs the decide path sequentially. The zero Trace is not
+// usable; build one with NewTrace.
+type Trace struct {
+	id    TraceID
+	clock Clock
+	spans []Span
+}
+
+// NewTrace opens a trace. A nil clock selects NowClock.
+func NewTrace(id TraceID, clock Clock) *Trace {
+	if clock == nil {
+		clock = NowClock
+	}
+	return &Trace{id: id, clock: clock, spans: make([]Span, 0, 4)}
+}
+
+// ID returns the trace's ID.
+func (t *Trace) ID() TraceID { return t.id }
+
+// Stage opens a span and returns the closure that ends it. The
+// canonical shapes are
+//
+//	defer t.Stage(obs.StageScore)()
+//
+// for a span covering the rest of the function, or
+//
+//	end := t.Stage(obs.StageFilter)
+//	... the stage ...
+//	end()
+//
+// for a span covering a region. Every started span must be ended —
+// the tracectx analyzer flags a discarded end closure. Stage
+// implements the runtime layer's StageRecorder contract.
+func (t *Trace) Stage(name string) func() {
+	start := t.clock()
+	return func() {
+		t.spans = append(t.spans, Span{
+			Name:    name,
+			Seconds: t.clock().Sub(start).Seconds(),
+		})
+	}
+}
+
+// Spans returns the ended spans in end order. The returned slice is
+// the trace's own storage; callers must not retain it past the
+// trace's lifetime.
+func (t *Trace) Spans() []Span { return t.spans }
+
+// Seconds returns the duration of the named stage, or 0 with false
+// when the stage never ended.
+func (t *Trace) Seconds(name string) (float64, bool) {
+	for _, s := range t.spans {
+		if s.Name == name {
+			return s.Seconds, true
+		}
+	}
+	return 0, false
+}

@@ -123,25 +123,40 @@ func (m *Manager) CurrentPoint() *dse.DesignPoint {
 // with its reconfiguration plan. The manager's state advances to the
 // chosen point.
 func (m *Manager) OnQoSChange(spec QoSSpec) Decision {
+	d, _ := m.OnQoSChangeObserved(spec, nil)
+	return d
+}
+
+// OnQoSChangeObserved is OnQoSChange with observability: rec (when
+// non-nil) receives one span per decide stage — filter, score, switch,
+// agent_update — and the returned detail explains the choice
+// (candidate counts, selection score). The decision is byte-identical
+// to OnQoSChange's for the same state and spec; observation never
+// influences the choice.
+func (m *Manager) OnQoSChangeObserved(spec QoSSpec, rec StageRecorder) (Decision, DecisionDetail) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	next, cost, violated := m.sim.decide(m.cur, spec)
+	next, cost, violated, detail := m.sim.decideObserved(m.cur, spec, rec)
 	d := Decision{From: m.cur, To: next, Violated: violated}
 	if next != m.cur {
 		d.Reconfigured = true
 		d.Cost = cost
+		endSwitch := startStage(rec, StageSwitch)
 		d.Plan = m.sim.p.Space.Diff(m.sim.maps[m.cur], m.sim.maps[next])
+		endSwitch()
 	}
 	m.events++
 	if ag := m.sim.p.Agent; ag != nil {
 		// Approximate the episode clock by the expected inter-arrival
 		// time; callers with real timestamps can manage the agent
 		// themselves via Agent.Pretrain / step sequences.
+		endAgent := startStage(rec, StageAgent)
 		t := float64(m.events) * m.sim.p.MeanInterArrivalCycles
 		ag.step(next, -m.sim.p.DB.Points[next].EnergyMJ, cost.Total(), t)
+		endAgent()
 	}
 	m.cur = next
-	return d
+	return d, detail
 }
 
 // Describe renders a decision for logs.

@@ -1,0 +1,129 @@
+package runtime
+
+import (
+	"reflect"
+	"testing"
+
+	"clrdse/internal/rng"
+)
+
+// countRecorder counts starts and ends per stage, proving pairing
+// without needing a clock.
+type countRecorder struct {
+	started map[string]int
+	ended   map[string]int
+	order   []string
+}
+
+func newCountRecorder() *countRecorder {
+	return &countRecorder{started: map[string]int{}, ended: map[string]int{}}
+}
+
+func (r *countRecorder) Stage(name string) func() {
+	r.started[name]++
+	r.order = append(r.order, name)
+	return func() { r.ended[name]++ }
+}
+
+// TestObservedDecisionsIdentical replays the same spec stream through
+// an observed and an unobserved manager: the decision sequences must
+// be byte-identical — observation never influences the choice.
+func TestObservedDecisionsIdentical(t *testing.T) {
+	for _, gamma := range []float64{0, 0.9} {
+		p, boot := managerParams(t)
+		if gamma > 0 {
+			p.Agent = NewAgentForDB(p.DB, gamma, 0)
+		}
+		plain, err := NewManager(p, boot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2 := p
+		if gamma > 0 {
+			p2.Agent = NewAgentForDB(p.DB, gamma, 0)
+		}
+		observed, err := NewManager(p2, boot)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		model := ModelFromDatabase(p.DB)
+		src := rng.New(17)
+		stream := model.Stream()
+		rec := newCountRecorder()
+		for i := 0; i < 200; i++ {
+			spec := stream.Next(src)
+			want := plain.OnQoSChange(spec)
+			got, detail := observed.OnQoSChangeObserved(spec, rec)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("gamma=%v event %d: observed decision diverged:\nplain:    %+v\nobserved: %+v",
+					gamma, i, want, got)
+			}
+			if detail.Candidates < 0 || detail.Infeasible < 0 ||
+				detail.Candidates+detail.Infeasible > len(p.DB.Points) {
+				t.Fatalf("event %d: implausible detail %+v", i, detail)
+			}
+		}
+		// Every started span ended (the recorder ran under the lock).
+		for name, n := range rec.started {
+			if rec.ended[name] != n {
+				t.Errorf("gamma=%v stage %q: %d starts, %d ends", gamma, name, n, rec.ended[name])
+			}
+		}
+		if rec.started[StageFilter] == 0 {
+			t.Error("filter stage never recorded")
+		}
+		if gamma > 0 && rec.started[StageAgent] == 0 {
+			t.Error("agent_update stage never recorded for AuRA")
+		}
+		if gamma == 0 && rec.started[StageAgent] != 0 {
+			t.Error("agent_update stage recorded without an agent")
+		}
+	}
+}
+
+// TestObservedDetailFields pins the detail semantics on crafted specs:
+// a satisfiable spec scores candidates; an unsatisfiable one reports
+// every point infeasible with no score; the on-violation fast path
+// reports TriggerSkipped.
+func TestObservedDetailFields(t *testing.T) {
+	p, boot := managerParams(t)
+	m, err := NewManager(p, boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, detail := m.OnQoSChangeObserved(boot, nil)
+	if detail.Candidates == 0 || detail.TriggerSkipped {
+		t.Errorf("loose spec: detail = %+v, want scored candidates", detail)
+	}
+	if detail.Candidates+detail.Infeasible != len(p.DB.Points) {
+		t.Errorf("candidates+infeasible = %d, want %d",
+			detail.Candidates+detail.Infeasible, len(p.DB.Points))
+	}
+
+	impossible := QoSSpec{SMaxMs: 1e-9, FMin: 1}
+	_, detail = m.OnQoSChangeObserved(impossible, nil)
+	if detail.Candidates != 0 || detail.Infeasible != len(p.DB.Points) || detail.Score != 0 {
+		t.Errorf("impossible spec: detail = %+v, want all infeasible, zero score", detail)
+	}
+
+	pv := p
+	pv.Trigger = TriggerOnViolation
+	mv, err := NewManager(pv, boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := newCountRecorder()
+	dec, detail := mv.OnQoSChangeObserved(boot, rec)
+	if !detail.TriggerSkipped || dec.Reconfigured {
+		t.Errorf("on-violation with satisfied spec: detail = %+v dec = %+v, want trigger skip", detail, dec)
+	}
+	if rec.started[StageScore] != 0 {
+		t.Error("score stage recorded on the trigger-skip fast path")
+	}
+	if rec.started[StageFilter] != 1 || rec.ended[StageFilter] != 1 {
+		t.Errorf("filter stage starts/ends = %d/%d, want 1/1",
+			rec.started[StageFilter], rec.ended[StageFilter])
+	}
+}

@@ -513,38 +513,58 @@ func (s *simState) bestBoot(spec QoSSpec) int {
 // point, the reconfiguration cost of moving there (zero cost if
 // staying), and whether the spec was unsatisfiable.
 func (s *simState) decide(cur int, spec QoSSpec) (int, mapping.ReconfigCost, bool) {
+	next, cost, violated, _ := s.decideObserved(cur, spec, nil)
+	return next, cost, violated
+}
+
+// decideObserved is decide with per-stage spans (rec may be nil) and
+// the explained-decision detail the journal records. The decision
+// itself is byte-identical to decide's: observation only reads.
+func (s *simState) decideObserved(cur int, spec QoSSpec, rec StageRecorder) (int, mapping.ReconfigCost, bool, DecisionDetail) {
+	endFilter := startStage(rec, StageFilter)
 	curOK := s.p.DB.Points[cur].Feasible(spec.SMaxMs, spec.FMin)
 	if s.p.Trigger == TriggerOnViolation && curOK {
-		return cur, mapping.ReconfigCost{}, false
+		endFilter()
+		return cur, mapping.ReconfigCost{}, false, DecisionDetail{
+			Candidates: 1, Infeasible: 0, TriggerSkipped: true,
+		}
 	}
 	feas := s.feasible(spec)
+	detail := DecisionDetail{
+		Candidates: len(feas),
+		Infeasible: len(s.p.DB.Points) - len(feas),
+	}
 	if len(feas) == 0 {
 		// No stored point satisfies the spec: degrade gracefully to
 		// the least-violating point (and pay its dRC if we move).
 		next := s.leastViolating(spec)
+		endFilter()
 		if next == cur {
-			return cur, mapping.ReconfigCost{}, true
+			return cur, mapping.ReconfigCost{}, true, detail
 		}
-		return next, s.fullDRC(cur, next), true
+		return next, s.fullDRC(cur, next), true, detail
 	}
+	endFilter()
+	endScore := startStage(rec, StageScore)
 	var next int
 	if s.p.Policy == PolicyHypervolume {
-		next = s.selectHypervolume(feas, spec)
+		next, detail.Score = s.selectHypervolume(feas, spec)
 	} else {
-		next = s.selectRET(cur, feas)
+		next, detail.Score = s.selectRET(cur, feas)
 	}
+	endScore()
 	if next == cur {
-		return cur, mapping.ReconfigCost{}, false
+		return cur, mapping.ReconfigCost{}, false, detail
 	}
-	return next, s.fullDRC(cur, next), false
+	return next, s.fullDRC(cur, next), false, detail
 }
 
 // selectHypervolume returns the feasible point sweeping the largest
 // QoS-plane area against the specification's reference point
-// (S_SPEC, F_SPEC): (S_SPEC - S) * (F - F_SPEC). Ties break towards
-// the lowest point ID for determinism, independent of the candidate
-// list's order.
-func (s *simState) selectHypervolume(feas []int, spec QoSSpec) int {
+// (S_SPEC, F_SPEC): (S_SPEC - S) * (F - F_SPEC), together with that
+// winning area. Ties break towards the lowest point ID for
+// determinism, independent of the candidate list's order.
+func (s *simState) selectHypervolume(feas []int, spec QoSSpec) (int, float64) {
 	best, bestV := -1, math.Inf(-1)
 	for _, i := range feas {
 		pt := s.p.DB.Points[i]
@@ -553,13 +573,14 @@ func (s *simState) selectHypervolume(feas []int, spec QoSSpec) int {
 			best, bestV = i, v
 		}
 	}
-	return best
+	return best, bestV
 }
 
 // selectRET implements Algorithm 1 lines 4-11 (and its AuRA variant):
 // score each feasible point by the weighted, normalised combination of
-// performance and reconfiguration cost and return the argmax.
-func (s *simState) selectRET(cur int, feas []int) int {
+// performance and reconfiguration cost and return the argmax with its
+// winning RET score.
+func (s *simState) selectRET(cur int, feas []int) (int, float64) {
 	n := len(feas)
 	s.perf = growFloats(s.perf, n) // R(p) = -J_app(p), higher better
 	s.cost = growFloats(s.cost, n) // dRC from current config
@@ -593,7 +614,7 @@ func (s *simState) selectRET(cur int, feas []int) int {
 			best = i
 		}
 	}
-	return best
+	return best, bestRET
 }
 
 // leastViolating returns the stored point with the smallest relative

@@ -481,7 +481,7 @@ func TestHypervolumePolicyPicksLargestArea(t *testing.T) {
 	// Loose spec: every point feasible; the winner must maximise
 	// (SSpec-S)*(F-FSpec).
 	spec := QoSSpec{SMaxMs: 1e9, FMin: 0}
-	got := sim.selectHypervolume(feas, spec)
+	got, gotV := sim.selectHypervolume(feas, spec)
 	bestV := -1.0
 	want := -1
 	for _, i := range feas {
@@ -493,6 +493,9 @@ func TestHypervolumePolicyPicksLargestArea(t *testing.T) {
 	}
 	if got != want {
 		t.Errorf("selectHypervolume = %d, want %d", got, want)
+	}
+	if gotV != bestV {
+		t.Errorf("selectHypervolume score = %v, want %v", gotV, bestV)
 	}
 }
 

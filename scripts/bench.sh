@@ -3,8 +3,9 @@
 # results for regression tracking.
 #
 # Usage:
-#   scripts/bench.sh                 # hot-path set, label "run"
+#   scripts/bench.sh                          # hot-path set, label "run"
 #   scripts/bench.sh 'BenchmarkReD$' optimized
+#   scripts/bench.sh 'BenchmarkDecide$' ci-smoke 15   # gate at 15%
 #
 # Runs `go test -run=NONE -bench=<regex> -benchmem -count=5 .` and
 # writes BENCH_<n>.json (first unused n) in the repo root: one run
@@ -16,13 +17,21 @@
 # After writing, the new medians are diffed against the latest
 # previously committed BENCH_<n>.json (the last run object in it):
 # any benchmark whose median ns/op regressed by more than 20% prints a
-# WARNING. Warnings do not fail the script — benchmarks on shared CI
-# runners are noisy — but they make regressions visible in the log.
+# WARNING. Warnings alone do not fail the script — benchmarks on
+# shared CI runners are noisy — but they make regressions visible in
+# the log.
+#
+# A third argument turns the diff into a regression GATE: any
+# benchmark whose median ns/op regressed by more than that percentage
+# fails the script with exit 1 (CI uses 15). The gate threshold should
+# sit above the runner noise floor but below "someone put an
+# allocation back on the hot path".
 set -eu
 cd "$(dirname "$0")/.."
 
 pat="${1:-BenchmarkDRC\$|BenchmarkDecide\$|BenchmarkReD\$|BenchmarkFleetDecisionThroughput\$|BenchmarkFleetDecisionThroughputLargeDB\$}"
 label="${2:-run}"
+gate="${3:-0}" # max tolerated ns/op regression in percent; 0 = warn only
 
 out=$(go test -run=NONE -bench="$pat" -benchmem -count=5 .)
 printf '%s\n' "$out"
@@ -43,9 +52,13 @@ function median(s,    a, n, i, j, t) {
 	name = $1
 	sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
 	if (!(name in seen)) { order[++k] = name; seen[name] = 1 }
-	ns[name] = ns[name] " " $3
-	bo[name] = bo[name] " " $5
-	ao[name] = ao[name] " " $7
+	# Locate columns by their unit, not position: benchmarks that
+	# b.ReportMetric custom units (e.g. "decisions") shift the fields.
+	for (i = 3; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns[name] = ns[name] " " $i
+		else if ($(i + 1) == "B/op") bo[name] = bo[name] " " $i
+		else if ($(i + 1) == "allocs/op") ao[name] = ao[name] " " $i
+	}
 }
 END {
 	printf "{\n  \"runs\": [\n    {\n      \"label\": \"%s\",\n      \"benchmarks\": [\n", label
@@ -75,15 +88,26 @@ if [ "$prev" -ge 1 ] && [ -e "BENCH_${prev}.json" ]; then
 	}
 	pairs "BENCH_${prev}.json" >/tmp/bench_prev.$$
 	pairs "$file" >/tmp/bench_new.$$
-	awk -v prevfile="BENCH_${prev}.json" '
+	status=0
+	awk -v prevfile="BENCH_${prev}.json" -v gate="$gate" '
 		NR == FNR { prev[$1] = $2; next }
 		($1 in prev) && prev[$1] > 0 {
 			ratio = $2 / prev[$1]
 			printf "  %-45s %12.0f -> %12.0f ns/op (%+.1f%%)\n", $1, prev[$1], $2, (ratio - 1) * 100
-			if (ratio > 1.2) {
+			if (gate + 0 > 0 && ratio > 1 + gate / 100) {
+				printf "FAIL: %s regressed %.1f%% vs %s (%.0f -> %.0f ns/op, gate %s%%)\n", \
+					$1, (ratio - 1) * 100, prevfile, prev[$1], $2, gate
+				bad = 1
+			} else if (ratio > 1.2) {
 				printf "WARNING: %s regressed %.1f%% vs %s (%.0f -> %.0f ns/op)\n", \
 					$1, (ratio - 1) * 100, prevfile, prev[$1], $2
 			}
-		}' /tmp/bench_prev.$$ /tmp/bench_new.$$
+		}
+		END { exit bad }' /tmp/bench_prev.$$ /tmp/bench_new.$$ || status=$?
 	rm -f /tmp/bench_prev.$$ /tmp/bench_new.$$
+	if [ "$status" -ne 0 ]; then
+		echo "bench regression gate failed (threshold ${gate}%)"
+		rm -f "$file" # a gated run is a probe, not a new baseline
+		exit 1
+	fi
 fi
