@@ -1,0 +1,279 @@
+package main
+
+// Cluster soak mode (-cluster N): instead of fault-injecting one
+// node's transport, this mode runs an N-node in-process cluster and
+// attacks membership itself — a seeded schedule of node kills
+// (SIGTERM-style drain) and restarts between lockstep event rounds.
+// The invariants are the cluster contract:
+//
+//  1. no device is lost — every device ends registered on exactly one
+//     node having decided all its events;
+//  2. no sequence is answered twice — the union journal holds, after
+//     deduplicating the identical copies migration makes, exactly one
+//     decision per (device, seq);
+//  3. every decision is byte-identical to a single-node reference run
+//     of the same scripts.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"clrdse/internal/fleet"
+	"clrdse/internal/fleet/client"
+	"clrdse/internal/fleet/fleettest"
+	"clrdse/internal/rng"
+	"clrdse/internal/runtime"
+)
+
+type clusterSoakParams struct {
+	dbs      []fleet.NamedDatabase
+	nodes    int
+	devices  int
+	events   int
+	specSeed int64
+	killSeed int64
+	attempts int
+	attemptT time.Duration
+}
+
+// clusterEvent is one scheduled membership change.
+type clusterEvent struct {
+	round   int
+	node    int
+	restart bool
+}
+
+// clusterSchedule derives the kill/restart plan from the seed: two
+// kill-then-restart disruptions at seeded rounds against seeded nodes
+// (never node 0, so early ring fetches have a stable first target).
+func clusterSchedule(seed int64, rounds, nodes int) []clusterEvent {
+	src := rng.New(seed)
+	quarter := rounds / 4
+	if quarter < 1 {
+		quarter = 1
+	}
+	k1 := 1 + src.Intn(nodes-1)
+	r1 := 1 + src.Intn(quarter)
+	r1back := r1 + 2 + src.Intn(quarter)
+	k2 := 1 + src.Intn(nodes-1)
+	r2 := r1back + 1 + src.Intn(quarter)
+	r2back := r2 + 1 + src.Intn(maxInt(rounds-r2-1, 1))
+	evs := []clusterEvent{{round: r1, node: k1}}
+	if r1back < rounds {
+		evs = append(evs, clusterEvent{round: r1back, node: k1, restart: true})
+	}
+	if r1back < rounds && r2 < rounds {
+		evs = append(evs, clusterEvent{round: r2, node: k2})
+		if r2back < rounds {
+			evs = append(evs, clusterEvent{round: r2back, node: k2, restart: true})
+		}
+	}
+	return evs
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// runClusterPass drives the fleet through lockstep rounds against the
+// cluster, applying membership events at the barriers, and returns
+// per-device canonical decision transcripts.
+func runClusterPass(clus *fleettest.Cluster, c *client.Client, scripts [][]runtime.QoSSpec, events []clusterEvent) ([][]string, error) {
+	ctx := context.Background()
+	devices, rounds := len(scripts), len(scripts[0])
+	out := make([][]string, devices)
+	for d := range out {
+		out[d] = make([]string, rounds)
+	}
+	for r := 0; r < rounds; r++ {
+		for _, ev := range events {
+			if ev.round != r {
+				continue
+			}
+			var err error
+			if ev.restart {
+				err = clus.Restart(ctx, ev.node)
+			} else {
+				err = clus.Kill(ctx, ev.node)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("round %d membership event on node %d: %w", r, ev.node, err)
+			}
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, devices)
+		for d := 0; d < devices; d++ {
+			wg.Add(1)
+			go func(d int) {
+				defer wg.Done()
+				spec := scripts[d][r]
+				dec, err := c.QoS(ctx, fmt.Sprintf("soak-%d", d), uint64(r+1),
+					fleet.QoSSpecJSON{SMaxMs: spec.SMaxMs, FMin: spec.FMin})
+				if err != nil {
+					errs[d] = fmt.Errorf("device %d round %d: %w", d, r, err)
+					return
+				}
+				out[d][r] = canonical(dec)
+			}(d)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// runClusterSoak executes reference and cluster passes and checks the
+// invariants, returning the violation count.
+func runClusterSoak(p clusterSoakParams, report func(format string, args ...any)) error {
+	scripts := make([][]runtime.QoSSpec, p.devices)
+	for d := range scripts {
+		scripts[d] = fleettest.Script(p.dbs[0].DB, p.specSeed+int64(d), p.events)
+	}
+	mkClient := func(urls []string) *client.Client {
+		return client.New(client.Config{
+			Targets:        urls,
+			MaxAttempts:    p.attempts,
+			AttemptTimeout: p.attemptT,
+			JitterSeed:     p.specSeed,
+			// Node kills are the point; eager breakers would only slow
+			// the re-resolution under test.
+			BreakerThreshold: 1 << 20,
+		})
+	}
+	register := func(c *client.Client) error {
+		ctx := context.Background()
+		boot := fleettest.LooseSpec(p.dbs[0].DB)
+		for d := 0; d < p.devices; d++ {
+			_, err := c.Register(ctx, fleet.RegisterRequest{
+				ID:       fmt.Sprintf("soak-%d", d),
+				Database: p.dbs[0].Name,
+				PRC:      0.5,
+				Gamma:    0.9,
+				Trigger:  "on-violation",
+				Initial:  fleet.QoSSpecJSON{SMaxMs: boot.SMaxMs, FMin: boot.FMin},
+			})
+			if err != nil {
+				return fmt.Errorf("register soak-%d: %w", d, err)
+			}
+		}
+		return nil
+	}
+
+	ref, err := fleettest.NewCluster(fleettest.ClusterOptions{Nodes: 1, Databases: p.dbs})
+	if err != nil {
+		return err
+	}
+	defer ref.Close()
+	refClient := mkClient(ref.URLs())
+	if err := register(refClient); err != nil {
+		return err
+	}
+	want, err := runClusterPass(ref, refClient, scripts, nil)
+	if err != nil {
+		return fmt.Errorf("reference pass: %w", err)
+	}
+
+	clus, err := fleettest.NewCluster(fleettest.ClusterOptions{Nodes: p.nodes, Databases: p.dbs})
+	if err != nil {
+		return err
+	}
+	defer clus.Close()
+	c := mkClient(clus.URLs())
+	if err := c.RefreshRing(context.Background()); err != nil {
+		return err
+	}
+	if err := register(c); err != nil {
+		return err
+	}
+	schedule := clusterSchedule(p.killSeed, p.events, p.nodes)
+	fmt.Printf("membership schedule (seed %d):\n", p.killSeed)
+	for _, ev := range schedule {
+		verb := "kill"
+		if ev.restart {
+			verb = "restart"
+		}
+		fmt.Printf("  round %-3d %s node-%d\n", ev.round, verb, ev.node)
+	}
+	got, err := runClusterPass(clus, c, scripts, schedule)
+	if err != nil {
+		return fmt.Errorf("cluster pass: %w", err)
+	}
+
+	// Invariant 3: byte-identical to the single-node reference.
+	for d := 0; d < p.devices; d++ {
+		for r := 0; r < p.events; r++ {
+			if got[d][r] != want[d][r] {
+				report("device %d round %d diverged:\n  cluster: %s\n  single:  %s", d, r, got[d][r], want[d][r])
+			}
+		}
+	}
+
+	// Invariant 1: no device lost, full history on exactly one node.
+	total := 0
+	owned := make(map[int]int)
+	for i, cn := range clus.Nodes {
+		if !clus.Alive(i) {
+			continue
+		}
+		reg := cn.Srv.Registry()
+		total += reg.Len()
+		for d := 0; d < p.devices; d++ {
+			if info, err := reg.Get(fmt.Sprintf("soak-%d", d)); err == nil {
+				owned[d]++
+				if info.Stats.Decisions != int64(p.events) {
+					report("device %d on %s decided %d of %d events", d, cn.ID, info.Stats.Decisions, p.events)
+				}
+			}
+		}
+	}
+	if total != p.devices {
+		report("cluster holds %d devices, want %d", total, p.devices)
+	}
+	for d := 0; d < p.devices; d++ {
+		if owned[d] != 1 {
+			report("device %d registered on %d nodes, want exactly 1", d, owned[d])
+		}
+	}
+
+	// Invariant 2: exactly-once across the union journal (identical
+	// migrated copies deduplicate first).
+	unique := make(map[string]bool)
+	perSeq := make(map[string]int)
+	for _, je := range clus.Journal() {
+		if je.Entry.Degraded {
+			report("degraded journal entry on %s for %s seq %d", je.Node, je.Entry.Device, je.Entry.Seq)
+			continue
+		}
+		b, err := json.Marshal(je.Entry)
+		if err != nil {
+			return err
+		}
+		if unique[string(b)] {
+			continue
+		}
+		unique[string(b)] = true
+		perSeq[fmt.Sprintf("%s/%d", je.Entry.Device, je.Entry.Seq)]++
+	}
+	for d := 0; d < p.devices; d++ {
+		for i := 1; i <= p.events; i++ {
+			key := fmt.Sprintf("soak-%d/%d", d, i)
+			if n := perSeq[key]; n != 1 {
+				report("union journal has %d distinct decisions for %s, want exactly 1", n, key)
+			}
+		}
+	}
+	st := c.Stats()
+	fmt.Printf("\ncluster pass: %d decisions, %d retries, %d redirects, %d unique journal entries\n",
+		p.devices*p.events, st.Retries, st.Redirects, len(unique))
+	return nil
+}

@@ -74,6 +74,8 @@ func main() {
 		decideTO = flag.Duration("decide-timeout", 250*time.Millisecond, "server per-decision deadline")
 		rounds   = flag.Int("max-rounds", 64, "driver re-submissions per event before giving up")
 		jout     = flag.String("journal-out", "", "write the chaos-pass decision journal JSON here (always when set, plus on any violation)")
+
+		clusterN = flag.Int("cluster", 0, "cluster soak mode: run an N-node ring and attack membership (seeded kill/restart) instead of the transport")
 	)
 	flag.Parse()
 
@@ -96,6 +98,34 @@ func main() {
 		fatal(err)
 	}
 	dbs := []fleet.NamedDatabase{{Name: "red", DB: sys.Database(), Space: sys.Problem.Space}}
+
+	if *clusterN > 1 {
+		violations := 0
+		report := func(format string, args ...any) {
+			violations++
+			fmt.Printf("INVARIANT VIOLATED: "+format+"\n", args...)
+		}
+		log.Info("cluster soak starting", "nodes", *clusterN, "devices", *devices, "events", *events, "kill_seed", *chaosSeed)
+		err := runClusterSoak(clusterSoakParams{
+			dbs:      dbs,
+			nodes:    *clusterN,
+			devices:  *devices,
+			events:   *events,
+			specSeed: *specSeed,
+			killSeed: *chaosSeed,
+			attempts: *attempts,
+			attemptT: *attemptT,
+		}, report)
+		if err != nil {
+			fatal(err)
+		}
+		if violations > 0 {
+			fmt.Printf("\nFAIL: %d invariant violations\n", violations)
+			os.Exit(1)
+		}
+		fmt.Printf("\nOK: %d-node cluster survived seeded kill/restart; no device lost, no sequence answered twice, decisions byte-identical to single-node reference\n", *clusterN)
+		return
+	}
 
 	p := soakParams{
 		dbs:      dbs,

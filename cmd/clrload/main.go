@@ -12,12 +12,19 @@
 //	clrload -addr http://127.0.0.1:8080 -devices 64 -events 200
 //	clrload -addr http://fleet:8080 -db red -prc 0.8 -mean-ms 5
 //	clrload -attempts 6 -attempt-timeout 2s
+//	clrload -targets http://n0:8080,http://n1:8080,http://n2:8080
+//
+// With -targets the client runs ring-aware against a clrserved
+// cluster: it mirrors the consistent-hash ring, sends each device's
+// events straight to the owning node, and the report breaks
+// throughput down per node.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"clrdse/internal/fleet/client"
@@ -27,6 +34,7 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", "http://127.0.0.1:8080", "server base URL")
+		targets  = flag.String("targets", "", "comma-separated cluster node base URLs (enables ring-aware routing and per-node reporting)")
 		devices  = flag.Int("devices", 32, "simulated device count")
 		events   = flag.Int("events", 100, "QoS events per device")
 		db       = flag.String("db", "", "database to register against (default: the server's first)")
@@ -44,11 +52,25 @@ func main() {
 	// Diagnostics go through the shared trace-stamping handler so a
 	// clrload line next to a clrserved line reads the same way; the
 	// latency report itself stays on stdout for piping.
+	var targetList []string
+	for _, t := range strings.Split(*targets, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			targetList = append(targetList, t)
+		}
+	}
+
+	if len(targetList) > 0 {
+		// The ring decides routing; the first target is the default for
+		// non-device calls.
+		*addr = ""
+	}
+
 	log := obs.NewLogger(os.Stderr)
-	log.Info("load run starting", "addr", *addr, "devices", *devices, "events", *events, "db", *db)
+	log.Info("load run starting", "addr", *addr, "targets", len(targetList), "devices", *devices, "events", *events, "db", *db)
 
 	report, err := client.RunLoad(client.LoadParams{
 		BaseURL:            *addr,
+		Targets:            targetList,
 		Devices:            *devices,
 		EventsPerDevice:    *events,
 		Database:           *db,

@@ -9,10 +9,18 @@
 //	clrserved -addr :8080 -tasks 30 -max-points 8
 //	clrserved -jpeg -addr 127.0.0.1:9000
 //	clrserved -loadgen -devices 64 -events 100
+//	clrserved -addr :8080 -cluster-node node-0 \
+//	    -cluster-peers node-0=http://h0:8080,node-1=http://h1:8080
 //
 // With -loadgen the command boots the server on a loopback port,
 // drives it with the built-in load generator and prints the latency
 // report instead of serving forever.
+//
+// With -cluster-node the process joins a consistent-hash ring over the
+// static peer list: any node accepts any device's request and forwards
+// (or, with -cluster-redirect, redirects) it to the owner, peer health
+// drives suspicion, and SIGTERM drains every owned device to the
+// survivors before the listener closes.
 package main
 
 import (
@@ -26,9 +34,11 @@ import (
 	_ "net/http/pprof" // handlers land on DefaultServeMux, served only with -pprof
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"clrdse/internal/cluster"
 	"clrdse/internal/core"
 	"clrdse/internal/dse"
 	"clrdse/internal/fleet"
@@ -49,6 +59,13 @@ func main() {
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 		jcap     = flag.Int("journal-cap", 0, "per-shard decision journal capacity (0 = default 4096)")
 		traceSd  = flag.Int64("trace-seed", 0, "trace-ID minter seed for requests without X-Clr-Trace-Id")
+
+		clNode     = flag.String("cluster-node", "", "this node's cluster ID (enables cluster mode; must appear in -cluster-peers)")
+		clPeers    = flag.String("cluster-peers", "", "static membership as id=url pairs, comma-separated (e.g. node-0=http://h0:8080,node-1=http://h1:8080)")
+		clVNodes   = flag.Int("cluster-vnodes", 0, "virtual nodes per member on the ring (0 = default)")
+		clRedirect = flag.Bool("cluster-redirect", false, "answer non-owned device requests with 307 + X-Clr-Redirect instead of proxying")
+		clProbe    = flag.Duration("cluster-probe", 2*time.Second, "peer health-probe interval (0 = membership changes only via POST /v1/cluster/membership)")
+		clSuspect  = flag.Int("cluster-suspect", 3, "consecutive probe failures before a peer is marked dead")
 
 		tasks   = flag.Int("tasks", 30, "synthetic application size")
 		jpeg    = flag.Bool("jpeg", false, "use the JPEG encoder of Figure 2b")
@@ -136,6 +153,32 @@ func main() {
 		fatal(err)
 	}
 
+	// Cluster mode: wrap the fleet handler with the ring router so any
+	// node accepts any device's request, and start the health prober.
+	var node *cluster.Node
+	if *clNode != "" {
+		peers, err := parsePeers(*clPeers)
+		if err != nil {
+			fatal(err)
+		}
+		node, err = cluster.New(cluster.Config{
+			Self:          *clNode,
+			Peers:         peers,
+			VNodes:        *clVNodes,
+			Redirect:      *clRedirect,
+			TraceSeed:     *traceSd + 1, // distinct stream from the fleet server's minter
+			ProbeInterval: *clProbe,
+			SuspectAfter:  *clSuspect,
+			Logger:        cfg.Logger,
+		}, srv)
+		if err != nil {
+			fatal(err)
+		}
+		srv.Wrap(node.Middleware)
+		log.Info("cluster mode enabled", "self", *clNode, "peers", len(peers),
+			"ring_version", node.Ring().Version(), "redirect", *clRedirect)
+	}
+
 	if *pprofA != "" {
 		// The fleet API runs on its own mux, so the pprof handlers on
 		// DefaultServeMux are reachable only through this side listener
@@ -162,9 +205,51 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if node != nil {
+		go node.Run(ctx, *clProbe)
+		// SIGTERM drains before the listener closes: every owned device
+		// is handed to the survivors, so a rolling restart loses no
+		// state and no sequence numbers.
+		serveCtx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		go func() {
+			<-ctx.Done()
+			dctx, dcancel := context.WithTimeout(context.Background(), *grace)
+			if err := node.Leave(dctx); err != nil {
+				log.Warn("cluster drain incomplete", "err", err)
+			}
+			dcancel()
+			cancel()
+		}()
+		if err := srv.Run(serveCtx, *addr); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if err := srv.Run(ctx, *addr); err != nil {
 		fatal(err)
 	}
+}
+
+// parsePeers parses the -cluster-peers value: comma-separated id=url
+// pairs.
+func parsePeers(s string) ([]cluster.Peer, error) {
+	if s == "" {
+		return nil, fmt.Errorf("cluster mode needs -cluster-peers (id=url, comma-separated)")
+	}
+	var peers []cluster.Peer
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(pair, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad -cluster-peers entry %q, want id=url", pair)
+		}
+		peers = append(peers, cluster.Peer{ID: id, URL: url})
+	}
+	return peers, nil
 }
 
 // runLoadgen boots the server on an ephemeral loopback port, fires

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("node-0=http://a:8080, node-1=http://b:8080,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0].ID != "node-0" || peers[1].URL != "http://b:8080" {
+		t.Fatalf("parsePeers = %+v", peers)
+	}
+	for _, bad := range []string{"", "node-0", "=http://a", "node-0="} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Fatalf("parsePeers(%q) accepted a malformed list", bad)
+		}
+	}
+}

@@ -43,8 +43,12 @@ var boundaryMethods = map[string]bool{
 	"ServeHTTP": true,
 }
 
+// inScope covers the serving layers where a mutex held across a
+// decide/HTTP boundary turns into fleet-wide head-of-line blocking:
+// the fleet registry/server packages and the cluster ring router
+// (whose forward and handoff hops are HTTP calls).
 func inScope(pkgPath string) bool {
-	return strings.Contains(pkgPath, "fleet")
+	return strings.Contains(pkgPath, "fleet") || strings.Contains(pkgPath, "cluster")
 }
 
 func run(pass *analysis.Pass) error {

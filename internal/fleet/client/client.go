@@ -9,10 +9,12 @@ import (
 	"io"
 	"net/http"
 	"reflect"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"clrdse/internal/cluster"
 	"clrdse/internal/fleet"
 	"clrdse/internal/obs"
 	"clrdse/internal/rng"
@@ -39,10 +41,31 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("client: status %d: %s", e.Status, e.Message)
 }
 
+// redirectError is an attempt outcome, not a failure: the node
+// answered 307 + X-Clr-Redirect because another node owns the device.
+// The call re-resolves to the named owner without spending a retry or
+// a breaker failure.
+type redirectError struct{ target string }
+
+func (e *redirectError) Error() string {
+	return "client: redirected to owning node " + e.target
+}
+
+// maxRedirects bounds redirect-following per attempt; a healthy
+// cluster answers in one hop, so more than a few means split views.
+const maxRedirects = 4
+
 // Config configures a resilient fleet client.
 type Config struct {
 	// BaseURL locates the server, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// Targets lists the cluster nodes' base URLs. When set, the client
+	// is ring-aware: it mirrors the cluster's consistent-hash ring
+	// (fetched from any target's /v1/cluster/ring) and sends each
+	// device's calls straight to the owning node, falling back to
+	// redirect/forward only while its view is stale. BaseURL may be
+	// empty; the first target is then the default for non-device calls.
+	Targets []string
 	// Transport is the base HTTP transport (nil selects a clone of
 	// http.DefaultTransport); the chaos layer wraps here.
 	Transport http.RoundTripper
@@ -77,6 +100,9 @@ type Stats struct {
 	BreakerRejects int64
 	// DegradedRetries counts degraded answers that were retried.
 	DegradedRetries int64
+	// Redirects counts 307 + X-Clr-Redirect hops followed (cluster
+	// mode; these are re-resolutions, not retries).
+	Redirects int64
 	// BreakerOpens counts breaker open transitions across endpoints.
 	BreakerOpens uint64
 }
@@ -86,6 +112,7 @@ type Stats struct {
 // see all traffic.
 type Client struct {
 	base        string
+	targets     []string
 	http        *http.Client
 	maxAttempts int
 	attemptTO   time.Duration
@@ -99,10 +126,30 @@ type Client struct {
 	// the client is then the trace edge for the call.
 	minter *obs.Minter
 
-	breakers map[string]*Breaker
+	// Breakers are per (endpoint, node): a dead node's failures must
+	// not open the breaker for the healthy nodes serving the same
+	// endpoint. Keys are "endpoint|baseURL", created lazily.
+	bmu         sync.Mutex
+	breakers    map[string]*Breaker
+	brThreshold int
+	brCooldown  time.Duration
+
+	// Ring state (cluster mode): the client's mirror of the cluster's
+	// ownership map, plus per-device owner hints learned from
+	// redirects while the mirror is stale.
+	ringMu  sync.Mutex
+	ring    *cluster.Ring
+	nodeURL map[string]string
+	hints   map[string]string
+
+	// nodeN counts answers per serving node (X-Clr-Node), feeding the
+	// load generator's per-node throughput report.
+	nodeMu sync.Mutex
+	nodeN  map[string]int64
 
 	retries    atomic.Int64
 	rejects    atomic.Int64
+	redirects  atomic.Int64
 	degRetries atomic.Int64
 }
 
@@ -117,8 +164,7 @@ func New(cfg Config) *Client {
 		tr = http.DefaultTransport.(*http.Transport).Clone()
 	}
 	c := &Client{
-		base:        cfg.BaseURL,
-		http:        &http.Client{Transport: tr},
+		base:        strings.TrimRight(cfg.BaseURL, "/"),
 		maxAttempts: cfg.MaxAttempts,
 		attemptTO:   cfg.AttemptTimeout,
 		backoff:     cfg.Backoff,
@@ -126,6 +172,25 @@ func New(cfg Config) *Client {
 		src:         rng.New(cfg.JitterSeed),
 		minter:      obs.NewMinter(cfg.JitterSeed),
 		breakers:    make(map[string]*Breaker, len(endpoints)),
+		brThreshold: cfg.BreakerThreshold,
+		brCooldown:  cfg.BreakerCooldown,
+		hints:       make(map[string]string),
+		nodeN:       make(map[string]int64),
+	}
+	// Cluster redirects (307 + X-Clr-Redirect) are handled by the
+	// client itself so they can re-resolve the owner instead of
+	// spending retry or breaker budget.
+	c.http = &http.Client{
+		Transport: tr,
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	for _, t := range cfg.Targets {
+		c.targets = append(c.targets, strings.TrimRight(t, "/"))
+	}
+	if c.base == "" && len(c.targets) > 0 {
+		c.base = c.targets[0]
 	}
 	if c.maxAttempts <= 0 {
 		c.maxAttempts = 4
@@ -137,7 +202,7 @@ func New(cfg Config) *Client {
 		c.backoff = DefaultBackoff()
 	}
 	for _, ep := range endpoints {
-		c.breakers[ep] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, nil)
+		c.breakers[ep+"|"+c.base] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, nil)
 	}
 	return c
 }
@@ -148,7 +213,10 @@ func (c *Client) Stats() Stats {
 		Retries:         c.retries.Load(),
 		BreakerRejects:  c.rejects.Load(),
 		DegradedRetries: c.degRetries.Load(),
+		Redirects:       c.redirects.Load(),
 	}
+	c.bmu.Lock()
+	defer c.bmu.Unlock()
 	for _, b := range c.breakers {
 		s.BreakerOpens += b.Opens()
 	}
@@ -156,8 +224,138 @@ func (c *Client) Stats() Stats {
 }
 
 // Breaker exposes an endpoint's breaker ("register", "qos", "device",
-// "databases", "deregister") for inspection.
-func (c *Client) Breaker(endpoint string) *Breaker { return c.breakers[endpoint] }
+// "databases", "deregister") at the default target. Cluster mode
+// keys breakers per node; use BreakerAt for a specific one.
+func (c *Client) Breaker(endpoint string) *Breaker { return c.breakerFor(endpoint, c.base) }
+
+// BreakerAt exposes the breaker for an endpoint at one node's base URL.
+func (c *Client) BreakerAt(endpoint, baseURL string) *Breaker {
+	return c.breakerFor(endpoint, strings.TrimRight(baseURL, "/"))
+}
+
+// breakerFor returns (creating on first use) the breaker guarding one
+// endpoint at one node.
+func (c *Client) breakerFor(endpoint, base string) *Breaker {
+	key := endpoint + "|" + base
+	c.bmu.Lock()
+	defer c.bmu.Unlock()
+	b, ok := c.breakers[key]
+	if !ok {
+		b = NewBreaker(c.brThreshold, c.brCooldown, nil)
+		c.breakers[key] = b
+	}
+	return b
+}
+
+// NodesSeen snapshots how many answers each cluster node served
+// (attributed by the X-Clr-Node response header; empty outside
+// cluster mode).
+func (c *Client) NodesSeen() map[string]int64 {
+	c.nodeMu.Lock()
+	defer c.nodeMu.Unlock()
+	out := make(map[string]int64, len(c.nodeN))
+	for k, v := range c.nodeN {
+		out[k] = v
+	}
+	return out
+}
+
+// RefreshRing refetches the cluster's ring document from the first
+// reachable target and rebuilds the client's ownership mirror. Safe
+// to call concurrently; a failure leaves the previous mirror (or the
+// default-target fallback) in place.
+func (c *Client) RefreshRing(ctx context.Context) error {
+	if len(c.targets) == 0 {
+		return fmt.Errorf("client: no cluster targets configured")
+	}
+	var lastErr error
+	for _, t := range c.targets {
+		doc, err := c.fetchRing(ctx, t)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var members []string
+		urls := make(map[string]string, len(doc.Members))
+		for _, m := range doc.Members {
+			urls[m.ID] = strings.TrimRight(m.URL, "/")
+			if m.Alive {
+				members = append(members, m.ID)
+			}
+		}
+		ring, err := cluster.NewRing(members, doc.VNodes)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.ringMu.Lock()
+		c.ring, c.nodeURL = ring, urls
+		// The fresh mirror supersedes every redirect-learned hint.
+		c.hints = make(map[string]string)
+		c.ringMu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("client: no target served the ring: %w", lastErr)
+}
+
+// fetchRing GETs one target's ring document.
+func (c *Client) fetchRing(ctx context.Context, target string) (*cluster.RingJSON, error) {
+	actx, cancel := context.WithTimeout(ctx, c.attemptTO)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, target+"/v1/cluster/ring", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: ring fetch from %s: status %d", target, resp.StatusCode)
+	}
+	var doc cluster.RingJSON
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("client: decoding ring document: %w", err)
+	}
+	return &doc, nil
+}
+
+// routeBase resolves where a call should go: a redirect-learned hint
+// for the device, else the ring mirror's owner, else the default
+// target (whose node will forward or redirect as its mode dictates).
+func (c *Client) routeBase(deviceID string) string {
+	if deviceID == "" || len(c.targets) == 0 {
+		return c.base
+	}
+	c.ringMu.Lock()
+	defer c.ringMu.Unlock()
+	if h, ok := c.hints[deviceID]; ok {
+		return h
+	}
+	if c.ring != nil {
+		if u, ok := c.nodeURL[c.ring.Owner(deviceID)]; ok {
+			return u
+		}
+	}
+	return c.base
+}
+
+// noteRedirect records the owner a redirect revealed and refreshes the
+// ring mirror (best effort — a redirect means the mirror is stale).
+func (c *Client) noteRedirect(ctx context.Context, deviceID, target string) {
+	if len(c.targets) > 0 {
+		_ = c.RefreshRing(ctx)
+	}
+	// The hint lands after the refresh so it survives it: on a split
+	// view the redirecting node knows this device's owner better than
+	// the mirror does. The next successful refresh clears it.
+	if deviceID != "" {
+		c.ringMu.Lock()
+		c.hints[deviceID] = target
+		c.ringMu.Unlock()
+	}
+}
 
 // retryable classifies a failure: transport errors, 5xx and timeout-ish
 // statuses are worth retrying; other 4xx are the caller's bug and
@@ -173,8 +371,16 @@ func retryable(err error) bool {
 }
 
 // do runs one API call with retries, backoff, per-attempt deadlines
-// and the endpoint's breaker. accept, when non-nil, validates the
-// decoded response; its error counts as a retryable failure.
+// and the (endpoint, node) breaker. deviceID, when non-empty, routes
+// the call through the ring mirror to the owning node. accept, when
+// non-nil, validates the decoded response; its error counts as a
+// retryable failure.
+//
+// A 307 + X-Clr-Redirect answer is neither a retry nor a breaker
+// failure: the redirecting node is healthy, it just no longer owns
+// the device. The call re-resolves to the named owner immediately
+// (bounded by maxRedirects per attempt) and refreshes the ring mirror
+// so later calls route directly.
 //
 // The call's trace ID is resolved exactly once, before the first
 // attempt, and every attempt carries it in X-Clr-Trace-Id: a retry is
@@ -183,8 +389,7 @@ func retryable(err error) bool {
 // answer) under one ID. A context without a trace makes this call the
 // trace edge, so minting here is the root, not a mid-stack re-mint
 // (tracectx's adopt-first rule: TraceIDFrom before Mint).
-func (c *Client) do(ctx context.Context, endpoint, method, url string, body, out any, wantStatus int, accept func() error) error {
-	br := c.breakers[endpoint]
+func (c *Client) do(ctx context.Context, endpoint, method, path, deviceID string, body, out any, wantStatus int, accept func() error) error {
 	trace := obs.TraceIDFrom(ctx)
 	if trace == "" {
 		trace = c.minter.Mint()
@@ -206,8 +411,31 @@ func (c *Client) do(ctx context.Context, endpoint, method, url string, body, out
 			case <-ctx.Done():
 				return fmt.Errorf("client: %s: %w (last error: %v)", endpoint, ctx.Err(), lastErr)
 			}
+			// A failed attempt in cluster mode often means the route is
+			// stale (the owner died or the device moved); refetch the
+			// ring so this retry resolves against live membership.
+			if len(c.targets) > 0 && deviceID != "" {
+				_ = c.RefreshRing(ctx)
+			}
 		}
-		err := c.attempt(ctx, br, trace, method, url, payload, out, wantStatus, accept)
+		// Resolve per attempt: a redirect on the previous attempt (or a
+		// concurrent call's) may have moved the device's route.
+		base := c.routeBase(deviceID)
+		var err error
+		for hop := 0; ; hop++ {
+			err = c.attempt(ctx, c.breakerFor(endpoint, base), trace, method, base+path, payload, out, wantStatus, accept)
+			var rd *redirectError
+			if !errors.As(err, &rd) {
+				break
+			}
+			if hop >= maxRedirects {
+				err = fmt.Errorf("client: %s: %d redirects without an owner settling", endpoint, hop+1)
+				break
+			}
+			c.redirects.Add(1)
+			base = rd.target
+			c.noteRedirect(ctx, deviceID, rd.target)
+		}
 		if err == nil {
 			return nil
 		}
@@ -251,6 +479,14 @@ func (c *Client) attempt(ctx context.Context, br *Breaker, trace obs.TraceID, me
 		br.Failure()
 		return fmt.Errorf("client: reading response: %w", err)
 	}
+	if resp.StatusCode == http.StatusTemporaryRedirect {
+		if tgt := resp.Header.Get(cluster.RedirectHeader); tgt != "" {
+			// The node answered coherently — it just doesn't own the
+			// device. Healthy for breaker purposes.
+			br.Success()
+			return &redirectError{target: strings.TrimRight(tgt, "/")}
+		}
+	}
 	if resp.StatusCode != wantStatus {
 		var apiErr fleet.ErrorJSON
 		_ = json.Unmarshal(data, &apiErr)
@@ -283,6 +519,11 @@ func (c *Client) attempt(ctx context.Context, br *Breaker, trace obs.TraceID, me
 			return err
 		}
 	}
+	if node := resp.Header.Get(cluster.NodeHeader); node != "" {
+		c.nodeMu.Lock()
+		c.nodeN[node]++
+		c.nodeMu.Unlock()
+	}
 	br.Success()
 	return nil
 }
@@ -301,7 +542,7 @@ func (c *Client) nextDelay(k int) time.Duration {
 // fetching the device's current state.
 func (c *Client) Register(ctx context.Context, req fleet.RegisterRequest) (*fleet.DeviceJSON, error) {
 	var dev fleet.DeviceJSON
-	err := c.do(ctx, "register", http.MethodPost, c.base+"/v1/devices", req, &dev, http.StatusCreated, nil)
+	err := c.do(ctx, "register", http.MethodPost, "/v1/devices", req.ID, req, &dev, http.StatusCreated, nil)
 	var apiErr *APIError
 	if errors.As(err, &apiErr) && apiErr.Status == http.StatusConflict {
 		return c.Device(ctx, req.ID)
@@ -330,7 +571,7 @@ func (c *Client) QoS(ctx context.Context, id string, seq uint64, spec fleet.QoSS
 			return nil
 		}
 	}
-	err := c.do(ctx, "qos", http.MethodPost, c.base+"/v1/devices/"+id+"/qos", req, &dec, http.StatusOK, accept)
+	err := c.do(ctx, "qos", http.MethodPost, "/v1/devices/"+id+"/qos", id, req, &dec, http.StatusOK, accept)
 	if err != nil && c.retryDeg && errors.Is(err, ErrDegraded) && dec.Degraded {
 		// Retries exhausted on a persistent fault: the degraded answer
 		// is still the service's contract-honouring fallback.
@@ -345,7 +586,7 @@ func (c *Client) QoS(ctx context.Context, id string, seq uint64, spec fleet.QoSS
 // Device fetches a device snapshot.
 func (c *Client) Device(ctx context.Context, id string) (*fleet.DeviceJSON, error) {
 	var dev fleet.DeviceJSON
-	if err := c.do(ctx, "device", http.MethodGet, c.base+"/v1/devices/"+id, nil, &dev, http.StatusOK, nil); err != nil {
+	if err := c.do(ctx, "device", http.MethodGet, "/v1/devices/"+id, id, nil, &dev, http.StatusOK, nil); err != nil {
 		return nil, err
 	}
 	return &dev, nil
@@ -354,7 +595,7 @@ func (c *Client) Device(ctx context.Context, id string) (*fleet.DeviceJSON, erro
 // Databases lists the server's decision bases.
 func (c *Client) Databases(ctx context.Context) ([]fleet.DatabaseJSON, error) {
 	var dbs []fleet.DatabaseJSON
-	if err := c.do(ctx, "databases", http.MethodGet, c.base+"/v1/databases", nil, &dbs, http.StatusOK, nil); err != nil {
+	if err := c.do(ctx, "databases", http.MethodGet, "/v1/databases", "", nil, &dbs, http.StatusOK, nil); err != nil {
 		return nil, err
 	}
 	return dbs, nil
@@ -362,5 +603,5 @@ func (c *Client) Databases(ctx context.Context) ([]fleet.DatabaseJSON, error) {
 
 // Deregister removes a device.
 func (c *Client) Deregister(ctx context.Context, id string) error {
-	return c.do(ctx, "deregister", http.MethodDelete, c.base+"/v1/devices/"+id, nil, nil, http.StatusNoContent, nil)
+	return c.do(ctx, "deregister", http.MethodDelete, "/v1/devices/"+id, id, nil, nil, http.StatusNoContent, nil)
 }

@@ -25,6 +25,10 @@ import (
 type LoadParams struct {
 	// BaseURL locates the server, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// Targets, when set, lists all cluster node base URLs: the client
+	// runs ring-aware (each device's events go straight to its owning
+	// node) and the report breaks throughput down per node.
+	Targets []string
 	// Devices is the number of simulated devices (K).
 	Devices int
 	// EventsPerDevice is how many QoS events each device fires.
@@ -64,24 +68,48 @@ type LoadReport struct {
 	// Reconfigs and Violations aggregate the decision outcomes;
 	// Degraded counts last-known-good fallback answers.
 	Reconfigs, Violations, Degraded int
-	// Retries counts re-attempts the resilient client absorbed.
-	Retries int64
+	// Retries counts re-attempts the resilient client absorbed;
+	// Redirects counts cluster ownership re-resolutions followed.
+	Retries   int64
+	Redirects int64
 	// Duration is the wall-clock span of the event phase.
 	Duration time.Duration
 	// Throughput is decisions per second over Duration.
 	Throughput float64
+	// PerNode attributes answered calls to the cluster node that
+	// served them (X-Clr-Node header; empty outside cluster mode).
+	PerNode map[string]int64
 	// P50/P95/P99/Max are end-to-end decision latencies.
 	P50, P95, P99, Max time.Duration
 }
 
 // String renders the report for terminals.
 func (r *LoadReport) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"devices:     %d\nevents:      %d (%d errors, %d retries, %d degraded)\nreconfigs:   %d\nviolations:  %d\nduration:    %v\nthroughput:  %.0f decisions/s\nlatency p50: %v\nlatency p95: %v\nlatency p99: %v\nlatency max: %v",
 		r.Devices, r.Events, r.Errors, r.Retries, r.Degraded,
 		r.Reconfigs, r.Violations,
 		r.Duration.Round(time.Millisecond), r.Throughput,
 		r.P50, r.P95, r.P99, r.Max)
+	if len(r.PerNode) > 0 {
+		nodes := make([]string, 0, len(r.PerNode))
+		for n := range r.PerNode {
+			nodes = append(nodes, n)
+		}
+		sort.Strings(nodes)
+		secs := r.Duration.Seconds()
+		for _, n := range nodes {
+			line := fmt.Sprintf("\nnode %-12s %d answers", n+":", r.PerNode[n])
+			if secs > 0 {
+				line += fmt.Sprintf(" (%.0f/s)", float64(r.PerNode[n])/secs)
+			}
+			s += line
+		}
+		if r.Redirects > 0 {
+			s += fmt.Sprintf("\nredirects:   %d", r.Redirects)
+		}
+	}
+	return s
 }
 
 // RunLoad executes the load generation against a running server.
@@ -101,6 +129,7 @@ func RunLoad(p LoadParams) (*LoadReport, error) {
 		tr.MaxIdleConnsPerHost = p.Devices
 		c = New(Config{
 			BaseURL:        p.BaseURL,
+			Targets:        p.Targets,
 			Transport:      tr,
 			MaxAttempts:    p.MaxAttempts,
 			AttemptTimeout: p.AttemptTimeout,
@@ -108,6 +137,12 @@ func RunLoad(p LoadParams) (*LoadReport, error) {
 		})
 	}
 	ctx := context.Background()
+	if len(p.Targets) > 0 {
+		// Prime the ownership mirror so the measured phase routes
+		// directly; a failure just means the first calls ride the
+		// forward/redirect path until a redirect teaches us better.
+		_ = c.RefreshRing(ctx)
+	}
 
 	db, err := pickDatabase(ctx, c, p.Database)
 	if err != nil {
@@ -195,7 +230,11 @@ func RunLoad(p LoadParams) (*LoadReport, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	report := &LoadReport{Devices: p.Devices, Duration: elapsed, Retries: c.Stats().Retries}
+	cs := c.Stats()
+	report := &LoadReport{Devices: p.Devices, Duration: elapsed, Retries: cs.Retries, Redirects: cs.Redirects}
+	if nodes := c.NodesSeen(); len(nodes) > 0 && len(p.Targets) > 0 {
+		report.PerNode = nodes
+	}
 	var all []time.Duration
 	for _, res := range results {
 		all = append(all, res.latencies...)

@@ -179,6 +179,7 @@ type device struct {
 	dbName string
 	db     *NamedDatabase
 	mgr    *runtime.Manager
+	params DeviceParams // retained for cluster handoff (see ExportDevice)
 	stats  DeviceStats
 	regAt  time.Time
 
@@ -394,7 +395,7 @@ func (r *Registry) Register(p DeviceParams) (*DeviceInfo, error) {
 	}
 	d := &device{
 		sem: make(chan struct{}, 1),
-		id:  p.ID, dbName: p.Database, db: db, mgr: mgr, regAt: time.Now(),
+		id:  p.ID, dbName: p.Database, db: db, mgr: mgr, params: p, regAt: time.Now(),
 	}
 
 	sh := r.shardFor(p.ID)
@@ -512,11 +513,16 @@ func (r *Registry) DecideCtx(ctx context.Context, id string, seq uint64, spec ru
 	if seq > 0 {
 		d.lastSeq, d.lastDec, d.haveLast = seq, dec, true
 	}
+	// Journal before releasing the device semaphore: a handoff export
+	// acquires the semaphore to snapshot, and must see the replay cache
+	// and the journal entry of the same decision together (the append
+	// itself is lock-free, so the hold grows by well under a
+	// microsecond).
+	r.journal(d, seq, tr, dec, detail, false)
 	d.release()
 	if d.degraded.CompareAndSwap(true, false) {
 		r.degradedDev.Add(-1)
 	}
-	r.journal(d, seq, tr, dec, detail, false)
 	r.decisionLat.Observe(time.Since(start).Seconds())
 	r.decisions.Inc()
 	if dec.Reconfigured {

@@ -34,6 +34,17 @@ var (
 
 func get(tb testing.TB) fixture {
 	tb.Helper()
+	f, err := build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return f
+}
+
+// build runs the design-time flow once per process. It is the
+// TB-free entry so non-test embedders (cmd/clrchaos cluster mode) can
+// share the fixture.
+func build() (fixture, error) {
 	once.Do(func() {
 		plat := platform.Default()
 		g, err := taskgraph.Generate(taskgraph.GenParams{Seed: 51, NumTasks: 20}, plat)
@@ -61,16 +72,27 @@ func get(tb testing.TB) fixture {
 		}
 		fix = fixture{problem: prob, base: base, red: red}
 	})
-	if fixErr != nil {
-		tb.Fatal(fixErr)
-	}
-	return fix
+	return fix, fixErr
 }
 
 // Databases returns the fixture's decision bases, named "red" (the
 // run-time-enriched database) and "based" (the stage-1 Pareto front).
 func Databases(tb testing.TB) []fleet.NamedDatabase {
 	f := get(tb)
+	return namedDBs(f)
+}
+
+// DatabasesE is Databases for embedders without a testing.TB (the
+// clrchaos cluster soak).
+func DatabasesE() ([]fleet.NamedDatabase, error) {
+	f, err := build()
+	if err != nil {
+		return nil, err
+	}
+	return namedDBs(f), nil
+}
+
+func namedDBs(f fixture) []fleet.NamedDatabase {
 	return []fleet.NamedDatabase{
 		{Name: "red", DB: f.red, Space: f.problem.Space},
 		{Name: "based", DB: f.base, Space: f.problem.Space},

@@ -1,0 +1,215 @@
+package fleet
+
+// Per-device state handoff for the cluster layer: when the
+// consistent-hash ring moves a device to another node, its owner
+// exports a DeviceState bundle — registration parameters, decision
+// journal, exactly-once replay cache — and the new owner imports it by
+// replaying the journal through a freshly booted manager. Replay (not
+// snapshot copy) is the restore mechanism: each journal entry advances
+// the manager exactly as the original decision did, so the migrated
+// device keeps deciding byte-identically and never answers a sequence
+// number twice.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"clrdse/internal/obs"
+	"clrdse/internal/runtime"
+)
+
+// DeviceState is one device's complete serving state, the unit of
+// cluster handoff. It is a node-to-node wire type (JSON), not part of
+// the public v1 device API.
+type DeviceState struct {
+	// Params is the device's original registration.
+	Params DeviceParams `json:"params"`
+	// Point is the stored design-point ID in force; Events is the
+	// manager's processed-event count (the AuRA episode clock).
+	Point  int `json:"point"`
+	Events int `json:"events"`
+	// Stats is the cumulative decision history (Degraded included).
+	Stats DeviceStats `json:"stats"`
+	// DegradedNow marks a device whose latest answer was degraded, so
+	// the importing node's degraded-device gauge and /readyz fraction
+	// stay truthful across the move.
+	DegradedNow bool `json:"degraded_now,omitempty"`
+	// RegisteredAt is the original registration instant.
+	RegisteredAt time.Time `json:"registered_at"`
+	// LastSeq/LastDec/HaveLast are the exactly-once replay cache: a
+	// retry of LastSeq after the move is answered from here, unchanged.
+	LastSeq  uint64            `json:"last_seq"`
+	HaveLast bool              `json:"have_last"`
+	LastDec  *runtime.Decision `json:"last_dec,omitempty"`
+	// Journal is the device's decision history from the exporting
+	// node's journal, oldest first. The importer replays it to rebuild
+	// manager state and adopts the entries into its own journal, so
+	// the flight record follows the device across the ring.
+	Journal []obs.Entry `json:"journal,omitempty"`
+}
+
+// DeviceIDs lists every registered device ID, sorted.
+func (r *Registry) DeviceIDs() []string {
+	var out []string
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for id := range sh.devices {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// exportState snapshots the device's full state. The device semaphore
+// is held for the snapshot, so the replay cache, stats, manager state
+// and journal are mutually consistent (the decide path journals before
+// releasing the semaphore).
+func (r *Registry) exportState(d *device) *DeviceState {
+	d.sem <- struct{}{}
+	st := &DeviceState{
+		Params:       d.params,
+		Stats:        d.stats,
+		RegisteredAt: d.regAt,
+		LastSeq:      d.lastSeq,
+		HaveLast:     d.haveLast,
+	}
+	if d.haveLast {
+		dec := d.lastDec
+		st.LastDec = &dec
+	}
+	st.Point = d.mgr.Current()
+	st.Events = d.mgr.Events()
+	for _, e := range r.shardFor(d.id).journal.Snapshot() {
+		if e.Device == d.id {
+			st.Journal = append(st.Journal, e)
+		}
+	}
+	d.release()
+	st.Stats.Degraded = d.degradedN.Load()
+	st.DegradedNow = d.degraded.Load()
+	return st
+}
+
+// ExportDevice snapshots the device's handoff bundle without removing
+// it — the read side of replication and diagnostics.
+func (r *Registry) ExportDevice(id string) (*DeviceState, error) {
+	d, err := r.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return r.exportState(d), nil
+}
+
+// ExportRemove atomically deregisters the device and returns its
+// handoff bundle. The device is unpublished from the registry before
+// the snapshot, and the snapshot waits for any in-flight decision to
+// finish, so the bundle reflects every decision this node ever
+// acknowledged for the device.
+func (r *Registry) ExportRemove(id string) (*DeviceState, error) {
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	d, ok := sh.devices[id]
+	if ok {
+		delete(sh.devices, id)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoDevice, id)
+	}
+	st := r.exportState(d)
+	r.devices.Add(-1)
+	if d.degraded.Load() {
+		r.degradedDev.Add(-1)
+	}
+	return st, nil
+}
+
+// ImportDevice installs a migrated device from its handoff bundle.
+// The manager is booted fresh, the journal is replayed through it
+// (each non-degraded entry re-applies its transition and re-teaches
+// the agent the recorded reward), and the snapshot point/event-clock
+// then corrects for any history the exporting journal's ring had
+// already overwritten. The replay cache and journal entries are
+// adopted as-is, so a retried sequence number is answered from the
+// cache and the device's whole decision history remains explainable
+// from this node's /debug/decisions.
+func (r *Registry) ImportDevice(st *DeviceState) error {
+	if st == nil {
+		return fmt.Errorf("fleet: nil device state")
+	}
+	p := st.Params
+	if err := p.validate(); err != nil {
+		return err
+	}
+	db, ok := r.dbs[p.Database]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoDatabase, p.Database)
+	}
+	mp := runtime.ManagerParams{
+		DB:                     db.DB,
+		Space:                  db.Space,
+		Matrix:                 db.matrix,
+		PRC:                    p.PRC,
+		Trigger:                p.Trigger,
+		Policy:                 p.Policy,
+		MeanInterArrivalCycles: p.MeanInterArrivalCycles,
+	}
+	if p.Gamma > 0 {
+		mp.Agent = runtime.NewAgentForDB(db.DB, p.Gamma, 0)
+	}
+	mgr, err := runtime.NewManager(mp, p.Initial)
+	if err != nil {
+		return err
+	}
+	for _, e := range st.Journal {
+		if e.Degraded {
+			continue // degraded answers never advanced manager state
+		}
+		if err := mgr.Replay(e.To, e.DRCMs); err != nil {
+			return fmt.Errorf("fleet: import %q: journal replay: %w", p.ID, err)
+		}
+	}
+	if err := mgr.Restore(st.Point, st.Events); err != nil {
+		return fmt.Errorf("fleet: import %q: %w", p.ID, err)
+	}
+	d := &device{
+		sem: make(chan struct{}, 1),
+		id:  p.ID, dbName: p.Database, db: db, mgr: mgr,
+		params: p,
+		stats:  st.Stats,
+		regAt:  st.RegisteredAt,
+	}
+	d.lastSeq, d.haveLast = st.LastSeq, st.HaveLast
+	if st.LastDec != nil {
+		d.lastDec = *st.LastDec
+	}
+	d.degradedN.Store(st.Stats.Degraded)
+	if st.DegradedNow {
+		d.degraded.Store(true)
+	}
+
+	sh := r.shardFor(p.ID)
+	sh.mu.Lock()
+	if _, dup := sh.devices[p.ID]; dup {
+		sh.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrDeviceExists, p.ID)
+	}
+	sh.devices[p.ID] = d
+	sh.mu.Unlock()
+
+	// Adopt the travelled journal entries verbatim: they were already
+	// counted as explained decisions on the node that decided them, so
+	// they bypass the explained counter and stage histograms here.
+	for i := range st.Journal {
+		e := st.Journal[i]
+		sh.journal.Append(&e)
+	}
+	r.devices.Add(1)
+	if st.DegradedNow {
+		r.degradedDev.Add(1)
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"clrdse/internal/rng"
+	"clrdse/internal/runtime"
+)
+
+// handoffScript precomputes a deterministic spec sequence from the
+// database's envelope.
+func handoffScript(t *testing.T, seed int64, n int) []runtime.QoSSpec {
+	f := getFixture(t)
+	model := runtime.ModelFromDatabase(f.red)
+	src := rng.New(seed)
+	stream := model.Stream()
+	out := make([]runtime.QoSSpec, n)
+	for i := range out {
+		out[i] = stream.Next(src)
+	}
+	return out
+}
+
+// decideJSON canonicalises a decision for byte-level comparison.
+func decideJSON(t *testing.T, dec runtime.Decision) string {
+	b, err := json.Marshal(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestHandoffRoundTrip is the heart of the cluster contract at the
+// registry level: a device migrated mid-schedule by ExportRemove +
+// ImportDevice keeps deciding byte-identically to a device that never
+// moved, the replay cache travels, and the journal follows.
+func TestHandoffRoundTrip(t *testing.T) {
+	f := getFixture(t)
+	dbs := fleetDatabases(t)
+	mk := func() *Registry {
+		reg, err := NewRegistry(dbs, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reg
+	}
+	regA, regB, ref := mk(), mk(), mk()
+
+	params := DeviceParams{
+		ID: "mig-1", Database: "red", PRC: 0.5, Gamma: 0.9,
+		Trigger: runtime.TriggerOnViolation, Initial: looseSpec(f.red),
+	}
+	if _, err := regA.Register(params); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Register(params); err != nil {
+		t.Fatal(err)
+	}
+
+	const half, total = 12, 24
+	script := handoffScript(t, 41, total)
+	ctx := context.Background()
+
+	for i := 0; i < half; i++ {
+		seq := uint64(i + 1)
+		got, err := regA.DecideCtx(ctx, "mig-1", seq, script[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.DecideCtx(ctx, "mig-1", seq, script[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if decideJSON(t, got.Decision) != decideJSON(t, want.Decision) {
+			t.Fatalf("pre-move decision %d diverged from reference", seq)
+		}
+	}
+
+	// Migrate A -> B.
+	st, err := regA.ExportRemove("mig-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := regA.Get("mig-1"); !errors.Is(err, ErrNoDevice) {
+		t.Fatalf("device still visible on exporter after ExportRemove: %v", err)
+	}
+	if st.Stats.Decisions != half || len(st.Journal) != half {
+		t.Fatalf("bundle carries %d decisions / %d journal entries, want %d / %d",
+			st.Stats.Decisions, len(st.Journal), half, half)
+	}
+	if err := regB.ImportDevice(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := regB.ImportDevice(st); !errors.Is(err, ErrDeviceExists) {
+		t.Fatalf("duplicate import = %v, want ErrDeviceExists", err)
+	}
+
+	// The replay cache travelled: re-sending the last pre-move sequence
+	// number to the NEW node answers from the cache, unchanged.
+	lastSpec := script[half-1]
+	cached, err := regB.DecideCtx(ctx, "mig-1", half, lastSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached.Replayed {
+		t.Fatal("retried pre-move sequence was re-decided instead of replayed from the migrated cache")
+	}
+	if st.LastDec == nil || decideJSON(t, cached.Decision) != decideJSON(t, *st.LastDec) {
+		t.Fatal("replayed decision differs from the migrated cache entry")
+	}
+
+	// Post-move decisions stay byte-identical to the never-moved
+	// reference device.
+	for i := half; i < total; i++ {
+		seq := uint64(i + 1)
+		got, err := regB.DecideCtx(ctx, "mig-1", seq, script[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.DecideCtx(ctx, "mig-1", seq, script[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if decideJSON(t, got.Decision) != decideJSON(t, want.Decision) {
+			t.Fatalf("post-move decision %d diverged from reference", seq)
+		}
+	}
+
+	// The importer's registry state is whole: cumulative stats and the
+	// adopted-plus-new journal.
+	info, err := regB.Get("mig-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Stats.Decisions != total {
+		t.Fatalf("post-move decisions = %d, want %d", info.Stats.Decisions, total)
+	}
+	if n := len(regB.Decisions("mig-1", 0)); n != total {
+		t.Fatalf("importer journal holds %d entries for device, want %d", n, total)
+	}
+}
+
+func TestExportDeviceKeepsDevice(t *testing.T) {
+	f := getFixture(t)
+	reg, err := NewRegistry(fleetDatabases(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register(DeviceParams{
+		ID: "peek-1", Database: "red", PRC: 0.4,
+		Trigger: runtime.TriggerOnViolation, Initial: looseSpec(f.red),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := reg.ExportDevice("peek-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Params.ID != "peek-1" {
+		t.Fatalf("bundle params ID = %q", st.Params.ID)
+	}
+	if _, err := reg.Get("peek-1"); err != nil {
+		t.Fatalf("ExportDevice must not deregister: %v", err)
+	}
+	if _, err := reg.ExportRemove("absent"); !errors.Is(err, ErrNoDevice) {
+		t.Fatalf("ExportRemove(absent) = %v, want ErrNoDevice", err)
+	}
+}
+
+func TestImportDeviceRejectsBadBundles(t *testing.T) {
+	f := getFixture(t)
+	reg, err := NewRegistry(fleetDatabases(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.ImportDevice(nil); err == nil {
+		t.Fatal("nil bundle accepted")
+	}
+	good := DeviceParams{
+		ID: "imp-1", Database: "red", PRC: 0.4,
+		Trigger: runtime.TriggerOnViolation, Initial: looseSpec(f.red),
+	}
+	unknownDB := &DeviceState{Params: good}
+	unknownDB.Params.Database = "nope"
+	if err := reg.ImportDevice(unknownDB); !errors.Is(err, ErrNoDatabase) {
+		t.Fatalf("unknown database = %v, want ErrNoDatabase", err)
+	}
+	badPoint := &DeviceState{Params: good, Point: 1 << 20}
+	if err := reg.ImportDevice(badPoint); err == nil {
+		t.Fatal("out-of-range snapshot point accepted")
+	}
+}

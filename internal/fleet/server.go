@@ -122,6 +122,14 @@ func (s *Server) Registry() *Registry { return s.reg }
 // that bring their own http.Server).
 func (s *Server) Handler() http.Handler { return s.handler }
 
+// Wrap interposes middleware around the service's handler — the
+// cluster layer's request router, a chaos injector. It must be called
+// before Serve/Run (the handler is read without a lock once serving).
+func (s *Server) Wrap(mw func(http.Handler) http.Handler) {
+	s.handler = mw(s.handler)
+	s.httpSrv.Handler = s.handler
+}
+
 // buildMux wires the v1 routes, each wrapped with request accounting
 // and logging.
 func (s *Server) buildMux() http.Handler {

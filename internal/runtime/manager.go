@@ -159,6 +159,59 @@ func (m *Manager) OnQoSChangeObserved(spec QoSSpec, rec StageRecorder) (Decision
 	return d, detail
 }
 
+// Events returns how many QoS changes the manager has processed
+// (decisions and replayed journal entries both advance it). It feeds
+// the AuRA agent's episode clock, so a restored manager must carry it
+// over — see Restore.
+func (m *Manager) Events() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.events
+}
+
+// Replay re-applies one recorded decision without re-deciding: the
+// configuration moves to the stored point `to`, the event clock
+// advances, and the AuRA agent (when present) re-learns the recorded
+// reward — the point's stored energy and the decision's recorded dRC —
+// exactly as the original decision did. Replaying a device's full
+// journal through a freshly booted manager therefore reconstructs the
+// original manager state byte for byte, which is what lets a cluster
+// node take over a migrated device and keep deciding identically.
+func (m *Manager) Replay(to int, drcTotal float64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if to < 0 || to >= len(m.sim.p.DB.Points) {
+		return fmt.Errorf("runtime: replay target point %d outside database [0,%d)", to, len(m.sim.p.DB.Points))
+	}
+	m.events++
+	if ag := m.sim.p.Agent; ag != nil {
+		t := float64(m.events) * m.sim.p.MeanInterArrivalCycles
+		ag.step(to, -m.sim.p.DB.Points[to].EnergyMJ, drcTotal, t)
+	}
+	m.cur = to
+	return nil
+}
+
+// Restore forces the manager to a known (point, event-count) state.
+// It is the snapshot-based fallback for handoff when a device's
+// journal is incomplete (the ring overwrote its oldest entries): the
+// configuration and episode clock are exact, while an AuRA agent keeps
+// whatever the partial replay taught it. Callers with a complete
+// journal should prefer Replay, which restores everything.
+func (m *Manager) Restore(cur, events int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cur < 0 || cur >= len(m.sim.p.DB.Points) {
+		return fmt.Errorf("runtime: restore point %d outside database [0,%d)", cur, len(m.sim.p.DB.Points))
+	}
+	if events < 0 {
+		return fmt.Errorf("runtime: restore event count %d is negative", events)
+	}
+	m.cur = cur
+	m.events = events
+	return nil
+}
+
 // Describe renders a decision for logs.
 func (d Decision) Describe() string {
 	if !d.Reconfigured {
