@@ -66,6 +66,7 @@ func main() {
 		clRedirect = flag.Bool("cluster-redirect", false, "answer non-owned device requests with 307 + X-Clr-Redirect instead of proxying")
 		clProbe    = flag.Duration("cluster-probe", 2*time.Second, "peer health-probe interval (0 = membership changes only via POST /v1/cluster/membership)")
 		clSuspect  = flag.Int("cluster-suspect", 3, "consecutive probe failures before a peer is marked dead")
+		clToken    = flag.String("cluster-token", "", "shared secret gating POST /v1/cluster/handoff and /v1/cluster/membership (empty leaves them open; set it whenever the listener is reachable beyond the cluster network)")
 
 		tasks   = flag.Int("tasks", 30, "synthetic application size")
 		jpeg    = flag.Bool("jpeg", false, "use the JPEG encoder of Figure 2b")
@@ -169,12 +170,16 @@ func main() {
 			TraceSeed:     *traceSd + 1, // distinct stream from the fleet server's minter
 			ProbeInterval: *clProbe,
 			SuspectAfter:  *clSuspect,
+			AuthToken:     *clToken,
 			Logger:        cfg.Logger,
 		}, srv)
 		if err != nil {
 			fatal(err)
 		}
 		srv.Wrap(node.Middleware)
+		if *clToken == "" {
+			log.Warn("cluster handoff/membership endpoints are unauthenticated; set -cluster-token if the listener is reachable beyond the cluster network")
+		}
 		log.Info("cluster mode enabled", "self", *clNode, "peers", len(peers),
 			"ring_version", node.Ring().Version(), "redirect", *clRedirect)
 	}

@@ -14,6 +14,7 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clrdse/internal/fleet"
@@ -43,6 +45,10 @@ const (
 	// forward hop; the receiver serves it locally even if its own ring
 	// disagrees, so transiently split views cannot loop a request.
 	ForwardedHeader = "X-Clr-Forwarded"
+	// TokenHeader carries the shared cluster secret on node-to-node
+	// and admin requests (handoff, membership) when Config.AuthToken
+	// is set.
+	TokenHeader = "X-Clr-Cluster-Token"
 )
 
 // Peer is one static cluster member.
@@ -85,6 +91,13 @@ type Config struct {
 	// MaxBodyBytes caps the buffered request body for routing and
 	// forwarding (0 selects 1 MiB, matching the fleet server's cap).
 	MaxBodyBytes int64
+	// AuthToken, when set, gates the node-to-node and admin endpoints
+	// (POST /v1/cluster/handoff, /v1/cluster/membership): requests
+	// must carry it in the X-Clr-Cluster-Token header, and handoff
+	// pushes send it. Every member must share the same value. Empty
+	// leaves the endpoints open — acceptable only when the listener
+	// is unreachable from outside the cluster network.
+	AuthToken string
 	// Logger receives structured cluster logs (nil selects
 	// slog.Default()).
 	Logger *slog.Logger
@@ -96,11 +109,18 @@ type Node struct {
 	vnodes   int
 	redirect bool
 	maxBody  int64
+	token    string
 	reg      *fleet.Registry
 	httpc    *http.Client
 	minter   *obs.Minter
 	log      *slog.Logger
 	suspect  int
+
+	// draining flips on Leave and never clears: the drain ring no
+	// longer contains self, so the router serves a device locally only
+	// while it is still registered here (awaiting its handoff) and
+	// forwards it to the new owner afterwards.
+	draining atomic.Bool
 
 	mu    sync.Mutex
 	urls  map[string]string
@@ -112,6 +132,7 @@ type Node struct {
 	forwardErrs *metrics.Counter
 	handoffOut  *metrics.Counter
 	handoffIn   *metrics.Counter
+	handoffDups *metrics.Counter
 	handoffErrs *metrics.Counter
 	rebalances  *metrics.Counter
 	ringVersion *metrics.Gauge
@@ -141,6 +162,7 @@ func New(cfg Config, srv *fleet.Server) (*Node, error) {
 		vnodes:   cfg.VNodes,
 		redirect: cfg.Redirect,
 		maxBody:  cfg.MaxBodyBytes,
+		token:    cfg.AuthToken,
 		reg:      srv.Registry(),
 		httpc:    &http.Client{Timeout: cfg.HTTPTimeout},
 		minter:   obs.NewMinter(cfg.TraceSeed),
@@ -182,6 +204,8 @@ func New(cfg Config, srv *fleet.Server) (*Node, error) {
 		"Devices handed across nodes on rebalance.", "direction", "out")
 	n.handoffIn = met.Counter("clr_cluster_handoff_devices_total",
 		"Devices handed across nodes on rebalance.", "direction", "in")
+	n.handoffDups = met.Counter("clr_cluster_handoff_duplicates_total",
+		"Handoff pushes acked as duplicates of an already-committed import.")
 	n.handoffErrs = met.Counter("clr_cluster_handoff_errors_total",
 		"Device handoffs that failed and were re-imported locally.")
 	n.rebalances = met.Counter("clr_cluster_rebalances_total",
@@ -228,10 +252,29 @@ func (n *Node) Ring() *Ring {
 func (n *Node) Middleware(next http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/cluster/ring", n.handleRing)
-	mux.HandleFunc("POST /v1/cluster/handoff", n.handleHandoff)
-	mux.HandleFunc("POST /v1/cluster/membership", n.handleMembership)
+	mux.HandleFunc("POST /v1/cluster/handoff", n.authed(n.handleHandoff))
+	mux.HandleFunc("POST /v1/cluster/membership", n.authed(n.handleMembership))
 	mux.Handle("/", n.router(next))
 	return mux
+}
+
+// authed gates a node-to-node/admin endpoint behind the shared
+// cluster token: these endpoints inject device state and flip
+// membership, so on a listener reachable beyond the cluster network
+// they must not be open. With no token configured the handler is
+// passed through unchanged (loopback/dev deployments).
+func (n *Node) authed(h http.HandlerFunc) http.HandlerFunc {
+	if n.token == "" {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		got := []byte(r.Header.Get(TokenHeader))
+		if subtle.ConstantTimeCompare(got, []byte(n.token)) != 1 {
+			writeJSON(w, http.StatusForbidden, map[string]string{"error": "cluster: missing or invalid " + TokenHeader})
+			return
+		}
+		h(w, r)
+	}
 }
 
 // router owns the per-request ownership decision. It is also the
@@ -260,10 +303,14 @@ func (n *Node) router(next http.Handler) http.Handler {
 		}
 		ring, urls := n.view()
 		owner := ring.Owner(id)
-		if owner == n.self || r.Header.Get(ForwardedHeader) != "" {
+		if owner == n.self || r.Header.Get(ForwardedHeader) != "" ||
+			(n.draining.Load() && n.reg.Has(id)) {
 			// Ours — or a forwarded request, which is served locally
-			// even when our ring disagrees: one hop maximum, so a
-			// transiently split membership view cannot loop a request.
+			// even when our ring disagrees (one hop maximum, so a
+			// transiently split membership view cannot loop a request)
+			// — or a device awaiting its drain handoff, which this
+			// node keeps serving until the export; its decisions land
+			// in the handoff bundle when its turn comes.
 			w.Header().Set(NodeHeader, n.self)
 			if body != nil {
 				r.Body = io.NopCloser(bytes.NewReader(body))
@@ -412,6 +459,17 @@ func (n *Node) handleHandoff(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := n.reg.ImportDevice(&st); err != nil {
+		if errors.Is(err, fleet.ErrDeviceExists) && n.supersedes(&st) {
+			// Duplicate push: an earlier delivery of this bundle
+			// already committed here (the exporter's push timed out
+			// after the import, or a lost 200 forced a retry). Ack it
+			// so the exporter drops its copy instead of re-importing
+			// and diverging from this one.
+			n.handoffDups.Inc()
+			n.log.InfoContext(r.Context(), "duplicate handoff acked", "device", st.Params.ID)
+			writeJSON(w, http.StatusOK, map[string]string{"imported": st.Params.ID, "duplicate": "true"})
+			return
+		}
 		status := http.StatusBadRequest
 		if errors.Is(err, fleet.ErrDeviceExists) {
 			status = http.StatusConflict
@@ -422,6 +480,24 @@ func (n *Node) handleHandoff(w http.ResponseWriter, r *http.Request) {
 	n.handoffIn.Inc()
 	n.log.InfoContext(r.Context(), "device imported", "device", st.Params.ID, "decisions", st.Stats.Decisions)
 	writeJSON(w, http.StatusOK, map[string]string{"imported": st.Params.ID})
+}
+
+// supersedes reports whether this node's registered copy of the
+// bundle's device is at least as advanced as the bundle on every
+// monotonic axis (replay-cache sequence, manager event clock,
+// decision count). The bundle then duplicates a handoff this node
+// already committed — possibly followed by further local decisions —
+// and the push is acked rather than rejected, keeping handoff
+// idempotent when an ack is lost in flight.
+func (n *Node) supersedes(st *fleet.DeviceState) bool {
+	cur, err := n.reg.ExportDevice(st.Params.ID)
+	if err != nil {
+		return false
+	}
+	return cur.Params.Database == st.Params.Database &&
+		cur.LastSeq >= st.LastSeq &&
+		cur.Events >= st.Events &&
+		cur.Stats.Decisions >= st.Stats.Decisions
 }
 
 // MembershipJSON is the body of POST /v1/cluster/membership: the
@@ -517,15 +593,18 @@ func (n *Node) Rebalance(ctx context.Context) error {
 	return firstErr
 }
 
-// Leave drains this node for shutdown: every local device is handed
-// to its owner in the ring without self. The caller then stops
-// serving; peers learn of the departure through their probers or an
-// explicit membership flip.
+// Leave drains this node for shutdown. The ring without self is
+// installed first — so while the listener drains, requests for
+// already-exported devices forward (or redirect) to their new owners
+// instead of 404ing here — and every local device is then handed to
+// its owner in that ring. A device still awaiting its handoff keeps
+// being served locally (see router's draining check), so in-flight
+// traffic survives a rolling restart. The caller then stops serving;
+// peers learn of the departure through their probers or an explicit
+// membership flip.
 func (n *Node) Leave(ctx context.Context) error {
 	n.mu.Lock()
 	members := n.aliveMembersLocked()
-	urls := n.urls
-	n.mu.Unlock()
 	rest := make([]string, 0, len(members))
 	for _, m := range members {
 		if m != n.self {
@@ -533,12 +612,25 @@ func (n *Node) Leave(ctx context.Context) error {
 		}
 	}
 	if len(rest) == 0 {
+		n.mu.Unlock()
 		return fmt.Errorf("cluster: cannot leave a single-node cluster (no peer to hand devices to)")
 	}
 	ring, err := NewRing(rest, n.vnodes)
 	if err != nil {
+		n.mu.Unlock()
 		return err
 	}
+	// draining flips before the ring swap: between the two, requests
+	// still route by the old ring (self owns its devices), and after
+	// both, non-exported devices are caught by the draining check.
+	n.draining.Store(true)
+	n.alive[n.self] = false
+	n.ring = ring
+	n.ringVersion.Set(int64(ring.Version()))
+	n.nodesAlive.Set(int64(len(ring.Members())))
+	urls := n.urls
+	n.mu.Unlock()
+
 	var firstErr error
 	moved := 0
 	for _, id := range n.reg.DeviceIDs() {
@@ -560,7 +652,14 @@ func (n *Node) handDevice(ctx context.Context, id, owner, ownerURL string) error
 	if err != nil {
 		return err
 	}
-	if err := n.pushHandoff(ctx, ownerURL, st); err != nil {
+	err = n.pushHandoff(ctx, ownerURL, st)
+	if err != nil {
+		// One immediate retry: the owner acks a duplicate import, so a
+		// push that timed out after the owner committed converges here
+		// instead of leaving the device active on both nodes.
+		err = n.pushHandoff(ctx, ownerURL, st)
+	}
+	if err != nil {
 		n.handoffErrs.Inc()
 		if imp := n.reg.ImportDevice(st); imp != nil {
 			n.log.ErrorContext(ctx, "handoff failed AND local re-import failed; device state dropped",
@@ -585,6 +684,9 @@ func (n *Node) pushHandoff(ctx context.Context, ownerURL string, st *fleet.Devic
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if n.token != "" {
+		req.Header.Set(TokenHeader, n.token)
+	}
 	resp, err := n.httpc.Do(req)
 	if err != nil {
 		return err

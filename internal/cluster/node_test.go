@@ -201,6 +201,10 @@ func TestClusterAdminEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+
+	// Re-pushing a bundle the node already holds (same state) is acked
+	// as a duplicate — the idempotency that lets an exporter whose 200
+	// was lost in flight retry instead of re-importing and diverging.
 	b, err := json.Marshal(st)
 	if err != nil {
 		t.Fatal(err)
@@ -209,8 +213,33 @@ func TestClusterAdminEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("duplicate handoff: status %d, want 200", resp.StatusCode)
+	}
+	var ack map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ack["duplicate"] != "true" {
+		t.Fatalf("duplicate handoff ack = %v, want duplicate marker", ack)
+	}
+
+	// A bundle claiming state the local copy doesn't have is a genuine
+	// conflict: the copies diverged, and silently dropping either one
+	// would lose decisions.
+	st.Stats.Decisions++
+	st.LastSeq, st.HaveLast = 5, true
+	b, err = json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(clus.URLs()[1]+"/v1/cluster/handoff", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if resp.StatusCode != http.StatusConflict {
-		t.Fatalf("duplicate handoff: status %d, want 409", resp.StatusCode)
+		t.Fatalf("diverged handoff: status %d, want 409", resp.StatusCode)
 	}
 	readClose(resp)
 }
@@ -407,4 +436,169 @@ func TestProberFlipsMembership(t *testing.T) {
 	waitFor("suspected the failing peer", func() bool { return !peerAlive() })
 	peerOK.Store(true)
 	waitFor("recovered the peer", peerAlive)
+}
+
+// TestClusterAuthToken pins the shared-secret gate on the
+// node-to-node/admin endpoints: without the token they are 403, with
+// it they behave normally, the read-only ring document stays open,
+// and the nodes' own handoff pushes clear the gate.
+func TestClusterAuthToken(t *testing.T) {
+	ctx := context.Background()
+	clus, err := fleettest.NewCluster(fleettest.ClusterOptions{
+		Nodes: 2, TraceSeed: 41, AuthToken: "sesame",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clus.Close()
+
+	post := func(path, token, body string) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, clus.URLs()[0]+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if token != "" {
+			req.Header.Set(cluster.TokenHeader, token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	for _, tok := range []string{"", "wrong"} {
+		if got := post("/v1/cluster/membership", tok, `{"alive":{"node-1":false}}`); got != http.StatusForbidden {
+			t.Fatalf("membership with token %q: status %d, want 403", tok, got)
+		}
+		if got := post("/v1/cluster/handoff", tok, `{}`); got != http.StatusForbidden {
+			t.Fatalf("handoff with token %q: status %d, want 403", tok, got)
+		}
+	}
+	// The right token reaches the handlers (the empty bundle then
+	// fails validation, proving the gate passed it through).
+	if got := post("/v1/cluster/handoff", "sesame", `{}`); got != http.StatusBadRequest {
+		t.Fatalf("authed garbage handoff: status %d, want 400", got)
+	}
+	if got := post("/v1/cluster/membership", "sesame", `{"alive":{"node-1":false}}`); got != http.StatusOK {
+		t.Fatalf("authed membership flip: status %d, want 200", got)
+	}
+	if got := post("/v1/cluster/membership", "sesame", `{"alive":{"node-1":true}}`); got != http.StatusOK {
+		t.Fatalf("authed membership restore: status %d, want 200", got)
+	}
+	resp, err := http.Get(clus.URLs()[0] + "/v1/cluster/ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ring doc behind the gate: status %d, want 200 (read-only stays open)", resp.StatusCode)
+	}
+
+	// A real drain: node-1's handoff pushes must carry the token.
+	id := deviceOwnedBy(t, clus.Nodes[0].Node.Ring(), "tok", "node-1")
+	resp, err = http.Post(clus.URLs()[0]+"/v1/devices", "application/json", bytes.NewReader(registerBody(t, id)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: status %d", resp.StatusCode)
+	}
+	if err := clus.Kill(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !clus.Nodes[0].Srv.Registry().Has(id) {
+		t.Fatal("device lost draining through the token gate")
+	}
+}
+
+// TestRebalanceConvergesDuplicateCopies pins the split-import repair:
+// a push that times out after the owner committed leaves the device
+// active on both nodes (the exporter re-imports on the missed ack).
+// The next rebalance must converge — the owner acks the duplicate
+// push and the stale copy is dropped — instead of looping
+// ExportRemove → 409 → re-import forever.
+func TestRebalanceConvergesDuplicateCopies(t *testing.T) {
+	clus, err := fleettest.NewCluster(fleettest.ClusterOptions{Nodes: 2, TraceSeed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clus.Close()
+
+	id := deviceOwnedBy(t, clus.Nodes[0].Node.Ring(), "both", "node-1")
+	resp, err := http.Post(clus.URLs()[0]+"/v1/devices", "application/json", bytes.NewReader(registerBody(t, id)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: status %d", resp.StatusCode)
+	}
+
+	// Reproduce the double-active state: the owner (node-1) holds the
+	// device, and node-0 re-imported the same bundle after a lost ack.
+	st, err := clus.Nodes[1].Srv.Registry().ExportDevice(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clus.Nodes[0].Srv.Registry().ImportDevice(st); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := clus.Nodes[0].Node.Rebalance(context.Background()); err != nil {
+		t.Fatalf("rebalance with a duplicate copy: %v", err)
+	}
+	if clus.Nodes[0].Srv.Registry().Has(id) {
+		t.Fatal("stale copy still active on the non-owner after rebalance")
+	}
+	if !clus.Nodes[1].Srv.Registry().Has(id) {
+		t.Fatal("device missing from its owner after the duplicate ack")
+	}
+}
+
+// TestLeaveRoutesDrainedDevices pins the drain routing fix: Leave
+// installs the ring without self before exporting, so a request for
+// an already-handed-off device arriving at the leaver (whose listener
+// is still open) forwards to the new owner instead of 404ing.
+func TestLeaveRoutesDrainedDevices(t *testing.T) {
+	clus, err := fleettest.NewCluster(fleettest.ClusterOptions{Nodes: 2, TraceSeed: 47})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clus.Close()
+
+	id := deviceOwnedBy(t, clus.Nodes[0].Node.Ring(), "drain", "node-0")
+	resp, err := http.Post(clus.URLs()[0]+"/v1/devices", "application/json", bytes.NewReader(registerBody(t, id)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: status %d", resp.StatusCode)
+	}
+
+	if err := clus.Nodes[0].Node.Leave(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(clus.URLs()[0] + "/v1/devices/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drained device at the leaver: status %d, want 200 via forward", resp.StatusCode)
+	}
+	if node := resp.Header.Get(cluster.NodeHeader); node != "node-1" {
+		t.Fatalf("drained device served by %q, want node-1", node)
+	}
 }

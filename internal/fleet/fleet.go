@@ -193,6 +193,14 @@ type device struct {
 
 	degraded  atomic.Bool  // currently degraded (clears on next success)
 	degradedN atomic.Int64 // lifetime degraded answers
+
+	// removed tombstones a device whose state left this node: set by
+	// ExportRemove while the semaphore is held, checked by the decide
+	// path after acquiring it. A decide that resolved the device
+	// before it was unpublished must not commit to the orphaned
+	// object — its decision could never appear in the already-pushed
+	// handoff bundle, breaking exactly-once on the importing node.
+	removed atomic.Bool
 }
 
 // acquire takes the device semaphore, giving up when ctx expires.
@@ -412,6 +420,18 @@ func (r *Registry) Register(p DeviceParams) (*DeviceInfo, error) {
 	return d.snapshot(), nil
 }
 
+// Has reports whether the device is currently registered on this
+// node. The cluster router uses it while draining: a device not yet
+// handed off keeps being served locally even though the drain ring
+// already assigns it elsewhere.
+func (r *Registry) Has(id string) bool {
+	sh := r.shardFor(id)
+	sh.mu.RLock()
+	_, ok := sh.devices[id]
+	sh.mu.RUnlock()
+	return ok
+}
+
 // lookup fetches a device under the shard read lock.
 func (r *Registry) lookup(id string) (*device, error) {
 	sh := r.shardFor(id)
@@ -464,14 +484,30 @@ func (r *Registry) DecideCtx(ctx context.Context, id string, seq uint64, spec ru
 	if err != nil {
 		return DecideOutcome{}, err
 	}
+	return r.decideOn(ctx, d, seq, spec)
+}
+
+// decideOn is DecideCtx after device resolution. It re-checks the
+// removal tombstone once the semaphore is held: a device exported off
+// this node between lookup and acquire fails with ErrNoDevice — the
+// caller re-resolves ownership — instead of committing a decision the
+// already-pushed handoff bundle can never contain.
+func (r *Registry) decideOn(ctx context.Context, d *device, seq uint64, spec runtime.QoSSpec) (DecideOutcome, error) {
 	// The trace ID rides the context from the edge (HTTP middleware or
 	// client call root); the registry never mints one mid-stack.
 	tr := obs.NewTrace(obs.TraceIDFrom(ctx), r.clock)
 	start := time.Now()
 	if err := d.acquire(ctx); err != nil {
+		if d.removed.Load() {
+			return DecideOutcome{}, fmt.Errorf("%w: %q", ErrNoDevice, d.id)
+		}
 		// The device's decision path is wedged past our deadline:
 		// answer degraded without touching any state.
 		return r.degrade(d, seq, tr, err), nil
+	}
+	if d.removed.Load() {
+		d.release()
+		return DecideOutcome{}, fmt.Errorf("%w: %q", ErrNoDevice, d.id)
 	}
 	if seq > 0 && d.haveLast {
 		if seq == d.lastSeq {
@@ -488,7 +524,7 @@ func (r *Registry) DecideCtx(ctx context.Context, id string, seq uint64, spec ru
 		}
 	}
 	if r.hook != nil {
-		if err := r.hook(ctx, id, seq); err != nil {
+		if err := r.hook(ctx, d.id, seq); err != nil {
 			out := r.degrade(d, seq, tr, err)
 			d.release()
 			return out, nil
@@ -498,7 +534,7 @@ func (r *Registry) DecideCtx(ctx context.Context, id string, seq uint64, spec ru
 	var detail runtime.DecisionDetail
 	// pprof labels attribute CPU samples under the decide path to the
 	// device and stage, so a fleet-wide profile decomposes per device.
-	pprof.Do(ctx, pprof.Labels("device", id, "stage", "decide"), func(context.Context) {
+	pprof.Do(ctx, pprof.Labels("device", d.id, "stage", "decide"), func(context.Context) {
 		dec, detail = d.mgr.OnQoSChangeObserved(spec, tr)
 	})
 	d.stats.Decisions++
@@ -519,10 +555,13 @@ func (r *Registry) DecideCtx(ctx context.Context, id string, seq uint64, spec ru
 	// itself is lock-free, so the hold grows by well under a
 	// microsecond).
 	r.journal(d, seq, tr, dec, detail, false)
-	d.release()
+	// Clear the degraded flag while the semaphore is still held, so a
+	// concurrent export's DegradedNow snapshot and this gauge move
+	// together (ExportRemove decrements from its snapshot).
 	if d.degraded.CompareAndSwap(true, false) {
 		r.degradedDev.Add(-1)
 	}
+	d.release()
 	r.decisionLat.Observe(time.Since(start).Seconds())
 	r.decisions.Inc()
 	if dec.Reconfigured {

@@ -41,6 +41,10 @@ type ClusterOptions struct {
 	DecideTimeout time.Duration
 	// TraceSeed derives each node's trace minter seeds.
 	TraceSeed int64
+	// AuthToken, when set, gates every node's handoff/membership
+	// endpoints (cluster.Config.AuthToken) — handoff pushes between
+	// the nodes carry it automatically.
+	AuthToken string
 	// Logger receives every node's logs (nil discards them).
 	Logger *slog.Logger
 }
@@ -139,6 +143,7 @@ func (c *Cluster) buildStack(cn *ClusterNode, i int) error {
 		VNodes:    c.opt.VNodes,
 		Redirect:  c.opt.Redirect,
 		TraceSeed: c.opt.TraceSeed + 1000 + int64(i),
+		AuthToken: c.opt.AuthToken,
 		Logger:    c.opt.Logger,
 	}, srv)
 	if err != nil {

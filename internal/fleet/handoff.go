@@ -64,10 +64,16 @@ func (r *Registry) DeviceIDs() []string {
 }
 
 // exportState snapshots the device's full state. The device semaphore
-// is held for the snapshot, so the replay cache, stats, manager state
-// and journal are mutually consistent (the decide path journals before
-// releasing the semaphore).
-func (r *Registry) exportState(d *device) *DeviceState {
+// is held for the snapshot — including the degraded atomics, which a
+// concurrent degrade() can bump without the semaphore — so the replay
+// cache, stats, manager state, journal and degraded accounting are
+// mutually consistent (the decide path journals and clears the
+// degraded flag before releasing the semaphore). With tombstone set
+// the device is additionally marked removed while the semaphore is
+// still held: a decide that resolved the device before it was
+// unpublished then fails with ErrNoDevice after its acquire instead
+// of committing to the orphaned object behind the export's back.
+func (r *Registry) exportState(d *device, tombstone bool) *DeviceState {
 	d.sem <- struct{}{}
 	st := &DeviceState{
 		Params:       d.params,
@@ -87,9 +93,12 @@ func (r *Registry) exportState(d *device) *DeviceState {
 			st.Journal = append(st.Journal, e)
 		}
 	}
-	d.release()
 	st.Stats.Degraded = d.degradedN.Load()
 	st.DegradedNow = d.degraded.Load()
+	if tombstone {
+		d.removed.Store(true)
+	}
+	d.release()
 	return st
 }
 
@@ -100,14 +109,17 @@ func (r *Registry) ExportDevice(id string) (*DeviceState, error) {
 	if err != nil {
 		return nil, err
 	}
-	return r.exportState(d), nil
+	return r.exportState(d, false), nil
 }
 
 // ExportRemove atomically deregisters the device and returns its
 // handoff bundle. The device is unpublished from the registry before
-// the snapshot, and the snapshot waits for any in-flight decision to
-// finish, so the bundle reflects every decision this node ever
-// acknowledged for the device.
+// the snapshot, the snapshot waits for any in-flight decision to
+// finish, and the orphaned object is tombstoned so a decide that
+// resolved it before the unpublish fails with ErrNoDevice instead of
+// committing after the export — the bundle therefore reflects every
+// decision this node ever acknowledged for the device, and no later
+// ones exist.
 func (r *Registry) ExportRemove(id string) (*DeviceState, error) {
 	sh := r.shardFor(id)
 	sh.mu.Lock()
@@ -119,9 +131,12 @@ func (r *Registry) ExportRemove(id string) (*DeviceState, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoDevice, id)
 	}
-	st := r.exportState(d)
+	st := r.exportState(d, true)
 	r.devices.Add(-1)
-	if d.degraded.Load() {
+	// Decrement from the bundle's own snapshot, not a re-read of the
+	// atomic: a degrade racing the export cannot skew the gauge away
+	// from what the importer will add back.
+	if st.DegradedNow {
 		r.degradedDev.Add(-1)
 	}
 	return st, nil

@@ -193,3 +193,79 @@ func TestImportDeviceRejectsBadBundles(t *testing.T) {
 		t.Fatal("out-of-range snapshot point accepted")
 	}
 }
+
+// TestExportRemoveTombstonesOrphanedDecide pins the export/decide
+// race: a decide that resolved the device before ExportRemove
+// unpublished it must not commit to the orphaned object after the
+// export releases the semaphore — its decision could never reach the
+// already-pushed handoff bundle, and the importing node would
+// re-decide that sequence number. The orphan must answer ErrNoDevice
+// so the client re-resolves to the new owner.
+func TestExportRemoveTombstonesOrphanedDecide(t *testing.T) {
+	f := getFixture(t)
+	reg, err := NewRegistry(fleetDatabases(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DeviceParams{
+		ID: "orphan-1", Database: "red", PRC: 0.5,
+		Trigger: runtime.TriggerOnViolation, Initial: looseSpec(f.red),
+	}
+	if _, err := reg.Register(params); err != nil {
+		t.Fatal(err)
+	}
+	script := handoffScript(t, 43, 3)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := reg.DecideCtx(ctx, "orphan-1", uint64(i+1), script[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A racing request resolves the device...
+	d, err := reg.lookup("orphan-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...then the export wins the unpublish and the snapshot.
+	st, err := reg.ExportRemove("orphan-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The racing decide acquires the orphan's semaphore only after the
+	// export released it — and must refuse to commit.
+	if out, err := reg.decideOn(ctx, d, 3, script[2]); !errors.Is(err, ErrNoDevice) {
+		t.Fatalf("decide on exported device = (%+v, %v), want ErrNoDevice", out, err)
+	}
+
+	// The degraded fallback must refuse too: a decide whose acquire
+	// fails on an exported device re-resolves instead of degrading
+	// (which would journal and gauge against the orphan).
+	expired, cancel := context.WithCancel(ctx)
+	cancel()
+	d.sem <- struct{}{} // wedge the semaphore so acquire must give up
+	out, err := reg.decideOn(expired, d, 3, script[2])
+	<-d.sem
+	if !errors.Is(err, ErrNoDevice) || out.Degraded {
+		t.Fatalf("wedged decide on exported device = (%+v, %v), want ErrNoDevice", out, err)
+	}
+
+	// Nothing leaked past the export: the shard journal still holds
+	// exactly the bundle's entries, and the bundle's cache is final.
+	if got := len(reg.Decisions("orphan-1", 0)); got != len(st.Journal) {
+		t.Fatalf("journal grew to %d entries after the export, want %d", got, len(st.Journal))
+	}
+	if st.LastSeq != 2 || !st.HaveLast {
+		t.Fatalf("bundle replay cache = (seq %d, have %v), want (2, true)", st.LastSeq, st.HaveLast)
+	}
+
+	// Re-importing the bundle mints a fresh device object; the
+	// tombstone stays on the orphan and the device decides again.
+	if err := reg.ImportDevice(st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.DecideCtx(ctx, "orphan-1", 3, script[2]); err != nil {
+		t.Fatalf("decide after re-import: %v", err)
+	}
+}
