@@ -21,6 +21,7 @@ import (
 	"clrdse/internal/core"
 	"clrdse/internal/dse"
 	"clrdse/internal/experiments"
+	"clrdse/internal/fleet"
 	"clrdse/internal/ga"
 	"clrdse/internal/lifetime"
 	"clrdse/internal/mapping"
@@ -565,6 +566,110 @@ func benchFleetThroughput(b *testing.B, db *dse.Database, space *mapping.Space) 
 			if err := postBenchJSON(client, url, body); err != nil {
 				b.Error(err)
 				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(srv.Registry().DecisionCount()), "decisions")
+}
+
+// BenchmarkFleetBatchThroughput measures the batched serving path on
+// the same database and event model as BenchmarkFleetDecisionThroughput:
+// each parallel worker owns one registered device, accumulates 64
+// events, and posts them as one binary batch
+// (POST /v1/devices:decide-batch, application/x-clr-bin). The
+// reported ns/op is the amortised per-event cost, directly comparable
+// to the single-event bench's per-round-trip figure.
+func BenchmarkFleetBatchThroughput(b *testing.B) {
+	const batchSize = 64
+	_, prob, _, red := benchSystem(b)
+	srv, err := NewFleetServer(FleetServerConfig{
+		Databases: []NamedDatabase{{Name: "red", DB: red, Space: prob.Space}},
+		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = 256
+
+	minS, maxS, minF, maxF := NamedDatabase{Name: "red", DB: red, Space: prob.Space}.Envelope()
+	boot := QoSSpec{SMaxMs: maxS, FMin: minF}
+	model := runtime.QoSModel{
+		MeanS: (minS + maxS) / 2, StdS: (maxS - minS) / 4,
+		MeanF: (minF + maxF) / 2, StdF: (maxF - minF) / 4,
+		Rho: -0.3, Persist: 0.6,
+		LoS: minS, HiS: maxS * 1.05, LoF: minF * 0.98, HiF: maxF,
+	}
+
+	var worker atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := worker.Add(1)
+		src := rng.New(200 + id)
+		stream := model.Stream()
+		dev := fmt.Sprintf("bench-batch-%d", id)
+		reg := map[string]any{
+			"id": dev, "database": "red", "prc": 0.5,
+			"trigger": "on-violation",
+			"initial": map[string]float64{"s_max_ms": boot.SMaxMs, "f_min": boot.FMin},
+		}
+		if err := postBenchJSON(client, ts.URL+"/v1/devices", reg); err != nil {
+			b.Error(err)
+			return
+		}
+		url := ts.URL + "/v1/devices:decide-batch"
+		events := make([]fleet.BatchEventJSON, 0, batchSize)
+		var body, respBuf []byte
+		var results []fleet.BatchResultJSON
+		var seq uint64
+		flush := func() error {
+			var err error
+			if body, err = fleet.AppendBatchRequest(body[:0], events); err != nil {
+				return err
+			}
+			resp, err := client.Post(url, fleet.BinContentType, bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			respBuf, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("batch: status %s", resp.Status)
+			}
+			if results, err = fleet.DecodeBatchResponse(respBuf, results[:0]); err != nil {
+				return err
+			}
+			for i := range results {
+				if results[i].Status != http.StatusOK {
+					return fmt.Errorf("batch slot %d: status %d: %s", i, results[i].Status, results[i].Error)
+				}
+			}
+			events = events[:0]
+			return nil
+		}
+		for pb.Next() {
+			spec := stream.Next(src)
+			seq++
+			events = append(events, fleet.BatchEventJSON{
+				Device: dev, Seq: seq,
+				QoSSpecJSON: fleet.QoSSpecJSON{SMaxMs: spec.SMaxMs, FMin: spec.FMin},
+			})
+			if len(events) == batchSize {
+				if err := flush(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+		if len(events) > 0 {
+			if err := flush(); err != nil {
+				b.Error(err)
 			}
 		}
 	})

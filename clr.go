@@ -319,6 +319,13 @@ type (
 	FleetClient = fleetclient.Client
 	// FleetClientConfig configures a FleetClient.
 	FleetClientConfig = fleetclient.Config
+	// FleetBatcher coalesces single QoS events from many submitters
+	// into batch decide calls (build one with FleetClient.NewBatcher).
+	FleetBatcher = fleetclient.Batcher
+	// FleetBatchEvent is one QoS event inside a batch decide request.
+	FleetBatchEvent = fleet.BatchEventJSON
+	// FleetBatchResult is one event's outcome inside a batch response.
+	FleetBatchResult = fleet.BatchResultJSON
 )
 
 // NewFleetServer validates the databases and builds the decision

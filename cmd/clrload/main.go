@@ -13,11 +13,19 @@
 //	clrload -addr http://fleet:8080 -db red -prc 0.8 -mean-ms 5
 //	clrload -attempts 6 -attempt-timeout 2s
 //	clrload -targets http://n0:8080,http://n1:8080,http://n2:8080
+//	clrload -devices 256 -batch 64 -binary
 //
 // With -targets the client runs ring-aware against a clrserved
 // cluster: it mirrors the consistent-hash ring, sends each device's
 // events straight to the owning node, and the report breaks
 // throughput down per node.
+//
+// With -batch N the devices' events are coalesced into batch decide
+// calls (POST /v1/devices:decide-batch) of up to N events, flushed
+// after -batch-age if a batch does not fill; -binary additionally
+// puts those batches on the compact binary codec. Per-device ordering
+// and exactly-once replay semantics are unchanged — batching only
+// amortises the per-request HTTP and codec cost.
 package main
 
 import (
@@ -46,6 +54,9 @@ func main() {
 		prefix   = flag.String("prefix", "clrload", "registered device ID prefix")
 		attempts = flag.Int("attempts", 4, "max attempts per call (retries with capped backoff)")
 		attemptT = flag.Duration("attempt-timeout", 5*time.Second, "per-attempt deadline")
+		batch    = flag.Int("batch", 0, "coalesce events into batch decides of this size (0 = single-event calls)")
+		batchAge = flag.Duration("batch-age", 0, "max wait for a batch to fill (0 = client default, 5ms)")
+		binary   = flag.Bool("binary", false, "use the compact binary codec for batch calls")
 	)
 	flag.Parse()
 
@@ -66,7 +77,7 @@ func main() {
 	}
 
 	log := obs.NewLogger(os.Stderr)
-	log.Info("load run starting", "addr", *addr, "targets", len(targetList), "devices", *devices, "events", *events, "db", *db)
+	log.Info("load run starting", "addr", *addr, "targets", len(targetList), "devices", *devices, "events", *events, "db", *db, "batch", *batch, "binary", *binary)
 
 	report, err := client.RunLoad(client.LoadParams{
 		BaseURL:            *addr,
@@ -82,6 +93,9 @@ func main() {
 		DevicePrefix:       *prefix,
 		MaxAttempts:        *attempts,
 		AttemptTimeout:     *attemptT,
+		Batch:              *batch,
+		BatchAge:           *batchAge,
+		Binary:             *binary,
 	})
 	if err != nil {
 		log.Error("load run failed", "err", err)

@@ -2,7 +2,11 @@
 // design-time flow once, then serves the resulting (pruned) database
 // to many devices over HTTP/JSON. Each registered device gets its own
 // runtime manager; QoS events arrive as POST requests and return the
-// decision together with the imperative reconfiguration plan.
+// decision together with the imperative reconfiguration plan. High-
+// rate submitters can coalesce events into POST /v1/devices:decide-batch
+// (optionally on the compact binary codec, Content-Type
+// application/x-clr-bin) — same per-device ordering and exactly-once
+// replay semantics, a fraction of the per-event cost.
 //
 // Usage:
 //

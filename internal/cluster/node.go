@@ -291,6 +291,14 @@ func (n *Node) router(next http.Handler) http.Handler {
 		r = r.WithContext(obs.WithTrace(r.Context(), trace))
 		r.Header.Set(obs.TraceHeader, string(trace))
 
+		// Batch decides carry many devices, so ownership is per event,
+		// not per request — and deviceFor would misread the ":" suffix
+		// as a device ID. Re-bucket before any single-device routing.
+		if r.Method == http.MethodPost && r.URL.Path == batchPath {
+			n.routeBatch(w, r, next)
+			return
+		}
+
 		id, body, scoped, err := n.deviceFor(r)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})

@@ -244,6 +244,63 @@ func databaseJSON(n NamedDatabase) DatabaseJSON {
 	}
 }
 
+// BatchEventJSON is one QoS event inside POST /v1/devices:decide-batch
+// — the single-event QoSRequest plus the device it addresses. Events
+// for one device decide in batch order; Seq semantics are identical to
+// the single-event path.
+type BatchEventJSON struct {
+	Device string `json:"device"`
+	Seq    uint64 `json:"seq,omitempty"`
+	QoSSpecJSON
+}
+
+// BatchRequestJSON is the body of POST /v1/devices:decide-batch.
+type BatchRequestJSON struct {
+	Events []BatchEventJSON `json:"events"`
+}
+
+// BatchResultJSON is one event's outcome inside a batch response.
+// Exactly one of Decision/Error is set; Status is the HTTP status the
+// same event would have earned on the single-event path (200 carries a
+// decision — possibly replayed or degraded — anything else an error).
+// A failed event never poisons its neighbours.
+type BatchResultJSON struct {
+	Status   int           `json:"status"`
+	Decision *DecisionJSON `json:"decision,omitempty"`
+	Error    string        `json:"error,omitempty"`
+}
+
+// BatchResponseJSON is the body answered by the batch endpoint:
+// Results[i] is Events[i]'s outcome, index-aligned.
+type BatchResponseJSON struct {
+	Results []BatchResultJSON `json:"results"`
+}
+
+// decisionJSONInto is decisionJSON writing into pooled scratch: every
+// field of dj is overwritten (no stale-field leaks) and dj.Plan's
+// backing array is reused. The serialised bytes stay identical to the
+// fresh-allocation path — `plan,omitempty` omits empty and nil slices
+// alike, so plan-less decisions never expose the reused capacity.
+func decisionJSONInto(dj *DecisionJSON, id string, d runtime.Decision) {
+	plan := dj.Plan[:0]
+	for _, a := range d.Plan {
+		plan = append(plan, actionJSON(a))
+	}
+	*dj = DecisionJSON{
+		Device:            id,
+		From:              d.From,
+		To:                d.To,
+		Reconfigured:      d.Reconfigured,
+		Violated:          d.Violated,
+		CostMs:            d.Cost.Total(),
+		BinaryMigrationMs: d.Cost.BinaryMigrationMs,
+		BitstreamMs:       d.Cost.BitstreamMs,
+		MigratedTasks:     d.Cost.MigratedTasks,
+		ReloadedPRRs:      d.Cost.ReloadedPRRs,
+		Plan:              plan,
+	}
+}
+
 // ErrorJSON is the body of every non-2xx response.
 type ErrorJSON struct {
 	Error string `json:"error"`

@@ -1,0 +1,200 @@
+package fleet
+
+// Batched decisions: many QoS events — multiple devices, multiple
+// events per device — scored in one registry call. The point is to
+// amortise the per-request costs of the served path (HTTP round trip,
+// codec, handler allocations) over a run of events: per-device
+// ordering is preserved (events for one device decide in their batch
+// order under a single semaphore acquisition), the exactly-once replay
+// cache applies per event exactly as on the single-event path, and a
+// failed event (unknown device, stale sequence, degraded answer)
+// never poisons its neighbours — every slot carries its own outcome.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"clrdse/internal/obs"
+	"clrdse/internal/runtime"
+)
+
+// BatchEvent is one QoS event inside a batch, addressed to a device.
+type BatchEvent struct {
+	// Device is the registered device ID.
+	Device string
+	// Seq is the device's event sequence number (0 bypasses the
+	// exactly-once replay cache, as on the single-event path).
+	Seq uint64
+	// Spec is the new QoS requirement.
+	Spec runtime.QoSSpec
+}
+
+// BatchOutcome is one event's result: either an outcome (possibly
+// replayed or degraded) or an error (unknown device, stale sequence).
+type BatchOutcome struct {
+	Out DecideOutcome
+	Err error
+}
+
+// batchRun is one device's run of events inside a batch: indices into
+// the events slice, in arrival order.
+type batchRun struct {
+	device string
+	idx    []int
+}
+
+// batchPlan is pooled scratch for DecideBatch's grouping pass.
+type batchPlan struct {
+	runs    []batchRun
+	byDev   map[string]int   // device -> index into runs
+	byShard map[*shard][]int // shard -> indices into runs
+	shards  []*shard         // first-appearance shard order
+	idxPool [][]int          // recycled index slices
+}
+
+var batchPlanPool = sync.Pool{New: func() any {
+	return &batchPlan{
+		byDev:   make(map[string]int),
+		byShard: make(map[*shard][]int),
+	}
+}}
+
+func (p *batchPlan) reset() {
+	for i := range p.runs {
+		p.idxPool = append(p.idxPool, p.runs[i].idx[:0])
+	}
+	p.runs = p.runs[:0]
+	clear(p.byDev)
+	for _, sh := range p.shards {
+		p.idxPool = append(p.idxPool, p.byShard[sh][:0])
+	}
+	// The keys must go too, not just the values: planning treats "key
+	// present" as "shard already in p.shards", so a key surviving from
+	// the previous batch would silently drop this batch's runs for
+	// that shard (they would be appended to a slice nobody executes).
+	clear(p.byShard)
+	p.shards = p.shards[:0]
+}
+
+func (p *batchPlan) newIdx() []int {
+	if n := len(p.idxPool); n > 0 {
+		s := p.idxPool[n-1]
+		p.idxPool = p.idxPool[:n-1]
+		return s
+	}
+	return nil
+}
+
+// DecideBatch reacts to a batch of QoS events, writing one outcome per
+// event into results (len(results) must equal len(events); slots whose
+// Err is already non-nil are skipped — the HTTP layer pre-fills them
+// for events that failed wire validation). Events for one device are
+// decided in batch order under a single semaphore acquisition, so the
+// per-device decision sequence is byte-identical to feeding the same
+// events one at a time. Distinct shards fan out concurrently — one
+// goroutine per shard touched, never one per event.
+func (r *Registry) DecideBatch(ctx context.Context, events []BatchEvent, results []BatchOutcome) {
+	if len(events) == 0 {
+		return
+	}
+	if len(results) != len(events) {
+		panic(fmt.Sprintf("fleet: DecideBatch results len %d != events len %d", len(results), len(events)))
+	}
+	p := batchPlanPool.Get().(*batchPlan)
+	p.reset()
+	for i := range events {
+		if results[i].Err != nil {
+			continue // pre-failed by the caller's validation
+		}
+		ri, ok := p.byDev[events[i].Device]
+		if !ok {
+			sh := r.shardFor(events[i].Device)
+			ri = len(p.runs)
+			p.byDev[events[i].Device] = ri
+			p.runs = append(p.runs, batchRun{device: events[i].Device, idx: p.newIdx()})
+			if _, seen := p.byShard[sh]; !seen {
+				p.shards = append(p.shards, sh)
+				p.byShard[sh] = p.newIdx()
+			}
+			p.byShard[sh] = append(p.byShard[sh], ri)
+		}
+		p.runs[ri].idx = append(p.runs[ri].idx, i)
+	}
+	if len(p.shards) == 0 {
+		// Every event was pre-failed by the caller's validation.
+	} else if len(p.shards) == 1 {
+		// Single lock domain: no fan-out, decide inline.
+		for _, ri := range p.byShard[p.shards[0]] {
+			r.decideRun(ctx, &p.runs[ri], events, results)
+		}
+	} else {
+		// Shard-level fan-out: one goroutine per shard touched keeps
+		// goroutine churn proportional to lock domains, not events.
+		var wg sync.WaitGroup
+		for _, sh := range p.shards {
+			wg.Add(1)
+			go func(runIdx []int) {
+				defer wg.Done()
+				for _, ri := range runIdx {
+					r.decideRun(ctx, &p.runs[ri], events, results)
+				}
+			}(p.byShard[sh])
+		}
+		wg.Wait()
+	}
+	batchPlanPool.Put(p)
+}
+
+// decideRun scores one device's run of events under one semaphore
+// acquisition. Failure modes mirror the single-event path per event:
+// an unknown or exported device answers ErrNoDevice for every slot, an
+// acquire that outlives ctx degrades every slot, and per-event faults
+// (stale sequence, hook faults) land only in their own slot.
+func (r *Registry) decideRun(ctx context.Context, run *batchRun, events []BatchEvent, results []BatchOutcome) {
+	d, err := r.lookup(run.device)
+	if err != nil {
+		for _, i := range run.idx {
+			results[i] = BatchOutcome{Err: err}
+		}
+		return
+	}
+	if err := d.acquire(ctx); err != nil {
+		if d.removed.Load() {
+			nde := fmt.Errorf("%w: %q", ErrNoDevice, d.id)
+			for _, i := range run.idx {
+				results[i] = BatchOutcome{Err: nde}
+			}
+			return
+		}
+		tr := obs.NewTrace(obs.TraceIDFrom(ctx), r.clock)
+		for _, i := range run.idx {
+			tr.Reset()
+			results[i] = BatchOutcome{Out: r.degrade(d, events[i].Seq, tr, err)}
+		}
+		return
+	}
+	if d.removed.Load() {
+		d.release()
+		nde := fmt.Errorf("%w: %q", ErrNoDevice, d.id)
+		for _, i := range run.idx {
+			results[i] = BatchOutcome{Err: nde}
+		}
+		return
+	}
+	// One trace serves the whole run: the journal copies each event's
+	// spans out, so resetting between events is safe, and a per-event
+	// trace allocation would dominate the batch path's alloc budget.
+	tr := obs.NewTrace(obs.TraceIDFrom(ctx), r.clock)
+	for _, i := range run.idx {
+		tr.Reset()
+		start := time.Now()
+		out, err := r.decideLocked(ctx, d, events[i].Seq, events[i].Spec, tr)
+		if err == nil && !out.Replayed && !out.Degraded {
+			r.decisionLat.Observe(time.Since(start).Seconds())
+		}
+		results[i] = BatchOutcome{Out: out, Err: err}
+	}
+	d.release()
+}

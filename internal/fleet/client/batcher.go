@@ -1,0 +1,186 @@
+package client
+
+// Batcher coalesces single QoS events into batch decide calls. Many
+// concurrent submitters (one goroutine per device, typically) feed
+// one batcher; it buffers events per destination node and flushes a
+// batch when either the count threshold or the age threshold of the
+// oldest buffered event is reached. Each submitter blocks only for
+// its own answer, so batching amortises the HTTP round trip and codec
+// work across submitters without serialising them.
+//
+// In cluster mode events are grouped by the owning node (resolved
+// through the client's ring mirror), so every flushed batch is
+// single-hop: the receiving edge re-buckets only when the mirror is
+// stale.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"clrdse/internal/fleet"
+)
+
+// ErrBatcherClosed reports a Submit on a closed batcher.
+var ErrBatcherClosed = errors.New("client: batcher closed")
+
+// defaults for NewBatcher's zero parameters.
+const (
+	defaultBatchSize = 64
+	defaultBatchAge  = 5 * time.Millisecond
+)
+
+// batchAnswer is one submitted event's outcome: its slot of the batch
+// response, or the whole batch's failure.
+type batchAnswer struct {
+	res fleet.BatchResultJSON
+	err error
+}
+
+// batchItem is one buffered event with its submitter's answer channel.
+type batchItem struct {
+	ev fleet.BatchEventJSON
+	ch chan batchAnswer
+}
+
+// batchGroup buffers events bound for one destination base URL.
+type batchGroup struct {
+	base  string
+	items []batchItem
+	// timer fires the age-based flush; flushed tells a stale timer it
+	// lost the race against a count-based flush.
+	timer   *time.Timer
+	flushed bool
+}
+
+// Batcher coalesces events into batch calls; build one with
+// Client.NewBatcher. Safe for concurrent use.
+type Batcher struct {
+	c   *Client
+	max int
+	age time.Duration
+
+	mu     sync.Mutex
+	groups map[string]*batchGroup
+	closed bool
+	wg     sync.WaitGroup // in-flight flushes
+}
+
+// NewBatcher returns a batcher that flushes a destination's buffer at
+// max buffered events, or when its oldest buffered event turns age
+// old, whichever comes first. max <= 0 selects 64 (capped at the
+// server's fleet.MaxBatchEvents); age <= 0 selects 5ms — the age
+// bound must stay positive or a final partial batch would never
+// flush.
+func (c *Client) NewBatcher(max int, age time.Duration) *Batcher {
+	if max <= 0 {
+		max = defaultBatchSize
+	}
+	if max > fleet.MaxBatchEvents {
+		max = fleet.MaxBatchEvents
+	}
+	if age <= 0 {
+		age = defaultBatchAge
+	}
+	return &Batcher{c: c, max: max, age: age, groups: make(map[string]*batchGroup)}
+}
+
+// Submit buffers one event and blocks until its batch is answered,
+// returning this event's slot. A per-event failure is a non-200
+// Status in the result, not an error; the error covers a closed
+// batcher, a cancelled ctx, or the whole batch failing. ctx bounds
+// only this submitter's wait — the batch call itself runs under the
+// client's own attempt deadlines, so one submitter's cancellation
+// never aborts its neighbours' events.
+func (b *Batcher) Submit(ctx context.Context, ev fleet.BatchEventJSON) (*fleet.BatchResultJSON, error) {
+	ch := make(chan batchAnswer, 1)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrBatcherClosed
+	}
+	base := b.c.routeBase(ev.Device)
+	g := b.groups[base]
+	if g == nil {
+		g = &batchGroup{base: base}
+		b.groups[base] = g
+	}
+	g.items = append(g.items, batchItem{ev: ev, ch: ch})
+	if len(g.items) >= b.max {
+		b.flushLocked(g)
+	} else if g.timer == nil {
+		g.timer = time.AfterFunc(b.age, func() { b.flushAged(g) })
+	}
+	b.mu.Unlock()
+	select {
+	case a := <-ch:
+		if a.err != nil {
+			return nil, a.err
+		}
+		return &a.res, nil
+	case <-ctx.Done():
+		// The event is already buffered and will be decided; only this
+		// submitter stops waiting for the answer.
+		return nil, ctx.Err()
+	}
+}
+
+// Close flushes every buffered event and waits for in-flight batches
+// to answer. Further Submits fail with ErrBatcherClosed.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		for _, g := range b.groups {
+			b.flushLocked(g)
+		}
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+}
+
+// flushAged is the timer path: a count-based flush (or Close) may
+// have emptied the group already.
+func (b *Batcher) flushAged(g *batchGroup) {
+	b.mu.Lock()
+	if !g.flushed {
+		b.flushLocked(g)
+	}
+	b.mu.Unlock()
+}
+
+// flushLocked detaches the group and sends its batch on a goroutine.
+// Callers hold b.mu.
+func (b *Batcher) flushLocked(g *batchGroup) {
+	g.flushed = true
+	if g.timer != nil {
+		g.timer.Stop()
+	}
+	delete(b.groups, g.base)
+	if len(g.items) == 0 {
+		return
+	}
+	items := g.items
+	b.wg.Add(1)
+	go b.send(items)
+}
+
+// send runs one batch call and fans its slots back out to the
+// submitters. A whole-batch failure answers every slot with the
+// error.
+func (b *Batcher) send(items []batchItem) {
+	defer b.wg.Done()
+	events := make([]fleet.BatchEventJSON, len(items))
+	for i := range items {
+		events[i] = items[i].ev
+	}
+	results, err := b.c.DecideBatch(context.Background(), events)
+	for i := range items {
+		if err != nil {
+			items[i].ch <- batchAnswer{err: err}
+		} else {
+			items[i].ch <- batchAnswer{res: results[i]}
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package client
+
+// Batch client tests: DecideBatch must answer exactly what the
+// single-event path answers (over JSON and the binary codec alike),
+// and the Batcher must coalesce concurrent submitters into few
+// requests while handing each submitter exactly its own slot.
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clrdse/internal/fleet"
+	"clrdse/internal/fleet/fleettest"
+)
+
+// newBatchServer boots a fleet server and returns its base URL plus a
+// counter of batch-endpoint requests served.
+func newBatchServer(t *testing.T) (string, *atomic.Int64) {
+	t.Helper()
+	srv, err := fleet.NewServer(fleet.ServerConfig{
+		Databases: fleettest.Databases(t),
+		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batches atomic.Int64
+	h := srv.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, ":decide-batch") {
+			batches.Add(1)
+		}
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts.URL, &batches
+}
+
+// registerBatchDevices registers n devices against the first database
+// and returns their IDs together with a loose (always satisfiable)
+// specification.
+func registerBatchDevices(t *testing.T, c *Client, n int) ([]string, fleet.QoSSpecJSON) {
+	t.Helper()
+	db := fleettest.Databases(t)[0]
+	loose := fleettest.LooseSpec(db.DB)
+	looseJ := fleet.QoSSpecJSON{SMaxMs: loose.SMaxMs, FMin: loose.FMin}
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = "bc-" + string(rune('a'+i))
+		req := fleet.RegisterRequest{
+			ID: ids[i], Database: db.Name, PRC: 0.5,
+			Trigger: "on-violation", Initial: looseJ,
+		}
+		if _, err := c.Register(context.Background(), req); err != nil {
+			t.Fatalf("registering %s: %v", ids[i], err)
+		}
+	}
+	return ids, looseJ
+}
+
+// TestClientDecideBatch drives the same mixed batch — fresh decisions,
+// a replay, a stale sequence, a ghost device — through a JSON client
+// and a binary client against identical servers, and expects identical
+// per-slot results.
+func TestClientDecideBatch(t *testing.T) {
+	run := func(t *testing.T, binary bool) []fleet.BatchResultJSON {
+		base, _ := newBatchServer(t)
+		c := New(Config{BaseURL: base, Binary: binary, JitterSeed: 3})
+		ids, looseJ := registerBatchDevices(t, c, 2)
+		events := []fleet.BatchEventJSON{
+			{Device: ids[0], Seq: 1, QoSSpecJSON: looseJ},
+			{Device: ids[1], Seq: 1, QoSSpecJSON: looseJ},
+			{Device: ids[0], Seq: 2, QoSSpecJSON: looseJ},
+			{Device: ids[0], Seq: 2, QoSSpecJSON: looseJ}, // replay
+			{Device: ids[1], Seq: 0, QoSSpecJSON: looseJ}, // seq 0: no replay cache
+			{Device: "ghost", Seq: 1, QoSSpecJSON: looseJ},
+		}
+		results, err := c.DecideBatch(context.Background(), events)
+		if err != nil {
+			t.Fatalf("DecideBatch(binary=%v): %v", binary, err)
+		}
+		if len(results) != len(events) {
+			t.Fatalf("got %d results for %d events", len(results), len(events))
+		}
+		for i := 0; i < 5; i++ {
+			if results[i].Status != http.StatusOK || results[i].Decision == nil {
+				t.Errorf("slot %d: %+v, want a 200 decision", i, results[i])
+			}
+		}
+		// Slot 3 replays slot 2's event: the cached answer must be
+		// identical to the original.
+		if !reflect.DeepEqual(results[3].Decision, results[2].Decision) {
+			t.Errorf("replay slot diverged:\n got %+v\nwant %+v", results[3].Decision, results[2].Decision)
+		}
+		if results[5].Status != http.StatusNotFound {
+			t.Errorf("ghost slot: status %d, want 404", results[5].Status)
+		}
+		// A stale sequence after the replay-capable events.
+		stale, err := c.DecideBatch(context.Background(), []fleet.BatchEventJSON{
+			{Device: ids[0], Seq: 1, QoSSpecJSON: looseJ},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stale[0].Status != http.StatusConflict {
+			t.Errorf("stale slot: status %d, want 409", stale[0].Status)
+		}
+		return results
+	}
+	jsonRes := run(t, false)
+	binRes := run(t, true)
+	if !reflect.DeepEqual(jsonRes, binRes) {
+		t.Fatalf("binary batch diverged from JSON:\n got %+v\nwant %+v", binRes, jsonRes)
+	}
+}
+
+// TestBatcherCoalesces: submitters filling a batch share one HTTP
+// request, each receiving exactly its own slot.
+func TestBatcherCoalesces(t *testing.T) {
+	base, batches := newBatchServer(t)
+	c := New(Config{BaseURL: base, JitterSeed: 5})
+	ids, looseJ := registerBatchDevices(t, c, 4)
+
+	// Age far beyond the test: only the count threshold may flush.
+	b := c.NewBatcher(len(ids), time.Minute)
+	var wg sync.WaitGroup
+	slots := make([]*fleet.BatchResultJSON, len(ids))
+	errs := make([]error, len(ids))
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			slots[i], errs[i] = b.Submit(context.Background(),
+				fleet.BatchEventJSON{Device: id, Seq: 1, QoSSpecJSON: looseJ})
+		}(i, id)
+	}
+	wg.Wait()
+	for i := range slots {
+		if errs[i] != nil {
+			t.Fatalf("submit %d: %v", i, errs[i])
+		}
+		if slots[i].Status != http.StatusOK || slots[i].Decision == nil {
+			t.Fatalf("submit %d: %+v, want a 200 decision", i, slots[i])
+		}
+		if slots[i].Decision.Device != ids[i] {
+			t.Errorf("submit %d answered device %q, want %q", i, slots[i].Decision.Device, ids[i])
+		}
+	}
+	if n := batches.Load(); n != 1 {
+		t.Fatalf("%d batch requests for %d coalesced submits, want 1", n, len(ids))
+	}
+	b.Close()
+}
+
+// TestBatcherAgeFlush: a lone event must not wait for the batch to
+// fill — the age bound flushes it.
+func TestBatcherAgeFlush(t *testing.T) {
+	base, batches := newBatchServer(t)
+	c := New(Config{BaseURL: base, JitterSeed: 7})
+	ids, looseJ := registerBatchDevices(t, c, 1)
+
+	b := c.NewBatcher(1000, 5*time.Millisecond)
+	defer b.Close()
+	slot, err := b.Submit(context.Background(),
+		fleet.BatchEventJSON{Device: ids[0], Seq: 1, QoSSpecJSON: looseJ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slot.Status != http.StatusOK || slot.Decision == nil {
+		t.Fatalf("aged slot: %+v, want a 200 decision", slot)
+	}
+	if n := batches.Load(); n != 1 {
+		t.Fatalf("%d batch requests, want 1", n)
+	}
+}
+
+// TestBatcherClose: Close flushes a buffered partial batch, and later
+// Submits fail fast with ErrBatcherClosed.
+func TestBatcherClose(t *testing.T) {
+	base, _ := newBatchServer(t)
+	c := New(Config{BaseURL: base, JitterSeed: 9})
+	ids, looseJ := registerBatchDevices(t, c, 1)
+
+	// Neither threshold can fire during the test: only Close flushes.
+	b := c.NewBatcher(1000, time.Hour)
+	done := make(chan error, 1)
+	go func() {
+		slot, err := b.Submit(context.Background(),
+			fleet.BatchEventJSON{Device: ids[0], Seq: 1, QoSSpecJSON: looseJ})
+		if err == nil && (slot.Status != http.StatusOK || slot.Decision == nil) {
+			err = &APIError{Status: slot.Status, Message: slot.Error}
+		}
+		done <- err
+	}()
+	// Wait for the submit to be buffered before closing.
+	for {
+		b.mu.Lock()
+		buffered := len(b.groups) > 0
+		b.mu.Unlock()
+		if buffered {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("submit flushed by Close: %v", err)
+	}
+	if _, err := b.Submit(context.Background(), fleet.BatchEventJSON{Device: ids[0], Seq: 2, QoSSpecJSON: looseJ}); err != ErrBatcherClosed {
+		t.Fatalf("submit after Close: %v, want ErrBatcherClosed", err)
+	}
+}

@@ -90,6 +90,10 @@ type Config struct {
 	// the client re-sends the same sequence number, betting the fault
 	// is transient. Off, a degraded decision is a valid answer.
 	RetryDegraded bool
+	// Binary puts batch calls on the compact binary codec
+	// (application/x-clr-bin) instead of JSON. The results are
+	// identical; only the wire bytes change.
+	Binary bool
 }
 
 // Stats counts the client's resilience activity.
@@ -118,6 +122,7 @@ type Client struct {
 	attemptTO   time.Duration
 	backoff     Backoff
 	retryDeg    bool
+	binary      bool
 
 	jmu sync.Mutex
 	src *rng.Source
@@ -155,7 +160,7 @@ type Client struct {
 
 // endpoints are the breaker domains: one wedged endpoint must not trip
 // the others.
-var endpoints = []string{"register", "qos", "device", "databases", "deregister"}
+var endpoints = []string{"register", "qos", "batch", "device", "databases", "deregister"}
 
 // New builds a client for the configuration.
 func New(cfg Config) *Client {
@@ -169,6 +174,7 @@ func New(cfg Config) *Client {
 		attemptTO:   cfg.AttemptTimeout,
 		backoff:     cfg.Backoff,
 		retryDeg:    cfg.RetryDegraded,
+		binary:      cfg.Binary,
 		src:         rng.New(cfg.JitterSeed),
 		minter:      obs.NewMinter(cfg.JitterSeed),
 		breakers:    make(map[string]*Breaker, len(endpoints)),
@@ -223,9 +229,9 @@ func (c *Client) Stats() Stats {
 	return s
 }
 
-// Breaker exposes an endpoint's breaker ("register", "qos", "device",
-// "databases", "deregister") at the default target. Cluster mode
-// keys breakers per node; use BreakerAt for a specific one.
+// Breaker exposes an endpoint's breaker ("register", "qos", "batch",
+// "device", "databases", "deregister") at the default target. Cluster
+// mode keys breakers per node; use BreakerAt for a specific one.
 func (c *Client) Breaker(endpoint string) *Breaker { return c.breakerFor(endpoint, c.base) }
 
 // BreakerAt exposes the breaker for an endpoint at one node's base URL.
@@ -370,11 +376,67 @@ func retryable(err error) bool {
 	return true // transport, decode, breaker, degraded
 }
 
-// do runs one API call with retries, backoff, per-attempt deadlines
-// and the (endpoint, node) breaker. deviceID, when non-empty, routes
-// the call through the ring mirror to the owning node. accept, when
-// non-nil, validates the decoded response; its error counts as a
-// retryable failure.
+// call is one logical API call for doCall: a pre-encoded payload with
+// its content type, retry/redirect routing parameters, and hooks for
+// decoding and validating the response.
+type call struct {
+	endpoint string
+	method   string
+	path     string
+	// deviceID, when non-empty, routes the call through the ring
+	// mirror to the owning node.
+	deviceID string
+	// contentType labels payload; empty with a nil payload.
+	contentType string
+	payload     []byte
+	wantStatus  int
+	// handle decodes a successful response body. It runs once per
+	// attempt, so it must overwrite its target, never merge into it;
+	// its error is a retryable failure (the decision may have been
+	// made server-side — the retry answers from the replay cache).
+	handle func(data []byte) error
+	// accept validates the decoded response; its error counts as a
+	// retryable failure.
+	accept func() error
+}
+
+// do runs one JSON API call: body is marshalled, a successful response
+// is unmarshalled into out (out is zeroed per attempt so a field an
+// earlier attempt decoded cannot leak through an omitted key). The
+// retry/redirect/breaker machinery lives in doCall.
+func (c *Client) do(ctx context.Context, endpoint, method, path, deviceID string, body, out any, wantStatus int, accept func() error) error {
+	cl := call{
+		endpoint:   endpoint,
+		method:     method,
+		path:       path,
+		deviceID:   deviceID,
+		wantStatus: wantStatus,
+		accept:     accept,
+	}
+	if body != nil {
+		var err error
+		if cl.payload, err = json.Marshal(body); err != nil {
+			return err
+		}
+		cl.contentType = "application/json"
+	}
+	if out != nil {
+		cl.handle = func(data []byte) error {
+			// out is shared across attempts; zero it first so a field an
+			// earlier attempt decoded (e.g. degraded=true) cannot leak
+			// into this attempt's answer through an omitted JSON key.
+			reflect.ValueOf(out).Elem().SetZero()
+			if err := json.Unmarshal(data, out); err != nil {
+				return fmt.Errorf("client: decoding response: %w", err)
+			}
+			return nil
+		}
+	}
+	return c.doCall(ctx, &cl)
+}
+
+// doCall runs one API call with retries, backoff, per-attempt
+// deadlines and the (endpoint, node) breaker.
 //
 // A 307 + X-Clr-Redirect answer is neither a retry nor a breaker
 // failure: the redirecting node is healthy, it just no longer owns
@@ -389,17 +451,10 @@ func retryable(err error) bool {
 // answer) under one ID. A context without a trace makes this call the
 // trace edge, so minting here is the root, not a mid-stack re-mint
 // (tracectx's adopt-first rule: TraceIDFrom before Mint).
-func (c *Client) do(ctx context.Context, endpoint, method, path, deviceID string, body, out any, wantStatus int, accept func() error) error {
+func (c *Client) doCall(ctx context.Context, cl *call) error {
 	trace := obs.TraceIDFrom(ctx)
 	if trace == "" {
 		trace = c.minter.Mint()
-	}
-	var payload []byte
-	if body != nil {
-		var err error
-		if payload, err = json.Marshal(body); err != nil {
-			return err
-		}
 	}
 	var lastErr error
 	for attempt := 0; attempt < c.maxAttempts; attempt++ {
@@ -409,32 +464,32 @@ func (c *Client) do(ctx context.Context, endpoint, method, path, deviceID string
 			select {
 			case <-time.After(delay):
 			case <-ctx.Done():
-				return fmt.Errorf("client: %s: %w (last error: %v)", endpoint, ctx.Err(), lastErr)
+				return fmt.Errorf("client: %s: %w (last error: %v)", cl.endpoint, ctx.Err(), lastErr)
 			}
 			// A failed attempt in cluster mode often means the route is
 			// stale (the owner died or the device moved); refetch the
 			// ring so this retry resolves against live membership.
-			if len(c.targets) > 0 && deviceID != "" {
+			if len(c.targets) > 0 && cl.deviceID != "" {
 				_ = c.RefreshRing(ctx)
 			}
 		}
 		// Resolve per attempt: a redirect on the previous attempt (or a
 		// concurrent call's) may have moved the device's route.
-		base := c.routeBase(deviceID)
+		base := c.routeBase(cl.deviceID)
 		var err error
 		for hop := 0; ; hop++ {
-			err = c.attempt(ctx, c.breakerFor(endpoint, base), trace, method, base+path, payload, out, wantStatus, accept)
+			err = c.attempt(ctx, c.breakerFor(cl.endpoint, base), trace, base, cl)
 			var rd *redirectError
 			if !errors.As(err, &rd) {
 				break
 			}
 			if hop >= maxRedirects {
-				err = fmt.Errorf("client: %s: %d redirects without an owner settling", endpoint, hop+1)
+				err = fmt.Errorf("client: %s: %d redirects without an owner settling", cl.endpoint, hop+1)
 				break
 			}
 			c.redirects.Add(1)
 			base = rd.target
-			c.noteRedirect(ctx, deviceID, rd.target)
+			c.noteRedirect(ctx, cl.deviceID, rd.target)
 		}
 		if err == nil {
 			return nil
@@ -444,11 +499,11 @@ func (c *Client) do(ctx context.Context, endpoint, method, path, deviceID string
 			return err
 		}
 	}
-	return fmt.Errorf("client: %s: %d attempts exhausted: %w", endpoint, c.maxAttempts, lastErr)
+	return fmt.Errorf("client: %s: %d attempts exhausted: %w", cl.endpoint, c.maxAttempts, lastErr)
 }
 
 // attempt is one try of a call, stamped with the call's trace ID.
-func (c *Client) attempt(ctx context.Context, br *Breaker, trace obs.TraceID, method, url string, payload []byte, out any, wantStatus int, accept func() error) error {
+func (c *Client) attempt(ctx context.Context, br *Breaker, trace obs.TraceID, base string, cl *call) error {
 	if !br.Allow() {
 		c.rejects.Add(1)
 		return ErrBreakerOpen
@@ -456,16 +511,16 @@ func (c *Client) attempt(ctx context.Context, br *Breaker, trace obs.TraceID, me
 	actx, cancel := context.WithTimeout(ctx, c.attemptTO)
 	defer cancel()
 	var rd io.Reader
-	if payload != nil {
-		rd = bytes.NewReader(payload)
+	if cl.payload != nil {
+		rd = bytes.NewReader(cl.payload)
 	}
-	req, err := http.NewRequestWithContext(actx, method, url, rd)
+	req, err := http.NewRequestWithContext(actx, cl.method, base+cl.path, rd)
 	if err != nil {
 		br.Failure()
 		return err
 	}
-	if payload != nil {
-		req.Header.Set("Content-Type", "application/json")
+	if cl.contentType != "" {
+		req.Header.Set("Content-Type", cl.contentType)
 	}
 	req.Header.Set(obs.TraceHeader, string(trace))
 	resp, err := c.http.Do(req)
@@ -487,7 +542,7 @@ func (c *Client) attempt(ctx context.Context, br *Breaker, trace obs.TraceID, me
 			return &redirectError{target: strings.TrimRight(tgt, "/")}
 		}
 	}
-	if resp.StatusCode != wantStatus {
+	if resp.StatusCode != cl.wantStatus {
 		var apiErr fleet.ErrorJSON
 		_ = json.Unmarshal(data, &apiErr)
 		err := &APIError{Status: resp.StatusCode, Message: apiErr.Error}
@@ -500,21 +555,17 @@ func (c *Client) attempt(ctx context.Context, br *Breaker, trace obs.TraceID, me
 		}
 		return err
 	}
-	if out != nil {
-		// out is shared across attempts; zero it first so a field an
-		// earlier attempt decoded (e.g. degraded=true) cannot leak into
-		// this attempt's answer through an omitted JSON key.
-		reflect.ValueOf(out).Elem().SetZero()
-		if err := json.Unmarshal(data, out); err != nil {
+	if cl.handle != nil {
+		if err := cl.handle(data); err != nil {
 			// Truncated or mangled body: the decision may have been
 			// made server-side; the retry is answered from the replay
 			// cache, so re-sending is safe.
 			br.Failure()
-			return fmt.Errorf("client: decoding response: %w", err)
+			return err
 		}
 	}
-	if accept != nil {
-		if err := accept(); err != nil {
+	if cl.accept != nil {
+		if err := cl.accept(); err != nil {
 			br.Failure()
 			return err
 		}
@@ -604,4 +655,87 @@ func (c *Client) Databases(ctx context.Context) ([]fleet.DatabaseJSON, error) {
 // Deregister removes a device.
 func (c *Client) Deregister(ctx context.Context, id string) error {
 	return c.do(ctx, "deregister", http.MethodDelete, "/v1/devices/"+id, id, nil, nil, http.StatusNoContent, nil)
+}
+
+// payloadPool recycles batch payload buffers: a steady submitter
+// re-encodes each flush into the same backing array instead of
+// allocating a fresh request body per batch.
+var payloadPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// sliceWriter appends into a caller-owned byte slice, letting
+// json.Encoder reuse pooled capacity.
+type sliceWriter struct{ b *[]byte }
+
+func (w sliceWriter) Write(p []byte) (int, error) {
+	*w.b = append(*w.b, p...)
+	return len(p), nil
+}
+
+// DecideBatch submits many QoS events — possibly for many devices —
+// in one request and returns the per-event results, index-aligned
+// with events. A per-event failure (unknown device, stale sequence)
+// lands in its own slot's Status/Error; the returned error covers
+// only whole-call failures (transport, breaker, non-200 answer).
+// Retries re-send the entire batch: each event's Seq rides the
+// server's exactly-once replay cache, so a re-sent batch answers
+// identically. With Config.Binary the batch travels on the compact
+// binary codec; the results are the same either way.
+//
+// In cluster mode the call routes to the node owning the first
+// event's device; a mixed-owner batch is re-bucketed by that node's
+// edge, so grouping events per owner (as Batcher does) keeps the
+// whole batch single-hop.
+func (c *Client) DecideBatch(ctx context.Context, events []fleet.BatchEventJSON) ([]fleet.BatchResultJSON, error) {
+	if len(events) == 0 {
+		return nil, nil
+	}
+	buf := payloadPool.Get().(*[]byte)
+	cl := call{
+		endpoint:   "batch",
+		method:     http.MethodPost,
+		path:       "/v1/devices:decide-batch",
+		deviceID:   events[0].Device,
+		wantStatus: http.StatusOK,
+	}
+	if c.binary {
+		cl.contentType = fleet.BinContentType
+		var err error
+		if cl.payload, err = fleet.AppendBatchRequest((*buf)[:0], events); err != nil {
+			payloadPool.Put(buf)
+			return nil, err
+		}
+	} else {
+		cl.contentType = "application/json"
+		cl.payload = (*buf)[:0]
+		if err := json.NewEncoder(sliceWriter{&cl.payload}).Encode(fleet.BatchRequestJSON{Events: events}); err != nil {
+			payloadPool.Put(buf)
+			return nil, err
+		}
+	}
+	var results []fleet.BatchResultJSON
+	cl.handle = func(data []byte) error {
+		var err error
+		if c.binary {
+			results, err = fleet.DecodeBatchResponse(data, results[:0])
+		} else {
+			var br fleet.BatchResponseJSON
+			if err = json.Unmarshal(data, &br); err == nil {
+				results = br.Results
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("client: decoding batch response: %w", err)
+		}
+		if len(results) != len(events) {
+			return fmt.Errorf("client: batch answered %d results for %d events", len(results), len(events))
+		}
+		return nil
+	}
+	err := c.doCall(ctx, &cl)
+	*buf = cl.payload[:0]
+	payloadPool.Put(buf)
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
 }

@@ -58,6 +58,17 @@ type LoadParams struct {
 	// Client is nil (0 selects the client defaults).
 	MaxAttempts    int
 	AttemptTimeout time.Duration
+	// Batch, when positive, coalesces events from all devices into
+	// batch decide calls of up to this size (one shared Batcher); 0
+	// keeps the single-event path.
+	Batch int
+	// BatchAge bounds how long a buffered event waits for its batch
+	// to fill (0 selects the Batcher default, 5ms). Only meaningful
+	// with Batch > 0.
+	BatchAge time.Duration
+	// Binary puts batch calls on the compact binary codec instead of
+	// JSON (ignored when Client is set — configure it there).
+	Binary bool
 }
 
 // LoadReport summarises one run.
@@ -134,6 +145,7 @@ func RunLoad(p LoadParams) (*LoadReport, error) {
 			MaxAttempts:    p.MaxAttempts,
 			AttemptTimeout: p.AttemptTimeout,
 			JitterSeed:     p.Seed,
+			Binary:         p.Binary,
 		})
 	}
 	ctx := context.Background()
@@ -185,6 +197,13 @@ func RunLoad(p LoadParams) (*LoadReport, error) {
 		}
 	}
 
+	// With batching on, every device feeds one shared Batcher: batches
+	// fill across devices, so the amortisation grows with concurrency.
+	var batcher *Batcher
+	if p.Batch > 0 {
+		batcher = c.NewBatcher(p.Batch, p.BatchAge)
+	}
+
 	type workerResult struct {
 		latencies                       []time.Duration
 		errors                          int
@@ -207,9 +226,23 @@ func RunLoad(p LoadParams) (*LoadReport, error) {
 					time.Sleep(time.Duration(src.Exponential(p.MeanInterArrivalMs) * float64(time.Millisecond)))
 				}
 				spec := stream.Next(src)
+				specJ := fleet.QoSSpecJSON{SMaxMs: spec.SMaxMs, FMin: spec.FMin}
 				t0 := time.Now()
-				dec, err := c.QoS(ctx, id, uint64(i+1),
-					fleet.QoSSpecJSON{SMaxMs: spec.SMaxMs, FMin: spec.FMin})
+				var dec *fleet.DecisionJSON
+				var err error
+				if batcher != nil {
+					var slot *fleet.BatchResultJSON
+					slot, err = batcher.Submit(ctx, fleet.BatchEventJSON{Device: id, Seq: uint64(i + 1), QoSSpecJSON: specJ})
+					if err == nil {
+						if slot.Status != http.StatusOK || slot.Decision == nil {
+							err = &APIError{Status: slot.Status, Message: slot.Error}
+						} else {
+							dec = slot.Decision
+						}
+					}
+				} else {
+					dec, err = c.QoS(ctx, id, uint64(i+1), specJ)
+				}
 				res.latencies = append(res.latencies, time.Since(t0))
 				if err != nil {
 					res.errors++
@@ -229,6 +262,11 @@ func RunLoad(p LoadParams) (*LoadReport, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	if batcher != nil {
+		// Submits are synchronous, so every batch has answered; this
+		// just retires the batcher's bookkeeping.
+		batcher.Close()
+	}
 
 	cs := c.Stats()
 	report := &LoadReport{Devices: p.Devices, Duration: elapsed, Retries: cs.Retries, Redirects: cs.Redirects}

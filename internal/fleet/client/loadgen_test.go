@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"clrdse/internal/fleet"
 	"clrdse/internal/fleet/client"
@@ -63,6 +64,67 @@ func TestLoadgenDrivesMetrics(t *testing.T) {
 		"clr_fleet_decisions_total 90",
 		"clr_fleet_devices 6",
 		"clr_fleet_registrations_total 6",
+		"clr_fleet_degraded_decisions_total 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestLoadgenBatched runs the load generator in batched binary mode:
+// every event must still land as exactly one decision on the server,
+// errors stay zero, and the latency report stays plausible.
+func TestLoadgenBatched(t *testing.T) {
+	srv, err := fleet.NewServer(fleet.ServerConfig{
+		Databases: fleettest.Databases(t),
+		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const devices, events = 8, 12
+	report, err := client.RunLoad(client.LoadParams{
+		BaseURL:         ts.URL,
+		Devices:         devices,
+		EventsPerDevice: events,
+		Database:        "red",
+		PRC:             0.5,
+		Seed:            13,
+		DevicePrefix:    "lb",
+		Batch:           devices, // fills when all devices are in flight
+		BatchAge:        2 * time.Millisecond,
+		Binary:          true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Events != devices*events {
+		t.Fatalf("report.Events = %d, want %d", report.Events, devices*events)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("report.Errors = %d, want 0", report.Errors)
+	}
+	if report.Throughput <= 0 || report.P50 <= 0 || report.Max < report.P99 {
+		t.Fatalf("implausible latency report: %+v", report)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(body)
+	for _, want := range []string{
+		"clr_fleet_decisions_total 96",
+		"clr_fleet_devices 8",
 		"clr_fleet_degraded_decisions_total 0",
 	} {
 		if !strings.Contains(metrics, want) {

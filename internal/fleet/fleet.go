@@ -183,6 +183,11 @@ type device struct {
 	stats  DeviceStats
 	regAt  time.Time
 
+	// plabels is the pprof label set stamped on this device's decide
+	// calls, built once at construction: pprof.Labels allocates, and
+	// the decide path runs per event.
+	plabels pprof.LabelSet
+
 	// Replay cache: the last decided sequence number and its decision.
 	// Retries of an event reuse its sequence number and are answered
 	// from here, so at-least-once delivery yields exactly-once
@@ -404,6 +409,7 @@ func (r *Registry) Register(p DeviceParams) (*DeviceInfo, error) {
 	d := &device{
 		sem: make(chan struct{}, 1),
 		id:  p.ID, dbName: p.Database, db: db, mgr: mgr, params: p, regAt: time.Now(),
+		plabels: pprof.Labels("device", p.ID, "stage", "decide"),
 	}
 
 	sh := r.shardFor(p.ID)
@@ -509,32 +515,41 @@ func (r *Registry) decideOn(ctx context.Context, d *device, seq uint64, spec run
 		d.release()
 		return DecideOutcome{}, fmt.Errorf("%w: %q", ErrNoDevice, d.id)
 	}
+	out, err := r.decideLocked(ctx, d, seq, spec, tr)
+	d.release()
+	if err == nil && !out.Replayed && !out.Degraded {
+		r.decisionLat.Observe(time.Since(start).Seconds())
+	}
+	return out, err
+}
+
+// decideLocked is the decision core shared by the single-event path
+// (decideOn) and the batch path (decideRun). The caller holds the
+// device semaphore — and has already ruled out the removal tombstone,
+// which cannot flip while the semaphore is held (ExportRemove sets it
+// under the same semaphore) — so one acquisition can serve a whole run
+// of events for the device. It never releases the semaphore.
+func (r *Registry) decideLocked(ctx context.Context, d *device, seq uint64, spec runtime.QoSSpec, tr *obs.Trace) (DecideOutcome, error) {
 	if seq > 0 && d.haveLast {
 		if seq == d.lastSeq {
-			dec := d.lastDec
 			d.stats.Replays++
-			d.release()
 			r.replays.Inc()
-			return DecideOutcome{Decision: dec, Replayed: true}, nil
+			return DecideOutcome{Decision: d.lastDec, Replayed: true}, nil
 		}
 		if seq < d.lastSeq {
-			last := d.lastSeq
-			d.release()
-			return DecideOutcome{}, fmt.Errorf("%w: seq %d behind %d", ErrStaleSeq, seq, last)
+			return DecideOutcome{}, fmt.Errorf("%w: seq %d behind %d", ErrStaleSeq, seq, d.lastSeq)
 		}
 	}
 	if r.hook != nil {
 		if err := r.hook(ctx, d.id, seq); err != nil {
-			out := r.degrade(d, seq, tr, err)
-			d.release()
-			return out, nil
+			return r.degrade(d, seq, tr, err), nil
 		}
 	}
 	var dec runtime.Decision
 	var detail runtime.DecisionDetail
 	// pprof labels attribute CPU samples under the decide path to the
 	// device and stage, so a fleet-wide profile decomposes per device.
-	pprof.Do(ctx, pprof.Labels("device", d.id, "stage", "decide"), func(context.Context) {
+	pprof.Do(ctx, d.plabels, func(context.Context) {
 		dec, detail = d.mgr.OnQoSChangeObserved(spec, tr)
 	})
 	d.stats.Decisions++
@@ -549,7 +564,7 @@ func (r *Registry) decideOn(ctx context.Context, d *device, seq uint64, spec run
 	if seq > 0 {
 		d.lastSeq, d.lastDec, d.haveLast = seq, dec, true
 	}
-	// Journal before releasing the device semaphore: a handoff export
+	// Journal before the semaphore is released: a handoff export
 	// acquires the semaphore to snapshot, and must see the replay cache
 	// and the journal entry of the same decision together (the append
 	// itself is lock-free, so the hold grows by well under a
@@ -561,8 +576,6 @@ func (r *Registry) decideOn(ctx context.Context, d *device, seq uint64, spec run
 	if d.degraded.CompareAndSwap(true, false) {
 		r.degradedDev.Add(-1)
 	}
-	d.release()
-	r.decisionLat.Observe(time.Since(start).Seconds())
 	r.decisions.Inc()
 	if dec.Reconfigured {
 		r.reconfigs.Inc()

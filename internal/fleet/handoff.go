@@ -12,6 +12,7 @@ package fleet
 
 import (
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -193,9 +194,10 @@ func (r *Registry) ImportDevice(st *DeviceState) error {
 	d := &device{
 		sem: make(chan struct{}, 1),
 		id:  p.ID, dbName: p.Database, db: db, mgr: mgr,
-		params: p,
-		stats:  st.Stats,
-		regAt:  st.RegisteredAt,
+		params:  p,
+		stats:   st.Stats,
+		regAt:   st.RegisteredAt,
+		plabels: pprof.Labels("device", p.ID, "stage", "decide"),
 	}
 	d.lastSeq, d.haveLast = st.LastSeq, st.HaveLast
 	if st.LastDec != nil {

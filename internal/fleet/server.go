@@ -8,14 +8,18 @@ package fleet
 // and graceful drain on shutdown.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -70,6 +74,8 @@ type Server struct {
 	handler   http.Handler
 	httpSrv   *http.Server
 	reqCount  map[string]*metrics.Counter
+
+	batchEvents *metrics.Counter
 }
 
 // NewServer validates the configuration (including every database)
@@ -140,8 +146,14 @@ func (s *Server) buildMux() http.Handler {
 		s.reqCount[name] = c
 		mux.Handle(pattern, s.wrap(name, c, h))
 	}
+	s.batchEvents = s.reg.met.Counter("clr_fleet_batch_events_total",
+		"QoS events received via the batch decide endpoint.")
 	route("POST /v1/devices", "register", s.handleRegister)
 	route("POST /v1/devices/{id}/qos", "qos", s.handleQoS)
+	// ":" is a literal in ServeMux patterns, so the AIP-style custom
+	// verb is just a distinct path — it can never collide with a
+	// device ID, whose routes all live under the "/v1/devices/" tree.
+	route("POST /v1/devices:decide-batch", "decide_batch", s.handleDecideBatch)
 	route("GET /v1/devices/{id}", "get_device", s.handleGetDevice)
 	route("DELETE /v1/devices/{id}", "delete_device", s.handleDeleteDevice)
 	route("GET /v1/databases", "databases", s.handleDatabases)
@@ -195,34 +207,71 @@ func (s *Server) wrap(name string, c *metrics.Counter, h http.HandlerFunc) http.
 	})
 }
 
-// writeJSON renders a response body with the given status.
+// jsonBuf is pooled response-encoding scratch: the encoder is bound to
+// the buffer once, so a response costs zero encoder allocations and
+// ships with an exact Content-Length.
+type jsonBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonBufPool = sync.Pool{New: func() any {
+	jb := &jsonBuf{}
+	jb.enc = json.NewEncoder(&jb.buf)
+	return jb
+}}
+
+// writeJSON renders a response body with the given status. The bytes
+// are identical to a plain json.NewEncoder(w).Encode(v) — the pooled
+// buffer only changes where they are staged.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	jb := jsonBufPool.Get().(*jsonBuf)
+	jb.buf.Reset()
+	if err := jb.enc.Encode(v); err != nil {
+		jsonBufPool.Put(jb)
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(jb.buf.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(jb.buf.Bytes())
+	jsonBufPool.Put(jb)
+}
+
+// statusFor maps registry and validation errors onto status codes —
+// shared by whole-request errors (writeError) and the batch endpoint's
+// per-event results.
+func statusFor(err error) int {
+	var maxBytes *http.MaxBytesError
+	switch {
+	case errors.Is(err, ErrNoDevice), errors.Is(err, ErrNoDatabase):
+		return http.StatusNotFound
+	case errors.Is(err, ErrDeviceExists), errors.Is(err, ErrStaleSeq):
+		return http.StatusConflict
+	case errors.As(err, &maxBytes):
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // writeError maps registry and validation errors onto status codes.
 func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusBadRequest
-	var maxBytes *http.MaxBytesError
-	switch {
-	case errors.Is(err, ErrNoDevice), errors.Is(err, ErrNoDatabase):
-		status = http.StatusNotFound
-	case errors.Is(err, ErrDeviceExists), errors.Is(err, ErrStaleSeq):
-		status = http.StatusConflict
-	case errors.As(err, &maxBytes):
-		status = http.StatusRequestEntityTooLarge
-	}
-	writeJSON(w, status, ErrorJSON{Error: err.Error()})
+	writeJSON(w, statusFor(err), ErrorJSON{Error: err.Error()})
 }
 
-// decodeJSON strictly parses a request body into v.
+// decodeJSON strictly parses a request body into v: unknown fields and
+// trailing data after the first JSON value are both rejected (a body
+// like `{...}{...}` or `{...}]` used to be silently accepted up to the
+// first value).
 func decodeJSON(r *http.Request, v any) error {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("invalid request body: %w", err)
+	}
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		return fmt.Errorf("invalid request body: trailing data after JSON value")
 	}
 	return nil
 }
@@ -246,28 +295,165 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, deviceJSON(info))
 }
 
+// qosScratch is pooled per-request state for the single-event decide
+// path: the decode target and the response struct (whose Plan slice
+// keeps its capacity across requests). Pool-reset rule: the decode
+// target is zeroed before Decode (stale fields from the previous
+// request must not leak into one that omits them), and the response
+// struct is fully overwritten by decisionJSONInto.
+type qosScratch struct {
+	req QoSRequest
+	dj  DecisionJSON
+}
+
+var qosScratchPool = sync.Pool{New: func() any { return new(qosScratch) }}
+
 func (s *Server) handleQoS(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	var req QoSRequest
-	if err := decodeJSON(r, &req); err != nil {
+	qs := qosScratchPool.Get().(*qosScratch)
+	defer qosScratchPool.Put(qs)
+	qs.req = QoSRequest{}
+	if err := decodeJSON(r, &qs.req); err != nil {
 		writeError(w, err)
 		return
 	}
-	if err := req.validate(); err != nil {
+	if err := qs.req.validate(); err != nil {
 		writeError(w, err)
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.decideTO)
 	defer cancel()
-	out, err := s.reg.DecideCtx(ctx, id, req.Seq, req.Spec())
+	out, err := s.reg.DecideCtx(ctx, id, qs.req.Seq, qs.req.Spec())
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	dj := decisionJSON(id, out.Decision)
-	dj.Seq = req.Seq
-	dj.Degraded = out.Degraded
-	writeJSON(w, http.StatusOK, dj)
+	decisionJSONInto(&qs.dj, id, out.Decision)
+	qs.dj.Seq = qs.req.Seq
+	qs.dj.Degraded = out.Degraded
+	writeJSON(w, http.StatusOK, &qs.dj)
+}
+
+// MaxBatchEvents caps one batch request; larger fleets split client
+// side (the batching submitter never exceeds it).
+const MaxBatchEvents = 8192
+
+// batchScratch is the batch endpoint's pooled request state: decode
+// targets, registry input/output, response structs and the binary
+// encode buffer. Pool-reset rules: every slice is truncated to zero
+// length before reuse; outcome slots are zeroed explicitly (DecideBatch
+// treats a non-nil Err as "pre-failed, skip"); DecisionJSON entries are
+// fully overwritten by decisionJSONInto before they are referenced.
+// The JSON decode target is NOT pooled — encoding/json merges into
+// existing slice elements, which would leak fields between requests.
+type batchScratch struct {
+	body    bytes.Buffer      // binary request body
+	events  []BatchEventJSON  // decoded wire events (binary path)
+	fleet   []BatchEvent      // registry input, index-aligned
+	outs    []BatchOutcome    // registry output, index-aligned
+	decs    []DecisionJSON    // per-event response scratch (Plan capacity reuse)
+	results []BatchResultJSON // response body
+	out     []byte            // binary response encode buffer
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// handleDecideBatch is POST /v1/devices:decide-batch: many QoS events,
+// across any number of devices, scored in one request. Per-device
+// ordering and seq semantics match the single-event path exactly; each
+// event answers independently (Status 200 + decision, or its own error
+// status), so a 404 or stale-seq entry never poisons the batch. The
+// request body is JSON (BatchRequestJSON) or the compact binary frame
+// (Content-Type: application/x-clr-bin); the response mirrors the
+// request's encoding.
+func (s *Server) handleDecideBatch(w http.ResponseWriter, r *http.Request) {
+	bs := batchScratchPool.Get().(*batchScratch)
+	defer batchScratchPool.Put(bs)
+
+	binWire := strings.HasPrefix(r.Header.Get("Content-Type"), BinContentType)
+	var evs []BatchEventJSON
+	if binWire {
+		bs.body.Reset()
+		if _, err := bs.body.ReadFrom(r.Body); err != nil {
+			writeError(w, err)
+			return
+		}
+		var err error
+		if evs, err = DecodeBatchRequest(bs.body.Bytes(), bs.events[:0]); err != nil {
+			writeError(w, err)
+			return
+		}
+		bs.events = evs
+	} else {
+		var req BatchRequestJSON
+		if err := decodeJSON(r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		evs = req.Events
+	}
+	if len(evs) > MaxBatchEvents {
+		writeError(w, fmt.Errorf("batch of %d events exceeds the %d-event cap", len(evs), MaxBatchEvents))
+		return
+	}
+	s.batchEvents.Add(uint64(len(evs)))
+
+	// Registry input/output, index-aligned with evs. Events that fail
+	// wire validation pre-fill their outcome slot; DecideBatch skips
+	// them.
+	bs.fleet = bs.fleet[:0]
+	if cap(bs.outs) < len(evs) {
+		bs.outs = make([]BatchOutcome, len(evs))
+	} else {
+		bs.outs = bs.outs[:len(evs)]
+		for i := range bs.outs {
+			bs.outs[i] = BatchOutcome{}
+		}
+	}
+	for i := range evs {
+		bs.fleet = append(bs.fleet, BatchEvent{Device: evs[i].Device, Seq: evs[i].Seq, Spec: evs[i].Spec()})
+		if evs[i].Device == "" {
+			bs.outs[i].Err = errors.New("device must be non-empty")
+		} else if err := evs[i].QoSSpecJSON.validate(); err != nil {
+			bs.outs[i].Err = err
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.decideTO)
+	defer cancel()
+	s.reg.DecideBatch(ctx, bs.fleet, bs.outs)
+
+	if cap(bs.decs) < len(evs) {
+		bs.decs = append(bs.decs[:cap(bs.decs)], make([]DecisionJSON, len(evs)-cap(bs.decs))...)
+	}
+	bs.decs = bs.decs[:len(evs)]
+	bs.results = bs.results[:0]
+	for i := range evs {
+		if err := bs.outs[i].Err; err != nil {
+			bs.results = append(bs.results, BatchResultJSON{Status: statusFor(err), Error: err.Error()})
+			continue
+		}
+		dj := &bs.decs[i]
+		decisionJSONInto(dj, evs[i].Device, bs.outs[i].Out.Decision)
+		dj.Seq = evs[i].Seq
+		dj.Degraded = bs.outs[i].Out.Degraded
+		bs.results = append(bs.results, BatchResultJSON{Status: http.StatusOK, Decision: dj})
+	}
+
+	if binWire {
+		out, err := AppendBatchResponse(bs.out[:0], bs.results)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		bs.out = out
+		w.Header().Set("Content-Type", BinContentType)
+		w.Header().Set("Content-Length", strconv.Itoa(len(out)))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(out)
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchResponseJSON{Results: bs.results})
 }
 
 func (s *Server) handleGetDevice(w http.ResponseWriter, r *http.Request) {

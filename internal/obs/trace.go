@@ -48,6 +48,12 @@ func NewTrace(id TraceID, clock Clock) *Trace {
 // ID returns the trace's ID.
 func (t *Trace) ID() TraceID { return t.id }
 
+// Reset discards the ended spans, keeping the ID, clock and span
+// storage: a batch run can time each event on one trace instead of
+// allocating one per event. The caller must have copied out any spans
+// it still needs (Spans returns the trace's own storage).
+func (t *Trace) Reset() { t.spans = t.spans[:0] }
+
 // Stage opens a span and returns the closure that ends it. The
 // canonical shapes are
 //

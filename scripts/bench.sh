@@ -17,9 +17,12 @@
 # After writing, the new medians are diffed against the latest
 # previously committed BENCH_<n>.json (the last run object in it):
 # any benchmark whose median ns/op regressed by more than 20% prints a
-# WARNING. Warnings alone do not fail the script — benchmarks on
-# shared CI runners are noisy — but they make regressions visible in
-# the log.
+# WARNING, and B/op and allocs/op shifts beyond the same threshold
+# print warnings of their own (allocation deltas are deterministic, so
+# they catch a hot-path allocation creeping back even when the timing
+# noise hides it). Warnings alone do not fail the script — benchmarks
+# on shared CI runners are noisy — but they make regressions visible
+# in the log.
 #
 # A third argument turns the diff into a regression GATE: any
 # benchmark whose median ns/op regressed by more than that percentage
@@ -29,7 +32,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-pat="${1:-BenchmarkDRC\$|BenchmarkDecide\$|BenchmarkReD\$|BenchmarkFleetDecisionThroughput\$|BenchmarkFleetDecisionThroughputLargeDB\$}"
+pat="${1:-BenchmarkDRC\$|BenchmarkDecide\$|BenchmarkReD\$|BenchmarkFleetDecisionThroughput\$|BenchmarkFleetDecisionThroughputLargeDB\$|BenchmarkFleetBatchThroughput\$}"
 label="${2:-run}"
 gate="${3:-0}" # max tolerated ns/op regression in percent; 0 = warn only
 
@@ -78,19 +81,21 @@ echo "wrote $file"
 prev=$((n - 1))
 if [ "$prev" -ge 1 ] && [ -e "BENCH_${prev}.json" ]; then
 	echo "comparing against BENCH_${prev}.json ..."
-	# Extract "name ns_per_op" pairs; for duplicates (one per run
-	# object) the last occurrence wins.
+	# Extract "name ns_per_op b_per_op allocs_per_op" rows; for
+	# duplicates (one per run object) the last occurrence wins.
 	pairs() {
 		tr ',' '\n' <"$1" | tr -d ' "{}[]' | awk -F: '
 			$1 == "name" { nm = $2 }
-			$1 == "ns_per_op" && nm != "" { v[nm] = $2 }
-			END { for (nm in v) print nm, v[nm] }'
+			$1 == "ns_per_op" && nm != "" { ns[nm] = $2 }
+			$1 == "b_per_op" && nm != "" { bo[nm] = $2 }
+			$1 == "allocs_per_op" && nm != "" { ao[nm] = $2 }
+			END { for (nm in ns) print nm, ns[nm], bo[nm], ao[nm] }'
 	}
 	pairs "BENCH_${prev}.json" >/tmp/bench_prev.$$
 	pairs "$file" >/tmp/bench_new.$$
 	status=0
 	awk -v prevfile="BENCH_${prev}.json" -v gate="$gate" '
-		NR == FNR { prev[$1] = $2; next }
+		NR == FNR { prev[$1] = $2; pbo[$1] = $3; pao[$1] = $4; next }
 		($1 in prev) && prev[$1] > 0 {
 			ratio = $2 / prev[$1]
 			printf "  %-45s %12.0f -> %12.0f ns/op (%+.1f%%)\n", $1, prev[$1], $2, (ratio - 1) * 100
@@ -102,6 +107,15 @@ if [ "$prev" -ge 1 ] && [ -e "BENCH_${prev}.json" ]; then
 				printf "WARNING: %s regressed %.1f%% vs %s (%.0f -> %.0f ns/op)\n", \
 					$1, (ratio - 1) * 100, prevfile, prev[$1], $2
 			}
+			# B/op and allocs/op shifts are warn-only, never gated: they
+			# are deterministic, so any change is worth a line in the log,
+			# but a deliberate memory/time trade must not fail CI.
+			if (pbo[$1] > 0 && $3 / pbo[$1] > 1.2)
+				printf "WARNING: %s B/op grew %.1f%% vs %s (%.0f -> %.0f B/op)\n", \
+					$1, ($3 / pbo[$1] - 1) * 100, prevfile, pbo[$1], $3
+			if (pao[$1] > 0 && $4 / pao[$1] > 1.2)
+				printf "WARNING: %s allocs/op grew %.1f%% vs %s (%.0f -> %.0f allocs/op)\n", \
+					$1, ($4 / pao[$1] - 1) * 100, prevfile, pao[$1], $4
 		}
 		END { exit bad }' /tmp/bench_prev.$$ /tmp/bench_new.$$ || status=$?
 	rm -f /tmp/bench_prev.$$ /tmp/bench_new.$$
