@@ -488,6 +488,61 @@ func BenchmarkDecide(b *testing.B) {
 	}
 }
 
+// BenchmarkShadowDecide measures Continuous ReD's dual-serve overhead
+// on the registry decide path: the same N=80 database and event model
+// as BenchmarkDecide, once without a candidate (plain) and once with a
+// candidate installed so every decision is additionally shadow-scored.
+//
+// Target: shadow stays within 25% of plain in steady state so that
+// dual-serving is cheap enough to leave on for a whole validation
+// window. The uRA shadow memo (see fleet.shadowScore) delivers that
+// when the incoming spec repeats — the "steady" variant, which drives
+// a persisting spec, exercises the memo's hit path. The "shadow"
+// variant drives the full stochastic event model, where every fresh
+// spec costs a genuine second decision; its overhead is bounded by the
+// model's spec-persistence, not by the memo (measured ≈1.5x at the
+// model's default persistence).
+func BenchmarkShadowDecide(b *testing.B) {
+	db, space := benchBigDB(b, 80)
+	model := runtime.ModelFromDatabase(db)
+	run := func(b *testing.B, withCandidate, steady bool) {
+		reg, err := NewFleetRegistry([]NamedDatabase{{Name: "red", DB: db, Space: space}}, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		src := rng.New(9)
+		boot := model.Sample(src)
+		if _, err := reg.Register(FleetDeviceParams{
+			ID: "bench", Database: "red", PRC: 0.5,
+			Trigger: runtime.TriggerAlways, Initial: boot,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if withCandidate {
+			cand := *db
+			cand.Version = 1
+			if err := reg.ProposeDatabase("red", &cand); err != nil {
+				b.Fatal(err)
+			}
+		}
+		stream := model.Stream()
+		spec := stream.Next(src)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !steady {
+				spec = stream.Next(src)
+			}
+			if _, err := reg.Decide("bench", spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("plain", func(b *testing.B) { run(b, false, false) })
+	b.Run("shadow", func(b *testing.B) { run(b, true, false) })
+	b.Run("plain-steady", func(b *testing.B) { run(b, false, true) })
+	b.Run("steady", func(b *testing.B) { run(b, true, true) })
+}
+
 // BenchmarkReD measures the reconfiguration-cost-aware stage end to
 // end: every fitness evaluation computes an average reconfiguration
 // distance against the stored set.

@@ -13,6 +13,7 @@
 //	clrserved -addr :8080 -tasks 30 -max-points 8
 //	clrserved -jpeg -addr 127.0.0.1:9000
 //	clrserved -loadgen -devices 64 -events 100
+//	clrserved -addr :8080 -evolve -evolve-interval 30s
 //	clrserved -addr :8080 -cluster-node node-0 \
 //	    -cluster-peers node-0=http://h0:8080,node-1=http://h1:8080
 //
@@ -25,6 +26,13 @@
 // (or, with -cluster-redirect, redirects) it to the owner, peer health
 // drives suspicion, and SIGTERM drains every owned device to the
 // survivors before the listener closes.
+//
+// With -evolve the process runs Continuous ReD: a background worker
+// periodically folds the decision journal's observed QoS-event
+// distribution into a re-search of the "red" database, shadow-scores
+// every decision against the candidate, and hot-swaps it in once the
+// shadow window's agreement clears -evolve-threshold (in cluster mode,
+// only once every alive peer is on the same version).
 package main
 
 import (
@@ -45,6 +53,7 @@ import (
 	"clrdse/internal/cluster"
 	"clrdse/internal/core"
 	"clrdse/internal/dse"
+	"clrdse/internal/evolve"
 	"clrdse/internal/fleet"
 	"clrdse/internal/fleet/client"
 	"clrdse/internal/ga"
@@ -71,6 +80,10 @@ func main() {
 		clProbe    = flag.Duration("cluster-probe", 2*time.Second, "peer health-probe interval (0 = membership changes only via POST /v1/cluster/membership)")
 		clSuspect  = flag.Int("cluster-suspect", 3, "consecutive probe failures before a peer is marked dead")
 		clToken    = flag.String("cluster-token", "", "shared secret gating POST /v1/cluster/handoff and /v1/cluster/membership (empty leaves them open; set it whenever the listener is reachable beyond the cluster network)")
+
+		evolveOn  = flag.Bool("evolve", false, "run the Continuous-ReD worker: re-search the \"red\" database against the observed QoS-event distribution, shadow-validate and hot-swap")
+		evolveIv  = flag.Duration("evolve-interval", time.Minute, "evolve: tick period of the background worker")
+		evolveThr = flag.Float64("evolve-threshold", 0.95, "evolve: shadow-window agreement fraction required before cutover")
 
 		tasks   = flag.Int("tasks", 30, "synthetic application size")
 		jpeg    = flag.Bool("jpeg", false, "use the JPEG encoder of Figure 2b")
@@ -214,6 +227,32 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *evolveOn {
+		w := &evolve.Worker{
+			Registry: srv.Registry(),
+			Database: "red",
+			Proposer: &evolve.Proposer{
+				Problem:  sys.Problem,
+				StageOne: ga.Params{PopSize: *pop, Generations: *gens},
+				ReD: dse.ReDParams{
+					GA: ga.Params{PopSize: *pop / 2, Generations: *gens / 2},
+				},
+				Seed: *seed,
+			},
+			Interval:  *evolveIv,
+			Threshold: *evolveThr,
+			Logger:    log,
+		}
+		if node != nil {
+			// In a cluster a handoff bundle is only importable at the
+			// importer's active version, so no node cuts over until every
+			// alive peer reports the same version state.
+			w.Agreement = node.VersionsAgree
+		}
+		go w.Run(ctx)
+		log.Info("continuous ReD enabled", "db", "red",
+			"interval", *evolveIv, "threshold", *evolveThr)
+	}
 	if node != nil {
 		go node.Run(ctx, *clProbe)
 		// SIGTERM drains before the listener closes: every owned device

@@ -27,6 +27,7 @@ var DeterministicPackages = map[string]bool{
 	"pareto":   true,
 	"schedule": true,
 	"chaos":    true,
+	"evolve":   true,
 }
 
 // forbiddenImports are randomness sources that bypass internal/rng.
@@ -45,8 +46,8 @@ var forbiddenTimeFuncs = map[string]bool{
 var Analyzer = &analysis.Analyzer{
 	Name: "detrand",
 	Doc: "forbid math/rand imports and time.Now/time.Since in the deterministic packages " +
-		"(dse, ga, mapping, runtime, pareto, schedule, chaos); randomness must come from " +
-		"internal/rng and time from an injected clock",
+		"(dse, ga, mapping, runtime, pareto, schedule, chaos, evolve); randomness must come " +
+		"from internal/rng and time from an injected clock",
 	Run: run,
 }
 

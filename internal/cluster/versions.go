@@ -1,0 +1,119 @@
+package cluster
+
+// Database-version agreement. A Continuous-ReD cutover hot-swaps the
+// database a cohort serves from; in a cluster a device can be handed
+// to any alive peer at any moment, and ImportDevice rejects bundles
+// whose producing version is not the importer's active version
+// (fleet.ErrVersionSkew). Cutting over one node at a time would turn
+// every rebalance during the transition into a skew rejection, so the
+// evolve worker gates cutover on VersionsAgree: every alive peer must
+// report the same active version for the database (and no peer may be
+// mid-transition with a different candidate) before any node swaps.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// DBVersionJSON is one database cohort's version pair as published on
+// GET /v1/cluster/versions.
+type DBVersionJSON struct {
+	Database         string `json:"database"`
+	ActiveVersion    uint64 `json:"active_version"`
+	HasCandidate     bool   `json:"has_candidate,omitempty"`
+	CandidateVersion uint64 `json:"candidate_version,omitempty"`
+}
+
+// VersionsJSON is the body of GET /v1/cluster/versions.
+type VersionsJSON struct {
+	Node      string          `json:"node"`
+	Databases []DBVersionJSON `json:"databases"`
+}
+
+// VersionsInfo snapshots this node's per-database version state.
+func (n *Node) VersionsInfo() VersionsJSON {
+	doc := VersionsJSON{Node: n.self}
+	for _, st := range n.reg.EvolveStatuses() {
+		doc.Databases = append(doc.Databases, DBVersionJSON{
+			Database:         st.Database,
+			ActiveVersion:    st.ActiveVersion,
+			HasCandidate:     st.HasCandidate,
+			CandidateVersion: st.CandidateVersion,
+		})
+	}
+	return doc
+}
+
+func (n *Node) handleVersions(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, n.VersionsInfo())
+}
+
+// VersionsAgree reports whether every alive peer serves the named
+// database at this node's active version with a matching candidate
+// state. An unreachable peer or a malformed document is an error, not
+// a disagreement: the caller cannot distinguish "behind" from "down",
+// so it should defer the cutover rather than conclude anything.
+func (n *Node) VersionsAgree(ctx context.Context, database string) (bool, error) {
+	local, err := n.reg.EvolveStatus(database)
+	if err != nil {
+		return false, err
+	}
+
+	n.mu.Lock()
+	peers := n.aliveMembersLocked()
+	urls := n.urls
+	n.mu.Unlock()
+
+	for _, id := range peers {
+		if id == n.self {
+			continue
+		}
+		doc, err := n.fetchVersions(ctx, urls[id])
+		if err != nil {
+			return false, fmt.Errorf("cluster: versions from %s: %w", id, err)
+		}
+		found := false
+		for _, d := range doc.Databases {
+			if d.Database != database {
+				continue
+			}
+			found = true
+			if d.ActiveVersion != local.ActiveVersion {
+				return false, nil
+			}
+			// A peer shadowing a different candidate than ours would cut
+			// over to a different version; hold until the views converge.
+			if d.HasCandidate && local.HasCandidate && d.CandidateVersion != local.CandidateVersion {
+				return false, nil
+			}
+		}
+		if !found {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// fetchVersions GETs one peer's version document.
+func (n *Node) fetchVersions(ctx context.Context, url string) (*VersionsJSON, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/cluster/versions", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var doc VersionsJSON
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}

@@ -1,0 +1,155 @@
+package cluster_test
+
+// Version-agreement surface: the /v1/cluster/versions document and
+// the VersionsAgree gate the evolve worker consults before a cutover.
+// The matrix pinned here: converged cluster agrees; a candidate on
+// one node alone still agrees (active versions match); divergent
+// candidates or a one-node cutover disagree; convergence restores
+// agreement; an unreachable peer is an error, never a verdict.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"clrdse/internal/cluster"
+	"clrdse/internal/dse"
+	"clrdse/internal/fleet"
+	"clrdse/internal/fleet/fleettest"
+)
+
+// candidateAt clones the cohort's database at the given version.
+func candidateAt(db *dse.Database, v uint64) *dse.Database {
+	c := *db
+	c.Version = v
+	return &c
+}
+
+func TestClusterVersions(t *testing.T) {
+	clus, err := fleettest.NewCluster(fleettest.ClusterOptions{Nodes: 3, TraceSeed: 47})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clus.Close()
+	dbs := fleettest.Databases(t)
+	name := dbs[0].Name
+	ctx := context.Background()
+
+	// The published document names the node and lists every cohort at
+	// its boot version.
+	resp, err := http.Get(clus.Nodes[0].URL + "/v1/cluster/versions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc cluster.VersionsJSON
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if doc.Node != "node-0" {
+		t.Errorf("versions document names node %q, want node-0", doc.Node)
+	}
+	found := false
+	for _, d := range doc.Databases {
+		if d.Database == name {
+			found = true
+			if d.ActiveVersion != 0 || d.HasCandidate {
+				t.Errorf("boot version state = %+v, want active v0 without candidate", d)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("versions document %+v misses cohort %q", doc, name)
+	}
+
+	agree := func(i int) (bool, error) {
+		t.Helper()
+		return clus.Nodes[i].Node.VersionsAgree(ctx, name)
+	}
+	mustAgree := func(i int, want bool, when string) {
+		t.Helper()
+		ok, err := agree(i)
+		if err != nil {
+			t.Fatalf("VersionsAgree %s: %v", when, err)
+		}
+		if ok != want {
+			t.Errorf("VersionsAgree %s = %v, want %v", when, ok, want)
+		}
+	}
+
+	mustAgree(0, true, "on a freshly booted cluster")
+
+	// A candidate installed on one node alone does not block: active
+	// versions still match everywhere.
+	if err := clus.Nodes[0].Srv.Registry().ProposeDatabase(name, candidateAt(dbs[0].DB, 1)); err != nil {
+		t.Fatal(err)
+	}
+	mustAgree(0, true, "with a candidate on one node only")
+
+	// Divergent candidates block: the nodes would cut over to
+	// different versions.
+	if err := clus.Nodes[1].Srv.Registry().ProposeDatabase(name, candidateAt(dbs[0].DB, 2)); err != nil {
+		t.Fatal(err)
+	}
+	mustAgree(0, false, "with divergent candidates")
+	if err := clus.Nodes[1].Srv.Registry().DropCandidate(name); err != nil {
+		t.Fatal(err)
+	}
+
+	// One node cutting over alone leaves the cluster split on the
+	// active version: both sides must report disagreement.
+	if err := clus.Nodes[0].Srv.Registry().CutoverDatabase(name); err != nil {
+		t.Fatal(err)
+	}
+	mustAgree(0, false, "after a one-node cutover (from the new version)")
+	mustAgree(1, false, "after a one-node cutover (from the old version)")
+
+	// Convergence restores agreement.
+	for i := 1; i < len(clus.Nodes); i++ {
+		reg := clus.Nodes[i].Srv.Registry()
+		if err := reg.ProposeDatabase(name, candidateAt(dbs[0].DB, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.CutoverDatabase(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAgree(0, true, "after every node cut over")
+
+	// An unknown cohort is a local error.
+	if _, err := clus.Nodes[0].Node.VersionsAgree(ctx, "no-such-db"); err == nil {
+		t.Error("VersionsAgree accepted an unknown database")
+	}
+}
+
+// TestVersionsAgreeUnreachablePeer pins the error-not-verdict rule: a
+// peer that cannot be reached yields an error, because the caller
+// cannot distinguish "behind" from "down" and must defer the cutover.
+func TestVersionsAgreeUnreachablePeer(t *testing.T) {
+	srv, err := fleet.NewServer(fleet.ServerConfig{
+		Databases: fleettest.Databases(t),
+		Logger:    discardLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := cluster.New(cluster.Config{
+		Self: "a",
+		Peers: []cluster.Peer{
+			{ID: "a", URL: "http://127.0.0.1:1"},
+			{ID: "b", URL: "http://127.0.0.1:1"}, // closed port
+		},
+		Logger: discardLogger(),
+	}, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := node.VersionsAgree(context.Background(), fleettest.Databases(t)[0].Name)
+	if err == nil {
+		t.Fatal("VersionsAgree returned a verdict for an unreachable peer")
+	}
+	if ok {
+		t.Error("VersionsAgree reported agreement alongside an error")
+	}
+}

@@ -133,6 +133,12 @@ func (d *DesignPoint) QoSObjs(csp bool) []float64 {
 type Database struct {
 	// Name labels the database ("BaseD", "ReD", ...).
 	Name string
+	// Version numbers the database's evolution generation. The
+	// design-time flow produces version 0; each online re-search
+	// (Continuous ReD) proposes active version + 1. Decisions journal
+	// the version that produced them, so a fleet's history stays
+	// attributable across hot swaps.
+	Version uint64 `json:",omitempty"`
 	// Points are the stored configurations, ID-dense.
 	Points []*DesignPoint
 }

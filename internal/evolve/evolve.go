@@ -1,0 +1,250 @@
+// Package evolve closes the paper's design-time/run-time loop:
+// Continuous ReD. The design-time flow freezes a reconfiguration-cost-
+// aware database under worst-case QoS assumptions; once a fleet is
+// serving, the decision journal records the QoS-event distribution the
+// fleet actually observes. This package folds that journal into an
+// empirical distribution, re-runs the two-stage search of Section 4.2
+// against the observed envelope — seeded from the live database so the
+// search refines rather than restarts — and proposes the result as the
+// next database version for shadow-serve validation and hot swap (see
+// internal/fleet's evolve support).
+//
+// Everything here is deterministic: the proposal is a pure function of
+// (active database, journal entries, configuration). The observation
+// stream is reduced to a quantised histogram whose fingerprint seeds
+// the search via internal/rng, so the same journal state and seed
+// always propose the byte-identical candidate database, no matter when
+// or on which node the worker runs.
+package evolve
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"clrdse/internal/dse"
+	"clrdse/internal/ga"
+	"clrdse/internal/obs"
+	"clrdse/internal/rng"
+)
+
+// specQuantum is the grid the observed (S_SPEC, F_SPEC) samples are
+// quantised onto before histogramming: fine enough that no two
+// meaningfully different specifications share a cell, coarse enough
+// that float noise does not split one.
+const specQuantum = 1e-6
+
+// Bucket is one cell of the empirical QoS-event histogram: a quantised
+// (S_SPEC, F_SPEC) pair and how often the fleet observed it.
+type Bucket struct {
+	SMaxMs float64 `json:"s_max_ms"`
+	FMin   float64 `json:"f_min"`
+	Count  int     `json:"count"`
+}
+
+// Distribution is the empirical QoS-event distribution folded from a
+// journal snapshot: the observed envelope plus the per-cell counts,
+// in deterministic (S, F) order.
+type Distribution struct {
+	// Events is the number of observed decisions folded in.
+	Events int `json:"events"`
+	// MinS/MaxS and MinF/MaxF span the observed specification
+	// envelope (meaningless when Events == 0).
+	MinS, MaxS float64 `json:"-"`
+	MinF, MaxF float64 `json:"-"`
+	// Buckets is the quantised histogram, sorted by (SMaxMs, FMin).
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Observe folds a journal snapshot into the empirical distribution.
+// Only real decisions count: degraded answers are skipped (their spec
+// was never scored), as are entries journaled before spec recording
+// existed (both spec fields zero). The result is independent of entry
+// order.
+func Observe(entries []obs.Entry) Distribution {
+	d := Distribution{
+		MinS: math.Inf(1), MaxS: math.Inf(-1),
+		MinF: math.Inf(1), MaxF: math.Inf(-1),
+	}
+	type cell struct{ s, f int64 }
+	counts := make(map[cell]int)
+	for _, e := range entries {
+		if e.Degraded || (e.SpecSMaxMs == 0 && e.SpecFMin == 0) {
+			continue
+		}
+		d.Events++
+		d.MinS = math.Min(d.MinS, e.SpecSMaxMs)
+		d.MaxS = math.Max(d.MaxS, e.SpecSMaxMs)
+		d.MinF = math.Min(d.MinF, e.SpecFMin)
+		d.MaxF = math.Max(d.MaxF, e.SpecFMin)
+		counts[cell{quantise(e.SpecSMaxMs), quantise(e.SpecFMin)}]++
+	}
+	cells := make([]cell, 0, len(counts))
+	for c := range counts {
+		cells = append(cells, c)
+	}
+	// Sorted cells make the histogram — and everything derived from
+	// it, fingerprint included — independent of map iteration order.
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].s != cells[j].s {
+			return cells[i].s < cells[j].s
+		}
+		return cells[i].f < cells[j].f
+	})
+	for _, c := range cells {
+		d.Buckets = append(d.Buckets, Bucket{
+			SMaxMs: float64(c.s) * specQuantum,
+			FMin:   float64(c.f) * specQuantum,
+			Count:  counts[c],
+		})
+	}
+	return d
+}
+
+func quantise(v float64) int64 { return int64(math.Round(v / specQuantum)) }
+
+// Fingerprint hashes the distribution into a 64-bit value (FNV-1a over
+// the sorted quantised buckets). Two journal states that fold into the
+// same histogram — regardless of entry order — fingerprint equally,
+// and the fingerprint seeds the re-search, making proposals a pure
+// function of observed behaviour.
+func (d *Distribution) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	word(uint64(d.Events))
+	for _, b := range d.Buckets {
+		word(uint64(quantise(b.SMaxMs)))
+		word(uint64(quantise(b.FMin)))
+		word(uint64(b.Count))
+	}
+	return h.Sum64()
+}
+
+// Proposal errors. Both are expected states, not faults: the worker
+// logs them and retries on a later tick.
+var (
+	// ErrInsufficientEvidence reports a journal with too few observed
+	// decisions to characterise the event distribution.
+	ErrInsufficientEvidence = errors.New("evolve: too few observed events to propose")
+	// ErrNoChange reports a re-search that converged onto the active
+	// database's exact point set — there is nothing to swap to.
+	ErrNoChange = errors.New("evolve: re-search proposes the active database unchanged")
+)
+
+// Proposer re-runs the design-time search against the observed event
+// distribution and proposes the next database version.
+type Proposer struct {
+	// Problem is the design-time problem the active database was built
+	// from. The proposer never mutates it: the re-search runs on a copy
+	// whose QoS envelope is tightened to the observed distribution.
+	Problem *dse.Problem
+	// StageOne configures the stage-1 MOEA; ReD the per-seed
+	// reconfiguration-cost-aware stage. Their Seed fields are ignored —
+	// the proposer derives seeds from Seed and the journal fingerprint.
+	StageOne ga.Params
+	ReD      dse.ReDParams
+	// Seed is the root seed. The same (Seed, active database, journal
+	// histogram) always proposes the byte-identical candidate.
+	Seed int64
+	// MinEvents is the evidence floor below which Propose refuses
+	// (0 selects 64).
+	MinEvents int
+	// EnvelopeMargin is the safety margin kept beyond the observed
+	// specification envelope when tightening the problem's worst-case
+	// bounds, as a fraction (0 selects 0.10). The envelope only ever
+	// tightens: bounds never relax past the design-time worst case.
+	EnvelopeMargin float64
+}
+
+// Propose folds the journal entries and re-runs the two-stage search,
+// seeded from the active database's stored configurations, under the
+// observed QoS envelope (plus margin). The returned database carries
+// the active database's name and Version+1. It fails with
+// ErrInsufficientEvidence below the evidence floor and ErrNoChange
+// when the re-search reproduces the active point set exactly.
+func (p *Proposer) Propose(active *dse.Database, entries []obs.Entry) (*dse.Database, error) {
+	if p.Problem == nil {
+		return nil, fmt.Errorf("evolve: nil Problem")
+	}
+	if active == nil || active.Len() == 0 {
+		return nil, fmt.Errorf("evolve: empty active database")
+	}
+	minEvents := p.MinEvents
+	if minEvents <= 0 {
+		minEvents = 64
+	}
+	margin := p.EnvelopeMargin
+	if margin == 0 {
+		margin = 0.10
+	}
+	dist := Observe(entries)
+	if dist.Events < minEvents {
+		return nil, fmt.Errorf("%w: %d observed, need %d", ErrInsufficientEvidence, dist.Events, minEvents)
+	}
+
+	// Tighten the worst-case envelope of Eq. (5) to what the fleet
+	// actually requests, with margin. SMaxMs is the loosest makespan
+	// bound that must be satisfiable (max observed S_SPEC); FMin the
+	// tightest reliability bound's lower end (min observed F_SPEC).
+	// Never loosen past the design-time assumption: points outside it
+	// were never validated.
+	prob := *p.Problem
+	prob.Stats = nil // private run; never race on the caller's Stats
+	if s := dist.MaxS * (1 + margin); s < prob.SMaxMs {
+		prob.SMaxMs = s
+	}
+	if f := dist.MinF * (1 - margin); f > prob.FMin && f < 1 {
+		prob.FMin = f
+	}
+
+	// Derive the search seeds from the root seed and the journal
+	// fingerprint: a changed observation stream explores differently,
+	// an identical one reproduces the identical proposal.
+	src := rng.New(p.Seed ^ int64(dist.Fingerprint()>>1))
+	stage1 := p.StageOne
+	stage1.Seed = src.Int63()
+	// Seed the stage-1 population with the live database: the search
+	// refines the serving trade-off front instead of rediscovering it.
+	stage1.Seeds = active.Mappings()
+	base, err := dse.RunBase(&prob, stage1)
+	if err != nil {
+		return nil, fmt.Errorf("evolve: stage-1 re-search: %w", err)
+	}
+	rp := p.ReD
+	rp.GA.Seed = src.Int63()
+	next, err := dse.RunReD(&prob, base, rp)
+	if err != nil {
+		return nil, fmt.Errorf("evolve: ReD re-search: %w", err)
+	}
+	next.Name = active.Name
+	next.Version = active.Version + 1
+	if samePoints(active, next) {
+		return nil, ErrNoChange
+	}
+	return next, nil
+}
+
+// samePoints reports whether the two databases store the same
+// configurations in the same order with the same provenance flags.
+func samePoints(a, b *dse.Database) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Points {
+		if a.Points[i].FromReD != b.Points[i].FromReD {
+			return false
+		}
+		if a.Points[i].M.Key() != b.Points[i].M.Key() {
+			return false
+		}
+	}
+	return true
+}

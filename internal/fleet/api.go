@@ -224,7 +224,10 @@ func deviceJSON(info *DeviceInfo) DeviceJSON {
 // including the QoS envelope spanned by its stored points (the region
 // registrants should draw satisfiable specifications from).
 type DatabaseJSON struct {
-	Name           string  `json:"name"`
+	Name string `json:"name"`
+	// Version is the database's evolution generation (0 = the
+	// design-time original; bumped by each Continuous-ReD cutover).
+	Version        uint64  `json:"version"`
 	Points         int     `json:"points"`
 	MinMakespanMs  float64 `json:"min_makespan_ms"`
 	MaxMakespanMs  float64 `json:"max_makespan_ms"`
@@ -236,6 +239,7 @@ func databaseJSON(n NamedDatabase) DatabaseJSON {
 	minS, maxS, minF, maxF := n.Envelope()
 	return DatabaseJSON{
 		Name:           n.Name,
+		Version:        n.DB.Version,
 		Points:         n.DB.Len(),
 		MinMakespanMs:  minS,
 		MaxMakespanMs:  maxS,
@@ -304,6 +308,12 @@ func decisionJSONInto(dj *DecisionJSON, id string, d runtime.Decision) {
 // ErrorJSON is the body of every non-2xx response.
 type ErrorJSON struct {
 	Error string `json:"error"`
+}
+
+// EvolveJSON is the body of GET /debug/evolve: every cohort's
+// Continuous-ReD state (versions, shadow window, recent divergences).
+type EvolveJSON struct {
+	Databases []EvolveStatus `json:"databases"`
 }
 
 // DecisionsJSON is the body of GET /debug/decisions: the decision

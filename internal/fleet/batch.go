@@ -171,7 +171,7 @@ func (r *Registry) decideRun(ctx context.Context, run *batchRun, events []BatchE
 		tr := obs.NewTrace(obs.TraceIDFrom(ctx), r.clock)
 		for _, i := range run.idx {
 			tr.Reset()
-			results[i] = BatchOutcome{Out: r.degrade(d, events[i].Seq, tr, err)}
+			results[i] = BatchOutcome{Out: r.degrade(d, events[i].Seq, events[i].Spec, tr, err)}
 		}
 		return
 	}

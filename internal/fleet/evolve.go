@@ -1,0 +1,493 @@
+package fleet
+
+// Continuous-ReD serving support: versioned databases with dual-serve
+// validation and atomic per-cohort hot swap.
+//
+// Each registered database name is a cohort. A cohort's state is three
+// slots — active, candidate, previous — behind atomic pointers: the
+// decide path only ever loads them, so installing a candidate, cutting
+// over or rolling back is one pointer flip that never blocks traffic.
+// Devices converge lazily: every decision (already holding the device
+// semaphore) compares the database its manager was built against with
+// the cohort's active slot and migrates itself when they differ, so a
+// cutover is atomic at the cohort level (the flip) and per-device
+// consistent (the swap happens between two decisions, never inside
+// one).
+//
+// While a candidate is installed the fleet dual-serves: each decision
+// is additionally scored against a per-device shadow manager booted on
+// the candidate database. The shadow decision is compared with the
+// active one by the *configuration* chosen (canonical mapping key, not
+// point ID — IDs are version-relative) and counted as agreement or
+// divergence. Shadow scoring never influences the served decision, the
+// journal or the replay cache; it only feeds the clr_evolve_* metrics
+// and the /debug/evolve diff. Once the shadow window shows enough
+// agreement the evolve worker cuts the cohort over; the displaced
+// version is retained for one-step rollback.
+//
+// Exactly-once survives every swap: the per-device replay cache is
+// keyed by sequence number alone, independent of the database version,
+// so a retry of a pre-cutover event is answered with the original
+// (old-version) decision byte-for-byte.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"clrdse/internal/dse"
+	"clrdse/internal/fleet/metrics"
+	"clrdse/internal/mapping"
+	"clrdse/internal/runtime"
+)
+
+// Evolution errors, distinguished so the HTTP layer and the evolve
+// worker can map them onto statuses and retry policy.
+var (
+	// ErrNoCandidate reports a cutover or drop without an installed
+	// candidate database.
+	ErrNoCandidate = errors.New("fleet: no candidate database installed")
+	// ErrCandidateVersion reports a proposal whose version does not
+	// advance the active version.
+	ErrCandidateVersion = errors.New("fleet: candidate version must advance the active version")
+	// ErrNoPrevious reports a rollback without a retained previous
+	// version (rollback is one-step: it cannot be repeated).
+	ErrNoPrevious = errors.New("fleet: no previous database version to roll back to")
+	// ErrVersionSkew reports a handoff bundle whose database version
+	// differs from the importing node's active version — the cluster
+	// must agree on the active version before devices move.
+	ErrVersionSkew = errors.New("fleet: handoff bundle database version differs from active")
+)
+
+// dbState is one cohort's version state. The decide path reads the
+// atomic slots without locks; swapMu serialises the swap operations
+// (propose, cutover, rollback, drop) against each other.
+type dbState struct {
+	name   string
+	swapMu sync.Mutex
+	// active is the database every decision is served from. Never nil.
+	active atomic.Pointer[NamedDatabase]
+	// candidate, when non-nil, is the proposed next version being
+	// shadow-served.
+	candidate atomic.Pointer[NamedDatabase]
+	// prev is the one-step rollback target, retained by Cutover and
+	// consumed by Rollback. Guarded by swapMu.
+	prev *NamedDatabase
+
+	// Shadow-window accounting. Reset by ProposeDatabase so each
+	// candidate is judged on its own window.
+	shadowEvents  atomic.Uint64
+	shadowAgree   atomic.Uint64
+	shadowDiverge atomic.Uint64
+
+	// sampleMu guards samples, a small ring of recent divergences for
+	// /debug/evolve.
+	sampleMu sync.Mutex
+	samples  []DivergenceSample
+
+	activeVer *metrics.Gauge
+	candVer   *metrics.Gauge
+}
+
+// maxDivergenceSamples bounds the per-cohort diff ring exposed on
+// /debug/evolve.
+const maxDivergenceSamples = 32
+
+// DivergenceSample is one shadow decision that chose a different
+// configuration than the active database did.
+type DivergenceSample struct {
+	Device string `json:"device"`
+	Seq    uint64 `json:"seq,omitempty"`
+	// ActiveTo/ShadowTo are the chosen point IDs in their respective
+	// versions; the versions disambiguate them.
+	ActiveTo      int    `json:"active_to"`
+	ShadowTo      int    `json:"shadow_to"`
+	ActiveVersion uint64 `json:"active_version"`
+	ShadowVersion uint64 `json:"shadow_version"`
+}
+
+// EvolveStatus is one cohort's version and shadow-window snapshot —
+// the body of /debug/evolve and the evolve worker's decision input.
+type EvolveStatus struct {
+	Database      string `json:"database"`
+	ActiveVersion uint64 `json:"active_version"`
+	ActivePoints  int    `json:"active_points"`
+	// Candidate fields are meaningful only when HasCandidate.
+	HasCandidate     bool   `json:"has_candidate"`
+	CandidateVersion uint64 `json:"candidate_version,omitempty"`
+	CandidatePoints  int    `json:"candidate_points,omitempty"`
+	// Previous fields are meaningful only when HasPrevious.
+	HasPrevious     bool   `json:"has_previous"`
+	PreviousVersion uint64 `json:"previous_version,omitempty"`
+	// Shadow window counters for the current candidate.
+	ShadowEvents uint64 `json:"shadow_events"`
+	Agreements   uint64 `json:"agreements"`
+	Divergences  uint64 `json:"divergences"`
+	// Agreement is Agreements/ShadowEvents (0 with an empty window).
+	Agreement float64 `json:"agreement"`
+	// Samples are the most recent divergences, oldest first.
+	Samples []DivergenceSample `json:"samples,omitempty"`
+}
+
+// resetShadow clears the shadow window for a fresh candidate. Callers
+// hold swapMu.
+func (st *dbState) resetShadow() {
+	st.shadowEvents.Store(0)
+	st.shadowAgree.Store(0)
+	st.shadowDiverge.Store(0)
+	st.sampleMu.Lock()
+	st.samples = st.samples[:0]
+	st.sampleMu.Unlock()
+}
+
+func (st *dbState) addSample(s DivergenceSample) {
+	st.sampleMu.Lock()
+	if len(st.samples) >= maxDivergenceSamples {
+		copy(st.samples, st.samples[1:])
+		st.samples = st.samples[:len(st.samples)-1]
+	}
+	st.samples = append(st.samples, s)
+	st.sampleMu.Unlock()
+}
+
+// build precomputes the database's derived read-only state: the
+// pairwise dRC matrix and the per-point canonical mapping keys (shadow
+// agreement and migration remapping compare configurations, not
+// version-relative point IDs).
+func (n *NamedDatabase) build() {
+	maps := n.DB.Mappings()
+	n.matrix = mapping.NewDRCMatrix(n.Space, maps)
+	n.keys = make([]string, len(maps))
+	n.keyIdx = make(map[string]int, len(maps))
+	for i, m := range maps {
+		n.keys[i] = m.Key()
+		if _, dup := n.keyIdx[n.keys[i]]; !dup {
+			n.keyIdx[n.keys[i]] = i
+		}
+	}
+}
+
+// ProposeDatabase installs db as the named cohort's candidate version
+// and starts a fresh shadow window. The candidate must validate
+// against the cohort's mapping space and its Version must advance the
+// active version. A candidate already installed is replaced (its
+// window discarded). Devices pick the new candidate up lazily on their
+// next decision.
+func (r *Registry) ProposeDatabase(name string, db *dse.Database) error {
+	st, ok := r.dbs[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoDatabase, name)
+	}
+	if db == nil {
+		return fmt.Errorf("fleet: propose %q: nil database", name)
+	}
+	st.swapMu.Lock()
+	defer st.swapMu.Unlock()
+	active := st.active.Load()
+	if db.Version <= active.DB.Version {
+		return fmt.Errorf("%w: candidate v%d vs active v%d", ErrCandidateVersion, db.Version, active.DB.Version)
+	}
+	if err := db.Validate(active.Space); err != nil {
+		return fmt.Errorf("fleet: propose %q: %w", name, err)
+	}
+	cand := &NamedDatabase{Name: name, DB: db, Space: active.Space}
+	cand.build()
+	st.resetShadow()
+	st.candidate.Store(cand)
+	st.candVer.Set(int64(db.Version))
+	r.evolveProposals.Inc()
+	return nil
+}
+
+// CutoverDatabase atomically promotes the cohort's candidate to
+// active, retaining the displaced version for one-step rollback. The
+// flip is a pointer swap: in-flight decisions complete against the
+// version they loaded, and every device migrates (adopting its shadow
+// manager's already-tracked state) on its next decision.
+func (r *Registry) CutoverDatabase(name string) error {
+	st, ok := r.dbs[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoDatabase, name)
+	}
+	st.swapMu.Lock()
+	defer st.swapMu.Unlock()
+	cand := st.candidate.Load()
+	if cand == nil {
+		return fmt.Errorf("%w: %q", ErrNoCandidate, name)
+	}
+	st.prev = st.active.Load()
+	st.active.Store(cand)
+	st.candidate.Store(nil)
+	st.activeVer.Set(int64(cand.DB.Version))
+	st.candVer.Set(0)
+	r.evolveCutovers.Inc()
+	return nil
+}
+
+// RollbackDatabase reverts the cohort to the version displaced by the
+// last cutover. Rollback is one-step — the reverted-from version is
+// not retained — and drops any candidate installed since. Devices
+// swap back to their retained pre-cutover managers on their next
+// decision, so pre-cutover state (including AuRA value functions)
+// survives a cutover-then-rollback round trip intact.
+func (r *Registry) RollbackDatabase(name string) error {
+	st, ok := r.dbs[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoDatabase, name)
+	}
+	st.swapMu.Lock()
+	defer st.swapMu.Unlock()
+	if st.prev == nil {
+		return fmt.Errorf("%w: %q", ErrNoPrevious, name)
+	}
+	st.candidate.Store(nil)
+	st.active.Store(st.prev)
+	st.activeVer.Set(int64(st.prev.DB.Version))
+	st.candVer.Set(0)
+	st.prev = nil
+	r.evolveRollbacks.Inc()
+	return nil
+}
+
+// DropCandidate withdraws the cohort's candidate without a cutover —
+// the evolve worker's reject path when the shadow window shows too
+// much divergence. Devices discard their shadow managers on their next
+// decision.
+func (r *Registry) DropCandidate(name string) error {
+	st, ok := r.dbs[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoDatabase, name)
+	}
+	st.swapMu.Lock()
+	defer st.swapMu.Unlock()
+	if st.candidate.Load() == nil {
+		return fmt.Errorf("%w: %q", ErrNoCandidate, name)
+	}
+	st.candidate.Store(nil)
+	st.candVer.Set(0)
+	r.evolveDropped.Inc()
+	return nil
+}
+
+// ActiveDatabase returns the cohort's currently served database.
+func (r *Registry) ActiveDatabase(name string) (*dse.Database, error) {
+	st, ok := r.dbs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoDatabase, name)
+	}
+	return st.active.Load().DB, nil
+}
+
+// EvolveStatus snapshots one cohort's version and shadow-window state.
+func (r *Registry) EvolveStatus(name string) (EvolveStatus, error) {
+	st, ok := r.dbs[name]
+	if !ok {
+		return EvolveStatus{}, fmt.Errorf("%w: %q", ErrNoDatabase, name)
+	}
+	return st.status(), nil
+}
+
+// EvolveStatuses snapshots every cohort, in registration order.
+func (r *Registry) EvolveStatuses() []EvolveStatus {
+	out := make([]EvolveStatus, 0, len(r.names))
+	for _, name := range r.names {
+		out = append(out, r.dbs[name].status())
+	}
+	return out
+}
+
+func (st *dbState) status() EvolveStatus {
+	st.swapMu.Lock()
+	active := st.active.Load()
+	cand := st.candidate.Load()
+	prev := st.prev
+	st.swapMu.Unlock()
+	s := EvolveStatus{
+		Database:      st.name,
+		ActiveVersion: active.DB.Version,
+		ActivePoints:  active.DB.Len(),
+		ShadowEvents:  st.shadowEvents.Load(),
+		Agreements:    st.shadowAgree.Load(),
+		Divergences:   st.shadowDiverge.Load(),
+	}
+	if cand != nil {
+		s.HasCandidate = true
+		s.CandidateVersion = cand.DB.Version
+		s.CandidatePoints = cand.DB.Len()
+	}
+	if prev != nil {
+		s.HasPrevious = true
+		s.PreviousVersion = prev.DB.Version
+	}
+	if s.ShadowEvents > 0 {
+		s.Agreement = float64(s.Agreements) / float64(s.ShadowEvents)
+	}
+	st.sampleMu.Lock()
+	s.Samples = append([]DivergenceSample(nil), st.samples...)
+	st.sampleMu.Unlock()
+	return s
+}
+
+// newManagerOn boots a fresh manager for the device parameters against
+// the given database version.
+func newManagerOn(n *NamedDatabase, p DeviceParams, boot runtime.QoSSpec) (*runtime.Manager, error) {
+	mp := runtime.ManagerParams{
+		DB:                     n.DB,
+		Space:                  n.Space,
+		Matrix:                 n.matrix,
+		PRC:                    p.PRC,
+		Trigger:                p.Trigger,
+		Policy:                 p.Policy,
+		MeanInterArrivalCycles: p.MeanInterArrivalCycles,
+	}
+	if p.Gamma > 0 {
+		mp.Agent = runtime.NewAgentForDB(n.DB, p.Gamma, 0)
+	}
+	return runtime.NewManager(mp, boot)
+}
+
+// bootSpec is the specification a version migration boots replacement
+// managers with: the device's last observed spec when one exists (its
+// empirical operating point), the registration spec otherwise. Callers
+// hold the device semaphore.
+func (d *device) bootSpec() runtime.QoSSpec {
+	if d.haveSpec {
+		return d.lastSpec
+	}
+	return d.params.Initial
+}
+
+// managerTracking boots a manager on n and aligns it with the device's
+// current trajectory: the configuration in force is remapped into n by
+// its canonical mapping key (version-independent), and the event clock
+// is carried over. When the current configuration does not exist in n
+// the manager keeps its boot choice for the device's operating spec —
+// the closest n offers. An AuRA agent starts from n's stay-put prior;
+// cross-version value transfer is undefined (the point sets differ).
+// Callers hold the device semaphore.
+func (d *device) managerTracking(n *NamedDatabase) (*runtime.Manager, error) {
+	mgr, err := newManagerOn(n, d.params, d.bootSpec())
+	if err != nil {
+		return nil, err
+	}
+	old := d.mgr.Load()
+	cur := mgr.Current()
+	if idx, ok := n.keyIdx[d.db.Load().keys[old.Current()]]; ok {
+		cur = idx
+	}
+	if err := mgr.Restore(cur, old.Events()); err != nil {
+		return nil, err
+	}
+	return mgr, nil
+}
+
+// syncVersion converges the device onto its cohort's current active
+// and candidate versions. The caller holds the device semaphore, so
+// the manager swaps happen between decisions, never inside one. It
+// never fails the decision: if a replacement manager cannot be built
+// (which requires an invalid database, excluded by ProposeDatabase)
+// the device keeps serving its current version — journal stamps stay
+// truthful — and retries on its next decision.
+func (r *Registry) syncVersion(d *device) {
+	active := d.state.active.Load()
+	if d.db.Load() != active {
+		switch {
+		case d.shadowDB == active:
+			// Cutover to the candidate this device was shadowing: adopt
+			// the shadow manager, whose state already tracks every
+			// shadowed event, and retain the displaced manager for
+			// rollback.
+			d.prevMgr, d.prevDB = d.mgr.Load(), d.db.Load()
+			d.mgr.Store(d.shadow)
+			d.db.Store(d.shadowDB)
+			d.shadow, d.shadowDB = nil, nil
+		case d.prevDB == active:
+			// One-step rollback: resume the retained pre-cutover
+			// manager exactly where the cutover left it.
+			d.mgr.Store(d.prevMgr)
+			d.db.Store(d.prevDB)
+			d.prevMgr, d.prevDB = nil, nil
+			d.shadow, d.shadowDB = nil, nil
+		default:
+			// The active version changed while this device held neither
+			// a matching shadow nor a matching previous manager (it
+			// registered or was imported across the swap): rebuild
+			// against the active version, tracking the current
+			// configuration by mapping key.
+			if mgr, err := d.managerTracking(active); err == nil {
+				d.prevMgr, d.prevDB = d.mgr.Load(), d.db.Load()
+				d.mgr.Store(mgr)
+				d.db.Store(active)
+				d.shadow, d.shadowDB = nil, nil
+			}
+		}
+	}
+	cand := d.state.candidate.Load()
+	switch {
+	case cand == nil:
+		d.shadow, d.shadowDB = nil, nil
+	case d.shadowDB != cand:
+		if mgr, err := d.managerTracking(cand); err == nil {
+			d.shadow, d.shadowDB = mgr, cand
+		} else {
+			d.shadow, d.shadowDB = nil, nil
+		}
+	}
+}
+
+// shadowScore dual-serves one decided event against the device's
+// shadow manager and accounts agreement or divergence. It runs under
+// the device semaphore, after the real decision committed; the shadow
+// decision is compared by chosen configuration (mapping key) and is
+// never served, journaled or cached.
+//
+// For agentless (uRA) devices the shadow decision is a pure function
+// of (current shadow point, spec), so a one-entry memo short-circuits
+// the common repeated-spec case: the cached choice is replayed, which
+// advances the shadow's event clock exactly as a full decision would.
+// An AuRA shadow (Gamma > 0) never uses the memo — its learned values
+// feed the scoring, so identical inputs may choose differently.
+func (r *Registry) shadowScore(d *device, seq uint64, spec runtime.QoSSpec, dec runtime.Decision) {
+	if d.shadow == nil {
+		return
+	}
+	cand := d.shadowDB
+	cur := d.shadow.Current()
+	var shadowTo int
+	if d.params.Gamma == 0 && d.memoMgr == d.shadow && d.memoFrom == cur && d.memoSpec == spec {
+		shadowTo = d.memoTo
+		if err := d.shadow.Replay(shadowTo, 0); err != nil {
+			// Unreachable for a memo recorded against this manager;
+			// fall back to a full decision if it ever happens.
+			shadowTo = d.shadow.OnQoSChange(spec).To
+		}
+	} else {
+		shadowTo = d.shadow.OnQoSChange(spec).To
+		d.memoMgr, d.memoFrom, d.memoSpec, d.memoTo = d.shadow, cur, spec, shadowTo
+	}
+	st := d.state
+	if st.candidate.Load() != cand {
+		// The candidate was replaced or withdrawn mid-decision; the
+		// window these counts belonged to is gone.
+		return
+	}
+	st.shadowEvents.Add(1)
+	r.evolveShadowEvents.Inc()
+	db := d.db.Load()
+	if cand.keys[shadowTo] == db.keys[dec.To] {
+		st.shadowAgree.Add(1)
+		r.evolveShadowAgree.Inc()
+		return
+	}
+	st.shadowDiverge.Add(1)
+	r.evolveShadowDiverge.Inc()
+	st.addSample(DivergenceSample{
+		Device:        d.id,
+		Seq:           seq,
+		ActiveTo:      dec.To,
+		ShadowTo:      shadowTo,
+		ActiveVersion: db.DB.Version,
+		ShadowVersion: cand.DB.Version,
+	})
+}

@@ -68,10 +68,17 @@ type NamedDatabase struct {
 	Space *mapping.Space
 
 	// matrix is the precomputed pairwise dRC table over DB, built once
-	// at registry construction and shared read-only by every device on
+	// per database version and shared read-only by every device on
 	// this database — registering a device costs O(|DB|) instead of the
 	// O(|DB|^2) dRC computations a private table would need.
 	matrix *mapping.DRCMatrix
+	// keys/keyIdx are the per-point canonical mapping keys and their
+	// reverse index, built with the matrix. Point IDs are only
+	// meaningful within one database version; the keys identify
+	// configurations across versions (shadow agreement, migration
+	// remapping).
+	keys   []string
+	keyIdx map[string]int
 }
 
 // Envelope returns the database's QoS metric ranges — the satisfiable
@@ -177,11 +184,41 @@ type device struct {
 	sem    chan struct{}
 	id     string
 	dbName string
-	db     *NamedDatabase
-	mgr    *runtime.Manager
+	state  *dbState     // the cohort's version state (immutable pointer)
 	params DeviceParams // retained for cluster handoff (see ExportDevice)
 	stats  DeviceStats
 	regAt  time.Time
+
+	// db and mgr are the database version this device currently serves
+	// from and the manager built against it. syncVersion swaps them
+	// under the device semaphore; they are atomic pointers because the
+	// degraded path — which may run without the semaphore — reads them
+	// to answer stay-put and stamp the journal's version.
+	db  atomic.Pointer[NamedDatabase]
+	mgr atomic.Pointer[runtime.Manager]
+
+	// Version-migration state, touched only under the semaphore.
+	// shadow/shadowDB dual-serve the cohort's candidate version;
+	// prevMgr/prevDB retain the displaced pre-cutover manager for
+	// one-step rollback; lastSpec is the device's most recent observed
+	// specification, the boot spec for replacement managers.
+	shadow   *runtime.Manager
+	shadowDB *NamedDatabase
+	prevMgr  *runtime.Manager
+	prevDB   *NamedDatabase
+	lastSpec runtime.QoSSpec
+	haveSpec bool
+
+	// Shadow-decision memo, valid only for agentless (uRA) shadow
+	// managers, whose decision is a pure function of (current point,
+	// spec): when the same spec arrives again with the shadow at the
+	// same point, shadowScore replays the cached choice instead of
+	// re-deciding. memoMgr keys the memo to one manager instance so a
+	// version change self-invalidates it.
+	memoMgr  *runtime.Manager
+	memoFrom int
+	memoSpec runtime.QoSSpec
+	memoTo   int
 
 	// plabels is the pprof label set stamped on this device's decide
 	// calls, built once at construction: pprof.Labels allocates, and
@@ -237,7 +274,7 @@ type shard struct {
 // Registry is the sharded, concurrency-safe set of per-device
 // managers. All methods are safe for concurrent use.
 type Registry struct {
-	dbs    map[string]*NamedDatabase
+	dbs    map[string]*dbState
 	names  []string // registration order, for stable listings
 	shards []*shard
 
@@ -264,6 +301,15 @@ type Registry struct {
 	degradedDev *metrics.Gauge
 	decisionLat *metrics.Histogram
 	stageLat    map[string]*metrics.Histogram
+
+	// Continuous-ReD instruments (see evolve.go).
+	evolveProposals     *metrics.Counter
+	evolveCutovers      *metrics.Counter
+	evolveRollbacks     *metrics.Counter
+	evolveDropped       *metrics.Counter
+	evolveShadowEvents  *metrics.Counter
+	evolveShadowAgree   *metrics.Counter
+	evolveShadowDiverge *metrics.Counter
 }
 
 // NewRegistry validates every database (see dse.Database.Validate)
@@ -277,7 +323,7 @@ func NewRegistry(dbs []NamedDatabase, shards int) (*Registry, error) {
 		shards = DefaultShards
 	}
 	r := &Registry{
-		dbs:    make(map[string]*NamedDatabase, len(dbs)),
+		dbs:    make(map[string]*dbState, len(dbs)),
 		shards: make([]*shard, shards),
 		met:    metrics.NewRegistry(),
 	}
@@ -295,8 +341,17 @@ func NewRegistry(dbs []NamedDatabase, shards int) (*Registry, error) {
 		if err := db.DB.Validate(db.Space); err != nil {
 			return nil, fmt.Errorf("fleet: database %q: %w", db.Name, err)
 		}
-		db.matrix = mapping.NewDRCMatrix(db.Space, db.DB.Mappings())
-		r.dbs[db.Name] = &db
+		db.build()
+		st := &dbState{
+			name: db.Name,
+			activeVer: r.met.Gauge("clr_evolve_active_version",
+				"Database version currently served, per cohort.", "db", db.Name),
+			candVer: r.met.Gauge("clr_evolve_candidate_version",
+				"Candidate database version being shadow-served, per cohort (0 when none).", "db", db.Name),
+		}
+		st.active.Store(&db)
+		st.activeVer.Set(int64(db.DB.Version))
+		r.dbs[db.Name] = st
 		r.names = append(r.names, db.Name)
 	}
 	r.clock = obs.NowClock
@@ -334,6 +389,20 @@ func NewRegistry(dbs []NamedDatabase, shards int) (*Registry, error) {
 			"Wall-clock latency of one decide-path stage (filter, score, switch, agent_update).",
 			metrics.StageLatencyBuckets(), "stage", st)
 	}
+	r.evolveProposals = r.met.Counter("clr_evolve_proposals_total",
+		"Candidate databases installed for shadow serving.")
+	r.evolveCutovers = r.met.Counter("clr_evolve_cutovers_total",
+		"Candidate databases promoted to active.")
+	r.evolveRollbacks = r.met.Counter("clr_evolve_rollbacks_total",
+		"Cutovers reverted to the previous database version.")
+	r.evolveDropped = r.met.Counter("clr_evolve_candidates_dropped_total",
+		"Candidate databases withdrawn without a cutover.")
+	r.evolveShadowEvents = r.met.Counter("clr_evolve_shadow_events_total",
+		"Decisions additionally scored against a candidate database.")
+	r.evolveShadowAgree = r.met.Counter("clr_evolve_shadow_agreements_total",
+		"Shadow decisions that chose the active decision's configuration.")
+	r.evolveShadowDiverge = r.met.Counter("clr_evolve_shadow_divergences_total",
+		"Shadow decisions that chose a different configuration than the active database.")
 	return r, nil
 }
 
@@ -367,11 +436,12 @@ func (r *Registry) shardFor(id string) *shard {
 	return r.shards[h.Sum32()%uint32(len(r.shards))]
 }
 
-// Databases lists the registered databases in registration order.
+// Databases lists the registered databases in registration order, each
+// at its currently active version.
 func (r *Registry) Databases() []NamedDatabase {
 	out := make([]NamedDatabase, 0, len(r.names))
 	for _, name := range r.names {
-		out = append(out, *r.dbs[name])
+		out = append(out, *r.dbs[name].active.Load())
 	}
 	return out
 }
@@ -384,33 +454,24 @@ func (r *Registry) Register(p DeviceParams) (*DeviceInfo, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
-	db, ok := r.dbs[p.Database]
+	st, ok := r.dbs[p.Database]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoDatabase, p.Database)
 	}
-	mp := runtime.ManagerParams{
-		DB:                     db.DB,
-		Space:                  db.Space,
-		Matrix:                 db.matrix,
-		PRC:                    p.PRC,
-		Trigger:                p.Trigger,
-		Policy:                 p.Policy,
-		MeanInterArrivalCycles: p.MeanInterArrivalCycles,
-	}
-	if p.Gamma > 0 {
-		mp.Agent = runtime.NewAgentForDB(db.DB, p.Gamma, 0)
-	}
+	db := st.active.Load()
 	// Build the manager outside the shard lock: boot scans the whole
 	// database, and nothing below can fail.
-	mgr, err := runtime.NewManager(mp, p.Initial)
+	mgr, err := newManagerOn(db, p, p.Initial)
 	if err != nil {
 		return nil, err
 	}
 	d := &device{
 		sem: make(chan struct{}, 1),
-		id:  p.ID, dbName: p.Database, db: db, mgr: mgr, params: p, regAt: time.Now(),
+		id:  p.ID, dbName: p.Database, state: st, params: p, regAt: time.Now(),
 		plabels: pprof.Labels("device", p.ID, "stage", "decide"),
 	}
+	d.db.Store(db)
+	d.mgr.Store(mgr)
 
 	sh := r.shardFor(p.ID)
 	sh.mu.Lock()
@@ -509,7 +570,7 @@ func (r *Registry) decideOn(ctx context.Context, d *device, seq uint64, spec run
 		}
 		// The device's decision path is wedged past our deadline:
 		// answer degraded without touching any state.
-		return r.degrade(d, seq, tr, err), nil
+		return r.degrade(d, seq, spec, tr, err), nil
 	}
 	if d.removed.Load() {
 		d.release()
@@ -542,17 +603,22 @@ func (r *Registry) decideLocked(ctx context.Context, d *device, seq uint64, spec
 	}
 	if r.hook != nil {
 		if err := r.hook(ctx, d.id, seq); err != nil {
-			return r.degrade(d, seq, tr, err), nil
+			return r.degrade(d, seq, spec, tr, err), nil
 		}
 	}
+	// Converge onto the cohort's current active/candidate versions
+	// before deciding — the swap happens here, between decisions, under
+	// the semaphore the caller holds.
+	r.syncVersion(d)
 	var dec runtime.Decision
 	var detail runtime.DecisionDetail
 	// pprof labels attribute CPU samples under the decide path to the
 	// device and stage, so a fleet-wide profile decomposes per device.
 	pprof.Do(ctx, d.plabels, func(context.Context) {
-		dec, detail = d.mgr.OnQoSChangeObserved(spec, tr)
+		dec, detail = d.mgr.Load().OnQoSChangeObserved(spec, tr)
 	})
 	d.stats.Decisions++
+	d.lastSpec, d.haveSpec = spec, true
 	if dec.Reconfigured {
 		d.stats.Reconfigs++
 		d.stats.TotalDRCMs += dec.Cost.Total()
@@ -569,7 +635,11 @@ func (r *Registry) decideLocked(ctx context.Context, d *device, seq uint64, spec
 	// and the journal entry of the same decision together (the append
 	// itself is lock-free, so the hold grows by well under a
 	// microsecond).
-	r.journal(d, seq, tr, dec, detail, false)
+	r.journal(d, seq, spec, tr, dec, detail, false)
+	// Dual-serve the event against the candidate version, if one is
+	// installed. After the journal append: the shadow never influences
+	// the served decision or the flight record.
+	r.shadowScore(d, seq, spec, dec)
 	// Clear the degraded flag while the semaphore is still held, so a
 	// concurrent export's DegradedNow snapshot and this gauge move
 	// together (ExportRemove decrements from its snapshot).
@@ -589,8 +659,8 @@ func (r *Registry) decideLocked(ctx context.Context, d *device, seq uint64, spec
 // degrade builds the last-known-good fallback outcome for a decision
 // path that faulted with err, and accounts for it. It must not assume
 // the device semaphore is held.
-func (r *Registry) degrade(d *device, seq uint64, tr *obs.Trace, err error) DecideOutcome {
-	cur := d.mgr.Current()
+func (r *Registry) degrade(d *device, seq uint64, spec runtime.QoSSpec, tr *obs.Trace, err error) DecideOutcome {
+	cur := d.mgr.Load().Current()
 	d.degradedN.Add(1)
 	if d.degraded.CompareAndSwap(false, true) {
 		r.degradedDev.Add(1)
@@ -600,7 +670,7 @@ func (r *Registry) degrade(d *device, seq uint64, tr *obs.Trace, err error) Deci
 		r.timeouts.Inc()
 	}
 	dec := runtime.Decision{From: cur, To: cur}
-	r.journal(d, seq, tr, dec, runtime.DecisionDetail{}, true)
+	r.journal(d, seq, spec, tr, dec, runtime.DecisionDetail{}, true)
 	return DecideOutcome{
 		Decision: dec,
 		Degraded: true,
@@ -612,7 +682,7 @@ func (r *Registry) degrade(d *device, seq uint64, tr *obs.Trace, err error) Deci
 // explains decisions, and a replay repeats one — so for any (device,
 // seq) exactly one non-degraded entry exists, plus one degraded entry
 // per faulted attempt.
-func (r *Registry) journal(d *device, seq uint64, tr *obs.Trace, dec runtime.Decision, detail runtime.DecisionDetail, degraded bool) {
+func (r *Registry) journal(d *device, seq uint64, spec runtime.QoSSpec, tr *obs.Trace, dec runtime.Decision, detail runtime.DecisionDetail, degraded bool) {
 	e := &obs.Entry{
 		TraceID:      tr.ID(),
 		Device:       d.id,
@@ -627,6 +697,9 @@ func (r *Registry) journal(d *device, seq uint64, tr *obs.Trace, dec runtime.Dec
 		Infeasible:   detail.Infeasible,
 		Score:        detail.Score,
 		DRCMs:        dec.Cost.Total(),
+		DBVersion:    d.db.Load().DB.Version,
+		SpecSMaxMs:   spec.SMaxMs,
+		SpecFMin:     spec.FMin,
 		Stages:       append([]obs.Span(nil), tr.Spans()...),
 	}
 	r.shardFor(d.id).journal.Append(e)
@@ -667,6 +740,36 @@ func (r *Registry) Decisions(device string, limit int) []obs.Entry {
 		}
 		return out[i].Seq < out[j].Seq
 	})
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
+}
+
+// DecisionsForDatabase snapshots the journaled decisions of the
+// devices currently registered against the named database cohort,
+// oldest first — the observation stream the Continuous-ReD worker
+// folds into its empirical event distribution. Entries of devices that
+// have since deregistered or moved off this node are not included.
+func (r *Registry) DecisionsForDatabase(name string, limit int) []obs.Entry {
+	member := make(map[string]bool)
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for id, d := range sh.devices {
+			if d.dbName == name {
+				member[id] = true
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	out := r.Decisions("", 0)
+	kept := out[:0]
+	for _, e := range out {
+		if member[e.Device] {
+			kept = append(kept, e)
+		}
+	}
+	out = kept
 	if limit > 0 && len(out) > limit {
 		out = out[len(out)-limit:]
 	}
@@ -718,7 +821,7 @@ func (d *device) snapshot() *DeviceInfo {
 	stats := d.stats
 	d.release()
 	stats.Degraded = d.degradedN.Load()
-	pt := d.mgr.CurrentPoint()
+	pt := d.mgr.Load().CurrentPoint()
 	return &DeviceInfo{
 		ID:           d.id,
 		Database:     d.dbName,

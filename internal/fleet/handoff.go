@@ -30,6 +30,17 @@ type DeviceState struct {
 	// manager's processed-event count (the AuRA episode clock).
 	Point  int `json:"point"`
 	Events int `json:"events"`
+	// DBVersion is the database version the device was serving from
+	// when exported (Point is only meaningful within it). The importer
+	// must be active on the same version — the cluster agrees on
+	// versions before cutover — or the import fails with ErrVersionSkew
+	// and the exporter keeps the device.
+	DBVersion uint64 `json:"db_version,omitempty"`
+	// LastSpec/HaveSpec carry the device's most recent observed QoS
+	// specification — the boot spec for managers rebuilt by a later
+	// version migration on the importing node.
+	LastSpec runtime.QoSSpec `json:"last_spec"`
+	HaveSpec bool            `json:"have_spec,omitempty"`
 	// Stats is the cumulative decision history (Degraded included).
 	Stats DeviceStats `json:"stats"`
 	// DegradedNow marks a device whose latest answer was degraded, so
@@ -82,13 +93,17 @@ func (r *Registry) exportState(d *device, tombstone bool) *DeviceState {
 		RegisteredAt: d.regAt,
 		LastSeq:      d.lastSeq,
 		HaveLast:     d.haveLast,
+		LastSpec:     d.lastSpec,
+		HaveSpec:     d.haveSpec,
+		DBVersion:    d.db.Load().DB.Version,
 	}
 	if d.haveLast {
 		dec := d.lastDec
 		st.LastDec = &dec
 	}
-	st.Point = d.mgr.Current()
-	st.Events = d.mgr.Events()
+	mgr := d.mgr.Load()
+	st.Point = mgr.Current()
+	st.Events = mgr.Events()
 	for _, e := range r.shardFor(d.id).journal.Snapshot() {
 		if e.Device == d.id {
 			st.Journal = append(st.Journal, e)
@@ -144,14 +159,17 @@ func (r *Registry) ExportRemove(id string) (*DeviceState, error) {
 }
 
 // ImportDevice installs a migrated device from its handoff bundle.
-// The manager is booted fresh, the journal is replayed through it
-// (each non-degraded entry re-applies its transition and re-teaches
-// the agent the recorded reward), and the snapshot point/event-clock
-// then corrects for any history the exporting journal's ring had
-// already overwritten. The replay cache and journal entries are
-// adopted as-is, so a retried sequence number is answered from the
-// cache and the device's whole decision history remains explainable
-// from this node's /debug/decisions.
+// The manager is booted fresh on the importer's active database —
+// which must be the version the bundle was exported at (ErrVersionSkew
+// otherwise; Point and the journal's transitions are only meaningful
+// within one version) — the journal is replayed through it (each
+// non-degraded same-version entry re-applies its transition and
+// re-teaches the agent the recorded reward), and the snapshot
+// point/event-clock then corrects for any history the exporting
+// journal's ring had already overwritten. The replay cache and journal
+// entries are adopted as-is, so a retried sequence number is answered
+// from the cache and the device's whole decision history remains
+// explainable from this node's /debug/decisions.
 func (r *Registry) ImportDevice(st *DeviceState) error {
 	if st == nil {
 		return fmt.Errorf("fleet: nil device state")
@@ -160,29 +178,25 @@ func (r *Registry) ImportDevice(st *DeviceState) error {
 	if err := p.validate(); err != nil {
 		return err
 	}
-	db, ok := r.dbs[p.Database]
+	dbst, ok := r.dbs[p.Database]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoDatabase, p.Database)
 	}
-	mp := runtime.ManagerParams{
-		DB:                     db.DB,
-		Space:                  db.Space,
-		Matrix:                 db.matrix,
-		PRC:                    p.PRC,
-		Trigger:                p.Trigger,
-		Policy:                 p.Policy,
-		MeanInterArrivalCycles: p.MeanInterArrivalCycles,
+	db := dbst.active.Load()
+	if st.DBVersion != db.DB.Version {
+		return fmt.Errorf("%w: %q bundle v%d, active v%d", ErrVersionSkew, p.ID, st.DBVersion, db.DB.Version)
 	}
-	if p.Gamma > 0 {
-		mp.Agent = runtime.NewAgentForDB(db.DB, p.Gamma, 0)
-	}
-	mgr, err := runtime.NewManager(mp, p.Initial)
+	mgr, err := newManagerOn(db, p, p.Initial)
 	if err != nil {
 		return err
 	}
 	for _, e := range st.Journal {
-		if e.Degraded {
-			continue // degraded answers never advanced manager state
+		if e.Degraded || e.DBVersion != st.DBVersion {
+			// Degraded answers never advanced manager state; entries
+			// decided under an earlier database version reference point
+			// IDs that do not exist in this one — the Restore below
+			// lands the device on its snapshot state regardless.
+			continue
 		}
 		if err := mgr.Replay(e.To, e.DRCMs); err != nil {
 			return fmt.Errorf("fleet: import %q: journal replay: %w", p.ID, err)
@@ -193,12 +207,15 @@ func (r *Registry) ImportDevice(st *DeviceState) error {
 	}
 	d := &device{
 		sem: make(chan struct{}, 1),
-		id:  p.ID, dbName: p.Database, db: db, mgr: mgr,
+		id:  p.ID, dbName: p.Database, state: dbst,
 		params:  p,
 		stats:   st.Stats,
 		regAt:   st.RegisteredAt,
 		plabels: pprof.Labels("device", p.ID, "stage", "decide"),
 	}
+	d.db.Store(db)
+	d.mgr.Store(mgr)
+	d.lastSpec, d.haveSpec = st.LastSpec, st.HaveSpec
 	d.lastSeq, d.haveLast = st.LastSeq, st.HaveLast
 	if st.LastDec != nil {
 		d.lastDec = *st.LastDec

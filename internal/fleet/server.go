@@ -161,6 +161,7 @@ func (s *Server) buildMux() http.Handler {
 	route("GET /readyz", "readyz", s.handleReadyz)
 	route("GET /metrics", "metrics", s.handleMetrics)
 	route("GET /debug/decisions", "debug_decisions", s.handleDecisions)
+	route("GET /debug/evolve", "debug_evolve", s.handleEvolve)
 	return mux
 }
 
@@ -247,7 +248,9 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrNoDevice), errors.Is(err, ErrNoDatabase):
 		return http.StatusNotFound
-	case errors.Is(err, ErrDeviceExists), errors.Is(err, ErrStaleSeq):
+	case errors.Is(err, ErrDeviceExists), errors.Is(err, ErrStaleSeq),
+		errors.Is(err, ErrVersionSkew), errors.Is(err, ErrCandidateVersion),
+		errors.Is(err, ErrNoCandidate), errors.Is(err, ErrNoPrevious):
 		return http.StatusConflict
 	case errors.As(err, &maxBytes):
 		return http.StatusRequestEntityTooLarge
@@ -547,6 +550,22 @@ func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 		Device:    device,
 		Decisions: entries,
 	})
+}
+
+// handleEvolve serves the Continuous-ReD state: per-cohort active and
+// candidate versions, the shadow window's agreement counters and the
+// most recent divergences. Query parameter db filters to one cohort.
+func (s *Server) handleEvolve(w http.ResponseWriter, r *http.Request) {
+	if name := r.URL.Query().Get("db"); name != "" {
+		st, err := s.reg.EvolveStatus(name)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, EvolveJSON{Databases: []EvolveStatus{st}})
+		return
+	}
+	writeJSON(w, http.StatusOK, EvolveJSON{Databases: s.reg.EvolveStatuses()})
 }
 
 // newHTTPServer applies the service's server-side timeouts.

@@ -33,6 +33,15 @@ type Entry struct {
 	Score float64 `json:"score"`
 	// DRCMs is the transition's total reconfiguration cost.
 	DRCMs float64 `json:"drc_ms"`
+	// DBVersion is the design-point database version the decision was
+	// scored against (0 for the design-time original). Point IDs in
+	// From/To are only meaningful relative to this version.
+	DBVersion uint64 `json:"db_version,omitempty"`
+	// SpecSMaxMs and SpecFMin record the QoS specification the event
+	// carried — the observed (S_SPEC, F_SPEC) sample the Continuous-ReD
+	// worker folds into its empirical event distribution.
+	SpecSMaxMs float64 `json:"spec_s_max_ms,omitempty"`
+	SpecFMin   float64 `json:"spec_f_min,omitempty"`
 	// Stages are the decide path's per-stage latencies.
 	Stages []Span `json:"stages,omitempty"`
 }

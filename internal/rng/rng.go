@@ -55,6 +55,11 @@ func (s *Source) Split(label int64) *Source {
 // Float64 returns a uniform variate in [0,1).
 func (s *Source) Float64() float64 { return s.r.Float64() }
 
+// Int63 returns a uniform non-negative 63-bit integer — the seed shape
+// consumers hand to further deterministic components (e.g. deriving GA
+// seeds from a fingerprinted observation stream).
+func (s *Source) Int63() int64 { return s.r.Int63() }
+
 // Intn returns a uniform int in [0,n). It panics if n <= 0, matching
 // math/rand semantics.
 func (s *Source) Intn(n int) int { return s.r.Intn(n) }

@@ -32,7 +32,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-pat="${1:-BenchmarkDRC\$|BenchmarkDecide\$|BenchmarkReD\$|BenchmarkFleetDecisionThroughput\$|BenchmarkFleetDecisionThroughputLargeDB\$|BenchmarkFleetBatchThroughput\$}"
+pat="${1:-BenchmarkDRC\$|BenchmarkDecide\$|BenchmarkReD\$|BenchmarkFleetDecisionThroughput\$|BenchmarkFleetDecisionThroughputLargeDB\$|BenchmarkFleetBatchThroughput\$|BenchmarkShadowDecide\$}"
 label="${2:-run}"
 gate="${3:-0}" # max tolerated ns/op regression in percent; 0 = warn only
 
