@@ -246,8 +246,11 @@ func main() {
 		if node != nil {
 			// In a cluster a handoff bundle is only importable at the
 			// importer's active version, so no node cuts over until every
-			// alive peer reports the same version state.
+			// alive peer reports the same version state — and a node that
+			// finds a peer already ahead adopts the peer's database
+			// (catch-up) instead of deferring forever.
 			w.Agreement = node.VersionsAgree
+			w.Reconcile = node.CatchUpVersions
 		}
 		go w.Run(ctx)
 		log.Info("continuous ReD enabled", "db", "red",

@@ -7,8 +7,18 @@ package cluster
 // (fleet.ErrVersionSkew). Cutting over one node at a time would turn
 // every rebalance during the transition into a skew rejection, so the
 // evolve worker gates cutover on VersionsAgree: every alive peer must
-// report the same active version for the database (and no peer may be
-// mid-transition with a different candidate) before any node swaps.
+// report the same active version — same number AND same content
+// fingerprint, since each node's worker proposes from its node-local
+// journal and two nodes can hold divergent databases both numbered
+// active+1 — for the database, and no peer may be mid-transition with
+// a different candidate, before any node swaps.
+//
+// The gate alone cannot keep the cluster converged: it is not atomic
+// across nodes, so one node can still cut over first (or two nodes can
+// race through it), after which every other node's gate fails against
+// the winner forever. CatchUpVersions is the repair path — a node that
+// observes a peer ahead of it fetches that peer's exact database and
+// adopts it, restoring agreement instead of wedging.
 
 import (
 	"context"
@@ -16,15 +26,22 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"clrdse/internal/dse"
 )
 
 // DBVersionJSON is one database cohort's version pair as published on
-// GET /v1/cluster/versions.
+// GET /v1/cluster/versions. The fingerprints are the content hashes of
+// the respective databases (fleet.NamedDatabase.Fingerprint): equal
+// version numbers with different fingerprints mean divergent
+// databases, not agreement.
 type DBVersionJSON struct {
-	Database         string `json:"database"`
-	ActiveVersion    uint64 `json:"active_version"`
-	HasCandidate     bool   `json:"has_candidate,omitempty"`
-	CandidateVersion uint64 `json:"candidate_version,omitempty"`
+	Database             string `json:"database"`
+	ActiveVersion        uint64 `json:"active_version"`
+	ActiveFingerprint    uint64 `json:"active_fingerprint"`
+	HasCandidate         bool   `json:"has_candidate,omitempty"`
+	CandidateVersion     uint64 `json:"candidate_version,omitempty"`
+	CandidateFingerprint uint64 `json:"candidate_fingerprint,omitempty"`
 }
 
 // VersionsJSON is the body of GET /v1/cluster/versions.
@@ -38,10 +55,12 @@ func (n *Node) VersionsInfo() VersionsJSON {
 	doc := VersionsJSON{Node: n.self}
 	for _, st := range n.reg.EvolveStatuses() {
 		doc.Databases = append(doc.Databases, DBVersionJSON{
-			Database:         st.Database,
-			ActiveVersion:    st.ActiveVersion,
-			HasCandidate:     st.HasCandidate,
-			CandidateVersion: st.CandidateVersion,
+			Database:             st.Database,
+			ActiveVersion:        st.ActiveVersion,
+			ActiveFingerprint:    st.ActiveFingerprint,
+			HasCandidate:         st.HasCandidate,
+			CandidateVersion:     st.CandidateVersion,
+			CandidateFingerprint: st.CandidateFingerprint,
 		})
 	}
 	return doc
@@ -52,10 +71,11 @@ func (n *Node) handleVersions(w http.ResponseWriter, _ *http.Request) {
 }
 
 // VersionsAgree reports whether every alive peer serves the named
-// database at this node's active version with a matching candidate
-// state. An unreachable peer or a malformed document is an error, not
-// a disagreement: the caller cannot distinguish "behind" from "down",
-// so it should defer the cutover rather than conclude anything.
+// database at this node's active version — number and content
+// fingerprint — with a matching candidate state. An unreachable peer
+// or a malformed document is an error, not a disagreement: the caller
+// cannot distinguish "behind" from "down", so it should defer the
+// cutover rather than conclude anything.
 func (n *Node) VersionsAgree(ctx context.Context, database string) (bool, error) {
 	local, err := n.reg.EvolveStatus(database)
 	if err != nil {
@@ -81,12 +101,14 @@ func (n *Node) VersionsAgree(ctx context.Context, database string) (bool, error)
 				continue
 			}
 			found = true
-			if d.ActiveVersion != local.ActiveVersion {
+			if d.ActiveVersion != local.ActiveVersion || d.ActiveFingerprint != local.ActiveFingerprint {
 				return false, nil
 			}
-			// A peer shadowing a different candidate than ours would cut
-			// over to a different version; hold until the views converge.
-			if d.HasCandidate && local.HasCandidate && d.CandidateVersion != local.CandidateVersion {
+			// A peer shadowing a different candidate than ours — by
+			// version or by content — would cut over to a different
+			// database; hold until the views converge.
+			if d.HasCandidate && local.HasCandidate &&
+				(d.CandidateVersion != local.CandidateVersion || d.CandidateFingerprint != local.CandidateFingerprint) {
 				return false, nil
 			}
 		}
@@ -116,4 +138,134 @@ func (n *Node) fetchVersions(ctx context.Context, url string) (*VersionsJSON, er
 		return nil, err
 	}
 	return &doc, nil
+}
+
+// DatabaseJSON is the body of GET /v1/cluster/database/{name}: the
+// node's active database for one cohort, with the version/fingerprint
+// pair the catch-up path verifies before adopting it.
+type DatabaseJSON struct {
+	Node        string        `json:"node"`
+	Database    string        `json:"database"`
+	Version     uint64        `json:"version"`
+	Fingerprint uint64        `json:"fingerprint"`
+	DB          *dse.Database `json:"db"`
+}
+
+func (n *Node) handleDatabase(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	db, fp, err := n.reg.ActiveSnapshot(name)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, DatabaseJSON{
+		Node: n.self, Database: name, Version: db.Version, Fingerprint: fp, DB: db,
+	})
+}
+
+// fetchDatabase GETs one peer's active database for the cohort.
+func (n *Node) fetchDatabase(ctx context.Context, url, name string) (*DatabaseJSON, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/cluster/database/"+name, nil)
+	if err != nil {
+		return nil, err
+	}
+	if n.token != "" {
+		req.Header.Set(TokenHeader, n.token)
+	}
+	resp, err := n.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var doc DatabaseJSON
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// winsOver reports whether database state (ver, fp) beats (overVer,
+// overFp) in the cluster's deterministic convergence order: higher
+// version wins, and between divergent databases sharing a version
+// number the larger content fingerprint wins. Any total order works —
+// it only has to be the same on every node, so all nodes chase the
+// same winner.
+func winsOver(ver, fp, overVer, overFp uint64) bool {
+	if ver != overVer {
+		return ver > overVer
+	}
+	return fp > overFp
+}
+
+// CatchUpVersions reconverges this node's active database for the
+// named cohort with the cluster. The cutover gate is not atomic across
+// nodes, so a node can find itself behind: a peer cut over first (or
+// two peers raced to divergent databases sharing a version number).
+// Every such state wedges without repair — the lagging node's
+// VersionsAgree stays false forever, deferring its own cutovers, and
+// every handoff between the two sides fails with version skew. The
+// repair: when any alive peer's active database wins the convergence
+// order against ours, fetch that exact database from the peer and
+// adopt it (an immediate cutover that drops any local candidate; see
+// fleet.AdoptDatabase). It reports whether a database was adopted.
+//
+// Unreachable peers are skipped, not fatal: catch-up is best-effort
+// and re-runs on every evolve tick; a down winner will be re-observed
+// once it is back.
+func (n *Node) CatchUpVersions(ctx context.Context, database string) (bool, error) {
+	local, err := n.reg.EvolveStatus(database)
+	if err != nil {
+		return false, err
+	}
+
+	n.mu.Lock()
+	peers := n.aliveMembersLocked()
+	urls := n.urls
+	n.mu.Unlock()
+
+	bestVer, bestFP := local.ActiveVersion, local.ActiveFingerprint
+	bestPeer := ""
+	for _, id := range peers {
+		if id == n.self {
+			continue
+		}
+		doc, err := n.fetchVersions(ctx, urls[id])
+		if err != nil {
+			continue
+		}
+		for _, d := range doc.Databases {
+			if d.Database != database {
+				continue
+			}
+			if winsOver(d.ActiveVersion, d.ActiveFingerprint, bestVer, bestFP) {
+				bestVer, bestFP, bestPeer = d.ActiveVersion, d.ActiveFingerprint, id
+			}
+		}
+	}
+	if bestPeer == "" {
+		return false, nil
+	}
+
+	doc, err := n.fetchDatabase(ctx, urls[bestPeer], database)
+	if err != nil {
+		return false, fmt.Errorf("cluster: database from %s: %w", bestPeer, err)
+	}
+	if doc.DB == nil {
+		return false, fmt.Errorf("cluster: database from %s: empty document", bestPeer)
+	}
+	// The peer may have moved between the two fetches; adopt whatever
+	// it serves now as long as it still beats our active state.
+	if !winsOver(doc.Version, doc.Fingerprint, local.ActiveVersion, local.ActiveFingerprint) {
+		return false, nil
+	}
+	if err := n.reg.AdoptDatabase(database, doc.DB); err != nil {
+		return false, fmt.Errorf("cluster: adopt v%d from %s: %w", doc.Version, bestPeer, err)
+	}
+	n.log.InfoContext(ctx, "adopted peer database",
+		"db", database, "peer", bestPeer,
+		"version", doc.Version, "was", local.ActiveVersion)
+	return true, nil
 }

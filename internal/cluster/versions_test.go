@@ -1,11 +1,14 @@
 package cluster_test
 
-// Version-agreement surface: the /v1/cluster/versions document and
-// the VersionsAgree gate the evolve worker consults before a cutover.
-// The matrix pinned here: converged cluster agrees; a candidate on
-// one node alone still agrees (active versions match); divergent
-// candidates or a one-node cutover disagree; convergence restores
-// agreement; an unreachable peer is an error, never a verdict.
+// Version-agreement surface: the /v1/cluster/versions document, the
+// VersionsAgree gate the evolve worker consults before a cutover, and
+// the CatchUpVersions repair path that reconverges a cluster after the
+// (non-atomic) gate let one node cut over first. The matrix pinned
+// here: converged cluster agrees; a candidate on one node alone still
+// agrees (active versions match); divergent candidates — by version
+// number or by content fingerprint — or a one-node cutover disagree;
+// convergence (explicit or via catch-up) restores agreement; an
+// unreachable peer is an error, never a verdict.
 
 import (
 	"context"
@@ -92,7 +95,19 @@ func TestClusterVersions(t *testing.T) {
 	if err := clus.Nodes[1].Srv.Registry().ProposeDatabase(name, candidateAt(dbs[0].DB, 2)); err != nil {
 		t.Fatal(err)
 	}
-	mustAgree(0, false, "with divergent candidates")
+	mustAgree(0, false, "with divergent candidate versions")
+	if err := clus.Nodes[1].Srv.Registry().DropCandidate(name); err != nil {
+		t.Fatal(err)
+	}
+
+	// Divergent candidate *content* under one shared version number
+	// blocks too: each worker proposes from its node-local journal, so
+	// two nodes can number different databases active+1 — cutting over
+	// would split the cluster while the version numbers still "agree".
+	if err := clus.Nodes[1].Srv.Registry().ProposeDatabase(name, candidateAt(dbs[1].DB, 1)); err != nil {
+		t.Fatal(err)
+	}
+	mustAgree(0, false, "with same-version divergent candidates")
 	if err := clus.Nodes[1].Srv.Registry().DropCandidate(name); err != nil {
 		t.Fatal(err)
 	}
@@ -151,5 +166,129 @@ func TestVersionsAgreeUnreachablePeer(t *testing.T) {
 	}
 	if ok {
 		t.Error("VersionsAgree reported agreement alongside an error")
+	}
+}
+
+// TestCatchUpAfterSingleNodeCutover pins the repair path for the
+// wedge the agreement gate alone cannot prevent: the gate is not
+// atomic across nodes, so one node can cut over first — after which
+// every peer's VersionsAgree is false forever and all cross-node
+// handoffs fail with version skew. A lagging peer must fetch and
+// adopt the winner's exact database, restoring agreement.
+func TestCatchUpAfterSingleNodeCutover(t *testing.T) {
+	clus, err := fleettest.NewCluster(fleettest.ClusterOptions{Nodes: 3, TraceSeed: 53})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clus.Close()
+	dbs := fleettest.Databases(t)
+	name := dbs[0].Name
+	ctx := context.Background()
+
+	reg0 := clus.Nodes[0].Srv.Registry()
+	if err := reg0.ProposeDatabase(name, candidateAt(dbs[0].DB, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg0.CutoverDatabase(name); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := clus.Nodes[1].Node.VersionsAgree(ctx, name); err != nil || ok {
+		t.Fatalf("agreement after one-node cutover = %v, %v; want false", ok, err)
+	}
+
+	// The winner has nothing to adopt; the laggers adopt its database.
+	if adopted, err := clus.Nodes[0].Node.CatchUpVersions(ctx, name); err != nil || adopted {
+		t.Fatalf("winner caught up to itself: adopted=%v err=%v", adopted, err)
+	}
+	for i := 1; i < len(clus.Nodes); i++ {
+		adopted, err := clus.Nodes[i].Node.CatchUpVersions(ctx, name)
+		if err != nil {
+			t.Fatalf("catch-up on node %d: %v", i, err)
+		}
+		if !adopted {
+			t.Fatalf("node %d did not adopt the winner's database", i)
+		}
+	}
+	want, err := reg0.EvolveStatus(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cn := range clus.Nodes {
+		st, err := cn.Srv.Registry().EvolveStatus(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.ActiveVersion != want.ActiveVersion || st.ActiveFingerprint != want.ActiveFingerprint {
+			t.Errorf("node %d active (v%d, %016x), want (v%d, %016x)",
+				i, st.ActiveVersion, st.ActiveFingerprint, want.ActiveVersion, want.ActiveFingerprint)
+		}
+		ok, err := cn.Node.VersionsAgree(ctx, name)
+		if err != nil || !ok {
+			t.Errorf("agreement from node %d after catch-up = %v, %v; want true", i, ok, err)
+		}
+		// Catch-up is idempotent once converged.
+		if adopted, err := cn.Node.CatchUpVersions(ctx, name); err != nil || adopted {
+			t.Errorf("node %d re-adopted after convergence: adopted=%v err=%v", i, adopted, err)
+		}
+	}
+}
+
+// TestCatchUpConvergesDivergentSameVersion: two nodes race through the
+// gate and cut over to different databases both numbered v1. The
+// content fingerprint is the deterministic tiebreak — every node
+// chases the same winner, so one catch-up pass per node reconverges
+// the cluster onto one database.
+func TestCatchUpConvergesDivergentSameVersion(t *testing.T) {
+	clus, err := fleettest.NewCluster(fleettest.ClusterOptions{Nodes: 3, TraceSeed: 59})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clus.Close()
+	dbs := fleettest.Databases(t)
+	name := dbs[0].Name
+	ctx := context.Background()
+
+	// Node 0 and node 1 cut over to divergent v1 databases; node 2
+	// stays at v0.
+	for i, db := range []*dse.Database{dbs[0].DB, dbs[1].DB} {
+		reg := clus.Nodes[i].Srv.Registry()
+		if err := reg.ProposeDatabase(name, candidateAt(db, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.CutoverDatabase(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st0, _ := clus.Nodes[0].Srv.Registry().EvolveStatus(name)
+	st1, _ := clus.Nodes[1].Srv.Registry().EvolveStatus(name)
+	if st0.ActiveFingerprint == st1.ActiveFingerprint {
+		t.Fatal("fixture databases share a fingerprint; divergence test is vacuous")
+	}
+	if ok, err := clus.Nodes[0].Node.VersionsAgree(ctx, name); err != nil || ok {
+		t.Fatalf("divergent same-version actives agree = %v, %v; want false", ok, err)
+	}
+	wantFP := st0.ActiveFingerprint
+	if st1.ActiveFingerprint > wantFP {
+		wantFP = st1.ActiveFingerprint
+	}
+
+	for i, cn := range clus.Nodes {
+		if _, err := cn.Node.CatchUpVersions(ctx, name); err != nil {
+			t.Fatalf("catch-up on node %d: %v", i, err)
+		}
+	}
+	for i, cn := range clus.Nodes {
+		st, err := cn.Srv.Registry().EvolveStatus(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.ActiveVersion != 1 || st.ActiveFingerprint != wantFP {
+			t.Errorf("node %d active (v%d, %016x), want (v1, %016x)",
+				i, st.ActiveVersion, st.ActiveFingerprint, wantFP)
+		}
+		ok, err := cn.Node.VersionsAgree(ctx, name)
+		if err != nil || !ok {
+			t.Errorf("agreement from node %d after tiebreak = %v, %v; want true", i, ok, err)
+		}
 	}
 }

@@ -370,6 +370,48 @@ func TestWorkerDefersToClusterAgreement(t *testing.T) {
 	}
 }
 
+// TestWorkerReconciles pins the catch-up hook's contract: it runs
+// before anything else each tick; an adoption ends the step (the
+// cohort just changed under the worker); a reconcile error or a
+// no-adoption verdict lets the normal state machine proceed.
+func TestWorkerReconciles(t *testing.T) {
+	f := getFixture(t)
+	ctx := context.Background()
+	candidate := fleet.EvolveStatus{
+		Database: "red", HasCandidate: true, CandidateVersion: 1,
+		ShadowEvents: 32, Agreement: 1.0,
+	}
+
+	// Adoption short-circuits the step: the passing shadow window must
+	// NOT cut over this tick — the candidate it judged is gone.
+	reg := &fakeRegistry{status: candidate}
+	w := workerOn(f, reg)
+	calls := 0
+	w.Reconcile = func(context.Context, string) (bool, error) { calls++; return true, nil }
+	if err := w.Step(ctx); err != nil || reg.cutovers+reg.drops != 0 {
+		t.Fatalf("step acted after an adoption: cutovers=%d drops=%d err=%v", reg.cutovers, reg.drops, err)
+	}
+	if calls != 1 {
+		t.Fatalf("reconcile ran %d times, want 1", calls)
+	}
+
+	// No adoption: the state machine proceeds normally (here, cutover).
+	w.Reconcile = func(context.Context, string) (bool, error) { return false, nil }
+	if err := w.Step(ctx); err != nil || reg.cutovers != 1 {
+		t.Fatalf("converged cluster did not proceed: cutovers=%d err=%v", reg.cutovers, err)
+	}
+
+	// A reconcile error is logged, never fatal, and does not block the
+	// step.
+	reg.cutovers = 0
+	w.Reconcile = func(context.Context, string) (bool, error) {
+		return false, errors.New("peer unreachable")
+	}
+	if err := w.Step(ctx); err != nil || reg.cutovers != 1 {
+		t.Fatalf("reconcile error blocked the step: cutovers=%d err=%v", reg.cutovers, err)
+	}
+}
+
 // TestWorkerDrivesRealRegistry runs the full loop against a live fleet
 // registry: propose from journal evidence, shadow-serve, cut over.
 func TestWorkerDrivesRealRegistry(t *testing.T) {

@@ -58,6 +58,15 @@ type Worker struct {
 	// version" check. Returning false defers the cutover to a later
 	// tick; an error is logged and also defers.
 	Agreement func(ctx context.Context, database string) (bool, error)
+	// Reconcile, when non-nil, runs first on every Step — the cluster
+	// layer's catch-up hook (CatchUpVersions): the cutover gate is not
+	// atomic across nodes, so a peer can cut over first, after which
+	// this node's Agreement stays false forever unless it adopts the
+	// winner's database. Reconcile returning true means a database was
+	// adopted; the step then ends (cohort state just changed under us)
+	// and the next tick resumes from the adopted version. An error is
+	// logged, never fatal.
+	Reconcile func(ctx context.Context, database string) (bool, error)
 	// Logger receives state-transition lines (nil selects the default).
 	Logger *slog.Logger
 }
@@ -88,6 +97,17 @@ func (w *Worker) minShadow() uint64 {
 // search converged onto the active set, shadow window still filling,
 // cluster not yet in agreement) return a nil error.
 func (w *Worker) Step(ctx context.Context) error {
+	if w.Reconcile != nil {
+		adopted, err := w.Reconcile(ctx, w.Database)
+		switch {
+		case err != nil:
+			w.log().WarnContext(ctx, "evolve: version catch-up failed", "db", w.Database, "err", err)
+		case adopted:
+			w.log().InfoContext(ctx, "evolve: adopted a peer's database; resuming from it next tick",
+				"db", w.Database)
+			return nil
+		}
+	}
 	st, err := w.Registry.EvolveStatus(w.Database)
 	if err != nil {
 		return err

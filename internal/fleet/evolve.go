@@ -31,8 +31,11 @@ package fleet
 // (old-version) decision byte-for-byte.
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -75,19 +78,36 @@ type dbState struct {
 	// consumed by Rollback. Guarded by swapMu.
 	prev *NamedDatabase
 
-	// Shadow-window accounting. Reset by ProposeDatabase so each
-	// candidate is judged on its own window.
-	shadowEvents  atomic.Uint64
-	shadowAgree   atomic.Uint64
-	shadowDiverge atomic.Uint64
+	// window accumulates the shadow scores judging the currently
+	// installed candidate. ProposeDatabase installs a fresh window
+	// object together with its candidate, and shadowScore only counts
+	// into a window whose cand field matches the candidate it actually
+	// scored — so a score racing a re-propose lands in the discarded
+	// old window instead of polluting the new candidate's empty one.
+	// The window outlives its candidate (cutover and drop leave it in
+	// place, frozen) so /debug/evolve keeps showing the last verdict.
+	window atomic.Pointer[shadowWindow]
+
+	activeVer *metrics.Gauge
+	candVer   *metrics.Gauge
+}
+
+// shadowWindow is the agreement/divergence accounting for exactly one
+// candidate database. Tying the counters to the candidate object (not
+// the cohort) makes the propose/score race benign: counts can only
+// ever land in the window created for the candidate that was scored.
+type shadowWindow struct {
+	// cand is the candidate this window judges.
+	cand *NamedDatabase
+
+	events  atomic.Uint64
+	agree   atomic.Uint64
+	diverge atomic.Uint64
 
 	// sampleMu guards samples, a small ring of recent divergences for
 	// /debug/evolve.
 	sampleMu sync.Mutex
 	samples  []DivergenceSample
-
-	activeVer *metrics.Gauge
-	candVer   *metrics.Gauge
 }
 
 // maxDivergenceSamples bounds the per-cohort diff ring exposed on
@@ -120,6 +140,12 @@ type EvolveStatus struct {
 	// Previous fields are meaningful only when HasPrevious.
 	HasPrevious     bool   `json:"has_previous"`
 	PreviousVersion uint64 `json:"previous_version,omitempty"`
+	// ActiveFingerprint and CandidateFingerprint are the content
+	// fingerprints of the respective databases (see Fingerprint) —
+	// what the cluster layer compares, alongside the version numbers,
+	// to decide whether two nodes really serve the same database.
+	ActiveFingerprint    uint64 `json:"active_fingerprint"`
+	CandidateFingerprint uint64 `json:"candidate_fingerprint,omitempty"`
 	// Shadow window counters for the current candidate.
 	ShadowEvents uint64 `json:"shadow_events"`
 	Agreements   uint64 `json:"agreements"`
@@ -130,43 +156,54 @@ type EvolveStatus struct {
 	Samples []DivergenceSample `json:"samples,omitempty"`
 }
 
-// resetShadow clears the shadow window for a fresh candidate. Callers
-// hold swapMu.
-func (st *dbState) resetShadow() {
-	st.shadowEvents.Store(0)
-	st.shadowAgree.Store(0)
-	st.shadowDiverge.Store(0)
-	st.sampleMu.Lock()
-	st.samples = st.samples[:0]
-	st.sampleMu.Unlock()
-}
-
-func (st *dbState) addSample(s DivergenceSample) {
-	st.sampleMu.Lock()
-	if len(st.samples) >= maxDivergenceSamples {
-		copy(st.samples, st.samples[1:])
-		st.samples = st.samples[:len(st.samples)-1]
+func (w *shadowWindow) addSample(s DivergenceSample) {
+	w.sampleMu.Lock()
+	if len(w.samples) >= maxDivergenceSamples {
+		copy(w.samples, w.samples[1:])
+		w.samples = w.samples[:len(w.samples)-1]
 	}
-	st.samples = append(st.samples, s)
-	st.sampleMu.Unlock()
+	w.samples = append(w.samples, s)
+	w.sampleMu.Unlock()
 }
 
 // build precomputes the database's derived read-only state: the
-// pairwise dRC matrix and the per-point canonical mapping keys (shadow
+// pairwise dRC matrix, the per-point canonical mapping keys (shadow
 // agreement and migration remapping compare configurations, not
-// version-relative point IDs).
+// version-relative point IDs), and the content fingerprint over both
+// keys and metrics.
 func (n *NamedDatabase) build() {
 	maps := n.DB.Mappings()
 	n.matrix = mapping.NewDRCMatrix(n.Space, maps)
 	n.keys = make([]string, len(maps))
 	n.keyIdx = make(map[string]int, len(maps))
+	h := fnv.New64a()
+	var buf [8]byte
 	for i, m := range maps {
 		n.keys[i] = m.Key()
 		if _, dup := n.keyIdx[n.keys[i]]; !dup {
 			n.keyIdx[n.keys[i]] = i
 		}
+		h.Write([]byte(n.keys[i]))
+		h.Write([]byte{0})
+		p := n.DB.Points[i]
+		for _, v := range [...]float64{p.MakespanMs, p.Reliability, p.EnergyMJ, p.PeakPowerW, p.MTTFMs} {
+			binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
 	}
+	n.fp = h.Sum64()
 }
+
+// Fingerprint is the database's content hash: FNV-1a over every stored
+// point's canonical mapping key and metric values, in ID order (the
+// version number is deliberately excluded — it is compared separately).
+// Two NamedDatabases decide identically only if their fingerprints
+// match, so the cluster layer requires fingerprint equality — not just
+// version-number equality — before treating two nodes as serving the
+// same database: each node's evolve worker proposes from its own local
+// journal, so two nodes can legitimately hold different databases both
+// numbered active+1.
+func (n *NamedDatabase) Fingerprint() uint64 { return n.fp }
 
 // ProposeDatabase installs db as the named cohort's candidate version
 // and starts a fresh shadow window. The candidate must validate
@@ -193,7 +230,11 @@ func (r *Registry) ProposeDatabase(name string, db *dse.Database) error {
 	}
 	cand := &NamedDatabase{Name: name, DB: db, Space: active.Space}
 	cand.build()
-	st.resetShadow()
+	// The fresh window is installed before the candidate it judges: a
+	// racing shadowScore can then never observe the new candidate with
+	// the old window still in place (scores for the old candidate land
+	// in the old window object, which is dropped here with it).
+	st.window.Store(&shadowWindow{cand: cand})
 	st.candidate.Store(cand)
 	st.candVer.Set(int64(db.Version))
 	r.evolveProposals.Inc()
@@ -222,6 +263,55 @@ func (r *Registry) CutoverDatabase(name string) error {
 	st.activeVer.Set(int64(cand.DB.Version))
 	st.candVer.Set(0)
 	r.evolveCutovers.Inc()
+	return nil
+}
+
+// AdoptDatabase installs db as the cohort's active version
+// immediately, without shadow validation — the cluster catch-up path.
+// Once any node cuts over, every peer's version-agreement check fails
+// until it serves the same database; without a way to install the
+// winner the cluster would wedge in permanent disagreement, deferring
+// all further cutovers and failing every cross-node handoff. A peer
+// that observes a node ahead of it therefore fetches that node's
+// active database and adopts those exact bytes here.
+//
+// The adopted version must not be behind the active one; adopting the
+// active database itself (same version, same content fingerprint) is
+// an idempotent no-op. Equal version with a different fingerprint is
+// accepted — the tiebreak for two nodes that independently cut over to
+// divergent databases sharing a version number. Any installed
+// candidate is dropped (its shadow window judged a proposal that has
+// been overtaken), and the displaced active version is retained for
+// one-step rollback. Devices converge lazily, exactly as after a
+// cutover.
+func (r *Registry) AdoptDatabase(name string, db *dse.Database) error {
+	st, ok := r.dbs[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoDatabase, name)
+	}
+	if db == nil {
+		return fmt.Errorf("fleet: adopt %q: nil database", name)
+	}
+	st.swapMu.Lock()
+	defer st.swapMu.Unlock()
+	active := st.active.Load()
+	if db.Version < active.DB.Version {
+		return fmt.Errorf("%w: adopt v%d behind active v%d", ErrCandidateVersion, db.Version, active.DB.Version)
+	}
+	if err := db.Validate(active.Space); err != nil {
+		return fmt.Errorf("fleet: adopt %q: %w", name, err)
+	}
+	next := &NamedDatabase{Name: name, DB: db, Space: active.Space}
+	next.build()
+	if db.Version == active.DB.Version && next.fp == active.fp {
+		return nil // already serving exactly this database
+	}
+	st.prev = active
+	st.active.Store(next)
+	st.candidate.Store(nil)
+	st.activeVer.Set(int64(db.Version))
+	st.candVer.Set(0)
+	r.evolveAdoptions.Inc()
 	return nil
 }
 
@@ -279,6 +369,19 @@ func (r *Registry) ActiveDatabase(name string) (*dse.Database, error) {
 	return st.active.Load().DB, nil
 }
 
+// ActiveSnapshot returns the cohort's currently served database
+// together with its content fingerprint, as one atomic snapshot — the
+// read side of the cluster catch-up path, where a version/fingerprint
+// pair read across two calls could straddle a concurrent swap.
+func (r *Registry) ActiveSnapshot(name string) (*dse.Database, uint64, error) {
+	st, ok := r.dbs[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %q", ErrNoDatabase, name)
+	}
+	n := st.active.Load()
+	return n.DB, n.fp, nil
+}
+
 // EvolveStatus snapshots one cohort's version and shadow-window state.
 func (r *Registry) EvolveStatus(name string) (EvolveStatus, error) {
 	st, ok := r.dbs[name]
@@ -304,28 +407,32 @@ func (st *dbState) status() EvolveStatus {
 	prev := st.prev
 	st.swapMu.Unlock()
 	s := EvolveStatus{
-		Database:      st.name,
-		ActiveVersion: active.DB.Version,
-		ActivePoints:  active.DB.Len(),
-		ShadowEvents:  st.shadowEvents.Load(),
-		Agreements:    st.shadowAgree.Load(),
-		Divergences:   st.shadowDiverge.Load(),
+		Database:          st.name,
+		ActiveVersion:     active.DB.Version,
+		ActivePoints:      active.DB.Len(),
+		ActiveFingerprint: active.fp,
 	}
 	if cand != nil {
 		s.HasCandidate = true
 		s.CandidateVersion = cand.DB.Version
 		s.CandidatePoints = cand.DB.Len()
+		s.CandidateFingerprint = cand.fp
 	}
 	if prev != nil {
 		s.HasPrevious = true
 		s.PreviousVersion = prev.DB.Version
 	}
+	if win := st.window.Load(); win != nil {
+		s.ShadowEvents = win.events.Load()
+		s.Agreements = win.agree.Load()
+		s.Divergences = win.diverge.Load()
+		win.sampleMu.Lock()
+		s.Samples = append([]DivergenceSample(nil), win.samples...)
+		win.sampleMu.Unlock()
+	}
 	if s.ShadowEvents > 0 {
 		s.Agreement = float64(s.Agreements) / float64(s.ShadowEvents)
 	}
-	st.sampleMu.Lock()
-	s.Samples = append([]DivergenceSample(nil), st.samples...)
-	st.sampleMu.Unlock()
 	return s
 }
 
@@ -467,22 +574,28 @@ func (r *Registry) shadowScore(d *device, seq uint64, spec runtime.QoSSpec, dec 
 		d.memoMgr, d.memoFrom, d.memoSpec, d.memoTo = d.shadow, cur, spec, shadowTo
 	}
 	st := d.state
-	if st.candidate.Load() != cand {
-		// The candidate was replaced or withdrawn mid-decision; the
-		// window these counts belonged to is gone.
+	// Count only into the window created for the candidate this score
+	// judged: the window pointer keys the counters to one candidate, so
+	// a re-propose racing this score can at worst send the counts into
+	// the discarded old window — never into the new candidate's fresh
+	// one. The candidate check keeps a withdrawn candidate's frozen
+	// window from accumulating further (devices drop their shadow
+	// managers on their next decision anyway).
+	win := st.window.Load()
+	if win == nil || win.cand != cand || st.candidate.Load() != cand {
 		return
 	}
-	st.shadowEvents.Add(1)
+	win.events.Add(1)
 	r.evolveShadowEvents.Inc()
 	db := d.db.Load()
 	if cand.keys[shadowTo] == db.keys[dec.To] {
-		st.shadowAgree.Add(1)
+		win.agree.Add(1)
 		r.evolveShadowAgree.Inc()
 		return
 	}
-	st.shadowDiverge.Add(1)
+	win.diverge.Add(1)
 	r.evolveShadowDiverge.Inc()
-	st.addSample(DivergenceSample{
+	win.addSample(DivergenceSample{
 		Device:        d.id,
 		Seq:           seq,
 		ActiveTo:      dec.To,

@@ -513,6 +513,7 @@ func TestEvolveMetricsRegistered(t *testing.T) {
 	for _, name := range []string{
 		"clr_evolve_proposals_total",
 		"clr_evolve_cutovers_total",
+		"clr_evolve_adoptions_total",
 		"clr_evolve_rollbacks_total",
 		"clr_evolve_candidates_dropped_total",
 		"clr_evolve_shadow_events_total",
@@ -524,5 +525,259 @@ func TestEvolveMetricsRegistered(t *testing.T) {
 		if !strings.Contains(dump, name) {
 			t.Errorf("metric %s missing from export", name)
 		}
+	}
+}
+
+// TestExportSyncsToActiveVersion: devices converge onto a new active
+// version lazily, on their next decision — so a device that never
+// decides after a cutover would export a bundle stamped with the
+// displaced version, which neither the importing peer nor this node's
+// own re-import fallback could accept, dropping the device's state.
+// The export path must converge the device first.
+func TestExportSyncsToActiveVersion(t *testing.T) {
+	f := getFixture(t)
+	regA, err := NewRegistry(fleetDatabases(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regB, err := NewRegistry(fleetDatabases(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DeviceParams{
+		ID: "lagger", Database: "red", PRC: 0.5,
+		Trigger: runtime.TriggerOnViolation, Initial: looseSpec(f.red),
+	}
+	if _, err := regA.Register(params); err != nil {
+		t.Fatal(err)
+	}
+	script := deviceScript(f.red, 515, 12)
+	var last DecideOutcome
+	for i := 0; i < 10; i++ {
+		if last, err = regA.DecideCtx(context.Background(), "lagger", uint64(i+1), script[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Both nodes cut over to the same v1; the device never decides
+	// again on A, so only the export path can converge it.
+	for _, reg := range []*Registry{regA, regB} {
+		if err := reg.ProposeDatabase("red", versioned(f.base, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.CutoverDatabase("red"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := regA.ExportRemove("lagger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DBVersion != 1 {
+		t.Fatalf("post-cutover export stamped v%d, want active v1", st.DBVersion)
+	}
+	if st.DBFingerprint == 0 {
+		t.Fatal("export carries no database fingerprint")
+	}
+	if err := regB.ImportDevice(st); err != nil {
+		t.Fatalf("converged bundle rejected (device state would be dropped): %v", err)
+	}
+
+	// Exactly-once across the cutover-then-handoff: the pre-cutover
+	// replay answer is preserved byte-identically, and serving resumes.
+	retry, err := regB.DecideCtx(context.Background(), "lagger", 10, script[9])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !retry.Replayed {
+		t.Error("imported device re-decided an already-answered sequence")
+	}
+	if got, want := decisionKey(t, retry.Decision), decisionKey(t, last.Decision); got != want {
+		t.Errorf("replay across versioned handoff changed:\n  got  %s\n  want %s", got, want)
+	}
+	out, err := regB.DecideCtx(context.Background(), "lagger", 11, script[10])
+	if err != nil || out.Degraded {
+		t.Fatalf("fresh decision after converged handoff: %+v, %v", out, err)
+	}
+}
+
+// TestImportRejectsDivergentSameVersion: each node's evolve worker
+// proposes from its node-local journal, so two nodes can legitimately
+// hold different databases both numbered active+1. A version-number
+// check alone would accept a bundle whose point IDs refer to a
+// different database; the content fingerprint must reject it.
+func TestImportRejectsDivergentSameVersion(t *testing.T) {
+	f := getFixture(t)
+	regA, err := NewRegistry(fleetDatabases(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regB, err := NewRegistry(fleetDatabases(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A evolves "red" to v1 with the stage-1 point set; B evolves it to
+	// v1 with the original red point set: same number, divergent bytes.
+	if err := regA.ProposeDatabase("red", versioned(f.base, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := regA.CutoverDatabase("red"); err != nil {
+		t.Fatal(err)
+	}
+	if err := regB.ProposeDatabase("red", versioned(f.red, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := regB.CutoverDatabase("red"); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := regA.Register(DeviceParams{
+		ID: "div", Database: "red", PRC: 0.5,
+		Trigger: runtime.TriggerOnViolation, Initial: looseSpec(f.base),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := regA.DecideCtx(context.Background(), "div", 1, looseSpec(f.base)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := regA.ExportRemove("div")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := regB.ImportDevice(st); !errors.Is(err, ErrVersionSkew) {
+		t.Fatalf("import of divergent same-version bundle: %v, want ErrVersionSkew", err)
+	}
+	if regB.Has("div") {
+		t.Error("rejected import leaked a device")
+	}
+}
+
+// TestAdoptDatabase pins the cluster catch-up primitive: an immediate
+// install of a peer's exact database — dropping any local candidate,
+// retaining the displaced version for rollback — with idempotent
+// re-adoption and a refusal to move backwards.
+func TestAdoptDatabase(t *testing.T) {
+	f := getFixture(t)
+	reg, err := NewRegistry(fleetDatabases(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register(DeviceParams{
+		ID: "adoptee", Database: "red", PRC: 0.5,
+		Trigger: runtime.TriggerOnViolation, Initial: looseSpec(f.red),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.AdoptDatabase("nope", versioned(f.base, 2)); !errors.Is(err, ErrNoDatabase) {
+		t.Errorf("adopt into unknown cohort: %v, want ErrNoDatabase", err)
+	}
+
+	// Adoption while a candidate is installed drops the candidate: its
+	// shadow window judged a proposal the cluster has overtaken.
+	if err := reg.ProposeDatabase("red", versioned(f.base, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.AdoptDatabase("red", versioned(f.base, 2)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := reg.EvolveStatus("red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ActiveVersion != 2 || st.HasCandidate || !st.HasPrevious || st.PreviousVersion != 0 {
+		t.Fatalf("post-adopt status = %+v, want active v2, no candidate, previous v0", st)
+	}
+
+	// Re-adopting the active database is an idempotent no-op; adopting
+	// an older version is an error.
+	before := reg.evolveAdoptions.Value()
+	if err := reg.AdoptDatabase("red", versioned(f.base, 2)); err != nil {
+		t.Fatalf("re-adopt of the active database: %v", err)
+	}
+	if got := reg.evolveAdoptions.Value(); got != before {
+		t.Errorf("no-op re-adopt counted: %d -> %d", before, got)
+	}
+	if err := reg.AdoptDatabase("red", versioned(f.base, 1)); !errors.Is(err, ErrCandidateVersion) {
+		t.Errorf("adopt behind active: %v, want ErrCandidateVersion", err)
+	}
+
+	// Equal version, different content: the divergent-cutover tiebreak
+	// path must install it.
+	if err := reg.AdoptDatabase("red", versioned(f.red, 2)); err != nil {
+		t.Fatalf("adopt of same-version divergent database: %v", err)
+	}
+	st2, _ := reg.EvolveStatus("red")
+	if st2.ActiveVersion != 2 || st2.ActiveFingerprint == st.ActiveFingerprint {
+		t.Fatalf("divergent adopt did not change content: %+v vs %+v", st2, st)
+	}
+
+	// Devices converge lazily onto the adopted version, exactly as
+	// after a cutover.
+	out, err := reg.DecideCtx(context.Background(), "adoptee", 1, looseSpec(f.red))
+	if err != nil || out.Degraded {
+		t.Fatalf("decision after adopt: %+v, %v", out, err)
+	}
+	for _, e := range reg.Decisions("adoptee", 0) {
+		if e.DBVersion != 2 {
+			t.Errorf("post-adopt decision journaled at v%d, want v2", e.DBVersion)
+		}
+	}
+
+	// The displaced version is retained for one-step rollback.
+	if err := reg.RollbackDatabase("red"); err != nil {
+		t.Fatal(err)
+	}
+	st3, _ := reg.EvolveStatus("red")
+	if st3.ActiveVersion != 2 || st3.ActiveFingerprint != st.ActiveFingerprint {
+		t.Fatalf("rollback after adopt: %+v, want the previously adopted v2", st3)
+	}
+}
+
+// TestStaleShadowScoreDoesNotPolluteWindow: a shadow score computed
+// against a candidate that a concurrent re-propose has replaced must
+// not count into the new candidate's freshly started window. The
+// window object is keyed to its candidate, so the stale score's counts
+// land in the discarded window (or nowhere), never in the fresh one.
+func TestStaleShadowScoreDoesNotPolluteWindow(t *testing.T) {
+	f := getFixture(t)
+	reg, err := NewRegistry(fleetDatabases(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register(DeviceParams{
+		ID: "stale", Database: "red", PRC: 0.5,
+		Trigger: runtime.TriggerAlways, Initial: looseSpec(f.red),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.ProposeDatabase("red", versioned(f.base, 1)); err != nil {
+		t.Fatal(err)
+	}
+	script := deviceScript(f.red, 606, 6)
+	for i, spec := range script[:5] {
+		if _, err := reg.DecideCtx(context.Background(), "stale", uint64(i+1), spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st, _ := reg.EvolveStatus("red"); st.ShadowEvents != 5 {
+		t.Fatalf("v1 window has %d events, want 5", st.ShadowEvents)
+	}
+
+	// Replace the candidate. The device still holds its v1 shadow
+	// manager (it has not decided since), which is exactly the state of
+	// a decision in flight across the re-propose.
+	if err := reg.ProposeDatabase("red", versioned(f.base, 2)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := reg.lookup("stale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.sem <- struct{}{}
+	cur := d.mgr.Load().Current()
+	reg.shadowScore(d, 99, script[5], runtime.Decision{From: cur, To: cur})
+	d.release()
+	if st, _ := reg.EvolveStatus("red"); st.ShadowEvents != 0 {
+		t.Fatalf("stale score polluted the fresh window: %d events, want 0", st.ShadowEvents)
 	}
 }

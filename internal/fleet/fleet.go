@@ -79,6 +79,11 @@ type NamedDatabase struct {
 	// remapping).
 	keys   []string
 	keyIdx map[string]int
+	// fp is the content fingerprint (see Fingerprint), built with the
+	// keys. Version numbers alone cannot distinguish two databases
+	// independently evolved to the same number on different nodes; the
+	// fingerprint can.
+	fp uint64
 }
 
 // Envelope returns the database's QoS metric ranges — the satisfiable
@@ -305,6 +310,7 @@ type Registry struct {
 	// Continuous-ReD instruments (see evolve.go).
 	evolveProposals     *metrics.Counter
 	evolveCutovers      *metrics.Counter
+	evolveAdoptions     *metrics.Counter
 	evolveRollbacks     *metrics.Counter
 	evolveDropped       *metrics.Counter
 	evolveShadowEvents  *metrics.Counter
@@ -393,6 +399,8 @@ func NewRegistry(dbs []NamedDatabase, shards int) (*Registry, error) {
 		"Candidate databases installed for shadow serving.")
 	r.evolveCutovers = r.met.Counter("clr_evolve_cutovers_total",
 		"Candidate databases promoted to active.")
+	r.evolveAdoptions = r.met.Counter("clr_evolve_adoptions_total",
+		"Active databases adopted from a cluster peer to catch up after a remote cutover.")
 	r.evolveRollbacks = r.met.Counter("clr_evolve_rollbacks_total",
 		"Cutovers reverted to the previous database version.")
 	r.evolveDropped = r.met.Counter("clr_evolve_candidates_dropped_total",

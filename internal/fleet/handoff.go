@@ -36,6 +36,13 @@ type DeviceState struct {
 	// versions before cutover — or the import fails with ErrVersionSkew
 	// and the exporter keeps the device.
 	DBVersion uint64 `json:"db_version,omitempty"`
+	// DBFingerprint is the content fingerprint of that database (see
+	// NamedDatabase.Fingerprint). Version numbers alone cannot
+	// distinguish two databases independently evolved to the same
+	// number on different nodes, so the importer requires the
+	// fingerprint to match its active database too. Zero marks a
+	// bundle from a build without fingerprints (version check only).
+	DBFingerprint uint64 `json:"db_fingerprint,omitempty"`
 	// LastSpec/HaveSpec carry the device's most recent observed QoS
 	// specification — the boot spec for managers rebuilt by a later
 	// version migration on the importing node.
@@ -87,15 +94,26 @@ func (r *Registry) DeviceIDs() []string {
 // of committing to the orphaned object behind the export's back.
 func (r *Registry) exportState(d *device, tombstone bool) *DeviceState {
 	d.sem <- struct{}{}
+	// Converge onto the cohort's active version before snapshotting:
+	// devices migrate lazily (syncVersion otherwise runs only on the
+	// decide path), so a device that has not decided since a cutover
+	// would export a bundle stamped with the displaced version — which
+	// no peer on the new version, nor this node's own re-import
+	// fallback, could accept, dropping the device's state entirely.
+	// Syncing under the held semaphore makes the bundle's version the
+	// cohort's active version by construction.
+	r.syncVersion(d)
+	db := d.db.Load()
 	st := &DeviceState{
-		Params:       d.params,
-		Stats:        d.stats,
-		RegisteredAt: d.regAt,
-		LastSeq:      d.lastSeq,
-		HaveLast:     d.haveLast,
-		LastSpec:     d.lastSpec,
-		HaveSpec:     d.haveSpec,
-		DBVersion:    d.db.Load().DB.Version,
+		Params:        d.params,
+		Stats:         d.stats,
+		RegisteredAt:  d.regAt,
+		LastSeq:       d.lastSeq,
+		HaveLast:      d.haveLast,
+		LastSpec:      d.lastSpec,
+		HaveSpec:      d.haveSpec,
+		DBVersion:     db.DB.Version,
+		DBFingerprint: db.fp,
 	}
 	if d.haveLast {
 		dec := d.lastDec
@@ -185,6 +203,14 @@ func (r *Registry) ImportDevice(st *DeviceState) error {
 	db := dbst.active.Load()
 	if st.DBVersion != db.DB.Version {
 		return fmt.Errorf("%w: %q bundle v%d, active v%d", ErrVersionSkew, p.ID, st.DBVersion, db.DB.Version)
+	}
+	if st.DBFingerprint != 0 && st.DBFingerprint != db.fp {
+		// Same version number, different content: the exporting node
+		// evolved a divergent database to this number. Replaying the
+		// bundle's point IDs against this database would silently
+		// corrupt the migrated state.
+		return fmt.Errorf("%w: %q bundle fingerprint %016x, active %016x at v%d",
+			ErrVersionSkew, p.ID, st.DBFingerprint, db.fp, db.DB.Version)
 	}
 	mgr, err := newManagerOn(db, p, p.Initial)
 	if err != nil {
