@@ -57,6 +57,7 @@ func main() {
 			fatal(err)
 		}
 		app, err = taskgraph.ParseTGFF(f, plat, taskgraph.TGFFOptions{Seed: *seed})
+		//lint:allow errdrop read-only file; a close failure cannot lose parsed data
 		f.Close()
 		if err != nil {
 			fatal(err)
@@ -113,7 +114,9 @@ func main() {
 		if err := db.WriteCSV(f); err != nil {
 			fatal(err)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 		fmt.Println("wrote", *dbCSV)
 	}
 	fmt.Printf("%-4s %12s %12s %12s %s\n", "id", "makespan/ms", "energy/mJ", "reliability", "origin")
@@ -197,7 +200,9 @@ func main() {
 		if err := m.WriteTraceCSV(f); err != nil {
 			fatal(err)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 		fmt.Println("wrote", *traceCSV)
 	}
 }

@@ -13,6 +13,16 @@
 //
 //	//lint:allow maporder keys are sorted two statements below
 //
+// Packages are analyzed in dependency order inside one session, so
+// cross-package facts (lockheld boundary summaries, atomicmix access
+// sets) flow from producers to dependents. With -cache (the default)
+// each package's diagnostics and exported facts are stored under a
+// key derived from the toolchain version, the analyzer list, the
+// package's sources and its direct imports' export data hashes; a
+// warm run re-prints cached diagnostics and decodes cached facts
+// without re-analyzing, and a timing summary (packages analyzed vs
+// cached) goes to stderr.
+//
 // The binary also speaks the `go vet -vettool` config protocol
 // (best-effort): when invoked with a single *.cfg argument it
 // type-checks from the supplied export data and reports findings the
@@ -31,9 +41,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"clrdse/internal/analysis"
+	"clrdse/internal/analysis/factcache"
 	"clrdse/internal/analysis/load"
 	"clrdse/internal/analysis/suite"
 )
@@ -45,10 +58,12 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("clrlint", flag.ExitOnError)
 	var (
-		list    = fs.Bool("list", false, "list analyzers and exit")
-		tests   = fs.Bool("tests", false, "also analyze in-package _test.go files")
-		checks  = fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
-		version = fs.Bool("V", false, "print version and exit (vettool protocol)")
+		list     = fs.Bool("list", false, "list analyzers and exit")
+		tests    = fs.Bool("tests", false, "also analyze in-package _test.go files")
+		checks   = fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
+		useCache = fs.Bool("cache", true, "reuse per-package results keyed by source+export-data hashes")
+		cacheDir = fs.String("cache-dir", "", "cache directory (default: user cache dir /clrlint)")
+		version  = fs.Bool("V", false, "print version and exit (vettool protocol)")
 	)
 	// The go vet driver probes tools with -V=full and -flags.
 	if len(args) == 1 && (args[0] == "-V=full" || args[0] == "--V=full") {
@@ -92,20 +107,69 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "clrlint: %v\n", err)
 		return 2
 	}
-	pkgs, err := load.Load(wd, *tests, patterns...)
+	start := time.Now()
+	ld, err := load.NewLoader(wd, *tests, patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "clrlint: %v\n", err)
 		return 2
 	}
+	var cache *factcache.Cache
+	if *useCache {
+		cache, err = factcache.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clrlint: %v (continuing without cache)\n", err)
+		}
+	}
+
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	keyHeader := []string{runtime.Version(), strings.Join(names, ","), fmt.Sprintf("tests=%v", *tests)}
+
+	session := analysis.NewSession()
 	exit := 0
-	for _, pkg := range pkgs {
+	hits, misses := 0, 0
+	keyFor := make(map[string]string) // import path → cache key
+	for _, pkg := range ld.Targets() {
+		key := ""
+		if cache != nil {
+			key = packageKey(ld, pkg, keyHeader, keyFor)
+		}
+		if key != "" {
+			keyFor[pkg.ImportPath] = key
+			if entry, ok := cache.Get(key); ok {
+				hits++
+				for _, d := range entry.Diags {
+					printCachedDiag(os.Stdout, wd, d)
+					if exit == 0 {
+						exit = 1
+					}
+				}
+				if len(entry.Facts) > 0 {
+					tp, err := ld.Import(pkg.ImportPath)
+					if err == nil {
+						if err := session.DecodeFacts(tp, entry.Facts); err != nil {
+							fmt.Fprintf(os.Stderr, "clrlint: %s: %v\n", pkg.ImportPath, err)
+							return 2
+						}
+					}
+				}
+				continue
+			}
+		}
+		misses++
+		if err := ld.Check(pkg); err != nil {
+			fmt.Fprintf(os.Stderr, "clrlint: %v\n", err)
+			return 2
+		}
 		for _, terr := range pkg.TypeErrors {
 			fmt.Fprintf(os.Stderr, "clrlint: %s: type error: %v\n", pkg.ImportPath, terr)
 			exit = 2
 		}
-		diags, err := analysis.Run(analyzers, analysis.Target{
-			Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info,
-		})
+		target := analysis.Target{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info}
+		session.AddTarget(target)
+		diags, err := analysis.RunSession(session, analyzers, target)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "clrlint: %v\n", err)
 			return 2
@@ -116,8 +180,63 @@ func run(args []string) int {
 				exit = 1
 			}
 		}
+		if key != "" && len(pkg.TypeErrors) == 0 {
+			entry := factcache.Entry{ImportPath: pkg.ImportPath}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				entry.Diags = append(entry.Diags, factcache.Diag{
+					File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Analyzer: d.Analyzer, Message: d.Message,
+				})
+			}
+			facts, err := session.EncodeFacts(pkg.Types)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "clrlint: %s: %v\n", pkg.ImportPath, err)
+				return 2
+			}
+			entry.Facts = facts
+			if err := cache.Put(key, entry); err != nil {
+				fmt.Fprintf(os.Stderr, "clrlint: %v (continuing)\n", err)
+			}
+		}
 	}
+	fmt.Fprintf(os.Stderr, "clrlint: %d packages (%d cached, %d analyzed) in %s\n",
+		hits+misses, hits, misses, time.Since(start).Round(time.Millisecond))
 	return exit
+}
+
+// packageKey derives the cache key for one package: the shared header
+// (toolchain, analyzer list, tests flag), the package's import path,
+// the cache keys of its in-run dependencies (which transitively pin
+// their fact output), its own sources, and the export data of every
+// direct import. An unkeyable package (unreadable file) returns "",
+// disabling the cache for it.
+func packageKey(ld *load.Loader, pkg *load.Package, header []string, keyFor map[string]string) string {
+	elems := append(append([]string{}, header...), pkg.ImportPath)
+	var files []string
+	for _, imp := range pkg.Imports {
+		if k, ok := keyFor[imp]; ok {
+			elems = append(elems, imp+"="+k)
+		} else if exp := ld.ExportFor(imp); exp != "" {
+			files = append(files, exp)
+		}
+	}
+	for _, name := range pkg.GoFiles {
+		files = append(files, filepath.Join(pkg.Dir, name))
+	}
+	key, err := factcache.Key(elems, files)
+	if err != nil {
+		return ""
+	}
+	return key
+}
+
+func printCachedDiag(w io.Writer, wd string, d factcache.Diag) {
+	name := d.File
+	if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = rel
+	}
+	fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", name, d.Line, d.Col, d.Message, d.Analyzer)
 }
 
 func printDiag(w io.Writer, wd string, fset *token.FileSet, d analysis.Diagnostic) {

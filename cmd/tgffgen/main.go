@@ -37,6 +37,7 @@ func main() {
 			fatal(err)
 		}
 		g, err = taskgraph.ParseTGFF(f, plat, taskgraph.TGFFOptions{Seed: *seed})
+		//lint:allow errdrop read-only file; a close failure cannot lose parsed data
 		f.Close()
 		if err != nil {
 			fatal(err)

@@ -56,8 +56,36 @@ type Pass struct {
 	// TypesInfo holds the type-checker's expression and identifier
 	// facts for Files.
 	TypesInfo *types.Info
+	// Session is the cross-package state of the run: exported facts
+	// and the module call graph. Always non-nil (Run creates one per
+	// call for legacy single-package use).
+	Session *Session
 
 	diags *[]Diagnostic
+}
+
+// ExportObjectFact attaches a fact to obj, which must be a
+// package-level object of the package under analysis (or a method of
+// one of its named types) — the objects a dependent package can name.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	p.Session.exportObjectFact(obj, f)
+}
+
+// ImportObjectFact copies the fact of f's type previously exported
+// for obj into f, reporting whether one existed.
+func (p *Pass) ImportObjectFact(obj types.Object, f Fact) bool {
+	return p.Session.importObjectFact(obj, f)
+}
+
+// ExportPackageFact attaches a fact to the package under analysis.
+func (p *Pass) ExportPackageFact(f Fact) {
+	p.Session.exportPackageFact(p.Pkg, f)
+}
+
+// ImportPackageFact copies the fact of f's type previously exported
+// for the package at path into f, reporting whether one existed.
+func (p *Pass) ImportPackageFact(path string, f Fact) bool {
+	return p.Session.importPackageFact(path, f)
 }
 
 // Reportf records a finding at pos.
@@ -90,11 +118,31 @@ type Target struct {
 	Info  *types.Info
 }
 
-// Run executes every analyzer over the target, applies //lint:allow
-// suppression, flags malformed allow comments, and returns the
-// surviving diagnostics sorted by position. A non-nil error reports
-// an analyzer's internal failure.
+// Run executes every analyzer over the target in a fresh
+// single-package session, applies //lint:allow suppression, flags
+// malformed allow comments, and returns the surviving diagnostics
+// sorted by position. For multi-package runs where analyzers should
+// see cross-package facts and the module call graph, create one
+// Session, AddTarget each package in dependency order, and call
+// RunSession instead.
 func Run(analyzers []*Analyzer, t Target) ([]Diagnostic, error) {
+	s := NewSession()
+	s.AddTarget(t)
+	return RunSession(s, analyzers, t)
+}
+
+// AddTarget registers a type-checked package with the session,
+// growing the call graph. Call it for each package — in dependency
+// order, before that package's RunSession — so analyzers on later
+// packages can traverse into earlier ones.
+func (s *Session) AddTarget(t Target) {
+	s.Graph.AddPackage(t)
+}
+
+// RunSession executes every analyzer over the target within an
+// ongoing session. The target must have been registered with
+// AddTarget first.
+func RunSession(s *Session, analyzers []*Analyzer, t Target) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -103,6 +151,7 @@ func Run(analyzers []*Analyzer, t Target) ([]Diagnostic, error) {
 			Files:     t.Files,
 			Pkg:       t.Pkg,
 			TypesInfo: t.Info,
+			Session:   s,
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {

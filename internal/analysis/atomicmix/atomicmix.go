@@ -1,0 +1,264 @@
+// Package atomicmix flags struct fields accessed through two
+// incompatible disciplines: sync/atomic operations in one place and
+// plain reads/writes in another. A field is either always atomic or
+// always lock-protected — mixing the two is a data race the race
+// detector only catches when the schedule cooperates, and in the
+// fleet's degraded-gauge and database-slot patterns it silently
+// diverges nodes instead of crashing them.
+//
+// Two rules:
+//
+//   - a field passed to a classic sync/atomic function
+//     (atomic.LoadUint64(&s.n) …) must never also be read or written
+//     directly, anywhere in the module: each package exports the
+//     atomic/plain access sets of its own struct fields as a fact,
+//     and packages that touch a foreign field are checked against the
+//     owner's sets;
+//   - a value of wrapper type (atomic.Bool, atomic.Uint64,
+//     atomic.Pointer[T] …) must not be copied by assignment — a copy
+//     forks the value and both sides keep "atomically" updating their
+//     own half.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"clrdse/internal/analysis"
+)
+
+// Analyzer is the atomicmix check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "flag struct fields accessed both via sync/atomic and by plain read/write " +
+		"(cross-package, via facts), and assignments that copy atomic wrapper values",
+	Run: run,
+}
+
+// AccessFact records, per package, how the package's own struct
+// fields are accessed. Keys are "Type.Field"; values are the position
+// of one representative access, for the diagnostic.
+type AccessFact struct {
+	Atomic map[string]string
+	Plain  map[string]string
+}
+
+// AFact marks AccessFact as a fact type.
+func (*AccessFact) AFact() {}
+
+func init() { analysis.RegisterFact(&AccessFact{}) }
+
+type access struct {
+	pos   token.Pos
+	field *types.Var
+	owner *types.Named
+}
+
+func run(pass *analysis.Pass) error {
+	var atomics, plains []access
+	for _, f := range pass.Files {
+		collectAccesses(pass, f, &atomics, &plains)
+		checkWrapperCopies(pass, f)
+	}
+
+	// In-package mixes: report at the plain site (the atomic site is
+	// usually the intended discipline).
+	atomicByField := make(map[*types.Var]access)
+	for _, a := range atomics {
+		if _, ok := atomicByField[a.field]; !ok {
+			atomicByField[a.field] = a
+		}
+	}
+	reported := make(map[token.Pos]bool)
+	for _, p := range plains {
+		if a, ok := atomicByField[p.field]; ok && !reported[p.pos] {
+			reported[p.pos] = true
+			pass.Reportf(p.pos, "field %s is accessed both atomically (%s) and by plain read/write; pick one discipline",
+				fieldKey(p.owner, p.field), pass.Fset.Position(a.pos))
+		}
+	}
+
+	// Cross-package mixes: check this package's accesses to foreign
+	// fields against the owner package's exported sets.
+	for _, p := range plains {
+		if p.owner.Obj().Pkg() == pass.Pkg {
+			continue
+		}
+		var af AccessFact
+		if pass.ImportPackageFact(p.owner.Obj().Pkg().Path(), &af) {
+			if at, ok := af.Atomic[fieldKey(p.owner, p.field)]; ok && !reported[p.pos] {
+				reported[p.pos] = true
+				pass.Reportf(p.pos, "field %s.%s is accessed atomically by its own package (%s) but by plain read/write here; pick one discipline",
+					p.owner.Obj().Pkg().Name(), fieldKey(p.owner, p.field), at)
+			}
+		}
+	}
+	for _, a := range atomics {
+		if a.owner.Obj().Pkg() == pass.Pkg {
+			continue
+		}
+		var af AccessFact
+		if pass.ImportPackageFact(a.owner.Obj().Pkg().Path(), &af) {
+			if pl, ok := af.Plain[fieldKey(a.owner, a.field)]; ok && !reported[a.pos] {
+				reported[a.pos] = true
+				pass.Reportf(a.pos, "field %s.%s is accessed by plain read/write in its own package (%s) but atomically here; pick one discipline",
+					a.owner.Obj().Pkg().Name(), fieldKey(a.owner, a.field), pl)
+			}
+		}
+	}
+
+	// Export this package's own-field access sets for dependents.
+	fact := AccessFact{Atomic: map[string]string{}, Plain: map[string]string{}}
+	for _, a := range atomics {
+		if a.owner.Obj().Pkg() == pass.Pkg {
+			key := fieldKey(a.owner, a.field)
+			if _, ok := fact.Atomic[key]; !ok {
+				fact.Atomic[key] = pass.Fset.Position(a.pos).String()
+			}
+		}
+	}
+	for _, p := range plains {
+		if p.owner.Obj().Pkg() == pass.Pkg {
+			key := fieldKey(p.owner, p.field)
+			if _, ok := fact.Plain[key]; !ok {
+				fact.Plain[key] = pass.Fset.Position(p.pos).String()
+			}
+		}
+	}
+	if len(fact.Atomic) > 0 || len(fact.Plain) > 0 {
+		pass.ExportPackageFact(&fact)
+	}
+	return nil
+}
+
+// collectAccesses classifies every struct-field selector in the file:
+// the &s.f argument of a classic sync/atomic function call is an
+// atomic access, any other field selector of the same fields' types
+// is a plain access. Only fields whose type is one sync/atomic
+// operates on (integers, pointers, unsafe.Pointer) are tracked as
+// plain accesses, to keep the sets small.
+func collectAccesses(pass *analysis.Pass, f *ast.File, atomics, plains *[]access) {
+	atomicArgs := make(map[ast.Expr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.FuncOf(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return true // wrapper methods handled by the copy rule
+		}
+		for _, arg := range call.Args {
+			if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+				atomicArgs[u.X] = true
+				if fo, owner := fieldSel(pass, u.X); fo != nil {
+					*atomics = append(*atomics, access{u.X.Pos(), fo, owner})
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || atomicArgs[sel] {
+			return true
+		}
+		fo, owner := fieldSel(pass, sel)
+		if fo == nil || !atomicCapable(fo.Type()) {
+			return true
+		}
+		*plains = append(*plains, access{sel.Pos(), fo, owner})
+		return true
+	})
+}
+
+// fieldSel resolves a selector to (field, owning named type), or
+// (nil, nil) when it is not a struct-field selection on a named type.
+func fieldSel(pass *analysis.Pass, e ast.Expr) (*types.Var, *types.Named) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, nil
+	}
+	fo, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	return fo, named
+}
+
+// atomicCapable limits plain-access tracking to types the classic
+// sync/atomic functions operate on.
+func atomicCapable(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsInteger != 0 || u.Kind() == types.UnsafePointer
+	case *types.Pointer:
+		return true
+	}
+	return false
+}
+
+func fieldKey(owner *types.Named, f *types.Var) string {
+	return owner.Obj().Name() + "." + f.Name()
+}
+
+// checkWrapperCopies flags assignments whose right-hand side copies a
+// sync/atomic wrapper value (atomic.Bool, atomic.Pointer[T], …).
+// Composite literals of the zero value and pointers to wrappers are
+// fine; copying an in-use wrapper forks its state.
+func checkWrapperCopies(pass *analysis.Pass, f *ast.File) {
+	check := func(rhs ast.Expr) {
+		e := ast.Unparen(rhs)
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		default:
+			return // literals, calls, conversions: not a copy of live state
+		}
+		t := pass.TypesInfo.TypeOf(e)
+		if t == nil {
+			return
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+			return
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			return
+		}
+		pass.Reportf(rhs.Pos(), "assignment copies atomic.%s value; atomic wrappers must not be copied after first use (keep a pointer or call Load)",
+			obj.Name())
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range v.Rhs {
+				check(rhs)
+			}
+		case *ast.ValueSpec:
+			for _, rhs := range v.Values {
+				check(rhs)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,14 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"clrdse/internal/analysis/atomicmix"
+	"clrdse/internal/analysis/checktest"
+)
+
+func TestAtomicmix(t *testing.T) {
+	// aowner is named too: it must stay diagnostic-free while
+	// exporting the AccessFact that amix's cross-package cases consume.
+	checktest.Run(t, "testdata", atomicmix.Analyzer, "aowner", "amix")
+}

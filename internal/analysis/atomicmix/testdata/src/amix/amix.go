@@ -1,0 +1,62 @@
+// Package amix seeds atomicmix violations: an in-package field touched
+// both atomically and plainly, cross-package violations against
+// aowner's exported access sets, and copies of atomic wrapper values.
+package amix
+
+import (
+	"sync/atomic"
+
+	"aowner"
+)
+
+// gauge mixes disciplines inside one package.
+type gauge struct {
+	n uint64
+}
+
+// Bump uses the atomic discipline.
+func Bump(g *gauge) {
+	atomic.AddUint64(&g.n, 1)
+}
+
+// Read breaks it with a plain load.
+func Read(g *gauge) uint64 {
+	return g.n // want `field gauge\.n is accessed both atomically \(.*\) and by plain read/write; pick one discipline`
+}
+
+// Stale reads a foreign field whose owner package is atomic-only.
+func Stale(c *aowner.Counter) uint64 {
+	return c.N // want `field aowner\.Counter\.N is accessed atomically by its own package \(.*\) but by plain read/write here; pick one discipline`
+}
+
+// Tighten goes atomic on a foreign field whose owner reads it plainly.
+func Tighten(l *aowner.Loose) {
+	atomic.AddUint64(&l.M, 1) // want `field aowner\.Loose\.M is accessed by plain read/write in its own package \(.*\) but atomically here; pick one discipline`
+}
+
+// slot holds a wrapper value.
+type slot struct {
+	v atomic.Uint64
+}
+
+// Fork copies the wrapper, splitting its state in two.
+func Fork(s *slot) {
+	cp := s.v // want `assignment copies atomic\.Uint64 value; atomic wrappers must not be copied after first use`
+	use(&cp)
+}
+
+// ByPointer is the correct shape: the wrapper stays put.
+func ByPointer(s *slot) {
+	use(&s.v)
+}
+
+// Snapshot shows a justified suppression on a copy.
+func Snapshot(s *slot) {
+	//lint:allow atomicmix one-time copy at construction, before the value is shared
+	cp := s.v
+	use(&cp)
+}
+
+func use(p *atomic.Uint64) {
+	p.Load()
+}

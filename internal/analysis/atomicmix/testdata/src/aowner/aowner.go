@@ -1,0 +1,27 @@
+// Package aowner defines shared state whose access discipline its own
+// package fixes: Counter.N is atomic-only, Loose.M is plain-only. The
+// package itself is clean; it exists to export an AccessFact that the
+// importing fixture package violates.
+package aowner
+
+import "sync/atomic"
+
+// Counter is touched only atomically here.
+type Counter struct {
+	N uint64
+}
+
+// Inc is the owner's (atomic) discipline for N.
+func Inc(c *Counter) {
+	atomic.AddUint64(&c.N, 1)
+}
+
+// Loose is touched only by plain reads here.
+type Loose struct {
+	M uint64
+}
+
+// Peek is the owner's (plain) discipline for M.
+func Peek(l *Loose) uint64 {
+	return l.M
+}

@@ -1,0 +1,170 @@
+package analysis
+
+// A lightweight intra-module call graph, grown one type-checked
+// package at a time as the Session walks the module in dependency
+// order. Only *static* call edges are recorded — direct calls to
+// functions and methods that the type checker resolves to a
+// *types.Func. Calls through function values, interface methods whose
+// concrete target is unknown, and builtins produce no edge; analyzers
+// that care about those (lockheld's callback rule) flag the call site
+// itself instead. Edges into packages outside the session (standard
+// library, cache-skipped packages) still carry the callee *types.Func
+// so analyzers can classify them or fall back to imported facts.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FuncKey renders a function as a stable, session-independent key:
+// "pkgpath.Name" for package-level functions, "pkgpath.Type.Method"
+// for methods. The key survives the result cache, where two runs see
+// different *types.Func instances for the same function.
+func FuncKey(f *types.Func) string {
+	if f == nil {
+		return ""
+	}
+	pkg := ""
+	if f.Pkg() != nil {
+		pkg = f.Pkg().Path()
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return pkg + "." + named.Obj().Name() + "." + f.Name()
+		}
+	}
+	return pkg + "." + f.Name()
+}
+
+// A CallSite is one static call edge out of a function body.
+type CallSite struct {
+	// Callee is the resolved target.
+	Callee *types.Func
+	// Pos locates the call expression.
+	Pos token.Pos
+	// InFuncLit marks calls inside a function literal: the closure
+	// may run long after (or never within) the enclosing function, so
+	// flow-sensitive analyses usually exclude these edges.
+	InFuncLit bool
+	// Deferred marks the call a defer statement launches at return
+	// time (its arguments evaluate synchronously and are recorded as
+	// ordinary edges).
+	Deferred bool
+	// InGo marks the call a go statement launches on a new goroutine
+	// (again, argument evaluation stays synchronous).
+	InGo bool
+}
+
+// A Node is one function with a body seen by the session.
+type Node struct {
+	// Func is the function object (from its defining package's
+	// type-check).
+	Func *types.Func
+	// Key is FuncKey(Func).
+	Key string
+	// Calls are the static call edges out of the body, in source
+	// order.
+	Calls []CallSite
+}
+
+// Graph is the session call graph. Nodes are indexed both by object
+// identity and by FuncKey, so cross-package lookups work even if a
+// caller holds an export-data instance of the callee.
+type Graph struct {
+	byObj map[*types.Func]*Node
+	byKey map[string]*Node
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{byObj: make(map[*types.Func]*Node), byKey: make(map[string]*Node)}
+}
+
+// Node resolves a function to its graph node, or nil if the session
+// never saw its body (stdlib, cache-skipped package, or declaration
+// without a body).
+func (g *Graph) Node(f *types.Func) *Node {
+	if n := g.byObj[f]; n != nil {
+		return n
+	}
+	return g.byKey[FuncKey(f)]
+}
+
+// NodeByKey resolves a FuncKey directly.
+func (g *Graph) NodeByKey(key string) *Node { return g.byKey[key] }
+
+// AddPackage walks a type-checked package's declarations and records
+// one node per function that has a body. Adding the same package
+// twice is harmless (nodes are replaced).
+func (g *Graph) AddPackage(t Target) {
+	for _, f := range t.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := t.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &Node{Func: fn, Key: FuncKey(fn)}
+			collectCalls(t.Info, fd.Body, n, false, false)
+			g.byObj[fn] = n
+			g.byKey[n.Key] = n
+		}
+	}
+}
+
+// collectCalls records static call edges under node, tracking whether
+// the walk is inside a function literal or a defer statement.
+func collectCalls(info *types.Info, body ast.Node, n *Node, inLit, deferred bool) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.FuncLit:
+			collectCalls(info, v.Body, n, true, deferred)
+			return false
+		case *ast.DeferStmt:
+			collectLaunch(info, v.Call, n, inLit, deferred, true, false)
+			return false
+		case *ast.GoStmt:
+			collectLaunch(info, v.Call, n, inLit, deferred, false, true)
+			return false
+		case *ast.CallExpr:
+			if tv, ok := info.Types[v.Fun]; ok && tv.IsType() {
+				return true // conversion
+			}
+			if callee := FuncOf(info, v); callee != nil {
+				n.Calls = append(n.Calls, CallSite{Callee: callee, Pos: v.Pos(), InFuncLit: inLit, Deferred: deferred})
+			}
+		}
+		return true
+	})
+}
+
+// collectLaunch records the call a defer or go statement launches. The
+// launched call itself runs later — at function return or on a new
+// goroutine — so its edge carries Deferred/InGo; its argument list
+// still evaluates at the statement, so calls inside the arguments stay
+// ordinary edges. A function-literal callee's body is walked as a
+// closure (InFuncLit), matching how it actually runs.
+func collectLaunch(info *types.Info, call *ast.CallExpr, n *Node, inLit, deferred bool, isDefer, isGo bool) {
+	if tv, ok := info.Types[call.Fun]; !ok || !tv.IsType() {
+		if callee := FuncOf(info, call); callee != nil {
+			n.Calls = append(n.Calls, CallSite{
+				Callee: callee, Pos: call.Pos(),
+				InFuncLit: inLit, Deferred: deferred || isDefer, InGo: isGo,
+			})
+		}
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		collectCalls(info, lit.Body, n, true, deferred)
+	}
+	for _, arg := range call.Args {
+		collectCalls(info, arg, n, inLit, deferred)
+	}
+}

@@ -37,6 +37,13 @@ import (
 // Run checks the analyzer against the named packages under
 // testdata/src, failing t on any mismatch between reported and
 // expected diagnostics.
+//
+// All named packages — plus any testdata packages they import — run
+// inside one analysis session, in dependency order, so cross-package
+// facts and call-graph edges flow exactly as they do in a real
+// multichecker run. Diagnostics are matched against `// want`
+// expectations only for the packages named explicitly; an imported
+// helper package runs for its facts alone.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	root, err := filepath.Abs(filepath.Join(testdata, "src"))
@@ -51,23 +58,30 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 		exports: make(map[string]string),
 	}
 	for _, pkg := range pkgs {
-		sp, err := ld.load(pkg)
-		if err != nil {
+		if _, err := ld.load(pkg); err != nil {
 			t.Fatalf("checktest: loading %s: %v", pkg, err)
 		}
+	}
+
+	session := analysis.NewSession()
+	diagsByPath := make(map[string][]analysis.Diagnostic)
+	for _, path := range ld.depOrder() {
+		sp := ld.pkgs[path]
+		target := analysis.Target{Fset: ld.fset, Files: sp.files, Pkg: sp.pkg, Info: sp.info}
+		session.AddTarget(target)
+		diags, err := analysis.RunSession(session, []*analysis.Analyzer{a}, target)
+		if err != nil {
+			t.Fatalf("checktest: running %s on %s: %v", a.Name, path, err)
+		}
+		diagsByPath[path] = diags
+	}
+
+	for _, pkg := range pkgs {
+		sp := ld.pkgs[pkg]
 		for _, terr := range sp.typeErrors {
 			t.Errorf("checktest: %s: type error: %v", pkg, terr)
 		}
-		diags, err := analysis.Run([]*analysis.Analyzer{a}, analysis.Target{
-			Fset:  ld.fset,
-			Files: sp.files,
-			Pkg:   sp.pkg,
-			Info:  sp.info,
-		})
-		if err != nil {
-			t.Fatalf("checktest: running %s on %s: %v", a.Name, pkg, err)
-		}
-		match(t, ld.fset, sp.files, diags)
+		match(t, ld.fset, sp.files, diagsByPath[pkg])
 	}
 }
 
@@ -213,6 +227,40 @@ func (l *loader) load(path string) (*srcPackage, error) {
 	}
 	sp.pkg = pkg
 	return sp, nil
+}
+
+// depOrder returns every loaded testdata package in dependency order
+// (imports before importers), alphabetical among independents so test
+// failures are stable.
+func (l *loader) depOrder() []string {
+	paths := make([]string, 0, len(l.pkgs))
+	for p := range l.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var order []string
+	state := make(map[string]int) // 0 unseen, 1 visiting, 2 done
+	var visit func(string)
+	visit = func(p string) {
+		if state[p] != 0 {
+			return
+		}
+		state[p] = 1
+		sp := l.pkgs[p]
+		if sp != nil && sp.pkg != nil {
+			for _, imp := range sp.pkg.Imports() {
+				if _, ok := l.pkgs[imp.Path()]; ok {
+					visit(imp.Path())
+				}
+			}
+		}
+		state[p] = 2
+		order = append(order, p)
+	}
+	for _, p := range paths {
+		visit(p)
+	}
+	return order
 }
 
 // Import resolves an import from a testdata package: sibling testdata

@@ -28,6 +28,7 @@ var DeterministicPackages = map[string]bool{
 	"schedule": true,
 	"chaos":    true,
 	"evolve":   true,
+	"cluster":  true,
 }
 
 // forbiddenImports are randomness sources that bypass internal/rng.
@@ -46,7 +47,7 @@ var forbiddenTimeFuncs = map[string]bool{
 var Analyzer = &analysis.Analyzer{
 	Name: "detrand",
 	Doc: "forbid math/rand imports and time.Now/time.Since in the deterministic packages " +
-		"(dse, ga, mapping, runtime, pareto, schedule, chaos, evolve); randomness must come " +
+		"(dse, ga, mapping, runtime, pareto, schedule, chaos, evolve, cluster); randomness must come " +
 		"from internal/rng and time from an injected clock",
 	Run: run,
 }

@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"clrdse/internal/analysis/checktest"
+	"clrdse/internal/analysis/errdrop"
+)
+
+func TestErrdrop(t *testing.T) {
+	checktest.Run(t, "testdata", errdrop.Analyzer, "cluster")
+}

@@ -1,0 +1,71 @@
+// Package cluster (the testdata twin of the in-scope package name)
+// seeds errdrop violations: call statements, go statements and blank
+// assignments that discard error results, next to the documented
+// exemptions and a justified waiver.
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+func probe() error {
+	return errors.New("unreachable")
+}
+
+func fetch() (int, error) {
+	return 0, errors.New("unreachable")
+}
+
+// DropStmt discards at statement level.
+func DropStmt() {
+	probe() // want `error result of probe is discarded; handle it, log it, or waive with //lint:allow errdrop <reason>`
+}
+
+// DropGo launches and forgets.
+func DropGo() {
+	go probe() // want `error result of probe is discarded by go statement; handle it, log it, or waive`
+}
+
+// DropBlank discards explicitly.
+func DropBlank() {
+	_ = probe() // want `error result of probe is assigned to _; handle it, log it, or waive`
+}
+
+// DropPaired discards the error half of a pair.
+func DropPaired() int {
+	n, _ := fetch() // want `error result of fetch is assigned to _; handle it, log it, or waive`
+	return n
+}
+
+// Handled is the contract-conformant shape.
+func Handled() error {
+	if err := probe(); err != nil {
+		return fmt.Errorf("cluster: probe: %w", err)
+	}
+	return nil
+}
+
+// Exempt runs through every documented exemption: deferred cleanup,
+// fmt printers, buffer/builder writes, hashers (including behind the
+// hash.Hash64 interface, where Write resolves to io.Writer).
+func Exempt() uint64 {
+	defer probe()
+	fmt.Println("status")
+	var buf bytes.Buffer
+	buf.WriteString("a")
+	var sb strings.Builder
+	sb.WriteString("b")
+	h := fnv.New64a()
+	h.Write([]byte("key"))
+	return h.Sum64()
+}
+
+// Waived shows a justified suppression.
+func Waived() {
+	//lint:allow errdrop best-effort probe; the ring re-probes on the next tick and logs there
+	_ = probe()
+}

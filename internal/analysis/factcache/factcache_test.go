@@ -1,0 +1,95 @@
+package factcache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clrdse/internal/analysis"
+)
+
+func TestKeySensitivity(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.go")
+	if err := os.WriteFile(a, []byte("package a"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	k1, err := Key([]string{"go1.24", "detrand"}, []string{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := Key([]string{"go1.24", "detrand"}, []string{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Error("identical inputs must produce identical keys")
+	}
+	if k3, _ := Key([]string{"go1.24", "detrand,maporder"}, []string{a}); k3 == k1 {
+		t.Error("changing the analyzer list must change the key")
+	}
+	if err := os.WriteFile(a, []byte("package a // edited"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if k4, _ := Key([]string{"go1.24", "detrand"}, []string{a}); k4 == k1 {
+		t.Error("editing a keyed file must change the key")
+	}
+	if _, err := Key(nil, []string{filepath.Join(dir, "missing.go")}); err == nil {
+		t.Error("an unreadable file must fail the key, not silently weaken it")
+	}
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := Entry{
+		ImportPath: "clrdse/internal/fleet",
+		Diags: []Diag{
+			{File: "f.go", Line: 3, Col: 7, Analyzer: "errdrop", Message: "error result discarded"},
+		},
+		Facts: []analysis.EncodedFact{{Object: "F", Type: "x.fact", Data: []byte{1, 2}}},
+	}
+	key := "0123456789abcdef0123456789abcdef"
+	if _, ok := c.Get(key); ok {
+		t.Fatal("Get before Put must miss")
+	}
+	if err := c.Put(key, entry); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("Get after Put must hit")
+	}
+	if got.ImportPath != entry.ImportPath || len(got.Diags) != 1 || len(got.Facts) != 1 {
+		t.Fatalf("roundtrip lost data: %+v", got)
+	}
+	if got.Diags[0] != entry.Diags[0] {
+		t.Fatalf("diag roundtrip = %+v, want %+v", got.Diags[0], entry.Diags[0])
+	}
+}
+
+func TestGetMissesOnCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "feedfacefeedfacefeedfacefeedface"
+	if err := c.Put(key, Entry{ImportPath: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no cache files written (err=%v)", err)
+	}
+	for _, m := range matches {
+		if err := os.WriteFile(m, []byte("{not json"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.Get(key); ok {
+		t.Error("corrupt entry must read as a miss, not an error or a hit")
+	}
+}

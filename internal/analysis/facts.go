@@ -1,0 +1,279 @@
+package analysis
+
+// Cross-package facts. An analyzer running on package P may export
+// typed facts about P's package-level objects (or about P itself);
+// when a dependent package Q is analyzed later in the same Session,
+// the analyzer imports those facts and reasons across the package
+// boundary without re-reading P's syntax. This mirrors the Facts
+// mechanism of golang.org/x/tools/go/analysis, narrowed to what a
+// single-module lint run needs: facts are keyed by types.Object
+// identity (the loader guarantees one *types.Package instance per
+// import path within a session) and serialised by object *name* so
+// they survive the per-package result cache, where the consumer's
+// types.Package for a cached producer comes from export data rather
+// than source and object identity does not hold.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// A Fact is a typed datum an analyzer attaches to an object or a
+// package. Implementations must be pointers to gob-encodable structs
+// and must be registered with RegisterFact before any Session runs
+// (conventionally from the analyzer package's init).
+type Fact interface {
+	// AFact is a marker method; it has no behaviour.
+	AFact()
+}
+
+var (
+	factMu    sync.Mutex
+	factTypes = map[string]reflect.Type{}
+)
+
+// RegisterFact registers a fact's concrete type for cache
+// serialisation under its type name. Safe to call repeatedly with the
+// same type; two distinct types sharing a name panic, since the cache
+// could then resurrect a fact as the wrong type.
+func RegisterFact(f Fact) {
+	t := reflect.TypeOf(f)
+	if t.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("analysis.RegisterFact: fact %T must be a pointer", f))
+	}
+	name := t.Elem().String()
+	factMu.Lock()
+	defer factMu.Unlock()
+	if prev, ok := factTypes[name]; ok && prev != t {
+		panic(fmt.Sprintf("analysis.RegisterFact: name %q registered for both %v and %v", name, prev, t))
+	}
+	factTypes[name] = t
+}
+
+func factTypeName(f Fact) string { return reflect.TypeOf(f).Elem().String() }
+
+type objFactKey struct {
+	obj  types.Object
+	name string // fact type name
+}
+
+type pkgFactKey struct {
+	path string
+	name string // fact type name
+}
+
+// Session carries the cross-package state of one lint run: facts
+// exported so far and the module call graph grown one package at a
+// time. A Session is single-goroutine; packages must be fed in
+// dependency order (dependencies first) for fact importers to see
+// their producers' output.
+type Session struct {
+	// Graph is the intra-module call graph. AddTarget grows it before
+	// the package's analyzers run, so an analyzer always sees the
+	// nodes of its own package and of every package analyzed earlier.
+	Graph *Graph
+
+	objFacts map[objFactKey]Fact
+	pkgFacts map[pkgFactKey]Fact
+}
+
+// NewSession returns an empty session.
+func NewSession() *Session {
+	return &Session{
+		Graph:    NewGraph(),
+		objFacts: make(map[objFactKey]Fact),
+		pkgFacts: make(map[pkgFactKey]Fact),
+	}
+}
+
+// exportObjectFact validates and stores an object fact. Facts may
+// only attach to package-level objects (or methods of package-level
+// named types): those are the objects a dependent package can name.
+func (s *Session) exportObjectFact(obj types.Object, f Fact) {
+	if obj == nil || obj.Pkg() == nil {
+		panic("analysis: ExportObjectFact on object with no package")
+	}
+	if _, err := objectFactName(obj); err != nil {
+		panic(fmt.Sprintf("analysis: ExportObjectFact: %v", err))
+	}
+	s.objFacts[objFactKey{obj, factTypeName(f)}] = f
+}
+
+func (s *Session) importObjectFact(obj types.Object, f Fact) bool {
+	got, ok := s.objFacts[objFactKey{obj, factTypeName(f)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(f).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+func (s *Session) exportPackageFact(pkg *types.Package, f Fact) {
+	s.pkgFacts[pkgFactKey{pkg.Path(), factTypeName(f)}] = f
+}
+
+func (s *Session) importPackageFact(path string, f Fact) bool {
+	got, ok := s.pkgFacts[pkgFactKey{path, factTypeName(f)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(f).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// objectFactName renders a fact-bearing object as a stable name:
+// "Name" for package-scope objects, "Type.Method" for methods of
+// package-level named types. Anything else is not addressable from
+// another package and is rejected.
+func objectFactName(obj types.Object) (string, error) {
+	pkg := obj.Pkg()
+	if pkg != nil && obj.Parent() == pkg.Scope() {
+		return obj.Name(), nil
+	}
+	if f, ok := obj.(*types.Func); ok {
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return named.Obj().Name() + "." + f.Name(), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("object %s is not package-level (facts must be nameable by dependents)", obj.Name())
+}
+
+// resolveFactObject is the inverse of objectFactName against a
+// (possibly export-data-loaded) package.
+func resolveFactObject(pkg *types.Package, name string) types.Object {
+	if i := indexByte(name, '.'); i >= 0 {
+		tobj := pkg.Scope().Lookup(name[:i])
+		if tobj == nil {
+			return nil
+		}
+		named, ok := tobj.Type().(*types.Named)
+		if !ok {
+			return nil
+		}
+		for m := 0; m < named.NumMethods(); m++ {
+			if named.Method(m).Name() == name[i+1:] {
+				return named.Method(m)
+			}
+		}
+		return nil
+	}
+	return pkg.Scope().Lookup(name)
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// EncodedFact is one serialised fact, as stored in the per-package
+// result cache.
+type EncodedFact struct {
+	// Object names the fact's object ("Name" or "Type.Method");
+	// empty for a package fact.
+	Object string
+	// Type is the registered fact type name.
+	Type string
+	// Data is the gob encoding of the fact struct.
+	Data []byte
+}
+
+// EncodeFacts serialises every fact attached to pkg or its objects,
+// in a deterministic order. Facts of unregistered types are an error:
+// they could never be decoded back.
+func (s *Session) EncodeFacts(pkg *types.Package) ([]EncodedFact, error) {
+	var out []EncodedFact
+	for key, f := range s.pkgFacts {
+		if key.path != pkg.Path() {
+			continue
+		}
+		ef, err := encodeOne("", f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ef)
+	}
+	for key, f := range s.objFacts {
+		if key.obj.Pkg() == nil || key.obj.Pkg().Path() != pkg.Path() {
+			continue
+		}
+		name, err := objectFactName(key.obj)
+		if err != nil {
+			return nil, err
+		}
+		ef, err := encodeOne(name, f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ef)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Object != out[j].Object {
+			return out[i].Object < out[j].Object
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out, nil
+}
+
+func encodeOne(objName string, f Fact) (EncodedFact, error) {
+	name := factTypeName(f)
+	factMu.Lock()
+	_, registered := factTypes[name]
+	factMu.Unlock()
+	if !registered {
+		return EncodedFact{}, fmt.Errorf("fact type %s not registered (call analysis.RegisterFact in the analyzer's init)", name)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).EncodeValue(reflect.ValueOf(f).Elem()); err != nil {
+		return EncodedFact{}, fmt.Errorf("encoding fact %s: %w", name, err)
+	}
+	return EncodedFact{Object: objName, Type: name, Data: buf.Bytes()}, nil
+}
+
+// DecodeFacts installs previously serialised facts against pkg —
+// typically an export-data-loaded instance of a package whose
+// analysis was satisfied from the cache. Facts naming objects that no
+// longer resolve are dropped silently: the cache key covers the
+// package's own sources and export data, so a dangling name can only
+// come from an unexported object that export data omits, which no
+// dependent could have imported anyway.
+func (s *Session) DecodeFacts(pkg *types.Package, facts []EncodedFact) error {
+	for _, ef := range facts {
+		factMu.Lock()
+		t, ok := factTypes[ef.Type]
+		factMu.Unlock()
+		if !ok {
+			return fmt.Errorf("cached fact type %s is not registered", ef.Type)
+		}
+		fv := reflect.New(t.Elem())
+		if err := gob.NewDecoder(bytes.NewReader(ef.Data)).DecodeValue(fv.Elem()); err != nil {
+			return fmt.Errorf("decoding fact %s: %w", ef.Type, err)
+		}
+		f := fv.Interface().(Fact)
+		if ef.Object == "" {
+			s.pkgFacts[pkgFactKey{pkg.Path(), ef.Type}] = f
+			continue
+		}
+		obj := resolveFactObject(pkg, ef.Object)
+		if obj == nil {
+			continue
+		}
+		s.objFacts[objFactKey{obj, ef.Type}] = f
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"go/types"
+
+	"clrdse/internal/analysis"
+)
+
+// testFact is a registered fact type for the roundtrip tests.
+type testFact struct{ Msg string }
+
+func (*testFact) AFact() {}
+
+func init() { analysis.RegisterFact(&testFact{}) }
+
+const factSrc = `package p
+
+type T struct{}
+
+func (T) M() {}
+
+func F() {}
+`
+
+// exportTestFacts attaches one fact to F, one to T.M, and one to the
+// package itself.
+var exportTestFacts = &analysis.Analyzer{
+	Name: "producer",
+	Doc:  "test analyzer: exports facts",
+	Run: func(pass *analysis.Pass) error {
+		scope := pass.Pkg.Scope()
+		pass.ExportObjectFact(scope.Lookup("F"), &testFact{Msg: "on F"})
+		named := scope.Lookup("T").Type().(*types.Named)
+		pass.ExportObjectFact(named.Method(0), &testFact{Msg: "on T.M"})
+		pass.ExportPackageFact(&testFact{Msg: "on p"})
+		return nil
+	},
+}
+
+func TestFactsFlowWithinSession(t *testing.T) {
+	target := parseAndCheck(t, factSrc)
+	session := analysis.NewSession()
+	session.AddTarget(target)
+	if _, err := analysis.RunSession(session, []*analysis.Analyzer{exportTestFacts}, target); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []string
+	consumer := &analysis.Analyzer{
+		Name: "consumer",
+		Doc:  "test analyzer: imports facts",
+		Run: func(pass *analysis.Pass) error {
+			scope := target.Pkg.Scope()
+			var tf testFact
+			if pass.ImportObjectFact(scope.Lookup("F"), &tf) {
+				got = append(got, tf.Msg)
+			}
+			named := scope.Lookup("T").Type().(*types.Named)
+			if pass.ImportObjectFact(named.Method(0), &tf) {
+				got = append(got, tf.Msg)
+			}
+			if pass.ImportPackageFact("p", &tf) {
+				got = append(got, tf.Msg)
+			}
+			return nil
+		},
+	}
+	dep := parseAndCheck(t, "package q\n")
+	session.AddTarget(dep)
+	if _, err := analysis.RunSession(session, []*analysis.Analyzer{consumer}, dep); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"on F", "on T.M", "on p"}
+	if len(got) != len(want) {
+		t.Fatalf("imported facts %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("imported facts %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFactsEncodeDecodeRoundtrip(t *testing.T) {
+	// Produce facts against one type-check of the package…
+	producerTarget := parseAndCheck(t, factSrc)
+	s1 := analysis.NewSession()
+	s1.AddTarget(producerTarget)
+	if _, err := analysis.RunSession(s1, []*analysis.Analyzer{exportTestFacts}, producerTarget); err != nil {
+		t.Fatal(err)
+	}
+	encoded, err := s1.EncodeFacts(producerTarget.Pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(encoded) != 3 {
+		t.Fatalf("EncodeFacts produced %d facts, want 3", len(encoded))
+	}
+
+	// …and decode them onto a *different* instance of the same
+	// package, the way a cache hit installs facts against export data.
+	freshTarget := parseAndCheck(t, factSrc)
+	s2 := analysis.NewSession()
+	if err := s2.DecodeFacts(freshTarget.Pkg, encoded); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	consumer := &analysis.Analyzer{
+		Name: "consumer",
+		Doc:  "test analyzer: imports decoded facts",
+		Run: func(pass *analysis.Pass) error {
+			scope := freshTarget.Pkg.Scope()
+			var tf testFact
+			if pass.ImportObjectFact(scope.Lookup("F"), &tf) {
+				got = append(got, tf.Msg)
+			}
+			named := scope.Lookup("T").Type().(*types.Named)
+			if pass.ImportObjectFact(named.Method(0), &tf) {
+				got = append(got, tf.Msg)
+			}
+			if pass.ImportPackageFact("p", &tf) {
+				got = append(got, tf.Msg)
+			}
+			return nil
+		},
+	}
+	dep := parseAndCheck(t, "package q\n")
+	s2.AddTarget(dep)
+	if _, err := analysis.RunSession(s2, []*analysis.Analyzer{consumer}, dep); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != "on F" || got[1] != "on T.M" || got[2] != "on p" {
+		t.Fatalf("decoded facts %v, want [on F, on T.M, on p]", got)
+	}
+}
+
+func TestCallGraphLaunchEdges(t *testing.T) {
+	const src = `package p
+
+func a() {}
+
+func b() int { return 0 }
+
+func g(int) {}
+
+func f() {
+	go a()
+	defer a()
+	go g(b())
+	defer g(b())
+}
+`
+	target := parseAndCheck(t, src)
+	session := analysis.NewSession()
+	session.AddTarget(target)
+	node := session.Graph.NodeByKey("p.f")
+	if node == nil {
+		t.Fatal("no call-graph node for p.f")
+	}
+	type edge struct {
+		callee       string
+		inGo, defrrd bool
+	}
+	var got []edge
+	for _, c := range node.Calls {
+		got = append(got, edge{c.Callee.Name(), c.InGo, c.Deferred})
+	}
+	want := []edge{
+		{"a", true, false},  // go a()
+		{"a", false, true},  // defer a()
+		{"g", true, false},  // go g(...)
+		{"b", false, false}, // b() evaluates at the go statement
+		{"g", false, true},  // defer g(...)
+		{"b", false, false}, // b() evaluates at the defer statement
+	}
+	if len(got) != len(want) {
+		t.Fatalf("edges %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -6,6 +6,15 @@
 // type-check the target packages from source. This is the same
 // division of labour as x/tools' go/packages LoadAllSyntax mode,
 // reduced to what a single-module lint run needs.
+//
+// Loading is two-phase so the multichecker can interleave a
+// per-package result cache: NewLoader lists the targets (metadata
+// only, in dependency order), and Check type-checks one target on
+// demand. A target that was checked from source is preferred by the
+// importer over its export data, so every package in one load session
+// shares a single *types.Package instance per import path — the
+// object identity the cross-package Facts and call-graph layers rely
+// on. Load keeps the original check-everything convenience shape.
 package load
 
 import (
@@ -26,12 +35,23 @@ import (
 	"sync"
 )
 
-// Package is one loaded, type-checked target package.
+// Package is one loaded target package. NewLoader fills the metadata
+// fields; Check fills Fset/Files/Types/Info.
 type Package struct {
 	// ImportPath is the package's full import path.
 	ImportPath string
 	// Dir is the directory holding its sources.
 	Dir string
+	// GoFiles are the source file names Check parses (tests included
+	// when the loader was built with tests=true).
+	GoFiles []string
+	// ExportFile is the compiler export data for this package in the
+	// build cache ("" if go list produced none). Its content hash is
+	// the cache key ingredient that invalidates dependents when this
+	// package's API changes.
+	ExportFile string
+	// Imports are the package's direct imports (full import paths).
+	Imports []string
 	// Fset positions every file in the load.
 	Fset *token.FileSet
 	// Files are the parsed sources (tests included when requested).
@@ -46,6 +66,9 @@ type Package struct {
 	TypeErrors []error
 }
 
+// Checked reports whether Check ran on the package.
+func (p *Package) Checked() bool { return p.Types != nil }
+
 type listedPackage struct {
 	ImportPath  string
 	Dir         string
@@ -53,16 +76,27 @@ type listedPackage struct {
 	Export      string
 	GoFiles     []string
 	TestGoFiles []string
+	Imports     []string
 	DepOnly     bool
 	Standard    bool
 	Error       *struct{ Err string }
 }
 
-// Load lists patterns in dir and type-checks every matched package.
-// With tests set, in-package _test.go files are parsed and checked as
-// part of their package (external _test packages are out of scope for
-// this loader). The returned packages are in `go list` order.
-func Load(dir string, tests bool, patterns ...string) ([]*Package, error) {
+// Loader is one load session: the listed targets plus the shared
+// file set and importer every Check call feeds.
+type Loader struct {
+	dir     string
+	tests   bool
+	fset    *token.FileSet
+	imp     *cachedImporter
+	targets []*Package
+}
+
+// NewLoader lists patterns in dir and prepares the targets for
+// type-checking, without checking any of them. The returned targets
+// are in `go list -deps` order — dependencies before dependents —
+// which is the order cross-package fact producers must run in.
+func NewLoader(dir string, tests bool, patterns ...string) (*Loader, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -70,7 +104,7 @@ func Load(dir string, tests bool, patterns ...string) ([]*Package, error) {
 	if tests {
 		args = append(args, "-test")
 	}
-	args = append(args, "-json=ImportPath,Dir,Name,Export,GoFiles,TestGoFiles,DepOnly,Standard,Error")
+	args = append(args, "-json=ImportPath,Dir,Name,Export,GoFiles,TestGoFiles,Imports,DepOnly,Standard,Error")
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -81,8 +115,8 @@ func Load(dir string, tests bool, patterns ...string) ([]*Package, error) {
 		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
 	}
 
+	ld := &Loader{dir: dir, tests: tests, fset: token.NewFileSet()}
 	exports := make(map[string]string)
-	var targets []listedPackage
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listedPackage
@@ -101,51 +135,92 @@ func Load(dir string, tests bool, patterns ...string) ([]*Package, error) {
 			exports[p.ImportPath] = p.Export
 		}
 		if !p.DepOnly && !variant && p.Name != "" {
-			targets = append(targets, p)
+			files := append([]string(nil), p.GoFiles...)
+			if tests {
+				files = append(files, p.TestGoFiles...)
+			}
+			if len(files) == 0 {
+				continue
+			}
+			ld.targets = append(ld.targets, &Package{
+				ImportPath: p.ImportPath,
+				Dir:        p.Dir,
+				GoFiles:    files,
+				ExportFile: p.Export,
+				Imports:    append([]string(nil), p.Imports...),
+				Fset:       ld.fset,
+			})
 		}
 	}
-
-	fset := token.NewFileSet()
-	imp := newCachedImporter(fset, dir, exports)
-	var pkgs []*Package
-	for _, t := range targets {
-		files := append([]string(nil), t.GoFiles...)
-		if tests {
-			files = append(files, t.TestGoFiles...)
-		}
-		if len(files) == 0 {
-			continue
-		}
-		pkg, err := check(fset, imp, t.ImportPath, t.Dir, files)
-		if err != nil {
-			return nil, err
-		}
-		pkgs = append(pkgs, pkg)
-	}
-	return pkgs, nil
+	ld.imp = newCachedImporter(ld.fset, dir, exports)
+	return ld, nil
 }
 
-// check parses and type-checks one package's files.
-func check(fset *token.FileSet, imp types.Importer, importPath, dir string, files []string) (*Package, error) {
-	p := &Package{ImportPath: importPath, Dir: dir, Fset: fset}
-	for _, name := range files {
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+// Targets returns the matched packages in dependency order
+// (dependencies first). Metadata only until Check runs on each.
+func (ld *Loader) Targets() []*Package { return ld.targets }
+
+// Check parses and type-checks one target from source and registers
+// the result so later targets import this very instance instead of
+// its export data.
+func (ld *Loader) Check(p *Package) error {
+	if p.Checked() {
+		return nil
+	}
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, fmt.Errorf("parsing %s: %w", name, err)
+			return fmt.Errorf("parsing %s: %w", name, err)
 		}
 		p.Files = append(p.Files, f)
 	}
 	p.Info = NewInfo()
 	conf := types.Config{
-		Importer: imp,
+		Importer: ld.imp,
 		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
 	}
-	tpkg, err := conf.Check(importPath, fset, p.Files, p.Info)
+	tpkg, err := conf.Check(p.ImportPath, ld.fset, p.Files, p.Info)
 	if err != nil && len(p.TypeErrors) == 0 {
 		p.TypeErrors = append(p.TypeErrors, err)
 	}
 	p.Types = tpkg
-	return p, nil
+	ld.imp.registerSource(p.ImportPath, tpkg)
+	return nil
+}
+
+// Import resolves a package by import path without type-checking it
+// from source: a source-checked target if one exists, otherwise its
+// export data. The multichecker uses this to resolve cached facts for
+// packages whose analysis was skipped.
+func (ld *Loader) Import(path string) (*types.Package, error) {
+	return ld.imp.ImportFrom(path, ld.dir, 0)
+}
+
+// ExportFor returns the known export data file for an import path, or
+// "". The multichecker hashes direct imports' export data into each
+// package's cache key, so a dependency's API change invalidates
+// dependents even when the dependency itself is outside the run.
+func (ld *Loader) ExportFor(path string) string {
+	ld.imp.mu.Lock()
+	defer ld.imp.mu.Unlock()
+	return ld.imp.exports[path]
+}
+
+// Load lists patterns in dir and type-checks every matched package.
+// With tests set, in-package _test.go files are parsed and checked as
+// part of their package (external _test packages are out of scope for
+// this loader). The returned packages are in dependency order.
+func Load(dir string, tests bool, patterns ...string) ([]*Package, error) {
+	ld, err := NewLoader(dir, tests, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range ld.Targets() {
+		if err := ld.Check(p); err != nil {
+			return nil, err
+		}
+	}
+	return ld.Targets(), nil
 }
 
 // NewInfo allocates the full set of type-checker fact maps the
@@ -161,7 +236,9 @@ func NewInfo() *types.Info {
 	}
 }
 
-// cachedImporter resolves imports through compiler export data. Known
+// cachedImporter resolves imports through compiler export data, with
+// source-checked target packages taking precedence so one import path
+// maps to one *types.Package instance per load session. Known export
 // paths come from the initial `go list -deps -export` closure; a miss
 // (possible for test-only imports when the closure was listed without
 // -test) falls back to one targeted `go list -export` invocation.
@@ -170,19 +247,35 @@ type cachedImporter struct {
 	dir     string
 	mu      sync.Mutex
 	exports map[string]string
+	source  map[string]*types.Package
 }
 
 func newCachedImporter(fset *token.FileSet, dir string, exports map[string]string) *cachedImporter {
-	ci := &cachedImporter{dir: dir, exports: exports}
+	ci := &cachedImporter{dir: dir, exports: exports, source: make(map[string]*types.Package)}
 	ci.gc = importer.ForCompiler(fset, "gc", ci.lookup).(types.ImporterFrom)
 	return ci
 }
 
+func (ci *cachedImporter) registerSource(path string, pkg *types.Package) {
+	if pkg == nil {
+		return
+	}
+	ci.mu.Lock()
+	ci.source[path] = pkg
+	ci.mu.Unlock()
+}
+
 func (ci *cachedImporter) Import(path string) (*types.Package, error) {
-	return ci.gc.ImportFrom(path, ci.dir, 0)
+	return ci.ImportFrom(path, ci.dir, 0)
 }
 
 func (ci *cachedImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	ci.mu.Lock()
+	src, ok := ci.source[path]
+	ci.mu.Unlock()
+	if ok {
+		return src, nil
+	}
 	return ci.gc.ImportFrom(path, srcDir, mode)
 }
 

@@ -17,6 +17,15 @@
 // the held set, and function-literal bodies are skipped (a closure
 // may run long after the critical section). That is deliberately
 // simpler than a full CFG and errs towards silence, not noise.
+//
+// Since v2 the boundary rule is interprocedural: at a call site
+// inside a held region, the analyzer follows static call edges
+// through the session call graph, so a helper that merely *reaches* a
+// Decide/HTTP boundary is caught too — across package lines. Each
+// package exports a BoundaryFact summarising which of its functions
+// reach a boundary; dependents consult the fact when the producer's
+// bodies are not in the session (result-cache hit), and the call
+// graph otherwise.
 package lockheld
 
 import (
@@ -30,10 +39,24 @@ import (
 // Analyzer is the lockheld check.
 var Analyzer = &analysis.Analyzer{
 	Name: "lockheld",
-	Doc: "flag fleet shard/registry mutexes held across Decide/HTTP/callback boundaries, " +
-		"and lock-bearing structs passed or copied by value",
+	Doc: "flag fleet shard/registry mutexes held across Decide/HTTP/callback boundaries " +
+		"(directly or transitively via the call graph), and lock-bearing structs passed " +
+		"or copied by value",
 	Run: run,
 }
+
+// BoundaryFact summarises, for one package, which of its functions
+// transitively reach a decide/HTTP boundary. Keys are "Name" or
+// "Type.Method"; values describe the path for the diagnostic
+// ("helper → Decide").
+type BoundaryFact struct {
+	Funcs map[string]string
+}
+
+// AFact marks BoundaryFact as a fact type.
+func (*BoundaryFact) AFact() {}
+
+func init() { analysis.RegisterFact(&BoundaryFact{}) }
 
 // boundaryMethods are calls that must not run under a shard or
 // registry mutex.
@@ -52,6 +75,11 @@ func inScope(pkgPath string) bool {
 }
 
 func run(pass *analysis.Pass) error {
+	rc := &reachChecker{pass: pass, memo: map[string]string{}, visiting: map[string]bool{}}
+	// Every package — in scope or not — exports its boundary summary:
+	// an out-of-scope helper package can still be the middle of a
+	// fleet-side acquire-then-call chain.
+	exportBoundaryFact(pass, rc)
 	if !inScope(pass.Pkg.Path()) {
 		return nil
 	}
@@ -63,18 +91,121 @@ func run(pass *analysis.Pass) error {
 			}
 			checkCopies(pass, fd)
 			if fd.Body != nil {
-				analyzeStmts(pass, fd.Body.List, map[string]bool{})
+				analyzeStmts(pass, rc, fd.Body.List, map[string]bool{})
 			}
 		}
 	}
 	return nil
 }
 
+// --- interprocedural boundary reachability ---------------------------
+
+// reachChecker answers "does calling f transitively reach a
+// decide/HTTP boundary?" over the session call graph, consulting
+// imported BoundaryFacts for functions whose bodies the session never
+// saw. Edges inside function literals and defer statements are
+// excluded, matching the intraprocedural analysis (a closure or
+// deferred call does not run inside the critical section the call
+// site sits in — or if it does, the intraprocedural walk of that body
+// sees it directly).
+type reachChecker struct {
+	pass     *analysis.Pass
+	memo     map[string]string // FuncKey → boundary path ("" = does not reach)
+	visiting map[string]bool
+}
+
+// directBoundary describes f itself being a boundary, or "".
+func directBoundary(f *types.Func) string {
+	if boundaryMethods[f.Name()] {
+		return f.Name()
+	}
+	if f.Pkg() != nil && f.Pkg().Path() == "net/http" {
+		return "net/http." + f.Name()
+	}
+	return ""
+}
+
+// relName is FuncKey without the package path: "Name" or
+// "Type.Method", the key shape BoundaryFact uses.
+func relName(f *types.Func) string {
+	key := analysis.FuncKey(f)
+	if f.Pkg() != nil {
+		return strings.TrimPrefix(key, f.Pkg().Path()+".")
+	}
+	return key
+}
+
+// reaches returns the boundary path f's body leads to, if any.
+func (rc *reachChecker) reaches(f *types.Func) (string, bool) {
+	key := analysis.FuncKey(f)
+	if path, ok := rc.memo[key]; ok {
+		return path, path != ""
+	}
+	if rc.visiting[key] {
+		return "", false // recursion: the cycle itself adds no boundary
+	}
+	rc.visiting[key] = true
+	defer delete(rc.visiting, key)
+
+	path := ""
+	node := rc.pass.Session.Graph.Node(f)
+	if node == nil {
+		// No body in the session: a cache-skipped module package (ask
+		// its exported fact) or an out-of-module function (no edge).
+		if f.Pkg() != nil {
+			var bf BoundaryFact
+			if rc.pass.ImportPackageFact(f.Pkg().Path(), &bf) {
+				path = bf.Funcs[relName(f)]
+			}
+		}
+	} else {
+		for _, call := range node.Calls {
+			if call.InFuncLit || call.Deferred || call.InGo {
+				continue
+			}
+			if d := directBoundary(call.Callee); d != "" {
+				path = d
+				break
+			}
+			if sub, ok := rc.reaches(call.Callee); ok {
+				path = call.Callee.Name() + " → " + sub
+				break
+			}
+		}
+	}
+	rc.memo[key] = path
+	return path, path != ""
+}
+
+// exportBoundaryFact publishes this package's summary for dependents
+// (and for cache-warm future runs).
+func exportBoundaryFact(pass *analysis.Pass, rc *reachChecker) {
+	funcs := map[string]string{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if path, ok := rc.reaches(fn); ok {
+				funcs[relName(fn)] = path
+			}
+		}
+	}
+	if len(funcs) > 0 {
+		pass.ExportPackageFact(&BoundaryFact{Funcs: funcs})
+	}
+}
+
 // --- held-across-boundary analysis -----------------------------------
 
 // analyzeStmts walks one statement list carrying the set of held lock
 // expressions (keyed by their printed receiver, e.g. "sh.mu").
-func analyzeStmts(pass *analysis.Pass, stmts []ast.Stmt, held map[string]bool) {
+func analyzeStmts(pass *analysis.Pass, rc *reachChecker, stmts []ast.Stmt, held map[string]bool) {
 	for _, stmt := range stmts {
 		switch s := stmt.(type) {
 		case *ast.ExprStmt:
@@ -86,49 +217,55 @@ func analyzeStmts(pass *analysis.Pass, stmts []ast.Stmt, held map[string]bool) {
 				}
 				continue
 			}
-			checkBoundary(pass, s, held)
+			checkBoundary(pass, rc, s, held)
 		case *ast.DeferStmt:
 			if _, acquired, isLock := lockCall(pass, s.Call); isLock && !acquired {
 				continue // deferred unlock: held to function end
 			}
 			// Other deferred calls run at return, where the held set
 			// is unknowable without a CFG; stay silent.
-		case *ast.IfStmt:
-			checkBoundary(pass, s.Cond, held)
-			if s.Init != nil {
-				checkBoundary(pass, s.Init, held)
+		case *ast.GoStmt:
+			// The launched call runs on its own goroutine, off this
+			// lock; only its arguments evaluate here.
+			for _, arg := range s.Call.Args {
+				checkBoundary(pass, rc, arg, held)
 			}
-			analyzeStmts(pass, s.Body.List, copyHeld(held))
+		case *ast.IfStmt:
+			checkBoundary(pass, rc, s.Cond, held)
+			if s.Init != nil {
+				checkBoundary(pass, rc, s.Init, held)
+			}
+			analyzeStmts(pass, rc, s.Body.List, copyHeld(held))
 			if s.Else != nil {
 				switch e := s.Else.(type) {
 				case *ast.BlockStmt:
-					analyzeStmts(pass, e.List, copyHeld(held))
+					analyzeStmts(pass, rc, e.List, copyHeld(held))
 				case *ast.IfStmt:
-					analyzeStmts(pass, []ast.Stmt{e}, copyHeld(held))
+					analyzeStmts(pass, rc, []ast.Stmt{e}, copyHeld(held))
 				}
 			}
 		case *ast.ForStmt:
-			checkBoundary(pass, s.Cond, held)
-			analyzeStmts(pass, s.Body.List, copyHeld(held))
+			checkBoundary(pass, rc, s.Cond, held)
+			analyzeStmts(pass, rc, s.Body.List, copyHeld(held))
 		case *ast.RangeStmt:
-			checkBoundary(pass, s.X, held)
-			analyzeStmts(pass, s.Body.List, copyHeld(held))
+			checkBoundary(pass, rc, s.X, held)
+			analyzeStmts(pass, rc, s.Body.List, copyHeld(held))
 		case *ast.BlockStmt:
-			analyzeStmts(pass, s.List, copyHeld(held))
+			analyzeStmts(pass, rc, s.List, copyHeld(held))
 		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
 			ast.Inspect(s, func(n ast.Node) bool {
 				if cc, ok := n.(*ast.CaseClause); ok {
-					analyzeStmts(pass, cc.Body, copyHeld(held))
+					analyzeStmts(pass, rc, cc.Body, copyHeld(held))
 					return false
 				}
 				if cc, ok := n.(*ast.CommClause); ok {
-					analyzeStmts(pass, cc.Body, copyHeld(held))
+					analyzeStmts(pass, rc, cc.Body, copyHeld(held))
 					return false
 				}
 				return true
 			})
 		default:
-			checkBoundary(pass, stmt, held)
+			checkBoundary(pass, rc, stmt, held)
 		}
 	}
 }
@@ -164,8 +301,10 @@ func lockCall(pass *analysis.Pass, e ast.Expr) (key string, acquired, isLock boo
 }
 
 // checkBoundary reports boundary calls inside node while locks are
-// held. Function-literal bodies are skipped.
-func checkBoundary(pass *analysis.Pass, node ast.Node, held map[string]bool) {
+// held — direct boundaries, static calls that transitively reach one
+// through the call graph, and dynamic calls through function values.
+// Function-literal bodies are skipped.
+func checkBoundary(pass *analysis.Pass, rc *reachChecker, node ast.Node, held map[string]bool) {
 	if node == nil || len(held) == 0 {
 		return
 	}
@@ -187,6 +326,10 @@ func checkBoundary(pass *analysis.Pass, node ast.Node, held map[string]bool) {
 				pass.Reportf(call.Pos(), "%s called while %s is held; release the lock before crossing a decide boundary", f.Name(), locks)
 			case f.Pkg() != nil && f.Pkg().Path() == "net/http":
 				pass.Reportf(call.Pos(), "net/http.%s called while %s is held; release the lock before crossing an HTTP boundary", f.Name(), locks)
+			default:
+				if path, ok := rc.reaches(f); ok {
+					pass.Reportf(call.Pos(), "call to %s while %s is held reaches %s; release the lock before crossing the boundary", f.Name(), locks, path)
+				}
 			}
 			return true
 		}

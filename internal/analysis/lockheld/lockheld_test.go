@@ -8,5 +8,8 @@ import (
 )
 
 func TestLockheld(t *testing.T) {
-	checktest.Run(t, "testdata", lockheld.Analyzer, "fleet", "other")
+	// remote is named too: it must stay diagnostic-free (out of scope)
+	// while feeding the call graph that fleet's interprocedural cases
+	// cross.
+	checktest.Run(t, "testdata", lockheld.Analyzer, "fleet", "other", "remote")
 }

@@ -6,6 +6,8 @@ package fleet
 import (
 	"net/http"
 	"sync"
+
+	"remote"
 )
 
 // Device is a decide target.
@@ -118,3 +120,45 @@ type GoodPlainStruct struct{ N int }
 
 // GoodByValue copies no lock.
 func GoodByValue(g GoodPlainStruct) int { return g.N }
+
+// BadInterprocDecide reaches a Decide boundary through a local helper:
+// the call graph, not the call site, carries the violation.
+func (s *Shard) BadInterprocDecide(d *Device) {
+	s.mu.Lock()
+	decideAll(d) // want `call to decideAll while s\.mu is held reaches Decide; release the lock before crossing the boundary`
+	s.mu.Unlock()
+}
+
+func decideAll(d *Device) { _ = d.Decide() }
+
+// BadInterprocHTTP reaches an HTTP boundary two static hops away,
+// across a package line (refresh → remote.Fetch → net/http.Get).
+func (s *Shard) BadInterprocHTTP() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = refresh() // want `call to refresh while s\.mu is held reaches Fetch → net/http\.Get; release the lock before crossing the boundary`
+}
+
+func refresh() error { return remote.Fetch() }
+
+// GoodGoLaunchUnderLock: the HTTP hop runs on a fresh goroutine, off
+// the lock; only the launch itself happens in the critical section.
+func (s *Shard) GoodGoLaunchUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	go background()
+}
+
+func background() { _ = remote.Fetch() }
+
+// GoodSpawnHelper mirrors the client batcher: the helper under the
+// lock only *launches* the boundary work, so the go edge must not
+// count as reaching the boundary.
+func (s *Shard) GoodSpawnHelper() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	spawn()
+}
+
+func spawn() { go background() }

@@ -1,0 +1,16 @@
+// Package remote is an out-of-scope helper on the far side of a
+// cross-package acquire-then-call chain: lockheld never reports inside
+// it, but it still exports a BoundaryFact (and call-graph nodes) so a
+// fleet-side caller holding a lock is caught reaching Fetch.
+package remote
+
+import "net/http"
+
+// Fetch crosses an HTTP boundary.
+func Fetch() error {
+	resp, err := http.Get("http://localhost/x")
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}

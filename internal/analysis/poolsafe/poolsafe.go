@@ -1,0 +1,480 @@
+// Package poolsafe machine-checks the sync.Pool discipline the hot
+// serving path depends on (the pooled batch planner, codec scratch
+// and JSON encoder buffers):
+//
+//   - an object must not be used after it is returned with Put — the
+//     pool may already have handed it to another goroutine;
+//   - a pooled object must not escape the function that Get it: not
+//     into a goroutine (`go` statement capturing it) and not into a
+//     struct field, where it can outlive its pool slot;
+//   - a pooled struct type with map-typed fields must have a
+//     reset/Reset method that clears every one of them (clear,
+//     delete, or reassignment) — truncating slices with [:0] is fine,
+//     but map keys from one request must never leak into the next,
+//     or two byte-identical requests can diverge on a recycled entry.
+//
+// The use-after-Put analysis is block-structured like lockheld: a Put
+// kills the variable for the statements after it in the same block
+// (branches analysed with a copy), and deferred Puts are exempt
+// (they run at return, after every use).
+package poolsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"clrdse/internal/analysis"
+)
+
+// Analyzer is the poolsafe check.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolsafe",
+	Doc: "enforce sync.Pool discipline: no use after Put, no escape into goroutines or " +
+		"struct fields, and reset methods must clear every map field of pooled scratch types",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	checkPooledTypes(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// --- pooled type discovery and reset discipline ----------------------
+
+// pooledStructs finds the named struct types of this package that
+// travel through a sync.Pool: the pointee of a pool literal's New
+// result, or of any Put argument.
+func pooledStructs(pass *analysis.Pass) map[*types.Named]token.Pos {
+	found := make(map[*types.Named]token.Pos)
+	record := func(t types.Type, pos token.Pos) {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() != pass.Pkg {
+			return
+		}
+		if _, ok := named.Underlying().(*types.Struct); !ok {
+			return
+		}
+		if _, seen := found[named]; !seen {
+			found[named] = pos
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CompositeLit:
+				if !isSyncPool(pass.TypesInfo.TypeOf(v)) {
+					return true
+				}
+				for _, elt := range v.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if id, ok := kv.Key.(*ast.Ident); !ok || id.Name != "New" {
+						continue
+					}
+					lit, ok := kv.Value.(*ast.FuncLit)
+					if !ok {
+						continue
+					}
+					ast.Inspect(lit.Body, func(m ast.Node) bool {
+						ret, ok := m.(*ast.ReturnStmt)
+						if !ok || len(ret.Results) != 1 {
+							return true
+						}
+						if t := pass.TypesInfo.TypeOf(ret.Results[0]); t != nil {
+							record(t, v.Pos())
+						}
+						return true
+					})
+				}
+			case *ast.CallExpr:
+				if pool, name := poolMethod(pass, v); pool && name == "Put" && len(v.Args) == 1 {
+					if t := pass.TypesInfo.TypeOf(v.Args[0]); t != nil {
+						record(t, v.Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// checkPooledTypes enforces the reset rule on every pooled struct
+// with map fields.
+func checkPooledTypes(pass *analysis.Pass) {
+	pooled := pooledStructs(pass)
+	if len(pooled) == 0 {
+		return
+	}
+	resets := resetMethods(pass)
+	for named, pos := range pooled {
+		st := named.Underlying().(*types.Struct)
+		var mapFields []*types.Var
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if _, isMap := f.Type().Underlying().(*types.Map); isMap {
+				mapFields = append(mapFields, f)
+			}
+		}
+		if len(mapFields) == 0 {
+			continue
+		}
+		rd, ok := resets[named]
+		if !ok {
+			pass.Reportf(pos, "pooled type %s has map fields but no reset/Reset method; stale keys survive reuse", named.Obj().Name())
+			continue
+		}
+		cleared := clearedFields(pass, rd)
+		for _, f := range mapFields {
+			if !cleared[f] {
+				pass.Reportf(rd.Name.Pos(), "reset method of pooled %s does not clear map field %s; stale keys survive reuse",
+					named.Obj().Name(), f.Name())
+			}
+		}
+	}
+}
+
+// resetMethods maps each named type of the package to its
+// reset/Reset method declaration, if any.
+func resetMethods(pass *analysis.Pass) map[*types.Named]*ast.FuncDecl {
+	out := make(map[*types.Named]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != "reset" && fd.Name.Name != "Reset" {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			t := fn.Type().(*types.Signature).Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				out[named] = fd
+			}
+		}
+	}
+	return out
+}
+
+// clearedFields reports which receiver fields the method body clears:
+// as the argument of clear(), the map of delete(), or the target of
+// an assignment.
+func clearedFields(pass *analysis.Pass, fd *ast.FuncDecl) map[*types.Var]bool {
+	cleared := make(map[*types.Var]bool)
+	mark := func(e ast.Expr) {
+		if f := fieldOf(pass, e); f != nil {
+			cleared[f] = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && len(v.Args) > 0 {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && (id.Name == "clear" || id.Name == "delete") {
+					mark(v.Args[0])
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				mark(lhs)
+			}
+		}
+		return true
+	})
+	return cleared
+}
+
+// fieldOf resolves a selector expression to the struct field it
+// names, or nil.
+func fieldOf(pass *analysis.Pass, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	f, _ := s.Obj().(*types.Var)
+	return f
+}
+
+// --- per-function flow: use-after-Put, goroutine and field escape ----
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	pooledVars := make(map[*types.Var]bool)
+	// First pass: which locals come from a pool.Get()?
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) == 0 || len(as.Rhs) == 0 {
+			return true
+		}
+		if !isPoolGet(pass, as.Rhs[0]) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if v := varOf(pass, id); v != nil {
+				pooledVars[v] = true
+			}
+		}
+		return true
+	})
+	if len(pooledVars) == 0 {
+		return
+	}
+
+	walkStmts(pass, fd.Body.List, pooledVars, map[*types.Var]bool{})
+
+	// Escape checks are flow-insensitive over the whole body.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.GoStmt:
+			if pv := referencedPooled(pass, v.Call, pooledVars); pv != nil {
+				pass.Reportf(v.Pos(), "pooled %s escapes into a goroutine started here; it may be reused while the goroutine still runs", pv.Name())
+			}
+			return false
+		case *ast.AssignStmt:
+			for i, lhs := range v.Lhs {
+				if i >= len(v.Rhs) {
+					break
+				}
+				rhs, ok := ast.Unparen(v.Rhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				rv := varOf(pass, rhs)
+				if rv == nil || !pooledVars[rv] {
+					continue
+				}
+				f := fieldOf(pass, lhs)
+				if f == nil {
+					continue
+				}
+				// Storing into a field of another pooled object stays
+				// inside the same lifetime; anything else escapes.
+				if root := rootVar(pass, lhs); root != nil && pooledVars[root] {
+					continue
+				}
+				pass.Reportf(v.Pos(), "pooled %s stored in struct field %s; it can outlive its pool slot", rv.Name(), f.Name())
+			}
+		}
+		return true
+	})
+}
+
+// walkStmts carries the set of already-Put pooled variables through
+// one statement list, reporting any later use.
+func walkStmts(pass *analysis.Pass, stmts []ast.Stmt, pooled map[*types.Var]bool, dead map[*types.Var]bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if v := putArg(pass, s.X, pooled); v != nil {
+				checkDeadUses(pass, s, dead)
+				dead[v] = true
+				continue
+			}
+			checkDeadUses(pass, s, dead)
+		case *ast.DeferStmt:
+			// Deferred Put runs at return, after every use: exempt,
+			// and it does not kill the variable for the body.
+		case *ast.IfStmt:
+			checkDeadUses(pass, s.Cond, dead)
+			if s.Init != nil {
+				checkDeadUses(pass, s.Init, dead)
+			}
+			walkStmts(pass, s.Body.List, pooled, copySet(dead))
+			if s.Else != nil {
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					walkStmts(pass, e.List, pooled, copySet(dead))
+				case *ast.IfStmt:
+					walkStmts(pass, []ast.Stmt{e}, pooled, copySet(dead))
+				}
+			}
+		case *ast.ForStmt:
+			checkDeadUses(pass, s.Cond, dead)
+			walkStmts(pass, s.Body.List, pooled, copySet(dead))
+		case *ast.RangeStmt:
+			checkDeadUses(pass, s.X, dead)
+			walkStmts(pass, s.Body.List, pooled, copySet(dead))
+		case *ast.BlockStmt:
+			walkStmts(pass, s.List, pooled, copySet(dead))
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			ast.Inspect(s, func(n ast.Node) bool {
+				if cc, ok := n.(*ast.CaseClause); ok {
+					walkStmts(pass, cc.Body, pooled, copySet(dead))
+					return false
+				}
+				if cc, ok := n.(*ast.CommClause); ok {
+					walkStmts(pass, cc.Body, pooled, copySet(dead))
+					return false
+				}
+				return true
+			})
+		default:
+			checkDeadUses(pass, stmt, dead)
+		}
+	}
+}
+
+func copySet(m map[*types.Var]bool) map[*types.Var]bool {
+	cp := make(map[*types.Var]bool, len(m))
+	for k, v := range m {
+		cp[k] = v
+	}
+	return cp
+}
+
+// checkDeadUses reports references to already-Put variables under
+// node. Function literals are skipped (escape is the goroutine rule's
+// concern).
+func checkDeadUses(pass *analysis.Pass, node ast.Node, dead map[*types.Var]bool) {
+	if node == nil || len(dead) == 0 {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v := varOf(pass, id); v != nil && dead[v] {
+			pass.Reportf(id.Pos(), "use of pooled %s after Put; the pool may already have handed it to another goroutine", v.Name())
+		}
+		return true
+	})
+}
+
+// putArg returns the pooled variable a `pool.Put(v)` statement
+// retires, or nil.
+func putArg(pass *analysis.Pass, e ast.Expr, pooled map[*types.Var]bool) *types.Var {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	if isPool, name := poolMethod(pass, call); !isPool || name != "Put" {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v := varOf(pass, id); v != nil && pooled[v] {
+		return v
+	}
+	return nil
+}
+
+// referencedPooled returns a pooled variable referenced anywhere in
+// node (a go statement's call, including its closure body), or nil.
+func referencedPooled(pass *analysis.Pass, node ast.Node, pooled map[*types.Var]bool) *types.Var {
+	var found *types.Var
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if v := varOf(pass, id); v != nil && pooled[v] {
+				found = v
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// --- helpers ---------------------------------------------------------
+
+// isSyncPool reports whether t is sync.Pool (or *sync.Pool).
+func isSyncPool(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}
+
+// poolMethod classifies a call as a method on a sync.Pool value,
+// returning the method name.
+func poolMethod(pass *analysis.Pass, call *ast.CallExpr) (bool, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false, ""
+	}
+	if t := pass.TypesInfo.TypeOf(sel.X); isSyncPool(t) {
+		return true, sel.Sel.Name
+	}
+	return false, ""
+}
+
+// isPoolGet reports whether e is pool.Get() (possibly behind a type
+// assertion).
+func isPoolGet(pass *analysis.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	isPool, name := poolMethod(pass, call)
+	return isPool && name == "Get"
+}
+
+func varOf(pass *analysis.Pass, id *ast.Ident) *types.Var {
+	if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// rootVar walks to the base identifier of a selector chain.
+func rootVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.Ident:
+			return varOf(pass, v)
+		default:
+			return nil
+		}
+	}
+}

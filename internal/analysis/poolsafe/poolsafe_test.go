@@ -1,0 +1,12 @@
+package poolsafe_test
+
+import (
+	"testing"
+
+	"clrdse/internal/analysis/checktest"
+	"clrdse/internal/analysis/poolsafe"
+)
+
+func TestPoolsafe(t *testing.T) {
+	checktest.Run(t, "testdata", poolsafe.Analyzer, "pool")
+}

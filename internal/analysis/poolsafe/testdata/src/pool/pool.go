@@ -1,0 +1,112 @@
+// Package pool seeds poolsafe violations: sync.Pool scratch objects
+// used after Put, escaping into goroutines or struct fields, and
+// pooled types whose reset discipline leaks map keys.
+package pool
+
+import "sync"
+
+// scratch is the well-behaved pooled type: its reset clears the map
+// and truncates the slice.
+type scratch struct {
+	keys map[string]int
+	buf  []byte
+}
+
+func (s *scratch) reset() {
+	clear(s.keys)
+	s.buf = s.buf[:0]
+}
+
+var goodPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// leaky has a map field but no reset/Reset method at all.
+type leaky struct {
+	seen map[uint64]bool
+}
+
+var leakyPool = sync.Pool{New: func() any { return new(leaky) }} // want `pooled type leaky has map fields but no reset/Reset method; stale keys survive reuse`
+
+// halfReset clears one of its two map fields.
+type halfReset struct {
+	a map[string]int
+	b map[string]int
+}
+
+var halfPool = sync.Pool{New: func() any { return new(halfReset) }}
+
+func (h *halfReset) Reset() { // want `reset method of pooled halfReset does not clear map field b; stale keys survive reuse`
+	clear(h.a)
+}
+
+// UseAfterPut touches the object after returning it.
+func UseAfterPut() int {
+	s := goodPool.Get().(*scratch)
+	s.keys["a"] = 1
+	goodPool.Put(s)
+	return len(s.buf) // want `use of pooled s after Put; the pool may already have handed it to another goroutine`
+}
+
+// DoublePut returns the same object twice.
+func DoublePut() {
+	s := goodPool.Get().(*scratch)
+	goodPool.Put(s)
+	goodPool.Put(s) // want `use of pooled s after Put`
+}
+
+// DeferredPut is the idiomatic shape: Put runs at return, after every
+// use.
+func DeferredPut() int {
+	s := goodPool.Get().(*scratch)
+	defer goodPool.Put(s)
+	s.keys["a"] = 1
+	return len(s.keys)
+}
+
+// BranchPut retires the object on one path only; the fall-through path
+// still owns it.
+func BranchPut(cond bool) {
+	s := goodPool.Get().(*scratch)
+	if cond {
+		goodPool.Put(s)
+		return
+	}
+	s.keys["b"] = 2
+	goodPool.Put(s)
+}
+
+// GoEscape hands the object to a goroutine that may still be running
+// when the pool recycles it.
+func GoEscape() {
+	s := goodPool.Get().(*scratch)
+	go func() { // want `pooled s escapes into a goroutine started here; it may be reused while the goroutine still runs`
+		s.keys["x"] = 1
+	}()
+	goodPool.Put(s)
+}
+
+// holder keeps a pooled object beyond its slot.
+type holder struct {
+	cached *scratch
+}
+
+// FieldEscape parks the object in a struct field that outlives it.
+func FieldEscape(h *holder) {
+	s := goodPool.Get().(*scratch)
+	h.cached = s // want `pooled s stored in struct field cached; it can outlive its pool slot`
+	goodPool.Put(s)
+}
+
+// JoinedEscape shows a justified suppression: the WaitGroup joins the
+// goroutine before the Put, so the escape cannot outlive the slot.
+func JoinedEscape() {
+	s := goodPool.Get().(*scratch)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	//lint:allow poolsafe wg.Wait joins the goroutine before Put, so the escape cannot outlive the pool slot
+	go func() {
+		defer wg.Done()
+		s.keys["y"] = 1
+	}()
+	wg.Wait()
+	goodPool.Put(s)
+}

@@ -4,23 +4,31 @@ package suite
 
 import (
 	"clrdse/internal/analysis"
+	"clrdse/internal/analysis/atomicmix"
 	"clrdse/internal/analysis/ctxflow"
 	"clrdse/internal/analysis/detrand"
+	"clrdse/internal/analysis/errdrop"
 	"clrdse/internal/analysis/lockheld"
 	"clrdse/internal/analysis/maporder"
 	"clrdse/internal/analysis/metricname"
+	"clrdse/internal/analysis/poolsafe"
 	"clrdse/internal/analysis/tracectx"
+	"clrdse/internal/analysis/wiredrift"
 )
 
 // All returns the full analyzer suite in stable order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		atomicmix.Analyzer,
 		ctxflow.Analyzer,
 		detrand.Analyzer,
+		errdrop.Analyzer,
 		lockheld.Analyzer,
 		maporder.Analyzer,
 		metricname.Analyzer,
+		poolsafe.Analyzer,
 		tracectx.Analyzer,
+		wiredrift.Analyzer,
 	}
 }
 

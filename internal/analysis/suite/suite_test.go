@@ -4,8 +4,8 @@ import "testing"
 
 func TestAllIsCompleteAndNamed(t *testing.T) {
 	all := All()
-	if len(all) != 6 {
-		t.Fatalf("All() = %d analyzers, want 6", len(all))
+	if len(all) != 10 {
+		t.Fatalf("All() = %d analyzers, want 10", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {
@@ -17,7 +17,7 @@ func TestAllIsCompleteAndNamed(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	for _, name := range []string{"ctxflow", "detrand", "lockheld", "maporder", "metricname"} {
+	for _, name := range []string{"atomicmix", "ctxflow", "detrand", "errdrop", "lockheld", "maporder", "metricname", "poolsafe", "tracectx", "wiredrift"} {
 		if !seen[name] {
 			t.Errorf("analyzer %q missing from All()", name)
 		}

@@ -1,0 +1,283 @@
+// Package wiredrift freezes a binary wire format's framing contract
+// at the source level: in any package that defines an encoder/decoder
+// pair of package-level functions named Append<X> and Decode<X>
+// (the fleet CLRB codec's AppendBatchRequest/DecodeBatchRequest
+// shape), every exported field of the wire structs those functions
+// exchange must be
+//
+//  1. referenced by the encoder side (Append<X> and everything it
+//     statically calls within the package),
+//  2. referenced by the decoder side (Decode<X> and its callees —
+//     helper methods like (*binReader).decision count, via the call
+//     graph), and
+//  3. mentioned in at least one _test.go file of the package, the
+//     proxy for "a golden fixture pins its bytes".
+//
+// A field added to a wire struct without all three is exactly how
+// codec drift ships: the JSON path picks the field up reflectively,
+// the binary path silently drops it, and nodes negotiate CLRB and
+// diverge. The analyzer reports the missing side(s) at the field's
+// declaration.
+//
+// Wire structs are discovered from the Append/Decode signatures and
+// expanded through exported struct fields (embedded specs, nested
+// decision/action payloads) within the defining package.
+package wiredrift
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"clrdse/internal/analysis"
+)
+
+// Analyzer is the wiredrift check.
+var Analyzer = &analysis.Analyzer{
+	Name: "wiredrift",
+	Doc: "every exported field of a wire struct must be written by the Append* encoder, " +
+		"read by the Decode* decoder, and covered by a _test.go fixture",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	roots := codecRoots(pass)
+	if len(roots.encode) == 0 || len(roots.decode) == 0 {
+		return nil // not a codec package
+	}
+	wire := wireStructs(pass, roots)
+	if len(wire) == 0 {
+		return nil
+	}
+
+	decls := funcDecls(pass)
+	encodeUse := closureMentions(pass, decls, roots.encode)
+	decodeUse := closureMentions(pass, decls, roots.decode)
+	testNames := testFileIdents(pass)
+
+	for _, named := range wire {
+		st := named.Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			if f.Embedded() {
+				continue // the embedded struct's own fields are checked
+			}
+			name := named.Obj().Name() + "." + f.Name()
+			if !encodeUse[f] {
+				pass.Reportf(f.Pos(), "wire field %s is not written by the encoder (Append* side); the binary framing silently drops it", name)
+			}
+			if !decodeUse[f] {
+				pass.Reportf(f.Pos(), "wire field %s is not read by the decoder (Decode* side); peers lose it on the wire", name)
+			}
+			if testNames != nil && !testNames[f.Name()] {
+				pass.Reportf(f.Pos(), "wire field %s is not covered by any _test.go fixture in this package; add it to a golden test", name)
+			}
+		}
+	}
+	return nil
+}
+
+type codecFns struct {
+	encode []*types.Func
+	decode []*types.Func
+}
+
+// codecRoots pairs package-level Append<X>/Decode<X> functions by
+// suffix. Only suffixes present on both sides count: an Append helper
+// without a decoder twin is not a wire format.
+func codecRoots(pass *analysis.Pass) codecFns {
+	appends := map[string]*types.Func{}
+	decodes := map[string]*types.Func{}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		fn, ok := scope.Lookup(name).(*types.Func)
+		if !ok {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			continue
+		}
+		if x := strings.TrimPrefix(name, "Append"); x != name && x != "" {
+			appends[x] = fn
+		}
+		if x := strings.TrimPrefix(name, "Decode"); x != name && x != "" {
+			decodes[x] = fn
+		}
+	}
+	var out codecFns
+	suffixes := make([]string, 0, len(appends))
+	for x := range appends {
+		suffixes = append(suffixes, x)
+	}
+	sort.Strings(suffixes)
+	for _, x := range suffixes {
+		if dec, ok := decodes[x]; ok {
+			out.encode = append(out.encode, appends[x])
+			out.decode = append(out.decode, dec)
+		}
+	}
+	return out
+}
+
+// wireStructs collects the named struct types of this package that
+// the codec roots exchange, expanded through exported fields.
+func wireStructs(pass *analysis.Pass, roots codecFns) []*types.Named {
+	seen := map[*types.Named]bool{}
+	var order []*types.Named
+	var add func(t types.Type)
+	add = func(t types.Type) {
+		switch u := t.(type) {
+		case *types.Pointer:
+			add(u.Elem())
+			return
+		case *types.Slice:
+			add(u.Elem())
+			return
+		case *types.Array:
+			add(u.Elem())
+			return
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() != pass.Pkg || seen[named] {
+			return
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		seen[named] = true
+		order = append(order, named)
+		for i := 0; i < st.NumFields(); i++ {
+			if f := st.Field(i); f.Exported() {
+				add(f.Type())
+			}
+		}
+	}
+	for _, fns := range [][]*types.Func{roots.encode, roots.decode} {
+		for _, fn := range fns {
+			sig := fn.Type().(*types.Signature)
+			for i := 0; i < sig.Params().Len(); i++ {
+				add(sig.Params().At(i).Type())
+			}
+			for i := 0; i < sig.Results().Len(); i++ {
+				add(sig.Results().At(i).Type())
+			}
+		}
+	}
+	return order
+}
+
+// funcDecls maps this package's function objects to their
+// declarations.
+func funcDecls(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					out[fn] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// closureMentions computes the intra-package static call closure of
+// the roots via the session call graph, then records every struct
+// field the closure's bodies mention (selector or composite-literal
+// key).
+func closureMentions(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, roots []*types.Func) map[*types.Var]bool {
+	closure := map[*types.Func]bool{}
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if closure[fn] || fn.Pkg() != pass.Pkg {
+			return
+		}
+		closure[fn] = true
+		node := pass.Session.Graph.Node(fn)
+		if node == nil {
+			return
+		}
+		for _, call := range node.Calls {
+			visit(call.Callee)
+		}
+	}
+	for _, fn := range roots {
+		visit(fn)
+	}
+
+	used := map[*types.Var]bool{}
+	for fn := range closure {
+		fd, ok := decls[fn]
+		if !ok {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.SelectorExpr:
+				if s, ok := pass.TypesInfo.Selections[v]; ok && s.Kind() == types.FieldVal {
+					if fo, ok := s.Obj().(*types.Var); ok {
+						used[fo] = true
+					}
+				}
+			case *ast.CompositeLit:
+				for _, elt := range v.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						if fo, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+							used[fo] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return used
+}
+
+// testFileIdents parses the package directory's _test.go files
+// (syntax only — they may belong to an external test package) and
+// returns the set of identifiers they mention. A nil map means the
+// directory could not be determined, in which case the coverage rule
+// stays silent rather than flagging every field.
+func testFileIdents(pass *analysis.Pass) map[string]bool {
+	if len(pass.Files) == 0 {
+		return nil
+	}
+	dir := filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	names := map[string]bool{}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.SkipObjectResolution)
+		if err != nil {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				names[id.Name] = true
+			}
+			return true
+		})
+	}
+	return names
+}

@@ -1,0 +1,12 @@
+package wiredrift_test
+
+import (
+	"testing"
+
+	"clrdse/internal/analysis/checktest"
+	"clrdse/internal/analysis/wiredrift"
+)
+
+func TestWiredrift(t *testing.T) {
+	checktest.Run(t, "testdata", wiredrift.Analyzer, "codec")
+}

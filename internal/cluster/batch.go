@@ -142,6 +142,7 @@ func (n *Node) routeBatch(w http.ResponseWriter, r *http.Request, next http.Hand
 		w.Header().Set("Content-Type", fleet.BinContentType)
 		w.Header().Set("Content-Length", strconv.Itoa(len(out)))
 		w.WriteHeader(http.StatusOK)
+		//lint:allow errdrop a response-write failure means the client is gone; there is no one left to tell
 		_, _ = w.Write(out)
 		return
 	}
@@ -204,6 +205,7 @@ func (n *Node) decideSubBatch(r *http.Request, next http.Handler, binWire bool, 
 			return
 		}
 		respBody, err = io.ReadAll(resp.Body)
+		//lint:allow errdrop close after a full read; drain errors already surfaced via ReadAll
 		resp.Body.Close()
 		if err != nil {
 			n.forwardErrs.Inc()

@@ -412,7 +412,10 @@ func (n *Node) forward(w http.ResponseWriter, r *http.Request, ownerURL string, 
 		h[k] = vs
 	}
 	w.WriteHeader(resp.StatusCode)
-	_, _ = io.Copy(w, resp.Body)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		// The owner answered; only the relay to the client broke.
+		n.log.WarnContext(r.Context(), "cluster: streaming forwarded response failed", "owner", ownerURL, "err", err)
+	}
 }
 
 // MemberJSON is one member in the ring document.
@@ -703,7 +706,10 @@ func (n *Node) pushHandoff(ctx context.Context, ownerURL string, st *fleet.Devic
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if rerr != nil {
+			body = []byte("(unreadable body: " + rerr.Error() + ")")
+		}
 		return fmt.Errorf("cluster: handoff rejected: status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
 	}
 	return nil
@@ -763,8 +769,12 @@ func (n *Node) probe(ctx context.Context, url string) bool {
 	if err != nil {
 		return false
 	}
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-	resp.Body.Close()
+	if _, err := io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)); err != nil {
+		n.log.DebugContext(ctx, "cluster: probe body drain failed", "url", url, "err", err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		n.log.DebugContext(ctx, "cluster: probe body close failed", "url", url, "err", err)
+	}
 	return resp.StatusCode == http.StatusOK
 }
 
@@ -772,5 +782,6 @@ func (n *Node) probe(ctx context.Context, url string) bool {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
+	//lint:allow errdrop a response-write failure means the client is gone; there is no one left to tell
 	_ = json.NewEncoder(w).Encode(v)
 }

@@ -135,6 +135,7 @@ func (r *Registry) DecideBatch(ctx context.Context, events []BatchEvent, results
 		var wg sync.WaitGroup
 		for _, sh := range p.shards {
 			wg.Add(1)
+			//lint:allow poolsafe wg.Wait below joins every shard goroutine before p is reset and returned to the pool
 			go func(runIdx []int) {
 				defer wg.Done()
 				for _, ri := range runIdx {

@@ -119,6 +119,7 @@ func NewCluster(opt ClusterOptions) (*Cluster, error) {
 			(*cn.handler.Load()).ServeHTTP(w, r)
 		})}
 		c.hss = append(c.hss, hs)
+		//lint:allow errdrop Serve returns ErrServerClosed on teardown; a real accept error fails the test through the dead port
 		go hs.Serve(c.lns[i])
 	}
 	ok = true
@@ -263,9 +264,11 @@ func (c *Cluster) Close() {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	for _, hs := range c.hss {
+		//lint:allow errdrop best-effort teardown; a hung shutdown is bounded by the context deadline
 		_ = hs.Shutdown(ctx)
 	}
 	for _, ln := range c.lns {
+		//lint:allow errdrop Shutdown above already closed the listener; this double-close is belt and braces
 		_ = ln.Close()
 	}
 }

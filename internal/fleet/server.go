@@ -236,6 +236,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Length", strconv.Itoa(jb.buf.Len()))
 	w.WriteHeader(status)
+	//lint:allow errdrop a response-write failure means the client is gone; there is no one left to tell
 	_, _ = w.Write(jb.buf.Bytes())
 	jsonBufPool.Put(jb)
 }
@@ -453,6 +454,7 @@ func (s *Server) handleDecideBatch(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", BinContentType)
 		w.Header().Set("Content-Length", strconv.Itoa(len(out)))
 		w.WriteHeader(http.StatusOK)
+		//lint:allow errdrop a response-write failure means the client is gone; there is no one left to tell
 		_, _ = w.Write(out)
 		return
 	}
