@@ -543,6 +543,65 @@ func BenchmarkShadowDecide(b *testing.B) {
 	b.Run("steady", func(b *testing.B) { run(b, true, true) })
 }
 
+// BenchmarkCohortPrior measures the cold-start decide path under
+// cohort inheritance on the N=80 database: each iteration registers a
+// fresh AuRA device — whose agent is seeded from the cohort's
+// published value table at registration — and fires its first QoS
+// event. The "bare" variant is the same path with no table published;
+// the gate keeps prior application (two value-vector copies plus the
+// binding checks) negligible next to registration and the decision
+// itself.
+func BenchmarkCohortPrior(b *testing.B) {
+	db, space := benchBigDB(b, 80)
+	model := runtime.ModelFromDatabase(db)
+	run := func(b *testing.B, seeded bool) {
+		reg, err := NewFleetRegistry([]NamedDatabase{{Name: "red", DB: db, Space: space}}, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if seeded {
+			_, fp, err := reg.ActiveSnapshot("red")
+			if err != nil {
+				b.Fatal(err)
+			}
+			vt := &runtime.ValueTable{
+				Version: 1, Epoch: 1, Gamma: 0.8,
+				DBVersion: db.Version, DBFingerprint: fp,
+				Devices: 8, Events: 512,
+				VR:     make([]float64, db.Len()),
+				VD:     make([]float64, db.Len()),
+				Visits: make([]int, db.Len()),
+			}
+			for i, p := range db.Points {
+				vt.VR[i] = -p.EnergyMJ * 3
+				vt.VD[i] = 1.5
+				vt.Visits[i] = 10
+			}
+			if err := reg.PublishValueTable("red", vt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		src := rng.New(9)
+		boot := model.Sample(src)
+		stream := model.Stream()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := fmt.Sprintf("cold-%d", i)
+			if _, err := reg.Register(FleetDeviceParams{
+				ID: id, Database: "red", PRC: 0.5, Gamma: 0.8,
+				Trigger: runtime.TriggerAlways, Initial: boot,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := reg.Decide(id, stream.Next(src)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("bare", func(b *testing.B) { run(b, false) })
+	b.Run("seeded", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkReD measures the reconfiguration-cost-aware stage end to
 // end: every fitness evaluation computes an average reconfiguration
 // distance against the stored set.

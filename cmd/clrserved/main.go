@@ -14,6 +14,7 @@
 //	clrserved -jpeg -addr 127.0.0.1:9000
 //	clrserved -loadgen -devices 64 -events 100
 //	clrserved -addr :8080 -evolve -evolve-interval 30s
+//	clrserved -addr :8080 -cohort -cohort-epoch 256 -cohort-gamma 0.8
 //	clrserved -addr :8080 -cluster-node node-0 \
 //	    -cluster-peers node-0=http://h0:8080,node-1=http://h1:8080
 //
@@ -33,6 +34,13 @@
 // every decision against the candidate, and hot-swaps it in once the
 // shadow window's agreement clears -evolve-threshold (in cluster mode,
 // only once every alive peer is on the same version).
+//
+// With -cohort the process runs the cohort-AuRA worker: on a
+// deterministic epoch schedule it aggregates the decision journal into
+// a shared value table, versions it, and publishes it so cold-start
+// devices inherit the cohort's learned values (in cluster mode, only
+// once every alive peer holds the same table; a lagging node adopts
+// the winner's table instead).
 package main
 
 import (
@@ -51,6 +59,7 @@ import (
 	"time"
 
 	"clrdse/internal/cluster"
+	"clrdse/internal/cohort"
 	"clrdse/internal/core"
 	"clrdse/internal/dse"
 	"clrdse/internal/evolve"
@@ -84,6 +93,11 @@ func main() {
 		evolveOn  = flag.Bool("evolve", false, "run the Continuous-ReD worker: re-search the \"red\" database against the observed QoS-event distribution, shadow-validate and hot-swap")
 		evolveIv  = flag.Duration("evolve-interval", time.Minute, "evolve: tick period of the background worker")
 		evolveThr = flag.Float64("evolve-threshold", 0.95, "evolve: shadow-window agreement fraction required before cutover")
+
+		cohortOn    = flag.Bool("cohort", false, "run the cohort-AuRA worker: aggregate the \"red\" journal into a shared value table on the epoch schedule and publish it for cold-start inheritance")
+		cohortEpoch = flag.Int("cohort-epoch", 0, "cohort: base eligible-event count per publishing epoch (0 = default 256; jittered deterministically per epoch)")
+		cohortGamma = flag.Float64("cohort-gamma", 0.8, "cohort: AuRA discount the shared table is learned under (only devices registered with the same gamma inherit it)")
+		cohortIv    = flag.Duration("cohort-interval", time.Minute, "cohort: tick period of the background worker")
 
 		tasks   = flag.Int("tasks", 30, "synthetic application size")
 		jpeg    = flag.Bool("jpeg", false, "use the JPEG encoder of Figure 2b")
@@ -255,6 +269,27 @@ func main() {
 		go w.Run(ctx)
 		log.Info("continuous ReD enabled", "db", "red",
 			"interval", *evolveIv, "threshold", *evolveThr)
+	}
+	if *cohortOn {
+		w := &cohort.Worker{
+			Registry: srv.Registry(),
+			Database: "red",
+			Gamma:    *cohortGamma,
+			Schedule: cohort.Schedule{Seed: *seed, BaseEvents: *cohortEpoch},
+			Interval: *cohortIv,
+			Logger:   log,
+		}
+		if node != nil {
+			// A value table seeds agents fleet-wide, so no node publishes
+			// until every alive peer holds the same table — and a node
+			// that finds a peer already ahead adopts the peer's table
+			// (catch-up) instead of deferring forever.
+			w.Agreement = node.VTablesAgree
+			w.Reconcile = node.CatchUpVTables
+		}
+		go w.Run(ctx)
+		log.Info("cohort AuRA enabled", "db", "red", "gamma", *cohortGamma,
+			"epoch_base", *cohortEpoch, "interval", *cohortIv)
 	}
 	if node != nil {
 		go node.Run(ctx, *clProbe)

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"clrdse/internal/experiments"
+	"clrdse/internal/fleet/fleettest"
 	"clrdse/internal/report"
 )
 
@@ -27,7 +28,7 @@ type renderer interface{ Render() string }
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "comma-separated list: fig1,table4,fig5,fig6,table5,fig7,table6,table7,validate,scalability,sensitivity,storage,convergence or 'all'")
+		run   = flag.String("run", "all", "comma-separated list: fig1,table4,fig5,fig6,table5,fig7,table6,table7,validate,scalability,sensitivity,storage,convergence,cohortab or 'all'")
 		scale = flag.String("scale", "quick", "experiment scale: quick | full")
 		out   = flag.String("out", "", "directory to write one .txt per experiment (default: stdout)")
 		svg   = flag.Bool("svg", false, "additionally write .svg charts for the figures (requires -out)")
@@ -56,7 +57,7 @@ func main() {
 	}
 	lab := experiments.NewLab(s)
 
-	all := []string{"fig1", "table4", "fig5", "fig6", "table5", "fig7", "table6", "table7", "validate", "scalability", "sensitivity", "storage", "convergence"}
+	all := []string{"fig1", "table4", "fig5", "fig6", "table5", "fig7", "table6", "table7", "validate", "scalability", "sensitivity", "storage", "convergence", "cohortab"}
 	want := map[string]bool{}
 	if *run == "all" {
 		for _, id := range all {
@@ -82,6 +83,7 @@ func main() {
 		"sensitivity": func() (renderer, error) { return lab.Sensitivity() },
 		"storage":     func() (renderer, error) { return lab.Storage() },
 		"convergence": func() (renderer, error) { return lab.Convergence() },
+		"cohortab":    func() (renderer, error) { return runCohortAB(s) },
 	}
 	for id := range want {
 		if _, ok := runners[id]; !ok {
@@ -135,6 +137,22 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
+}
+
+// runCohortAB replays the cohort A/B harness (uRA vs per-device AuRA
+// vs cohort AuRA on one seeded oscillating schedule, see
+// fleettest.RunAB) at the requested scale. Equal scales and seeds
+// reproduce the table byte for byte.
+func runCohortAB(s experiments.Scale) (renderer, error) {
+	p := fleettest.ABParams{Seed: s.Seed}
+	if s.Name == "full" {
+		p = fleettest.ABParams{
+			Devices: 8, Events: 120,
+			WarmDevices: 12, WarmEvents: 240,
+			Seed: s.Seed,
+		}
+	}
+	return fleettest.RunAB(p)
 }
 
 // namedChart pairs a chart's file stem with its rendered SVG markup.

@@ -29,6 +29,7 @@ var DeterministicPackages = map[string]bool{
 	"chaos":    true,
 	"evolve":   true,
 	"cluster":  true,
+	"cohort":   true,
 }
 
 // forbiddenImports are randomness sources that bypass internal/rng.
@@ -47,7 +48,7 @@ var forbiddenTimeFuncs = map[string]bool{
 var Analyzer = &analysis.Analyzer{
 	Name: "detrand",
 	Doc: "forbid math/rand imports and time.Now/time.Since in the deterministic packages " +
-		"(dse, ga, mapping, runtime, pareto, schedule, chaos, evolve, cluster); randomness must come " +
+		"(dse, ga, mapping, runtime, pareto, schedule, chaos, evolve, cluster, cohort); randomness must come " +
 		"from internal/rng and time from an injected clock",
 	Run: run,
 }

@@ -254,6 +254,8 @@ func (n *Node) Middleware(next http.Handler) http.Handler {
 	mux.HandleFunc("GET /v1/cluster/ring", n.handleRing)
 	mux.HandleFunc("GET /v1/cluster/versions", n.handleVersions)
 	mux.HandleFunc("GET /v1/cluster/database/{name}", n.handleDatabase)
+	mux.HandleFunc("GET /v1/cluster/vtables", n.handleVTables)
+	mux.HandleFunc("GET /v1/cluster/vtable/{name}", n.handleVTable)
 	mux.HandleFunc("POST /v1/cluster/handoff", n.authed(n.handleHandoff))
 	mux.HandleFunc("POST /v1/cluster/membership", n.authed(n.handleMembership))
 	mux.Handle("/", n.router(next))

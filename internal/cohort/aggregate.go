@@ -1,0 +1,183 @@
+package cohort
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"clrdse/internal/dse"
+	"clrdse/internal/obs"
+	"clrdse/internal/runtime"
+)
+
+// ErrNoEvidence reports a journal with no eligible decisions for the
+// database version being aggregated — an expected state on a fresh
+// cohort, not a fault.
+var ErrNoEvidence = errors.New("cohort: no eligible journaled decisions to aggregate")
+
+// AggregateParams configures one aggregation pass.
+type AggregateParams struct {
+	// DB is the active database the journal entries were scored
+	// against; its Version selects the eligible entries (point IDs are
+	// only meaningful within one database version) and its points'
+	// stored energy reconstructs the performance reward.
+	DB *dse.Database
+	// DBFingerprint is the serving database's content fingerprint
+	// (fleet.NamedDatabase.Fingerprint) — the first half of the cohort
+	// key, stamped into the table so a prior can never be applied
+	// across a database swap.
+	DBFingerprint uint64
+	// Gamma is the discount factor the cohort learns under.
+	Gamma float64
+	// MeanInterArrivalCycles calibrates the replayed episode clock,
+	// exactly as runtime.Manager does per decision (0 selects 100).
+	MeanInterArrivalCycles float64
+	// EpisodeCycles overrides the agents' episode length (0 keeps the
+	// runtime default).
+	EpisodeCycles float64
+}
+
+// Aggregate folds a journal snapshot into one cohort value table. Per
+// device, the eligible entries (real decisions scored against DB's
+// version) are replayed in sequence order through a detached
+// runtime.Agent — the same step the live manager took, reconstructed
+// from the journal: reward -EnergyMJ of the chosen point, cost the
+// recorded dRC, episode clock advanced by the mean inter-arrival time.
+// The per-device value functions are then merged with visit-weighted
+// means in sorted device order, so the result is independent of entry
+// interleaving across journal shards and of how devices are
+// discovered. The returned table is unversioned (Version and Epoch
+// zero); the publisher stamps them.
+func Aggregate(p AggregateParams, entries []obs.Entry) (*runtime.ValueTable, error) {
+	if p.DB == nil || p.DB.Len() == 0 {
+		return nil, fmt.Errorf("cohort: empty database")
+	}
+	if p.Gamma < 0 || p.Gamma >= 1 {
+		return nil, fmt.Errorf("cohort: gamma %v outside [0,1)", p.Gamma)
+	}
+	mean := p.MeanInterArrivalCycles
+	if mean == 0 {
+		mean = 100
+	}
+	n := p.DB.Len()
+
+	// Group the eligible entries per device. Degraded answers never
+	// stepped an agent; entries scored against another database
+	// version index a different state space.
+	byDevice := make(map[string][]obs.Entry)
+	for _, e := range entries {
+		if e.Degraded || e.DBVersion != p.DB.Version {
+			continue
+		}
+		if e.To < 0 || e.To >= n {
+			continue
+		}
+		byDevice[e.Device] = append(byDevice[e.Device], e)
+	}
+	if len(byDevice) == 0 {
+		return nil, ErrNoEvidence
+	}
+	devices := make([]string, 0, len(byDevice))
+	for d := range byDevice {
+		devices = append(devices, d)
+	}
+	sort.Strings(devices)
+
+	// Replay each device's decisions through its own detached agent,
+	// then merge with visit-weighted running means in sorted device
+	// order. Sequential merge order is fixed, so float accumulation is
+	// reproducible despite FP non-associativity.
+	//
+	// Unvisited states keep the same truncated-horizon stay-put prior a
+	// live agent boots with (runtime.NewAgentForDB): the table is
+	// applied to devices wholesale, so a zero baseline would make every
+	// state the cohort never visited look better (VR 0) than the states
+	// it actually learned (VR < 0), biasing seeded devices toward
+	// unexplored configurations. The first real visit replaces the
+	// prior either way (every-visit MC at alpha = 1/visits).
+	eventsPerEpisode := 0
+	if p.EpisodeCycles > 0 {
+		eventsPerEpisode = int(p.EpisodeCycles / mean)
+	}
+	prior := runtime.NewAgentForDB(p.DB, p.Gamma, eventsPerEpisode).Snapshot()
+	table := &runtime.ValueTable{
+		Gamma:          p.Gamma,
+		DBVersion:      p.DB.Version,
+		DBFingerprint:  p.DBFingerprint,
+		QoSFingerprint: QoSFingerprint(entries),
+		VR:             prior.VR,
+		VD:             prior.VD,
+		Visits:         make([]int, n),
+	}
+	for _, dev := range devices {
+		es := byDevice[dev]
+		sort.Slice(es, func(i, j int) bool { return es[i].Seq < es[j].Seq })
+		ag := runtime.NewAgent(n, p.Gamma)
+		if p.EpisodeCycles > 0 {
+			ag.EpisodeCycles = p.EpisodeCycles
+		}
+		for i, e := range es {
+			// Mirror Manager.OnQoSChangeObserved's agent step: the
+			// event counter advances first, so the clock is 1-based.
+			t := float64(i+1) * mean
+			if err := ag.Observe(e.To, -p.DB.Points[e.To].EnergyMJ, e.DRCMs, t); err != nil {
+				return nil, fmt.Errorf("cohort: device %s: %w", dev, err)
+			}
+		}
+		ag.Flush()
+		snap := ag.Snapshot()
+		for s := 0; s < n; s++ {
+			w := snap.Visits[s]
+			if w == 0 {
+				continue
+			}
+			total := table.Visits[s] + w
+			fw := float64(w) / float64(total)
+			table.VR[s] += fw * (snap.VR[s] - table.VR[s])
+			table.VD[s] += fw * (snap.VD[s] - table.VD[s])
+			table.Visits[s] = total
+		}
+		table.Devices++
+		table.Events += len(es)
+	}
+
+	// Shrinkage prior for the cost dimension: states the cohort never
+	// visited inherit the visit-weighted mean VD of the states it did.
+	// A zero VD baseline would be systematically optimistic — every
+	// unexplored configuration would look churn-free next to the
+	// explored ones, and a seeded agent would rotate through unexplored
+	// states chasing that phantom (re-running, fleet-wide, exactly the
+	// exploration the cohort already paid for). Absent state-specific
+	// evidence, the cohort-wide mean continuation cost is the neutral
+	// estimate; a device's own first visit replaces it (alpha = 1).
+	var meanVD, weight float64
+	for s := 0; s < n; s++ {
+		if table.Visits[s] > 0 {
+			w := float64(table.Visits[s])
+			weight += w
+			meanVD += w / weight * (table.VD[s] - meanVD)
+		}
+	}
+	for s := 0; s < n; s++ {
+		if table.Visits[s] == 0 {
+			table.VD[s] = meanVD
+		}
+	}
+	return table, nil
+}
+
+// EligibleEvents counts the journal entries Aggregate would fold for
+// the given database version: the epoch schedule's clock.
+func EligibleEvents(entries []obs.Entry, dbVersion uint64, states int) int {
+	count := 0
+	for _, e := range entries {
+		if e.Degraded || e.DBVersion != dbVersion {
+			continue
+		}
+		if e.To < 0 || e.To >= states {
+			continue
+		}
+		count++
+	}
+	return count
+}

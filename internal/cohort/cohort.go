@@ -1,0 +1,86 @@
+// Package cohort implements fleet-scale shared value learning: the
+// cohort-AuRA counterpart of the per-device agent of Section 4.3.2.
+// Devices that serve the same design-point database under the same
+// observed QoS regime form a cohort; the cohort's journaled decisions
+// are folded into one aggregated value table (VR, VD per stored design
+// point), published on a deterministic epoch schedule, and injected
+// back into the devices' agents as prior knowledge. A cold-start
+// device then inherits what its cohort already learned instead of
+// running offline Monte-Carlo from scratch.
+//
+// Everything here is deterministic: a cohort key, an epoch boundary
+// and an aggregated table are pure functions of (database, journal
+// entries, configuration, seed). Aggregation replays journaled
+// decisions in sorted (device, seq) order through detached
+// runtime.Agent instances and merges them with visit-weighted means in
+// sorted device order, so the result is independent of journal shard
+// interleaving and map iteration order — the same discipline that
+// makes internal/evolve's proposals byte-reproducible.
+package cohort
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"clrdse/internal/evolve"
+	"clrdse/internal/obs"
+)
+
+// Key identifies a cohort: the devices that share learned value
+// knowledge. Two devices are cohort-mates when they serve databases
+// with identical content (same fingerprint — version numbers alone can
+// collide across divergent nodes) and observe the same quantised
+// QoS-event regime.
+type Key struct {
+	// DBFingerprint is the content fingerprint of the serving database
+	// (fleet.NamedDatabase.Fingerprint).
+	DBFingerprint uint64 `json:"db_fingerprint"`
+	// QoSFingerprint is the quantised support-set fingerprint of the
+	// observed QoS-event distribution (see QoSFingerprint).
+	QoSFingerprint uint64 `json:"qos_fingerprint"`
+}
+
+// QoSFingerprint hashes the *support set* of the observed QoS-event
+// distribution: the sorted distinct quantised (S_SPEC, F_MIN) cells,
+// on exactly the grid internal/evolve histograms them (one quantiser,
+// one notion of "same specification"). Counts are deliberately
+// excluded — the fingerprint identifies the regime a cohort operates
+// in, and must stay stable as traffic accumulates within that regime
+// rather than change with every journaled event. Degraded answers and
+// pre-spec-recording entries (both spec fields zero) are skipped, as
+// in evolve.Observe; the result is independent of entry order.
+func QoSFingerprint(entries []obs.Entry) uint64 {
+	type cell struct{ s, f int64 }
+	seen := make(map[cell]bool)
+	for _, e := range entries {
+		if e.Degraded || (e.SpecSMaxMs == 0 && e.SpecFMin == 0) {
+			continue
+		}
+		seen[cell{evolve.Quantise(e.SpecSMaxMs), evolve.Quantise(e.SpecFMin)}] = true
+	}
+	cells := make([]cell, 0, len(seen))
+	for c := range seen {
+		cells = append(cells, c)
+	}
+	// Sorted cells make the hash independent of map iteration order.
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].s != cells[j].s {
+			return cells[i].s < cells[j].s
+		}
+		return cells[i].f < cells[j].f
+	})
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	word(uint64(len(cells)))
+	for _, c := range cells {
+		word(uint64(c.s))
+		word(uint64(c.f))
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,216 @@
+package cohort
+
+import (
+	"testing"
+
+	"clrdse/internal/dse"
+	"clrdse/internal/evolve"
+	"clrdse/internal/obs"
+	"clrdse/internal/runtime"
+)
+
+func entry(device string, seq uint64, to int, drc, s, f float64) obs.Entry {
+	return obs.Entry{Device: device, Seq: seq, To: to, DRCMs: drc, SpecSMaxMs: s, SpecFMin: f}
+}
+
+func testDB(n int) *dse.Database {
+	db := &dse.Database{Name: "t"}
+	for i := 0; i < n; i++ {
+		db.Points = append(db.Points, &dse.DesignPoint{ID: i, EnergyMJ: float64(i+1) * 1.5})
+	}
+	return db
+}
+
+func TestQoSFingerprint(t *testing.T) {
+	a := entry("d0", 1, 0, 0, 3.5, 0.9)
+	b := entry("d0", 2, 1, 2, 4.0, 0.95)
+	c := entry("d1", 1, 0, 0, 3.5, 0.9) // same cell as a, other device
+
+	cases := []struct {
+		name    string
+		entries []obs.Entry
+		same    []obs.Entry // expected to fingerprint identically
+		differ  bool        // when set, `same` must differ instead
+	}{
+		{
+			name:    "order independent",
+			entries: []obs.Entry{a, b},
+			same:    []obs.Entry{b, a},
+		},
+		{
+			name:    "counts excluded: repeats of a cell do not move the key",
+			entries: []obs.Entry{a, b},
+			same:    []obs.Entry{a, a, c, b},
+		},
+		{
+			name:    "degraded entries excluded",
+			entries: []obs.Entry{a, b},
+			same: append([]obs.Entry{a, b},
+				obs.Entry{Device: "d2", Degraded: true, SpecSMaxMs: 9.9, SpecFMin: 0.1}),
+		},
+		{
+			name:    "pre-spec entries excluded",
+			entries: []obs.Entry{a, b},
+			same:    append([]obs.Entry{a, b}, entry("d2", 1, 0, 0, 0, 0)),
+		},
+		{
+			name:    "sub-quantum jitter lands in the same cell",
+			entries: []obs.Entry{a},
+			same:    []obs.Entry{entry("d0", 1, 0, 0, 3.5+evolve.SpecQuantum/4, 0.9-evolve.SpecQuantum/4)},
+		},
+		{
+			name:    "a full quantum apart is a different regime",
+			entries: []obs.Entry{a},
+			same:    []obs.Entry{entry("d0", 1, 0, 0, 3.5+evolve.SpecQuantum, 0.9)},
+			differ:  true,
+		},
+		{
+			name:    "new cell moves the key",
+			entries: []obs.Entry{a},
+			same:    []obs.Entry{a, b},
+			differ:  true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, want := QoSFingerprint(tc.same), QoSFingerprint(tc.entries)
+			if tc.differ && got == want {
+				t.Error("fingerprints equal, want different")
+			}
+			if !tc.differ && got != want {
+				t.Errorf("fingerprints differ: %016x vs %016x", got, want)
+			}
+		})
+	}
+	if QoSFingerprint(nil) != QoSFingerprint([]obs.Entry{{Degraded: true, SpecSMaxMs: 1, SpecFMin: 1}}) {
+		t.Error("empty support sets fingerprint differently")
+	}
+}
+
+func TestAggregateOrderIndependent(t *testing.T) {
+	db := testDB(4)
+	es := []obs.Entry{
+		entry("b", 1, 1, 2.0, 3.5, 0.9),
+		entry("a", 1, 0, 0.0, 3.5, 0.9),
+		entry("a", 2, 2, 4.0, 4.0, 0.95),
+		entry("b", 2, 1, 0.0, 3.5, 0.9),
+		entry("a", 3, 2, 0.0, 4.0, 0.95),
+	}
+	p := AggregateParams{DB: db, DBFingerprint: 7, Gamma: 0.8}
+	ref, err := Aggregate(p, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Devices != 2 || ref.Events != 5 {
+		t.Fatalf("devices=%d events=%d, want 2,5", ref.Devices, ref.Events)
+	}
+	// Any permutation of the journal snapshot — shard interleaving,
+	// time-sorted, reversed — folds to the identical table.
+	perms := [][]obs.Entry{
+		{es[4], es[3], es[2], es[1], es[0]},
+		{es[1], es[0], es[3], es[2], es[4]},
+		{es[2], es[4], es[0], es[1], es[3]},
+	}
+	want := ref.Fingerprint()
+	for i, perm := range perms {
+		got, err := Aggregate(p, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Fingerprint() != want {
+			t.Errorf("permutation %d changed the aggregate: %016x vs %016x", i, got.Fingerprint(), want)
+		}
+	}
+}
+
+func TestAggregateFiltersIneligible(t *testing.T) {
+	db := testDB(3)
+	db.Version = 2
+	es := []obs.Entry{
+		func() obs.Entry { e := entry("a", 1, 1, 0, 3, 0.9); e.DBVersion = 2; return e }(),
+		func() obs.Entry { e := entry("a", 2, 1, 0, 3, 0.9); e.DBVersion = 1; return e }(), // other version
+		func() obs.Entry { e := entry("b", 1, 0, 0, 3, 0.9); e.DBVersion = 2; e.Degraded = true; return e }(),
+		func() obs.Entry { e := entry("c", 1, 99, 0, 3, 0.9); e.DBVersion = 2; return e }(), // out of range
+	}
+	tab, err := Aggregate(AggregateParams{DB: db, Gamma: 0.5}, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Devices != 1 || tab.Events != 1 {
+		t.Errorf("devices=%d events=%d, want 1,1 (only the matching real decision)", tab.Devices, tab.Events)
+	}
+	if got := EligibleEvents(es, 2, db.Len()); got != 1 {
+		t.Errorf("EligibleEvents = %d, want 1", got)
+	}
+	if _, err := Aggregate(AggregateParams{DB: db, Gamma: 0.5}, nil); err != ErrNoEvidence {
+		t.Errorf("empty journal: err = %v, want ErrNoEvidence", err)
+	}
+}
+
+func TestAggregateMatchesSingleDeviceReplay(t *testing.T) {
+	// With one device, the aggregate must equal that device's own
+	// replayed agent: the merge is a weighted mean over one term.
+	db := testDB(3)
+	es := []obs.Entry{
+		entry("solo", 1, 0, 0, 3, 0.9),
+		entry("solo", 2, 1, 2.5, 3, 0.9),
+		entry("solo", 3, 1, 0, 3, 0.9),
+		entry("solo", 4, 2, 1.0, 4, 0.95),
+	}
+	tab, err := Aggregate(AggregateParams{DB: db, Gamma: 0.7}, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag := runtime.NewAgent(db.Len(), 0.7)
+	for i, e := range es {
+		if err := ag.Observe(e.To, -db.Points[e.To].EnergyMJ, e.DRCMs, float64(i+1)*100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ag.Flush()
+	for s := 0; s < db.Len(); s++ {
+		if tab.VR[s] != ag.VR[s] || tab.VD[s] != ag.VD[s] || tab.Visits[s] != ag.Visits(s) {
+			t.Fatalf("state %d: aggregate (%v,%v,%d) vs direct replay (%v,%v,%d)",
+				s, tab.VR[s], tab.VD[s], tab.Visits[s], ag.VR[s], ag.VD[s], ag.Visits(s))
+		}
+	}
+}
+
+func TestAggregateMergesAcrossDevices(t *testing.T) {
+	// Two devices visiting the same state contribute a visit-weighted
+	// mean; a state only one device visited carries that device's
+	// value unchanged.
+	db := testDB(2)
+	es := []obs.Entry{
+		entry("a", 1, 0, 0, 3, 0.9),
+		entry("b", 1, 0, 0, 3, 0.9),
+		entry("b", 2, 1, 1.0, 4, 0.95),
+	}
+	tab, err := Aggregate(AggregateParams{DB: db, Gamma: 0}, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Visits[0] != 2 || tab.Visits[1] != 1 {
+		t.Fatalf("visits = %v, want [2 1]", tab.Visits)
+	}
+	// Gamma 0, so each visit's return is its immediate reward: both
+	// devices saw VR[0] = -Energy[0], and only b saw state 1.
+	if tab.VR[0] != -db.Points[0].EnergyMJ {
+		t.Errorf("VR[0] = %v, want %v", tab.VR[0], -db.Points[0].EnergyMJ)
+	}
+	if tab.VR[1] != -db.Points[1].EnergyMJ || tab.VD[1] != 1.0 {
+		t.Errorf("state 1 = (%v,%v), want (%v,1)", tab.VR[1], tab.VD[1], -db.Points[1].EnergyMJ)
+	}
+	if tab.Gamma != 0 || tab.DBVersion != db.Version {
+		t.Error("table lost its bindings")
+	}
+}
+
+func TestAggregateRejectsBadParams(t *testing.T) {
+	if _, err := Aggregate(AggregateParams{DB: nil, Gamma: 0.5}, nil); err == nil {
+		t.Error("accepted nil database")
+	}
+	if _, err := Aggregate(AggregateParams{DB: testDB(2), Gamma: 1.0}, nil); err == nil {
+		t.Error("accepted gamma >= 1")
+	}
+}

@@ -1,0 +1,197 @@
+package cohort
+
+// The background cohort-learning loop. A Worker drives one database
+// cohort through the publish cycle:
+//
+//	window filling --boundary--> aggregate --changed+agree--> publish
+//	                                  |
+//	                                  +------unchanged-------> wait
+//
+// Each Step is one publish attempt: it counts the cohort's eligible
+// journaled decisions against the deterministic epoch schedule and,
+// once the next epoch's boundary is crossed, folds the journal into an
+// aggregated value table and publishes it as the next table version.
+// Publishing itself lives in the fleet registry; the worker only
+// decides when to invoke it — the same division of labour as
+// evolve.Worker, whose Agreement/Reconcile cluster hooks this worker
+// mirrors for value tables.
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"time"
+
+	"clrdse/internal/dse"
+	"clrdse/internal/fleet"
+	"clrdse/internal/obs"
+	"clrdse/internal/runtime"
+)
+
+// Registry is the slice of *fleet.Registry the worker drives. An
+// interface so tests can script cohort state without a full fleet.
+type Registry interface {
+	ActiveSnapshot(name string) (db *dse.Database, fp uint64, err error)
+	DecisionsForDatabase(name string, limit int) []obs.Entry
+	PublishValueTable(name string, t *runtime.ValueTable) error
+	ValueTableStatus(name string) (fleet.ValueTableStatus, error)
+}
+
+// Worker periodically aggregates and publishes one cohort's value
+// table.
+type Worker struct {
+	// Registry is the fleet being served; Database names the cohort.
+	Registry Registry
+	Database string
+	// Gamma is the discount factor the cohort learns under; devices
+	// whose agents run a different gamma ignore the published tables.
+	Gamma float64
+	// MeanInterArrivalCycles calibrates the replayed episode clock
+	// (0 selects the paper's 100); it must match the devices' own
+	// calibration for the aggregate to mean the same thing.
+	MeanInterArrivalCycles float64
+	// Schedule is the deterministic epoch clock gating publishes.
+	Schedule Schedule
+	// MinDevices is how many devices must have contributed eligible
+	// decisions before a table is published (0 selects 1).
+	MinDevices int
+	// Interval is the tick period of Run (0 selects 1 minute).
+	Interval time.Duration
+	// Agreement, when non-nil, gates publishing on external consensus
+	// — the cluster layer's "every alive peer holds the same value
+	// table" check. Returning false defers the publish to a later
+	// tick; an error is logged and also defers.
+	Agreement func(ctx context.Context, database string) (bool, error)
+	// Reconcile, when non-nil, runs first on every Step — the cluster
+	// layer's catch-up hook (CatchUpValueTables): publishes are not
+	// atomic across nodes, so a peer can publish first, after which
+	// this node's Agreement stays false forever unless it adopts the
+	// winner's table. Reconcile returning true means a table was
+	// adopted; the step then ends (cohort state just changed under us)
+	// and the next tick resumes from the adopted version. An error is
+	// logged, never fatal.
+	Reconcile func(ctx context.Context, database string) (bool, error)
+	// Logger receives state-transition lines (nil selects the default).
+	Logger *slog.Logger
+}
+
+func (w *Worker) log() *slog.Logger {
+	if w.Logger != nil {
+		return w.Logger
+	}
+	return slog.Default()
+}
+
+func (w *Worker) minDevices() int {
+	if w.MinDevices <= 0 {
+		return 1
+	}
+	return w.MinDevices
+}
+
+// Step attempts one publish for the cohort. Expected non-publishes
+// (epoch window still filling, too few contributing devices,
+// aggregate unchanged since the last publish, cluster not yet in
+// agreement) return a nil error.
+func (w *Worker) Step(ctx context.Context) error {
+	if w.Reconcile != nil {
+		adopted, err := w.Reconcile(ctx, w.Database)
+		switch {
+		case err != nil:
+			w.log().WarnContext(ctx, "cohort: value-table catch-up failed", "db", w.Database, "err", err)
+		case adopted:
+			w.log().InfoContext(ctx, "cohort: adopted a peer's value table; resuming from it next tick",
+				"db", w.Database)
+			return nil
+		}
+	}
+	st, err := w.Registry.ValueTableStatus(w.Database)
+	if err != nil {
+		return err
+	}
+	db, fp, err := w.Registry.ActiveSnapshot(w.Database)
+	if err != nil {
+		return err
+	}
+	entries := w.Registry.DecisionsForDatabase(w.Database, 0)
+	eligible := EligibleEvents(entries, db.Version, db.Len())
+	nextEpoch := st.Epoch + 1
+	if boundary := w.Schedule.Boundary(nextEpoch); eligible < boundary {
+		return nil // epoch window still filling
+	}
+	table, err := Aggregate(AggregateParams{
+		DB:                     db,
+		DBFingerprint:          fp,
+		Gamma:                  w.Gamma,
+		MeanInterArrivalCycles: w.MeanInterArrivalCycles,
+	}, entries)
+	if errors.Is(err, ErrNoEvidence) {
+		return nil // all journaled decisions predate the active version
+	}
+	if err != nil {
+		return err
+	}
+	if table.Devices < w.minDevices() {
+		w.log().DebugContext(ctx, "cohort: too few contributing devices",
+			"db", w.Database, "devices", table.Devices, "min", w.minDevices())
+		return nil
+	}
+	table.Version = st.Version + 1
+	table.Epoch = nextEpoch
+	if st.HasTable && table.Fingerprint() == st.Fingerprint {
+		// Same content as the active table: nothing worth a version
+		// bump. The epoch stays open until the aggregate moves.
+		w.log().DebugContext(ctx, "cohort: aggregate unchanged", "db", w.Database, "version", st.Version)
+		return nil
+	}
+	if w.Agreement != nil {
+		ok, err := w.Agreement(ctx, w.Database)
+		if err != nil {
+			w.log().WarnContext(ctx, "cohort: cluster table agreement check failed; deferring publish",
+				"db", w.Database, "err", err)
+			return nil
+		}
+		if !ok {
+			w.log().InfoContext(ctx, "cohort: cluster not in table agreement; deferring publish",
+				"db", w.Database, "version", table.Version)
+			return nil
+		}
+	}
+	if err := w.Registry.PublishValueTable(w.Database, table); err != nil {
+		// A concurrent publish (another worker, a cluster adoption) can
+		// outdate the version between status and install; the next tick
+		// re-aggregates against the new state. A database swap between
+		// snapshot and publish surfaces as skew the same way.
+		if errors.Is(err, fleet.ErrValueTableVersion) || errors.Is(err, fleet.ErrValueTableSkew) {
+			w.log().InfoContext(ctx, "cohort: publish outdated by concurrent change", "db", w.Database, "err", err)
+			return nil
+		}
+		return err
+	}
+	w.log().InfoContext(ctx, "cohort: value table published",
+		"db", w.Database, "version", table.Version, "epoch", table.Epoch,
+		"devices", table.Devices, "events", table.Events)
+	return nil
+}
+
+// Run steps the worker every Interval until ctx is cancelled. Step
+// errors are logged, never fatal: the loop is a background optimiser,
+// and serving must not depend on it.
+func (w *Worker) Run(ctx context.Context) {
+	interval := w.Interval
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := w.Step(ctx); err != nil {
+				w.log().WarnContext(ctx, "cohort: step failed", "db", w.Database, "err", err)
+			}
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package cohort
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"clrdse/internal/dse"
+	"clrdse/internal/fleet"
+	"clrdse/internal/obs"
+	"clrdse/internal/runtime"
+)
+
+// fakeRegistry scripts cohort state without a full fleet, mirroring
+// the evolve worker's test double.
+type fakeRegistry struct {
+	db        *dse.Database
+	fp        uint64
+	entries   []obs.Entry
+	active    *runtime.ValueTable
+	published []*runtime.ValueTable
+	pubErr    error
+}
+
+func (f *fakeRegistry) ActiveSnapshot(string) (*dse.Database, uint64, error) {
+	return f.db, f.fp, nil
+}
+
+func (f *fakeRegistry) DecisionsForDatabase(string, int) []obs.Entry { return f.entries }
+
+func (f *fakeRegistry) PublishValueTable(_ string, t *runtime.ValueTable) error {
+	if f.pubErr != nil {
+		return f.pubErr
+	}
+	f.published = append(f.published, t)
+	f.active = t
+	return nil
+}
+
+func (f *fakeRegistry) ValueTableStatus(string) (fleet.ValueTableStatus, error) {
+	st := fleet.ValueTableStatus{Database: "t"}
+	if f.active != nil {
+		st.HasTable = true
+		st.Version = f.active.Version
+		st.Epoch = f.active.Epoch
+		st.Fingerprint = f.active.Fingerprint()
+	}
+	return st, nil
+}
+
+func workerFixture(events int) (*Worker, *fakeRegistry) {
+	db := testDB(3)
+	reg := &fakeRegistry{db: db, fp: 0xabc}
+	for i := 0; i < events; i++ {
+		reg.entries = append(reg.entries,
+			entry("d", uint64(i+1), i%db.Len(), float64(i%2), 3.5, 0.9))
+	}
+	return &Worker{
+		Registry: reg,
+		Database: "t",
+		Gamma:    0.6,
+		Schedule: Schedule{Seed: 5, BaseEvents: 10, Jitter: -1},
+	}, reg
+}
+
+func TestWorkerPublishesOnEpochBoundary(t *testing.T) {
+	w, reg := workerFixture(9)
+	ctx := context.Background()
+	if err := w.Step(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(reg.published) != 0 {
+		t.Fatal("published before the epoch boundary (9 < 10 events)")
+	}
+	reg.entries = append(reg.entries, entry("d", 10, 1, 0, 3.5, 0.9))
+	if err := w.Step(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(reg.published) != 1 {
+		t.Fatal("no publish at the epoch boundary")
+	}
+	got := reg.published[0]
+	if got.Version != 1 || got.Epoch != 1 {
+		t.Errorf("first publish stamped v%d epoch %d, want v1 epoch 1", got.Version, got.Epoch)
+	}
+	if got.DBFingerprint != reg.fp || got.Gamma != 0.6 {
+		t.Error("publish lost its bindings")
+	}
+	// Same journal, next tick: aggregate unchanged, no re-publish.
+	if err := w.Step(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(reg.published) != 1 {
+		t.Error("re-published an unchanged aggregate")
+	}
+	// Epoch 2 closes after 10 more eligible events: version advances.
+	for i := 11; i <= 20; i++ {
+		reg.entries = append(reg.entries, entry("d", uint64(i), i%3, 1.5, 4.0, 0.95))
+	}
+	if err := w.Step(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(reg.published) != 2 {
+		t.Fatal("no publish at the second epoch boundary")
+	}
+	if got := reg.published[1]; got.Version != 2 || got.Epoch != 2 {
+		t.Errorf("second publish stamped v%d epoch %d, want v2 epoch 2", got.Version, got.Epoch)
+	}
+}
+
+func TestWorkerMinDevices(t *testing.T) {
+	w, reg := workerFixture(12)
+	w.MinDevices = 2
+	if err := w.Step(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(reg.published) != 0 {
+		t.Error("published with one contributing device, MinDevices=2")
+	}
+}
+
+func TestWorkerAgreementGatesPublish(t *testing.T) {
+	w, reg := workerFixture(12)
+	agree := false
+	w.Agreement = func(context.Context, string) (bool, error) { return agree, nil }
+	ctx := context.Background()
+	if err := w.Step(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(reg.published) != 0 {
+		t.Error("published without cluster agreement")
+	}
+	agree = true
+	if err := w.Step(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(reg.published) != 1 {
+		t.Error("agreement satisfied but no publish")
+	}
+}
+
+func TestWorkerReconcileShortCircuits(t *testing.T) {
+	w, reg := workerFixture(12)
+	w.Reconcile = func(context.Context, string) (bool, error) { return true, nil }
+	if err := w.Step(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(reg.published) != 0 {
+		t.Error("step continued past an adopting reconcile")
+	}
+}
+
+func TestWorkerTreatsConcurrentPublishAsBenign(t *testing.T) {
+	w, reg := workerFixture(12)
+	reg.pubErr = fleet.ErrValueTableVersion
+	if err := w.Step(context.Background()); err != nil {
+		t.Fatalf("version race should be benign, got %v", err)
+	}
+	reg.pubErr = errors.New("boom")
+	if err := w.Step(context.Background()); err == nil {
+		t.Error("real publish error swallowed")
+	}
+}

@@ -105,6 +105,15 @@ func Observe(entries []obs.Entry) Distribution {
 
 func quantise(v float64) int64 { return int64(math.Round(v / specQuantum)) }
 
+// Quantise maps an observed specification value onto the package's
+// histogram grid. Exported so the cohort layer fingerprints observed
+// QoS distributions on the exact same grid the evolution loop
+// histograms them — one quantiser, one notion of "same specification".
+func Quantise(v float64) int64 { return quantise(v) }
+
+// SpecQuantum is the grid step Quantise rounds onto.
+const SpecQuantum = specQuantum
+
 // Fingerprint hashes the distribution into a 64-bit value (FNV-1a over
 // the sorted quantised buckets). Two journal states that fold into the
 // same histogram — regardless of entry order — fingerprint equally,

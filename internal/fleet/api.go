@@ -316,6 +316,12 @@ type EvolveJSON struct {
 	Databases []EvolveStatus `json:"databases"`
 }
 
+// CohortJSON is the body of GET /debug/cohort: every cohort's
+// value-table state (version, epoch, fingerprints, provenance).
+type CohortJSON struct {
+	Databases []ValueTableStatus `json:"databases"`
+}
+
 // DecisionsJSON is the body of GET /debug/decisions: the decision
 // journal's retained entries, oldest first.
 type DecisionsJSON struct {

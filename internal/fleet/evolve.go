@@ -78,6 +78,13 @@ type dbState struct {
 	// consumed by Rollback. Guarded by swapMu.
 	prev *NamedDatabase
 
+	// vtActive is the cohort's published value table (nil until the
+	// cohort worker first publishes); vtPrev is the one-step rollback
+	// target, guarded by swapMu like prev. Devices re-seed their
+	// agents lazily per decision (see syncValueTable).
+	vtActive atomic.Pointer[runtime.ValueTable]
+	vtPrev   *runtime.ValueTable
+
 	// window accumulates the shadow scores judging the currently
 	// installed candidate. ProposeDatabase installs a fresh window
 	// object together with its candidate, and shadowScore only counts
@@ -90,6 +97,7 @@ type dbState struct {
 
 	activeVer *metrics.Gauge
 	candVer   *metrics.Gauge
+	vtVer     *metrics.Gauge
 }
 
 // shadowWindow is the agreement/divergence accounting for exactly one
@@ -448,7 +456,7 @@ func newManagerOn(n *NamedDatabase, p DeviceParams, boot runtime.QoSSpec) (*runt
 		Policy:                 p.Policy,
 		MeanInterArrivalCycles: p.MeanInterArrivalCycles,
 	}
-	if p.Gamma > 0 {
+	if p.Gamma > 0 || p.WithAgent {
 		mp.Agent = runtime.NewAgentForDB(n.DB, p.Gamma, 0)
 	}
 	return runtime.NewManager(mp, boot)

@@ -120,6 +120,12 @@ type DeviceParams struct {
 	// Gamma, when positive, upgrades the device's uRA to AuRA with
 	// this discount factor (stay-put prior value functions).
 	Gamma float64
+	// WithAgent forces an AuRA agent even at Gamma == 0. At gamma
+	// zero the agent learns but never influences decisions (uRA is
+	// subsumed into AuRA per the paper), which is exactly what the
+	// cohort A/B harness needs to pin the uRA ≡ AuRA(γ=0) identity
+	// while still accepting cohort priors and learning online.
+	WithAgent bool
 	// MeanInterArrivalCycles calibrates the agent's episode clock
 	// (0 selects the paper's 100).
 	MeanInterArrivalCycles float64
@@ -225,6 +231,15 @@ type device struct {
 	memoSpec runtime.QoSSpec
 	memoTo   int
 
+	// Cohort value-table state. vtMgr/vtApplied (touched only under
+	// the semaphore) pin which table was applied into which manager
+	// instance, so a manager swap self-invalidates the prior;
+	// vtVersion is the journal stamp — atomic because the degraded
+	// path journals without the semaphore.
+	vtMgr     *runtime.Manager
+	vtApplied *runtime.ValueTable
+	vtVersion atomic.Uint64
+
 	// plabels is the pprof label set stamped on this device's decide
 	// calls, built once at construction: pprof.Labels allocates, and
 	// the decide path runs per event.
@@ -316,6 +331,12 @@ type Registry struct {
 	evolveShadowEvents  *metrics.Counter
 	evolveShadowAgree   *metrics.Counter
 	evolveShadowDiverge *metrics.Counter
+
+	// Cohort-learning instruments (see cohort.go).
+	cohortPublishes *metrics.Counter
+	cohortAdoptions *metrics.Counter
+	cohortRollbacks *metrics.Counter
+	cohortPriors    *metrics.Counter
 }
 
 // NewRegistry validates every database (see dse.Database.Validate)
@@ -354,6 +375,8 @@ func NewRegistry(dbs []NamedDatabase, shards int) (*Registry, error) {
 				"Database version currently served, per cohort.", "db", db.Name),
 			candVer: r.met.Gauge("clr_evolve_candidate_version",
 				"Candidate database version being shadow-served, per cohort (0 when none).", "db", db.Name),
+			vtVer: r.met.Gauge("clr_cohort_table_version",
+				"Cohort value-table version currently active, per cohort (0 when none published).", "db", db.Name),
 		}
 		st.active.Store(&db)
 		st.activeVer.Set(int64(db.DB.Version))
@@ -411,6 +434,14 @@ func NewRegistry(dbs []NamedDatabase, shards int) (*Registry, error) {
 		"Shadow decisions that chose the active decision's configuration.")
 	r.evolveShadowDiverge = r.met.Counter("clr_evolve_shadow_divergences_total",
 		"Shadow decisions that chose a different configuration than the active database.")
+	r.cohortPublishes = r.met.Counter("clr_cohort_publishes_total",
+		"Cohort value tables published for serving.")
+	r.cohortAdoptions = r.met.Counter("clr_cohort_adoptions_total",
+		"Cohort value tables adopted from a cluster peer to catch up after a remote publish.")
+	r.cohortRollbacks = r.met.Counter("clr_cohort_rollbacks_total",
+		"Cohort value-table publishes reverted to the previous version.")
+	r.cohortPriors = r.met.Counter("clr_cohort_priors_applied_total",
+		"Device agents seeded from a cohort value table (cold-start inheritance and live re-seeds).")
 	return r, nil
 }
 
@@ -480,6 +511,19 @@ func (r *Registry) Register(p DeviceParams) (*DeviceInfo, error) {
 	}
 	d.db.Store(db)
 	d.mgr.Store(mgr)
+	// Cold-start cohort inheritance: a device joining a cohort that
+	// already published a value table inherits the cohort's learned
+	// values in place of the analytic stay-put prior — what its
+	// cohort-mates know beats what offline Monte-Carlo would guess.
+	// Failure to apply (uRA device, gamma mismatch, table bound to
+	// other database content) just boots the device without a prior.
+	if vt := st.vtActive.Load(); vt != nil && vt.DBFingerprint == db.fp {
+		if applied, err := mgr.ApplyValuePrior(vt); err == nil && applied {
+			d.vtMgr, d.vtApplied = mgr, vt
+			d.vtVersion.Store(vt.Version)
+			r.cohortPriors.Inc()
+		}
+	}
 
 	sh := r.shardFor(p.ID)
 	sh.mu.Lock()
@@ -614,10 +658,11 @@ func (r *Registry) decideLocked(ctx context.Context, d *device, seq uint64, spec
 			return r.degrade(d, seq, spec, tr, err), nil
 		}
 	}
-	// Converge onto the cohort's current active/candidate versions
-	// before deciding — the swap happens here, between decisions, under
-	// the semaphore the caller holds.
+	// Converge onto the cohort's current active/candidate versions and
+	// value table before deciding — the swaps happen here, between
+	// decisions, under the semaphore the caller holds.
 	r.syncVersion(d)
+	r.syncValueTable(d)
 	var dec runtime.Decision
 	var detail runtime.DecisionDetail
 	// pprof labels attribute CPU samples under the decide path to the
@@ -706,6 +751,7 @@ func (r *Registry) journal(d *device, seq uint64, spec runtime.QoSSpec, tr *obs.
 		Score:        detail.Score,
 		DRCMs:        dec.Cost.Total(),
 		DBVersion:    d.db.Load().DB.Version,
+		VTVersion:    d.vtVersion.Load(),
 		SpecSMaxMs:   spec.SMaxMs,
 		SpecFMin:     spec.FMin,
 		Stages:       append([]obs.Span(nil), tr.Spans()...),

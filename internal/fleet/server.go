@@ -162,6 +162,7 @@ func (s *Server) buildMux() http.Handler {
 	route("GET /metrics", "metrics", s.handleMetrics)
 	route("GET /debug/decisions", "debug_decisions", s.handleDecisions)
 	route("GET /debug/evolve", "debug_evolve", s.handleEvolve)
+	route("GET /debug/cohort", "debug_cohort", s.handleCohort)
 	return mux
 }
 
@@ -568,6 +569,22 @@ func (s *Server) handleEvolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, EvolveJSON{Databases: s.reg.EvolveStatuses()})
+}
+
+// handleCohort serves the cohort-learning state: per-cohort value-table
+// version, epoch, fingerprints and aggregation provenance. Query
+// parameter db filters to one cohort.
+func (s *Server) handleCohort(w http.ResponseWriter, r *http.Request) {
+	if name := r.URL.Query().Get("db"); name != "" {
+		st, err := s.reg.ValueTableStatus(name)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, CohortJSON{Databases: []ValueTableStatus{st}})
+		return
+	}
+	writeJSON(w, http.StatusOK, CohortJSON{Databases: s.reg.ValueTableStatuses()})
 }
 
 // newHTTPServer applies the service's server-side timeouts.

@@ -42,6 +42,10 @@ type Entry struct {
 	// worker folds into its empirical event distribution.
 	SpecSMaxMs float64 `json:"spec_s_max_ms,omitempty"`
 	SpecFMin   float64 `json:"spec_f_min,omitempty"`
+	// VTVersion is the cohort value-table version the device's agent
+	// was last seeded from when this decision was scored (0: never
+	// seeded — per-device learning only, or uRA with no agent at all).
+	VTVersion uint64 `json:"vt_version,omitempty"`
 	// Stages are the decide path's per-stage latencies.
 	Stages []Span `json:"stages,omitempty"`
 }

@@ -74,4 +74,5 @@ var Titles = map[string]string{
 	"sensitivity": "SEU-rate sensitivity",
 	"storage":     "Storage budget",
 	"convergence": "Stage-1 MOEA convergence",
+	"cohortab":    "Cohort A/B — uRA vs per-device AuRA vs cohort AuRA",
 }

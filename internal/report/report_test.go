@@ -39,7 +39,7 @@ func TestAnchor(t *testing.T) {
 }
 
 func TestTitlesCoverAllExperiments(t *testing.T) {
-	for _, id := range []string{"fig1", "table4", "fig5", "fig6", "table5", "fig7", "table6", "table7", "validate", "scalability", "sensitivity", "storage", "convergence"} {
+	for _, id := range []string{"fig1", "table4", "fig5", "fig6", "table5", "fig7", "table6", "table7", "validate", "scalability", "sensitivity", "storage", "convergence", "cohortab"} {
 		if Titles[id] == "" {
 			t.Errorf("no title for experiment %q", id)
 		}

@@ -28,7 +28,10 @@
 # benchmark whose median ns/op regressed by more than that percentage
 # fails the script with exit 1 (CI uses 15). The gate threshold should
 # sit above the runner noise floor but below "someone put an
-# allocation back on the hot path".
+# allocation back on the hot path". In gate mode, a benchmark present
+# in the baseline but absent from this run also fails — provided the
+# current -bench pattern selects its name — so deleting or renaming a
+# gated benchmark cannot silently shrink the gate set.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -94,8 +97,9 @@ if [ "$prev" -ge 1 ] && [ -e "BENCH_${prev}.json" ]; then
 	pairs "BENCH_${prev}.json" >/tmp/bench_prev.$$
 	pairs "$file" >/tmp/bench_new.$$
 	status=0
-	awk -v prevfile="BENCH_${prev}.json" -v gate="$gate" '
+	awk -v prevfile="BENCH_${prev}.json" -v gate="$gate" -v pat="$pat" '
 		NR == FNR { prev[$1] = $2; pbo[$1] = $3; pao[$1] = $4; next }
+		{ cur[$1] = 1 }
 		($1 in prev) && prev[$1] > 0 {
 			ratio = $2 / prev[$1]
 			printf "  %-45s %12.0f -> %12.0f ns/op (%+.1f%%)\n", $1, prev[$1], $2, (ratio - 1) * 100
@@ -117,7 +121,30 @@ if [ "$prev" -ge 1 ] && [ -e "BENCH_${prev}.json" ]; then
 				printf "WARNING: %s allocs/op grew %.1f%% vs %s (%.0f -> %.0f allocs/op)\n", \
 					$1, ($4 / pao[$1] - 1) * 100, prevfile, pao[$1], $4
 		}
-		END { exit bad }' /tmp/bench_prev.$$ /tmp/bench_new.$$ || status=$?
+		END {
+			# A benchmark that was in the baseline but produced no samples
+			# this run is the worst kind of regression: a deleted or renamed
+			# benchmark silently shrinks the gate set, and every later run
+			# passes vacuously. Only names the current -bench pattern selects
+			# are expected, though — the baseline may hold a wider set than
+			# this invocation runs, so match each root segment (the name up
+			# to the first "/", covering sub-benchmarks) against the pattern
+			# before demanding it.
+			for (nm in prev) {
+				root = nm
+				sub(/\/.*/, "", root)
+				if (root !~ pat) continue
+				if (!(nm in cur)) {
+					if (gate + 0 > 0) {
+						printf "FAIL: %s present in %s but missing from this run (deleted or renamed?)\n", nm, prevfile
+						bad = 1
+					} else {
+						printf "WARNING: %s present in %s but missing from this run\n", nm, prevfile
+					}
+				}
+			}
+			exit bad
+		}' /tmp/bench_prev.$$ /tmp/bench_new.$$ || status=$?
 	rm -f /tmp/bench_prev.$$ /tmp/bench_new.$$
 	if [ "$status" -ne 0 ]; then
 		echo "bench regression gate failed (threshold ${gate}%)"
